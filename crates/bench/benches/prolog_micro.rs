@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks of the Prolog engine: unification, the
+//! classic naive-reverse workload, and OR-parallel racing on the host.
+//!
+//! §7 argues logic programs are an ideal target: "an overwhelming
+//! preponderance of read references" and data-driven execution times.
+
+use altx_prolog::{solve_first_parallel, KnowledgeBase, Solver, Term};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn lists_kb() -> KnowledgeBase {
+    KnowledgeBase::parse(
+        "append([], L, L).
+         append([H | T], L, [H | R]) :- append(T, L, R).
+         nrev([], []).
+         nrev([H | T], R) :- nrev(T, RT), append(RT, [H], R).",
+    )
+    .expect("valid program")
+}
+
+fn bench_unify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unify");
+    for depth in [4usize, 16, 64] {
+        // f(f(...f(a)...)) against itself with a variable at the bottom.
+        let mut ground = Term::atom("a");
+        let mut open = Term::var(0);
+        for _ in 0..depth {
+            ground = Term::compound("f", vec![ground]);
+            open = Term::compound("f", vec![open]);
+        }
+        group.bench_with_input(BenchmarkId::new("deep_terms", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut bindings = altx_prolog::Bindings::new();
+                bindings.ensure(1);
+                black_box(bindings.unify(&ground, &open))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_nrev(c: &mut Criterion) {
+    let kb = lists_kb();
+    let mut group = c.benchmark_group("nrev");
+    group.sample_size(20);
+    for len in [10usize, 20, 30] {
+        let items: Vec<String> = (0..len).map(|i| i.to_string()).collect();
+        let query = format!("nrev([{}], R)", items.join(", "));
+        group.bench_with_input(BenchmarkId::new("first_solution", len), &len, |b, _| {
+            b.iter(|| {
+                let mut solver = Solver::new(&kb);
+                black_box(solver.solve_str(&query, 1).expect("valid").len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_or_parallel(c: &mut Criterion) {
+    let kb = KnowledgeBase::parse(
+        "countdown(0).
+         countdown(N) :- N > 0, M is N - 1, countdown(M).
+         q(D) :- countdown(D), fail.
+         q(D) :- countdown(D), countdown(D), fail.
+         q(_).",
+    )
+    .expect("valid program");
+    let mut group = c.benchmark_group("or_parallel");
+    group.sample_size(20);
+    group.bench_function("sequential_dfs", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new(&kb);
+            black_box(solver.solve_str("q(3000)", 1).expect("valid").len())
+        });
+    });
+    group.bench_function("threaded_race", |b| {
+        b.iter(|| black_box(solve_first_parallel(&kb, "q(3000)").expect("valid").winner_branch));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_unify, bench_nrev, bench_or_parallel);
+criterion_main!(benches);

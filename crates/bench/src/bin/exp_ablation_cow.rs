@@ -1,0 +1,95 @@
+//! Experiment E12 (ablation) — copy-on-write vs eager state copying.
+//!
+//! The paper's §3.3 design choice: speculative alternates inherit the
+//! parent's page map copy-on-write. The alternative design — copying the
+//! whole address space at spawn, which §5.1.2 even recommends for
+//! fault-isolation in recovery blocks ("we may copy all of the state
+//! rather than copying as necessary") — is simulated here by charging
+//! the full copy cost at fork time.
+//!
+//! Sweeps the write fraction f: COW's advantage is largest for read-
+//! mostly alternates (the common case the paper argues: "a large portion
+//! of the shared state is read-only") and disappears as f → 1, where COW
+//! pays the same copies *plus* fault overhead. Crossover location is the
+//! ablation's finding.
+//!
+//! Run: `cargo run --release -p altx-bench --bin exp_ablation_cow`
+
+use altx_bench::Table;
+use altx_des::SimDuration;
+use altx_pager::MachineProfile;
+
+/// Spawn-to-decision cost of racing N alternates that each write
+/// fraction `f` of a `pages`-page space, winner compute `t`.
+///
+/// COW:   N×(fork) + winner's path (compute + f×pages cow-faults).
+/// Eager: N×(fork + pages full copies, no fault overhead) + compute.
+fn cow_cost(profile: &MachineProfile, n: usize, pages: usize, f: f64, t: SimDuration) -> SimDuration {
+    let dirty = (pages as f64 * f).round() as usize;
+    profile.fork_cost(pages) * n as u64 + t + profile.copy_cost(dirty)
+}
+
+fn eager_cost(profile: &MachineProfile, n: usize, pages: usize, _f: f64, t: SimDuration) -> SimDuration {
+    // Eager copy at spawn: the full space, but as a bulk copy (no
+    // per-page trap), for every alternate.
+    (profile.fork_cost(pages) + profile.page_copy_time() * pages as u64) * n as u64 + t
+}
+
+fn main() {
+    println!("E12 — ablation: COW inheritance vs eager full copy at alt_spawn");
+    println!("(3 alternates, 320K space, winner computes 100 ms, HP 9000/350)\n");
+
+    let profile = MachineProfile::hp_9000_350();
+    let pages = profile.page_size().pages_for(320 * 1024);
+    let n = 3;
+    let t = SimDuration::from_millis(100);
+
+    let mut table = Table::new(vec!["write fraction", "COW", "eager copy", "COW saves"]);
+    let mut cow_wins = 0;
+    for percent in [0u32, 5, 10, 25, 50, 75, 100] {
+        let f = percent as f64 / 100.0;
+        let cow = cow_cost(&profile, n, pages, f, t);
+        let eager = eager_cost(&profile, n, pages, f, t);
+        if cow < eager {
+            cow_wins += 1;
+        }
+        let delta = if cow <= eager {
+            format!("{}", eager - cow)
+        } else {
+            format!("-{}", cow - eager)
+        };
+        table.row(vec![
+            format!("{percent}%"),
+            format!("{cow}"),
+            format!("{eager}"),
+            delta,
+        ]);
+    }
+    println!("{table}");
+
+    // The paper's premise: alternates are read-mostly, so COW wins there.
+    let cow_ro = cow_cost(&profile, n, pages, 0.05, t);
+    let eager_ro = eager_cost(&profile, n, pages, 0.05, t);
+    assert!(
+        cow_ro.mul_f64(1.5) < eager_ro,
+        "COW must win decisively at 5% writes: {cow_ro} vs {eager_ro}"
+    );
+    // And eager only ever catches up when the winner rewrites nearly
+    // everything — N× the space still has to be copied eagerly, vs 1×
+    // (the winner's) under COW, so eager never actually wins here.
+    assert!(cow_wins >= 6, "COW should win almost the whole sweep");
+    println!(
+        "COW wins across the sweep: even at f = 1 the eager design copies the\n\
+         space for every alternate while COW copies only what the (single)\n\
+         winner path dirties — \"reducing the amount of state which must be\n\
+         maintained\" is also reducing the amount that must be *copied*. ✓"
+    );
+
+    // Where eager could matter: §5.1.2's availability argument. Show the
+    // bill for pre-copying everything (failure isolation) explicitly.
+    let iso = eager_cost(&profile, n, pages, 1.0, SimDuration::ZERO);
+    println!(
+        "\nfault-isolation price (pre-copying all state for {n} alternates,\n\
+         §5.1.2's \"so that the state not become inaccessible\"): {iso} up front."
+    );
+}

@@ -1,0 +1,97 @@
+//! Experiment E4 — §4.4 page-copy rates and the write-fraction sweep.
+//!
+//! "The measured service rate of page copying was 326 2K pages/second for
+//! the 3B2, and 1034 4K pages/second for the HP. The fraction of the
+//! pages in the address space which are written is the important
+//! independent variable for a program with a known address space size,
+//! using copy-on-write."
+//!
+//! For a 320 KB program we fork an alternate and have it dirty a fraction
+//! f of the inherited pages, sweeping f from 0 to 1; reported: total
+//! speculation overhead (fork + copies) and the effective copy rate.
+//!
+//! Run: `cargo run --release -p altx-bench --bin exp_page_copy_sweep`
+
+use altx_bench::Table;
+use altx_des::SimDuration;
+use altx_kernel::{AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program};
+use altx_pager::{AddressSpace, MachineProfile};
+
+/// Forks one alternate that dirties `dirty` of the parent's mapped pages;
+/// returns (total block time, time spent copying).
+fn run(profile: &MachineProfile, bytes: usize, dirty: usize) -> (SimDuration, SimDuration) {
+    let mut kernel = Kernel::new(KernelConfig {
+        profile: profile.clone(),
+        ..KernelConfig::default()
+    });
+    let body = if dirty > 0 {
+        Program::new(vec![Op::TouchPages { first: 0, count: dirty }])
+    } else {
+        Program::empty()
+    };
+    let spec = AltBlockSpec::new(vec![Alternative::new(GuardSpec::Const(true), body)]);
+    let image = AddressSpace::from_bytes(&vec![0x77; bytes], profile.page_size());
+    let root = kernel.spawn_with_space(Program::new(vec![Op::AltBlock(spec)]), image);
+    let report = kernel.run();
+    let o = &report.block_outcomes(root)[0];
+    (o.elapsed(), profile.copy_cost(dirty))
+}
+
+fn main() {
+    println!("E4 — §4.4 page-copy service rates + write-fraction sweep (320K program)\n");
+
+    // Part 1: the headline rates.
+    for (profile, paper_rate) in [
+        (MachineProfile::att_3b2_310(), 326.0),
+        (MachineProfile::hp_9000_350(), 1034.0),
+    ] {
+        println!(
+            "{:<13} page size {}  copy rate: model {:.0} pages/s (paper: {:.0})",
+            profile.name(),
+            profile.page_size(),
+            profile.page_copy_rate(),
+            paper_rate
+        );
+        assert!((profile.page_copy_rate() - paper_rate).abs() < 1.0);
+    }
+
+    // Part 2: the write-fraction sweep.
+    let bytes = 320 * 1024;
+    println!("\nwrite fraction f → speculation overhead (fork + COW copies):\n");
+    let mut table = Table::new(vec![
+        "f",
+        "3B2 pages copied",
+        "3B2 total",
+        "3B2 copy time",
+        "HP pages copied",
+        "HP total",
+        "HP copy time",
+    ]);
+    for percent in [0, 10, 25, 50, 75, 100] {
+        let att = MachineProfile::att_3b2_310();
+        let hp = MachineProfile::hp_9000_350();
+        let att_pages = att.page_size().pages_for(bytes) * percent / 100;
+        let hp_pages = hp.page_size().pages_for(bytes) * percent / 100;
+        let (att_total, att_copy) = run(&att, bytes, att_pages);
+        let (hp_total, hp_copy) = run(&hp, bytes, hp_pages);
+        table.row(vec![
+            format!("{percent}%"),
+            format!("{att_pages}"),
+            format!("{att_total}"),
+            format!("{att_copy}"),
+            format!("{hp_pages}"),
+            format!("{hp_total}"),
+            format!("{hp_copy}"),
+        ]);
+    }
+    println!("{table}");
+
+    let (att_0, _) = run(&MachineProfile::att_3b2_310(), bytes, 0);
+    let (att_all, _) = run(&MachineProfile::att_3b2_310(), bytes, 160);
+    println!(
+        "shape check: 3B2 f=0 costs {att_0} (pure fork), f=1 costs {att_all};\n\
+         copying the whole 320K dominates the fork by >10× — exactly why COW\n\
+         inheritance (not eager copying) makes speculation affordable. ✓"
+    );
+    assert!(att_all > att_0 * 10);
+}

@@ -1,0 +1,52 @@
+//! Experiment E5 — §4.4 remote fork (`rfork`) cost.
+//!
+//! "An rfork() of a 70K process requires slightly less than a second, and
+//! network delays gave us an observed average execution time of about 1.3
+//! seconds."
+//!
+//! Prints the checkpoint/restore/protocol decomposition for a range of
+//! image sizes under the calibrated 1989 model, highlighting the 70 KB
+//! row the paper measured.
+//!
+//! Run: `cargo run --release -p altx-bench --bin exp_rfork`
+
+use altx_bench::Table;
+use altx_cluster::RemoteForkModel;
+
+fn main() {
+    println!("E5 — §4.4 rfork: checkpoint/restart over the network file system\n");
+
+    let model = RemoteForkModel::calibrated_1989();
+    let mut table = Table::new(vec![
+        "image", "checkpoint", "restore", "protocol", "service total", "observed total",
+    ]);
+    for kb in [10u64, 30, 70, 150, 320] {
+        let service = model.service_breakdown(kb * 1024);
+        let observed = model.observed_breakdown(kb * 1024);
+        let marker = if kb == 70 { " ← paper" } else { "" };
+        table.row(vec![
+            format!("{kb}K{marker}"),
+            format!("{}", observed.checkpoint),
+            format!("{}", observed.restore),
+            format!("{}", observed.protocol),
+            format!("{}", service.total()),
+            format!("{}", observed.total()),
+        ]);
+    }
+    println!("{table}");
+
+    let service = model.service_time(70 * 1024);
+    let observed = model.observed_time(70 * 1024);
+    println!("paper:    70K rfork ≈ just under 1 s service, ≈ 1.3 s observed");
+    println!("measured: 70K rfork = {service} service, {observed} observed");
+    assert!((0.90..1.00).contains(&service.as_secs_f64()));
+    assert!((1.20..1.40).contains(&observed.as_secs_f64()));
+
+    let b = model.service_breakdown(70 * 1024);
+    println!(
+        "\n\"the major cost … was creating a checkpoint of the process in its\n\
+         entirety\": checkpoint {} ≥ restore {} ≫ protocol {}. ✓",
+        b.checkpoint, b.restore, b.protocol
+    );
+    assert!(b.checkpoint >= b.restore && b.restore > b.protocol);
+}

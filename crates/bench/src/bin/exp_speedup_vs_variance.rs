@@ -1,0 +1,124 @@
+//! Experiment E6 — speedup vs dispersion of alternative times.
+//!
+//! §4.2: the opportunity exploited by fastest-first racing "is well-
+//! encapsulated by such a statistical measure of dispersion (letting
+//! values of τ serve as the random variable) as the variance."
+//!
+//! Holding the mean fixed, we sweep the coefficient of variation of
+//! N = 3 alternative times and report the analytic PI and the simulated
+//! PI on the calibrated kernel; then we sweep the overhead to exhibit
+//! the crossover PI = 1 at overhead = mean − best (§4.3's win
+//! condition).
+//!
+//! Run: `cargo run --release -p altx-bench --bin exp_speedup_vs_variance`
+
+use altx::engine::sim::{measured_pi, SimRaceSpec};
+use altx::perf::{
+    breakeven_overhead, coefficient_of_variation, performance_improvement, Overhead,
+};
+use altx_bench::{summarize, Table, TimeDistribution};
+use altx_des::SimRng;
+
+/// Three times with mean 200 ms and a controlled spread.
+fn times_with_spread(spread: f64) -> [f64; 3] {
+    let mean = 200.0;
+    [mean - spread, mean, mean + spread]
+}
+
+fn main() {
+    println!("E6 — PI vs dispersion (N = 3, mean fixed at 200 ms)\n");
+
+    let mut table = Table::new(vec![
+        "spread ±ms", "CV", "PI analytic (ovh=20)", "PI simulated", "parallel wins?",
+    ]);
+    for spread in [0.0, 25.0, 50.0, 100.0, 150.0, 190.0] {
+        let times = times_with_spread(spread);
+        let cv = coefficient_of_variation(&times);
+        let analytic = performance_improvement(&times, &Overhead::total_of(20.0));
+        let ms: Vec<u64> = times.iter().map(|&t| t as u64).collect();
+        let simulated = measured_pi(&SimRaceSpec::from_millis(&ms).with_dirty_pages(2));
+        table.row(vec![
+            format!("{spread:.0}"),
+            format!("{cv:.3}"),
+            format!("{analytic:.2}"),
+            format!("{simulated:.2}"),
+            if analytic > 1.0 { "yes" } else { "no" }.into(),
+        ]);
+    }
+    println!("{table}");
+
+    // Monotonicity check: PI grows with dispersion, both analytically and
+    // in simulation.
+    let pis: Vec<f64> = [0.0, 50.0, 150.0]
+        .iter()
+        .map(|&s| {
+            let ms: Vec<u64> = times_with_spread(s).iter().map(|&t| t as u64).collect();
+            measured_pi(&SimRaceSpec::from_millis(&ms).with_dirty_pages(2))
+        })
+        .collect();
+    assert!(pis[0] < pis[1] && pis[1] < pis[2], "{pis:?}");
+    println!("simulated PI is monotone in dispersion: {pis:?} ✓\n");
+
+    // The crossover: PI = 1 exactly at overhead = mean − best.
+    println!("crossover sweep for times (100, 200, 300), breakeven overhead = mean − best = {} ms:\n", breakeven_overhead(&[100.0, 200.0, 300.0]));
+    let mut table = Table::new(vec!["overhead ms", "PI analytic", "regime"]);
+    for overhead in [0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0] {
+        let pi = performance_improvement(&[100.0, 200.0, 300.0], &Overhead::total_of(overhead));
+        table.row(vec![
+            format!("{overhead:.0}"),
+            format!("{pi:.3}"),
+            (if pi > 1.001 {
+                "parallel wins"
+            } else if pi < 0.999 {
+                "sequential wins"
+            } else {
+                "← crossover"
+            })
+            .into(),
+        ]);
+    }
+    println!("{table}");
+    let at_breakeven =
+        performance_improvement(&[100.0, 200.0, 300.0], &Overhead::total_of(100.0));
+    assert!((at_breakeven - 1.0).abs() < 1e-12);
+    println!("crossover lands exactly at overhead = 100 ms. ✓\n");
+
+    // Distributional view: draw N=3 alternative times from whole
+    // distributions and report mean simulated PI per regime — dispersion
+    // ranking carries over from fixed vectors to sampled workloads.
+    println!("sampled regimes (N = 3 alternatives, 40 draws each, simulated kernel):\n");
+    let regimes: [(&str, TimeDistribution); 4] = [
+        ("constant 200ms", TimeDistribution::Constant { ms: 200.0 }),
+        ("uniform 150-250ms", TimeDistribution::Uniform { lo_ms: 150.0, hi_ms: 250.0 }),
+        ("lognormal σ=0.8", TimeDistribution::LogNormal { median_ms: 150.0, sigma: 0.8 }),
+        ("bimodal 20/600ms", TimeDistribution::Bimodal { fast_ms: 20.0, slow_ms: 600.0, p_fast: 0.4 }),
+    ];
+    let mut table = Table::new(vec!["regime", "regime CV", "mean simulated PI"]);
+    let mut mean_pis = Vec::new();
+    for (name, dist) in &regimes {
+        let mut rng = SimRng::seed_from_u64(0xE6);
+        let summary = summarize(dist, 4000, &mut rng);
+        let mut pi_total = 0.0;
+        let draws = 40;
+        for _ in 0..draws {
+            let times = dist.sample_n(3, &mut rng);
+            pi_total += measured_pi(&SimRaceSpec::new(times).with_dirty_pages(2));
+        }
+        let mean_pi = pi_total / draws as f64;
+        mean_pis.push(mean_pi);
+        table.row(vec![
+            (*name).into(),
+            format!("{:.2}", summary.cv),
+            format!("{mean_pi:.2}"),
+        ]);
+    }
+    println!("{table}");
+    assert!(
+        mean_pis.windows(2).all(|w| w[0] < w[1]),
+        "mean PI must rank with regime dispersion: {mean_pis:?}"
+    );
+    assert!(mean_pis[0] < 1.0 && *mean_pis.last().expect("rows") > 1.5);
+    println!("mean PI grows across the regimes: constant loses, heavy tails win big.");
+    println!("(note the bimodal row: CV is the paper's *proxy* — the true driver is");
+    println!(" the mean-vs-min gap, which bimodality maximizes at moderate CV.) ✓");
+}

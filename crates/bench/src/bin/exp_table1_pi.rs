@@ -1,0 +1,68 @@
+//! Experiment E2 — the §4.2 performance-improvement table.
+//!
+//! Reproduces the paper's six-row worked table (N = 3, τ(overhead) = 5)
+//! exactly from the analytic model, then cross-checks each row on the
+//! simulated kernel, where τ(overhead) is not an abstract constant but
+//! the sum of modelled fork, COW, scheduling, and selection costs.
+//!
+//! Run: `cargo run --release -p altx-bench --bin exp_table1_pi`
+
+use altx::engine::sim::{measured_pi, SimRaceSpec};
+use altx::perf::paper_table;
+use altx_bench::Table;
+
+fn main() {
+    println!("E2 — §4.2 table: PI = τ(C_mean) / (τ(C_best) + τ(overhead))\n");
+
+    let mut table = Table::new(vec![
+        "row", "τ(C1)", "τ(C2)", "τ(C3)", "overhead", "PI (paper)", "PI (model)", "PI (simulated)",
+    ]);
+
+    for row in paper_table() {
+        // The simulated cross-check: times interpreted as milliseconds on
+        // the calibrated kernel, ample CPUs, small write footprint.
+        let times: Vec<u64> = row.times.iter().map(|&t| t as u64).collect();
+        let sim_pi = measured_pi(&SimRaceSpec::from_millis(&times).with_dirty_pages(2));
+        table.row(vec![
+            format!("({})", row.row),
+            format!("{}", row.times[0]),
+            format!("{}", row.times[1]),
+            format!("{}", row.times[2]),
+            format!("{}", row.overhead),
+            format!("{:.2}", row.paper_pi),
+            format!("{:.2}", row.computed_pi()),
+            format!("{:.2}", sim_pi),
+        ]);
+    }
+    println!("{table}");
+
+    println!("paper inferences, re-verified:");
+    let rows = paper_table();
+    let pis: Vec<f64> = rows.iter().map(|r| r.computed_pi()).collect();
+    println!(
+        "  (3)+(5): the size of the differences matters        — PI {:.2} and {:.2}",
+        pis[2], pis[4]
+    );
+    println!(
+        "  (4): overhead vs magnitude of times matters          — PI {:.2}",
+        pis[3]
+    );
+    println!(
+        "  (6): overhead effects diminish at larger timescales  — PI {:.2} > (1)'s {:.2}",
+        pis[5], pis[0]
+    );
+    println!(
+        "  (2): large dispersion (variance) → large gains       — PI {:.2}",
+        pis[1]
+    );
+    for (row, pi) in rows.iter().zip(&pis) {
+        assert!(
+            (pi - row.paper_pi).abs() < 0.01,
+            "row {} diverges from the paper",
+            row.row
+        );
+    }
+    println!("\nall six analytic rows match the paper to printed precision. ✓");
+    println!("(simulated PI differs in level — its overhead is the real modelled cost,");
+    println!(" not the abstract 5 — but reproduces the win/lose structure.)");
+}

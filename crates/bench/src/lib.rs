@@ -1,0 +1,17 @@
+//! # altx-bench — experiment harness for the reproduction
+//!
+//! One binary per table/figure of the paper (see `EXPERIMENTS.md` at the
+//! repository root and the `src/bin/` directory), plus Criterion
+//! microbenchmarks of the overhead components under `benches/`.
+//!
+//! This library crate holds the shared report-formatting helpers the
+//! experiment binaries use to print paper-style tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{Table, Timeline};
+pub use workloads::{summarize, RegimeSummary, TimeDistribution};

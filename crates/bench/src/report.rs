@@ -1,0 +1,263 @@
+//! Plain-text table formatting for experiment output.
+//!
+//! The experiment binaries print paper-style tables to stdout; this keeps
+//! the alignment logic in one place.
+
+use std::fmt;
+
+/// A simple left-padded text table.
+///
+/// # Example
+///
+/// ```
+/// use altx_bench::Table;
+/// let mut t = Table::new(vec!["name", "value"]);
+/// t.row(vec!["pi".into(), "1.33".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("name"));
+/// assert!(s.contains("1.33"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ASCII Gantt-style timeline: one bar per process, scaled to fit a
+/// fixed width — used to render Figure 2's "concurrent execution of
+/// alternates" picture from a kernel trace.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    width: usize,
+    rows: Vec<TimelineRow>,
+    t_max: f64,
+}
+
+#[derive(Debug, Clone)]
+struct TimelineRow {
+    label: String,
+    start: f64,
+    end: f64,
+    terminator: char,
+}
+
+impl Timeline {
+    /// Creates a timeline rendered `width` characters wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is less than 10.
+    pub fn new(width: usize) -> Self {
+        assert!(width >= 10, "timeline too narrow");
+        Timeline {
+            width,
+            rows: Vec::new(),
+            t_max: 0.0,
+        }
+    }
+
+    /// Adds a bar spanning `[start, end]` (any consistent time unit),
+    /// ended with `terminator` (e.g. '✓' for a winner, '×' for an
+    /// eliminated sibling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is negative or not finite.
+    pub fn bar(
+        &mut self,
+        label: impl Into<String>,
+        start: f64,
+        end: f64,
+        terminator: char,
+    ) -> &mut Self {
+        assert!(
+            start.is_finite() && end.is_finite() && end >= start && start >= 0.0,
+            "invalid bar [{start}, {end}]"
+        );
+        self.t_max = self.t_max.max(end);
+        self.rows.push(TimelineRow {
+            label: label.into(),
+            start,
+            end,
+            terminator,
+        });
+        self
+    }
+
+    /// Number of bars.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff no bars were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.rows.is_empty() {
+            return writeln!(f, "(empty timeline)");
+        }
+        let label_w = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(0);
+        let scale = if self.t_max > 0.0 {
+            (self.width - 1) as f64 / self.t_max
+        } else {
+            0.0
+        };
+        for row in &self.rows {
+            let s = (row.start * scale).round() as usize;
+            let e = ((row.end * scale).round() as usize).max(s);
+            let mut lane = vec![' '; self.width + 1];
+            for cell in lane.iter_mut().take(e).skip(s) {
+                *cell = '═';
+            }
+            if s < lane.len() {
+                lane[s] = '╞';
+            }
+            if e < lane.len() {
+                lane[e] = row.terminator;
+            }
+            let lane: String = lane.into_iter().collect();
+            writeln!(f, "{:>label_w$} {}", row.label, lane.trim_end())?;
+        }
+        writeln!(
+            f,
+            "{:>label_w$} 0{:>width$.1}",
+            "",
+            self.t_max,
+            width = self.width - 1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[2].contains("xxxxxx"));
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = Table::new(vec!["c"]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]).row(vec!["2".into()]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn wrong_arity_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn timeline_renders_scaled_bars() {
+        let mut tl = Timeline::new(40);
+        tl.bar("parent", 0.0, 10.0, '▶');
+        tl.bar("alt1", 1.0, 5.0, '✓');
+        tl.bar("alt2", 2.0, 5.0, '×');
+        let s = tl.to_string();
+        assert_eq!(tl.len(), 3);
+        assert!(s.contains("parent"), "{s}");
+        assert!(s.contains('✓'), "{s}");
+        assert!(s.contains('×'), "{s}");
+        assert!(s.contains("10.0"), "axis label: {s}");
+        // The winner's bar ends earlier than the parent's.
+        let alt1_line = s.lines().find(|l| l.contains("alt1")).expect("alt1 row");
+        let parent_line = s.lines().find(|l| l.contains("parent")).expect("parent row");
+        assert!(alt1_line.trim_end().len() < parent_line.trim_end().len());
+    }
+
+    #[test]
+    fn timeline_empty_and_zero_span() {
+        let tl = Timeline::new(20);
+        assert!(tl.is_empty());
+        assert!(tl.to_string().contains("empty"));
+        let mut tl = Timeline::new(20);
+        tl.bar("instant", 0.0, 0.0, '•');
+        assert!(tl.to_string().contains('•'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bar")]
+    fn timeline_rejects_negative_span() {
+        Timeline::new(20).bar("bad", 5.0, 1.0, 'x');
+    }
+}

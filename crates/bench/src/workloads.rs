@@ -1,0 +1,177 @@
+//! Shared workload generators for the experiment binaries.
+//!
+//! The paper's performance story is about *distributions* of alternative
+//! execution times: stable, partitionable, or erratic (§4.2's three
+//! cases), with failures injected for the recovery-block experiments.
+//! These generators centralize the sampling used across E6–E13 so the
+//! regimes are defined in exactly one place.
+
+use altx_des::{SimDuration, SimRng};
+
+/// A distribution of alternative execution times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TimeDistribution {
+    /// Log-normal around a median with dispersion `sigma` — the
+    /// heavy-tailed regime where fastest-first shines.
+    LogNormal {
+        /// Median time in milliseconds.
+        median_ms: f64,
+        /// Dispersion of the underlying normal.
+        sigma: f64,
+    },
+    /// Uniform in `[lo_ms, hi_ms)` — bounded spread.
+    Uniform {
+        /// Lower bound (ms).
+        lo_ms: f64,
+        /// Upper bound (ms).
+        hi_ms: f64,
+    },
+    /// Bimodal: `fast_ms` with probability `p_fast`, else `slow_ms` —
+    /// the "usually quick, sometimes pathological" query-plan shape.
+    Bimodal {
+        /// Fast mode (ms).
+        fast_ms: f64,
+        /// Slow mode (ms).
+        slow_ms: f64,
+        /// Probability of the fast mode.
+        p_fast: f64,
+    },
+    /// Every sample equals `ms` — the degenerate regime where racing
+    /// can only lose.
+    Constant {
+        /// The time (ms).
+        ms: f64,
+    },
+}
+
+impl TimeDistribution {
+    /// Draws one execution time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution's parameters are invalid (non-positive
+    /// times, probability outside `[0, 1]`, inverted bounds).
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let ms = match *self {
+            TimeDistribution::LogNormal { median_ms, sigma } => {
+                assert!(median_ms > 0.0 && sigma >= 0.0, "bad log-normal params");
+                rng.log_normal(median_ms.ln(), sigma)
+            }
+            TimeDistribution::Uniform { lo_ms, hi_ms } => {
+                assert!(0.0 < lo_ms && lo_ms <= hi_ms, "bad uniform bounds");
+                rng.range_f64(lo_ms, hi_ms)
+            }
+            TimeDistribution::Bimodal { fast_ms, slow_ms, p_fast } => {
+                assert!(
+                    fast_ms > 0.0 && slow_ms > 0.0 && (0.0..=1.0).contains(&p_fast),
+                    "bad bimodal params"
+                );
+                if rng.chance(p_fast) {
+                    fast_ms
+                } else {
+                    slow_ms
+                }
+            }
+            TimeDistribution::Constant { ms } => {
+                assert!(ms > 0.0, "bad constant time");
+                ms
+            }
+        };
+        SimDuration::from_millis_f64(ms.max(0.001))
+    }
+
+    /// Draws a whole cohort of `n` alternative times.
+    pub fn sample_n(&self, n: usize, rng: &mut SimRng) -> Vec<SimDuration> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Empirical summary of a distribution, via sampling — used by
+/// experiments to report the regime they generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeSummary {
+    /// Sample mean (ms).
+    pub mean_ms: f64,
+    /// Sample coefficient of variation.
+    pub cv: f64,
+}
+
+/// Summarizes a distribution with `n` samples.
+pub fn summarize(dist: &TimeDistribution, n: usize, rng: &mut SimRng) -> RegimeSummary {
+    assert!(n > 1, "need at least two samples");
+    let samples: Vec<f64> = (0..n).map(|_| dist.sample(rng).as_millis_f64()).collect();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    RegimeSummary {
+        mean_ms: mean,
+        cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let d = TimeDistribution::LogNormal { median_ms: 100.0, sigma: 0.5 };
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut r).as_millis_f64()).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = samples[samples.len() / 2];
+        assert!((median - 100.0).abs() < 5.0, "median {median}");
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let d = TimeDistribution::Uniform { lo_ms: 10.0, hi_ms: 20.0 };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let t = d.sample(&mut r).as_millis_f64();
+            assert!((10.0..20.0).contains(&t), "{t}");
+        }
+    }
+
+    #[test]
+    fn bimodal_hits_both_modes() {
+        let d = TimeDistribution::Bimodal { fast_ms: 1.0, slow_ms: 100.0, p_fast: 0.5 };
+        let mut r = rng();
+        let samples = d.sample_n(1000, &mut r);
+        let fast = samples.iter().filter(|t| t.as_millis_f64() < 50.0).count();
+        assert!((400..600).contains(&fast), "fast count {fast}");
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = TimeDistribution::Constant { ms: 42.0 };
+        let mut r = rng();
+        assert!(d.sample_n(10, &mut r).iter().all(|t| t.as_millis_f64() == 42.0));
+    }
+
+    #[test]
+    fn summaries_rank_dispersion() {
+        let mut r = rng();
+        let tight = summarize(&TimeDistribution::Uniform { lo_ms: 99.0, hi_ms: 101.0 }, 2000, &mut r);
+        let wide = summarize(&TimeDistribution::LogNormal { median_ms: 100.0, sigma: 1.2 }, 2000, &mut r);
+        assert!(tight.cv < 0.05, "tight cv {}", tight.cv);
+        assert!(wide.cv > 0.5, "wide cv {}", wide.cv);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = TimeDistribution::LogNormal { median_ms: 50.0, sigma: 0.7 };
+        let a = d.sample_n(10, &mut SimRng::seed_from_u64(1));
+        let b = d.sample_n(10, &mut SimRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad uniform bounds")]
+    fn bad_bounds_rejected() {
+        TimeDistribution::Uniform { lo_ms: 5.0, hi_ms: 1.0 }.sample(&mut rng());
+    }
+}

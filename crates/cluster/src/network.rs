@@ -1,0 +1,120 @@
+//! Network cost model.
+//!
+//! A simple latency + bandwidth model with a multiplicative delay factor
+//! standing in for queueing, protocol, and file-server time — the paper's
+//! "network delays" that inflated a ~1 s rfork service time to an observed
+//! ~1.3 s average.
+
+use altx_des::SimDuration;
+
+/// Latency/bandwidth network model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// One-way per-message latency.
+    pub latency: SimDuration,
+    /// Sustained transfer bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: u64,
+    /// Multiplier ≥ 1 applied to transfer time, modeling queueing and
+    /// protocol overhead under load.
+    pub delay_factor: f64,
+}
+
+impl NetworkModel {
+    /// A 1989-vintage 10 Mb/s Ethernet with NFS-ish effective throughput:
+    /// 500 µs latency, ~800 KB/s effective bandwidth, 1.35× delay factor
+    /// (calibrated with [`RemoteForkModel`](crate::RemoteForkModel) to the
+    /// paper's observed-vs-service rfork gap).
+    pub fn lan_1989() -> Self {
+        NetworkModel {
+            latency: SimDuration::from_micros(500),
+            bandwidth_bytes_per_sec: 800 * 1024,
+            delay_factor: 1.35,
+        }
+    }
+
+    /// An ideal network: zero latency, (practically) infinite bandwidth.
+    pub fn ideal() -> Self {
+        NetworkModel {
+            latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: u64::MAX,
+            delay_factor: 1.0,
+        }
+    }
+
+    /// Raw (uninflated) time to move `bytes` point-to-point.
+    pub fn raw_transfer_time(&self, bytes: u64) -> SimDuration {
+        let seconds = bytes as f64 / self.bandwidth_bytes_per_sec as f64;
+        self.latency + SimDuration::from_secs_f64(seconds)
+    }
+
+    /// Observed time to move `bytes`, including the delay factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay factor is less than 1 (validated here because
+    /// the struct's fields are public for experiment sweeps).
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        assert!(self.delay_factor >= 1.0, "delay factor must be ≥ 1");
+        self.raw_transfer_time(bytes).mul_f64(self.delay_factor)
+    }
+
+    /// Round-trip time for a minimal control message.
+    pub fn rtt(&self) -> SimDuration {
+        self.latency * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_network_is_free() {
+        let n = NetworkModel::ideal();
+        assert_eq!(n.transfer_time(1_000_000_000), SimDuration::ZERO);
+        assert_eq!(n.rtt(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let n = NetworkModel {
+            latency: SimDuration::from_millis(1),
+            bandwidth_bytes_per_sec: 1000,
+            delay_factor: 1.0,
+        };
+        assert_eq!(n.transfer_time(0), SimDuration::from_millis(1));
+        assert_eq!(n.transfer_time(1000), SimDuration::from_millis(1) + SimDuration::from_secs(1));
+        assert_eq!(n.transfer_time(500), SimDuration::from_millis(1) + SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn delay_factor_inflates() {
+        let mut n = NetworkModel {
+            latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: 1000,
+            delay_factor: 1.5,
+        };
+        assert_eq!(n.transfer_time(1000), SimDuration::from_millis(1500));
+        n.delay_factor = 1.0;
+        assert_eq!(n.transfer_time(1000), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn delay_factor_below_one_rejected() {
+        let n = NetworkModel {
+            latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: 1000,
+            delay_factor: 0.5,
+        };
+        n.transfer_time(1);
+    }
+
+    #[test]
+    fn lan_1989_is_plausible() {
+        let n = NetworkModel::lan_1989();
+        // 70K over the 1989 LAN: tens of milliseconds, not seconds.
+        let t = n.transfer_time(70 * 1024);
+        assert!(t > SimDuration::from_millis(50) && t < SimDuration::from_millis(500), "{t}");
+    }
+}

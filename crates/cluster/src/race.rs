@@ -1,0 +1,371 @@
+//! Distributed fastest-first races.
+//!
+//! [`DistributedRace`] composes the substrates into the paper's
+//! distributed execution story (§3.2.1, §4.1, §5.1): the parent rforks one
+//! alternate per cluster node (serial checkpoints — the parent is the
+//! bottleneck), the alternates compute remotely, survivors whose guards
+//! hold race to synchronize (through a single sync point or a majority-
+//! consensus quorum), and the winner's changed state is copied back into
+//! the parent's storage.
+
+use crate::rfork::RemoteForkModel;
+use crate::NodeId;
+use altx_consensus::{CandidateSpec, ConsensusConfig, ConsensusSim, FaultPlan};
+use altx_des::{SimDuration, SimTime};
+
+/// One alternate placed on a remote node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteAlternate {
+    /// Where it runs.
+    pub node: NodeId,
+    /// Its computation time on that node.
+    pub compute: SimDuration,
+    /// Whether its guard/acceptance test will pass.
+    pub guard_passes: bool,
+    /// Whether the node crashes before synchronization (the alternate is
+    /// silently lost — the failure mode distributed recovery blocks must
+    /// tolerate).
+    pub node_crashes: bool,
+    /// Bytes of state the alternate changes (copied back if it wins).
+    pub dirty_bytes: u64,
+}
+
+impl RemoteAlternate {
+    /// A healthy alternate with a passing guard and 4 KB of results.
+    pub fn healthy(node: NodeId, compute: SimDuration) -> Self {
+        RemoteAlternate {
+            node,
+            compute,
+            guard_passes: true,
+            node_crashes: false,
+            dirty_bytes: 4 * 1024,
+        }
+    }
+}
+
+/// How the winner is selected (§3.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// One coordinator node holds the sync point. Fast, but a single
+    /// point of failure.
+    SinglePoint {
+        /// Whether the coordinator is up.
+        coordinator_up: bool,
+    },
+    /// Majority consensus across `n_voters` nodes, `crashed_voters` of
+    /// which are down. Slower (vote collection) but fault-tolerant while
+    /// a majority survives.
+    Majority {
+        /// Quorum size.
+        n_voters: usize,
+        /// How many voters are down from the start.
+        crashed_voters: usize,
+    },
+}
+
+/// Per-alternate timeline of the race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlternateTimeline {
+    /// When the alternate began computing on its node (rfork complete).
+    pub ready_at: SimTime,
+    /// When it finished computing, `None` if its node crashed.
+    pub finished_at: Option<SimTime>,
+    /// When it synchronized successfully (winner only).
+    pub synced_at: Option<SimTime>,
+}
+
+/// Result of one distributed race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRaceReport {
+    /// Index of the winning alternate, if any.
+    pub winner: Option<usize>,
+    /// When the winner's state was fully absorbed by the parent
+    /// (synchronization + state copy-back).
+    pub completed_at: Option<SimTime>,
+    /// Per-alternate timelines.
+    pub timelines: Vec<AlternateTimeline>,
+    /// Total rfork (setup) time charged at the parent before the last
+    /// alternate was dispatched.
+    pub setup_total: SimDuration,
+}
+
+impl DistributedRaceReport {
+    /// True iff some alternate won.
+    pub fn succeeded(&self) -> bool {
+        self.winner.is_some()
+    }
+}
+
+/// A distributed fastest-first race specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRace {
+    /// Process image size shipped to each node.
+    pub image_bytes: u64,
+    /// The competing alternates.
+    pub alternates: Vec<RemoteAlternate>,
+    /// The rfork cost model.
+    pub rfork: RemoteForkModel,
+    /// Synchronization discipline.
+    pub sync: SyncMode,
+    /// Seed for the consensus sub-simulation.
+    pub seed: u64,
+}
+
+impl DistributedRace {
+    /// Creates a race with the calibrated 1989 rfork model and a healthy
+    /// single sync point.
+    pub fn new(image_bytes: u64, alternates: Vec<RemoteAlternate>) -> Self {
+        DistributedRace {
+            image_bytes,
+            alternates,
+            rfork: RemoteForkModel::calibrated_1989(),
+            sync: SyncMode::SinglePoint { coordinator_up: true },
+            seed: 11,
+        }
+    }
+
+    /// Sets the synchronization mode.
+    pub fn with_sync(mut self, sync: SyncMode) -> Self {
+        self.sync = sync;
+        self
+    }
+
+    /// Runs the race.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no alternates.
+    pub fn run(&self) -> DistributedRaceReport {
+        assert!(!self.alternates.is_empty(), "race needs at least one alternate");
+        let n = self.alternates.len();
+        let breakdown = self.rfork.observed_breakdown(self.image_bytes);
+
+        // Serial checkpoints at the parent; restore + protocol overlap
+        // with the next child's checkpoint.
+        let mut timelines = Vec::with_capacity(n);
+        let mut checkpoint_done = SimTime::ZERO;
+        for alt in &self.alternates {
+            checkpoint_done += breakdown.checkpoint;
+            let ready_at = checkpoint_done + breakdown.restore + breakdown.protocol;
+            let finished_at = (!alt.node_crashes).then_some(ready_at + alt.compute);
+            timelines.push(AlternateTimeline {
+                ready_at,
+                finished_at,
+                synced_at: None,
+            });
+        }
+        let setup_total = checkpoint_done - SimTime::ZERO;
+
+        // Eligible synchronizers: finished and guard passed.
+        let eligible: Vec<(usize, SimTime)> = self
+            .alternates
+            .iter()
+            .zip(&timelines)
+            .enumerate()
+            .filter_map(|(i, (alt, tl))| {
+                let finish = tl.finished_at?;
+                (alt.guard_passes).then_some((i, finish))
+            })
+            .collect();
+
+        let network = &self.rfork.network;
+        let (winner, synced_at) = match self.sync {
+            SyncMode::SinglePoint { coordinator_up } => {
+                if !coordinator_up || eligible.is_empty() {
+                    (None, None)
+                } else {
+                    // First finisher claims the sync point; one RTT to
+                    // learn it won.
+                    let &(idx, finish) = eligible
+                        .iter()
+                        .min_by_key(|&&(i, t)| (t, i))
+                        .expect("non-empty");
+                    (Some(idx), Some(finish + network.rtt()))
+                }
+            }
+            SyncMode::Majority { n_voters, crashed_voters } => {
+                if eligible.is_empty() || n_voters == 0 {
+                    (None, None)
+                } else {
+                    let candidates: Vec<CandidateSpec> = eligible
+                        .iter()
+                        .map(|&(i, finish)| CandidateSpec::new(i as u64 + 1, finish))
+                        .collect();
+                    let mut faults = FaultPlan::none(n_voters);
+                    for v in 0..crashed_voters.min(n_voters) {
+                        faults.voter_crash_times[v] = Some(SimTime::ZERO);
+                    }
+                    let report = ConsensusSim::new(ConsensusConfig {
+                        n_voters,
+                        latency: network.latency,
+                        candidates,
+                        faults,
+                        seed: self.seed,
+                    })
+                    .run();
+                    match (report.winner, report.decided_at) {
+                        (Some(id), Some(at)) => (Some(id as usize - 1), Some(at)),
+                        _ => (None, None),
+                    }
+                }
+            }
+        };
+
+        let completed_at = winner.zip(synced_at).map(|(idx, at)| {
+            // Winner's changed pages are copied back into the parent's
+            // storage (§4.1's synchronization copying).
+            at + network.transfer_time(self.alternates[idx].dirty_bytes)
+        });
+
+        if let (Some(idx), Some(at)) = (winner, synced_at) {
+            timelines[idx].synced_at = Some(at);
+        }
+
+        DistributedRaceReport {
+            winner,
+            completed_at,
+            timelines,
+            setup_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn race(alts: Vec<RemoteAlternate>) -> DistributedRace {
+        DistributedRace::new(70 * 1024, alts)
+    }
+
+    #[test]
+    fn fastest_healthy_alternate_wins() {
+        let r = race(vec![
+            RemoteAlternate::healthy(NodeId(0), ms(5_000)),
+            RemoteAlternate::healthy(NodeId(1), ms(1_000)),
+            RemoteAlternate::healthy(NodeId(2), ms(3_000)),
+        ])
+        .run();
+        assert_eq!(r.winner, Some(1));
+        assert!(r.succeeded());
+        assert!(r.timelines[1].synced_at.is_some());
+        assert!(r.timelines[0].synced_at.is_none());
+    }
+
+    #[test]
+    fn rfork_staggering_affects_readiness() {
+        let r = race(vec![
+            RemoteAlternate::healthy(NodeId(0), ms(100)),
+            RemoteAlternate::healthy(NodeId(1), ms(100)),
+        ])
+        .run();
+        assert!(
+            r.timelines[1].ready_at > r.timelines[0].ready_at,
+            "serial checkpoints stagger the children"
+        );
+        // But the stagger equals exactly one checkpoint time.
+        let stagger = r.timelines[1].ready_at - r.timelines[0].ready_at;
+        let breakdown = RemoteForkModel::calibrated_1989().observed_breakdown(70 * 1024);
+        assert_eq!(stagger, breakdown.checkpoint);
+    }
+
+    #[test]
+    fn earlier_dispatch_beats_equal_compute() {
+        let r = race(vec![
+            RemoteAlternate::healthy(NodeId(0), ms(1_000)),
+            RemoteAlternate::healthy(NodeId(1), ms(1_000)),
+        ])
+        .run();
+        assert_eq!(r.winner, Some(0), "first-dispatched finishes first");
+    }
+
+    #[test]
+    fn guard_failures_fall_through() {
+        let mut fast = RemoteAlternate::healthy(NodeId(0), ms(100));
+        fast.guard_passes = false;
+        let r = race(vec![fast, RemoteAlternate::healthy(NodeId(1), ms(5_000))]).run();
+        assert_eq!(r.winner, Some(1));
+    }
+
+    #[test]
+    fn node_crash_loses_alternate() {
+        let mut fast = RemoteAlternate::healthy(NodeId(0), ms(100));
+        fast.node_crashes = true;
+        let r = race(vec![fast, RemoteAlternate::healthy(NodeId(1), ms(5_000))]).run();
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.timelines[0].finished_at, None);
+    }
+
+    #[test]
+    fn all_fail_means_no_winner() {
+        let mut a = RemoteAlternate::healthy(NodeId(0), ms(100));
+        a.guard_passes = false;
+        let mut b = RemoteAlternate::healthy(NodeId(1), ms(100));
+        b.node_crashes = true;
+        let r = race(vec![a, b]).run();
+        assert!(!r.succeeded());
+        assert_eq!(r.completed_at, None);
+    }
+
+    #[test]
+    fn single_point_of_failure_blocks_sync() {
+        let r = race(vec![RemoteAlternate::healthy(NodeId(0), ms(100))])
+            .with_sync(SyncMode::SinglePoint { coordinator_up: false })
+            .run();
+        assert!(!r.succeeded(), "coordinator down: nobody can synchronize");
+    }
+
+    #[test]
+    fn majority_consensus_tolerates_minority_crash() {
+        let r = race(vec![RemoteAlternate::healthy(NodeId(0), ms(100))])
+            .with_sync(SyncMode::Majority { n_voters: 5, crashed_voters: 2 })
+            .run();
+        assert!(r.succeeded());
+    }
+
+    #[test]
+    fn majority_consensus_fails_with_majority_crashed() {
+        let r = race(vec![RemoteAlternate::healthy(NodeId(0), ms(100))])
+            .with_sync(SyncMode::Majority { n_voters: 5, crashed_voters: 3 })
+            .run();
+        assert!(!r.succeeded());
+    }
+
+    #[test]
+    fn majority_sync_is_slower_than_single_point() {
+        let alts = vec![RemoteAlternate::healthy(NodeId(0), ms(1_000))];
+        let single = race(alts.clone()).run();
+        let majority = race(alts)
+            .with_sync(SyncMode::Majority { n_voters: 5, crashed_voters: 0 })
+            .run();
+        assert!(single.succeeded() && majority.succeeded());
+        // The reliability price: consensus needs at least as long.
+        assert!(
+            majority.completed_at.expect("completed") >= single.completed_at.expect("completed"),
+            "majority {:?} vs single {:?}",
+            majority.completed_at,
+            single.completed_at
+        );
+    }
+
+    #[test]
+    fn copy_back_scales_with_dirty_bytes() {
+        let mut small = RemoteAlternate::healthy(NodeId(0), ms(1_000));
+        small.dirty_bytes = 1024;
+        let mut large = small.clone();
+        large.dirty_bytes = 10 * 1024 * 1024;
+        let r_small = race(vec![small]).run();
+        let r_large = race(vec![large]).run();
+        assert!(r_large.completed_at.expect("done") > r_small.completed_at.expect("done"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alternate")]
+    fn empty_race_panics() {
+        race(vec![]).run();
+    }
+}

@@ -1,0 +1,250 @@
+//! Transparent replication combined with alternative racing (§6).
+//!
+//! "Transparent replication can easily be combined with the use of
+//! parallel execution of several alternatives for increases in
+//! performance, reliability, or both." (Related-work discussion of
+//! Cooper's CIRCUS and Goldberg's process cloning.)
+//!
+//! A [`ReplicatedRace`] runs each alternative as *k* replicas on distinct
+//! nodes: the alternative finishes when its **first surviving replica**
+//! finishes (replicas are identical, so any response is the response —
+//! idempotency of reads is forced by buffering, per §6). Node crashes
+//! take out individual replicas; an alternative is lost only when *all*
+//! its replicas crash. The race across alternatives then proceeds as in
+//! [`DistributedRace`](crate::DistributedRace).
+//!
+//! The cost: every replica is rforked, so setup scales with
+//! `alternatives × replicas` — performance *and* reliability are bought
+//! with the same coin, hardware.
+
+use crate::rfork::RemoteForkModel;
+use altx_des::{SimDuration, SimTime};
+
+/// One replicated alternative.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedAlternate {
+    /// Compute time (identical on every replica — they run the same
+    /// deterministic computation).
+    pub compute: SimDuration,
+    /// Whether the guard/acceptance test passes.
+    pub guard_passes: bool,
+    /// Per-replica crash flags; the replica count is this vector's
+    /// length (must be ≥ 1).
+    pub replica_crashes: Vec<bool>,
+}
+
+impl ReplicatedAlternate {
+    /// A healthy alternative with `k` replicas.
+    pub fn healthy(compute: SimDuration, k: usize) -> Self {
+        assert!(k >= 1, "need at least one replica");
+        ReplicatedAlternate {
+            compute,
+            guard_passes: true,
+            replica_crashes: vec![false; k],
+        }
+    }
+
+    /// Number of replicas.
+    pub fn replicas(&self) -> usize {
+        self.replica_crashes.len()
+    }
+
+    /// True iff at least one replica survives.
+    pub fn survives(&self) -> bool {
+        self.replica_crashes.iter().any(|&c| !c)
+    }
+}
+
+/// Outcome of a replicated race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedRaceReport {
+    /// Winning alternative index.
+    pub winner: Option<usize>,
+    /// Completion instant (first surviving replica of the winning
+    /// alternative, plus sync round-trip).
+    pub completed_at: Option<SimTime>,
+    /// Total rforks performed (the hardware bill).
+    pub rforks: usize,
+    /// Alternatives that lost every replica to crashes.
+    pub fully_crashed: usize,
+}
+
+/// A fastest-first race of replicated alternatives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicatedRace {
+    /// Image shipped per replica.
+    pub image_bytes: u64,
+    /// The alternatives.
+    pub alternates: Vec<ReplicatedAlternate>,
+    /// rfork cost model.
+    pub rfork: RemoteForkModel,
+}
+
+impl ReplicatedRace {
+    /// Creates a race with the calibrated 1989 rfork model.
+    pub fn new(image_bytes: u64, alternates: Vec<ReplicatedAlternate>) -> Self {
+        ReplicatedRace {
+            image_bytes,
+            alternates,
+            rfork: RemoteForkModel::calibrated_1989(),
+        }
+    }
+
+    /// Runs the race.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no alternates.
+    pub fn run(&self) -> ReplicatedRaceReport {
+        assert!(!self.alternates.is_empty(), "race needs alternates");
+        let breakdown = self.rfork.observed_breakdown(self.image_bytes);
+
+        // Replicas are dispatched round-robin across alternatives so no
+        // alternative is systematically last; checkpoints remain serial
+        // at the parent.
+        let max_replicas = self
+            .alternates
+            .iter()
+            .map(ReplicatedAlternate::replicas)
+            .max()
+            .expect("non-empty");
+        let mut rforks = 0usize;
+        let mut checkpoint_done = SimTime::ZERO;
+        // finish[i] = earliest finishing surviving replica of alt i.
+        let mut finish: Vec<Option<SimTime>> = vec![None; self.alternates.len()];
+        for round in 0..max_replicas {
+            for (i, alt) in self.alternates.iter().enumerate() {
+                if round >= alt.replicas() {
+                    continue;
+                }
+                rforks += 1;
+                checkpoint_done += breakdown.checkpoint;
+                if alt.replica_crashes[round] {
+                    continue;
+                }
+                let ready = checkpoint_done + breakdown.restore + breakdown.protocol;
+                let done = ready + alt.compute;
+                finish[i] = Some(match finish[i] {
+                    Some(prev) if prev <= done => prev,
+                    _ => done,
+                });
+            }
+        }
+
+        let fully_crashed = self.alternates.iter().filter(|a| !a.survives()).count();
+
+        let winner = self
+            .alternates
+            .iter()
+            .zip(&finish)
+            .enumerate()
+            .filter_map(|(i, (alt, f))| {
+                let f = (*f)?;
+                alt.guard_passes.then_some((i, f))
+            })
+            .min_by_key(|&(i, f)| (f, i));
+
+        ReplicatedRaceReport {
+            winner: winner.map(|(i, _)| i),
+            completed_at: winner.map(|(_, f)| f + self.rfork.network.rtt()),
+            rforks,
+            fully_crashed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn single_replica_behaves_like_plain_race() {
+        let race = ReplicatedRace::new(
+            70 * 1024,
+            vec![
+                ReplicatedAlternate::healthy(ms(5_000), 1),
+                ReplicatedAlternate::healthy(ms(1_000), 1),
+            ],
+        );
+        let r = race.run();
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.rforks, 2);
+        assert_eq!(r.fully_crashed, 0);
+    }
+
+    #[test]
+    fn replication_survives_replica_crashes() {
+        let mut fast = ReplicatedAlternate::healthy(ms(1_000), 3);
+        fast.replica_crashes = vec![true, true, false]; // two of three die
+        let race = ReplicatedRace::new(70 * 1024, vec![fast]);
+        let r = race.run();
+        assert_eq!(r.winner, Some(0));
+        assert_eq!(r.rforks, 3);
+    }
+
+    #[test]
+    fn all_replicas_crashed_loses_the_alternative() {
+        let mut doomed = ReplicatedAlternate::healthy(ms(100), 2);
+        doomed.replica_crashes = vec![true, true];
+        let backup = ReplicatedAlternate::healthy(ms(5_000), 1);
+        let race = ReplicatedRace::new(70 * 1024, vec![doomed, backup]);
+        let r = race.run();
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.fully_crashed, 1);
+    }
+
+    #[test]
+    fn replication_multiplies_setup_cost() {
+        let one = ReplicatedRace::new(
+            70 * 1024,
+            vec![ReplicatedAlternate::healthy(ms(60_000), 1)],
+        )
+        .run();
+        let three = ReplicatedRace::new(
+            70 * 1024,
+            vec![ReplicatedAlternate::healthy(ms(60_000), 3)],
+        )
+        .run();
+        assert_eq!(three.rforks, 3 * one.rforks);
+        // With identical compute, extra replicas only add cost: the
+        // first-dispatched replica still finishes first.
+        assert_eq!(
+            one.completed_at.expect("done"),
+            three.completed_at.expect("done"),
+            "first replica's dispatch time is identical"
+        );
+    }
+
+    #[test]
+    fn replicas_of_later_rounds_are_staggered() {
+        // Round-robin dispatch: with crash of the round-0 replica, the
+        // alternative's finish comes from a later, staggered replica.
+        let mut alt = ReplicatedAlternate::healthy(ms(1_000), 2);
+        let baseline = ReplicatedRace::new(70 * 1024, vec![alt.clone()]).run();
+        alt.replica_crashes = vec![true, false];
+        let degraded = ReplicatedRace::new(70 * 1024, vec![alt]).run();
+        assert!(
+            degraded.completed_at.expect("done") > baseline.completed_at.expect("done"),
+            "losing the first replica costs the stagger delay"
+        );
+    }
+
+    #[test]
+    fn guard_failures_still_fall_through() {
+        let mut wrong = ReplicatedAlternate::healthy(ms(10), 3);
+        wrong.guard_passes = false;
+        let right = ReplicatedAlternate::healthy(ms(50_000), 1);
+        let r = ReplicatedRace::new(70 * 1024, vec![wrong, right]).run();
+        assert_eq!(r.winner, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        ReplicatedAlternate::healthy(ms(1), 0);
+    }
+}

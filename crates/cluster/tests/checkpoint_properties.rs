@@ -1,0 +1,67 @@
+//! Property-based tests for checkpoint/restore.
+
+use altx_cluster::Checkpoint;
+use altx_pager::{AddressSpace, PageSize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// capture → restore is the identity on contents, for arbitrary
+    /// write patterns and page sizes.
+    #[test]
+    fn round_trip_identity(
+        writes in prop::collection::vec((0usize..500, prop::collection::vec(any::<u8>(), 1..40)), 0..20),
+        page_size in 1usize..128,
+    ) {
+        let mut space = AddressSpace::zeroed(512, PageSize::new(page_size));
+        let len = space.len();
+        for (addr, data) in writes {
+            if addr + data.len() <= len {
+                space.write(addr, &data);
+            }
+        }
+        let cp = Checkpoint::capture(&space);
+        let restored = cp.restore().expect("self-captured image is valid");
+        prop_assert_eq!(space.flatten(), restored.flatten());
+        prop_assert_eq!(space.page_count(), restored.page_count());
+    }
+
+    /// Image size is monotone in the number of distinct dirty pages.
+    #[test]
+    fn size_monotone_in_dirty_pages(dirty_a in 0usize..16, extra in 0usize..16) {
+        let mk = |pages: usize| {
+            let mut s = AddressSpace::zeroed(32 * 64, PageSize::new(64));
+            if pages > 0 {
+                s.touch_pages(0, pages.min(32), 1);
+            }
+            Checkpoint::capture(&s).len()
+        };
+        prop_assert!(mk(dirty_a) <= mk((dirty_a + extra).min(32)));
+    }
+
+    /// Restored images re-capture to the identical byte sequence
+    /// (canonical form: capture ∘ restore ∘ capture = capture).
+    #[test]
+    fn capture_is_canonical(
+        writes in prop::collection::vec((0usize..300, any::<u8>()), 0..30),
+    ) {
+        let mut space = AddressSpace::zeroed(320, PageSize::new(32));
+        for (addr, value) in writes {
+            if addr < space.len() {
+                space.write(addr, &[value]);
+            }
+        }
+        let first = Checkpoint::capture(&space);
+        let second = Checkpoint::capture(&first.restore().expect("valid"));
+        prop_assert_eq!(first.as_bytes(), second.as_bytes());
+    }
+
+    /// Arbitrary byte soup never restores successfully unless it happens
+    /// to be a valid image (fuzz the parser: must error, never panic).
+    #[test]
+    fn parser_rejects_garbage_without_panicking(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        // Any outcome is fine except a panic; almost all inputs error.
+        let _ = Checkpoint::from_bytes(bytes);
+    }
+}

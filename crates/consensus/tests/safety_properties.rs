@@ -1,0 +1,99 @@
+//! Property-based safety tests for majority consensus.
+//!
+//! The paper's requirement (§3.2.1) is the "at most one" semantics of
+//! synchronization under communication failures. These properties throw
+//! arbitrary fault schedules at the simulator and assert the invariant can
+//! never be violated.
+
+use altx_consensus::{CandidateSpec, ConsensusConfig, ConsensusSim, FaultPlan};
+use altx_des::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = ConsensusConfig> {
+    (
+        1usize..=9,                                  // voters
+        1usize..=4,                                  // candidates
+        0.0f64..0.9,                                 // drop probability
+        any::<u64>(),                                // seed
+        prop::collection::vec(prop::option::of(0u64..200), 9),
+        prop::collection::vec(0u64..50, 4),          // start times (ms)
+    )
+        .prop_map(|(n_voters, n_cands, drop, seed, crashes, starts)| {
+            let candidates = (0..n_cands)
+                .map(|i| {
+                    let mut c = CandidateSpec::new(
+                        i as u64 + 1,
+                        SimTime::from_nanos(starts[i] * 1_000_000),
+                    );
+                    c.retry_interval = SimDuration::from_millis(20);
+                    c.max_rounds = 4;
+                    c
+                })
+                .collect();
+            ConsensusConfig {
+                n_voters,
+                latency: SimDuration::from_millis(2),
+                candidates,
+                faults: FaultPlan {
+                    voter_crash_times: crashes[..n_voters]
+                        .iter()
+                        .map(|c| c.map(|ms| SimTime::from_nanos(ms * 1_000_000)))
+                        .collect(),
+                    drop_probability: drop,
+                },
+                seed,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// At most one candidate ever wins, under any fault schedule.
+    #[test]
+    fn at_most_one_winner(cfg in arb_config()) {
+        let report = ConsensusSim::new(cfg).run();
+        let wins = report.outcomes.values().filter(|o| o.is_win()).count();
+        prop_assert!(wins <= 1, "multiple winners: {:?}", report.outcomes);
+        prop_assert_eq!(report.winner.is_some(), wins == 1);
+    }
+
+    /// With no failures and a single candidate, the candidate always wins,
+    /// in one round, at start + 2×latency (request out, grant back).
+    #[test]
+    fn failure_free_single_candidate_latency(n_voters in 1usize..9, start_ms in 0u64..100) {
+        let start = SimTime::from_nanos(start_ms * 1_000_000);
+        let cfg = ConsensusConfig::simple(n_voters, vec![CandidateSpec::new(1, start)]);
+        let latency = cfg.latency;
+        let report = ConsensusSim::new(cfg).run();
+        prop_assert_eq!(report.winner, Some(1));
+        prop_assert_eq!(report.decided_at, Some(start + latency + latency));
+    }
+
+    /// Determinism: identical configs yield identical reports.
+    #[test]
+    fn runs_are_deterministic(cfg in arb_config()) {
+        let a = ConsensusSim::new(cfg.clone()).run();
+        let b = ConsensusSim::new(cfg).run();
+        prop_assert_eq!(a, b);
+    }
+
+    /// If a majority of voters stay up forever and messages are reliable,
+    /// some candidate must win (liveness under the good case).
+    #[test]
+    fn reliable_majority_alive_implies_winner(
+        n_voters in 1usize..9,
+        n_crashed in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let n_crashed = n_crashed.min(n_voters.saturating_sub(1));
+        prop_assume!(n_voters - n_crashed > n_voters / 2);
+        let mut cfg = ConsensusConfig::simple(n_voters, vec![CandidateSpec::new(1, SimTime::ZERO)]);
+        for v in 0..n_crashed {
+            cfg.faults.voter_crash_times[v] = Some(SimTime::ZERO);
+        }
+        cfg.seed = seed;
+        let report = ConsensusSim::new(cfg).run();
+        prop_assert_eq!(report.winner, Some(1), "{}", report);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cooperative cancellation for racing alternatives.
+//!
+//! Sibling elimination (§3.2.1) for real threads: Rust cannot safely kill
+//! a thread, so losing alternatives are *asked* to stop via a shared
+//! [`CancelToken`] that well-behaved bodies poll. The token is cheap
+//! enough to check inside inner loops.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag. Cloning shares the underlying flag.
+///
+/// # Example
+///
+/// ```
+/// use altx::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let observer = token.clone();
+/// assert!(!observer.is_cancelled());
+/// token.cancel();
+/// assert!(observer.is_cancelled());
+/// assert_eq!(observer.checkpoint(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates an un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True iff cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// `Some(())` while running, `None` once cancelled — lets bodies bail
+    /// out of loops with `token.checkpoint()?`.
+    pub fn checkpoint(&self) -> Option<()> {
+        (!self.is_cancelled()).then_some(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_uncancelled() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert_eq!(t.checkpoint(), Some(()));
+    }
+
+    #[test]
+    fn cancel_is_shared_and_idempotent() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel();
+        t.cancel();
+        assert!(u.is_cancelled());
+        assert_eq!(u.checkpoint(), None);
+    }
+
+    #[test]
+    fn visible_across_threads() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        let handle = std::thread::spawn(move || {
+            while !u.is_cancelled() {
+                std::hint::spin_loop();
+            }
+            true
+        });
+        t.cancel();
+        assert!(handle.join().expect("thread joins"));
+    }
+}

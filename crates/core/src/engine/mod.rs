@@ -1,0 +1,41 @@
+//! Execution engines for alternative blocks.
+//!
+//! All engines present the same observable contract (§4.3): the result is
+//! *one* alternative's value and *one* alternative's workspace mutations —
+//! indistinguishable from a nondeterministic sequential selection. They
+//! differ only in execution time:
+//!
+//! | Engine | Paper analogue | Strategy |
+//! |---|---|---|
+//! | [`OrderedEngine`] | recovery-block sequencing | first listed success, rollback between tries |
+//! | [`AdaptiveEngine`] | Scheme A | statistically fastest first, learned online |
+//! | [`RandomEngine`] | Scheme B | arbitrary single selection |
+//! | [`SelectorEngine`] | §4.2 case 2 synthetic computation | domain-partitioning prediction |
+//! | [`ThreadedEngine`] | Scheme C (real concurrency) | race on OS threads, fastest first |
+//! | [`sim`] | Scheme C (calibrated) | race on the simulated kernel |
+
+mod adaptive;
+mod ordered;
+mod random;
+mod selector;
+pub mod sim;
+mod threaded;
+
+pub use adaptive::AdaptiveEngine;
+pub use ordered::OrderedEngine;
+pub use random::RandomEngine;
+pub use selector::SelectorEngine;
+pub use threaded::ThreadedEngine;
+
+use crate::block::{AltBlock, BlockResult};
+use altx_pager::AddressSpace;
+
+/// An execution strategy for [`AltBlock`]s.
+///
+/// Implementations must guarantee: at most one alternative's workspace
+/// mutations are visible in `workspace` afterwards, and the returned
+/// value (if any) was produced by exactly that alternative.
+pub trait Engine {
+    /// Executes `block` against `workspace`.
+    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R>;
+}

@@ -1,0 +1,301 @@
+//! Scheme C on real OS threads: fastest-first racing.
+
+use crate::block::{AltBlock, BlockResult};
+use crate::cancel::CancelToken;
+use crate::engine::Engine;
+use altx_pager::AddressSpace;
+use std::time::Instant;
+
+/// Races every alternative on its own OS thread over a private COW fork
+/// of the workspace; the first `Some` result wins, the losers are
+/// cancelled (cooperatively) and their forks discarded.
+///
+/// This is the paper's Scheme C with real concurrency: execution time
+/// approaches `τ(C_best) + τ(overhead)`, where the overhead here is
+/// thread spawn + page-map fork + selection.
+///
+/// Losing alternatives are *asked* to stop via the [`CancelToken`]; the
+/// engine still joins every thread before returning (Rust threads cannot
+/// be killed), so bodies that never poll the token delay the return
+/// without affecting which result is selected.
+///
+/// [`with_max_threads`](ThreadedEngine::with_max_threads) bounds the
+/// degree of real concurrency — the paper's *virtual concurrency* case
+/// (§4.2) where alternatives share hardware: excess alternatives queue
+/// and start as slots free up (in declaration order, so the bound also
+/// biases toward earlier alternatives, like a recovery block's
+/// reliability ordering).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedEngine {
+    max_threads: Option<usize>,
+}
+
+impl ThreadedEngine {
+    /// Creates the engine with unbounded parallelism (one thread per
+    /// alternative).
+    pub fn new() -> Self {
+        ThreadedEngine { max_threads: None }
+    }
+
+    /// Bounds concurrent alternatives to `n` at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_max_threads(n: usize) -> Self {
+        assert!(n > 0, "need at least one thread");
+        ThreadedEngine { max_threads: Some(n) }
+    }
+}
+
+impl Engine for ThreadedEngine {
+    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R> {
+        let start = Instant::now();
+        if block.is_empty() {
+            return BlockResult {
+                value: None,
+                winner: None,
+                winner_name: None,
+                wall: start.elapsed(),
+                attempts: 0,
+            };
+        }
+
+        let token = CancelToken::new();
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, Option<R>, AddressSpace)>(block.len());
+        let slots = self.max_threads.unwrap_or(block.len()).min(block.len());
+        // A simple admission ticket: threads block here until a slot
+        // frees; the winner's cancellation drains queued starters fast
+        // (they check the token before doing any work).
+        let (slot_tx, slot_rx) = crossbeam::channel::bounded::<()>(slots);
+        for _ in 0..slots {
+            let _ = slot_tx.send(());
+        }
+
+        let winner_slot = std::thread::scope(|scope| {
+            for (i, alt) in block.alternatives().iter().enumerate() {
+                let mut fork = workspace.cow_fork();
+                let tx = tx.clone();
+                let token = token.clone();
+                let slot_rx = slot_rx.clone();
+                let slot_tx = slot_tx.clone();
+                scope.spawn(move || {
+                    // Wait for an execution slot (bounded concurrency).
+                    let _ticket = slot_rx.recv();
+                    let value = if token.is_cancelled() {
+                        None // race already decided: never start
+                    } else {
+                        alt.run(&mut fork, &token)
+                    };
+                    let _ = slot_tx.send(());
+                    // A closed channel just means the race is over.
+                    let _ = tx.send((i, value, fork));
+                });
+            }
+            drop(tx);
+
+            // Fastest first: take the first success by arrival order; keep
+            // draining so every thread can finish sending.
+            let mut winner: Option<(usize, R, AddressSpace)> = None;
+            for (i, value, fork) in rx.iter() {
+                if let Some(v) = value {
+                    if winner.is_none() {
+                        // Sibling elimination: ask the losers to stop.
+                        token.cancel();
+                        winner = Some((i, v, fork));
+                    }
+                }
+            }
+            winner
+        });
+
+        match winner_slot {
+            Some((i, value, fork)) => {
+                // alt_wait absorption: the winner's page map becomes ours.
+                workspace.absorb(fork);
+                BlockResult {
+                    value: Some(value),
+                    winner: Some(i),
+                    winner_name: Some(block.alternatives()[i].name().to_string()),
+                    wall: start.elapsed(),
+                    attempts: block.len(),
+                }
+            }
+            None => BlockResult {
+                value: None,
+                winner: None,
+                winner_name: None,
+                wall: start.elapsed(),
+                attempts: block.len(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altx_pager::PageSize;
+    use std::time::Duration;
+
+    fn ws() -> AddressSpace {
+        AddressSpace::zeroed(256, PageSize::new(16))
+    }
+
+    /// A body that sleeps in small, cancellable steps.
+    fn sleepy(total_ms: u64) -> impl Fn(&CancelToken) -> Option<()> {
+        move |token: &CancelToken| {
+            for _ in 0..total_ms {
+                token.checkpoint()?;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Some(())
+        }
+    }
+
+    #[test]
+    fn fastest_alternative_wins() {
+        let slow = sleepy(200);
+        let fast = sleepy(5);
+        let block: AltBlock<&'static str> = AltBlock::new()
+            .alternative("slow", move |_w, t| slow(t).map(|_| "slow"))
+            .alternative("fast", move |_w, t| fast(t).map(|_| "fast"));
+        let r = ThreadedEngine::new().execute(&block, &mut ws());
+        assert_eq!(r.value, Some("fast"));
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.attempts, 2);
+        // Cooperative cancellation means we return long before 200 ms.
+        assert!(r.wall < Duration::from_millis(150), "wall {:?}", r.wall);
+    }
+
+    #[test]
+    fn only_winner_mutations_visible() {
+        let block: AltBlock<u8> = AltBlock::new()
+            .alternative("loser", |w, t| {
+                w.write(0, &[1]);
+                // Lose the race deliberately.
+                for _ in 0..100 {
+                    t.checkpoint()?;
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Some(1)
+            })
+            .alternative("winner", |w, _t| {
+                w.write(0, &[2]);
+                Some(2)
+            });
+        let mut workspace = ws();
+        let r = ThreadedEngine::new().execute(&block, &mut workspace);
+        assert_eq!(r.value, Some(2));
+        assert_eq!(
+            workspace.read_vec(0, 1),
+            vec![2],
+            "only the winner's write is observable"
+        );
+    }
+
+    #[test]
+    fn guard_failures_fall_through_to_slower_success() {
+        let slow_ok = sleepy(20);
+        let block: AltBlock<i32> = AltBlock::new()
+            .alternative("fast-but-failing", |_w, _t| None)
+            .alternative("slow-but-passing", move |_w, t| slow_ok(t).map(|_| 1));
+        let r = ThreadedEngine::new().execute(&block, &mut ws());
+        assert_eq!(r.value, Some(1));
+        assert_eq!(r.winner, Some(1));
+    }
+
+    #[test]
+    fn all_failures_fail_block_without_side_effects() {
+        let block: AltBlock<i32> = AltBlock::new()
+            .alternative("f1", |w, _t| {
+                w.write(0, &[1]);
+                None
+            })
+            .alternative("f2", |w, _t| {
+                w.write(0, &[2]);
+                None
+            });
+        let mut workspace = ws();
+        let r = ThreadedEngine::new().execute(&block, &mut workspace);
+        assert!(!r.succeeded());
+        assert_eq!(workspace.read_vec(0, 1), vec![0]);
+    }
+
+    #[test]
+    fn single_alternative_behaves_sequentially() {
+        let block: AltBlock<i32> = AltBlock::new().alternative("only", |w, _t| {
+            w.write(3, &[7]);
+            Some(99)
+        });
+        let mut workspace = ws();
+        let r = ThreadedEngine::new().execute(&block, &mut workspace);
+        assert_eq!(r.value, Some(99));
+        assert_eq!(workspace.read_vec(3, 1), vec![7]);
+    }
+
+    #[test]
+    fn empty_block_fails_fast() {
+        let block: AltBlock<i32> = AltBlock::new();
+        let r = ThreadedEngine::new().execute(&block, &mut ws());
+        assert!(!r.succeeded());
+        assert_eq!(r.attempts, 0);
+    }
+
+    #[test]
+    fn bounded_parallelism_still_selects_a_winner() {
+        // 8 alternatives, 2 slots: the winner is found and everything
+        // terminates, whatever the admission order.
+        let mut block: AltBlock<usize> = AltBlock::new();
+        for i in 0..8usize {
+            let body = sleepy(if i == 5 { 1 } else { 30 });
+            block = block.alternative(format!("alt{i}"), move |_w, t| body(t).map(|_| i));
+        }
+        let r = ThreadedEngine::with_max_threads(2).execute(&block, &mut ws());
+        assert!(r.succeeded());
+        assert_eq!(r.attempts, 8);
+    }
+
+    #[test]
+    fn bounded_parallelism_skips_queued_losers_after_decision() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // One slot: the first alternative wins instantly; the queued
+        // bodies observe cancellation before doing any work.
+        let started = Arc::new(AtomicUsize::new(0));
+        let mut block: AltBlock<usize> = AltBlock::new();
+        block = block.alternative("instant", |_w, _t| Some(0));
+        for i in 1..6usize {
+            let started = started.clone();
+            block = block.alternative(format!("queued{i}"), move |_w, _t| {
+                started.fetch_add(1, Ordering::SeqCst);
+                Some(i)
+            });
+        }
+        let r = ThreadedEngine::with_max_threads(1).execute(&block, &mut ws());
+        assert_eq!(r.value, Some(0));
+        assert_eq!(
+            started.load(Ordering::SeqCst),
+            0,
+            "queued bodies never ran after the decision"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        ThreadedEngine::with_max_threads(0);
+    }
+
+    #[test]
+    fn many_alternatives_race_correctly() {
+        // 16 alternatives; index 11 is the only one that returns quickly.
+        let mut block: AltBlock<usize> = AltBlock::new();
+        for i in 0..16usize {
+            let body = sleepy(if i == 11 { 1 } else { 100 });
+            block = block.alternative(format!("alt{i}"), move |_w, t| body(t).map(|_| i));
+        }
+        let r = ThreadedEngine::new().execute(&block, &mut ws());
+        assert_eq!(r.value, Some(11));
+    }
+}

@@ -1,0 +1,88 @@
+//! The `alt_block!` macro: Figure 1 as Rust syntax.
+//!
+//! §3.2 imagines "a language preprocessor applied to a program with
+//! mutually exclusive alternatives" generating the `alt_spawn` switch.
+//! In Rust the preprocessor is a macro: `alt_block!` builds an
+//! [`AltBlock`](crate::AltBlock) with syntax that mirrors the paper's
+//! `ENSURE guard WITH method OR …` construct.
+
+/// Builds an [`AltBlock`](crate::AltBlock) from named alternatives.
+///
+/// Each arm is `"name" => |workspace, cancel| body`, where the body
+/// returns `Option<R>` — `Some(value)` means the guard held (Figure 1's
+/// `ENSURE`), `None` is a guard failure. The block as a whole `FAIL`s if
+/// every arm returns `None`.
+///
+/// # Example
+///
+/// ```
+/// use altx::alt_block;
+/// use altx::engine::{Engine, OrderedEngine};
+/// use altx::{AddressSpace, PageSize};
+///
+/// let block = alt_block![
+///     "closed-form" => |_ws, _cancel| Some(10u64 * 11 / 2),
+///     "iterative"   => |_ws, cancel| {
+///         let mut sum = 0;
+///         for i in 1..=10u64 {
+///             cancel.checkpoint()?;
+///             sum += i;
+///         }
+///         Some(sum)
+///     },
+/// ];
+///
+/// let mut ws = AddressSpace::zeroed(4096, PageSize::K4);
+/// assert_eq!(OrderedEngine::new().execute(&block, &mut ws).value, Some(55));
+/// ```
+#[macro_export]
+macro_rules! alt_block {
+    [ $( $name:expr => $body:expr ),+ $(,)? ] => {{
+        let block = $crate::AltBlock::new();
+        $( let block = block.alternative($name, $body); )+
+        block
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{Engine, OrderedEngine, ThreadedEngine};
+    use crate::{AddressSpace, PageSize};
+
+    fn ws() -> AddressSpace {
+        AddressSpace::zeroed(64, PageSize::new(64))
+    }
+
+    #[test]
+    fn builds_in_declaration_order() {
+        let block = alt_block![
+            "first" => |_w: &mut AddressSpace, _t: &crate::CancelToken| Some(1),
+            "second" => |_w: &mut AddressSpace, _t: &crate::CancelToken| Some(2),
+        ];
+        assert_eq!(block.len(), 2);
+        assert_eq!(block.alternatives()[0].name(), "first");
+        let r = OrderedEngine::new().execute(&block, &mut ws());
+        assert_eq!(r.value, Some(1));
+    }
+
+    #[test]
+    fn trailing_comma_optional_and_engines_accept() {
+        let block = alt_block![
+            "fails" => |_w: &mut AddressSpace, _t: &crate::CancelToken| None::<u8>,
+            "wins" => |_w: &mut AddressSpace, _t: &crate::CancelToken| Some(9u8)
+        ];
+        let r = ThreadedEngine::new().execute(&block, &mut ws());
+        assert_eq!(r.value, Some(9));
+        assert_eq!(r.winner_name.as_deref(), Some("wins"));
+    }
+
+    #[test]
+    fn works_in_function_scope_with_captures() {
+        let base = 40u32;
+        let block = alt_block![
+            "capture" => move |_w: &mut AddressSpace, _t: &crate::CancelToken| Some(base + 2),
+        ];
+        let r = OrderedEngine::new().execute(&block, &mut ws());
+        assert_eq!(r.value, Some(42));
+    }
+}

@@ -1,0 +1,276 @@
+//! The §4.2–§4.3 analytic performance model.
+//!
+//! The paper compares concurrent execution of N alternatives against the
+//! observable-equivalent sequential baseline (Scheme B: arbitrary
+//! selection), whose expected cost is the arithmetic mean of the
+//! alternatives' times. Concurrent execution costs the *best* time plus
+//! overhead, so the **performance improvement** is
+//!
+//! ```text
+//!            τ(C_mean, x)
+//! PI = ─────────────────────────
+//!       τ(C_best, x) + τ(overhead)
+//! ```
+//!
+//! with `τ(overhead) = τ(setup) + τ(runtime) + τ(selection)` (§4.3).
+//! This module reproduces the paper's worked table (experiment E2) and
+//! provides the dispersion analysis behind experiment E6.
+
+use std::fmt;
+
+/// The three components of `τ(overhead)` (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Overhead {
+    /// Creating execution environments (process table entries, page maps).
+    pub setup: f64,
+    /// Copying shared memory on update + CPU sharing with losing siblings.
+    pub runtime: f64,
+    /// Selecting the winner: deleting siblings, committing updates.
+    pub selection: f64,
+}
+
+impl Overhead {
+    /// A single aggregate overhead value (the form the paper's table
+    /// uses: "Let τ(overhead) be 5").
+    pub fn total_of(value: f64) -> Overhead {
+        Overhead {
+            setup: value,
+            runtime: 0.0,
+            selection: 0.0,
+        }
+    }
+
+    /// The total `τ(overhead)`.
+    pub fn total(&self) -> f64 {
+        self.setup + self.runtime + self.selection
+    }
+}
+
+/// Mean execution time of the alternatives — `τ(C_mean)`.
+///
+/// # Panics
+///
+/// Panics if `times` is empty or contains a non-finite or negative value.
+pub fn mean_time(times: &[f64]) -> f64 {
+    validate(times);
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+/// Fastest execution time — `τ(C_best)`.
+///
+/// # Panics
+///
+/// Panics if `times` is empty or contains a non-finite or negative value.
+pub fn best_time(times: &[f64]) -> f64 {
+    validate(times);
+    times.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// The performance improvement `PI = mean / (best + overhead)` (§4.3).
+///
+/// # Panics
+///
+/// Panics if `times` is empty or invalid, or the denominator is zero.
+pub fn performance_improvement(times: &[f64], overhead: &Overhead) -> f64 {
+    let denom = best_time(times) + overhead.total();
+    assert!(denom > 0.0, "PI undefined: best + overhead is zero");
+    mean_time(times) / denom
+}
+
+/// The win condition: parallel execution wins iff
+/// `τ(C_best) + τ(overhead) < τ(C_mean)` (§4.3).
+pub fn parallel_wins(times: &[f64], overhead: &Overhead) -> bool {
+    best_time(times) + overhead.total() < mean_time(times)
+}
+
+/// The largest overhead at which parallel execution still breaks even:
+/// `mean − best`. The "size of the differences matters" observation in
+/// concrete form.
+pub fn breakeven_overhead(times: &[f64]) -> f64 {
+    mean_time(times) - best_time(times)
+}
+
+/// Population variance of the times — the dispersion measure the paper
+/// singles out: the mean-vs-best gap "is well-encapsulated by such a
+/// statistical measure of dispersion … as the variance."
+pub fn variance(times: &[f64]) -> f64 {
+    let m = mean_time(times);
+    times.iter().map(|t| (t - m).powi(2)).sum::<f64>() / times.len() as f64
+}
+
+/// Coefficient of variation (σ/µ) — the scale-free dispersion used by
+/// experiment E6's sweep.
+pub fn coefficient_of_variation(times: &[f64]) -> f64 {
+    let m = mean_time(times);
+    if m == 0.0 {
+        0.0
+    } else {
+        variance(times).sqrt() / m
+    }
+}
+
+fn validate(times: &[f64]) {
+    assert!(!times.is_empty(), "need at least one alternative time");
+    for &t in times {
+        assert!(t.is_finite() && t >= 0.0, "invalid execution time {t}");
+    }
+}
+
+/// One row of the paper's §4.2 table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperRow {
+    /// Row number as printed, 1-based.
+    pub row: usize,
+    /// The three alternative times `τ(C₁..C₃)`.
+    pub times: [f64; 3],
+    /// `τ(overhead)`.
+    pub overhead: f64,
+    /// The PI value the paper prints for this row (rounded as printed).
+    pub paper_pi: f64,
+}
+
+impl PaperRow {
+    /// The PI computed by this library's model (unrounded).
+    pub fn computed_pi(&self) -> f64 {
+        performance_improvement(&self.times, &Overhead::total_of(self.overhead))
+    }
+}
+
+impl fmt::Display for PaperRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({}) τ=({:>3}, {:>3}, {:>6})  overhead={}  PI={:.2} (paper: {:.2})",
+            self.row,
+            self.times[0],
+            self.times[1],
+            self.times[2],
+            self.overhead,
+            self.computed_pi(),
+            self.paper_pi
+        )
+    }
+}
+
+/// The six worked rows of the paper's §4.2 table (N = 3,
+/// `τ(overhead) = 5`), with the PI values as printed there.
+pub fn paper_table() -> Vec<PaperRow> {
+    vec![
+        PaperRow { row: 1, times: [10.0, 20.0, 30.0], overhead: 5.0, paper_pi: 1.33 },
+        PaperRow { row: 2, times: [1.0, 19.0, 106.0], overhead: 5.0, paper_pi: 7.0 },
+        PaperRow { row: 3, times: [20.0, 20.0, 20.0], overhead: 5.0, paper_pi: 0.8 },
+        PaperRow { row: 4, times: [1.0, 2.0, 3.0], overhead: 5.0, paper_pi: 0.33 },
+        PaperRow { row: 5, times: [115.0, 120.0, 125.0], overhead: 5.0, paper_pi: 1.0 },
+        PaperRow { row: 6, times: [100.0, 200.0, 300.0], overhead: 5.0, paper_pi: 1.9 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_best() {
+        let t = [10.0, 20.0, 30.0];
+        assert_eq!(mean_time(&t), 20.0);
+        assert_eq!(best_time(&t), 10.0);
+    }
+
+    #[test]
+    fn paper_table_reproduces_all_six_rows() {
+        // The headline E2 check: our model must reproduce the paper's PI
+        // column to the printed precision.
+        for row in paper_table() {
+            let computed = row.computed_pi();
+            assert!(
+                (computed - row.paper_pi).abs() < 0.01,
+                "row {}: computed {computed} vs paper {}",
+                row.row,
+                row.paper_pi
+            );
+        }
+    }
+
+    #[test]
+    fn row_inferences_hold() {
+        let rows = paper_table();
+        // (3) and (5): equal times lose or break even — size of the
+        // differences matters.
+        assert!(rows[2].computed_pi() < 1.0);
+        assert!((rows[4].computed_pi() - 1.0).abs() < 1e-9);
+        // (4): overhead dominating small times loses badly.
+        assert!(rows[3].computed_pi() < 0.5);
+        // (6): overhead effects diminish with increasing relative
+        // execution time — same ratios as (1) but 10×, higher PI.
+        assert!(rows[5].computed_pi() > rows[0].computed_pi());
+        // (2): large dispersion → large PI.
+        assert!(rows[1].computed_pi() > 5.0);
+    }
+
+    #[test]
+    fn win_condition_matches_pi() {
+        let overhead = Overhead::total_of(5.0);
+        for row in paper_table() {
+            assert_eq!(
+                parallel_wins(&row.times, &overhead),
+                row.computed_pi() > 1.0,
+                "row {}",
+                row.row
+            );
+        }
+    }
+
+    #[test]
+    fn breakeven_overhead_is_mean_minus_best() {
+        assert_eq!(breakeven_overhead(&[10.0, 20.0, 30.0]), 10.0);
+        // At exactly the breakeven overhead, PI = 1.
+        let t = [10.0, 20.0, 30.0];
+        let pi = performance_improvement(&t, &Overhead::total_of(breakeven_overhead(&t)));
+        assert!((pi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_and_cv() {
+        assert_eq!(variance(&[20.0, 20.0, 20.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[20.0, 20.0, 20.0]), 0.0);
+        let spread = [1.0, 19.0, 106.0];
+        assert!(variance(&spread) > 1000.0);
+        assert!(coefficient_of_variation(&spread) > 1.0);
+    }
+
+    #[test]
+    fn pi_increases_with_dispersion_at_fixed_mean() {
+        // Same mean (20), increasing dispersion → increasing PI.
+        let overhead = Overhead::total_of(5.0);
+        let tight = performance_improvement(&[19.0, 20.0, 21.0], &overhead);
+        let mid = performance_improvement(&[10.0, 20.0, 30.0], &overhead);
+        let wide = performance_improvement(&[1.0, 20.0, 39.0], &overhead);
+        assert!(tight < mid && mid < wide, "{tight} {mid} {wide}");
+    }
+
+    #[test]
+    fn overhead_components_sum() {
+        let o = Overhead { setup: 1.0, runtime: 2.0, selection: 3.0 };
+        assert_eq!(o.total(), 6.0);
+        assert_eq!(Overhead::total_of(5.0).total(), 5.0);
+    }
+
+    #[test]
+    fn row_display_mentions_pi() {
+        let row = &paper_table()[0];
+        let s = row.to_string();
+        assert!(s.contains("PI=1.33"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alternative")]
+    fn empty_times_panics() {
+        mean_time(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid execution time")]
+    fn negative_time_panics() {
+        best_time(&[1.0, -2.0]);
+    }
+}

@@ -1,0 +1,280 @@
+//! A deterministic timestamped event queue.
+//!
+//! [`EventQueue`] is the scheduling backbone of every simulation in the
+//! workspace: the kernel's dispatcher, the network's in-flight messages,
+//! and the consensus protocol's timers all live in one. Two properties
+//! matter and are guaranteed here:
+//!
+//! 1. **Earliest-deadline-first** delivery.
+//! 2. **Stable FIFO tie-breaking**: events scheduled for the same instant
+//!    are delivered in the order they were scheduled, so simulations are
+//!    deterministic without relying on heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// The raw sequence number (also the global scheduling order).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest first, with
+// sequence number as the FIFO tie-breaker.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of `(SimTime, E)` events with deterministic ordering.
+///
+/// The queue also tracks the *current* virtual time: popping an event
+/// advances the clock to that event's timestamp. Time never runs backwards;
+/// scheduling an event in the past is clamped to "now" (this models an
+/// interrupt that is already pending).
+///
+/// # Example
+///
+/// ```
+/// use altx_des::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_after(SimDuration::from_millis(2), "b");
+/// q.schedule_after(SimDuration::from_millis(1), "a");
+/// assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+/// assert_eq!(q.now(), SimTime::from_nanos(1_000_000));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `payload` for instant `at` (clamped to now if in the
+    /// past) and returns a cancellation handle.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, payload: E) -> EventId {
+        let at = self.now.saturating_add(delay);
+        self.schedule(at, payload)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event
+    /// was still pending, `false` if it had already fired or been
+    /// cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Lazy deletion: record the id; skip it when popped.
+        if self.heap.iter().any(|e| e.seq == id.0) {
+            self.cancelled.insert(id.0)
+        } else {
+            false
+        }
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest pending event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.skip_cancelled();
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Advances the clock to `at` without delivering events. Useful for
+    /// injecting external activity; no-op if `at` is in the past.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            debug_assert!(
+                self.heap.is_empty() || self.heap.peek().map(|e| e.at) >= Some(self.now),
+                "advancing past pending events"
+            );
+            self.now = at;
+        }
+    }
+
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(30), 3);
+        q.schedule(SimTime::from_nanos(10), 1);
+        q.schedule(SimTime::from_nanos(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_after(SimDuration::from_millis(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_nanos(7_000_000));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(100), "late");
+        q.pop();
+        // Scheduling in the past fires "immediately" (at now), not before.
+        q.schedule(SimTime::from_nanos(1), "pending-interrupt");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "pending-interrupt");
+        assert_eq!(t, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_nanos(10), "a");
+        q.schedule(SimTime::from_nanos(20), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn cancelled_event_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        let early = q.schedule(SimTime::from_nanos(10), "x");
+        q.schedule(SimTime::from_nanos(50), "y");
+        q.cancel(early);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(50)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn advance_to_moves_clock_forward_only() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_nanos(500));
+        assert_eq!(q.now(), SimTime::from_nanos(500));
+        q.advance_to(SimTime::from_nanos(100));
+        assert_eq!(q.now(), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_cancellations() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let id = q.schedule(SimTime::from_nanos(1), ());
+        assert_eq!(q.len(), 1);
+        q.cancel(id);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}

@@ -1,0 +1,413 @@
+//! Virtual time for the simulation.
+//!
+//! All altx substrates measure cost in [`SimDuration`]s against a shared
+//! virtual clock whose readings are [`SimTime`]s. Both are nanosecond
+//! resolution `u64` newtypes: wide enough for ~584 years of simulated time,
+//! fine enough to express the sub-microsecond per-instruction costs the
+//! kernel cost model charges.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant of virtual time, in nanoseconds since simulation start.
+///
+/// `SimTime` is produced by the simulation clock and consumed by the
+/// [`EventQueue`](crate::EventQueue). Subtracting two instants yields a
+/// [`SimDuration`].
+///
+/// # Example
+///
+/// ```
+/// use altx_des::{SimDuration, SimTime};
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_micros(250);
+/// assert_eq!(t1 - t0, SimDuration::from_nanos(250_000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// Durations are the unit of every cost model in the workspace: page-copy
+/// service times, fork setup, network latency, per-unification work, and so
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable instant; used as an "infinite" timeout.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// The duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is later than self"),
+        )
+    }
+
+    /// Saturating difference: zero if `earlier` is later than `self`.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration (caps at [`SimTime::MAX`]).
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The maximum representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative, NaN, or too large to represent.
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(
+            s.is_finite() && s >= 0.0 && s <= u64::MAX as f64 / 1_000_000_000.0,
+            "from_secs_f64: out-of-range seconds value {s}"
+        );
+        SimDuration((s * 1_000_000_000.0).round() as u64)
+    }
+
+    /// Creates a duration from fractional milliseconds, rounding to
+    /// nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is negative, NaN, or too large to represent.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms / 1_000.0)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// True iff this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a floating-point factor, rounding to
+    /// nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or NaN, or if the result overflows.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "mul_f64: invalid factor {factor}"
+        );
+        let r = self.0 as f64 * factor;
+        assert!(r <= u64::MAX as f64, "mul_f64: overflow");
+        SimDuration(r.round() as u64)
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime + SimDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime - SimDuration underflowed"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration + SimDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration - SimDuration underflowed"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.checked_mul(rhs).expect("SimDuration * u64 overflowed"))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&SimDuration(self.0), f)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Human scale: picks ns, µs, ms, or s based on magnitude.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000 {
+            write!(f, "{ns}ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.3}µs", ns as f64 / 1_000.0)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1_000_000.0)
+        } else {
+            write!(f, "{:.3}s", ns as f64 / 1_000_000_000.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimDuration::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_nanos(42).as_nanos(), 42);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = SimTime::ZERO + SimDuration::from_millis(10);
+        assert_eq!(t.as_millis_f64(), 10.0);
+        assert_eq!(t - SimTime::from_nanos(1), SimDuration::from_nanos(9_999_999));
+        assert_eq!(
+            SimDuration::from_millis(4) + SimDuration::from_millis(6),
+            SimDuration::from_millis(10)
+        );
+        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
+        assert_eq!(SimDuration::from_millis(10) / 4, SimDuration::from_micros(2_500));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_nanos(), 500_000_000);
+        assert_eq!(SimDuration::from_millis_f64(1.5).as_nanos(), 1_500_000);
+        assert_eq!(SimDuration::from_secs_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflowed")]
+    fn sub_underflow_panics() {
+        let _ = SimDuration::from_nanos(1) - SimDuration::from_nanos(2);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(
+            SimDuration::MAX.saturating_add(SimDuration::from_nanos(1)),
+            SimDuration::MAX
+        );
+        assert_eq!(
+            SimDuration::from_nanos(1).saturating_sub(SimDuration::from_nanos(5)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::ZERO.saturating_duration_since(SimTime::from_nanos(9)),
+            SimDuration::ZERO
+        );
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+    }
+
+    #[test]
+    fn mul_f64_rounds_half_up() {
+        assert_eq!(SimDuration::from_nanos(3).mul_f64(0.5).as_nanos(), 2); // 1.5 rounds to 2
+        assert_eq!(SimDuration::from_nanos(100).mul_f64(2.25).as_nanos(), 225);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_nanos(12_500).to_string(), "12.500µs");
+        assert_eq!(SimDuration::from_millis(31).to_string(), "31.000ms");
+        assert_eq!(SimDuration::from_millis(1_300).to_string(), "1.300s");
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = SimDuration::from_millis(1);
+        let b = SimDuration::from_millis(2);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert!(SimTime::from_nanos(5) > SimTime::ZERO);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

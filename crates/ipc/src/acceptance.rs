@@ -1,0 +1,160 @@
+//! The §3.4.2 message-acceptance ("multiple worlds") algorithm.
+//!
+//! When a receiver with predicates `R` accepts a message with sending
+//! predicate `S`:
+//!
+//! * `S ⊆ R` — immediately accept;
+//! * `∃p: p ∈ S ∧ ¬p ∈ R` — ignore (the message comes from a world the
+//!   receiver already knows is unreal);
+//! * otherwise — **two copies of the receiver are created**: one with
+//!   `R ∧ complete(S)` (implying all the sender's predicates, footnote 2)
+//!   and one with `R ∧ ¬complete(sender)` (negating the sender's
+//!   completion without assuming the negation of each of its predicates,
+//!   which could be a logical impossibility — footnote 3).
+
+use crate::message::Message;
+use altx_predicates::{Compatibility, Pid, PredicateSet};
+
+/// The receiver-side decision for one incoming message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Acceptance {
+    /// The receiver's assumptions already imply the sender's: deliver.
+    Accept,
+    /// The sender's world is known-unreal to this receiver: drop silently.
+    Ignore {
+        /// A process assumed one way by the sender, the other by the
+        /// receiver.
+        witness: Pid,
+    },
+    /// The receiver must fork into an accepting and a rejecting world.
+    Split {
+        /// Assumptions the accepting world must additionally adopt.
+        extra: PredicateSet,
+    },
+}
+
+/// Classifies `message` against the receiver's current predicates.
+pub fn classify(receiver: &PredicateSet, message: &Message) -> Acceptance {
+    match receiver.compare(&message.predicate) {
+        Compatibility::Implied => Acceptance::Accept,
+        Compatibility::Conflicting { witness } => Acceptance::Ignore { witness },
+        Compatibility::NeedsAssumptions { extra } => Acceptance::Split { extra },
+    }
+}
+
+/// Computes the predicate sets for the two worlds of a split.
+///
+/// Returns `(accepting, rejecting)`:
+///
+/// * `accepting` = receiver ∧ `extra` ∧ "`sender` completes";
+/// * `rejecting` = receiver ∧ "`sender` does not complete".
+///
+/// # Errors
+///
+/// Returns [`altx_predicates::PredicateConflict`] if the receiver already
+/// holds an assumption about `sender` that contradicts the side being
+/// built. Callers that classified with [`classify`] first will never see
+/// this for the `extra` conjunction; a conflict on the sender pid itself
+/// means the caller should have gotten `Accept` or `Ignore` instead.
+pub fn split_worlds(
+    receiver: &PredicateSet,
+    sender: Pid,
+    extra: &PredicateSet,
+) -> Result<(PredicateSet, PredicateSet), altx_predicates::PredicateConflict> {
+    let mut accepting = receiver.clone();
+    accepting.conjoin(extra)?;
+    accepting.assume_completes(sender)?;
+
+    let mut rejecting = receiver.clone();
+    rejecting.assume_fails(sender)?;
+
+    Ok((accepting, rejecting))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altx_predicates::Outcome;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n)
+    }
+
+    fn msg_with_pred(sender: Pid, pred: PredicateSet) -> Message {
+        Message::new(sender, pid(99), pred, &b"payload"[..])
+    }
+
+    #[test]
+    fn unconditional_sender_is_always_accepted() {
+        let receiver = PredicateSet::new();
+        let m = msg_with_pred(pid(1), PredicateSet::new());
+        assert_eq!(classify(&receiver, &m), Acceptance::Accept);
+    }
+
+    #[test]
+    fn implied_sender_accepted() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_completes(pid(5)).unwrap();
+        let mut sender_pred = PredicateSet::new();
+        sender_pred.assume_completes(pid(5)).unwrap();
+        let m = msg_with_pred(pid(5), sender_pred);
+        assert_eq!(classify(&receiver, &m), Acceptance::Accept);
+    }
+
+    #[test]
+    fn conflicting_sender_ignored() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_fails(pid(5)).unwrap();
+        let mut sender_pred = PredicateSet::new();
+        sender_pred.assume_completes(pid(5)).unwrap();
+        let m = msg_with_pred(pid(5), sender_pred);
+        assert_eq!(classify(&receiver, &m), Acceptance::Ignore { witness: pid(5) });
+    }
+
+    #[test]
+    fn novel_assumptions_split() {
+        let receiver = PredicateSet::new();
+        let mut sender_pred = PredicateSet::new();
+        sender_pred.assume_completes(pid(5)).unwrap();
+        let m = msg_with_pred(pid(5), sender_pred.clone());
+        match classify(&receiver, &m) {
+            Acceptance::Split { extra } => assert_eq!(extra, sender_pred),
+            other => panic!("expected Split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_worlds_have_opposite_sender_assumptions() {
+        let receiver = PredicateSet::new();
+        let mut extra = PredicateSet::new();
+        extra.assume_completes(pid(5)).unwrap();
+        extra.assume_fails(pid(6)).unwrap();
+
+        let (acc, rej) = split_worlds(&receiver, pid(5), &extra).unwrap();
+        assert_eq!(acc.assumption_about(pid(5)), Some(Outcome::Completed));
+        assert_eq!(acc.assumption_about(pid(6)), Some(Outcome::Failed));
+        assert_eq!(rej.assumption_about(pid(5)), Some(Outcome::Failed));
+        // The rejecting world does NOT negate each of the sender's
+        // predicates (footnote 3) — only the sender's completion.
+        assert_eq!(rej.assumption_about(pid(6)), None);
+    }
+
+    #[test]
+    fn split_preserves_receiver_assumptions() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_completes(pid(1)).unwrap();
+        let mut extra = PredicateSet::new();
+        extra.assume_completes(pid(5)).unwrap();
+        let (acc, rej) = split_worlds(&receiver, pid(5), &extra).unwrap();
+        assert_eq!(acc.assumption_about(pid(1)), Some(Outcome::Completed));
+        assert_eq!(rej.assumption_about(pid(1)), Some(Outcome::Completed));
+    }
+
+    #[test]
+    fn split_conflict_when_sender_already_assumed_failed() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_fails(pid(5)).unwrap();
+        let extra = PredicateSet::new();
+        assert!(split_worlds(&receiver, pid(5), &extra).is_err());
+    }
+}

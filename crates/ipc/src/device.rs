@@ -1,0 +1,395 @@
+//! Source and sink devices (§3.1).
+//!
+//! "System state is divided into two types, source and sink. The division
+//! is made on the basis of idempotence; operations on sink devices can be
+//! retried without the effects being visible, while operations on sources
+//! cannot be retried. For definiteness, consider a page of backing store
+//! and a teletype device, respectively."
+//!
+//! * [`SinkDevice`] — a staged page of backing store: speculative writes
+//!   accumulate in an overlay; commit makes them permanent, abort
+//!   discards them (transaction-style atomicity, §3.1).
+//! * [`Source`] / [`BufferedSource`] — a non-idempotent input stream;
+//!   [`BufferedSource`] records consumed values so that re-reads (by
+//!   other speculative worlds, or after a replay) observe the same data
+//!   without re-performing the operation — the buffering trick §6 notes
+//!   for replicated computations.
+//! * [`SourceGate`] — enforcement of §3.4.2's rule: "While a process has
+//!   predicates which are unsatisfied, it is restricted from causing
+//!   observable side-effects, and thus cannot interface with sources."
+
+use altx_predicates::PredicateSet;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when a speculative process attempts a source operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceAccessError {
+    /// The unresolved assumptions that block the access.
+    pub outstanding: PredicateSet,
+}
+
+impl fmt::Display for SourceAccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "source access denied: unresolved predicates ({})",
+            self.outstanding
+        )
+    }
+}
+
+impl std::error::Error for SourceAccessError {}
+
+/// Gatekeeper for source access: allows the operation only for
+/// unconditional (non-speculative) processes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceGate;
+
+impl SourceGate {
+    /// Checks whether a process holding `predicates` may touch a source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SourceAccessError`] carrying the outstanding assumptions
+    /// if the process is still speculative.
+    pub fn check(&self, predicates: &PredicateSet) -> Result<(), SourceAccessError> {
+        if predicates.is_unconditional() {
+            Ok(())
+        } else {
+            Err(SourceAccessError {
+                outstanding: predicates.clone(),
+            })
+        }
+    }
+}
+
+/// A non-idempotent input source: each `pull` consumes an item for good.
+/// (Think teletype input, a network socket, or a sensor.)
+pub trait Source {
+    /// The item type produced.
+    type Item;
+
+    /// Consumes and returns the next item, or `None` when exhausted.
+    /// This operation cannot be retried: the item is gone.
+    fn pull(&mut self) -> Option<Self::Item>;
+}
+
+/// A simple in-memory source for tests and simulations.
+#[derive(Debug, Clone)]
+pub struct VecSource<T> {
+    items: std::collections::VecDeque<T>,
+    pulls: u64,
+}
+
+impl<T> VecSource<T> {
+    /// Creates a source yielding `items` in order.
+    pub fn new(items: impl IntoIterator<Item = T>) -> Self {
+        VecSource {
+            items: items.into_iter().collect(),
+            pulls: 0,
+        }
+    }
+
+    /// Number of destructive pulls performed on the underlying device.
+    pub fn pulls(&self) -> u64 {
+        self.pulls
+    }
+}
+
+impl<T> Source for VecSource<T> {
+    type Item = T;
+    fn pull(&mut self) -> Option<T> {
+        self.pulls += 1;
+        self.items.pop_front()
+    }
+}
+
+/// Forces idempotency onto a [`Source`] by buffering consumed items:
+/// `read(n)` performs the destructive pull only the first time index `n`
+/// is requested; later readers of the same index get the buffered value.
+///
+/// §6: "only one read operation can be performed, and its results buffered
+/// for subsequent readers of the same data. Thus, idempotency of some
+/// source state can be forced through buffering."
+#[derive(Debug, Clone)]
+pub struct BufferedSource<S: Source> {
+    inner: S,
+    buffer: Vec<Option<S::Item>>,
+}
+
+impl<S: Source> BufferedSource<S>
+where
+    S::Item: Clone,
+{
+    /// Wraps a source.
+    pub fn new(inner: S) -> Self {
+        BufferedSource {
+            inner,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Reads item `index` of the stream, pulling from the device only if
+    /// that index has never been read before.
+    pub fn read(&mut self, index: usize) -> Option<S::Item> {
+        while self.buffer.len() <= index {
+            let item = self.inner.pull();
+            let exhausted = item.is_none();
+            self.buffer.push(item);
+            if exhausted {
+                break;
+            }
+        }
+        self.buffer.get(index).cloned().flatten()
+    }
+
+    /// Number of items buffered so far.
+    pub fn buffered_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+/// A sink device: an idempotent, page-like store with transactional
+/// staging. Writes by a speculative world go to a named overlay; the
+/// overlay is applied atomically on commit or discarded on abort, so
+/// "either none or all of the transaction's component actions occur"
+/// (§3.1).
+#[derive(Debug, Clone, Default)]
+pub struct SinkDevice {
+    committed: Vec<u8>,
+    overlays: HashMap<u64, HashMap<usize, u8>>,
+    commits: u64,
+    aborts: u64,
+}
+
+impl SinkDevice {
+    /// Creates a sink of `len` zero bytes.
+    pub fn new(len: usize) -> Self {
+        SinkDevice {
+            committed: vec![0; len],
+            ..SinkDevice::default()
+        }
+    }
+
+    /// Size of the device in bytes.
+    pub fn len(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// True iff the device has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.committed.is_empty()
+    }
+
+    /// Reads a byte as seen by transaction `txn` (its own staged writes
+    /// first — "it can read what was written" — then committed state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn read(&self, txn: u64, addr: usize) -> u8 {
+        assert!(addr < self.committed.len(), "sink read out of bounds");
+        self.overlays
+            .get(&txn)
+            .and_then(|o| o.get(&addr).copied())
+            .unwrap_or(self.committed[addr])
+    }
+
+    /// Reads a byte of committed state only (an external observer's view).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn read_committed(&self, addr: usize) -> u8 {
+        assert!(addr < self.committed.len(), "sink read out of bounds");
+        self.committed[addr]
+    }
+
+    /// Stages a write for transaction `txn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds.
+    pub fn write(&mut self, txn: u64, addr: usize, value: u8) {
+        assert!(addr < self.committed.len(), "sink write out of bounds");
+        self.overlays.entry(txn).or_default().insert(addr, value);
+    }
+
+    /// Atomically applies transaction `txn`'s staged writes.
+    pub fn commit(&mut self, txn: u64) {
+        if let Some(overlay) = self.overlays.remove(&txn) {
+            for (addr, value) in overlay {
+                self.committed[addr] = value;
+            }
+            self.commits += 1;
+        }
+    }
+
+    /// Discards transaction `txn`'s staged writes.
+    pub fn abort(&mut self, txn: u64) {
+        if self.overlays.remove(&txn).is_some() {
+            self.aborts += 1;
+        }
+    }
+
+    /// Moves transaction `from`'s staged writes into transaction `into`
+    /// (later writes win on address collisions). Used at `alt_wait`
+    /// absorption: the winning child's staged sink effects become part of
+    /// the parent's transaction, staying invisible until the *parent*
+    /// commits.
+    pub fn merge_txn(&mut self, from: u64, into: u64) {
+        if from == into {
+            return;
+        }
+        if let Some(overlay) = self.overlays.remove(&from) {
+            self.overlays.entry(into).or_default().extend(overlay);
+        }
+    }
+
+    /// Copies transaction `from`'s staged writes to transaction `to`
+    /// (world splitting: both worlds see the same staged view until one
+    /// is eliminated).
+    pub fn clone_txn(&mut self, from: u64, to: u64) {
+        if let Some(overlay) = self.overlays.get(&from).cloned() {
+            self.overlays.insert(to, overlay);
+        }
+    }
+
+    /// Number of staged (uncommitted) transactions.
+    pub fn pending_transactions(&self) -> usize {
+        self.overlays.len()
+    }
+
+    /// Count of committed / aborted transactions.
+    pub fn txn_counts(&self) -> (u64, u64) {
+        (self.commits, self.aborts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altx_predicates::Pid;
+
+    #[test]
+    fn gate_allows_unconditional() {
+        assert!(SourceGate.check(&PredicateSet::new()).is_ok());
+    }
+
+    #[test]
+    fn gate_blocks_speculative() {
+        let mut p = PredicateSet::new();
+        p.assume_completes(Pid::new(1)).unwrap();
+        let err = SourceGate.check(&p).unwrap_err();
+        assert_eq!(err.outstanding, p);
+        assert!(err.to_string().contains("denied"));
+    }
+
+    #[test]
+    fn vec_source_is_destructive() {
+        let mut s = VecSource::new([1, 2, 3]);
+        assert_eq!(s.pull(), Some(1));
+        assert_eq!(s.pull(), Some(2));
+        assert_eq!(s.pulls(), 2);
+    }
+
+    #[test]
+    fn buffered_source_forces_idempotency() {
+        let mut b = BufferedSource::new(VecSource::new([10, 20, 30]));
+        assert_eq!(b.read(0), Some(10));
+        assert_eq!(b.read(0), Some(10), "re-read same index");
+        assert_eq!(b.inner().pulls(), 1, "device pulled only once");
+        assert_eq!(b.read(2), Some(30));
+        assert_eq!(b.inner().pulls(), 3);
+        assert_eq!(b.read(1), Some(20), "backfilled index still available");
+        assert_eq!(b.inner().pulls(), 3, "no extra pulls for buffered reads");
+    }
+
+    #[test]
+    fn buffered_source_exhaustion() {
+        let mut b = BufferedSource::new(VecSource::new([1]));
+        assert_eq!(b.read(0), Some(1));
+        assert_eq!(b.read(5), None);
+        assert_eq!(b.read(5), None);
+    }
+
+    #[test]
+    fn sink_stages_and_commits_atomically() {
+        let mut sink = SinkDevice::new(4);
+        sink.write(1, 0, 0xAA);
+        sink.write(1, 3, 0xBB);
+        // Not visible to an observer before commit.
+        assert_eq!(sink.read_committed(0), 0);
+        // Visible to the writing transaction (internal consistency).
+        assert_eq!(sink.read(1, 0), 0xAA);
+        // Not visible to other transactions.
+        assert_eq!(sink.read(2, 0), 0);
+        sink.commit(1);
+        assert_eq!(sink.read_committed(0), 0xAA);
+        assert_eq!(sink.read_committed(3), 0xBB);
+        assert_eq!(sink.txn_counts(), (1, 0));
+    }
+
+    #[test]
+    fn sink_abort_discards() {
+        let mut sink = SinkDevice::new(2);
+        sink.write(7, 0, 9);
+        sink.abort(7);
+        assert_eq!(sink.read_committed(0), 0);
+        assert_eq!(sink.read(7, 0), 0, "aborted overlay gone");
+        assert_eq!(sink.txn_counts(), (0, 1));
+        assert_eq!(sink.pending_transactions(), 0);
+    }
+
+    #[test]
+    fn sink_merge_txn_moves_staged_writes() {
+        let mut sink = SinkDevice::new(4);
+        sink.write(1, 0, 0xAA);
+        sink.write(2, 0, 0xBB); // parent's own staged write, to be overridden
+        sink.write(2, 1, 0xCC);
+        sink.merge_txn(1, 2);
+        assert_eq!(sink.read(2, 0), 0xAA, "child's write wins the collision");
+        assert_eq!(sink.read(2, 1), 0xCC);
+        assert_eq!(sink.pending_transactions(), 1);
+        assert_eq!(sink.read_committed(0), 0, "still uncommitted");
+        sink.commit(2);
+        assert_eq!(sink.read_committed(0), 0xAA);
+        // Self-merge is a no-op.
+        sink.write(5, 2, 9);
+        sink.merge_txn(5, 5);
+        assert_eq!(sink.read(5, 2), 9);
+    }
+
+    #[test]
+    fn sink_clone_txn_copies_view() {
+        let mut sink = SinkDevice::new(2);
+        sink.write(1, 0, 7);
+        sink.clone_txn(1, 2);
+        assert_eq!(sink.read(2, 0), 7);
+        // The views are independent afterwards.
+        sink.write(2, 0, 8);
+        assert_eq!(sink.read(1, 0), 7);
+        sink.abort(1);
+        assert_eq!(sink.read(2, 0), 8, "clone unaffected by original abort");
+    }
+
+    #[test]
+    fn sink_commit_unknown_txn_is_noop() {
+        let mut sink = SinkDevice::new(2);
+        sink.commit(42);
+        sink.abort(42);
+        assert_eq!(sink.txn_counts(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sink_oob_write_panics() {
+        SinkDevice::new(1).write(0, 5, 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! # altx-ipc — predicated interprocess communication
+//!
+//! §3.4 of Smith & Maguire: interprocess communication is the only way a
+//! process can observe or affect another, and it is the channel through
+//! which speculative side-effects could leak. This crate implements the
+//! paper's containment machinery:
+//!
+//! * [`Message`] — the three-part message of §3.4.1: a *sending
+//!   predicate* (the sender's assumptions), the data, and control
+//!   information.
+//! * [`Mailbox`] / [`Router`] — reliable, FIFO message delivery (the
+//!   paper's stated IPC assumptions).
+//! * [`acceptance`] — the §3.4.2 "multiple worlds" algorithm: accept when
+//!   the receiver's assumptions imply the sender's, ignore on conflict,
+//!   and otherwise **split the receiver into two worlds** (one assuming
+//!   the sender completes, one assuming it fails).
+//! * [`device`] — *source*/*sink* discipline (§3.1): sinks are idempotent
+//!   and may be staged/rolled back; sources are not, so processes holding
+//!   unresolved predicates are denied source access, and source reads are
+//!   buffered to force idempotency for re-reads (§6, replication
+//!   discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acceptance;
+pub mod device;
+pub mod message;
+pub mod router;
+
+pub use acceptance::{classify, split_worlds, Acceptance};
+pub use device::{BufferedSource, SinkDevice, Source, SourceAccessError, SourceGate, VecSource};
+pub use message::{Control, Message};
+pub use router::{Mailbox, Router};

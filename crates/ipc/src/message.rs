@@ -1,0 +1,118 @@
+//! The three-part message structure of §3.4.1.
+
+use altx_predicates::{Pid, PredicateSet};
+use bytes::Bytes;
+use std::fmt;
+
+/// Control information: sender, destination, and a per-(sender, receiver)
+/// sequence number assigned by the router (the FIFO guarantee's witness).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Control {
+    /// The sending process.
+    pub from: Pid,
+    /// The destination process.
+    pub to: Pid,
+    /// Sequence number within the (from, to) flow; consecutive from 0.
+    pub seq: u64,
+}
+
+impl fmt::Display for Control {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}→{} #{}", self.from, self.to, self.seq)
+    }
+}
+
+/// A message: sending predicate + payload + control information (§3.4.1).
+///
+/// The *sending predicate* encapsulates "the assumptions under which the
+/// sender sends the message"; the receiver's acceptance decision
+/// ([`crate::classify`]) is a pure function of this predicate and the
+/// receiver's own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// The sender's assumptions at send time.
+    pub predicate: PredicateSet,
+    /// The message contents.
+    pub payload: Bytes,
+    /// Sender/destination/sequence metadata.
+    pub control: Control,
+}
+
+impl Message {
+    /// Builds a message. The sequence number is assigned later by the
+    /// router; constructing directly with `seq` is for tests.
+    pub fn new(from: Pid, to: Pid, predicate: PredicateSet, payload: impl Into<Bytes>) -> Self {
+        Message {
+            predicate,
+            payload: payload.into(),
+            control: Control { from, to, seq: 0 },
+        }
+    }
+
+    /// The sender pid.
+    pub fn from(&self) -> Pid {
+        self.control.from
+    }
+
+    /// The destination pid.
+    pub fn to(&self) -> Pid {
+        self.control.to
+    }
+
+    /// Payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True iff the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] pred=({}) {} bytes",
+            self.control,
+            self.predicate,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_accessors() {
+        let m = Message::new(Pid::new(1), Pid::new(2), PredicateSet::new(), &b"hi"[..]);
+        assert_eq!(m.from(), Pid::new(1));
+        assert_eq!(m.to(), Pid::new(2));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let m = Message::new(Pid::new(1), Pid::new(2), PredicateSet::new(), Bytes::new());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn display_contains_flow() {
+        let m = Message::new(Pid::new(3), Pid::new(4), PredicateSet::new(), &b"x"[..]);
+        let s = m.to_string();
+        assert!(s.contains("pid3→pid4"), "{s}");
+        assert!(s.contains("1 bytes"), "{s}");
+    }
+
+    #[test]
+    fn control_display() {
+        let c = Control { from: Pid::new(1), to: Pid::new(2), seq: 7 };
+        assert_eq!(c.to_string(), "pid1→pid2 #7");
+    }
+}

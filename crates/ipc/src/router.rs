@@ -1,0 +1,236 @@
+//! Reliable FIFO message transport.
+//!
+//! §3.1: "Interprocess communication (IPC) is assumed to behave reliably
+//! (no lost or duplicated messages) and FIFO (no out of order messages)."
+//! [`Router`] provides exactly that contract between pids: per-flow
+//! sequence numbers, in-order per-receiver mailboxes, and no loss or
+//! duplication. (Unreliability belongs to the *distributed* substrate,
+//! `altx-cluster`, which models it above this layer for the
+//! synchronization protocol's sake.)
+
+use crate::message::{Control, Message};
+use altx_predicates::{Pid, PredicateSet};
+use bytes::Bytes;
+use std::collections::{HashMap, VecDeque};
+
+/// A receiver's in-order message queue.
+#[derive(Debug, Clone, Default)]
+pub struct Mailbox {
+    queue: VecDeque<Message>,
+}
+
+impl Mailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox::default()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True iff no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Enqueues a message (transport-internal).
+    fn push(&mut self, m: Message) {
+        self.queue.push_back(m);
+    }
+
+    /// Dequeues the oldest message.
+    pub fn pop(&mut self) -> Option<Message> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks at the oldest message without removing it.
+    pub fn peek(&self) -> Option<&Message> {
+        self.queue.front()
+    }
+
+    /// Iterates the queued messages oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.queue.iter()
+    }
+}
+
+/// The transport: routes messages between pids with reliable FIFO
+/// semantics and assigns per-flow sequence numbers.
+///
+/// # Example
+///
+/// ```
+/// use altx_ipc::Router;
+/// use altx_predicates::{Pid, PredicateSet};
+///
+/// let mut router = Router::new();
+/// let (a, b) = (Pid::new(1), Pid::new(2));
+/// router.register(b);
+/// router.send(a, b, PredicateSet::new(), &b"hello"[..]);
+/// let m = router.mailbox_mut(b).unwrap().pop().unwrap();
+/// assert_eq!(&m.payload[..], b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct Router {
+    mailboxes: HashMap<Pid, Mailbox>,
+    flow_seq: HashMap<(Pid, Pid), u64>,
+    delivered: u64,
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a mailbox for `pid` (idempotent).
+    pub fn register(&mut self, pid: Pid) {
+        self.mailboxes.entry(pid).or_default();
+    }
+
+    /// Removes `pid`'s mailbox (process terminated), returning any
+    /// undelivered messages.
+    pub fn unregister(&mut self, pid: Pid) -> Vec<Message> {
+        self.mailboxes
+            .remove(&pid)
+            .map(|mb| mb.queue.into_iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// True iff `pid` has a mailbox.
+    pub fn is_registered(&self, pid: Pid) -> bool {
+        self.mailboxes.contains_key(&pid)
+    }
+
+    /// Sends a message from `from` to `to` carrying `predicate`.
+    /// Returns the assigned control record, or `None` if `to` is not
+    /// registered (the caller decides whether that is an error).
+    pub fn send(
+        &mut self,
+        from: Pid,
+        to: Pid,
+        predicate: PredicateSet,
+        payload: impl Into<Bytes>,
+    ) -> Option<Control> {
+        if !self.mailboxes.contains_key(&to) {
+            return None;
+        }
+        let seq = self.flow_seq.entry((from, to)).or_insert(0);
+        let control = Control { from, to, seq: *seq };
+        *seq += 1;
+        self.delivered += 1;
+        let message = Message {
+            predicate,
+            payload: payload.into(),
+            control: control.clone(),
+        };
+        self.mailboxes
+            .get_mut(&to)
+            .expect("checked above")
+            .push(message);
+        Some(control)
+    }
+
+    /// Duplicates `pid`'s mailbox for a world-split clone: the new world
+    /// must see exactly the same pending messages (§3.4.2 splits the
+    /// *receiver*, and undelivered messages belong to both worlds until
+    /// classified).
+    pub fn clone_mailbox(&mut self, from_pid: Pid, to_pid: Pid) {
+        let cloned = self.mailboxes.get(&from_pid).cloned().unwrap_or_default();
+        self.mailboxes.insert(to_pid, cloned);
+    }
+
+    /// Read access to `pid`'s mailbox.
+    pub fn mailbox(&self, pid: Pid) -> Option<&Mailbox> {
+        self.mailboxes.get(&pid)
+    }
+
+    /// Write access to `pid`'s mailbox.
+    pub fn mailbox_mut(&mut self, pid: Pid) -> Option<&mut Mailbox> {
+        self.mailboxes.get_mut(&pid)
+    }
+
+    /// Total messages ever accepted for delivery.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n)
+    }
+
+    #[test]
+    fn fifo_within_flow() {
+        let mut r = Router::new();
+        r.register(pid(2));
+        for i in 0..5u8 {
+            r.send(pid(1), pid(2), PredicateSet::new(), vec![i]);
+        }
+        let mb = r.mailbox_mut(pid(2)).unwrap();
+        let order: Vec<u8> = std::iter::from_fn(|| mb.pop().map(|m| m.payload[0])).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sequence_numbers_per_flow() {
+        let mut r = Router::new();
+        r.register(pid(3));
+        let c1 = r.send(pid(1), pid(3), PredicateSet::new(), &b"a"[..]).unwrap();
+        let c2 = r.send(pid(1), pid(3), PredicateSet::new(), &b"b"[..]).unwrap();
+        let c3 = r.send(pid(2), pid(3), PredicateSet::new(), &b"c"[..]).unwrap();
+        assert_eq!((c1.seq, c2.seq), (0, 1));
+        assert_eq!(c3.seq, 0, "flows are independent");
+    }
+
+    #[test]
+    fn send_to_unregistered_fails() {
+        let mut r = Router::new();
+        assert!(r.send(pid(1), pid(9), PredicateSet::new(), &b"x"[..]).is_none());
+        assert_eq!(r.delivered_count(), 0);
+    }
+
+    #[test]
+    fn unregister_returns_pending() {
+        let mut r = Router::new();
+        r.register(pid(2));
+        r.send(pid(1), pid(2), PredicateSet::new(), &b"m"[..]);
+        let pending = r.unregister(pid(2));
+        assert_eq!(pending.len(), 1);
+        assert!(!r.is_registered(pid(2)));
+        assert!(r.unregister(pid(2)).is_empty(), "double unregister is empty");
+    }
+
+    #[test]
+    fn clone_mailbox_copies_pending_messages() {
+        let mut r = Router::new();
+        r.register(pid(2));
+        r.send(pid(1), pid(2), PredicateSet::new(), &b"m1"[..]);
+        r.send(pid(1), pid(2), PredicateSet::new(), &b"m2"[..]);
+        r.clone_mailbox(pid(2), pid(7));
+        assert_eq!(r.mailbox(pid(7)).unwrap().len(), 2);
+        // The clone's queue is independent.
+        r.mailbox_mut(pid(7)).unwrap().pop();
+        assert_eq!(r.mailbox(pid(2)).unwrap().len(), 2);
+        assert_eq!(r.mailbox(pid(7)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mailbox_peek_and_iter() {
+        let mut r = Router::new();
+        r.register(pid(2));
+        r.send(pid(1), pid(2), PredicateSet::new(), &b"a"[..]);
+        r.send(pid(1), pid(2), PredicateSet::new(), &b"b"[..]);
+        let mb = r.mailbox(pid(2)).unwrap();
+        assert_eq!(&mb.peek().unwrap().payload[..], b"a");
+        assert_eq!(mb.iter().count(), 2);
+        assert_eq!(mb.len(), 2);
+        assert!(!mb.is_empty());
+    }
+}

@@ -1,0 +1,2262 @@
+//! The kernel: scheduler, alternative blocks, synchronization, predicated
+//! IPC, and world splitting — §3.2–§3.4 of the paper, executable against a
+//! virtual clock.
+//!
+//! ## Simulation model
+//!
+//! * The kernel owns a deterministic [`EventQueue`]; processes execute one
+//!   op at a time on one of `cpus` simulated processors.
+//! * An op's *effects* are applied when the op is dispatched; its *cost*
+//!   is charged as virtual time before the process may proceed. (The skew
+//!   is invisible at the op granularity the workloads use.)
+//! * `Compute` ops are preemptible at quantum granularity when other work
+//!   is runnable, modeling the paper's *virtual concurrency* ("some
+//!   sharing of hardware, for example through multiprocessing", §4.2).
+//! * Every cost comes from the [`MachineProfile`]: forks, COW faults,
+//!   context switches, syscalls, and process teardown.
+//!
+//! ## The alternative-block protocol
+//!
+//! Executing [`Op::AltBlock`] forks one COW child per alternative (charged
+//! serially, as `alt_spawn` would), puts the parent in `alt_wait`, and
+//! lets the children race. A child reaching the end of its body evaluates
+//! its guard: failure aborts the child without synchronizing; success
+//! attempts synchronization. The first synchronizer wins — the parent
+//! absorbs its page map and registers and resumes; siblings are
+//! eliminated per the block's [`EliminationPolicy`]. A child that
+//! synchronizes after a winner was chosen is told "too late" and
+//! terminates itself (§3.2.1's at-most-once rule). If the `alt_wait`
+//! timeout fires first, or every alternative aborts, the block fails.
+
+use crate::process::{AfterOp, AltLink, ExitStatus, ProcState, Process};
+use crate::program::{
+    AltBlockSpec, Alternative, EliminationPolicy, GuardSpec, Op, Program, Target,
+};
+use crate::trace::TraceEvent;
+use altx_des::{EventQueue, SimDuration, SimRng, SimTime};
+use altx_ipc::{classify, split_worlds, Acceptance, BufferedSource, Router, SinkDevice, VecSource};
+use altx_pager::{AddressSpace, MachineProfile};
+use altx_predicates::{Outcome, Pid, PredicateSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+/// Kernel construction parameters.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Number of simulated CPUs (real concurrency degree).
+    pub cpus: usize,
+    /// The machine cost model.
+    pub profile: MachineProfile,
+    /// Preemption quantum for `Compute` ops when other work is runnable.
+    pub quantum: SimDuration,
+    /// Seed for guard probabilities and any other randomness.
+    pub seed: u64,
+    /// One-way message latency (zero = same-host IPC; nonzero models a
+    /// shared bus or network between processes).
+    pub ipc_latency: SimDuration,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            cpus: 8,
+            profile: MachineProfile::default(),
+            quantum: SimDuration::from_millis(10),
+            seed: 0xA17E,
+            ipc_latency: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Counters accumulated over a run (the throughput/wasted-work side of
+/// §4.1's overhead discussion).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Process dispatches that charged a context switch.
+    pub context_switches: u64,
+    /// COW forks performed (alternates + world splits).
+    pub forks: u64,
+    /// Processes torn down (aborts, eliminations, too-lates).
+    pub teardowns: u64,
+    /// Total virtual time spent on teardown work.
+    pub teardown_work: SimDuration,
+    /// Messages sent.
+    pub messages_sent: u64,
+    /// Receiver world splits performed (§3.4.2).
+    pub world_splits: u64,
+    /// Guard evaluations.
+    pub guard_evals: u64,
+    /// Total virtual CPU time consumed by `Compute` ops that were later
+    /// discarded (wasted speculative work — the throughput cost).
+    pub wasted_compute: SimDuration,
+    /// Total CPU-busy virtual time across all simulated CPUs (charged at
+    /// dispatch). With the run's elapsed time this yields utilization —
+    /// the resource-consumption metric §4.1's throughput discussion
+    /// trades away.
+    pub cpu_busy: SimDuration,
+}
+
+/// The record of one alternative block's execution, as observed at the
+/// parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockOutcome {
+    /// Process-local block sequence number.
+    pub block_seq: u64,
+    /// Winning alternative index (0-based), `None` if the block failed.
+    pub winner: Option<usize>,
+    /// The winning child's pid.
+    pub winner_pid: Option<Pid>,
+    /// True iff the block failed (no winner).
+    pub failed: bool,
+    /// True iff failure was due to the `alt_wait` timeout.
+    pub timed_out: bool,
+    /// When the parent dispatched the block op.
+    pub started_at: SimTime,
+    /// When the parent entered `alt_wait` (all children forked).
+    pub waiting_at: SimTime,
+    /// When the winner synchronized (or failure was determined).
+    pub decided_at: SimTime,
+    /// When the parent was runnable again (later than `decided_at` under
+    /// synchronous elimination).
+    pub parent_resumed_at: SimTime,
+    /// Setup overhead charged (syscall + per-child forks).
+    pub setup_cost: SimDuration,
+    /// Number of alternatives spawned.
+    pub n_alternatives: usize,
+}
+
+impl BlockOutcome {
+    /// Wall-clock (virtual) duration from block start to parent resume —
+    /// the quantity the PI analysis compares against sequential execution.
+    pub fn elapsed(&self) -> SimDuration {
+        self.parent_resumed_at - self.started_at
+    }
+}
+
+/// Final report of a kernel run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time when the run went quiescent.
+    pub finished_at: SimTime,
+    /// Run statistics.
+    pub stats: KernelStats,
+    /// Pids that were still blocked at quiescence (deadlock witness).
+    pub deadlocked: Vec<Pid>,
+    exits: HashMap<Pid, ExitStatus>,
+    outcomes: HashMap<Pid, Vec<BlockOutcome>>,
+    trace: Vec<TraceEvent>,
+}
+
+impl RunReport {
+    /// Exit status of `pid`, if it terminated.
+    pub fn exit(&self, pid: Pid) -> Option<ExitStatus> {
+        self.exits.get(&pid).copied()
+    }
+
+    /// The alternative-block outcomes recorded for `pid` as a parent, in
+    /// execution order.
+    pub fn block_outcomes(&self, pid: Pid) -> &[BlockOutcome] {
+        self.outcomes.get(&pid).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The full event trace.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    /// The current op's charged time has elapsed.
+    OpDone { pid: Pid, gen: u64 },
+    /// A process becomes eligible to run (fork completion, parent resume).
+    Ready { pid: Pid, gen: u64 },
+    /// `alt_wait` timeout for a block.
+    Timeout { parent: Pid, block_seq: u64 },
+    /// A message reaching its destination's logical process after the
+    /// configured IPC latency.
+    Deliver {
+        from: Pid,
+        to_logical: Pid,
+        predicate: PredicateSet,
+        payload: Vec<u8>,
+    },
+}
+
+#[derive(Debug)]
+struct BlockState {
+    elimination: EliminationPolicy,
+    children: Vec<Pid>,
+    alive: BTreeSet<Pid>,
+    winner: Option<(Pid, usize)>,
+    decided: bool,
+    timeout_id: Option<altx_des::event::EventId>,
+    started_at: SimTime,
+    waiting_at: SimTime,
+    setup_cost: SimDuration,
+    n_alternatives: usize,
+}
+
+/// The simulated kernel. See the [module docs](self) for the model.
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: KernelConfig,
+    queue: EventQueue<Event>,
+    procs: BTreeMap<Pid, Process>,
+    gens: HashMap<Pid, u64>,
+    run_queue: VecDeque<(Pid, u64)>,
+    idle_cpus: usize,
+    next_pid: u64,
+    router: Router,
+    names: HashMap<String, Pid>,
+    sources: HashMap<u32, BufferedSource<VecSource<Vec<u8>>>>,
+    sinks: HashMap<u32, SinkDevice>,
+    blocks: HashMap<(Pid, u64), BlockState>,
+    outcomes: HashMap<Pid, Vec<BlockOutcome>>,
+    trace: Vec<TraceEvent>,
+    rng: SimRng,
+    stats: KernelStats,
+    /// Compute time each live process has accumulated (for wasted-work
+    /// accounting when it is discarded).
+    compute_spent: HashMap<Pid, SimDuration>,
+    /// The compute slice currently charged to a running process:
+    /// (start, length). Settled in full at OpDone, prorated if the
+    /// process is eliminated mid-slice.
+    slice_in_flight: HashMap<Pid, (SimTime, SimDuration)>,
+    /// The CPU interval currently held by a running process (any op).
+    /// Settled into `stats.cpu_busy` at OpDone, prorated at termination.
+    busy_in_flight: HashMap<Pid, (SimTime, SimDuration)>,
+    /// Guard of each live alternate (world-split clones inherit theirs).
+    child_guards: HashMap<Pid, GuardSpec>,
+    /// Logical-process identity: world-split clones share the logical id
+    /// of the process they were split from, so messages addressed to
+    /// "the process" fan out to every live world of it (§3.4.2).
+    logical: HashMap<Pid, Pid>,
+    /// Resolved fates: once a process's outcome is published, later
+    /// message classifications normalize against it (a predicate about a
+    /// decided process is either already true or marks the message as
+    /// coming from an unreal world).
+    fates: HashMap<Pid, Outcome>,
+}
+
+impl Kernel {
+    /// Creates a kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cpus` is zero.
+    pub fn new(cfg: KernelConfig) -> Self {
+        assert!(cfg.cpus > 0, "kernel needs at least one CPU");
+        let rng = SimRng::seed_from_u64(cfg.seed);
+        Kernel {
+            idle_cpus: cfg.cpus,
+            cfg,
+            queue: EventQueue::new(),
+            procs: BTreeMap::new(),
+            gens: HashMap::new(),
+            run_queue: VecDeque::new(),
+            next_pid: 1,
+            router: Router::new(),
+            names: HashMap::new(),
+            sources: HashMap::new(),
+            sinks: HashMap::new(),
+            blocks: HashMap::new(),
+            outcomes: HashMap::new(),
+            trace: Vec::new(),
+            rng,
+            stats: KernelStats::default(),
+            compute_spent: HashMap::new(),
+            slice_in_flight: HashMap::new(),
+            busy_in_flight: HashMap::new(),
+            child_guards: HashMap::new(),
+            logical: HashMap::new(),
+            fates: HashMap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The configured machine profile.
+    pub fn profile(&self) -> &MachineProfile {
+        &self.cfg.profile
+    }
+
+    /// Registers an input source; items are pulled by
+    /// [`Op::SourcePull`].
+    pub fn add_source(&mut self, id: u32, items: Vec<Vec<u8>>) {
+        self.sources
+            .insert(id, BufferedSource::new(VecSource::new(items)));
+    }
+
+    /// Registers a shared sink device of `len` bytes; written by
+    /// [`Op::SinkWrite`] under per-process transactions.
+    pub fn add_sink(&mut self, id: u32, len: usize) {
+        self.sinks.insert(id, SinkDevice::new(len));
+    }
+
+    /// Read access to a sink device (e.g., to inspect committed state
+    /// after [`run`](Self::run)).
+    pub fn sink(&self, id: u32) -> Option<&SinkDevice> {
+        self.sinks.get(&id)
+    }
+
+    /// Spawns a root process with a zeroed address space of `mem_bytes`.
+    pub fn spawn(&mut self, program: Program, mem_bytes: usize) -> Pid {
+        let space = AddressSpace::zeroed(mem_bytes, self.cfg.profile.page_size());
+        self.spawn_with_space(program, space)
+    }
+
+    /// Spawns a root process with a caller-prepared address space.
+    pub fn spawn_with_space(&mut self, program: Program, space: AddressSpace) -> Pid {
+        let pid = self.alloc_pid();
+        let proc = Process::new(pid, program, space, PredicateSet::new());
+        self.procs.insert(pid, proc);
+        self.logical.insert(pid, pid);
+        self.router.register(pid);
+        self.trace.push(TraceEvent::Spawned {
+            at: self.now(),
+            pid,
+            parent: None,
+            alt_index: None,
+        });
+        let gen = self.gen(pid);
+        self.queue.schedule(self.now(), Event::Ready { pid, gen });
+        pid
+    }
+
+    /// Read access to a process's address space (e.g., to inspect results
+    /// after [`run`](Self::run)).
+    pub fn space(&self, pid: Pid) -> Option<&AddressSpace> {
+        self.procs.get(&pid).map(|p| &p.space)
+    }
+
+    /// Read access to a process's register file.
+    pub fn register_of(&self, pid: Pid, reg: usize) -> Option<Vec<u8>> {
+        self.procs.get(&pid).map(|p| p.register(reg).to_vec())
+    }
+
+    /// The trace so far.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Runs until quiescence (no events, nothing runnable) and reports.
+    pub fn run(&mut self) -> RunReport {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until quiescence or until the next event would fire after
+    /// `deadline`, whichever comes first. Useful for inspecting
+    /// intermediate speculative state.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunReport {
+        loop {
+            self.dispatch();
+            match self.queue.peek_time() {
+                Some(at) if at <= deadline => {
+                    let (_, event) = self.queue.pop().expect("peeked");
+                    self.handle(event);
+                }
+                _ => break,
+            }
+        }
+        self.report()
+    }
+
+    fn report(&self) -> RunReport {
+        let exits: HashMap<Pid, ExitStatus> = self
+            .procs
+            .iter()
+            .filter_map(|(&pid, p)| p.exit.map(|e| (pid, e)))
+            .collect();
+        let deadlocked: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| !p.is_zombie())
+            .map(|(&pid, _)| pid)
+            .collect();
+        RunReport {
+            finished_at: self.now(),
+            stats: self.stats,
+            deadlocked,
+            exits,
+            outcomes: self.outcomes.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling.
+    // ------------------------------------------------------------------
+
+    fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+
+    fn gen(&mut self, pid: Pid) -> u64 {
+        *self.gens.entry(pid).or_insert(0)
+    }
+
+    fn bump_gen(&mut self, pid: Pid) {
+        *self.gens.entry(pid).or_insert(0) += 1;
+    }
+
+    fn enqueue(&mut self, pid: Pid) {
+        let gen = self.gen(pid);
+        self.run_queue.push_back((pid, gen));
+    }
+
+    fn dispatch(&mut self) {
+        while self.idle_cpus > 0 {
+            let Some((pid, gen)) = self.run_queue.pop_front() else {
+                return;
+            };
+            if self.gens.get(&pid).copied().unwrap_or(0) != gen {
+                continue; // stale entry (process eliminated or restarted)
+            }
+            let Some(proc) = self.procs.get(&pid) else {
+                continue;
+            };
+            if proc.state != ProcState::Runnable {
+                continue;
+            }
+            self.idle_cpus -= 1;
+            self.stats.context_switches += 1;
+            self.procs.get_mut(&pid).expect("checked").state = ProcState::Running;
+            let cost = self.cfg.profile.context_switch_cost() + self.execute_op(pid);
+            self.busy_in_flight.insert(pid, (self.queue.now(), cost));
+            let gen = self.gen(pid);
+            self.queue
+                .schedule_after(cost, Event::OpDone { pid, gen });
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::OpDone { pid, gen } => self.on_op_done(pid, gen),
+            Event::Ready { pid, gen } => self.on_ready(pid, gen),
+            Event::Timeout { parent, block_seq } => self.on_timeout(parent, block_seq),
+            Event::Deliver { from, to_logical, predicate, payload } => {
+                self.deliver(from, to_logical, predicate, payload);
+                self.dispatch();
+            }
+        }
+    }
+
+    fn on_ready(&mut self, pid: Pid, gen: u64) {
+        if self.gens.get(&pid).copied().unwrap_or(0) != gen {
+            return;
+        }
+        if let Some(p) = self.procs.get(&pid) {
+            if p.state == ProcState::Runnable && !p.is_zombie() {
+                self.enqueue(pid);
+                self.dispatch();
+            }
+        }
+    }
+
+    fn on_op_done(&mut self, pid: Pid, gen: u64) {
+        if self.gens.get(&pid).copied().unwrap_or(0) != gen {
+            // The CPU this op held was released when the process was
+            // eliminated; nothing to do.
+            return;
+        }
+        if let Some((_, len)) = self.slice_in_flight.remove(&pid) {
+            *self.compute_spent.entry(pid).or_insert(SimDuration::ZERO) += len;
+        }
+        if let Some((_, len)) = self.busy_in_flight.remove(&pid) {
+            self.stats.cpu_busy += len;
+        }
+        let Some(proc) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        match proc.after_op {
+            AfterOp::ComputeContinue => {
+                // Quantum expired with compute remaining.
+                if self.run_queue.is_empty() {
+                    // Nobody waiting: keep the CPU, run the next slice
+                    // without a context switch.
+                    let cost = self.next_compute_slice(pid);
+                    self.busy_in_flight.insert(pid, (self.queue.now(), cost));
+                    let gen = self.gen(pid);
+                    self.queue.schedule_after(cost, Event::OpDone { pid, gen });
+                } else {
+                    // Preempt.
+                    let proc = self.procs.get_mut(&pid).expect("exists");
+                    proc.state = ProcState::Runnable;
+                    self.idle_cpus += 1;
+                    self.enqueue(pid);
+                    self.dispatch();
+                }
+            }
+            AfterOp::Advance => {
+                proc.pc += 1;
+                proc.state = ProcState::Runnable;
+                self.idle_cpus += 1;
+                self.enqueue(pid);
+                self.dispatch();
+            }
+            AfterOp::Block => {
+                // State (AltWaiting / RecvBlocked / SourceBlocked) was set
+                // during execution; just release the CPU.
+                self.idle_cpus += 1;
+                self.dispatch();
+            }
+            AfterOp::Exit => {
+                self.idle_cpus += 1;
+                self.dispatch();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Op execution. Returns the op's virtual-time cost; sets `after_op`.
+    // ------------------------------------------------------------------
+
+    fn execute_op(&mut self, pid: Pid) -> SimDuration {
+        let proc = self.procs.get_mut(&pid).expect("dispatched process exists");
+        if proc.at_end() {
+            return self.finish_program(pid);
+        }
+        let op = proc.program.ops()[proc.pc].clone();
+        match op {
+            Op::Nop => {
+                self.set_after(pid, AfterOp::Advance);
+                SimDuration::ZERO
+            }
+            Op::Compute(d) => {
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                if proc.compute_remaining.is_none() {
+                    proc.compute_remaining = Some(d);
+                }
+                self.next_compute_slice(pid)
+            }
+            Op::Write { addr, data } => {
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                let receipt = proc.space.write(addr, &data);
+                self.set_after(pid, AfterOp::Advance);
+                receipt.cost(&self.cfg.profile)
+            }
+            Op::TouchPages { first, count } => {
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                let receipt = proc.space.touch_pages(first, count, 0xA1);
+                self.set_after(pid, AfterOp::Advance);
+                receipt.cost(&self.cfg.profile)
+            }
+            Op::Read { addr, len } => {
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                let _ = proc.space.read_vec(addr, len);
+                self.set_after(pid, AfterOp::Advance);
+                SimDuration::ZERO
+            }
+            Op::WriteFromRegister { reg, addr } => {
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                let data = proc.register(reg).to_vec();
+                let receipt = proc.space.write(addr, &data);
+                self.set_after(pid, AfterOp::Advance);
+                receipt.cost(&self.cfg.profile)
+            }
+            Op::RegisterName(name) => {
+                self.names.insert(name, pid);
+                self.set_after(pid, AfterOp::Advance);
+                self.cfg.profile.syscall_cost()
+            }
+            Op::Send { to, payload } => {
+                self.do_send(pid, &to, payload);
+                self.set_after(pid, AfterOp::Advance);
+                self.cfg.profile.syscall_cost()
+            }
+            Op::Recv { reg } => self.do_recv(pid, reg),
+            Op::SinkWrite { sink_id, addr, value } => {
+                if let Some(sink) = self.sinks.get_mut(&sink_id) {
+                    sink.write(pid.as_u64(), addr, value);
+                }
+                self.set_after(pid, AfterOp::Advance);
+                self.cfg.profile.syscall_cost()
+            }
+            Op::SinkRead { sink_id, addr, reg } => {
+                let value = self
+                    .sinks
+                    .get(&sink_id)
+                    .map(|s| s.read(pid.as_u64(), addr))
+                    .unwrap_or(0);
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                proc.set_register(reg, vec![value]);
+                proc.after_op = AfterOp::Advance;
+                self.cfg.profile.syscall_cost()
+            }
+            Op::SourcePull { source_id, index, reg } => self.do_source_pull(pid, source_id, index, reg),
+            Op::AltBlock(spec) => self.do_alt_block(pid, spec),
+            Op::FailIfBlockFailed => {
+                let failed = self.procs.get(&pid).expect("exists").last_block_failed;
+                if failed {
+                    self.terminate(pid, ExitStatus::Failed { at: self.now() });
+                    self.set_after(pid, AfterOp::Exit);
+                } else {
+                    self.set_after(pid, AfterOp::Advance);
+                }
+                SimDuration::ZERO
+            }
+            Op::Fail => {
+                self.terminate(pid, ExitStatus::Failed { at: self.now() });
+                self.set_after(pid, AfterOp::Exit);
+                SimDuration::ZERO
+            }
+        }
+    }
+
+    fn set_after(&mut self, pid: Pid, after: AfterOp) {
+        self.procs.get_mut(&pid).expect("exists").after_op = after;
+    }
+
+    fn next_compute_slice(&mut self, pid: Pid) -> SimDuration {
+        let contended = !self.run_queue.is_empty();
+        let quantum = self.cfg.quantum;
+        let proc = self.procs.get_mut(&pid).expect("exists");
+        let remaining = proc.compute_remaining.expect("compute in progress");
+        let slice = if contended { remaining.min(quantum) } else { remaining };
+        let left = remaining - slice;
+        self.slice_in_flight.insert(pid, (self.queue.now(), slice));
+        let proc = self.procs.get_mut(&pid).expect("exists");
+        if left.is_zero() {
+            proc.compute_remaining = None;
+            proc.after_op = AfterOp::Advance;
+        } else {
+            proc.compute_remaining = Some(left);
+            proc.after_op = AfterOp::ComputeContinue;
+        }
+        slice
+    }
+
+    // ------------------------------------------------------------------
+    // Program completion: root exit or alternate guard + synchronization.
+    // ------------------------------------------------------------------
+
+    fn finish_program(&mut self, pid: Pid) -> SimDuration {
+        let link = self.procs.get(&pid).expect("exists").alt_link;
+        match link {
+            None => {
+                // Containment (§3.4.2): completing is observable. A root
+                // process that reached its end while still holding
+                // assumptions acquired through speculative messages must
+                // wait for them to resolve — it is then either doomed
+                // (eliminated by `resolve`) or free to exit.
+                let conditional =
+                    !self.procs.get(&pid).expect("exists").predicates.is_unconditional();
+                if conditional {
+                    let proc = self.procs.get_mut(&pid).expect("exists");
+                    proc.state = ProcState::SourceBlocked;
+                    proc.after_op = AfterOp::Block;
+                    return SimDuration::ZERO;
+                }
+                self.terminate(pid, ExitStatus::Completed { at: self.now() });
+                self.resolve(pid, Outcome::Completed);
+                self.set_after(pid, AfterOp::Exit);
+                SimDuration::ZERO
+            }
+            Some(link) => {
+                // A child may finish its body while the parent is still
+                // forking later siblings; the rendezvous cannot happen
+                // until the parent has entered alt_wait. Park until then.
+                if let Some(block) = self.blocks.get(&(link.parent, link.block_seq)) {
+                    if self.now() < block.waiting_at {
+                        let at = block.waiting_at;
+                        let proc = self.procs.get_mut(&pid).expect("exists");
+                        proc.state = ProcState::Runnable;
+                        proc.after_op = AfterOp::Block;
+                        let gen = self.gen(pid);
+                        self.queue.schedule(at, Event::Ready { pid, gen });
+                        return SimDuration::ZERO;
+                    }
+                }
+                // Containment for alternates: synchronizing publishes the
+                // child's state into the parent. Assumptions the child
+                // acquired beyond its spawn set (its own cohort rivalry
+                // plus whatever the parent itself assumes) must resolve
+                // before the rendezvous.
+                if self.has_foreign_assumptions(pid, link) {
+                    let proc = self.procs.get_mut(&pid).expect("exists");
+                    proc.state = ProcState::SourceBlocked;
+                    proc.after_op = AfterOp::Block;
+                    return SimDuration::ZERO;
+                }
+                self.guard_and_sync(pid, link)
+            }
+        }
+    }
+
+    /// True iff `pid` holds assumptions about processes outside its spawn
+    /// set: neither itself, nor its block cohort, nor covered by its
+    /// parent's own predicates — i.e., assumptions acquired through
+    /// speculative messages that have not yet resolved.
+    fn has_foreign_assumptions(&self, pid: Pid, link: AltLink) -> bool {
+        let Some(proc) = self.procs.get(&pid) else {
+            return false;
+        };
+        let cohort: std::collections::BTreeSet<Pid> = self
+            .blocks
+            .get(&(link.parent, link.block_seq))
+            .map(|b| b.children.iter().copied().collect())
+            .unwrap_or_default();
+        let parent_preds = self
+            .procs
+            .get(&link.parent)
+            .map(|p| p.predicates.clone())
+            .unwrap_or_default();
+        let foreign = |q: Pid| {
+            q != pid && !cohort.contains(&q) && parent_preds.assumption_about(q).is_none()
+        };
+        proc.predicates.must_complete().any(foreign)
+            || proc.predicates.must_fail().any(foreign)
+    }
+
+    fn guard_and_sync(&mut self, pid: Pid, link: AltLink) -> SimDuration {
+        // Guard evaluation (in the child, the default placement — §3.2).
+        self.stats.guard_evals += 1;
+        let guard_cost = self.cfg.profile.syscall_cost();
+        let key = (link.parent, link.block_seq);
+        let passed = self.evaluate_child_guard(pid);
+        self.trace.push(TraceEvent::GuardEvaluated {
+            at: self.now(),
+            pid,
+            passed,
+        });
+        if !passed {
+            // Abort without synchronizing.
+            self.trace.push(TraceEvent::Aborted { at: self.now(), pid });
+            let teardown = self.teardown_cost_of(pid);
+            self.discard_process(pid, ExitStatus::Failed { at: self.now() });
+            self.resolve(pid, Outcome::Failed);
+            self.note_child_gone(key, pid);
+            self.set_after(pid, AfterOp::Exit);
+            return guard_cost + teardown;
+        }
+
+        // Synchronization attempt (§3.2.1).
+        let sync_cost = self.cfg.profile.syscall_cost() + self.cfg.profile.context_switch_cost();
+        let block_decided = self.blocks.get(&key).map(|b| b.decided).unwrap_or(true);
+        if block_decided {
+            // At-most-once: told "too late", terminate self.
+            self.trace.push(TraceEvent::TooLate { at: self.now(), pid });
+            let teardown = self.teardown_cost_of(pid);
+            self.discard_process(pid, ExitStatus::TooLate { at: self.now() });
+            self.resolve(pid, Outcome::Failed);
+            self.note_child_gone(key, pid);
+            self.set_after(pid, AfterOp::Exit);
+            return guard_cost + sync_cost + teardown;
+        }
+
+        // Winner. Fix the block, absorb into the parent, eliminate
+        // siblings.
+        let (elimination, siblings) = {
+            let block = self.blocks.get_mut(&key).expect("undecided block exists");
+            block.decided = true;
+            block.winner = Some((pid, link.index));
+            if let Some(tid) = block.timeout_id.take() {
+                self.queue.cancel(tid);
+            }
+            block.alive.remove(&pid);
+            (block.elimination, block.alive.iter().copied().collect::<Vec<_>>())
+        };
+
+        self.trace.push(TraceEvent::Synchronized {
+            at: self.now(),
+            winner: pid,
+            parent: link.parent,
+            alt_index: link.index,
+        });
+
+        // The winner's staged sink writes join the parent's transaction:
+        // they become permanent only when the parent's own fate resolves.
+        for sink in self.sinks.values_mut() {
+            sink.merge_txn(pid.as_u64(), link.parent.as_u64());
+        }
+        // The winner's state changes become the parent's: atomically
+        // replace the page map (absorb), carry over registers.
+        let now = self.now();
+        let winner_proc = self.procs.get_mut(&pid).expect("exists");
+        winner_proc.state = ProcState::Zombie;
+        winner_proc.exit = Some(ExitStatus::Completed { at: now });
+        let winner_space = winner_proc.space.clone();
+        let winner_regs = winner_proc.registers.clone();
+        self.bump_gen(pid);
+        self.router.unregister(pid);
+        self.compute_spent.remove(&pid);
+
+        let parent = self.procs.get_mut(&link.parent).expect("parent exists");
+        parent.space.absorb(winner_space);
+        parent.registers = winner_regs;
+        parent.last_block_failed = false;
+        parent.pc += 1;
+        parent.state = ProcState::Runnable;
+
+        // Sibling elimination. Compute the teardown bill first: resolving
+        // the winner's fate dooms the siblings (their rivalry predicates
+        // assumed the winner would fail), so they are torn down inside
+        // `resolve`; the explicit sweep below catches any that held no
+        // such predicate.
+        let elim_total: SimDuration = siblings
+            .iter()
+            .map(|&s| self.teardown_cost_of(s))
+            .sum();
+        self.resolve(pid, Outcome::Completed);
+        for sib in siblings {
+            self.eliminate(sib);
+        }
+
+        // Parent resume: synchronous elimination delays it.
+        let resume_delay = match elimination {
+            EliminationPolicy::Synchronous => sync_cost + elim_total,
+            EliminationPolicy::Asynchronous => sync_cost,
+        };
+        let resumed_at = self.now() + resume_delay;
+        let parent_gen = self.gen(link.parent);
+        self.queue.schedule(
+            resumed_at,
+            Event::Ready {
+                pid: link.parent,
+                gen: parent_gen,
+            },
+        );
+
+        // Record the outcome.
+        let block = self.blocks.remove(&key).expect("block existed");
+        let decided_at = self.now();
+        self.outcomes
+            .entry(link.parent)
+            .or_default()
+            .push(BlockOutcome {
+                block_seq: link.block_seq,
+                winner: Some(link.index),
+                winner_pid: Some(pid),
+                failed: false,
+                timed_out: false,
+                started_at: block.started_at,
+                waiting_at: block.waiting_at,
+                decided_at,
+                parent_resumed_at: resumed_at,
+                setup_cost: block.setup_cost,
+                n_alternatives: block.n_alternatives,
+            });
+
+        self.set_after(pid, AfterOp::Exit);
+        guard_cost + sync_cost
+    }
+
+    fn evaluate_child_guard(&mut self, pid: Pid) -> bool {
+        let g = self
+            .child_guards
+            .get(&pid)
+            .cloned()
+            .unwrap_or(GuardSpec::Const(true));
+        match g {
+            GuardSpec::Const(b) => b,
+            GuardSpec::MemByteEquals { addr, expected } => {
+                let proc = self.procs.get_mut(&pid).expect("exists");
+                proc.space.read_vec(addr, 1)[0] == expected
+            }
+            GuardSpec::WithProbability(p) => self.rng.chance(p),
+        }
+    }
+
+    fn note_child_gone(&mut self, key: (Pid, u64), pid: Pid) {
+        let Some(block) = self.blocks.get_mut(&key) else {
+            return;
+        };
+        block.alive.remove(&pid);
+        if !block.decided && block.alive.is_empty() {
+            // Every alternative failed: the block fails (§2's FAIL arm).
+            self.fail_block(key, false);
+        }
+    }
+
+    fn fail_block(&mut self, key: (Pid, u64), timed_out: bool) {
+        let (parent_pid, block_seq) = key;
+        let Some(block) = self.blocks.get_mut(&key) else {
+            return;
+        };
+        if block.decided {
+            return;
+        }
+        block.decided = true;
+        if let Some(tid) = block.timeout_id.take() {
+            self.queue.cancel(tid);
+        }
+        let survivors: Vec<Pid> = block.alive.iter().copied().collect();
+        let started_at = block.started_at;
+        let waiting_at = block.waiting_at;
+        let setup_cost = block.setup_cost;
+        let n_alternatives = block.n_alternatives;
+        let elimination = block.elimination;
+
+        // On timeout, live children are eliminated.
+        let mut elim_total = SimDuration::ZERO;
+        for pid in survivors {
+            elim_total += self.eliminate(pid);
+        }
+
+        self.trace.push(TraceEvent::BlockFailed {
+            at: self.now(),
+            pid: parent_pid,
+            block_seq,
+            timed_out,
+        });
+
+        let parent = self.procs.get_mut(&parent_pid).expect("parent exists");
+        parent.last_block_failed = true;
+        parent.pc += 1;
+        parent.state = ProcState::Runnable;
+
+        let resume_delay = match elimination {
+            EliminationPolicy::Synchronous => self.cfg.profile.syscall_cost() + elim_total,
+            EliminationPolicy::Asynchronous => self.cfg.profile.syscall_cost(),
+        };
+        let resumed_at = self.now() + resume_delay;
+        let parent_gen = self.gen(parent_pid);
+        self.queue.schedule(
+            resumed_at,
+            Event::Ready {
+                pid: parent_pid,
+                gen: parent_gen,
+            },
+        );
+
+        self.blocks.remove(&key);
+        let decided_at = self.now();
+        self.outcomes.entry(parent_pid).or_default().push(BlockOutcome {
+            block_seq,
+            winner: None,
+            winner_pid: None,
+            failed: true,
+            timed_out,
+            started_at,
+            waiting_at,
+            decided_at,
+            parent_resumed_at: resumed_at,
+            setup_cost,
+            n_alternatives,
+        });
+    }
+
+    fn on_timeout(&mut self, parent: Pid, block_seq: u64) {
+        let key = (parent, block_seq);
+        if self.blocks.get(&key).map(|b| !b.decided).unwrap_or(false) {
+            self.fail_block(key, true);
+            self.dispatch();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Alternative-block spawn.
+    // ------------------------------------------------------------------
+
+    fn do_alt_block(&mut self, parent_pid: Pid, spec: AltBlockSpec) -> SimDuration {
+        let started_at = self.now();
+        let parent = self.procs.get_mut(&parent_pid).expect("exists");
+        let block_seq = parent.blocks_started;
+        parent.blocks_started += 1;
+        let parent_preds = parent.predicates.clone();
+        let parent_space = parent.space.clone();
+        let page_count = parent.space.page_count();
+
+        // Optional redundant pre-spawn guard evaluation in the parent
+        // (§3.2): alternatives whose guard is already known false are not
+        // spawned at all.
+        let mut spawnable: Vec<(usize, &Alternative)> = Vec::new();
+        for (i, alt) in spec.alternatives.iter().enumerate() {
+            let skip = if spec.prespawn_guard_check {
+                match &alt.guard {
+                    GuardSpec::Const(b) => !*b,
+                    GuardSpec::MemByteEquals { addr, expected } => {
+                        let mut probe = parent_space.clone();
+                        probe.read_vec(*addr, 1)[0] != *expected
+                    }
+                    GuardSpec::WithProbability(_) => false,
+                }
+            } else {
+                false
+            };
+            if !skip {
+                spawnable.push((i, alt));
+            }
+        }
+
+        let mut setup_cost = self.cfg.profile.syscall_cost();
+        if spawnable.is_empty() {
+            // Immediate failure: nothing can succeed.
+            let parent = self.procs.get_mut(&parent_pid).expect("exists");
+            parent.last_block_failed = true;
+            self.trace.push(TraceEvent::BlockFailed {
+                at: self.now(),
+                pid: parent_pid,
+                block_seq,
+                timed_out: false,
+            });
+            self.outcomes.entry(parent_pid).or_default().push(BlockOutcome {
+                block_seq,
+                winner: None,
+                winner_pid: None,
+                failed: true,
+                timed_out: false,
+                started_at,
+                waiting_at: started_at,
+                decided_at: started_at,
+                parent_resumed_at: started_at + setup_cost,
+                setup_cost,
+                n_alternatives: 0,
+            });
+            self.set_after(parent_pid, AfterOp::Advance);
+            return setup_cost;
+        }
+
+        // Allocate pids first so sibling-rivalry predicates can reference
+        // the whole cohort.
+        let child_pids: Vec<Pid> = spawnable.iter().map(|_| self.alloc_pid()).collect();
+
+        let mut ready_offset = setup_cost;
+        for (slot, &(alt_index, alt)) in spawnable.iter().enumerate() {
+            let pid = child_pids[slot];
+            let fork_cost = self.cfg.profile.fork_cost(page_count);
+            ready_offset += fork_cost;
+            setup_cost += fork_cost;
+            self.stats.forks += 1;
+
+            let predicates = PredicateSet::child_of(&parent_preds)
+                .with_sibling_rivalry(pid, child_pids.iter().copied())
+                .expect("fresh pids cannot conflict");
+
+            let mut child = Process::new(
+                pid,
+                alt.body.clone(),
+                parent_space.cow_fork(),
+                predicates,
+            );
+            child.alt_link = Some(AltLink {
+                parent: parent_pid,
+                block_seq,
+                index: alt_index,
+            });
+            self.procs.insert(pid, child);
+            self.logical.insert(pid, pid);
+            self.child_guards.insert(pid, alt.guard.clone());
+            self.router.register(pid);
+            self.trace.push(TraceEvent::Spawned {
+                at: self.now(),
+                pid,
+                parent: Some(parent_pid),
+                alt_index: Some(alt_index),
+            });
+            let gen = self.gen(pid);
+            self.queue.schedule(
+                self.now() + ready_offset,
+                Event::Ready { pid, gen },
+            );
+        }
+
+        let waiting_at = self.now() + setup_cost;
+        // alt_wait(TIMEOUT) starts once the parent blocks.
+        let timeout_id = self.queue.schedule(
+            waiting_at + spec.timeout,
+            Event::Timeout {
+                parent: parent_pid,
+                block_seq,
+            },
+        );
+
+        self.blocks.insert(
+            (parent_pid, block_seq),
+            BlockState {
+                elimination: spec.elimination,
+                children: child_pids.clone(),
+                alive: child_pids.iter().copied().collect(),
+                winner: None,
+                decided: false,
+                timeout_id: Some(timeout_id),
+                started_at,
+                waiting_at,
+                setup_cost,
+                n_alternatives: child_pids.len(),
+            },
+        );
+
+        let parent = self.procs.get_mut(&parent_pid).expect("exists");
+        parent.state = ProcState::AltWaiting { block_seq };
+        parent.after_op = AfterOp::Block;
+        self.trace.push(TraceEvent::AltWait {
+            at: self.now(),
+            pid: parent_pid,
+            block_seq,
+        });
+        setup_cost
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging.
+    // ------------------------------------------------------------------
+
+    fn do_send(&mut self, from: Pid, to: &Target, payload: Vec<u8>) {
+        let to_pid = match to {
+            Target::Pid(p) => Some(*p),
+            Target::Name(n) => self.names.get(n).copied(),
+            Target::Parent => self.procs.get(&from).and_then(|p| p.alt_link).map(|l| l.parent),
+        };
+        let Some(to_pid) = to_pid else {
+            return; // unresolvable destination: dropped
+        };
+        let logical_target = self.logical.get(&to_pid).copied().unwrap_or(to_pid);
+        let predicate = self.procs.get(&from).expect("exists").predicates.clone();
+        if self.cfg.ipc_latency.is_zero() {
+            self.deliver(from, logical_target, predicate, payload);
+        } else {
+            // In-flight: the destination's world set is computed at
+            // arrival time, not send time.
+            let latency = self.cfg.ipc_latency;
+            self.queue.schedule_after(
+                latency,
+                Event::Deliver {
+                    from,
+                    to_logical: logical_target,
+                    predicate,
+                    payload,
+                },
+            );
+        }
+    }
+
+    /// Delivers a message to every live world of a logical process; each
+    /// world classifies it independently (§3.4.2).
+    fn deliver(&mut self, from: Pid, to_logical: Pid, predicate: PredicateSet, payload: Vec<u8>) {
+        let worlds: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(&p, proc)| {
+                !proc.is_zombie()
+                    && self.logical.get(&p).copied().unwrap_or(p) == to_logical
+            })
+            .map(|(&p, _)| p)
+            .collect();
+        let mut delivered_any = false;
+        for world in worlds {
+            if self.router.send(from, world, predicate.clone(), payload.clone()).is_some() {
+                delivered_any = true;
+                // Wake a blocked receiver world.
+                if let Some(receiver) = self.procs.get_mut(&world) {
+                    if receiver.state == ProcState::RecvBlocked {
+                        receiver.state = ProcState::Runnable;
+                        self.enqueue(world);
+                    }
+                }
+            }
+        }
+        if delivered_any {
+            self.stats.messages_sent += 1;
+        }
+    }
+
+    /// Rewrites a sending predicate against the fates ledger: discharged
+    /// assumptions are dropped; a contradicted assumption means the
+    /// message came from a world now known to be unreal (`None`).
+    fn normalize_against_fates(&self, preds: &PredicateSet) -> Option<PredicateSet> {
+        let mut out = PredicateSet::new();
+        for p in preds.must_complete() {
+            match self.fates.get(&p) {
+                Some(Outcome::Completed) => {}
+                Some(Outcome::Failed) => return None,
+                None => out.assume_completes(p).expect("fresh set"),
+            }
+        }
+        for p in preds.must_fail() {
+            match self.fates.get(&p) {
+                Some(Outcome::Failed) => {}
+                Some(Outcome::Completed) => return None,
+                None => out.assume_fails(p).expect("fresh set"),
+            }
+        }
+        Some(out)
+    }
+
+    fn do_recv(&mut self, pid: Pid, reg: usize) -> SimDuration {
+        let cost = self.cfg.profile.syscall_cost();
+        loop {
+            let mut msg = {
+                let Some(mb) = self.router.mailbox_mut(pid) else {
+                    break;
+                };
+                mb.pop()
+            };
+            let Some(msg) = msg.as_mut() else {
+                break;
+            };
+            // Classify against present knowledge, not the send-time
+            // snapshot: assumptions about already-decided processes are
+            // either discharged or damn the message.
+            match self.normalize_against_fates(&msg.predicate) {
+                Some(normalized) => msg.predicate = normalized,
+                None => {
+                    self.trace.push(TraceEvent::MessageIgnored {
+                        at: self.now(),
+                        from: msg.from(),
+                        to: pid,
+                    });
+                    continue;
+                }
+            }
+            let receiver_preds = self.procs.get(&pid).expect("exists").predicates.clone();
+            match classify(&receiver_preds, &*msg) {
+                Acceptance::Accept => {
+                    self.trace.push(TraceEvent::MessageAccepted {
+                        at: self.now(),
+                        from: msg.from(),
+                        to: pid,
+                    });
+                    let proc = self.procs.get_mut(&pid).expect("exists");
+                    proc.set_register(reg, msg.payload.to_vec());
+                    self.set_after(pid, AfterOp::Advance);
+                    return cost;
+                }
+                Acceptance::Ignore { .. } => {
+                    self.trace.push(TraceEvent::MessageIgnored {
+                        at: self.now(),
+                        from: msg.from(),
+                        to: pid,
+                    });
+                    continue;
+                }
+                Acceptance::Split { extra } => {
+                    let sender = msg.from();
+                    let (accepting, rejecting) =
+                        split_worlds(&receiver_preds, sender, &extra)
+                            .expect("classify guaranteed consistency");
+                    let clone_pid = self.alloc_pid();
+                    self.stats.world_splits += 1;
+                    self.stats.forks += 1;
+
+                    // The rejecting world: same program position, COW
+                    // space, no knowledge of the message.
+                    let original = self.procs.get(&pid).expect("exists");
+                    let mut clone = Process::new(
+                        clone_pid,
+                        original.program.clone(),
+                        original.space.cow_fork(),
+                        rejecting,
+                    );
+                    clone.pc = original.pc; // still at the Recv op
+                    clone.registers = original.registers.clone();
+                    clone.alt_link = original.alt_link;
+                    clone.last_block_failed = original.last_block_failed;
+                    if let Some(g) = self.child_guards.get(&pid).cloned() {
+                        self.child_guards.insert(clone_pid, g);
+                    }
+                    self.procs.insert(clone_pid, clone);
+                    let logical = self.logical.get(&pid).copied().unwrap_or(pid);
+                    self.logical.insert(clone_pid, logical);
+                    for sink in self.sinks.values_mut() {
+                        sink.clone_txn(pid.as_u64(), clone_pid.as_u64());
+                    }
+                    self.router.clone_mailbox(pid, clone_pid);
+                    // If the receiver is an alternate, the clone competes
+                    // in the same block under its own pid.
+                    if let Some(link) = self.procs.get(&pid).expect("exists").alt_link {
+                        if let Some(block) = self.blocks.get_mut(&(link.parent, link.block_seq)) {
+                            block.alive.insert(clone_pid);
+                            block.children.push(clone_pid);
+                        }
+                    }
+                    self.trace.push(TraceEvent::WorldSplit {
+                        at: self.now(),
+                        accepting: pid,
+                        rejecting: clone_pid,
+                        sender,
+                    });
+                    self.trace.push(TraceEvent::Spawned {
+                        at: self.now(),
+                        pid: clone_pid,
+                        parent: Some(pid),
+                        alt_index: None,
+                    });
+                    let fork_cost = self
+                        .cfg
+                        .profile
+                        .fork_cost(self.procs.get(&pid).expect("exists").space.page_count());
+                    let clone_gen = self.gen(clone_pid);
+                    self.queue.schedule(
+                        self.now() + fork_cost,
+                        Event::Ready {
+                            pid: clone_pid,
+                            gen: clone_gen,
+                        },
+                    );
+
+                    // The accepting world (this process) adopts the
+                    // conjoined assumptions and takes the message.
+                    self.trace.push(TraceEvent::MessageAccepted {
+                        at: self.now(),
+                        from: sender,
+                        to: pid,
+                    });
+                    let proc = self.procs.get_mut(&pid).expect("exists");
+                    proc.predicates = accepting;
+                    proc.set_register(reg, msg.payload.to_vec());
+                    self.set_after(pid, AfterOp::Advance);
+                    return cost + fork_cost;
+                }
+            }
+        }
+        // No acceptable message: block.
+        let proc = self.procs.get_mut(&pid).expect("exists");
+        proc.state = ProcState::RecvBlocked;
+        proc.after_op = AfterOp::Block;
+        cost
+    }
+
+    fn do_source_pull(&mut self, pid: Pid, source_id: u32, index: usize, reg: usize) -> SimDuration {
+        let cost = self.cfg.profile.syscall_cost();
+        let proc = self.procs.get_mut(&pid).expect("exists");
+        if !proc.predicates.is_unconditional() {
+            // §3.4.2: speculative processes cannot interface with sources.
+            proc.state = ProcState::SourceBlocked;
+            proc.after_op = AfterOp::Block;
+            return cost;
+        }
+        let item = self
+            .sources
+            .get_mut(&source_id)
+            .and_then(|s| s.read(index))
+            .unwrap_or_default();
+        let proc = self.procs.get_mut(&pid).expect("exists");
+        proc.set_register(reg, item);
+        proc.after_op = AfterOp::Advance;
+        cost
+    }
+
+    // ------------------------------------------------------------------
+    // Termination, elimination, predicate resolution.
+    // ------------------------------------------------------------------
+
+    /// Marks a process terminated without charging teardown (used for
+    /// normal exits; callers charge costs via returned durations).
+    fn terminate(&mut self, pid: Pid, status: ExitStatus) {
+        // Sink transactions follow the process's fate (§3.1 atomicity):
+        // success commits the staged writes, any failure discards them.
+        for sink in self.sinks.values_mut() {
+            if status.is_success() {
+                sink.commit(pid.as_u64());
+            } else {
+                sink.abort(pid.as_u64());
+            }
+        }
+        // Settle a partially executed compute slice: only the elapsed
+        // portion was really spent.
+        if let Some((start, len)) = self.slice_in_flight.remove(&pid) {
+            let elapsed = self.now().saturating_duration_since(start).min(len);
+            *self.compute_spent.entry(pid).or_insert(SimDuration::ZERO) += elapsed;
+        }
+        if let Some((start, len)) = self.busy_in_flight.remove(&pid) {
+            let elapsed = self.now().saturating_duration_since(start).min(len);
+            self.stats.cpu_busy += elapsed;
+        }
+        let proc = self.procs.get_mut(&pid).expect("exists");
+        proc.state = ProcState::Zombie;
+        proc.exit = Some(status);
+        self.bump_gen(pid);
+        self.router.unregister(pid);
+        self.compute_spent.remove(&pid);
+    }
+
+    fn teardown_cost_of(&self, pid: Pid) -> SimDuration {
+        let pages = self
+            .procs
+            .get(&pid)
+            .map(|p| p.space.page_count())
+            .unwrap_or(0);
+        self.cfg.profile.teardown_cost(pages)
+    }
+
+    /// Terminates a process whose speculative work is being thrown away,
+    /// recording the wasted compute.
+    fn discard_process(&mut self, pid: Pid, status: ExitStatus) {
+        if let Some((start, len)) = self.slice_in_flight.remove(&pid) {
+            let elapsed = self.now().saturating_duration_since(start).min(len);
+            *self.compute_spent.entry(pid).or_insert(SimDuration::ZERO) += elapsed;
+        }
+        if let Some(spent) = self.compute_spent.remove(&pid) {
+            self.stats.wasted_compute += spent;
+        }
+        self.stats.teardowns += 1;
+        let cost = self.teardown_cost_of(pid);
+        self.stats.teardown_work += cost;
+        self.terminate(pid, status);
+    }
+
+    /// Eliminates a losing sibling or doomed world; returns the teardown
+    /// cost charged.
+    fn eliminate(&mut self, pid: Pid) -> SimDuration {
+        let Some(proc) = self.procs.get(&pid) else {
+            return SimDuration::ZERO;
+        };
+        if proc.is_zombie() {
+            return SimDuration::ZERO;
+        }
+        // If it held a CPU, release it.
+        if proc.state == ProcState::Running {
+            self.idle_cpus += 1;
+        }
+        let cost = self.teardown_cost_of(pid);
+        self.trace.push(TraceEvent::Eliminated { at: self.now(), pid });
+        self.discard_process(pid, ExitStatus::Eliminated { at: self.now() });
+        self.resolve(pid, Outcome::Failed);
+        cost
+    }
+
+    /// Publishes the real fate of `pid` and updates every live world:
+    /// satisfied assumptions are discharged (possibly unblocking
+    /// source-blocked processes), contradicted assumptions doom their
+    /// holder (§3.4.2).
+    fn resolve(&mut self, pid: Pid, outcome: Outcome) {
+        self.fates.insert(pid, outcome);
+        let live: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| !p.is_zombie())
+            .map(|(&q, _)| q)
+            .collect();
+        let mut doomed = Vec::new();
+        for q in live {
+            let proc = self.procs.get_mut(&q).expect("exists");
+            match proc.predicates.resolve(pid, outcome) {
+                altx_predicates::Resolution::Doomed => doomed.push(q),
+                altx_predicates::Resolution::Satisfied => {
+                    // Wake predicate-parked processes (source waiters and
+                    // parked completers/synchronizers); they re-check and
+                    // park again if their condition still fails.
+                    if proc.state == ProcState::SourceBlocked {
+                        proc.state = ProcState::Runnable;
+                        self.enqueue(q);
+                    }
+                }
+                altx_predicates::Resolution::Unaffected => {}
+            }
+        }
+        for q in doomed {
+            // A doomed world may itself be an alternate in a block.
+            let link = self.procs.get(&q).and_then(|p| p.alt_link);
+            self.eliminate(q);
+            if let Some(link) = link {
+                self.note_child_gone((link.parent, link.block_seq), q);
+            }
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig::default())
+    }
+
+    fn block_of(alts: Vec<Alternative>) -> Program {
+        Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))])
+    }
+
+    #[test]
+    fn fastest_alternative_wins() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(30)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(20)),
+            ]),
+            64 * 1024,
+        );
+        let report = k.run();
+        let outcomes = report.block_outcomes(root);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].winner, Some(1));
+        assert!(!outcomes[0].failed);
+        assert!(report.exit(root).expect("root exited").is_success());
+    }
+
+    #[test]
+    fn winner_state_is_absorbed() {
+        let mut k = kernel();
+        let fast = Program::new(vec![
+            Op::Compute(SimDuration::from_millis(5)),
+            Op::Write { addr: 0, data: b"fast".to_vec() },
+        ]);
+        let slow = Program::new(vec![
+            Op::Compute(SimDuration::from_millis(50)),
+            Op::Write { addr: 0, data: b"slow".to_vec() },
+        ]);
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), slow),
+                Alternative::new(GuardSpec::Const(true), fast),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(1));
+        let mut space = k.space(root).expect("root space").clone();
+        assert_eq!(&space.read_vec(0, 4), b"fast");
+    }
+
+    #[test]
+    fn guard_failure_falls_through_to_other_alternative() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(false), Program::compute_ms(1)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(20)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(1));
+    }
+
+    #[test]
+    fn all_guards_fail_fails_block() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(false), Program::compute_ms(1)),
+                Alternative::new(GuardSpec::Const(false), Program::compute_ms(2)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        let o = &report.block_outcomes(root)[0];
+        assert!(o.failed);
+        assert_eq!(o.winner, None);
+        assert!(!o.timed_out);
+        // Parent continues after the failed block (no FailIfBlockFailed).
+        assert!(report.exit(root).expect("exited").is_success());
+    }
+
+    #[test]
+    fn fail_if_block_failed_propagates() {
+        let mut k = kernel();
+        let program = block_of(vec![Alternative::new(
+            GuardSpec::Const(false),
+            Program::compute_ms(1),
+        )])
+        .then(Op::FailIfBlockFailed);
+        let root = k.spawn(program, 4 * 1024);
+        let report = k.run();
+        assert!(matches!(
+            report.exit(root),
+            Some(ExitStatus::Failed { .. })
+        ));
+    }
+
+    #[test]
+    fn timeout_fails_block() {
+        let mut k = kernel();
+        let spec = AltBlockSpec::new(vec![Alternative::new(
+            GuardSpec::Const(true),
+            Program::compute_ms(1_000),
+        )])
+        .with_timeout(SimDuration::from_millis(50));
+        let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
+        let report = k.run();
+        let o = &report.block_outcomes(root)[0];
+        assert!(o.failed);
+        assert!(o.timed_out);
+    }
+
+    #[test]
+    fn losing_siblings_are_eliminated() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(5)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.stats.teardowns, 2);
+        let eliminated = report
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Eliminated { .. }))
+            .count();
+        assert_eq!(eliminated, 2);
+        let _ = root;
+    }
+
+    #[test]
+    fn synchronous_elimination_delays_parent() {
+        let run = |policy: EliminationPolicy| {
+            let mut k = kernel();
+            let spec = AltBlockSpec::new(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(5)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+            ])
+            .with_elimination(policy);
+            let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 256 * 1024);
+            let report = k.run();
+            report.block_outcomes(root)[0].clone()
+        };
+        let sync = run(EliminationPolicy::Synchronous);
+        let async_ = run(EliminationPolicy::Asynchronous);
+        assert_eq!(sync.decided_at, async_.decided_at, "same decision time");
+        assert!(
+            sync.parent_resumed_at > async_.parent_resumed_at,
+            "sync elimination must delay the parent: {} vs {}",
+            sync.parent_resumed_at,
+            async_.parent_resumed_at
+        );
+    }
+
+    #[test]
+    fn late_synchronizer_is_too_late() {
+        let mut k = kernel();
+        // Two alternatives finishing close together; the slower one must
+        // be eliminated or told too-late, never absorbed.
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(11)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+        // Exactly one absorption.
+        let syncs = report
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Synchronized { .. }))
+            .count();
+        assert_eq!(syncs, 1);
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let mut k = kernel();
+        let inner = AltBlockSpec::new(vec![
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(5)),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(50)),
+        ]);
+        let outer = AltBlockSpec::new(vec![
+            Alternative::new(
+                GuardSpec::Const(true),
+                Program::new(vec![Op::AltBlock(inner), Op::Compute(SimDuration::from_millis(5))]),
+            ),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(200)),
+        ]);
+        let root = k.spawn(Program::new(vec![Op::AltBlock(outer)]), 4 * 1024);
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+        assert!(report.exit(root).expect("exited").is_success());
+    }
+
+    #[test]
+    fn virtual_concurrency_single_cpu_serializes() {
+        // With 1 CPU, racing two 100 ms alternatives cannot finish before
+        // ~100 ms of combined compute has been time-sliced.
+        let mut k = Kernel::new(KernelConfig {
+            cpus: 1,
+            ..KernelConfig::default()
+        });
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        let o = &report.block_outcomes(root)[0];
+        // Winner needs its full 100ms of CPU; the other alternative's
+        // interleaved slices roughly double the wall time.
+        assert!(
+            o.elapsed() >= SimDuration::from_millis(150),
+            "elapsed {} too fast for 1 CPU",
+            o.elapsed()
+        );
+        let mut k8 = kernel();
+        let root8 = k8.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)),
+            ]),
+            4 * 1024,
+        );
+        let report8 = k8.run();
+        assert!(
+            report8.block_outcomes(root8)[0].elapsed() < o.elapsed(),
+            "more CPUs must not be slower"
+        );
+    }
+
+    #[test]
+    fn mem_guard_checks_child_state() {
+        let mut k = kernel();
+        // Alternative 0 writes the magic byte its guard wants; alternative
+        // 1 does not, so 0 wins despite being slower.
+        let writer = Program::new(vec![
+            Op::Compute(SimDuration::from_millis(30)),
+            Op::Write { addr: 0, data: vec![7] },
+        ]);
+        let idler = Program::compute_ms(1);
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::MemByteEquals { addr: 0, expected: 7 }, writer),
+                Alternative::new(GuardSpec::MemByteEquals { addr: 0, expected: 7 }, idler),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+    }
+
+    #[test]
+    fn prespawn_check_skips_known_false_guards() {
+        let mut k = kernel();
+        let spec = AltBlockSpec::new(vec![
+            Alternative::new(GuardSpec::Const(false), Program::compute_ms(1)),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(1)),
+        ])
+        .with_prespawn_guard_check();
+        let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
+        let report = k.run();
+        assert_eq!(report.stats.forks, 1, "false-guard alternative not spawned");
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(1));
+    }
+
+    #[test]
+    fn messages_flow_between_root_processes() {
+        let mut k = kernel();
+        let receiver = Program::new(vec![
+            Op::RegisterName("rx".into()),
+            Op::Recv { reg: 0 },
+            Op::WriteFromRegister { reg: 0, addr: 0 },
+        ]);
+        let sender = Program::new(vec![
+            Op::Compute(SimDuration::from_millis(5)),
+            Op::Send { to: Target::Name("rx".into()), payload: b"ping".to_vec() },
+        ]);
+        let rx = k.spawn(receiver, 4 * 1024);
+        let _tx = k.spawn(sender, 4 * 1024);
+        let report = k.run();
+        assert!(report.deadlocked.is_empty(), "deadlocked: {:?}", report.deadlocked);
+        let mut space = k.space(rx).expect("rx lives").clone();
+        assert_eq!(&space.read_vec(0, 4), b"ping");
+    }
+
+    #[test]
+    fn speculative_message_splits_receiver() {
+        let mut k = kernel();
+        // The receiver is an ordinary process; the sender is an alternate
+        // inside a block, so its messages carry sibling-rivalry
+        // predicates and force a world split.
+        let receiver = Program::new(vec![
+            Op::RegisterName("rx".into()),
+            Op::Recv { reg: 0 },
+            Op::WriteFromRegister { reg: 0, addr: 0 },
+            Op::Compute(SimDuration::from_millis(1)),
+        ]);
+        let speculative_sender = Program::new(vec![
+            Op::Send { to: Target::Name("rx".into()), payload: b"spec".to_vec() },
+            Op::Compute(SimDuration::from_millis(10)),
+        ]);
+        let rx = k.spawn(receiver, 4 * 1024);
+        let root = k.spawn(
+            Program::new(vec![
+                // Give the receiver time to register and block.
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::AltBlock(AltBlockSpec::new(vec![
+                    Alternative::new(GuardSpec::Const(true), speculative_sender),
+                    Alternative::new(GuardSpec::Const(true), Program::compute_ms(200)),
+                ])),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.stats.world_splits, 1, "receiver split once");
+        // The sender (alt 0) wins its block; the accepting world survives,
+        // the rejecting clone is doomed and eliminated.
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+        let split = report
+            .trace()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::WorldSplit { rejecting, .. } => Some(*rejecting),
+                _ => None,
+            })
+            .expect("split traced");
+        assert!(matches!(
+            report.exit(split),
+            Some(ExitStatus::Eliminated { .. })
+        ));
+        // The surviving receiver world holds the payload.
+        let mut space = k.space(rx).expect("rx").clone();
+        assert_eq!(&space.read_vec(0, 4), b"spec");
+    }
+
+    #[test]
+    fn source_access_blocks_speculative_process() {
+        let mut k = kernel();
+        k.add_source(1, vec![b"input".to_vec()]);
+        // An alternate tries to pull from a source: §3.4.2 forbids it
+        // while it holds unresolved predicates. With a competing sibling
+        // that never finishes, it stays blocked until timeout.
+        let spec = AltBlockSpec::new(vec![
+            Alternative::new(
+                GuardSpec::Const(true),
+                Program::new(vec![Op::SourcePull { source_id: 1, index: 0, reg: 0 }]),
+            ),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(10_000)),
+        ])
+        .with_timeout(SimDuration::from_millis(100));
+        let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
+        let report = k.run();
+        let o = &report.block_outcomes(root)[0];
+        assert!(o.failed && o.timed_out, "source-blocked alternate cannot win");
+    }
+
+    #[test]
+    fn unconditional_process_reads_sources() {
+        let mut k = kernel();
+        k.add_source(7, vec![b"tape0".to_vec(), b"tape1".to_vec()]);
+        let program = Program::new(vec![
+            Op::SourcePull { source_id: 7, index: 1, reg: 2 },
+            Op::WriteFromRegister { reg: 2, addr: 0 },
+        ]);
+        let root = k.spawn(program, 4 * 1024);
+        let report = k.run();
+        assert!(report.deadlocked.is_empty());
+        let mut space = k.space(root).expect("root").clone();
+        assert_eq!(&space.read_vec(0, 5), b"tape1");
+    }
+
+    #[test]
+    fn trace_records_figure2_shape() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(20)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        let kinds: Vec<&'static str> = report
+            .trace()
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Spawned { .. } => "spawn",
+                TraceEvent::AltWait { .. } => "wait",
+                TraceEvent::GuardEvaluated { .. } => "guard",
+                TraceEvent::Synchronized { .. } => "sync",
+                TraceEvent::Eliminated { .. } => "elim",
+                _ => "other",
+            })
+            .collect();
+        // Root spawn, two child spawns, alt-wait, guard, sync, elim.
+        assert_eq!(kinds.iter().filter(|&&k| k == "spawn").count(), 3);
+        assert_eq!(kinds.iter().filter(|&&k| k == "sync").count(), 1);
+        assert_eq!(kinds.iter().filter(|&&k| k == "elim").count(), 1);
+        assert!(kinds.contains(&"wait"));
+        let _ = root;
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let mut k = kernel();
+            let root = k.spawn(
+                block_of(vec![
+                    Alternative::new(GuardSpec::WithProbability(0.5), Program::compute_ms(10)),
+                    Alternative::new(GuardSpec::WithProbability(0.5), Program::compute_ms(12)),
+                    Alternative::new(GuardSpec::Const(true), Program::compute_ms(30)),
+                ]),
+                16 * 1024,
+            );
+            let report = k.run();
+            (
+                report.finished_at,
+                report.block_outcomes(root)[0].clone(),
+                report.stats,
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn wasted_compute_is_tracked() {
+        let mut k = kernel();
+        let _root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(400)),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        // The loser starts one fork later than the winner and is
+        // eliminated when the winner syncs (~10 ms in), so its discarded
+        // compute is the elapsed portion only — well under its full
+        // 400 ms, but clearly nonzero.
+        assert!(
+            report.stats.wasted_compute >= SimDuration::from_millis(4),
+            "loser's partial compute {} should be counted",
+            report.stats.wasted_compute
+        );
+        assert!(
+            report.stats.wasted_compute < SimDuration::from_millis(20),
+            "elimination must prorate, not charge the full slice: {}",
+            report.stats.wasted_compute
+        );
+    }
+
+    #[test]
+    fn conditional_process_parks_at_end_until_fate_resolves() {
+        // A receiver consumes a speculative message (splitting), and the
+        // accepting world reaches its program end before the sender's
+        // race decides. It must not complete while conditional; it
+        // completes only if the sender wins.
+        let mut k = kernel();
+        let receiver = Program::new(vec![
+            Op::RegisterName("rx".into()),
+            Op::Recv { reg: 0 },
+            Op::WriteFromRegister { reg: 0, addr: 0 },
+        ]);
+        // The SENDING alternate is the fast winner here.
+        let winner_sender = Program::new(vec![
+            Op::Send { to: Target::Name("rx".into()), payload: b"spec!".to_vec() },
+            Op::Compute(SimDuration::from_millis(10)),
+        ]);
+        let rx = k.spawn(receiver, 4 * 1024);
+        let root = k.spawn(
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::AltBlock(AltBlockSpec::new(vec![
+                    Alternative::new(GuardSpec::Const(true), winner_sender),
+                    Alternative::new(GuardSpec::Const(true), Program::compute_ms(400)),
+                ])),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+        // The accepting world completed only after the sender's win
+        // resolved its assumption.
+        let accepted_at = report
+            .trace()
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Synchronized { at, .. } => Some(*at),
+                _ => None,
+            })
+            .expect("sync happened");
+        let rx_exit = report.exit(rx).expect("accepting world exits");
+        assert!(rx_exit.is_success());
+        assert!(
+            rx_exit.at() >= accepted_at,
+            "completion {} must wait for resolution at {}",
+            rx_exit.at(),
+            accepted_at
+        );
+        let mut space = k.space(rx).expect("rx").clone();
+        assert_eq!(&space.read_vec(0, 5), b"spec!");
+    }
+
+    #[test]
+    fn late_messages_normalize_against_resolved_fates() {
+        // With IPC latency, a speculative winner's message arrives after
+        // its fate resolved: the receiver must accept it WITHOUT a world
+        // split (the assumption is already discharged).
+        let mut k = Kernel::new(KernelConfig {
+            ipc_latency: SimDuration::from_millis(50),
+            ..KernelConfig::default()
+        });
+        let receiver = Program::new(vec![
+            Op::RegisterName("rx".into()),
+            Op::Recv { reg: 0 },
+        ]);
+        let sender = Program::new(vec![
+            Op::Send { to: Target::Name("rx".into()), payload: vec![7] },
+            Op::Compute(SimDuration::from_millis(1)),
+        ]);
+        let rx = k.spawn(receiver, 4 * 1024);
+        let root = k.spawn(
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::AltBlock(AltBlockSpec::new(vec![
+                    Alternative::new(GuardSpec::Const(true), sender),
+                    // A sibling so the sender carries real predicates.
+                    Alternative::new(GuardSpec::Const(false), Program::compute_ms(1)),
+                ])),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+        assert_eq!(report.stats.world_splits, 0, "no split on a decided fate");
+        assert!(report.exit(rx).expect("rx exits").is_success());
+        assert_eq!(k.register_of(rx, 0).expect("rx"), vec![7]);
+    }
+
+    #[test]
+    fn late_messages_from_losers_are_ignored_entirely() {
+        // The loser sends before losing; latency delays arrival past its
+        // elimination. The receiver must drop it (not split) and then
+        // receive the winner's message.
+        let mut k = Kernel::new(KernelConfig {
+            ipc_latency: SimDuration::from_millis(80),
+            ..KernelConfig::default()
+        });
+        let receiver = Program::new(vec![
+            Op::RegisterName("rx".into()),
+            Op::Recv { reg: 0 },
+        ]);
+        let loser = Program::new(vec![
+            Op::Send { to: Target::Name("rx".into()), payload: b"loser".to_vec() },
+            Op::Compute(SimDuration::from_millis(500)),
+        ]);
+        let winner = Program::new(vec![
+            Op::Compute(SimDuration::from_millis(20)),
+            Op::Send { to: Target::Name("rx".into()), payload: b"winnr".to_vec() },
+        ]);
+        let rx = k.spawn(receiver, 4 * 1024);
+        let root = k.spawn(
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::AltBlock(AltBlockSpec::new(vec![
+                    Alternative::new(GuardSpec::Const(true), loser),
+                    Alternative::new(GuardSpec::Const(true), winner),
+                ])),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(1));
+        assert_eq!(report.stats.world_splits, 0);
+        let ignored = report
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::MessageIgnored { .. }))
+            .count();
+        assert!(ignored >= 1, "loser's late message dropped");
+        assert_eq!(k.register_of(rx, 0).expect("rx"), b"winnr".to_vec());
+        let _ = root;
+    }
+
+    #[test]
+    fn run_until_observes_intermediate_speculation() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(50)),
+                Alternative::new(GuardSpec::Const(true), Program::compute_ms(200)),
+            ]),
+            4 * 1024,
+        );
+        // Pause mid-race: children spawned, nobody synchronized yet.
+        let mid = k.run_until(altx_des::SimTime::from_nanos(20_000_000));
+        assert!(mid.block_outcomes(root).is_empty(), "undecided at 20 ms");
+        let spawned = mid
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Spawned { parent: Some(_), .. }))
+            .count();
+        assert_eq!(spawned, 2, "both alternates live mid-race");
+        assert_eq!(mid.deadlocked.len(), 3, "parent + 2 children still active");
+        // Resume to completion: same final outcome as an uninterrupted run.
+        let done = k.run();
+        assert_eq!(done.block_outcomes(root)[0].winner, Some(0));
+        assert!(done.deadlocked.is_empty());
+    }
+
+    #[test]
+    fn ipc_latency_delays_delivery() {
+        let run = |latency_ms: u64| {
+            let mut k = Kernel::new(KernelConfig {
+                ipc_latency: SimDuration::from_millis(latency_ms),
+                ..KernelConfig::default()
+            });
+            let receiver = Program::new(vec![
+                Op::RegisterName("rx".into()),
+                Op::Recv { reg: 0 },
+            ]);
+            let sender = Program::new(vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::Send { to: Target::Name("rx".into()), payload: vec![1] },
+            ]);
+            let rx = k.spawn(receiver, 4 * 1024);
+            let _tx = k.spawn(sender, 4 * 1024);
+            let report = k.run();
+            assert!(report.deadlocked.is_empty());
+            report
+                .trace()
+                .iter()
+                .find_map(|e| match e {
+                    TraceEvent::MessageAccepted { at, to, .. } if *to == rx => Some(*at),
+                    _ => None,
+                })
+                .expect("message accepted")
+        };
+        let instant = run(0);
+        let delayed = run(50);
+        assert!(
+            delayed >= instant + SimDuration::from_millis(50),
+            "latency must delay acceptance: {instant} vs {delayed}"
+        );
+    }
+
+    #[test]
+    fn in_flight_message_reaches_worlds_created_during_flight() {
+        // A speculative sender's first message splits the receiver; a
+        // second message, in flight across the split, must reach BOTH
+        // worlds (delivery resolves the logical process at arrival time).
+        let mut k = Kernel::new(KernelConfig {
+            ipc_latency: SimDuration::from_millis(20),
+            ..KernelConfig::default()
+        });
+        let receiver = Program::new(vec![
+            Op::RegisterName("rx".into()),
+            Op::Recv { reg: 0 },
+            Op::Recv { reg: 1 },
+            Op::Compute(SimDuration::from_millis(1)),
+        ]);
+        let speculative_sender = Program::new(vec![
+            Op::Send { to: Target::Name("rx".into()), payload: b"one".to_vec() },
+            Op::Send { to: Target::Name("rx".into()), payload: b"two".to_vec() },
+            Op::Compute(SimDuration::from_millis(10)),
+        ]);
+        let rx = k.spawn(receiver, 4 * 1024);
+        let root = k.spawn(
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::AltBlock(AltBlockSpec::new(vec![
+                    Alternative::new(GuardSpec::Const(true), speculative_sender),
+                    Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+                ])),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        // The sender (alt 0) wins; the accepting world consumed both
+        // messages and survives with both registers filled.
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+        assert!(report.exit(rx).expect("accepting world exits").is_success());
+        assert_eq!(k.register_of(rx, 0).expect("rx"), b"one".to_vec());
+        assert_eq!(k.register_of(rx, 1).expect("rx"), b"two".to_vec());
+    }
+
+    #[test]
+    fn sink_writes_commit_only_for_the_winner() {
+        let mut k = kernel();
+        k.add_sink(1, 8);
+        // Both alternates stage writes to the shared sink; only the
+        // winner's may ever become permanent.
+        let fast = Program::new(vec![
+            Op::Compute(SimDuration::from_millis(5)),
+            Op::SinkWrite { sink_id: 1, addr: 0, value: 0xFA },
+        ]);
+        let slow = Program::new(vec![
+            Op::SinkWrite { sink_id: 1, addr: 0, value: 0x51 }, // stages early!
+            Op::Compute(SimDuration::from_millis(500)),
+        ]);
+        let root = k.spawn(
+            block_of(vec![
+                Alternative::new(GuardSpec::Const(true), slow),
+                Alternative::new(GuardSpec::Const(true), fast),
+            ]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(1));
+        let sink = k.sink(1).expect("sink registered");
+        assert_eq!(
+            sink.read_committed(0),
+            0xFA,
+            "winner's write committed when the root completed"
+        );
+        assert_eq!(sink.pending_transactions(), 0, "loser's stage discarded");
+    }
+
+    #[test]
+    fn sink_writes_abort_on_block_failure() {
+        let mut k = kernel();
+        k.add_sink(2, 4);
+        let body = Program::new(vec![Op::SinkWrite { sink_id: 2, addr: 0, value: 9 }]);
+        let root = k.spawn(
+            block_of(vec![Alternative::new(GuardSpec::Const(false), body)]),
+            4 * 1024,
+        );
+        let report = k.run();
+        assert!(report.block_outcomes(root)[0].failed);
+        let sink = k.sink(2).expect("sink");
+        assert_eq!(sink.read_committed(0), 0, "nothing observable");
+        assert_eq!(sink.txn_counts().1, 1, "one abort");
+    }
+
+    #[test]
+    fn sink_commit_waits_for_the_whole_speculative_chain() {
+        // Winner of an inner block merges into its parent (itself an
+        // alternate); commit happens only when the root completes.
+        let mut k = kernel();
+        k.add_sink(3, 4);
+        let inner = AltBlockSpec::new(vec![Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![Op::SinkWrite { sink_id: 3, addr: 1, value: 7 }]),
+        )]);
+        let outer = AltBlockSpec::new(vec![Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![Op::AltBlock(inner)]),
+        )]);
+        let root = k.spawn(Program::new(vec![Op::AltBlock(outer)]), 4 * 1024);
+        let report = k.run();
+        assert!(report.exit(root).expect("exits").is_success());
+        assert_eq!(k.sink(3).expect("sink").read_committed(1), 7);
+    }
+
+    #[test]
+    fn sink_read_sees_own_staged_writes() {
+        let mut k = kernel();
+        k.add_sink(4, 4);
+        let program = Program::new(vec![
+            Op::SinkWrite { sink_id: 4, addr: 2, value: 0xEE },
+            Op::SinkRead { sink_id: 4, addr: 2, reg: 0 },
+            Op::WriteFromRegister { reg: 0, addr: 0 },
+        ]);
+        let root = k.spawn(program, 4 * 1024);
+        let report = k.run();
+        assert!(report.exit(root).expect("exits").is_success());
+        let mut space = k.space(root).expect("space").clone();
+        assert_eq!(space.read_vec(0, 1), vec![0xEE], "read-your-writes");
+    }
+
+    #[test]
+    fn block_outcome_elapsed_and_costs() {
+        let mut k = kernel();
+        let root = k.spawn(
+            block_of(vec![Alternative::new(
+                GuardSpec::Const(true),
+                Program::compute_ms(10),
+            )]),
+            320 * 1024,
+        );
+        let report = k.run();
+        let o = &report.block_outcomes(root)[0];
+        assert!(o.setup_cost >= k.profile().fork_cost(80));
+        assert!(o.elapsed() >= SimDuration::from_millis(10));
+        assert!(o.waiting_at >= o.started_at);
+        assert!(o.decided_at >= o.waiting_at);
+        assert!(o.parent_resumed_at >= o.decided_at);
+    }
+}

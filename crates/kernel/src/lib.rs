@@ -1,0 +1,63 @@
+//! # altx-kernel — the simulated speculative-execution kernel
+//!
+//! This crate is the heart of the reproduction: a deterministic,
+//! virtual-time operating-system kernel implementing the paper's process
+//! management design (§3.2):
+//!
+//! * **`alt_spawn(n)` / `alt_wait(timeout)`** — expressed as the
+//!   [`Op::AltBlock`](program::Op) program operation: the parent forks one
+//!   copy-on-write child per alternative, blocks, and the first child
+//!   whose guard holds synchronizes; the parent *absorbs* the winner's
+//!   page map and continues seamlessly.
+//! * **Sibling elimination** (§3.2.1) — synchronous or asynchronous
+//!   ([`program::EliminationPolicy`]), with teardown costs charged per the
+//!   machine profile.
+//! * **At-most-once synchronization** — late synchronizers are told "too
+//!   late" and terminate themselves.
+//! * **Predicates** (§3.3) — every alternate runs under sibling-rivalry
+//!   assumptions; world-splitting message receipt (§3.4.2) clones the
+//!   receiver; predicate resolution eliminates doomed worlds.
+//! * **Sources** — processes with unresolved predicates block on source
+//!   access (§3.4.2's side-effect restriction).
+//!
+//! Processes execute [`program::Program`]s — small op-lists (compute,
+//! read/write memory, send/recv, alt-block, source access) — against a
+//! shared virtual clock, a configurable number of CPUs, and a
+//! [`MachineProfile`](altx_pager::MachineProfile) cost model, so every
+//! experiment in the paper's §4 is reproducible with calibrated costs.
+//!
+//! # Example: racing three alternatives
+//!
+//! ```
+//! use altx_des::SimDuration;
+//! use altx_kernel::program::{AltBlockSpec, Alternative, GuardSpec, Op, Program};
+//! use altx_kernel::{Kernel, KernelConfig};
+//!
+//! let block = AltBlockSpec::new(vec![
+//!     Alternative::new(GuardSpec::Const(true), Program::compute_ms(30)),
+//!     Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)),
+//!     Alternative::new(GuardSpec::Const(true), Program::compute_ms(20)),
+//! ]);
+//! let program = Program::new(vec![Op::AltBlock(block)]);
+//!
+//! let mut kernel = Kernel::new(KernelConfig::default());
+//! let root = kernel.spawn(program, 64 * 1024);
+//! let report = kernel.run();
+//!
+//! // The fastest alternative (index 1) wins.
+//! let outcome = &report.block_outcomes(root)[0];
+//! assert_eq!(outcome.winner, Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod process;
+pub mod program;
+pub mod trace;
+
+pub use kernel::{BlockOutcome, Kernel, KernelConfig, RunReport};
+pub use process::{ExitStatus, ProcState};
+pub use program::{AltBlockSpec, Alternative, EliminationPolicy, GuardSpec, Op, Program, Target};
+pub use trace::{chrome_trace_json, TraceEvent};

@@ -1,0 +1,232 @@
+//! Simulated processes.
+//!
+//! §3.1: "A process is an independently schedulable stream of
+//! instructions … often associated with some unit of state, e.g., an
+//! address space, and a set of operations provided by a kernel to manage
+//! that state." Here a [`Process`] owns a program + program counter, an
+//! [`AddressSpace`], a [`PredicateSet`], and a small register file used by
+//! receive/source ops.
+
+use crate::program::Program;
+use altx_des::SimTime;
+use altx_pager::AddressSpace;
+use altx_predicates::{Pid, PredicateSet};
+
+/// Scheduler-visible state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Waiting for a CPU.
+    Runnable,
+    /// Currently executing an op on a CPU.
+    Running,
+    /// Parent blocked in `alt_wait` for block `block_seq`.
+    AltWaiting {
+        /// Which block instance (process-local sequence number).
+        block_seq: u64,
+    },
+    /// Blocked in `Recv` with no acceptable message.
+    RecvBlocked,
+    /// Blocked on a source operation until predicates resolve (§3.4.2).
+    SourceBlocked,
+    /// Terminated; exit status recorded.
+    Zombie,
+}
+
+/// Why a process terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// Ran its program to completion (for alternates: synchronized as the
+    /// winner and was absorbed).
+    Completed {
+        /// Virtual time of termination.
+        at: SimTime,
+    },
+    /// Guard failed, explicit `Fail` op, or block failure propagated.
+    Failed {
+        /// Virtual time of termination.
+        at: SimTime,
+    },
+    /// Eliminated as a losing sibling or a doomed world.
+    Eliminated {
+        /// Virtual time of termination.
+        at: SimTime,
+    },
+    /// Attempted to synchronize after a winner was already chosen and was
+    /// told "too late" (§3.2.1's at-most-once backup).
+    TooLate {
+        /// Virtual time of termination.
+        at: SimTime,
+    },
+}
+
+impl ExitStatus {
+    /// The virtual time of termination.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ExitStatus::Completed { at }
+            | ExitStatus::Failed { at }
+            | ExitStatus::Eliminated { at }
+            | ExitStatus::TooLate { at } => at,
+        }
+    }
+
+    /// True for [`ExitStatus::Completed`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExitStatus::Completed { .. })
+    }
+}
+
+/// What the scheduler should do when the currently charged op's time
+/// expires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum AfterOp {
+    /// Advance the program counter and requeue.
+    #[default]
+    Advance,
+    /// The op left the process blocked (alt-wait, recv, source); the state
+    /// field says which. Do not advance.
+    Block,
+    /// The process terminated during the op.
+    Exit,
+    /// A `Compute` op has remaining work (quantum preemption).
+    ComputeContinue,
+}
+
+/// Where a child reports at synchronization time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct AltLink {
+    /// The parent pid.
+    pub parent: Pid,
+    /// The parent's block instance this child belongs to.
+    pub block_seq: u64,
+    /// This child's alternative index within the block (1-based in the
+    /// paper's `alt_spawn` return convention; stored 0-based).
+    pub index: usize,
+}
+
+/// A simulated process.
+#[derive(Debug)]
+pub struct Process {
+    /// This process's pid.
+    pub pid: Pid,
+    /// Program being executed.
+    pub program: Program,
+    /// Program counter: index of the next op to execute.
+    pub pc: usize,
+    /// Remaining duration of a partially executed `Compute` op (quantum
+    /// preemption support).
+    pub compute_remaining: Option<altx_des::SimDuration>,
+    /// The process's paged state.
+    pub space: AddressSpace,
+    /// Outstanding speculative assumptions.
+    pub predicates: PredicateSet,
+    /// Small register file for message/source payloads.
+    pub registers: Vec<Vec<u8>>,
+    /// Scheduler state.
+    pub state: ProcState,
+    /// Exit status once `state == Zombie`.
+    pub exit: Option<ExitStatus>,
+    /// If this process is an alternate, where it synchronizes.
+    pub(crate) alt_link: Option<AltLink>,
+    /// Scheduler action pending at the end of the current op's charge.
+    pub(crate) after_op: AfterOp,
+    /// Whether the most recent alt block executed *by this process as
+    /// parent* failed (consulted by `FailIfBlockFailed`).
+    pub last_block_failed: bool,
+    /// Number of alt blocks this process has started (used to sequence
+    /// block instances).
+    pub blocks_started: u64,
+}
+
+impl Process {
+    /// Creates a runnable process.
+    pub fn new(pid: Pid, program: Program, space: AddressSpace, predicates: PredicateSet) -> Self {
+        Process {
+            pid,
+            program,
+            pc: 0,
+            compute_remaining: None,
+            space,
+            predicates,
+            registers: vec![Vec::new(); 8],
+            state: ProcState::Runnable,
+            exit: None,
+            alt_link: None,
+            after_op: AfterOp::default(),
+            last_block_failed: false,
+            blocks_started: 0,
+        }
+    }
+
+    /// True iff the program counter has passed the last op.
+    pub fn at_end(&self) -> bool {
+        self.pc >= self.program.len()
+    }
+
+    /// True iff the process has terminated.
+    pub fn is_zombie(&self) -> bool {
+        self.state == ProcState::Zombie
+    }
+
+    /// Stores `data` in register `reg`, growing the file if needed.
+    pub fn set_register(&mut self, reg: usize, data: Vec<u8>) {
+        if reg >= self.registers.len() {
+            self.registers.resize(reg + 1, Vec::new());
+        }
+        self.registers[reg] = data;
+    }
+
+    /// Reads register `reg` (empty slice if never written).
+    pub fn register(&self, reg: usize) -> &[u8] {
+        self.registers.get(reg).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altx_pager::PageSize;
+
+    fn proc() -> Process {
+        Process::new(
+            Pid::new(1),
+            Program::compute_ms(1),
+            AddressSpace::zeroed(64, PageSize::new(16)),
+            PredicateSet::new(),
+        )
+    }
+
+    #[test]
+    fn new_process_is_runnable() {
+        let p = proc();
+        assert_eq!(p.state, ProcState::Runnable);
+        assert!(!p.is_zombie());
+        assert!(!p.at_end());
+        assert_eq!(p.pc, 0);
+    }
+
+    #[test]
+    fn registers_grow_on_demand() {
+        let mut p = proc();
+        assert_eq!(p.register(3), &[] as &[u8]);
+        p.set_register(12, vec![1, 2]);
+        assert_eq!(p.register(12), &[1, 2]);
+        assert_eq!(p.register(100), &[] as &[u8]);
+    }
+
+    #[test]
+    fn exit_status_accessors() {
+        let t = SimTime::from_nanos(5);
+        assert!(ExitStatus::Completed { at: t }.is_success());
+        assert!(!ExitStatus::Failed { at: t }.is_success());
+        assert!(!ExitStatus::TooLate { at: t }.is_success());
+        assert_eq!(ExitStatus::Eliminated { at: t }.at(), t);
+    }
+
+    #[test]
+    fn at_end_after_pc_advance() {
+        let mut p = proc();
+        p.pc = 1;
+        assert!(p.at_end());
+    }
+}

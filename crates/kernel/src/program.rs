@@ -1,0 +1,370 @@
+//! Workload programs: the instruction set of simulated processes.
+//!
+//! A [`Program`] is a straight-line list of [`Op`]s. The kernel charges
+//! virtual time per op from the machine profile; `Compute` ops model the
+//! application's own work, everything else models interaction with the
+//! speculative-execution machinery. Alternative blocks nest: an
+//! [`Op::AltBlock`] may appear inside an alternative's body, giving the
+//! "nesting and potentially complex dependencies" of §3.3.
+
+use altx_des::SimDuration;
+use altx_predicates::Pid;
+use std::sync::Arc;
+
+/// How losing siblings are eliminated at synchronization (§3.2.1).
+///
+/// "The deletion can be accomplished synchronously (where the other
+/// alternates are deleted before execution resumes in the parent) or
+/// asynchronously (where the deletion occurs at some time after the
+/// `alt_wait()` resumes in the parent) … we suspect that asynchronous
+/// elimination will give better execution-time performance, once again at
+/// the expense of resource utilization measures such as throughput."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EliminationPolicy {
+    /// Parent resumes only after every losing sibling is torn down.
+    Synchronous,
+    /// Parent resumes immediately; teardowns compete for CPU afterwards.
+    #[default]
+    Asynchronous,
+}
+
+/// A guard condition (§2): the predicate an alternative must satisfy to be
+/// considered successful.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GuardSpec {
+    /// Constant outcome (always/never succeeds).
+    Const(bool),
+    /// Succeeds iff the byte at `addr` in the *alternate's* address space
+    /// equals `expected` at guard-evaluation time — a data-dependent
+    /// acceptance test.
+    MemByteEquals {
+        /// Byte address inspected.
+        addr: usize,
+        /// Value required for success.
+        expected: u8,
+    },
+    /// Succeeds with probability `p`, resolved deterministically from the
+    /// kernel's seeded RNG at evaluation time.
+    WithProbability(f64),
+}
+
+impl GuardSpec {
+    /// Validates guard parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn validate(&self) {
+        if let GuardSpec::WithProbability(p) = self {
+            assert!(
+                (0.0..=1.0).contains(p),
+                "guard probability {p} outside [0, 1]"
+            );
+        }
+    }
+}
+
+/// Destination of a `Send` op.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A concrete pid (known at program-construction time).
+    Pid(Pid),
+    /// A name registered via [`Op::RegisterName`]; resolved at send time.
+    Name(String),
+    /// The sending process's parent (the spawner).
+    Parent,
+}
+
+/// One alternative of a block: a guard plus a body (§2's
+/// `ENSURE guard WITH method`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alternative {
+    /// The guard the alternative must satisfy to synchronize.
+    pub guard: GuardSpec,
+    /// The method: the work the alternate performs before evaluating its
+    /// guard.
+    pub body: Program,
+}
+
+impl Alternative {
+    /// Creates an alternative.
+    pub fn new(guard: GuardSpec, body: Program) -> Self {
+        guard.validate();
+        Alternative { guard, body }
+    }
+}
+
+/// An alternative block: the `ALTBEGIN … END` construct of Figure 1,
+/// executed speculatively per §3.2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AltBlockSpec {
+    /// The competing alternatives, in program order.
+    pub alternatives: Vec<Alternative>,
+    /// `alt_wait` timeout for the parent; if no alternative synchronizes
+    /// by then, the block fails (§3.2: a value such that exceeding it is
+    /// "clearly unacceptable to the application").
+    pub timeout: SimDuration,
+    /// Sibling-elimination policy at synchronization.
+    pub elimination: EliminationPolicy,
+    /// If true, guards are *also* evaluated before spawning (in the
+    /// parent, for redundancy — §3.2 notes the guard "can be executed
+    /// before spawning the alternative, in the child process, at the
+    /// synchronization point, or at any combination of these places").
+    /// Only constant and memory guards can be pre-checked; probabilistic
+    /// guards are skipped pre-spawn (their outcome is drawn at
+    /// child-evaluation time).
+    pub prespawn_guard_check: bool,
+}
+
+impl AltBlockSpec {
+    /// Creates a block with the default (asynchronous) elimination, a
+    /// one-hour timeout, and child-side guard evaluation only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<Alternative>) -> Self {
+        assert!(!alternatives.is_empty(), "an alternative block needs at least one alternative");
+        AltBlockSpec {
+            alternatives,
+            timeout: SimDuration::from_secs(3600),
+            elimination: EliminationPolicy::default(),
+            prespawn_guard_check: false,
+        }
+    }
+
+    /// Sets the `alt_wait` timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the elimination policy.
+    pub fn with_elimination(mut self, policy: EliminationPolicy) -> Self {
+        self.elimination = policy;
+        self
+    }
+
+    /// Enables redundant pre-spawn guard evaluation in the parent.
+    pub fn with_prespawn_guard_check(mut self) -> Self {
+        self.prespawn_guard_check = true;
+        self
+    }
+}
+
+/// One instruction of a workload program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Burn CPU for the given virtual duration (preemptible at quantum
+    /// granularity).
+    Compute(SimDuration),
+    /// Write bytes into the process's address space (charges COW faults).
+    Write {
+        /// Destination byte address.
+        addr: usize,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+    /// Dirty `count` whole pages starting at page `first` — the
+    /// write-fraction primitive behind experiment E4.
+    TouchPages {
+        /// First page index.
+        first: usize,
+        /// Number of pages to dirty.
+        count: usize,
+    },
+    /// Read `len` bytes at `addr` (free at page granularity, but counted).
+    Read {
+        /// Source byte address.
+        addr: usize,
+        /// Length in bytes.
+        len: usize,
+    },
+    /// Copy register `reg`'s contents into memory at `addr` (truncated to
+    /// the register's length).
+    WriteFromRegister {
+        /// Source register index.
+        reg: usize,
+        /// Destination byte address.
+        addr: usize,
+    },
+    /// Register a name for this process in the kernel name table.
+    RegisterName(String),
+    /// Send a message (payload + this process's current predicates).
+    Send {
+        /// Destination.
+        to: Target,
+        /// Message payload.
+        payload: Vec<u8>,
+    },
+    /// Receive the next acceptable message into register `reg`; blocks
+    /// until one is available. May split this process into two worlds
+    /// (§3.4.2).
+    Recv {
+        /// Destination register index.
+        reg: usize,
+    },
+    /// Stage a one-byte write to shared sink device `sink_id` (§3.1:
+    /// sink writes "must be done to a temporary copy until the
+    /// transaction commits"). The write becomes permanent only when this
+    /// process's fate resolves to success: directly at exit for a root
+    /// process, or by merging into the parent's transaction when an
+    /// alternate is absorbed. Losers' staged writes are discarded.
+    SinkWrite {
+        /// Which kernel-registered sink.
+        sink_id: u32,
+        /// Byte address on the device.
+        addr: usize,
+        /// Value to stage.
+        value: u8,
+    },
+    /// Read a byte from sink `sink_id` into register `reg`, observing
+    /// this process's own staged writes first ("it can read what was
+    /// written", §3.1).
+    SinkRead {
+        /// Which kernel-registered sink.
+        sink_id: u32,
+        /// Byte address on the device.
+        addr: usize,
+        /// Destination register.
+        reg: usize,
+    },
+    /// Pull item `index` from kernel source `source_id` into register
+    /// `reg`. Blocks while this process holds unresolved predicates
+    /// (§3.4.2: speculative processes "cannot interface with sources").
+    SourcePull {
+        /// Which kernel-registered source.
+        source_id: u32,
+        /// Stream index to read (buffered: re-reads are idempotent).
+        index: usize,
+        /// Destination register.
+        reg: usize,
+    },
+    /// Execute an alternative block speculatively.
+    AltBlock(AltBlockSpec),
+    /// Terminate this process with failure if the most recent alternative
+    /// block on this process failed.
+    FailIfBlockFailed,
+    /// Terminate this process immediately with failure.
+    Fail,
+    /// No operation (placeholder; charges nothing).
+    Nop,
+}
+
+/// A straight-line workload program.
+///
+/// Programs are cheaply cloneable (`Arc` internally) because every
+/// alternate's body is shared between the spec and the running child.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    ops: Arc<Vec<Op>>,
+}
+
+impl Program {
+    /// Creates a program from an op list.
+    pub fn new(ops: Vec<Op>) -> Self {
+        Program { ops: Arc::new(ops) }
+    }
+
+    /// The empty program (exits immediately).
+    pub fn empty() -> Self {
+        Program::new(Vec::new())
+    }
+
+    /// A single `Compute` of `ms` milliseconds — the workhorse of the
+    /// performance experiments.
+    pub fn compute_ms(ms: u64) -> Self {
+        Program::new(vec![Op::Compute(SimDuration::from_millis(ms))])
+    }
+
+    /// A single `Compute` of the given duration.
+    pub fn compute(d: SimDuration) -> Self {
+        Program::new(vec![Op::Compute(d)])
+    }
+
+    /// The ops.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True iff the program has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Returns a new program with `op` appended.
+    pub fn then(&self, op: Op) -> Program {
+        let mut ops = (*self.ops).clone();
+        ops.push(op);
+        Program::new(ops)
+    }
+}
+
+impl FromIterator<Op> for Program {
+    fn from_iter<T: IntoIterator<Item = Op>>(iter: T) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_builders() {
+        let p = Program::compute_ms(5);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert!(Program::empty().is_empty());
+        let p2 = p.then(Op::Fail);
+        assert_eq!(p2.len(), 2);
+        assert_eq!(p.len(), 1, "then() does not mutate the original");
+    }
+
+    #[test]
+    fn program_from_iterator() {
+        let p: Program = vec![Op::Nop, Op::Fail].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn alt_block_builder_defaults() {
+        let b = AltBlockSpec::new(vec![Alternative::new(
+            GuardSpec::Const(true),
+            Program::empty(),
+        )]);
+        assert_eq!(b.elimination, EliminationPolicy::Asynchronous);
+        assert!(!b.prespawn_guard_check);
+        let b = b
+            .with_timeout(SimDuration::from_millis(100))
+            .with_elimination(EliminationPolicy::Synchronous)
+            .with_prespawn_guard_check();
+        assert_eq!(b.timeout, SimDuration::from_millis(100));
+        assert_eq!(b.elimination, EliminationPolicy::Synchronous);
+        assert!(b.prespawn_guard_check);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one alternative")]
+    fn empty_block_panics() {
+        AltBlockSpec::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_probability_guard_panics() {
+        Alternative::new(GuardSpec::WithProbability(1.5), Program::empty());
+    }
+
+    #[test]
+    fn guard_validate_accepts_valid() {
+        GuardSpec::Const(true).validate();
+        GuardSpec::WithProbability(0.5).validate();
+        GuardSpec::MemByteEquals { addr: 0, expected: 1 }.validate();
+    }
+}

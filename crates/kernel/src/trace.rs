@@ -1,0 +1,364 @@
+//! Execution traces.
+//!
+//! The kernel records every speculative-machinery event with its virtual
+//! timestamp. Traces drive the Figure-2 reproduction (`exp_fig2_trace`)
+//! and give tests an exact view of spawn/sync/elimination ordering.
+
+use altx_des::SimTime;
+use altx_predicates::Pid;
+use std::fmt;
+
+/// One timestamped kernel event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A process was created (root spawn or alternate fork).
+    Spawned {
+        /// When.
+        at: SimTime,
+        /// The new process.
+        pid: Pid,
+        /// Its parent, if any.
+        parent: Option<Pid>,
+        /// Alternative index within the parent's block (0-based), if an
+        /// alternate.
+        alt_index: Option<usize>,
+    },
+    /// A parent entered `alt_wait`.
+    AltWait {
+        /// When.
+        at: SimTime,
+        /// The waiting parent.
+        pid: Pid,
+        /// Block instance.
+        block_seq: u64,
+    },
+    /// An alternate's guard was evaluated.
+    GuardEvaluated {
+        /// When.
+        at: SimTime,
+        /// The alternate.
+        pid: Pid,
+        /// Whether the guard held.
+        passed: bool,
+    },
+    /// An alternate synchronized successfully and was absorbed.
+    Synchronized {
+        /// When.
+        at: SimTime,
+        /// The winning alternate.
+        winner: Pid,
+        /// The absorbing parent.
+        parent: Pid,
+        /// Winning alternative index (0-based).
+        alt_index: usize,
+    },
+    /// An alternate attempted to synchronize after a winner was chosen.
+    TooLate {
+        /// When.
+        at: SimTime,
+        /// The loser.
+        pid: Pid,
+    },
+    /// A process was eliminated (losing sibling or doomed world).
+    Eliminated {
+        /// When.
+        at: SimTime,
+        /// The eliminated process.
+        pid: Pid,
+    },
+    /// A process aborted (guard failure or explicit failure).
+    Aborted {
+        /// When.
+        at: SimTime,
+        /// The aborting process.
+        pid: Pid,
+    },
+    /// A block failed (all alternatives failed, or timeout).
+    BlockFailed {
+        /// When.
+        at: SimTime,
+        /// The parent whose block failed.
+        pid: Pid,
+        /// Block instance.
+        block_seq: u64,
+        /// True iff the failure was the `alt_wait` timeout firing.
+        timed_out: bool,
+    },
+    /// A receiver was split into two worlds by a predicated message
+    /// (§3.4.2).
+    WorldSplit {
+        /// When.
+        at: SimTime,
+        /// The original (accepting) world.
+        accepting: Pid,
+        /// The newly created (rejecting) world.
+        rejecting: Pid,
+        /// The message sender whose fate divides the worlds.
+        sender: Pid,
+    },
+    /// A message was delivered (accepted by the receiver).
+    MessageAccepted {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: Pid,
+        /// Receiver.
+        to: Pid,
+    },
+    /// A message was ignored (conflicting predicates).
+    MessageIgnored {
+        /// When.
+        at: SimTime,
+        /// Sender.
+        from: Pid,
+        /// Receiver.
+        to: Pid,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::Spawned { at, .. }
+            | TraceEvent::AltWait { at, .. }
+            | TraceEvent::GuardEvaluated { at, .. }
+            | TraceEvent::Synchronized { at, .. }
+            | TraceEvent::TooLate { at, .. }
+            | TraceEvent::Eliminated { at, .. }
+            | TraceEvent::Aborted { at, .. }
+            | TraceEvent::BlockFailed { at, .. }
+            | TraceEvent::WorldSplit { at, .. }
+            | TraceEvent::MessageAccepted { at, .. }
+            | TraceEvent::MessageIgnored { at, .. } => at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Spawned { at, pid, parent, alt_index } => match (parent, alt_index) {
+                (Some(pp), Some(i)) => write!(f, "[{at}] {pid} spawned by {pp} as alternative {}", i + 1),
+                (Some(pp), None) => write!(f, "[{at}] {pid} spawned by {pp}"),
+                _ => write!(f, "[{at}] {pid} spawned (root)"),
+            },
+            TraceEvent::AltWait { at, pid, block_seq } => {
+                write!(f, "[{at}] {pid} alt_wait(block #{block_seq})")
+            }
+            TraceEvent::GuardEvaluated { at, pid, passed } => {
+                write!(f, "[{at}] {pid} guard {}", if *passed { "SATISFIED" } else { "FAILED" })
+            }
+            TraceEvent::Synchronized { at, winner, parent, alt_index } => write!(
+                f,
+                "[{at}] {winner} synchronized with {parent} (alternative {} wins)",
+                alt_index + 1
+            ),
+            TraceEvent::TooLate { at, pid } => write!(f, "[{at}] {pid} too late to synchronize"),
+            TraceEvent::Eliminated { at, pid } => write!(f, "[{at}] {pid} eliminated"),
+            TraceEvent::Aborted { at, pid } => write!(f, "[{at}] {pid} aborted"),
+            TraceEvent::BlockFailed { at, pid, block_seq, timed_out } => write!(
+                f,
+                "[{at}] {pid} block #{block_seq} FAILED{}",
+                if *timed_out { " (timeout)" } else { "" }
+            ),
+            TraceEvent::WorldSplit { at, accepting, rejecting, sender } => write!(
+                f,
+                "[{at}] world split on {sender}: {accepting} accepts, {rejecting} rejects"
+            ),
+            TraceEvent::MessageAccepted { at, from, to } => {
+                write!(f, "[{at}] message {from} → {to} accepted")
+            }
+            TraceEvent::MessageIgnored { at, from, to } => {
+                write!(f, "[{at}] message {from} → {to} ignored")
+            }
+        }
+    }
+}
+
+/// Renders a trace as Chrome-tracing JSON (the `chrome://tracing` /
+/// Perfetto array format): one duration event per simulated process
+/// (spawn → termination) and instant events for synchronizations, world
+/// splits, and messages. Load the output in a trace viewer to see
+/// Figure 2 interactively.
+///
+/// Timestamps are microseconds of virtual time; `tid` is the simulated
+/// pid.
+pub fn chrome_trace_json(events: &[TraceEvent], finished_at: SimTime) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let us = |t: SimTime| t.as_nanos() as f64 / 1_000.0;
+
+    /// A process lane: spawn instant plus optional (end, outcome).
+    type Span = (SimTime, Option<(SimTime, &'static str)>);
+    let mut spans: std::collections::BTreeMap<Pid, Span> = std::collections::BTreeMap::new();
+    let mut instants: Vec<(SimTime, Pid, String)> = Vec::new();
+
+    for e in events {
+        match *e {
+            TraceEvent::Spawned { at, pid, .. } => {
+                spans.entry(pid).or_insert((at, None));
+            }
+            TraceEvent::Synchronized { at, winner, alt_index, .. } => {
+                if let Some(span) = spans.get_mut(&winner) {
+                    span.1 = Some((at, "synchronized"));
+                }
+                instants.push((at, winner, format!("alternative {} wins", alt_index + 1)));
+            }
+            TraceEvent::Aborted { at, pid } => {
+                if let Some(span) = spans.get_mut(&pid) {
+                    span.1 = Some((at, "guard failed"));
+                }
+            }
+            TraceEvent::Eliminated { at, pid } => {
+                if let Some(span) = spans.get_mut(&pid) {
+                    span.1 = Some((at, "eliminated"));
+                }
+            }
+            TraceEvent::TooLate { at, pid } => {
+                if let Some(span) = spans.get_mut(&pid) {
+                    span.1 = Some((at, "too late"));
+                }
+            }
+            TraceEvent::WorldSplit { at, accepting, rejecting, sender } => {
+                instants.push((
+                    at,
+                    accepting,
+                    format!("world split on {sender}: {rejecting} rejects"),
+                ));
+            }
+            TraceEvent::MessageAccepted { at, from, to } => {
+                instants.push((at, to, format!("accepted message from {from}")));
+            }
+            TraceEvent::MessageIgnored { at, from, to } => {
+                instants.push((at, to, format!("ignored message from {from}")));
+            }
+            TraceEvent::BlockFailed { at, pid, block_seq, .. } => {
+                instants.push((at, pid, format!("block #{block_seq} failed")));
+            }
+            TraceEvent::AltWait { .. } | TraceEvent::GuardEvaluated { .. } => {}
+        }
+    }
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut push = |s: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&s);
+    };
+    for (pid, (start, end)) in &spans {
+        let (end_at, outcome) = end.unwrap_or((finished_at, "running"));
+        push(
+            format!(
+                "  {{\"name\":\"{} ({})\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+                esc(&pid.to_string()),
+                outcome,
+                us(*start),
+                (us(end_at) - us(*start)).max(0.0),
+                pid.as_u64()
+            ),
+            &mut out,
+        );
+    }
+    for (at, pid, name) in &instants {
+        push(
+            format!(
+                "  {{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"s\":\"t\"}}",
+                esc(name),
+                us(*at),
+                pid.as_u64()
+            ),
+            &mut out,
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_accessible() {
+        let t = SimTime::from_nanos(1_000_000);
+        let e = TraceEvent::Eliminated { at: t, pid: Pid::new(3) };
+        assert_eq!(e.at(), t);
+    }
+
+    #[test]
+    fn display_is_one_indexed_for_alternatives() {
+        let e = TraceEvent::Synchronized {
+            at: SimTime::ZERO,
+            winner: Pid::new(2),
+            parent: Pid::new(1),
+            alt_index: 0,
+        };
+        assert!(e.to_string().contains("alternative 1 wins"), "{e}");
+    }
+
+    #[test]
+    fn display_root_spawn() {
+        let e = TraceEvent::Spawned {
+            at: SimTime::ZERO,
+            pid: Pid::new(1),
+            parent: None,
+            alt_index: None,
+        };
+        assert!(e.to_string().contains("(root)"), "{e}");
+    }
+
+    #[test]
+    fn display_timeout_block_failure() {
+        let e = TraceEvent::BlockFailed {
+            at: SimTime::ZERO,
+            pid: Pid::new(1),
+            block_seq: 0,
+            timed_out: true,
+        };
+        assert!(e.to_string().contains("(timeout)"), "{e}");
+    }
+
+    #[test]
+    fn chrome_trace_has_spans_and_instants() {
+        let t = |ms: u64| SimTime::from_nanos(ms * 1_000_000);
+        let events = vec![
+            TraceEvent::Spawned { at: t(0), pid: Pid::new(1), parent: None, alt_index: None },
+            TraceEvent::Spawned {
+                at: t(1),
+                pid: Pid::new(2),
+                parent: Some(Pid::new(1)),
+                alt_index: Some(0),
+            },
+            TraceEvent::Synchronized {
+                at: t(10),
+                winner: Pid::new(2),
+                parent: Pid::new(1),
+                alt_index: 0,
+            },
+            TraceEvent::MessageAccepted { at: t(5), from: Pid::new(2), to: Pid::new(1) },
+        ];
+        let json = chrome_trace_json(&events, t(12));
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "duration events: {json}");
+        assert!(json.contains("\"ph\":\"i\""), "instant events: {json}");
+        assert!(json.contains("pid2 (synchronized)"), "{json}");
+        assert!(json.contains("pid1 (running)"), "root runs to the end: {json}");
+        assert!(json.contains("\"dur\":9000.000"), "2 spawned at 1ms, synced at 10ms: {json}");
+        // Balanced braces and no trailing comma before the close.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n]"), "{json}");
+    }
+
+    #[test]
+    fn chrome_trace_escapes_quotes() {
+        // No current event embeds quotes, but the escaper must be sound.
+        let json = chrome_trace_json(&[], SimTime::ZERO);
+        assert_eq!(json.trim(), "[\n\n]".trim_start());
+    }
+}

@@ -1,0 +1,175 @@
+//! Fuzz-style IPC test: random (but well-formed) send/receive meshes
+//! between ordinary processes, plus speculative senders, with delivery
+//! and containment invariants checked.
+//!
+//! "Well-formed" means every `Recv` has a guaranteed matching unconditional
+//! `Send`, so quiescence with a deadlock indicates a kernel bug, not a
+//! workload artifact. Speculative senders (alternates inside a racing
+//! block) inject additional predicated messages that may split receivers;
+//! the invariant is that splits always resolve back to exactly one world
+//! per receiver.
+
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program, Target, TraceEvent,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Mesh {
+    /// For each receiver r: the list of (sender index, payload byte).
+    /// Every listed sender sends exactly these messages, in order.
+    inbox_plan: Vec<Vec<(usize, u8)>>,
+    n_senders: usize,
+    /// Compute padding before each sender begins (ms).
+    sender_delay_ms: Vec<u64>,
+    /// Whether to add a racing block whose alternates also message
+    /// receiver 0 speculatively.
+    speculative_noise: bool,
+    ipc_latency_ms: u64,
+}
+
+fn arb_mesh() -> impl Strategy<Value = Mesh> {
+    (
+        1usize..4,                                     // receivers
+        1usize..4,                                     // senders
+        prop::collection::vec(0u64..10, 4),            // delays
+        any::<bool>(),                                 // speculative noise
+        0u64..5,                                       // ipc latency
+        prop::collection::vec((0usize..4, any::<u8>()), 0..12),
+    )
+        .prop_map(|(nr, ns, delays, speculative_noise, ipc_latency_ms, raw)| {
+            let mut inbox_plan = vec![Vec::new(); nr];
+            for (i, (s, payload)) in raw.into_iter().enumerate() {
+                inbox_plan[i % nr].push((s % ns, payload));
+            }
+            Mesh {
+                inbox_plan,
+                n_senders: ns,
+                sender_delay_ms: delays,
+                speculative_noise,
+                ipc_latency_ms,
+            }
+        })
+}
+
+fn build_and_run(mesh: &Mesh) -> (altx_kernel::RunReport, Vec<altx_predicates::Pid>, Kernel) {
+    let mut kernel = Kernel::new(KernelConfig {
+        ipc_latency: SimDuration::from_millis(mesh.ipc_latency_ms),
+        ..KernelConfig::default()
+    });
+
+    // Receivers: recv exactly the planned number of messages.
+    let mut receiver_pids = Vec::new();
+    for (r, plan) in mesh.inbox_plan.iter().enumerate() {
+        let mut ops = vec![Op::RegisterName(format!("rx{r}"))];
+        for k in 0..plan.len() {
+            ops.push(Op::Recv { reg: k });
+        }
+        receiver_pids.push(kernel.spawn(Program::new(ops), 4 * 1024));
+    }
+
+    // Senders: after registration settles, send their planned messages in
+    // receiver order.
+    for s in 0..mesh.n_senders {
+        let mut ops = vec![Op::Compute(SimDuration::from_millis(
+            20 + mesh.sender_delay_ms[s % mesh.sender_delay_ms.len()],
+        ))];
+        for (r, plan) in mesh.inbox_plan.iter().enumerate() {
+            for &(sender, payload) in plan {
+                if sender == s {
+                    ops.push(Op::Send {
+                        to: Target::Name(format!("rx{r}")),
+                        payload: vec![payload],
+                    });
+                }
+            }
+        }
+        kernel.spawn(Program::new(ops), 4 * 1024);
+    }
+
+    // Optional speculative noise: a racing block whose loser messages
+    // rx0 before losing.
+    if mesh.speculative_noise {
+        let noisy = Program::new(vec![
+            Op::Send { to: Target::Name("rx0".into()), payload: vec![0xEE] },
+            Op::Compute(SimDuration::from_millis(500)),
+        ]);
+        let quiet = Program::compute_ms(5);
+        kernel.spawn(
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(10)),
+                Op::AltBlock(AltBlockSpec::new(vec![
+                    Alternative::new(GuardSpec::Const(true), noisy),
+                    Alternative::new(GuardSpec::Const(true), quiet),
+                ])),
+            ]),
+            4 * 1024,
+        );
+    }
+
+    let report = kernel.run();
+    (report, receiver_pids, kernel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ipc_meshes_deliver_and_contain(mesh in arb_mesh()) {
+        let (report, receiver_pids, kernel) = build_and_run(&mesh);
+
+        // For every receiver's logical process: exactly one world
+        // completes (the mesh guarantees enough unconditional messages).
+        for (r, (&rx, plan)) in receiver_pids.iter().zip(&mesh.inbox_plan).enumerate() {
+            // Worlds of rx: the original plus split-offs.
+            let mut worlds = std::collections::BTreeSet::from([rx]);
+            for e in report.trace() {
+                if let TraceEvent::WorldSplit { accepting, rejecting, .. } = e {
+                    if worlds.contains(accepting) {
+                        worlds.insert(*rejecting);
+                    }
+                }
+            }
+            let survivors: Vec<_> = worlds
+                .iter()
+                .filter(|&&w| report.exit(w).map(|s| s.is_success()).unwrap_or(false))
+                .copied()
+                .collect();
+            prop_assert_eq!(
+                survivors.len(),
+                1,
+                "receiver {} worlds {:?} must have one survivor",
+                r,
+                worlds
+            );
+            let survivor = survivors[0];
+
+            // The survivor received exactly the planned unconditional
+            // payloads (multiset equality: order across senders may vary
+            // with delays, order within a sender is FIFO).
+            let mut got: Vec<u8> = (0..plan.len())
+                .map(|k| {
+                    let reg = kernel.register_of(survivor, k).expect("world exists");
+                    prop_assert!(!reg.is_empty(), "register {k} filled");
+                    Ok(reg[0])
+                })
+                .collect::<Result<_, TestCaseError>>()?;
+            let mut want: Vec<u8> = plan.iter().map(|&(_, p)| p).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            // Speculative noise may have *replaced* one expected payload
+            // in the accepting world only if that world died; the
+            // survivor's view must contain no 0xEE unless planned.
+            if !mesh.speculative_noise || !want.contains(&0xEE) {
+                prop_assert!(
+                    !got.contains(&0xEE) || want.contains(&0xEE),
+                    "loser payload leaked into survivor: {:?} vs {:?}",
+                    got,
+                    want
+                );
+            }
+            prop_assert_eq!(got, want, "receiver {}", r);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fuzz-style torture test: random nested alternative-block programs,
+//! with the §2/§3.2 invariants checked on every run.
+//!
+//! The generator builds arbitrary trees of alt blocks (nested up to 3
+//! deep) whose leaves are compute/write work with constant guards. For
+//! any such tree the kernel must terminate every process, synchronize at
+//! most once per block, pick only guard-satisfying winners, and be
+//! bit-for-bit deterministic.
+
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program, TraceEvent,
+};
+use proptest::prelude::*;
+
+/// A generated alternative: either leaf work or a nested block.
+#[derive(Debug, Clone)]
+enum GenAlt {
+    Leaf { compute_ms: u64, dirty_pages: usize, guard: bool },
+    Nested { inner: Vec<GenAlt>, guard: bool },
+}
+
+impl GenAlt {
+    fn guard(&self) -> bool {
+        match self {
+            GenAlt::Leaf { guard, .. } | GenAlt::Nested { guard, .. } => *guard,
+        }
+    }
+
+    fn to_alternative(&self) -> Alternative {
+        match self {
+            GenAlt::Leaf { compute_ms, dirty_pages, guard } => {
+                let mut ops = vec![Op::Compute(SimDuration::from_millis(*compute_ms))];
+                if *dirty_pages > 0 {
+                    ops.push(Op::TouchPages { first: 0, count: *dirty_pages });
+                }
+                Alternative::new(GuardSpec::Const(*guard), Program::new(ops))
+            }
+            GenAlt::Nested { inner, guard } => {
+                let block = AltBlockSpec::new(inner.iter().map(GenAlt::to_alternative).collect());
+                Alternative::new(
+                    GuardSpec::Const(*guard),
+                    Program::new(vec![Op::AltBlock(block)]),
+                )
+            }
+        }
+    }
+
+    fn count_blocks(&self) -> usize {
+        match self {
+            GenAlt::Leaf { .. } => 0,
+            GenAlt::Nested { inner, .. } => {
+                1 + inner.iter().map(GenAlt::count_blocks).sum::<usize>()
+            }
+        }
+    }
+}
+
+fn arb_alt() -> impl Strategy<Value = GenAlt> {
+    let leaf = (1u64..60, 0usize..4, any::<bool>()).prop_map(|(compute_ms, dirty_pages, guard)| {
+        GenAlt::Leaf { compute_ms, dirty_pages, guard }
+    });
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (prop::collection::vec(inner, 1..4), any::<bool>())
+            .prop_map(|(inner, guard)| GenAlt::Nested { inner, guard })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn nested_block_trees_preserve_all_invariants(
+        alts in prop::collection::vec(arb_alt(), 1..4),
+        cpus in 1usize..6,
+    ) {
+        let spec = AltBlockSpec::new(alts.iter().map(GenAlt::to_alternative).collect());
+        let run = |seed: u64| {
+            let mut kernel = Kernel::new(KernelConfig {
+                cpus,
+                seed,
+                ..KernelConfig::default()
+            });
+            let root = kernel.spawn(Program::new(vec![Op::AltBlock(spec.clone())]), 16 * 1024);
+            (kernel.run(), root)
+        };
+        let (report, root) = run(1);
+
+        // 1. Everything terminates: no deadlocks, no stuck processes.
+        prop_assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
+        prop_assert!(report.exit(root).expect("root exits").is_success());
+
+        // 2. The top block's outcome matches the generated guards: it
+        //    succeeds iff some top-level alternative's guard is true
+        //    (nested failures do not abort an alternative whose own
+        //    guard holds).
+        let top = &report.block_outcomes(root)[0];
+        let any_pass = alts.iter().any(|a| a.guard());
+        prop_assert_eq!(top.failed, !any_pass);
+        if let Some(w) = top.winner {
+            prop_assert!(alts[w].guard(), "winner's guard must hold");
+        }
+
+        // 3. At most one synchronization per (parent, block) pair.
+        let mut syncs = std::collections::HashMap::new();
+        for e in report.trace() {
+            if let TraceEvent::Synchronized { parent, .. } = e {
+                *syncs.entry(*parent).or_insert(0usize) += 1;
+            }
+        }
+        // A parent runs blocks sequentially, so per-parent sync counts
+        // must not exceed its block count; the root runs exactly one.
+        prop_assert!(syncs.get(&root).copied().unwrap_or(0) <= 1);
+
+        // 4. Total blocks decided ≤ blocks in the tree + 1 (some nested
+        //    blocks never run when their alternative loses early).
+        let total_blocks: usize =
+            1 + alts.iter().map(GenAlt::count_blocks).sum::<usize>();
+        let decided: usize = report.trace().iter().filter(|e| {
+            matches!(e, TraceEvent::Synchronized { .. } | TraceEvent::BlockFailed { .. })
+        }).count();
+        prop_assert!(decided <= total_blocks, "{decided} > {total_blocks}");
+
+        // 5. Every spawned process reached a terminal trace event.
+        let spawned: std::collections::BTreeSet<_> = report
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Spawned { pid, parent: Some(_), .. } => Some(*pid),
+                _ => None,
+            })
+            .collect();
+        let terminated: std::collections::BTreeSet<_> = report
+            .trace()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Synchronized { winner, .. } => Some(*winner),
+                TraceEvent::Aborted { pid, .. }
+                | TraceEvent::Eliminated { pid, .. }
+                | TraceEvent::TooLate { pid, .. } => Some(*pid),
+                _ => None,
+            })
+            .collect();
+        prop_assert!(
+            spawned.is_subset(&terminated),
+            "leaked processes: {:?}",
+            spawned.difference(&terminated).collect::<Vec<_>>()
+        );
+
+        // 6. Determinism.
+        let (again, root2) = run(1);
+        prop_assert_eq!(root, root2);
+        prop_assert_eq!(report.finished_at, again.finished_at);
+        prop_assert_eq!(report.stats, again.stats);
+    }
+}

@@ -1,0 +1,52 @@
+//! # altx-pager — copy-on-write paged memory
+//!
+//! The paper (§3.1–3.3) buries all *sink* state under a single-level-store
+//! page abstraction: "Sink state is manipulated as fixed-size pages. All
+//! sink state can be represented in this fashion." Speculative alternates
+//! inherit their parent's page map and copy pages lazily on write
+//! (Bobrow's TENEX-style copy-on-write), which is what bounds the
+//! combinatorial explosion of speculative state.
+//!
+//! This crate implements that substrate:
+//!
+//! * [`Page`] / [`PageRef`] — fixed-size pages, structurally shared via
+//!   reference counting.
+//! * [`PageMap`] — a process's page table; cloning a map is O(#pages)
+//!   pointer copies, writing through it copies at page granularity.
+//! * [`AddressSpace`] — byte-addressed reads/writes over a page map, with
+//!   full copy-on-write accounting.
+//! * [`MachineProfile`] — the *cost model*: fork latency and page-copy
+//!   service rates calibrated to the constants the paper measured on the
+//!   AT&T 3B2/310 and HP 9000/350 (§4.4), so the kernel can charge
+//!   realistic virtual time for every operation.
+//!
+//! # Example
+//!
+//! ```
+//! use altx_pager::{AddressSpace, MachineProfile};
+//!
+//! let profile = MachineProfile::hp_9000_350();
+//! let mut parent = AddressSpace::zeroed(320 * 1024, profile.page_size());
+//! parent.write(0, b"original");
+//!
+//! // COW fork: child shares every page with the parent.
+//! let mut child = parent.cow_fork();
+//! child.write(0, b"speculat");
+//!
+//! assert_eq!(&parent.read_vec(0, 8), b"original");
+//! assert_eq!(&child.read_vec(0, 8), b"speculat");
+//! assert_eq!(child.stats().pages_copied, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod map;
+pub mod page;
+pub mod space;
+
+pub use machine::MachineProfile;
+pub use map::PageMap;
+pub use page::{Page, PageIndex, PageRef, PageSize};
+pub use space::{AddressSpace, CowStats};

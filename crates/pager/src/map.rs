@@ -1,0 +1,312 @@
+//! Page maps: per-process page tables with copy-on-write.
+//!
+//! A [`PageMap`] is the unit of state inheritance in the paper's design:
+//! `alt_spawn` gives each alternate a clone of the parent's map (O(#pages)
+//! pointer copies — no data copied), and `alt_wait` absorbs the winner by
+//! *atomically replacing* the parent's map with the child's (§3.2). Writes
+//! through a map copy the underlying page only if it is shared.
+
+use crate::page::{is_shared, Page, PageIndex, PageRef, PageSize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A page table mapping page indices to (possibly shared) physical pages.
+///
+/// Unmapped slots read as zero and are materialized on first write
+/// (zero-fill-on-demand), mirroring sparse address spaces.
+#[derive(Clone)]
+pub struct PageMap {
+    page_size: PageSize,
+    slots: Vec<Option<PageRef>>,
+}
+
+impl PageMap {
+    /// Creates a map with `npages` unmapped (zero) slots.
+    pub fn new(page_size: PageSize, npages: usize) -> Self {
+        PageMap {
+            page_size,
+            slots: vec![None; npages],
+        }
+    }
+
+    /// The page size of every page in this map.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Number of slots (mapped or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff the map has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of slots currently backed by a physical page.
+    pub fn mapped_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of mapped slots whose physical page is shared with another
+    /// map (i.e., a write would trigger a COW copy).
+    pub fn shared_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(is_shared))
+            .count()
+    }
+
+    /// Grows the map to at least `npages` slots (new slots unmapped).
+    pub fn grow_to(&mut self, npages: usize) {
+        if npages > self.slots.len() {
+            self.slots.resize(npages, None);
+        }
+    }
+
+    /// Reads the page at `idx`. Returns `None` for unmapped (zero) pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn page(&self, idx: PageIndex) -> Option<&PageRef> {
+        self.slots[idx.0].as_ref()
+    }
+
+    /// Maps `page` at `idx`, replacing any existing mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds or the page size disagrees with
+    /// the map's.
+    pub fn map_page(&mut self, idx: PageIndex, page: PageRef) {
+        assert_eq!(
+            page.len(),
+            self.page_size.bytes(),
+            "page size mismatch: page is {} bytes, map uses {}",
+            page.len(),
+            self.page_size
+        );
+        self.slots[idx.0] = Some(page);
+    }
+
+    /// Returns a writable view of the page at `idx`, performing a COW copy
+    /// (or zero-fill materialization) if needed. The boolean is `true` iff
+    /// a *copy of existing data* was performed — the chargeable COW fault.
+    ///
+    /// Zero-fill of an unmapped page is reported separately (`false`)
+    /// because §4.4's copy rate counts only real page copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn page_mut(&mut self, idx: PageIndex) -> (&mut Page, CowOutcome) {
+        let slot = &mut self.slots[idx.0];
+        match slot {
+            None => {
+                *slot = Some(Arc::new(Page::zeroed(self.page_size)));
+                let page = Arc::get_mut(slot.as_mut().expect("just set")).expect("fresh arc");
+                (page, CowOutcome::ZeroFilled)
+            }
+            Some(arc) => {
+                let outcome = if is_shared(arc) {
+                    CowOutcome::Copied
+                } else {
+                    CowOutcome::AlreadyPrivate
+                };
+                // Arc::make_mut clones the Page iff it is shared.
+                let page = Arc::make_mut(arc);
+                (page, outcome)
+            }
+        }
+    }
+
+    /// Iterates over `(index, page)` for all mapped slots.
+    pub fn iter(&self) -> impl Iterator<Item = (PageIndex, &PageRef)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (PageIndex(i), p)))
+    }
+
+    /// Total bytes of *private* (unshared) physical memory attributable to
+    /// this map alone.
+    pub fn private_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|p| !is_shared(p)))
+            .count()
+            * self.page_size.bytes()
+    }
+
+    /// Flattens the whole map into a byte vector (unmapped pages read as
+    /// zero). Used by checkpointing and by tests as an oracle.
+    pub fn flatten(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.slots.len() * self.page_size.bytes()];
+        for (idx, page) in self.iter() {
+            let start = idx.0 * self.page_size.bytes();
+            out[start..start + self.page_size.bytes()].copy_from_slice(page.as_bytes());
+        }
+        out
+    }
+
+    /// Set of page indices whose physical pages differ from `other`'s
+    /// (pointer inequality — the cheap "what did the child write" check
+    /// used at synchronization).
+    pub fn divergent_pages(&self, other: &PageMap) -> Vec<PageIndex> {
+        let n = self.slots.len().max(other.slots.len());
+        (0..n)
+            .filter(|&i| {
+                let a = self.slots.get(i).and_then(|s| s.as_ref());
+                let b = other.slots.get(i).and_then(|s| s.as_ref());
+                match (a, b) {
+                    (None, None) => false,
+                    (Some(x), Some(y)) => !Arc::ptr_eq(x, y),
+                    _ => true,
+                }
+            })
+            .map(PageIndex)
+            .collect()
+    }
+}
+
+/// What [`PageMap::page_mut`] had to do to make the page writable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CowOutcome {
+    /// The page was already private; no work done.
+    AlreadyPrivate,
+    /// A shared page was physically copied (chargeable COW fault).
+    Copied,
+    /// An unmapped page was materialized as zeros (zero-fill fault).
+    ZeroFilled,
+}
+
+impl fmt::Debug for PageMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PageMap({} slots, {} mapped, {} shared, page={})",
+            self.slots.len(),
+            self.mapped_count(),
+            self.shared_count(),
+            self.page_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_map() -> PageMap {
+        PageMap::new(PageSize::new(4), 8)
+    }
+
+    #[test]
+    fn new_map_is_unmapped() {
+        let m = small_map();
+        assert_eq!(m.len(), 8);
+        assert_eq!(m.mapped_count(), 0);
+        assert_eq!(m.shared_count(), 0);
+        assert!(m.page(PageIndex(3)).is_none());
+    }
+
+    #[test]
+    fn zero_fill_on_first_write() {
+        let mut m = small_map();
+        let (page, outcome) = m.page_mut(PageIndex(2));
+        assert_eq!(outcome, CowOutcome::ZeroFilled);
+        page.as_bytes_mut()[0] = 9;
+        assert_eq!(m.mapped_count(), 1);
+        assert_eq!(m.page(PageIndex(2)).unwrap().as_bytes()[0], 9);
+    }
+
+    #[test]
+    fn clone_shares_then_cow_copies() {
+        let mut parent = small_map();
+        parent.page_mut(PageIndex(0)).0.as_bytes_mut()[0] = 1;
+
+        let mut child = parent.clone();
+        assert_eq!(parent.shared_count(), 1);
+        assert_eq!(child.shared_count(), 1);
+
+        let (page, outcome) = child.page_mut(PageIndex(0));
+        assert_eq!(outcome, CowOutcome::Copied);
+        page.as_bytes_mut()[0] = 2;
+
+        // Parent unchanged; both now private.
+        assert_eq!(parent.page(PageIndex(0)).unwrap().as_bytes()[0], 1);
+        assert_eq!(child.page(PageIndex(0)).unwrap().as_bytes()[0], 2);
+        assert_eq!(parent.shared_count(), 0);
+        assert_eq!(child.shared_count(), 0);
+    }
+
+    #[test]
+    fn second_write_to_private_page_is_free() {
+        let mut m = small_map();
+        m.page_mut(PageIndex(1));
+        let (_, outcome) = m.page_mut(PageIndex(1));
+        assert_eq!(outcome, CowOutcome::AlreadyPrivate);
+    }
+
+    #[test]
+    fn flatten_reads_zero_for_unmapped() {
+        let mut m = small_map();
+        m.page_mut(PageIndex(1)).0.as_bytes_mut().copy_from_slice(&[1, 2, 3, 4]);
+        let flat = m.flatten();
+        assert_eq!(flat.len(), 32);
+        assert_eq!(&flat[0..4], &[0, 0, 0, 0]);
+        assert_eq!(&flat[4..8], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn divergent_pages_detects_child_writes() {
+        let mut parent = small_map();
+        parent.page_mut(PageIndex(0));
+        parent.page_mut(PageIndex(5));
+        let mut child = parent.clone();
+        assert!(child.divergent_pages(&parent).is_empty());
+
+        child.page_mut(PageIndex(5)); // COW copy → pointer diverges
+        child.page_mut(PageIndex(7)); // new mapping
+        assert_eq!(
+            child.divergent_pages(&parent),
+            vec![PageIndex(5), PageIndex(7)]
+        );
+    }
+
+    #[test]
+    fn private_bytes_counts_only_unshared() {
+        let mut parent = small_map();
+        parent.page_mut(PageIndex(0));
+        parent.page_mut(PageIndex(1));
+        assert_eq!(parent.private_bytes(), 8);
+        let _child = parent.clone();
+        assert_eq!(parent.private_bytes(), 0);
+    }
+
+    #[test]
+    fn grow_to_extends_with_unmapped() {
+        let mut m = small_map();
+        m.grow_to(16);
+        assert_eq!(m.len(), 16);
+        assert!(m.page(PageIndex(15)).is_none());
+        m.grow_to(4); // shrink requests are ignored
+        assert_eq!(m.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size mismatch")]
+    fn map_page_rejects_wrong_size() {
+        let mut m = small_map();
+        m.map_page(PageIndex(0), Arc::new(Page::zeroed(PageSize::new(8))));
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let m = small_map();
+        let s = format!("{m:?}");
+        assert!(s.contains("8 slots"), "{s}");
+    }
+}

@@ -1,0 +1,214 @@
+//! Fixed-size pages with structural sharing.
+//!
+//! A [`Page`] owns its bytes; a [`PageRef`] is an `Arc<Page>` so that many
+//! speculative address spaces can reference one physical page. A write to
+//! a shared page triggers copy-on-write in [`PageMap`](crate::PageMap).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The page size of an address space, in bytes.
+///
+/// The paper's machines used 2 KiB (AT&T 3B2/310) and 4 KiB (HP 9000/350)
+/// pages; both are provided as constants. Arbitrary positive sizes are
+/// allowed for experiments on granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageSize(usize);
+
+impl PageSize {
+    /// 2 KiB — the AT&T 3B2/310 page size (§4.4).
+    pub const K2: PageSize = PageSize(2 * 1024);
+    /// 4 KiB — the HP 9000/350 page size (§4.4).
+    pub const K4: PageSize = PageSize(4 * 1024);
+
+    /// Creates a page size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn new(bytes: usize) -> Self {
+        assert!(bytes > 0, "PageSize must be positive");
+        PageSize(bytes)
+    }
+
+    /// Size in bytes.
+    pub const fn bytes(self) -> usize {
+        self.0
+    }
+
+    /// Number of pages needed to hold `len` bytes (ceiling division).
+    pub const fn pages_for(self, len: usize) -> usize {
+        len.div_ceil(self.0)
+    }
+
+    /// Splits a byte address into `(page index, offset within page)`.
+    pub const fn split_addr(self, addr: usize) -> (PageIndex, usize) {
+        (PageIndex(addr / self.0), addr % self.0)
+    }
+}
+
+impl fmt::Display for PageSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1024) {
+            write!(f, "{}K", self.0 / 1024)
+        } else {
+            write!(f, "{}B", self.0)
+        }
+    }
+}
+
+/// Index of a page within an address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageIndex(pub usize);
+
+impl fmt::Display for PageIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page#{}", self.0)
+    }
+}
+
+/// A physical page: a fixed-size run of bytes.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    bytes: Box<[u8]>,
+}
+
+impl Page {
+    /// An all-zero page of the given size.
+    pub fn zeroed(size: PageSize) -> Self {
+        Page {
+            bytes: vec![0u8; size.bytes()].into_boxed_slice(),
+        }
+    }
+
+    /// A page initialized from `data`, zero-padded to `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the page.
+    pub fn from_bytes(size: PageSize, data: &[u8]) -> Self {
+        assert!(
+            data.len() <= size.bytes(),
+            "page data ({} bytes) exceeds page size {}",
+            data.len(),
+            size
+        );
+        let mut bytes = vec![0u8; size.bytes()];
+        bytes[..data.len()].copy_from_slice(data);
+        Page {
+            bytes: bytes.into_boxed_slice(),
+        }
+    }
+
+    /// Size of this page in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Pages are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Read access to the page contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Write access to the page contents (only reachable once unshared).
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// True iff every byte is zero (used to detect sparse pages).
+    pub fn is_zero(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+}
+
+impl fmt::Debug for Page {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Page({} bytes, zero={})", self.bytes.len(), self.is_zero())
+    }
+}
+
+/// A shared reference to a physical page.
+///
+/// `PageRef::strong_count` > 1 means the page is shared between address
+/// spaces (or with the zero-page pool) and must be copied before writing.
+pub type PageRef = Arc<Page>;
+
+/// Returns true iff the page is shared (write requires a copy).
+pub fn is_shared(page: &PageRef) -> bool {
+    Arc::strong_count(page) > 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_math() {
+        let ps = PageSize::K2;
+        assert_eq!(ps.bytes(), 2048);
+        assert_eq!(ps.pages_for(0), 0);
+        assert_eq!(ps.pages_for(1), 1);
+        assert_eq!(ps.pages_for(2048), 1);
+        assert_eq!(ps.pages_for(2049), 2);
+        assert_eq!(ps.pages_for(320 * 1024), 160);
+        assert_eq!(PageSize::K4.pages_for(320 * 1024), 80);
+    }
+
+    #[test]
+    fn split_addr() {
+        let ps = PageSize::new(100);
+        assert_eq!(ps.split_addr(0), (PageIndex(0), 0));
+        assert_eq!(ps.split_addr(99), (PageIndex(0), 99));
+        assert_eq!(ps.split_addr(100), (PageIndex(1), 0));
+        assert_eq!(ps.split_addr(250), (PageIndex(2), 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_page_size_panics() {
+        PageSize::new(0);
+    }
+
+    #[test]
+    fn zeroed_page_is_zero() {
+        let p = Page::zeroed(PageSize::K2);
+        assert_eq!(p.len(), 2048);
+        assert!(p.is_zero());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn from_bytes_pads() {
+        let p = Page::from_bytes(PageSize::new(8), &[1, 2, 3]);
+        assert_eq!(p.as_bytes(), &[1, 2, 3, 0, 0, 0, 0, 0]);
+        assert!(!p.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds page size")]
+    fn from_bytes_too_long_panics() {
+        Page::from_bytes(PageSize::new(2), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn sharing_detection() {
+        let a: PageRef = Arc::new(Page::zeroed(PageSize::K2));
+        assert!(!is_shared(&a));
+        let b = Arc::clone(&a);
+        assert!(is_shared(&a));
+        drop(b);
+        assert!(!is_shared(&a));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PageSize::K2.to_string(), "2K");
+        assert_eq!(PageSize::new(100).to_string(), "100B");
+        assert_eq!(PageIndex(7).to_string(), "page#7");
+    }
+}

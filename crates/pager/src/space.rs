@@ -1,0 +1,444 @@
+//! Byte-addressed address spaces over page maps, with COW accounting.
+//!
+//! [`AddressSpace`] is what a simulated process actually owns: a
+//! [`PageMap`] plus cumulative [`CowStats`]. The two operations the
+//! paper's design leans on are:
+//!
+//! * [`AddressSpace::cow_fork`] — the `alt_spawn` state inheritance: the
+//!   child gets a structural copy of the page map, all pages shared.
+//! * [`AddressSpace::absorb`] — the `alt_wait` rendezvous: the parent
+//!   "absorbs the state changes made by its child by atomically replacing
+//!   its page pointer with that of the child" (§3.2).
+
+use crate::machine::MachineProfile;
+use crate::map::{CowOutcome, PageMap};
+use crate::page::{PageIndex, PageSize};
+use altx_des::SimDuration;
+use std::fmt;
+
+/// Cumulative copy-on-write accounting for one address space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CowStats {
+    /// Shared pages physically copied due to writes (chargeable COW
+    /// faults; the quantity behind §4.4's pages/second rate).
+    pub pages_copied: u64,
+    /// Unmapped pages materialized as zeros on first write.
+    pub pages_zero_filled: u64,
+    /// Write operations serviced without any copy (page already private).
+    pub writes_in_place: u64,
+    /// Read operations serviced.
+    pub reads: u64,
+}
+
+impl CowStats {
+    /// Sum of both kinds of page materialization.
+    pub fn total_faults(&self) -> u64 {
+        self.pages_copied + self.pages_zero_filled
+    }
+}
+
+/// Receipt describing what one read/write operation did, so callers can
+/// charge virtual time for it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpReceipt {
+    /// Pages copied (COW faults) during this operation.
+    pub pages_copied: u64,
+    /// Pages zero-filled during this operation.
+    pub pages_zero_filled: u64,
+    /// Pages touched in total.
+    pub pages_touched: u64,
+}
+
+impl OpReceipt {
+    /// The virtual-time cost of this operation under `profile`
+    /// (copy faults + zero-fill traps; in-place access is free at page
+    /// granularity, matching the paper's model where only copying counts).
+    pub fn cost(&self, profile: &MachineProfile) -> SimDuration {
+        profile.cow_fault_cost() * self.pages_copied
+            + profile.page_fault_cost() * self.pages_zero_filled
+    }
+
+    fn absorb_outcome(&mut self, outcome: CowOutcome) {
+        self.pages_touched += 1;
+        match outcome {
+            CowOutcome::Copied => self.pages_copied += 1,
+            CowOutcome::ZeroFilled => self.pages_zero_filled += 1,
+            CowOutcome::AlreadyPrivate => {}
+        }
+    }
+}
+
+/// A byte-addressed, page-backed address space.
+///
+/// # Example
+///
+/// ```
+/// use altx_pager::{AddressSpace, PageSize};
+///
+/// let mut a = AddressSpace::zeroed(64, PageSize::new(16));
+/// a.write(10, &[1, 2, 3]);
+/// assert_eq!(a.read_vec(9, 5), vec![0, 1, 2, 3, 0]);
+/// ```
+#[derive(Clone)]
+pub struct AddressSpace {
+    map: PageMap,
+    stats: CowStats,
+}
+
+impl AddressSpace {
+    /// Creates a zeroed address space of at least `bytes` bytes.
+    pub fn zeroed(bytes: usize, page_size: PageSize) -> Self {
+        AddressSpace {
+            map: PageMap::new(page_size, page_size.pages_for(bytes)),
+            stats: CowStats::default(),
+        }
+    }
+
+    /// Creates an address space holding `data`, padded to whole pages.
+    ///
+    /// The initializing writes are *not* counted in the stats (this is
+    /// image load, not speculative execution).
+    pub fn from_bytes(data: &[u8], page_size: PageSize) -> Self {
+        let mut space = AddressSpace::zeroed(data.len(), page_size);
+        space.write(0, data);
+        space.stats = CowStats::default();
+        space
+    }
+
+    /// Wraps an existing page map.
+    pub fn from_map(map: PageMap) -> Self {
+        AddressSpace {
+            map,
+            stats: CowStats::default(),
+        }
+    }
+
+    /// The page size.
+    pub fn page_size(&self) -> PageSize {
+        self.map.page_size()
+    }
+
+    /// Size of the space in bytes (page-granular).
+    pub fn len(&self) -> usize {
+        self.map.len() * self.map.page_size().bytes()
+    }
+
+    /// True iff the space has zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of page slots.
+    pub fn page_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Cumulative COW accounting.
+    pub fn stats(&self) -> CowStats {
+        self.stats
+    }
+
+    /// Resets the accounting counters (e.g., at the start of a measured
+    /// region).
+    pub fn reset_stats(&mut self) {
+        self.stats = CowStats::default();
+    }
+
+    /// Read-only access to the underlying page map.
+    pub fn map(&self) -> &PageMap {
+        &self.map
+    }
+
+    /// Forks this address space copy-on-write: the child shares every
+    /// mapped page with the parent. O(#pages) pointer work, no data
+    /// copies. The child's stats start at zero.
+    pub fn cow_fork(&self) -> AddressSpace {
+        AddressSpace {
+            map: self.map.clone(),
+            stats: CowStats::default(),
+        }
+    }
+
+    /// The virtual-time cost of [`cow_fork`](Self::cow_fork) under
+    /// `profile` (fixed fork cost + per-inherited-page map cost).
+    pub fn fork_cost(&self, profile: &MachineProfile) -> SimDuration {
+        profile.fork_cost(self.map.len())
+    }
+
+    /// Atomically replaces this space's page map with `winner`'s — the
+    /// `alt_wait` absorption of §3.2. The winner's COW accounting is
+    /// merged into the parent's (those copies really happened).
+    pub fn absorb(&mut self, winner: AddressSpace) {
+        self.map = winner.map;
+        self.stats.pages_copied += winner.stats.pages_copied;
+        self.stats.pages_zero_filled += winner.stats.pages_zero_filled;
+        self.stats.writes_in_place += winner.stats.writes_in_place;
+        self.stats.reads += winner.stats.reads;
+    }
+
+    /// Reads `len` bytes at `addr` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the space.
+    pub fn read_vec(&mut self, addr: usize, len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf);
+        buf
+    }
+
+    /// Reads into `buf` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the space.
+    pub fn read(&mut self, addr: usize, buf: &mut [u8]) {
+        self.check_range(addr, buf.len());
+        self.stats.reads += 1;
+        let ps = self.map.page_size().bytes();
+        let mut off = 0;
+        while off < buf.len() {
+            let (page_idx, page_off) = self.map.page_size().split_addr(addr + off);
+            let chunk = (ps - page_off).min(buf.len() - off);
+            match self.map.page(page_idx) {
+                Some(page) => {
+                    buf[off..off + chunk].copy_from_slice(&page.as_bytes()[page_off..page_off + chunk]);
+                }
+                None => {
+                    buf[off..off + chunk].fill(0);
+                }
+            }
+            off += chunk;
+        }
+    }
+
+    /// Writes `data` at `addr`, returning a receipt of the page work done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the space.
+    pub fn write(&mut self, addr: usize, data: &[u8]) -> OpReceipt {
+        self.check_range(addr, data.len());
+        let ps = self.map.page_size().bytes();
+        let mut receipt = OpReceipt::default();
+        let mut off = 0;
+        while off < data.len() {
+            let (page_idx, page_off) = self.map.page_size().split_addr(addr + off);
+            let chunk = (ps - page_off).min(data.len() - off);
+            let (page, outcome) = self.map.page_mut(page_idx);
+            page.as_bytes_mut()[page_off..page_off + chunk]
+                .copy_from_slice(&data[off..off + chunk]);
+            receipt.absorb_outcome(outcome);
+            match outcome {
+                CowOutcome::Copied => self.stats.pages_copied += 1,
+                CowOutcome::ZeroFilled => self.stats.pages_zero_filled += 1,
+                CowOutcome::AlreadyPrivate => self.stats.writes_in_place += 1,
+            }
+            off += chunk;
+        }
+        receipt
+    }
+
+    /// Touches (dirties) whole pages `[first, first+count)` with a marker
+    /// byte — the write-fraction experiment primitive (E4). Returns the
+    /// receipt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page range is out of bounds.
+    pub fn touch_pages(&mut self, first: usize, count: usize, marker: u8) -> OpReceipt {
+        assert!(
+            first + count <= self.map.len(),
+            "touch_pages: range {}..{} out of bounds ({} pages)",
+            first,
+            first + count,
+            self.map.len()
+        );
+        let mut receipt = OpReceipt::default();
+        for i in first..first + count {
+            let (page, outcome) = self.map.page_mut(PageIndex(i));
+            page.as_bytes_mut()[0] = marker;
+            receipt.absorb_outcome(outcome);
+            match outcome {
+                CowOutcome::Copied => self.stats.pages_copied += 1,
+                CowOutcome::ZeroFilled => self.stats.pages_zero_filled += 1,
+                CowOutcome::AlreadyPrivate => self.stats.writes_in_place += 1,
+            }
+        }
+        receipt
+    }
+
+    /// Flattens the space to a plain byte vector (test oracle /
+    /// checkpointing).
+    pub fn flatten(&self) -> Vec<u8> {
+        self.map.flatten()
+    }
+
+    /// Pages whose contents diverge (by pointer) from `other` — the cheap
+    /// "what did this alternate change" computation used at sync time.
+    pub fn divergent_pages(&self, other: &AddressSpace) -> Vec<PageIndex> {
+        self.map.divergent_pages(&other.map)
+    }
+
+    fn check_range(&self, addr: usize, len: usize) {
+        let end = addr.checked_add(len).expect("address range overflow");
+        assert!(
+            end <= self.len(),
+            "access {addr}..{end} out of bounds (space is {} bytes)",
+            self.len()
+        );
+    }
+}
+
+impl fmt::Debug for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "AddressSpace({} bytes, {:?}, stats: {} copied / {} zero-filled)",
+            self.len(),
+            self.map,
+            self.stats.pages_copied,
+            self.stats.pages_zero_filled
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::zeroed(64, PageSize::new(16))
+    }
+
+    #[test]
+    fn zeroed_space_reads_zero() {
+        let mut s = space();
+        assert_eq!(s.read_vec(0, 64), vec![0u8; 64]);
+        assert_eq!(s.stats().reads, 1);
+        assert_eq!(s.stats().total_faults(), 0, "reads never fault pages in");
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut s = space();
+        s.write(5, &[9, 8, 7]);
+        assert_eq!(s.read_vec(4, 5), vec![0, 9, 8, 7, 0]);
+    }
+
+    #[test]
+    fn write_spanning_pages() {
+        let mut s = space();
+        let data: Vec<u8> = (1..=40).collect();
+        let receipt = s.write(10, &data);
+        // Bytes 10..50 span pages 0,1,2,3.
+        assert_eq!(receipt.pages_touched, 4);
+        assert_eq!(receipt.pages_zero_filled, 4);
+        assert_eq!(s.read_vec(10, 40), data);
+    }
+
+    #[test]
+    fn from_bytes_does_not_count_load_as_faults() {
+        let s = AddressSpace::from_bytes(&[1; 100], PageSize::new(16));
+        assert_eq!(s.stats(), CowStats::default());
+        assert_eq!(s.page_count(), 7);
+    }
+
+    #[test]
+    fn cow_fork_isolation_both_directions() {
+        let mut parent = AddressSpace::from_bytes(b"hello world!", PageSize::new(4));
+        let mut child = parent.cow_fork();
+
+        child.write(0, b"HELLO");
+        parent.write(6, b"WORLD");
+
+        assert_eq!(&parent.read_vec(0, 12), b"hello WORLD!");
+        assert_eq!(&child.read_vec(0, 12), b"HELLO world!");
+    }
+
+    #[test]
+    fn fork_then_write_charges_cow_copy() {
+        let mut parent = AddressSpace::from_bytes(&[42; 64], PageSize::new(16));
+        let mut child = parent.cow_fork();
+        let receipt = child.write(0, &[1]);
+        assert_eq!(receipt.pages_copied, 1);
+        assert_eq!(child.stats().pages_copied, 1);
+        // Parent's copy of the page is untouched.
+        assert_eq!(parent.read_vec(1, 1), vec![42]);
+    }
+
+    #[test]
+    fn absorb_replaces_parent_state() {
+        let mut parent = AddressSpace::from_bytes(b"original", PageSize::new(4));
+        let mut child = parent.cow_fork();
+        child.write(0, b"CHANGED!");
+        parent.absorb(child);
+        assert_eq!(&parent.read_vec(0, 8), b"CHANGED!");
+        assert_eq!(parent.stats().pages_copied, 2, "winner's copies merged");
+    }
+
+    #[test]
+    fn touch_pages_write_fraction() {
+        let parent = AddressSpace::from_bytes(&[7; 160], PageSize::new(16)); // 10 pages
+        let mut child = parent.cow_fork();
+        let receipt = child.touch_pages(0, 4, 0xFF);
+        assert_eq!(receipt.pages_copied, 4);
+        // Touching the same pages again is free.
+        let receipt2 = child.touch_pages(0, 4, 0xEE);
+        assert_eq!(receipt2.pages_copied, 0);
+        assert_eq!(child.stats().pages_copied, 4);
+        assert_eq!(child.stats().writes_in_place, 4);
+    }
+
+    #[test]
+    fn receipt_cost_uses_profile() {
+        let profile = MachineProfile::hp_9000_350();
+        let receipt = OpReceipt {
+            pages_copied: 3,
+            pages_zero_filled: 2,
+            pages_touched: 5,
+        };
+        let expected =
+            profile.cow_fault_cost() * 3 + profile.page_fault_cost() * 2;
+        assert_eq!(receipt.cost(&profile), expected);
+    }
+
+    #[test]
+    fn fork_cost_scales_with_pages() {
+        let profile = MachineProfile::att_3b2_310();
+        let s = AddressSpace::zeroed(320 * 1024, profile.page_size());
+        assert_eq!(s.fork_cost(&profile), SimDuration::from_millis(31));
+    }
+
+    #[test]
+    fn flatten_matches_reads() {
+        let mut s = space();
+        s.write(3, &[1, 2, 3]);
+        s.write(40, &[9]);
+        let flat = s.flatten();
+        assert_eq!(flat.len(), 64);
+        assert_eq!(flat[3], 1);
+        assert_eq!(flat[40], 9);
+    }
+
+    #[test]
+    fn divergence_after_fork() {
+        let parent = AddressSpace::from_bytes(&[1; 64], PageSize::new(16));
+        let mut child = parent.cow_fork();
+        assert!(child.divergent_pages(&parent).is_empty());
+        child.write(17, &[2]); // page 1
+        assert_eq!(child.divergent_pages(&parent), vec![PageIndex(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_write_panics() {
+        space().write(60, &[0; 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_touch_panics() {
+        space().touch_pages(3, 2, 0);
+    }
+}

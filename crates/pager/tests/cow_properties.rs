@@ -1,0 +1,137 @@
+//! Property-based tests for the copy-on-write pager.
+//!
+//! The key invariant (the paper's correctness requirement for speculative
+//! state, §3.1/§3.3) is *isolation*: writes made by one forked address
+//! space must never be observable in any other, and every space must be
+//! byte-for-byte identical to a plain flat-buffer oracle that received the
+//! same operations.
+
+use altx_pager::{AddressSpace, PageSize};
+use proptest::prelude::*;
+
+/// A flat, non-COW model of an address space.
+#[derive(Clone)]
+struct Oracle {
+    bytes: Vec<u8>,
+}
+
+impl Oracle {
+    fn new(len: usize) -> Self {
+        Oracle { bytes: vec![0; len] }
+    }
+    fn write(&mut self, addr: usize, data: &[u8]) {
+        self.bytes[addr..addr + data.len()].copy_from_slice(data);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `data` at `addr` in space `target` (modulo live spaces).
+    Write { target: usize, addr: usize, data: Vec<u8> },
+    /// Fork space `target` into a new space.
+    Fork { target: usize },
+}
+
+fn op_strategy(space_bytes: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<usize>(), 0..space_bytes, prop::collection::vec(any::<u8>(), 1..64))
+            .prop_map(move |(target, addr, mut data)| {
+                let max_len = space_bytes - addr;
+                data.truncate(max_len.max(1).min(data.len()));
+                Op::Write { target, addr, data }
+            }),
+        1 => any::<usize>().prop_map(|target| Op::Fork { target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every space always equals its oracle, no matter how ops interleave
+    /// across forks.
+    #[test]
+    fn spaces_match_flat_oracles(
+        ops in prop::collection::vec(op_strategy(256), 1..60),
+        page_size in 1usize..64,
+    ) {
+        let ps = PageSize::new(page_size);
+        let mut spaces = vec![AddressSpace::zeroed(256, ps)];
+        let mut oracles = vec![Oracle::new(spaces[0].len())];
+        let space_len = spaces[0].len();
+
+        for op in ops {
+            match op {
+                Op::Write { target, addr, data } => {
+                    let t = target % spaces.len();
+                    if addr + data.len() <= space_len {
+                        spaces[t].write(addr, &data);
+                        oracles[t].write(addr, &data);
+                    }
+                }
+                Op::Fork { target } => {
+                    if spaces.len() < 8 {
+                        let t = target % spaces.len();
+                        let child = spaces[t].cow_fork();
+                        let oracle = oracles[t].clone();
+                        spaces.push(child);
+                        oracles.push(oracle);
+                    }
+                }
+            }
+        }
+
+        for (space, oracle) in spaces.iter().zip(&oracles) {
+            prop_assert_eq!(space.flatten(), oracle.bytes.clone());
+        }
+    }
+
+    /// Copies are only charged when pages are genuinely shared: a space
+    /// that never forks never records a COW copy.
+    #[test]
+    fn no_fork_no_cow_copies(
+        writes in prop::collection::vec((0usize..200, prop::collection::vec(any::<u8>(), 1..32)), 1..40),
+    ) {
+        let mut s = AddressSpace::zeroed(256, PageSize::new(16));
+        for (addr, data) in writes {
+            if addr + data.len() <= s.len() {
+                s.write(addr, &data);
+            }
+        }
+        prop_assert_eq!(s.stats().pages_copied, 0);
+    }
+
+    /// After a fork, the first write to each inherited non-zero page
+    /// copies exactly once; repeat writes are in-place.
+    #[test]
+    fn each_shared_page_copied_at_most_once(
+        touches in prop::collection::vec(0usize..10, 1..50),
+    ) {
+        let parent = AddressSpace::from_bytes(&[1u8; 160], PageSize::new(16)); // 10 pages
+        let mut child = parent.cow_fork();
+        let mut unique = std::collections::HashSet::new();
+        for t in touches {
+            child.touch_pages(t, 1, 0xAB);
+            unique.insert(t);
+        }
+        prop_assert_eq!(child.stats().pages_copied, unique.len() as u64);
+        // Parent never observes child writes.
+        prop_assert!(parent.flatten().iter().all(|&b| b == 1));
+    }
+
+    /// absorb() makes the parent bit-identical to the winning child.
+    #[test]
+    fn absorb_equals_child_state(
+        child_writes in prop::collection::vec((0usize..200, prop::collection::vec(any::<u8>(), 1..16)), 0..20),
+    ) {
+        let mut parent = AddressSpace::from_bytes(&[7u8; 256], PageSize::new(32));
+        let mut child = parent.cow_fork();
+        for (addr, data) in child_writes {
+            if addr + data.len() <= child.len() {
+                child.write(addr, &data);
+            }
+        }
+        let expect = child.flatten();
+        parent.absorb(child);
+        prop_assert_eq!(parent.flatten(), expect);
+    }
+}

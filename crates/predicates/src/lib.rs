@@ -1,0 +1,37 @@
+//! # altx-predicates — the speculative-assumption algebra
+//!
+//! §3.3 of Smith & Maguire: *"The predicates are lists of process
+//! identifiers, some of which the sending process depends on completing
+//! successfully and others on which the sending process depends on to not
+//! complete successfully."*
+//!
+//! A [`PredicateSet`] is exactly that pair of lists. Each speculative
+//! process carries one; every message carries the sender's. The operations
+//! needed by the kernel and the message layer are:
+//!
+//! * **inheritance** — a child's predicates start as the parent's
+//!   ([`PredicateSet::child_of`]), extended with *sibling rivalry*: the
+//!   child assumes it completes and its siblings do not
+//!   ([`PredicateSet::with_sibling_rivalry`]).
+//! * **comparison** — classifying a sender's assumptions against a
+//!   receiver's ([`PredicateSet::compare`]) as already-implied,
+//!   conflicting, or requiring a world split (§3.4.2).
+//! * **conjunction** — merging assumption sets when a world accepts a
+//!   message ([`PredicateSet::conjoin`]).
+//! * **resolution** — when a process's fate becomes known, predicates
+//!   referencing it either become satisfied (and are dropped) or doom the
+//!   world that held them ([`PredicateSet::resolve`]).
+//!
+//! The crate is pure logic with no dependency on the simulation substrate,
+//! so it is also where the workspace-wide [`Pid`] lives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pid;
+mod set;
+pub mod versioned;
+
+pub use pid::{Outcome, Pid};
+pub use set::{Compatibility, PredicateConflict, PredicateSet, Resolution};
+pub use versioned::VersionedStore;

@@ -1,0 +1,96 @@
+//! Process identifiers and fates.
+
+use core::fmt;
+
+/// A unique process identifier.
+///
+/// §3.4.1: "Each process in a multiprocessing system has a unique
+/// identifier, used to identify the process both within the system … and
+/// further, for interaction with other processes." Pids are never reused
+/// within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(u64);
+
+impl Pid {
+    /// Creates a pid from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        Pid(raw)
+    }
+
+    /// The raw identifier value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid{}", self.0)
+    }
+}
+
+impl From<u64> for Pid {
+    fn from(raw: u64) -> Self {
+        Pid(raw)
+    }
+}
+
+/// The resolved fate of a speculative process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The process synchronized successfully (its guard held and it won,
+    /// or it was absorbed).
+    Completed,
+    /// The process failed its guard, was eliminated as a losing sibling,
+    /// or timed out.
+    Failed,
+}
+
+impl Outcome {
+    /// The opposite fate.
+    pub fn negated(self) -> Outcome {
+        match self {
+            Outcome::Completed => Outcome::Failed,
+            Outcome::Failed => Outcome::Completed,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Completed => write!(f, "completed"),
+            Outcome::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_round_trip() {
+        let p = Pid::new(42);
+        assert_eq!(p.as_u64(), 42);
+        assert_eq!(Pid::from(42u64), p);
+        assert_eq!(p.to_string(), "pid42");
+    }
+
+    #[test]
+    fn pid_ordering() {
+        assert!(Pid::new(1) < Pid::new(2));
+    }
+
+    #[test]
+    fn outcome_negation_is_involutive() {
+        assert_eq!(Outcome::Completed.negated(), Outcome::Failed);
+        assert_eq!(Outcome::Failed.negated().negated(), Outcome::Failed);
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(Outcome::Completed.to_string(), "completed");
+        assert_eq!(Outcome::Failed.to_string(), "failed");
+    }
+}

@@ -1,0 +1,481 @@
+//! The two-list predicate set and its algebra.
+
+use crate::pid::{Outcome, Pid};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A set of speculative assumptions: processes that **must complete** and
+/// processes that **must not complete** for the holder's world to be real.
+///
+/// §3.3 argues for this representation over data-object predication:
+/// process status changes are rare compared to memory references, so the
+/// lists are cheap to maintain. The empty set means the holder's world is
+/// unconditionally real — only then may it touch *sources* (§3.4.2).
+///
+/// # Example
+///
+/// ```
+/// use altx_predicates::{Outcome, Pid, PredicateSet, Resolution};
+///
+/// let mut world = PredicateSet::new();
+/// world.assume_completes(Pid::new(3)).unwrap();
+/// world.assume_fails(Pid::new(4)).unwrap();
+/// assert!(!world.is_unconditional());
+///
+/// // pid3 completes: that assumption is discharged.
+/// assert_eq!(world.resolve(Pid::new(3), Outcome::Completed), Resolution::Satisfied);
+/// // pid4 completes: the world assumed it would fail — world is doomed.
+/// assert_eq!(world.resolve(Pid::new(4), Outcome::Completed), Resolution::Doomed);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct PredicateSet {
+    must_complete: BTreeSet<Pid>,
+    must_fail: BTreeSet<Pid>,
+}
+
+/// Error: an assumption would contradict one already held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredicateConflict {
+    /// The process whose fate is assumed both ways.
+    pub pid: Pid,
+}
+
+impl fmt::Display for PredicateConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "contradictory assumption about {}", self.pid)
+    }
+}
+
+impl std::error::Error for PredicateConflict {}
+
+/// Result of comparing a sender's predicates `S` against a receiver's `R`
+/// (§3.4.2's message-acceptance classification).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Compatibility {
+    /// `S ⊆ R`: the receiver already assumes everything the sender does —
+    /// accept the message immediately.
+    Implied,
+    /// Some assumption in `S` is negated in `R` — the message is from a
+    /// world the receiver knows to be unreal; ignore it.
+    Conflicting {
+        /// A process assumed one way by the sender and the other by the
+        /// receiver.
+        witness: Pid,
+    },
+    /// The receiver must make additional assumptions to accept: split into
+    /// two worlds (one accepting, one rejecting).
+    NeedsAssumptions {
+        /// The assumptions in `S` the receiver does not yet hold.
+        extra: PredicateSet,
+    },
+}
+
+/// What [`PredicateSet::resolve`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// The set held an assumption about the process and the real fate
+    /// agreed; the assumption was discharged and removed.
+    Satisfied,
+    /// The set held an assumption and the real fate contradicted it; the
+    /// holding world is inconsistent with reality and must be eliminated.
+    Doomed,
+    /// The set held no assumption about the process.
+    Unaffected,
+}
+
+impl PredicateSet {
+    /// The empty (unconditional) predicate set.
+    pub fn new() -> Self {
+        PredicateSet::default()
+    }
+
+    /// A child's starting predicates: a copy of the parent's (§3.3:
+    /// "the predicates of a 'child' process consist of those of the
+    /// 'parent'; this allows for nesting").
+    pub fn child_of(parent: &PredicateSet) -> Self {
+        parent.clone()
+    }
+
+    /// Extends with *sibling rivalry* (§3.3): the holder assumes `me`
+    /// completes and every pid in `siblings` does not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredicateConflict`] if the extension contradicts an
+    /// existing assumption (e.g., nested blocks racing an ancestor).
+    pub fn with_sibling_rivalry<I>(
+        mut self,
+        me: Pid,
+        siblings: I,
+    ) -> Result<Self, PredicateConflict>
+    where
+        I: IntoIterator<Item = Pid>,
+    {
+        self.assume_completes(me)?;
+        for s in siblings {
+            if s != me {
+                self.assume_fails(s)?;
+            }
+        }
+        Ok(self)
+    }
+
+    /// The failure alternative's predicates (§3.3 footnote: it "assumes
+    /// that none of the siblings will complete").
+    pub fn failure_alternative<I>(parent: &PredicateSet, siblings: I) -> Result<Self, PredicateConflict>
+    where
+        I: IntoIterator<Item = Pid>,
+    {
+        let mut set = parent.clone();
+        for s in siblings {
+            set.assume_fails(s)?;
+        }
+        Ok(set)
+    }
+
+    /// Assumes `pid` will complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredicateConflict`] if `pid` is already assumed to fail.
+    pub fn assume_completes(&mut self, pid: Pid) -> Result<(), PredicateConflict> {
+        if self.must_fail.contains(&pid) {
+            return Err(PredicateConflict { pid });
+        }
+        self.must_complete.insert(pid);
+        Ok(())
+    }
+
+    /// Assumes `pid` will not complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredicateConflict`] if `pid` is already assumed to
+    /// complete.
+    pub fn assume_fails(&mut self, pid: Pid) -> Result<(), PredicateConflict> {
+        if self.must_complete.contains(&pid) {
+            return Err(PredicateConflict { pid });
+        }
+        self.must_fail.insert(pid);
+        Ok(())
+    }
+
+    /// True iff no assumptions remain: the holder's world is real and it
+    /// may interact with sources.
+    pub fn is_unconditional(&self) -> bool {
+        self.must_complete.is_empty() && self.must_fail.is_empty()
+    }
+
+    /// Number of outstanding assumptions.
+    pub fn len(&self) -> usize {
+        self.must_complete.len() + self.must_fail.len()
+    }
+
+    /// True iff there are no assumptions (alias of
+    /// [`is_unconditional`](Self::is_unconditional) for collection
+    /// idiom).
+    pub fn is_empty(&self) -> bool {
+        self.is_unconditional()
+    }
+
+    /// The processes assumed to complete.
+    pub fn must_complete(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.must_complete.iter().copied()
+    }
+
+    /// The processes assumed to fail.
+    pub fn must_fail(&self) -> impl Iterator<Item = Pid> + '_ {
+        self.must_fail.iter().copied()
+    }
+
+    /// The assumed fate of `pid`, if any assumption is held.
+    pub fn assumption_about(&self, pid: Pid) -> Option<Outcome> {
+        if self.must_complete.contains(&pid) {
+            Some(Outcome::Completed)
+        } else if self.must_fail.contains(&pid) {
+            Some(Outcome::Failed)
+        } else {
+            None
+        }
+    }
+
+    /// True iff every assumption in `other` is also held by `self`.
+    pub fn implies(&self, other: &PredicateSet) -> bool {
+        other.must_complete.is_subset(&self.must_complete)
+            && other.must_fail.is_subset(&self.must_fail)
+    }
+
+    /// True iff some process is assumed to complete by one set and to
+    /// fail by the other.
+    pub fn conflicts_with(&self, other: &PredicateSet) -> bool {
+        self.conflict_witness(other).is_some()
+    }
+
+    fn conflict_witness(&self, other: &PredicateSet) -> Option<Pid> {
+        self.must_complete
+            .intersection(&other.must_fail)
+            .next()
+            .or_else(|| self.must_fail.intersection(&other.must_complete).next())
+            .copied()
+    }
+
+    /// Classifies a sender's predicate set `sender` against this
+    /// receiver's set, per §3.4.2:
+    ///
+    /// * sender ⊆ receiver → [`Compatibility::Implied`] (accept);
+    /// * contradiction → [`Compatibility::Conflicting`] (ignore);
+    /// * otherwise → [`Compatibility::NeedsAssumptions`] (split worlds).
+    pub fn compare(&self, sender: &PredicateSet) -> Compatibility {
+        if let Some(witness) = self.conflict_witness(sender) {
+            return Compatibility::Conflicting { witness };
+        }
+        if self.implies(sender) {
+            return Compatibility::Implied;
+        }
+        let extra = PredicateSet {
+            must_complete: sender
+                .must_complete
+                .difference(&self.must_complete)
+                .copied()
+                .collect(),
+            must_fail: sender.must_fail.difference(&self.must_fail).copied().collect(),
+        };
+        Compatibility::NeedsAssumptions { extra }
+    }
+
+    /// Conjoins `other`'s assumptions into `self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PredicateConflict`] encountered; `self` is left
+    /// in a partially-extended state only on error (callers treat the
+    /// error as fatal for the world, matching the paper — a conflicting
+    /// world is eliminated, not repaired).
+    pub fn conjoin(&mut self, other: &PredicateSet) -> Result<(), PredicateConflict> {
+        for &p in &other.must_complete {
+            self.assume_completes(p)?;
+        }
+        for &p in &other.must_fail {
+            self.assume_fails(p)?;
+        }
+        Ok(())
+    }
+
+    /// Resolves the real fate of `pid` against this set. Satisfied
+    /// assumptions are removed ("at this point the additional assumptions
+    /// … will become TRUE, and they can be eliminated from the lists",
+    /// §3.4.2); contradicted assumptions doom the holder.
+    pub fn resolve(&mut self, pid: Pid, outcome: Outcome) -> Resolution {
+        match (self.must_complete.contains(&pid), self.must_fail.contains(&pid), outcome) {
+            (true, _, Outcome::Completed) => {
+                self.must_complete.remove(&pid);
+                Resolution::Satisfied
+            }
+            (true, _, Outcome::Failed) => Resolution::Doomed,
+            (_, true, Outcome::Failed) => {
+                self.must_fail.remove(&pid);
+                Resolution::Satisfied
+            }
+            (_, true, Outcome::Completed) => Resolution::Doomed,
+            _ => Resolution::Unaffected,
+        }
+    }
+}
+
+impl fmt::Display for PredicateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unconditional() {
+            return write!(f, "⊤");
+        }
+        let mut first = true;
+        for p in &self.must_complete {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        for p in &self.must_fail {
+            if !first {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "¬{p}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> Pid {
+        Pid::new(n)
+    }
+
+    #[test]
+    fn empty_set_is_unconditional() {
+        let s = PredicateSet::new();
+        assert!(s.is_unconditional());
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.to_string(), "⊤");
+    }
+
+    #[test]
+    fn assumptions_accumulate() {
+        let mut s = PredicateSet::new();
+        s.assume_completes(pid(1)).unwrap();
+        s.assume_fails(pid(2)).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.assumption_about(pid(1)), Some(Outcome::Completed));
+        assert_eq!(s.assumption_about(pid(2)), Some(Outcome::Failed));
+        assert_eq!(s.assumption_about(pid(3)), None);
+    }
+
+    #[test]
+    fn contradictions_are_rejected() {
+        let mut s = PredicateSet::new();
+        s.assume_completes(pid(1)).unwrap();
+        let err = s.assume_fails(pid(1)).unwrap_err();
+        assert_eq!(err.pid, pid(1));
+        assert_eq!(err.to_string(), "contradictory assumption about pid1");
+    }
+
+    #[test]
+    fn duplicate_assumptions_are_idempotent() {
+        let mut s = PredicateSet::new();
+        s.assume_completes(pid(1)).unwrap();
+        s.assume_completes(pid(1)).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sibling_rivalry() {
+        let parent = PredicateSet::new();
+        let s = PredicateSet::child_of(&parent)
+            .with_sibling_rivalry(pid(10), [pid(10), pid(11), pid(12)])
+            .unwrap();
+        assert_eq!(s.assumption_about(pid(10)), Some(Outcome::Completed));
+        assert_eq!(s.assumption_about(pid(11)), Some(Outcome::Failed));
+        assert_eq!(s.assumption_about(pid(12)), Some(Outcome::Failed));
+    }
+
+    #[test]
+    fn failure_alternative_assumes_all_fail() {
+        let s = PredicateSet::failure_alternative(&PredicateSet::new(), [pid(1), pid(2)]).unwrap();
+        assert_eq!(s.assumption_about(pid(1)), Some(Outcome::Failed));
+        assert_eq!(s.assumption_about(pid(2)), Some(Outcome::Failed));
+    }
+
+    #[test]
+    fn nesting_inherits_parent_assumptions() {
+        let parent = PredicateSet::new()
+            .with_sibling_rivalry(pid(1), [pid(2)])
+            .unwrap();
+        let child = PredicateSet::child_of(&parent)
+            .with_sibling_rivalry(pid(5), [pid(6)])
+            .unwrap();
+        assert_eq!(child.assumption_about(pid(1)), Some(Outcome::Completed));
+        assert_eq!(child.assumption_about(pid(2)), Some(Outcome::Failed));
+        assert_eq!(child.assumption_about(pid(5)), Some(Outcome::Completed));
+        assert_eq!(child.assumption_about(pid(6)), Some(Outcome::Failed));
+    }
+
+    #[test]
+    fn implies_is_subset() {
+        let mut big = PredicateSet::new();
+        big.assume_completes(pid(1)).unwrap();
+        big.assume_fails(pid(2)).unwrap();
+        let mut small = PredicateSet::new();
+        small.assume_completes(pid(1)).unwrap();
+        assert!(big.implies(&small));
+        assert!(!small.implies(&big));
+        assert!(big.implies(&PredicateSet::new()), "everything implies ⊤");
+    }
+
+    #[test]
+    fn compare_implied() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_completes(pid(1)).unwrap();
+        let mut sender = PredicateSet::new();
+        sender.assume_completes(pid(1)).unwrap();
+        assert_eq!(receiver.compare(&sender), Compatibility::Implied);
+        assert_eq!(receiver.compare(&PredicateSet::new()), Compatibility::Implied);
+    }
+
+    #[test]
+    fn compare_conflicting() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_fails(pid(1)).unwrap();
+        let mut sender = PredicateSet::new();
+        sender.assume_completes(pid(1)).unwrap();
+        assert_eq!(
+            receiver.compare(&sender),
+            Compatibility::Conflicting { witness: pid(1) }
+        );
+    }
+
+    #[test]
+    fn compare_needs_assumptions_yields_exact_extras() {
+        let mut receiver = PredicateSet::new();
+        receiver.assume_completes(pid(1)).unwrap();
+        let mut sender = PredicateSet::new();
+        sender.assume_completes(pid(1)).unwrap();
+        sender.assume_completes(pid(2)).unwrap();
+        sender.assume_fails(pid(3)).unwrap();
+        match receiver.compare(&sender) {
+            Compatibility::NeedsAssumptions { extra } => {
+                assert_eq!(extra.assumption_about(pid(1)), None, "already held");
+                assert_eq!(extra.assumption_about(pid(2)), Some(Outcome::Completed));
+                assert_eq!(extra.assumption_about(pid(3)), Some(Outcome::Failed));
+                assert_eq!(extra.len(), 2);
+            }
+            other => panic!("expected NeedsAssumptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conjoin_merges_or_conflicts() {
+        let mut a = PredicateSet::new();
+        a.assume_completes(pid(1)).unwrap();
+        let mut b = PredicateSet::new();
+        b.assume_fails(pid(2)).unwrap();
+        a.conjoin(&b).unwrap();
+        assert_eq!(a.len(), 2);
+
+        let mut c = PredicateSet::new();
+        c.assume_fails(pid(1)).unwrap();
+        assert!(a.conjoin(&c).is_err());
+    }
+
+    #[test]
+    fn resolve_satisfied_removes_assumption() {
+        let mut s = PredicateSet::new();
+        s.assume_completes(pid(1)).unwrap();
+        assert_eq!(s.resolve(pid(1), Outcome::Completed), Resolution::Satisfied);
+        assert!(s.is_unconditional());
+    }
+
+    #[test]
+    fn resolve_contradiction_dooms() {
+        let mut s = PredicateSet::new();
+        s.assume_fails(pid(9)).unwrap();
+        assert_eq!(s.resolve(pid(9), Outcome::Completed), Resolution::Doomed);
+    }
+
+    #[test]
+    fn resolve_unknown_pid_unaffected() {
+        let mut s = PredicateSet::new();
+        assert_eq!(s.resolve(pid(3), Outcome::Failed), Resolution::Unaffected);
+    }
+
+    #[test]
+    fn display_renders_both_polarities() {
+        let mut s = PredicateSet::new();
+        s.assume_completes(pid(1)).unwrap();
+        s.assume_fails(pid(2)).unwrap();
+        assert_eq!(s.to_string(), "pid1 ∧ ¬pid2");
+    }
+}

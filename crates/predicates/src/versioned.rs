@@ -1,0 +1,243 @@
+//! Predicated data objects — the design §3.3 argues *against*.
+//!
+//! "The advantage of this representation \[process-level predicate
+//! lists\] over predication of data objects is that we can update the
+//! value of these elements as processes change status (e.g., running,
+//! blocked), with the idea that processes change status much less
+//! frequently than they make memory references to objects."
+//!
+//! To make that argument measurable, this module implements the rejected
+//! alternative: a [`VersionedStore`] that attaches a [`PredicateSet`] to
+//! every written *value* (like PEDIT's parametric lines, §6). Reading
+//! selects the version whose guard is implied by the reader's
+//! assumptions; resolving a process's fate must visit every object's
+//! version list. Experiment E14 (`exp_ablation_predicates`) compares the
+//! bookkeeping cost of the two designs as the ratio of memory references
+//! to status changes grows — reproducing the paper's design rationale as
+//! a benchmark.
+
+use crate::pid::{Outcome, Pid};
+use crate::set::PredicateSet;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One guarded version of a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Version<T> {
+    guard: PredicateSet,
+    value: T,
+}
+
+/// A store whose every value carries the writer's assumptions — the
+/// per-object predication design.
+///
+/// Keys are `u64` object ids; values are whatever the application
+/// stores. Writes push a guarded version; reads select the **newest
+/// version whose guard the reader's assumptions imply**; resolving a
+/// pid's fate prunes every version list.
+///
+/// # Example
+///
+/// ```
+/// use altx_predicates::versioned::VersionedStore;
+/// use altx_predicates::{Outcome, Pid, PredicateSet};
+///
+/// let mut store: VersionedStore<&str> = VersionedStore::new();
+/// store.write(7, PredicateSet::new(), "committed");
+///
+/// let mut speculative = PredicateSet::new();
+/// speculative.assume_completes(Pid::new(3)).unwrap();
+/// store.write(7, speculative.clone(), "speculative");
+///
+/// // A reader with no assumptions sees only the committed value…
+/// assert_eq!(store.read(7, &PredicateSet::new()), Some(&"committed"));
+/// // …the speculative world sees its own write.
+/// assert_eq!(store.read(7, &speculative), Some(&"speculative"));
+///
+/// // pid3 fails: the speculative version vanishes for everyone.
+/// store.resolve(Pid::new(3), Outcome::Failed);
+/// assert_eq!(store.read(7, &speculative), Some(&"committed"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VersionedStore<T> {
+    objects: BTreeMap<u64, Vec<Version<T>>>,
+    /// Version-list entries visited by operations — the bookkeeping-cost
+    /// metric E14 compares against process-level predicate work.
+    pub versions_visited: u64,
+}
+
+impl<T> VersionedStore<T> {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        VersionedStore {
+            objects: BTreeMap::new(),
+            versions_visited: 0,
+        }
+    }
+
+    /// Number of objects with at least one version.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True iff the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Total live versions across all objects.
+    pub fn version_count(&self) -> usize {
+        self.objects.values().map(Vec::len).sum()
+    }
+
+    /// Writes `value` to `object` under the writer's assumptions.
+    /// An existing version with the *identical* guard is overwritten
+    /// (same world, newer value).
+    pub fn write(&mut self, object: u64, guard: PredicateSet, value: T) {
+        let versions = self.objects.entry(object).or_default();
+        for v in versions.iter_mut() {
+            self.versions_visited += 1;
+            if v.guard == guard {
+                v.value = value;
+                return;
+            }
+        }
+        versions.push(Version { guard, value });
+    }
+
+    /// Reads `object` as seen by a reader holding `assumptions`: the
+    /// newest version whose guard is implied by them.
+    pub fn read(&mut self, object: u64, assumptions: &PredicateSet) -> Option<&T> {
+        let versions = self.objects.get(&object)?;
+        let mut best: Option<usize> = None;
+        for (i, v) in versions.iter().enumerate() {
+            self.versions_visited += 1;
+            if assumptions.implies(&v.guard) {
+                best = Some(i); // later versions shadow earlier ones
+            }
+        }
+        best.map(|i| &versions[i].value)
+    }
+
+    /// Publishes the fate of `pid`: versions whose guards are
+    /// contradicted are dropped; satisfied assumptions are discharged
+    /// from the surviving guards. Visits every version of every object —
+    /// the cost §3.3 is avoiding.
+    pub fn resolve(&mut self, pid: Pid, outcome: Outcome) {
+        let mut visited = 0u64;
+        for versions in self.objects.values_mut() {
+            versions.retain_mut(|v| {
+                visited += 1;
+                !matches!(
+                    v.guard.resolve(pid, outcome),
+                    crate::set::Resolution::Doomed
+                )
+            });
+        }
+        self.objects.retain(|_, vs| !vs.is_empty());
+        self.versions_visited += visited;
+    }
+}
+
+impl<T> fmt::Display for VersionedStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} objects, {} versions ({} visits)",
+            self.len(),
+            self.version_count(),
+            self.versions_visited
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn speculative(pid: u64) -> PredicateSet {
+        let mut p = PredicateSet::new();
+        p.assume_completes(Pid::new(pid)).expect("fresh");
+        p
+    }
+
+    #[test]
+    fn committed_and_speculative_views_coexist() {
+        let mut store = VersionedStore::new();
+        store.write(1, PredicateSet::new(), 10);
+        store.write(1, speculative(5), 20);
+        assert_eq!(store.read(1, &PredicateSet::new()), Some(&10));
+        assert_eq!(store.read(1, &speculative(5)), Some(&20));
+        assert_eq!(store.version_count(), 2);
+    }
+
+    #[test]
+    fn same_world_write_overwrites() {
+        let mut store = VersionedStore::new();
+        store.write(1, speculative(5), 1);
+        store.write(1, speculative(5), 2);
+        assert_eq!(store.version_count(), 1);
+        assert_eq!(store.read(1, &speculative(5)), Some(&2));
+    }
+
+    #[test]
+    fn resolution_failure_drops_speculative_versions() {
+        let mut store = VersionedStore::new();
+        store.write(1, PredicateSet::new(), 10);
+        store.write(1, speculative(5), 20);
+        store.write(2, speculative(5), 99);
+        store.resolve(Pid::new(5), Outcome::Failed);
+        assert_eq!(store.read(1, &speculative(5)), Some(&10), "spec version gone");
+        assert_eq!(store.read(2, &PredicateSet::new()), None, "object vanished");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn resolution_success_promotes_speculative_versions() {
+        let mut store = VersionedStore::new();
+        store.write(1, PredicateSet::new(), 10);
+        store.write(1, speculative(5), 20);
+        store.resolve(Pid::new(5), Outcome::Completed);
+        // The guard is discharged: everyone now sees the speculative
+        // write (it shadows the older committed version).
+        assert_eq!(store.read(1, &PredicateSet::new()), Some(&20));
+    }
+
+    #[test]
+    fn readers_with_conflicting_assumptions_skip_versions() {
+        let mut store = VersionedStore::new();
+        store.write(1, speculative(5), 20);
+        let mut opposed = PredicateSet::new();
+        opposed.assume_fails(Pid::new(5)).expect("fresh");
+        assert_eq!(store.read(1, &opposed), None);
+    }
+
+    #[test]
+    fn missing_object_reads_none() {
+        let mut store: VersionedStore<i32> = VersionedStore::new();
+        assert_eq!(store.read(42, &PredicateSet::new()), None);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn visit_accounting_grows_with_reads() {
+        let mut store = VersionedStore::new();
+        for obj in 0..10 {
+            store.write(obj, PredicateSet::new(), obj);
+            store.write(obj, speculative(5), obj + 100);
+        }
+        let before = store.versions_visited;
+        for obj in 0..10 {
+            store.read(obj, &PredicateSet::new());
+        }
+        // 10 objects × 2 versions each.
+        assert_eq!(store.versions_visited - before, 20);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut store = VersionedStore::new();
+        store.write(1, PredicateSet::new(), 0);
+        assert!(store.to_string().contains("1 objects"), "{store}");
+    }
+}

@@ -1,0 +1,24 @@
+% Sample knowledge base for the altx Prolog REPL.
+%
+%   cargo run --release -p altx-prolog --bin altx_prolog crates/prolog/examples/routes.pl
+%
+% Try:
+%   route(vienna, Where)
+%   :parallel plan(vienna, lisbon, P)
+%   :profile plan(vienna, lisbon, P)
+%   findall(C, rail(vienna, C), Neighbours)
+
+rail(vienna, munich).    rail(munich, paris).    rail(paris, madrid).
+rail(madrid, lisbon).    rail(vienna, zurich).   rail(zurich, paris).
+flight(vienna, lisbon).  flight(munich, madrid).
+
+route(X, Y) :- rail(X, Y).
+route(X, Z) :- rail(X, Y), route(Y, Z).
+
+% plan/3: three strategies for getting from X to Y — an OR choice point
+% with data-dependent costs.
+plan(X, Y, by_rail)   :- route(X, Y).
+plan(X, Y, via_hub)   :- route(X, paris), route(paris, Y), X \= paris, Y \= paris.
+plan(X, Y, by_flight) :- flight(X, Y).
+
+connected(X, Y) :- plan(X, Y, _), !.

@@ -1,0 +1,166 @@
+//! An interactive Prolog top level over the altx engine.
+//!
+//! ```text
+//! cargo run --release -p altx-prolog --bin altx_prolog [program.pl …]
+//! ```
+//!
+//! Commands at the `?-` prompt:
+//!
+//! * `goal, goal, …` — solve a query (up to 10 solutions printed);
+//! * `:parallel goal` — race the top choice point OR-parallel and print
+//!   the first solution plus the winning branch;
+//! * `:profile goal`  — print per-branch step profiles and the simulated
+//!   sequential-vs-parallel comparison on the 1989 cost model;
+//! * `:consult <file>` — load more clauses;
+//! * `:listing` — count clauses per predicate;
+//! * `:help`, `:quit`.
+
+use altx_prolog::{
+    parse_program, profile_branches, simulate_race, solve_first_parallel, KnowledgeBase,
+    OrSimConfig, Solver,
+};
+use std::io::{BufRead, Write};
+
+fn consult(kb: &mut KnowledgeBase, path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let clauses = parse_program(&text).map_err(|e| format!("{path}: {e}"))?;
+    let n = clauses.len();
+    for c in clauses {
+        kb.add(c);
+    }
+    Ok(n)
+}
+
+fn show_solutions(kb: &KnowledgeBase, query: &str) {
+    let mut solver = Solver::new(kb);
+    solver.max_steps = 5_000_000;
+    match solver.solve_str(query, 10) {
+        Err(e) => println!("  parse error: {e}"),
+        Ok(solutions) => {
+            if solutions.is_empty() {
+                println!("  false. ({} steps{})", solver.steps(), trunc(&solver));
+                return;
+            }
+            for s in &solutions {
+                let bindings: Vec<String> =
+                    s.iter().map(|(name, term)| format!("{name} = {term}")).collect();
+                if bindings.is_empty() {
+                    println!("  true");
+                } else {
+                    println!("  {}", bindings.join(", "));
+                }
+            }
+            println!(
+                "  ({} solution(s) in {} steps{}{})",
+                solutions.len(),
+                solver.steps(),
+                if solutions.len() == 10 { ", limit reached" } else { "" },
+                trunc(&solver)
+            );
+        }
+    }
+}
+
+fn trunc(solver: &Solver<'_>) -> &'static str {
+    if solver.truncated() {
+        ", truncated"
+    } else {
+        ""
+    }
+}
+
+fn show_parallel(kb: &KnowledgeBase, query: &str) {
+    match solve_first_parallel(kb, query) {
+        Err(e) => println!("  parse error: {e}"),
+        Ok(report) => match report.solution {
+            Some(s) => {
+                let bindings: Vec<String> =
+                    s.iter().map(|(name, term)| format!("{name} = {term}")).collect();
+                println!(
+                    "  {} [branch {} of {}, {:?}]",
+                    if bindings.is_empty() { "true".to_string() } else { bindings.join(", ") },
+                    report.winner_branch.map(|b| b + 1).unwrap_or(0),
+                    report.branches,
+                    report.wall
+                );
+            }
+            None => println!("  false. ({} branches raced)", report.branches),
+        },
+    }
+}
+
+fn show_profile(kb: &KnowledgeBase, query: &str) {
+    match profile_branches(kb, query) {
+        Err(e) => println!("  parse error: {e}"),
+        Ok(profiles) if profiles.is_empty() => println!("  no matching clauses"),
+        Ok(profiles) => {
+            for p in &profiles {
+                println!(
+                    "  branch {}: {:>8} steps, {}",
+                    p.clause_index + 1,
+                    p.steps,
+                    if p.succeeded { "succeeds" } else { "fails" }
+                );
+            }
+            let cmp = simulate_race(&profiles, &OrSimConfig::default());
+            println!(
+                "  1989 model: sequential {}, OR-parallel {}, speedup {:.2}x",
+                cmp.sequential, cmp.parallel, cmp.speedup
+            );
+        }
+    }
+}
+
+fn main() {
+    let mut kb = KnowledgeBase::new();
+    for path in std::env::args().skip(1) {
+        match consult(&mut kb, &path) {
+            Ok(n) => println!("% consulted {path}: {n} clauses"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("altx Prolog — OR-parallel top level (:help for commands)");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("?- ");
+        std::io::stdout().flush().expect("stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+            match cmd {
+                "quit" | "q" => break,
+                "help" | "h" => {
+                    println!("  goal, goal.      solve (10 solutions max)");
+                    println!("  :parallel goal   OR-parallel first solution");
+                    println!("  :profile goal    branch profiles + 1989 race model");
+                    println!("  :consult file    load clauses");
+                    println!("  :listing         clause counts");
+                    println!("  :quit");
+                }
+                "parallel" | "p" => show_parallel(&kb, arg),
+                "profile" => show_profile(&kb, arg),
+                "consult" | "c" => match consult(&mut kb, arg.trim()) {
+                    Ok(n) => println!("% consulted {}: {n} clauses", arg.trim()),
+                    Err(e) => println!("  error: {e}"),
+                },
+                "listing" | "l" => println!("  {} clauses loaded", kb.len()),
+                other => println!("  unknown command :{other} (:help)"),
+            }
+            continue;
+        }
+        show_solutions(&kb, line);
+    }
+    println!("bye.");
+}

@@ -1,0 +1,65 @@
+//! # altx-prolog — OR-parallelism in Prolog
+//!
+//! The paper's second application (§5.2): a Prolog whose interpreter
+//! "detects and exploits OR-parallelism" by racing the alternative
+//! clauses for a goal as mutually exclusive alternatives. When only the
+//! *first* solution is wanted — the common `once`-style usage — the
+//! clause choices at a choice point are exactly the paper's construct:
+//! at most one alternative's bindings survive; the rest are discarded,
+//! unobserved.
+//!
+//! This crate is a complete, self-contained Prolog engine:
+//!
+//! * [`term`] — terms (atoms, variables, integers, compounds, lists).
+//! * [`parser`] — a tokenizer + recursive-descent reader for programs and
+//!   queries, with the standard arithmetic/comparison operators.
+//! * [`unify`] — unification with trail-based backtracking (§5.2: "the
+//!   unification algorithm by which Prolog attempts to satisfy
+//!   predicates").
+//! * [`solve`] — sequential SLD resolution (depth-first, leftmost goal,
+//!   clause order) with step accounting, cut (`!`), negation as failure
+//!   (`\+`), `call/1`, `findall/3`, and dynamic clauses
+//!   (`assertz`/`asserta`/`retract` — private to each solver, so
+//!   OR-parallel branches update isolated database copies, §5.2's
+//!   copy-don't-share solution).
+//! * [`or_parallel`] — the paper's transformation: top-level clause
+//!   alternatives raced on real threads
+//!   ([`or_parallel::solve_first_parallel`]) and an analytic/simulated
+//!   branch profile ([`or_parallel::profile_branches`]) used by
+//!   experiment E8. "What our method does is copy, and since we choose
+//!   only one alternative, no merging is necessary."
+//!
+//! # Example
+//!
+//! ```
+//! use altx_prolog::{KnowledgeBase, Solver};
+//!
+//! let kb = KnowledgeBase::parse(
+//!     "edge(a, b). edge(b, c). edge(c, d).
+//!      path(X, Y) :- edge(X, Y).
+//!      path(X, Z) :- edge(X, Y), path(Y, Z).",
+//! ).unwrap();
+//! let mut solver = Solver::new(&kb);
+//! let solutions = solver.solve_str("path(a, X)", 10).unwrap();
+//! let xs: Vec<String> = solutions.iter().map(|s| s.binding_str("X").unwrap()).collect();
+//! assert_eq!(xs, ["b", "c", "d"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builtins;
+pub mod or_parallel;
+pub mod parser;
+pub mod solve;
+pub mod term;
+pub mod unify;
+
+pub use or_parallel::{
+    profile_branches, simulate_race, solve_first_parallel, BranchProfile, OrParallelReport,
+    OrRaceComparison, OrSimConfig,
+};
+pub use parser::{parse_program, parse_query, ParseError};
+pub use solve::{KnowledgeBase, Solution, Solver};
+pub use term::Term;
+pub use unify::Bindings;

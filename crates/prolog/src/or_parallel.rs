@@ -1,0 +1,340 @@
+//! OR-parallel solving: racing the clauses of the top choice point.
+//!
+//! §5.2: OR-parallelism "maps closely to our problem of attempting
+//! alternatives in parallel. The alternatives here are specialized to
+//! predicates." When only the first solution is wanted, the clause
+//! choices of the query's first goal are mutually exclusive alternatives:
+//! each alternate explores one branch on a *copy* of the bindings (no
+//! shared-environment pointer chains, no merging — §5.2's solution (4)
+//! with the merge made unnecessary by single selection).
+//!
+//! Three executions are provided:
+//!
+//! * [`solve_first_parallel`] — real threads, one per branch, shared
+//!   cancellation (sibling elimination), first solution wins;
+//! * [`profile_branches`] — per-branch work profiles (resolution steps),
+//!   the input to the analytic model;
+//! * [`simulate_race`] — the same race on the calibrated simulated
+//!   kernel, mapping steps to virtual time; used by experiment E8 to
+//!   sweep per-process overhead and granularity.
+
+use crate::parser::{parse_query, ParseError};
+use crate::solve::{KnowledgeBase, Solution, Solver};
+use altx::CancelToken;
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, EliminationPolicy, GuardSpec, Kernel, KernelConfig, Op, Program,
+};
+use altx_pager::MachineProfile;
+use std::time::Duration;
+
+/// Work profile of one branch of the top-level choice point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchProfile {
+    /// Which matching clause this branch starts with.
+    pub clause_index: usize,
+    /// Whether the branch yields a solution.
+    pub succeeded: bool,
+    /// Resolution steps to the branch's first solution, or to exhaustion
+    /// if it fails.
+    pub steps: u64,
+}
+
+/// Result of a threaded OR-parallel query.
+#[derive(Debug)]
+pub struct OrParallelReport {
+    /// The first solution found, if any branch succeeded.
+    pub solution: Option<Solution>,
+    /// The branch (clause index at the top choice point) that produced
+    /// it.
+    pub winner_branch: Option<usize>,
+    /// Number of branches raced.
+    pub branches: usize,
+    /// Real wall-clock time.
+    pub wall: Duration,
+}
+
+/// Profiles every branch of the query's top choice point by solving with
+/// the first resolution pinned to each matching clause in turn.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the query is malformed.
+pub fn profile_branches(
+    kb: &KnowledgeBase,
+    query: &str,
+) -> Result<Vec<BranchProfile>, ParseError> {
+    let q = parse_query(query)?;
+    let n = top_branch_count(kb, &q);
+    let mut profiles = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut solver = Solver::new(kb);
+        let sols = solver.solve_restricted(&q, 1, Some(k));
+        profiles.push(BranchProfile {
+            clause_index: k,
+            succeeded: !sols.is_empty(),
+            steps: solver.steps(),
+        });
+    }
+    Ok(profiles)
+}
+
+fn top_branch_count(kb: &KnowledgeBase, q: &crate::parser::RawQuery) -> usize {
+    q.goals
+        .first()
+        .and_then(|g| g.functor_arity())
+        .map(|(name, arity)| kb.matching(name, arity).len())
+        .unwrap_or(0)
+}
+
+/// Solves for the first solution by racing one OS thread per top-level
+/// branch; losing branches are cancelled (sibling elimination).
+///
+/// Any branch's valid solution may win — exactly the nondeterministic
+/// selection the sequential semantics permit.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] if the query is malformed.
+pub fn solve_first_parallel(
+    kb: &KnowledgeBase,
+    query: &str,
+) -> Result<OrParallelReport, ParseError> {
+    let start = std::time::Instant::now();
+    let q = parse_query(query)?;
+    let n = top_branch_count(kb, &q);
+    if n == 0 {
+        return Ok(OrParallelReport {
+            solution: None,
+            winner_branch: None,
+            branches: 0,
+            wall: start.elapsed(),
+        });
+    }
+
+    let token = CancelToken::new();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Option<Solution>)>();
+
+    std::thread::scope(|scope| {
+        for k in 0..n {
+            let tx = tx.clone();
+            let token = token.clone();
+            let q = q.clone();
+            scope.spawn(move || {
+                let mut solver = Solver::new(kb);
+                solver.cancel = Some(token);
+                let solution = solver.solve_restricted(&q, 1, Some(k)).into_iter().next();
+                let _ = tx.send((k, solution));
+            });
+        }
+        drop(tx);
+
+        let mut winner: Option<(usize, Solution)> = None;
+        for (k, solution) in rx.iter() {
+            if let Some(s) = solution {
+                if winner.is_none() {
+                    token.cancel();
+                    winner = Some((k, s));
+                }
+            }
+        }
+
+        Ok(OrParallelReport {
+            winner_branch: winner.as_ref().map(|(k, _)| *k),
+            solution: winner.map(|(_, s)| s),
+            branches: n,
+            wall: start.elapsed(),
+        })
+    })
+}
+
+/// Parameters mapping resolution work onto the simulated kernel.
+#[derive(Debug, Clone)]
+pub struct OrSimConfig {
+    /// Virtual time per resolution step (the interpreter's speed).
+    pub time_per_step: SimDuration,
+    /// Simulated CPUs.
+    pub cpus: usize,
+    /// Machine cost profile (fork and teardown overheads — "how
+    /// aggressively available parallelism is exploited is a function of
+    /// the overhead associated with maintaining a process", §5.2).
+    pub profile: MachineProfile,
+    /// Interpreter image size (address space forked per branch).
+    pub image_bytes: usize,
+}
+
+impl Default for OrSimConfig {
+    fn default() -> Self {
+        OrSimConfig {
+            time_per_step: SimDuration::from_micros(50),
+            cpus: 16,
+            profile: MachineProfile::default(),
+            image_bytes: 320 * 1024,
+        }
+    }
+}
+
+/// Sequential vs OR-parallel comparison for one query under a cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrRaceComparison {
+    /// Virtual time of sequential DFS to the first solution (failed
+    /// branches paid in clause order first).
+    pub sequential: SimDuration,
+    /// Virtual time of the simulated OR-parallel race (fork + race +
+    /// selection).
+    pub parallel: SimDuration,
+    /// `sequential / parallel`.
+    pub speedup: f64,
+    /// Whether any branch succeeds at all.
+    pub satisfiable: bool,
+}
+
+/// Runs the OR-parallel race on the simulated kernel: each branch is an
+/// alternative whose compute time is `steps × time_per_step` and whose
+/// guard is its success; compares with sequential DFS.
+pub fn simulate_race(profiles: &[BranchProfile], cfg: &OrSimConfig) -> OrRaceComparison {
+    assert!(!profiles.is_empty(), "no branches to race");
+
+    // Sequential DFS: branches are explored in clause order; each failed
+    // branch costs its full exhaustion, the first succeeding branch costs
+    // its steps-to-first-solution.
+    let mut seq_steps: u64 = 0;
+    let mut satisfiable = false;
+    for p in profiles {
+        seq_steps += p.steps;
+        if p.succeeded {
+            satisfiable = true;
+            break;
+        }
+    }
+    let sequential = cfg.time_per_step * seq_steps;
+
+    // Parallel: the kernel race with per-branch success guards.
+    let alternatives: Vec<Alternative> = profiles
+        .iter()
+        .map(|p| {
+            Alternative::new(
+                GuardSpec::Const(p.succeeded),
+                Program::new(vec![Op::Compute(cfg.time_per_step * p.steps)]),
+            )
+        })
+        .collect();
+    let block = AltBlockSpec::new(alternatives).with_elimination(EliminationPolicy::Asynchronous);
+    let mut kernel = Kernel::new(KernelConfig {
+        cpus: cfg.cpus,
+        profile: cfg.profile.clone(),
+        quantum: SimDuration::from_millis(1),
+        seed: 3,
+        ipc_latency: SimDuration::ZERO,
+    });
+    let root = kernel.spawn(Program::new(vec![Op::AltBlock(block)]), cfg.image_bytes);
+    let report = kernel.run();
+    let outcome = &report.block_outcomes(root)[0];
+    let parallel = outcome.elapsed();
+
+    OrRaceComparison {
+        sequential,
+        parallel,
+        speedup: sequential.as_secs_f64() / parallel.as_secs_f64(),
+        satisfiable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A database where the first clauses lead into deep failing searches
+    /// and a later clause succeeds quickly — the OR-parallel sweet spot.
+    const SKEWED: &str = "
+        deep(0).
+        deep(N) :- N > 0, M is N - 1, deep(M).
+        % route/2: three strategies, data-dependent costs.
+        route(X, slow) :- deep(X), fail_marker(X).
+        route(X, medium) :- deep(X), deep(X), fail_marker(X).
+        route(_, fast).
+        fail_marker(never).
+    ";
+
+    #[test]
+    fn profiles_reflect_branch_costs() {
+        let kb = KnowledgeBase::parse(SKEWED).unwrap();
+        let profiles = profile_branches(&kb, "route(400, R)").unwrap();
+        assert_eq!(profiles.len(), 3);
+        assert!(!profiles[0].succeeded);
+        assert!(!profiles[1].succeeded);
+        assert!(profiles[2].succeeded);
+        // Branch 1 does roughly double branch 0's work; branch 2 is tiny.
+        assert!(profiles[0].steps > 400);
+        assert!(profiles[1].steps > profiles[0].steps);
+        assert!(profiles[2].steps < 10);
+    }
+
+    #[test]
+    fn parallel_solve_finds_a_valid_solution() {
+        let kb = KnowledgeBase::parse(SKEWED).unwrap();
+        let report = solve_first_parallel(&kb, "route(400, R)").unwrap();
+        assert_eq!(report.branches, 3);
+        let sol = report.solution.expect("satisfiable");
+        assert_eq!(sol.binding_str("R").unwrap(), "fast");
+        assert_eq!(report.winner_branch, Some(2));
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_on_satisfiability() {
+        let kb = KnowledgeBase::parse(SKEWED).unwrap();
+        // Unsatisfiable query: every branch fails.
+        let report = solve_first_parallel(&kb, "fail_marker(100)").unwrap();
+        assert!(report.solution.is_none());
+        let mut solver = Solver::new(&kb);
+        assert!(solver.solve_str("fail_marker(100)", 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_predicate_races_zero_branches() {
+        let kb = KnowledgeBase::parse(SKEWED).unwrap();
+        let report = solve_first_parallel(&kb, "nosuch(X)").unwrap();
+        assert_eq!(report.branches, 0);
+        assert!(report.solution.is_none());
+    }
+
+    #[test]
+    fn simulated_race_beats_sequential_on_skewed_branches() {
+        let kb = KnowledgeBase::parse(SKEWED).unwrap();
+        let profiles = profile_branches(&kb, "route(2000, R)").unwrap();
+        let cmp = simulate_race(&profiles, &OrSimConfig::default());
+        assert!(cmp.satisfiable);
+        // Sequential pays both failing branches first; parallel finds the
+        // cheap success immediately.
+        assert!(cmp.speedup > 2.0, "speedup {}", cmp.speedup);
+    }
+
+    #[test]
+    fn simulated_race_overhead_dominates_tiny_queries() {
+        // All branches trivial: racing cannot pay for the forks.
+        let profiles = vec![
+            BranchProfile { clause_index: 0, succeeded: true, steps: 2 },
+            BranchProfile { clause_index: 1, succeeded: true, steps: 2 },
+        ];
+        let cmp = simulate_race(&profiles, &OrSimConfig::default());
+        assert!(cmp.speedup < 1.0, "speedup {}", cmp.speedup);
+    }
+
+    #[test]
+    fn unsatisfiable_race_reports_it() {
+        let profiles = vec![
+            BranchProfile { clause_index: 0, succeeded: false, steps: 100 },
+            BranchProfile { clause_index: 1, succeeded: false, steps: 200 },
+        ];
+        let cmp = simulate_race(&profiles, &OrSimConfig::default());
+        assert!(!cmp.satisfiable);
+        // Sequential pays for everything when all branches fail.
+        assert_eq!(cmp.sequential, SimDuration::from_micros(50) * 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "no branches")]
+    fn empty_profiles_panic() {
+        simulate_race(&[], &OrSimConfig::default());
+    }
+}

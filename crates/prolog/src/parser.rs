@@ -1,0 +1,597 @@
+//! Tokenizer and recursive-descent reader for Prolog programs and
+//! queries.
+//!
+//! Supported syntax: facts and rules (`head :- goal, goal.`), atoms,
+//! integers (including negatives), variables (`Uppercase`/`_`), compound
+//! terms, list sugar (`[a, b | T]`), parenthesized expressions, and the
+//! standard binary operators at their conventional precedences:
+//!
+//! * 900 (prefix): `\+` (negation as failure)
+//! * 700 (non-associative): `=`, `\=`, `<`, `=<`, `>`, `>=`, `=:=`,
+//!   `=\=`, `is`
+//! * 500 (left): `+`, `-`
+//! * 400 (left): `*`, `//`, `mod`
+//!
+//! The cut `!` parses as an atom and is given its committed-choice
+//! semantics by the solver. Line comments start with `%`.
+
+use crate::term::{Term, VarId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A clause as read from source: head, body goals, and how many distinct
+/// variables it uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawClause {
+    /// The clause head.
+    pub head: Term,
+    /// The body goals (empty for a fact).
+    pub body: Vec<Term>,
+    /// Number of variables `0..nvars` used by head and body.
+    pub nvars: usize,
+}
+
+/// A parsed query: goals plus the named variables the caller may ask
+/// about.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawQuery {
+    /// The conjunction of goals.
+    pub goals: Vec<Term>,
+    /// Name → variable id for the query's named variables.
+    pub var_names: HashMap<String, VarId>,
+    /// Number of variables used.
+    pub nvars: usize,
+}
+
+/// Parses a whole program (sequence of clauses).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse_program(src: &str) -> Result<Vec<RawClause>, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let mut clauses = Vec::new();
+    while !p.at_end() {
+        clauses.push(p.clause()?);
+    }
+    Ok(clauses)
+}
+
+/// Parses a query: a conjunction of goals, optionally ending with `.`.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed input.
+pub fn parse_query(src: &str) -> Result<RawQuery, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser::new(tokens);
+    let goals = p.conjunction()?;
+    if p.peek() == Some(&Tok::ClauseEnd) {
+        p.next();
+    }
+    if !p.at_end() {
+        return Err(p.error("trailing input after query"));
+    }
+    Ok(RawQuery {
+        goals,
+        var_names: p.vars,
+        nvars: p.next_var,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    Op(&'static str),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Bar,
+    Neck, // :-
+    ClauseEnd,
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '[' => {
+                out.push((Tok::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                out.push((Tok::RBracket, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Tok::Comma, i));
+                i += 1;
+            }
+            '|' => {
+                out.push((Tok::Bar, i));
+                i += 1;
+            }
+            '!' => {
+                out.push((Tok::Atom("!".to_string()), i));
+                i += 1;
+            }
+            '.' => {
+                // End of clause iff followed by whitespace or EOF.
+                let next = bytes.get(i + 1).copied();
+                if next.is_none() || next.is_some_and(|b| (b as char).is_whitespace() || b == b'%') {
+                    out.push((Tok::ClauseEnd, i));
+                    i += 1;
+                } else {
+                    return Err(ParseError {
+                        message: "unexpected '.' (not a clause end)".into(),
+                        offset: i,
+                    });
+                }
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    out.push((Tok::Neck, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected ':-'".into(), offset: i });
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i64 = src[start..i].parse().map_err(|_| ParseError {
+                    message: "integer overflow".into(),
+                    offset: start,
+                })?;
+                out.push((Tok::Int(n), start));
+            }
+            'a'..='z' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match word {
+                    "is" => out.push((Tok::Op("is"), start)),
+                    "mod" => out.push((Tok::Op("mod"), start)),
+                    _ => out.push((Tok::Atom(word.to_string()), start)),
+                }
+            }
+            'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Tok::Var(src[start..i].to_string()), start));
+            }
+            '=' => {
+                if src[i..].starts_with("=<") {
+                    out.push((Tok::Op("=<"), i));
+                    i += 2;
+                } else if src[i..].starts_with("=:=") {
+                    out.push((Tok::Op("=:="), i));
+                    i += 3;
+                } else if src[i..].starts_with("=\\=") {
+                    out.push((Tok::Op("=\\="), i));
+                    i += 3;
+                } else {
+                    out.push((Tok::Op("="), i));
+                    i += 1;
+                }
+            }
+            '\\' => {
+                if src[i..].starts_with("\\=") {
+                    out.push((Tok::Op("\\="), i));
+                    i += 2;
+                } else if src[i..].starts_with("\\+") {
+                    out.push((Tok::Op("\\+"), i));
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "unexpected '\\'".into(), offset: i });
+                }
+            }
+            '<' => {
+                out.push((Tok::Op("<"), i));
+                i += 1;
+            }
+            '>' => {
+                if src[i..].starts_with(">=") {
+                    out.push((Tok::Op(">="), i));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op(">"), i));
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push((Tok::Op("+"), i));
+                i += 1;
+            }
+            '-' => {
+                out.push((Tok::Op("-"), i));
+                i += 1;
+            }
+            '*' => {
+                out.push((Tok::Op("*"), i));
+                i += 1;
+            }
+            '/' => {
+                if src[i..].starts_with("//") {
+                    out.push((Tok::Op("//"), i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "unsupported operator '/' (use '//')".into(),
+                        offset: i,
+                    });
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: i,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+    vars: HashMap<String, VarId>,
+    next_var: usize,
+}
+
+const COMPARISONS: &[&str] = &["=", "\\=", "<", "=<", ">", ">=", "=:=", "=\\=", "is"];
+
+impl Parser {
+    fn new(tokens: Vec<(Tok, usize)>) -> Self {
+        Parser {
+            tokens,
+            pos: 0,
+            vars: HashMap::new(),
+            next_var: 0,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, o)| *o)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(tok) {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn clause(&mut self) -> Result<RawClause, ParseError> {
+        // Fresh variable scope per clause.
+        self.vars.clear();
+        self.next_var = 0;
+        let head = self.expr()?;
+        if head.functor_arity().is_none() {
+            return Err(self.error("clause head must be an atom or compound"));
+        }
+        let body = if self.peek() == Some(&Tok::Neck) {
+            self.next();
+            self.conjunction()?
+        } else {
+            Vec::new()
+        };
+        self.expect(&Tok::ClauseEnd, "'.' at end of clause")?;
+        Ok(RawClause {
+            head,
+            body,
+            nvars: self.next_var,
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut goals = vec![self.expr()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            goals.push(self.expr()?);
+        }
+        Ok(goals)
+    }
+
+    /// Precedence 900: negation-as-failure prefix, then 700 comparisons.
+    fn expr(&mut self) -> Result<Term, ParseError> {
+        if let Some(Tok::Op("\\+")) = self.peek() {
+            self.next();
+            let inner = self.expr()?;
+            return Ok(Term::compound("\\+", vec![inner]));
+        }
+        let lhs = self.additive()?;
+        if let Some(Tok::Op(op)) = self.peek() {
+            if COMPARISONS.contains(op) {
+                let op = *op;
+                self.next();
+                let rhs = self.additive()?;
+                return Ok(Term::compound(op, vec![lhs, rhs]));
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence 500: `+`/`-`, left associative.
+    fn additive(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        while let Some(Tok::Op(op @ ("+" | "-"))) = self.peek() {
+            let op = *op;
+            self.next();
+            let rhs = self.multiplicative()?;
+            lhs = Term::compound(op, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    /// Precedence 400: `*`/`//`/`mod`, left associative.
+    fn multiplicative(&mut self) -> Result<Term, ParseError> {
+        let mut lhs = self.primary()?;
+        while let Some(Tok::Op(op @ ("*" | "//" | "mod"))) = self.peek() {
+            let op = *op;
+            self.next();
+            let rhs = self.primary()?;
+            lhs = Term::compound(op, vec![lhs, rhs]);
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Int(n)) => Ok(Term::Int(n)),
+            Some(Tok::Op("-")) => match self.next() {
+                Some(Tok::Int(n)) => Ok(Term::Int(-n)),
+                _ => Err(self.error("expected integer after unary '-'")),
+            },
+            Some(Tok::Var(name)) => {
+                if name == "_" {
+                    // Anonymous: fresh every occurrence.
+                    let id = self.next_var;
+                    self.next_var += 1;
+                    Ok(Term::Var(VarId(id)))
+                } else {
+                    let next_var = &mut self.next_var;
+                    let id = *self.vars.entry(name).or_insert_with(|| {
+                        let id = VarId(*next_var);
+                        *next_var += 1;
+                        id
+                    });
+                    Ok(Term::Var(id))
+                }
+            }
+            Some(Tok::Atom(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.next();
+                    let mut args = vec![self.expr()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.next();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Term::compound(&name, args))
+                } else {
+                    Ok(Term::atom(&name))
+                }
+            }
+            Some(Tok::LParen) => {
+                let t = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(t)
+            }
+            Some(Tok::LBracket) => self.list_tail(),
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn list_tail(&mut self) -> Result<Term, ParseError> {
+        if self.peek() == Some(&Tok::RBracket) {
+            self.next();
+            return Ok(Term::nil());
+        }
+        let mut items = vec![self.expr()?];
+        while self.peek() == Some(&Tok::Comma) {
+            self.next();
+            items.push(self.expr()?);
+        }
+        let tail = if self.peek() == Some(&Tok::Bar) {
+            self.next();
+            self.expr()?
+        } else {
+            Term::nil()
+        };
+        self.expect(&Tok::RBracket, "']'")?;
+        Ok(items
+            .into_iter()
+            .rev()
+            .fold(tail, |acc, item| Term::compound(".", vec![item, acc])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let clauses = parse_program(
+            "edge(a, b). edge(b, c).
+             path(X, Y) :- edge(X, Y).
+             path(X, Z) :- edge(X, Y), path(Y, Z).",
+        )
+        .unwrap();
+        assert_eq!(clauses.len(), 4);
+        assert!(clauses[0].body.is_empty());
+        assert_eq!(clauses[3].body.len(), 2);
+        assert_eq!(clauses[3].nvars, 3);
+        assert_eq!(clauses[2].head.to_string(), "path(_G0, _G1)");
+    }
+
+    #[test]
+    fn variables_are_scoped_per_clause() {
+        let clauses = parse_program("f(X). g(X).").unwrap();
+        assert_eq!(clauses[0].nvars, 1);
+        assert_eq!(clauses[1].nvars, 1);
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let clauses = parse_program("f(_, _).").unwrap();
+        assert_eq!(clauses[0].nvars, 2);
+        let Term::Compound { args, .. } = &clauses[0].head else {
+            panic!("compound head");
+        };
+        assert_ne!(args[0], args[1]);
+    }
+
+    #[test]
+    fn parses_lists() {
+        let q = parse_query("member(X, [1, 2, 3])").unwrap();
+        assert_eq!(q.goals[0].to_string(), "member(_G0, [1, 2, 3])");
+        let q = parse_query("append([1 | T], Y, Z)").unwrap();
+        assert_eq!(q.goals[0].to_string(), "append([1|_G0], _G1, _G2)");
+        let q = parse_query("f([])").unwrap();
+        assert_eq!(q.goals[0].to_string(), "f([])");
+    }
+
+    #[test]
+    fn parses_arithmetic_with_precedence() {
+        let q = parse_query("X is 1 + 2 * 3").unwrap();
+        assert_eq!(q.goals[0].to_string(), "is(_G0, +(1, *(2, 3)))");
+        let q = parse_query("X is (1 + 2) * 3").unwrap();
+        assert_eq!(q.goals[0].to_string(), "is(_G0, *(+(1, 2), 3))");
+    }
+
+    #[test]
+    fn parses_comparisons() {
+        for op in ["=", "\\=", "<", "=<", ">", ">=", "=:=", "=\\="] {
+            let q = parse_query(&format!("1 {op} 2")).unwrap();
+            assert_eq!(q.goals[0].functor_arity(), Some((op, 2)));
+        }
+    }
+
+    #[test]
+    fn negative_integers() {
+        let q = parse_query("f(-5)").unwrap();
+        assert_eq!(q.goals[0].to_string(), "f(-5)");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let clauses = parse_program("% a comment\nf(a). % trailing\n").unwrap();
+        assert_eq!(clauses.len(), 1);
+    }
+
+    #[test]
+    fn query_var_names_are_exposed() {
+        let q = parse_query("path(a, Where), edge(Where, Next)").unwrap();
+        assert_eq!(q.goals.len(), 2);
+        assert!(q.var_names.contains_key("Where"));
+        assert!(q.var_names.contains_key("Next"));
+        assert_eq!(q.nvars, 2);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_program("f(a)").unwrap_err();
+        assert!(err.message.contains("'.'"), "{err}");
+        let err = parse_program("f(a) :- .").unwrap_err();
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_heads() {
+        assert!(parse_program("42.").is_err());
+        assert!(parse_program("X.").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        let err = parse_program("f(a) ; g(b).").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+    }
+}

@@ -1,0 +1,229 @@
+//! Prolog terms.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable identifier: an index into a [`Bindings`](crate::Bindings)
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub usize);
+
+/// A Prolog term.
+///
+/// Lists are the conventional sugar over `'.'(Head, Tail)` and the atom
+/// `[]`; [`Term::list`] and [`Term::as_list`] convert both ways.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An atom, e.g. `foo`, `[]`.
+    Atom(Arc<str>),
+    /// An integer.
+    Int(i64),
+    /// A logic variable.
+    Var(VarId),
+    /// A compound term `functor(args…)` with arity ≥ 1.
+    Compound {
+        /// The functor name.
+        functor: Arc<str>,
+        /// The argument terms (non-empty).
+        args: Vec<Term>,
+    },
+}
+
+impl Term {
+    /// Builds an atom.
+    pub fn atom(name: &str) -> Term {
+        Term::Atom(Arc::from(name))
+    }
+
+    /// Builds a variable.
+    pub fn var(id: usize) -> Term {
+        Term::Var(VarId(id))
+    }
+
+    /// Builds a compound term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` is empty — a zero-arity "compound" is an atom.
+    pub fn compound(functor: &str, args: Vec<Term>) -> Term {
+        assert!(!args.is_empty(), "compound term needs arguments; use an atom");
+        Term::Compound {
+            functor: Arc::from(functor),
+            args,
+        }
+    }
+
+    /// The empty list atom `[]`.
+    pub fn nil() -> Term {
+        Term::atom("[]")
+    }
+
+    /// Builds a proper list from items.
+    pub fn list(items: impl IntoIterator<Item = Term>) -> Term {
+        let items: Vec<Term> = items.into_iter().collect();
+        items
+            .into_iter()
+            .rev()
+            .fold(Term::nil(), |tail, head| Term::compound(".", vec![head, tail]))
+    }
+
+    /// Decomposes a proper list into its items; `None` for improper lists
+    /// or non-lists.
+    pub fn as_list(&self) -> Option<Vec<&Term>> {
+        let mut items = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Atom(a) if &**a == "[]" => return Some(items),
+                Term::Compound { functor, args } if &**functor == "." && args.len() == 2 => {
+                    items.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// The functor name and arity of this term, treating atoms as arity
+    /// 0. Variables and integers have none.
+    pub fn functor_arity(&self) -> Option<(&str, usize)> {
+        match self {
+            Term::Atom(a) => Some((a, 0)),
+            Term::Compound { functor, args } => Some((functor, args.len())),
+            _ => None,
+        }
+    }
+
+    /// True iff the term contains no variables (after substitution).
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Atom(_) | Term::Int(_) => true,
+            Term::Compound { args, .. } => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// The largest variable id occurring in the term, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Term::Var(VarId(v)) => Some(*v),
+            Term::Atom(_) | Term::Int(_) => None,
+            Term::Compound { args, .. } => args.iter().filter_map(Term::max_var).max(),
+        }
+    }
+
+    /// Returns the term with every variable id shifted by `offset` —
+    /// clause renaming for resolution.
+    pub fn shift_vars(&self, offset: usize) -> Term {
+        match self {
+            Term::Var(VarId(v)) => Term::Var(VarId(v + offset)),
+            Term::Atom(_) | Term::Int(_) => self.clone(),
+            Term::Compound { functor, args } => Term::Compound {
+                functor: Arc::clone(functor),
+                args: args.iter().map(|a| a.shift_vars(offset)).collect(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Lists print in bracket sugar.
+        if let Some(items) = self.as_list() {
+            write!(f, "[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{item}")?;
+            }
+            return write!(f, "]");
+        }
+        match self {
+            Term::Atom(a) => write!(f, "{a}"),
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Var(VarId(v)) => write!(f, "_G{v}"),
+            Term::Compound { functor, args } => {
+                // Partial lists print as [H|T].
+                if &**functor == "." && args.len() == 2 {
+                    return write!(f, "[{}|{}]", args[0], args[1]);
+                }
+                write!(f, "{functor}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Term::atom("foo").to_string(), "foo");
+        assert_eq!(Term::Int(42).to_string(), "42");
+        assert_eq!(Term::var(3).to_string(), "_G3");
+        assert_eq!(
+            Term::compound("f", vec![Term::atom("a"), Term::Int(1)]).to_string(),
+            "f(a, 1)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs arguments")]
+    fn zero_arity_compound_panics() {
+        Term::compound("f", vec![]);
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let l = Term::list([Term::Int(1), Term::Int(2), Term::Int(3)]);
+        assert_eq!(l.to_string(), "[1, 2, 3]");
+        let items = l.as_list().expect("proper list");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], &Term::Int(1));
+        assert_eq!(Term::nil().as_list().expect("empty").len(), 0);
+    }
+
+    #[test]
+    fn improper_list_prints_bar() {
+        let l = Term::compound(".", vec![Term::Int(1), Term::var(0)]);
+        assert_eq!(l.as_list(), None);
+        assert_eq!(l.to_string(), "[1|_G0]");
+    }
+
+    #[test]
+    fn functor_arity() {
+        assert_eq!(Term::atom("a").functor_arity(), Some(("a", 0)));
+        assert_eq!(
+            Term::compound("f", vec![Term::Int(1)]).functor_arity(),
+            Some(("f", 1))
+        );
+        assert_eq!(Term::var(0).functor_arity(), None);
+        assert_eq!(Term::Int(1).functor_arity(), None);
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::atom("a").is_ground());
+        assert!(!Term::var(0).is_ground());
+        assert!(!Term::compound("f", vec![Term::var(1)]).is_ground());
+        assert!(Term::compound("f", vec![Term::Int(1)]).is_ground());
+    }
+
+    #[test]
+    fn var_shifting() {
+        let t = Term::compound("f", vec![Term::var(0), Term::compound("g", vec![Term::var(2)])]);
+        assert_eq!(t.max_var(), Some(2));
+        let s = t.shift_vars(10);
+        assert_eq!(s.max_var(), Some(12));
+        assert_eq!(Term::atom("a").shift_vars(5), Term::atom("a"));
+    }
+}

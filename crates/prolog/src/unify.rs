@@ -1,0 +1,325 @@
+//! Unification with trail-based backtracking.
+//!
+//! §5.2: "Many normal operations are subsumed by the unification
+//! algorithm by which Prolog attempts to satisfy predicates; variables
+//! are bound during the unification process to values which caused the
+//! predicates to become true."
+
+use crate::term::{Term, VarId};
+
+/// A growable variable store with a trail for cheap backtracking.
+///
+/// # Example
+///
+/// ```
+/// use altx_prolog::{Bindings, Term};
+///
+/// let mut b = Bindings::new();
+/// b.ensure(2);
+/// assert!(b.unify(&Term::var(0), &Term::atom("elrod")));
+/// assert_eq!(b.resolve(&Term::var(0)).to_string(), "elrod");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bindings {
+    slots: Vec<Option<Term>>,
+    trail: Vec<VarId>,
+    /// Unification attempts performed (the work metric behind the
+    /// OR-parallel cost model).
+    pub unifications: u64,
+    /// Whether `unify` performs the occurs check (default: true).
+    /// Disabling it matches classic Prolog's default for speed, at the
+    /// price of allowing cyclic ("rational") terms that
+    /// [`resolve`](Self::resolve) cannot materialize.
+    pub occurs_check: bool,
+}
+
+impl Default for Bindings {
+    fn default() -> Self {
+        Bindings {
+            slots: Vec::new(),
+            trail: Vec::new(),
+            unifications: 0,
+            occurs_check: true,
+        }
+    }
+}
+
+/// A restore point for backtracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrailMark(usize);
+
+impl Bindings {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Bindings::default()
+    }
+
+    /// Ensures slots exist for variables `0..n`.
+    pub fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, None);
+        }
+    }
+
+    /// Number of variable slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True iff no variables exist.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Allocates `count` fresh variables, returning the first new id.
+    pub fn fresh(&mut self, count: usize) -> usize {
+        let base = self.slots.len();
+        self.slots.resize(base + count, None);
+        base
+    }
+
+    /// Current trail position, for later [`undo_to`](Self::undo_to).
+    pub fn mark(&self) -> TrailMark {
+        TrailMark(self.trail.len())
+    }
+
+    /// Undoes all bindings made since `mark`.
+    pub fn undo_to(&mut self, mark: TrailMark) {
+        while self.trail.len() > mark.0 {
+            let var = self.trail.pop().expect("trail non-empty");
+            self.slots[var.0] = None;
+        }
+    }
+
+    /// Follows variable chains until a non-variable term or an unbound
+    /// variable is reached (shallow walk — does not descend into
+    /// compounds).
+    pub fn walk<'a>(&'a self, term: &'a Term) -> &'a Term {
+        let mut cur = term;
+        while let Term::Var(v) = cur {
+            match self.slots.get(v.0).and_then(Option::as_ref) {
+                Some(bound) => cur = bound,
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Fully substitutes bindings into `term`, producing a term whose
+    /// remaining variables are genuinely unbound.
+    pub fn resolve(&self, term: &Term) -> Term {
+        let walked = self.walk(term);
+        match walked {
+            Term::Compound { functor, args } => Term::Compound {
+                functor: functor.clone(),
+                args: args.iter().map(|a| self.resolve(a)).collect(),
+            },
+            other => other.clone(),
+        }
+    }
+
+    fn bind(&mut self, var: VarId, term: Term) {
+        debug_assert!(self.slots[var.0].is_none(), "rebinding a bound variable");
+        self.slots[var.0] = Some(term);
+        self.trail.push(var);
+    }
+
+    /// Unifies `a` and `b`, binding variables as needed. On failure the
+    /// bindings are left as they were (internal bindings are undone).
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let mark = self.mark();
+        if self.unify_inner(a, b) {
+            true
+        } else {
+            self.undo_to(mark);
+            false
+        }
+    }
+
+    fn unify_inner(&mut self, a: &Term, b: &Term) -> bool {
+        self.unifications += 1;
+        let a = self.walk(a).clone();
+        let b = self.walk(b).clone();
+        match (a, b) {
+            (Term::Var(x), Term::Var(y)) if x == y => true,
+            (Term::Var(x), t) => {
+                if self.occurs_check && self.occurs(x, &t) {
+                    return false;
+                }
+                self.bind(x, t);
+                true
+            }
+            (t, Term::Var(y)) => {
+                if self.occurs_check && self.occurs(y, &t) {
+                    return false;
+                }
+                self.bind(y, t);
+                true
+            }
+            (Term::Atom(x), Term::Atom(y)) => x == y,
+            (Term::Int(x), Term::Int(y)) => x == y,
+            (
+                Term::Compound { functor: f, args: xs },
+                Term::Compound { functor: g, args: ys },
+            ) => {
+                if f != g || xs.len() != ys.len() {
+                    return false;
+                }
+                xs.iter().zip(&ys).all(|(x, y)| self.unify_inner(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    /// True iff variable `v` is bound (directly or through a chain).
+    pub fn is_bound(&self, v: VarId) -> bool {
+        !matches!(self.walk(&Term::Var(v)), Term::Var(_))
+    }
+
+    /// True iff variable `v` occurs (after walking) in `term`.
+    fn occurs(&self, v: VarId, term: &Term) -> bool {
+        match self.walk(term) {
+            Term::Var(w) => *w == v,
+            Term::Atom(_) | Term::Int(_) => false,
+            Term::Compound { args, .. } => args.iter().any(|a| self.occurs(v, a)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(b: &mut Bindings, n: usize) {
+        b.ensure(n);
+    }
+
+    #[test]
+    fn unify_atoms() {
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::atom("a"), &Term::atom("a")));
+        assert!(!b.unify(&Term::atom("a"), &Term::atom("b")));
+        assert!(!b.unify(&Term::atom("a"), &Term::Int(1)));
+    }
+
+    #[test]
+    fn unify_binds_variable() {
+        let mut b = Bindings::new();
+        vars(&mut b, 1);
+        assert!(b.unify(&Term::var(0), &Term::atom("elrod")));
+        assert!(b.is_bound(VarId(0)));
+        assert_eq!(b.resolve(&Term::var(0)), Term::atom("elrod"));
+    }
+
+    #[test]
+    fn unify_compound_recursively() {
+        let mut b = Bindings::new();
+        vars(&mut b, 2);
+        let lhs = Term::compound("f", vec![Term::var(0), Term::atom("c")]);
+        let rhs = Term::compound("f", vec![Term::atom("a"), Term::var(1)]);
+        assert!(b.unify(&lhs, &rhs));
+        assert_eq!(b.resolve(&Term::var(0)), Term::atom("a"));
+        assert_eq!(b.resolve(&Term::var(1)), Term::atom("c"));
+    }
+
+    #[test]
+    fn failed_unification_undoes_partial_bindings() {
+        let mut b = Bindings::new();
+        vars(&mut b, 1);
+        let lhs = Term::compound("f", vec![Term::var(0), Term::atom("x")]);
+        let rhs = Term::compound("f", vec![Term::atom("a"), Term::atom("y")]);
+        assert!(!b.unify(&lhs, &rhs));
+        assert!(!b.is_bound(VarId(0)), "partial binding rolled back");
+    }
+
+    #[test]
+    fn variable_chains_walk() {
+        let mut b = Bindings::new();
+        vars(&mut b, 3);
+        assert!(b.unify(&Term::var(0), &Term::var(1)));
+        assert!(b.unify(&Term::var(1), &Term::var(2)));
+        assert!(b.unify(&Term::var(2), &Term::Int(9)));
+        assert_eq!(b.resolve(&Term::var(0)), Term::Int(9));
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let mut b = Bindings::new();
+        assert!(!b.unify(
+            &Term::compound("f", vec![Term::Int(1)]),
+            &Term::compound("f", vec![Term::Int(1), Term::Int(2)]),
+        ));
+    }
+
+    #[test]
+    fn trail_marks_nest() {
+        let mut b = Bindings::new();
+        vars(&mut b, 2);
+        let outer = b.mark();
+        assert!(b.unify(&Term::var(0), &Term::Int(1)));
+        let inner = b.mark();
+        assert!(b.unify(&Term::var(1), &Term::Int(2)));
+        b.undo_to(inner);
+        assert!(b.is_bound(VarId(0)));
+        assert!(!b.is_bound(VarId(1)));
+        b.undo_to(outer);
+        assert!(!b.is_bound(VarId(0)));
+    }
+
+    #[test]
+    fn fresh_allocates_new_ids() {
+        let mut b = Bindings::new();
+        vars(&mut b, 2);
+        let base = b.fresh(3);
+        assert_eq!(base, 2);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn unification_count_increments() {
+        let mut b = Bindings::new();
+        let before = b.unifications;
+        b.unify(&Term::atom("a"), &Term::atom("a"));
+        assert!(b.unifications > before);
+    }
+
+    #[test]
+    fn same_var_unifies_without_binding() {
+        let mut b = Bindings::new();
+        vars(&mut b, 1);
+        assert!(b.unify(&Term::var(0), &Term::var(0)));
+        assert!(!b.is_bound(VarId(0)));
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic_binding() {
+        let mut b = Bindings::new();
+        vars(&mut b, 1);
+        let cyclic = Term::compound("f", vec![Term::var(0)]);
+        assert!(!b.unify(&Term::var(0), &cyclic), "X = f(X) must fail");
+        assert!(!b.is_bound(VarId(0)), "failed unify leaves X free");
+        // Deeper occurrence, both orders.
+        let deep = Term::compound("g", vec![Term::compound("f", vec![Term::var(0)])]);
+        assert!(!b.unify(&deep, &Term::var(0)));
+    }
+
+    #[test]
+    fn occurs_check_can_be_disabled() {
+        let mut b = Bindings::new();
+        b.occurs_check = false;
+        vars(&mut b, 1);
+        let cyclic = Term::compound("f", vec![Term::var(0)]);
+        assert!(b.unify(&Term::var(0), &cyclic), "rational-tree mode binds");
+        assert!(b.is_bound(VarId(0)));
+    }
+
+    #[test]
+    fn occurs_check_follows_chains() {
+        let mut b = Bindings::new();
+        vars(&mut b, 2);
+        assert!(b.unify(&Term::var(0), &Term::var(1)));
+        // X0 → X1; binding X1 to f(X0) would be cyclic through the chain.
+        let cyclic = Term::compound("f", vec![Term::var(0)]);
+        assert!(!b.unify(&Term::var(1), &cyclic));
+    }
+}

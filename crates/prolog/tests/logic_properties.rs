@@ -1,0 +1,219 @@
+//! Property-based tests of the Prolog engine's logical laws.
+
+use altx_prolog::{
+    parse_query, profile_branches, solve_first_parallel, Bindings, KnowledgeBase, Solver, Term,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Term / unification laws.
+// ---------------------------------------------------------------------
+
+/// Arbitrary ground or open terms over a tiny signature, with variables
+/// drawn from 0..4.
+fn arb_term(depth: u32) -> BoxedStrategy<Term> {
+    let leaf = prop_oneof![
+        Just(Term::atom("a")),
+        Just(Term::atom("b")),
+        (0i64..5).prop_map(Term::Int),
+        (0usize..4).prop_map(Term::var),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop::collection::vec(inner, 1..3)
+            .prop_map(|args| Term::compound("f", args))
+    })
+    .boxed()
+}
+
+proptest! {
+    /// Unification is symmetric in success.
+    #[test]
+    fn unify_symmetric(a in arb_term(3), b in arb_term(3)) {
+        let mut b1 = Bindings::new();
+        b1.ensure(4);
+        let mut b2 = Bindings::new();
+        b2.ensure(4);
+        prop_assert_eq!(b1.unify(&a, &b), b2.unify(&b, &a));
+    }
+
+    /// Unification is reflexive and binds nothing new on t = t.
+    #[test]
+    fn unify_reflexive(t in arb_term(3)) {
+        let mut b = Bindings::new();
+        b.ensure(4);
+        prop_assert!(b.unify(&t, &t));
+    }
+
+    /// A successful unification is a *unifier*: resolving both sides
+    /// afterwards yields syntactically identical terms.
+    #[test]
+    fn unify_produces_a_unifier(a in arb_term(3), b in arb_term(3)) {
+        let mut bind = Bindings::new();
+        bind.ensure(4);
+        if bind.unify(&a, &b) {
+            prop_assert_eq!(bind.resolve(&a), bind.resolve(&b));
+        }
+    }
+
+    /// resolve() is idempotent.
+    #[test]
+    fn resolve_idempotent(a in arb_term(3), b in arb_term(3)) {
+        let mut bind = Bindings::new();
+        bind.ensure(4);
+        let _ = bind.unify(&a, &b);
+        let once = bind.resolve(&a);
+        prop_assert_eq!(bind.resolve(&once), once.clone());
+    }
+
+    /// Failed unification leaves the store exactly as it was (trail
+    /// correctness), checked via resolution of every variable.
+    #[test]
+    fn failed_unify_restores_store(a in arb_term(3), b in arb_term(3), c in arb_term(3)) {
+        let mut bind = Bindings::new();
+        bind.ensure(4);
+        let _ = bind.unify(&a, &b); // set up arbitrary prior state
+        let before: Vec<Term> = (0..4).map(|v| bind.resolve(&Term::var(v))).collect();
+        let mark = bind.mark();
+        if !bind.unify(&Term::compound("g", vec![c]), &Term::atom("not_g")) {
+            let after: Vec<Term> = (0..4).map(|v| bind.resolve(&Term::var(v))).collect();
+            prop_assert_eq!(&before, &after);
+        }
+        bind.undo_to(mark);
+        let restored: Vec<Term> = (0..4).map(|v| bind.resolve(&Term::var(v))).collect();
+        prop_assert_eq!(before, restored);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Solver vs brute-force oracle on generated fact bases.
+// ---------------------------------------------------------------------
+
+/// A random binary-relation fact base over atoms a..e, restricted to
+/// DAG edges (source index < target index): plain SLD resolution of the
+/// textbook `reach/2` diverges on cyclic graphs, which is a property of
+/// Prolog's search strategy, not a bug to be tested away here.
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0usize..4, 1usize..5), 0..12).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let (lo, hi) = (a.min(b), a.max(b));
+                (lo != hi).then_some((lo, hi))
+            })
+            .collect()
+    })
+}
+
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn kb_from_edges(edges: &[(usize, usize)]) -> KnowledgeBase {
+    let mut src = String::new();
+    for &(x, y) in edges {
+        src.push_str(&format!("edge({}, {}). ", NAMES[x], NAMES[y]));
+    }
+    src.push_str(
+        "reach(X, X).
+         reach(X, Z) :- edge(X, Y), reach(Y, Z).",
+    );
+    KnowledgeBase::parse(&src).expect("generated program is valid")
+}
+
+/// Reflexive-transitive closure by plain Rust.
+fn oracle_reach(edges: &[(usize, usize)]) -> [[bool; 5]; 5] {
+    let mut r = [[false; 5]; 5];
+    for (i, row) in r.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    loop {
+        let mut changed = false;
+        for &(x, y) in edges {
+            for row in r.iter_mut() {
+                if row[x] && !row[y] {
+                    row[y] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return r;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The solver's reach/2 agrees with a Rust transitive-closure oracle
+    /// on every node pair, and the OR-parallel solver agrees with both.
+    #[test]
+    fn reachability_matches_oracle(edges in arb_edges()) {
+        let kb = kb_from_edges(&edges);
+        let expect = oracle_reach(&edges);
+        let mut solver = Solver::new(&kb);
+        solver.max_steps = 2_000_000;
+        for s in 0..5 {
+            for t in 0..5 {
+                let q = format!("reach({}, {})", NAMES[s], NAMES[t]);
+                let seq = !solver.solve_str(&q, 1).unwrap().is_empty();
+                prop_assert!(!solver.truncated(), "query too deep: {q}");
+                prop_assert_eq!(seq, expect[s][t], "{}", q);
+                let par = solve_first_parallel(&kb, &q).unwrap().solution.is_some();
+                prop_assert_eq!(par, expect[s][t], "parallel {}", q);
+            }
+        }
+    }
+
+    /// Enumerating all solutions of reach(a, X) yields exactly the
+    /// oracle's reachable set, each exactly once per derivation-free
+    /// count (set equality).
+    #[test]
+    fn enumeration_matches_oracle_set(edges in arb_edges()) {
+        let kb = kb_from_edges(&edges);
+        let expect = oracle_reach(&edges);
+        let mut solver = Solver::new(&kb);
+        solver.max_steps = 2_000_000;
+        let sols = solver.solve_str("reach(a, X)", 500).unwrap();
+        prop_assume!(!solver.truncated());
+        let got: std::collections::BTreeSet<String> =
+            sols.iter().map(|s| s.binding_str("X").unwrap()).collect();
+        let want: std::collections::BTreeSet<String> = (0..5)
+            .filter(|&t| expect[0][t])
+            .map(|t| NAMES[t].to_string())
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Branch profiles partition sequential work: for an unsatisfiable
+    /// first goal, DFS steps equal the per-branch totals (±bookkeeping).
+    #[test]
+    fn profiles_partition_work(edges in arb_edges()) {
+        let kb = kb_from_edges(&edges);
+        // reach(b, zz): zz is not a node, so the query fails after full
+        // exploration — unless b reaches nothing, still fine.
+        let q = "reach(b, zz)";
+        let profiles = profile_branches(&kb, q).unwrap();
+        let mut solver = Solver::new(&kb);
+        solver.max_steps = 2_000_000;
+        prop_assert!(solver.solve_str(q, 1).unwrap().is_empty());
+        prop_assume!(!solver.truncated());
+        let total: u64 = profiles.iter().map(|p| p.steps).sum();
+        prop_assert!(
+            solver.steps().abs_diff(total) <= profiles.len() as u64 + 2,
+            "seq {} vs branch total {}",
+            solver.steps(),
+            total
+        );
+    }
+
+    /// parse → display → parse round-trips for queries over the term
+    /// grammar (modulo variable renaming, which display normalizes).
+    #[test]
+    fn display_parse_round_trip(t in arb_term(3)) {
+        // Embed in a goal so the parser accepts it.
+        let text = format!("holds({t})");
+        let q1 = parse_query(&text).expect("display emits parseable text");
+        let text2 = q1.goals[0].to_string();
+        let q2 = parse_query(&text2).expect("round trip");
+        prop_assert_eq!(q1.goals[0].to_string(), q2.goals[0].to_string());
+    }
+}

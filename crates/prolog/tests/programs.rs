@@ -1,0 +1,154 @@
+//! Whole-program integration tests: classic Prolog programs running on
+//! the engine end-to-end, sequential and OR-parallel.
+
+use altx_prolog::{solve_first_parallel, KnowledgeBase, Solver};
+
+/// N-queens via permutation generation + attack checking. Exercises
+/// lists, arithmetic, negation-as-failure, and deep backtracking.
+const QUEENS: &str = "
+    select(X, [X | T], T).
+    select(X, [H | T], [H | R]) :- select(X, T, R).
+
+    range(N, N, [N]).
+    range(L, N, [L | R]) :- L < N, M is L + 1, range(M, N, R).
+
+    abs_diff(A, B, D) :- A >= B, D is A - B.
+    abs_diff(A, B, D) :- A < B, D is B - A.
+
+    % safe(Q, Others, Dist): Q attacks nothing in Others diagonally.
+    safe(_, [], _).
+    safe(Q, [H | T], D) :-
+        abs_diff(Q, H, Diff), Diff =\\= D,
+        E is D + 1, safe(Q, T, E).
+
+    place([], []).
+    place(Unplaced, [Q | Rest]) :-
+        select(Q, Unplaced, Remaining),
+        place(Remaining, Rest),
+        safe(Q, Rest, 1).
+
+    queens(N, Solution) :- range(1, N, Columns), place(Columns, Solution).
+";
+
+fn assert_valid_queens(n: i64, rendered: &str) {
+    // rendered like "[2, 4, 1, 3]"
+    let cols: Vec<i64> = rendered
+        .trim_matches(['[', ']'])
+        .split(',')
+        .map(|s| s.trim().parse().expect("integer column"))
+        .collect();
+    assert_eq!(cols.len(), n as usize);
+    let mut sorted = cols.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (1..=n).collect::<Vec<_>>(), "a permutation");
+    for i in 0..cols.len() {
+        for j in i + 1..cols.len() {
+            assert_ne!(
+                (cols[i] - cols[j]).abs(),
+                (j - i) as i64,
+                "diagonal attack in {rendered}"
+            );
+        }
+    }
+}
+
+#[test]
+fn six_queens_first_solution() {
+    let kb = KnowledgeBase::parse(QUEENS).expect("valid program");
+    let mut solver = Solver::new(&kb);
+    let sols = solver.solve_str("queens(6, S)", 1).expect("parses");
+    assert!(!solver.truncated(), "search within limits");
+    let s = sols[0].binding_str("S").expect("bound");
+    assert_valid_queens(6, &s);
+}
+
+#[test]
+fn four_queens_has_exactly_two_solutions() {
+    let kb = KnowledgeBase::parse(QUEENS).expect("valid program");
+    let mut solver = Solver::new(&kb);
+    let sols = solver.solve_str("queens(4, S)", 10).expect("parses");
+    assert_eq!(sols.len(), 2);
+    for s in &sols {
+        assert_valid_queens(4, &s.binding_str("S").expect("bound"));
+    }
+}
+
+#[test]
+fn three_queens_is_unsatisfiable() {
+    let kb = KnowledgeBase::parse(QUEENS).expect("valid program");
+    let mut solver = Solver::new(&kb);
+    assert!(solver.solve_str("queens(3, S)", 1).expect("parses").is_empty());
+    assert!(!solver.truncated());
+}
+
+#[test]
+fn queens_or_parallel_returns_a_valid_board() {
+    let kb = KnowledgeBase::parse(QUEENS).expect("valid program");
+    let report = solve_first_parallel(&kb, "queens(6, S)").expect("parses");
+    let sol = report.solution.expect("satisfiable");
+    assert_valid_queens(6, &sol.binding_str("S").expect("bound"));
+}
+
+/// Zebra-style constraint puzzle (scaled down): exercises many-way
+/// joins and negation.
+const PUZZLE: &str = "
+    color(red). color(green). color(blue).
+    owner(ann). owner(bob). owner(cal).
+
+    % Each owner has a distinct color; constraints narrow it to one
+    % assignment.
+    distinct(A, B, C) :- color(A), color(B), color(C),
+                         A \\= B, A \\= C, B \\= C.
+
+    houses(Ann, Bob, Cal) :-
+        distinct(Ann, Bob, Cal),
+        Ann \\= red,          % Ann's house is not red
+        Bob = green,          % Bob's is green
+        \\+ Cal = blue.       % Cal's is not blue
+";
+
+#[test]
+fn constraint_puzzle_has_unique_solution() {
+    let kb = KnowledgeBase::parse(PUZZLE).expect("valid program");
+    let mut solver = Solver::new(&kb);
+    let sols = solver.solve_str("houses(A, B, C)", 10).expect("parses");
+    assert_eq!(sols.len(), 1, "constraints pin a single model");
+    let s = &sols[0];
+    assert_eq!(s.binding_str("A").expect("A"), "blue");
+    assert_eq!(s.binding_str("B").expect("B"), "green");
+    assert_eq!(s.binding_str("C").expect("C"), "red");
+}
+
+/// List utilities: length via accumulators, membership, deletion — the
+/// read-mostly symbolic workload §7 describes.
+const LISTS: &str = "
+    len([], 0).
+    len([_ | T], N) :- len(T, M), N is M + 1.
+
+    append([], L, L).
+    append([H | T], L, [H | R]) :- append(T, L, R).
+
+    delete_all(_, [], []).
+    delete_all(X, [X | T], R) :- !, delete_all(X, T, R).
+    delete_all(X, [H | T], [H | R]) :- delete_all(X, T, R).
+";
+
+#[test]
+fn list_utilities() {
+    let kb = KnowledgeBase::parse(LISTS).expect("valid program");
+    let mut solver = Solver::new(&kb);
+
+    let sols = solver.solve_str("len([a, b, c, d], N)", 1).expect("parses");
+    assert_eq!(sols[0].binding_str("N").expect("N"), "4");
+
+    // delete_all uses cut to commit to the matching-head clause.
+    let sols = solver
+        .solve_str("delete_all(1, [1, 2, 1, 3, 1], R)", 5)
+        .expect("parses");
+    assert_eq!(sols.len(), 1, "cut makes deletion deterministic");
+    assert_eq!(sols[0].binding_str("R").expect("R"), "[2, 3]");
+
+    // Generator mode still works where no cut applies.
+    let sols = solver.solve_str("append(X, Y, [1, 2])", 10).expect("parses");
+    assert_eq!(sols.len(), 3);
+}

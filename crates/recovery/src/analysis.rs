@@ -1,0 +1,252 @@
+//! Analytic reliability and expected-time model for recovery blocks.
+//!
+//! The recovery block's purpose is fault tolerance; the paper's
+//! transformation must preserve it ("we must do more work in order not to
+//! add new failure modes", §5.1.2). This module provides the closed-form
+//! expectations that the simulation experiments are validated against:
+//!
+//! * **Reliability** — the probability the block produces an acceptable
+//!   result. Identical under sequential and concurrent execution when
+//!   synchronization itself is reliable: both fail only if *every*
+//!   alternate fails.
+//! * **Expected completion time** — differs sharply: sequential pays
+//!   failed primaries in series, concurrent pays (roughly) the first
+//!   surviving alternate's time in parallel.
+
+use altx_des::SimDuration;
+
+/// Per-alternate model: probability its acceptance test passes and its
+/// (deterministic, for this model) execution time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AlternateProfile {
+    /// Probability the alternate produces an acceptable result.
+    pub success_probability: f64,
+    /// Execution time when run.
+    pub time: SimDuration,
+}
+
+impl AlternateProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(success_probability: f64, time: SimDuration) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&success_probability),
+            "probability {success_probability} outside [0, 1]"
+        );
+        AlternateProfile {
+            success_probability,
+            time,
+        }
+    }
+}
+
+/// Probability that the block as a whole succeeds: `1 − Π(1 − pᵢ)`.
+/// The same for sequential and concurrent execution — the transformation
+/// adds no failure modes (assuming fault-tolerant synchronization,
+/// §5.1.2).
+///
+/// # Panics
+///
+/// Panics if `alternates` is empty.
+pub fn block_reliability(alternates: &[AlternateProfile]) -> f64 {
+    assert!(!alternates.is_empty(), "a block needs alternates");
+    1.0 - alternates
+        .iter()
+        .map(|a| 1.0 - a.success_probability)
+        .product::<f64>()
+}
+
+/// Expected *sequential* completion time, conditioned on eventual
+/// success or total failure: each failed alternate costs its full time
+/// plus a rollback; the run stops at the first success.
+///
+/// Returns `(expected_time_seconds, reliability)`.
+///
+/// # Panics
+///
+/// Panics if `alternates` is empty.
+pub fn sequential_expectation(
+    alternates: &[AlternateProfile],
+    rollback: SimDuration,
+) -> (f64, f64) {
+    assert!(!alternates.is_empty(), "a block needs alternates");
+    let mut expected = 0.0;
+    let mut p_reach = 1.0; // probability execution reaches alternate i
+    for a in alternates {
+        expected += p_reach * a.time.as_secs_f64();
+        // A failure at this alternate also pays the rollback.
+        expected += p_reach * (1.0 - a.success_probability) * rollback.as_secs_f64();
+        p_reach *= 1.0 - a.success_probability;
+    }
+    (expected, 1.0 - p_reach)
+}
+
+/// Expected *concurrent* completion time: all alternates start together
+/// (after `setup`); the block completes at the earliest success — since
+/// this model's times are deterministic, that is the minimum time among
+/// the (probabilistic) successes. `selection` is charged once at the
+/// end.
+///
+/// Computed exactly by enumerating success subsets when `n ≤ 20`
+/// (`2ⁿ` terms).
+///
+/// Returns `(expected_time_seconds_given_success, reliability)`.
+///
+/// # Panics
+///
+/// Panics if `alternates` is empty or longer than 20.
+pub fn concurrent_expectation(
+    alternates: &[AlternateProfile],
+    setup: SimDuration,
+    selection: SimDuration,
+) -> (f64, f64) {
+    assert!(
+        !alternates.is_empty() && alternates.len() <= 20,
+        "1..=20 alternates supported"
+    );
+    let n = alternates.len();
+    // Sort indices by time: the winner of a subset is its fastest member.
+    let mut by_time: Vec<usize> = (0..n).collect();
+    by_time.sort_by_key(|&i| alternates[i].time);
+
+    // P(winner is alternate i) = P(i succeeds) × Π_{j faster than i}
+    // P(j fails).
+    let mut expected = 0.0;
+    let mut p_success_total = 0.0;
+    let mut p_all_faster_fail = 1.0;
+    for &i in &by_time {
+        let p_win = alternates[i].success_probability * p_all_faster_fail;
+        expected += p_win * alternates[i].time.as_secs_f64();
+        p_success_total += p_win;
+        p_all_faster_fail *= 1.0 - alternates[i].success_probability;
+    }
+    if p_success_total > 0.0 {
+        expected /= p_success_total; // condition on success
+    }
+    (
+        expected + setup.as_secs_f64() + selection.as_secs_f64(),
+        p_success_total,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlternateModel, DistributedRecoveryBlock};
+    use altx_des::SimRng;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn reliability_formula() {
+        let alts = [
+            AlternateProfile::new(0.9, ms(100)),
+            AlternateProfile::new(0.8, ms(200)),
+        ];
+        let r = block_reliability(&alts);
+        assert!((r - (1.0 - 0.1 * 0.2)).abs() < 1e-12);
+        // Sequential and concurrent reliabilities agree with it.
+        let (_, rs) = sequential_expectation(&alts, ms(5));
+        let (_, rc) = concurrent_expectation(&alts, ms(0), ms(0));
+        assert!((rs - r).abs() < 1e-12);
+        assert!((rc - r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_primary_sequential_time_is_its_time() {
+        let alts = [
+            AlternateProfile::new(1.0, ms(100)),
+            AlternateProfile::new(1.0, ms(500)),
+        ];
+        let (t, r) = sequential_expectation(&alts, ms(5));
+        assert!((t - 0.1).abs() < 1e-12);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failing_primary_adds_its_time_and_rollback() {
+        let alts = [
+            AlternateProfile::new(0.0, ms(100)),
+            AlternateProfile::new(1.0, ms(500)),
+        ];
+        let (t, r) = sequential_expectation(&alts, ms(5));
+        assert!((t - (0.1 + 0.005 + 0.5)).abs() < 1e-12);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_winner_distribution() {
+        // Fast alternate succeeds with p=0.5; slow always succeeds.
+        let alts = [
+            AlternateProfile::new(0.5, ms(100)),
+            AlternateProfile::new(1.0, ms(900)),
+        ];
+        let (t, r) = concurrent_expectation(&alts, ms(0), ms(0));
+        assert!((r - 1.0).abs() < 1e-12);
+        // E[T | success] = 0.5×0.1 + 0.5×0.9.
+        assert!((t - 0.5).abs() < 1e-12, "{t}");
+    }
+
+    #[test]
+    fn concurrent_beats_sequential_under_failures() {
+        let alts: Vec<AlternateProfile> = (0..4)
+            .map(|i| AlternateProfile::new(0.5, ms(100 * (i + 1))))
+            .collect();
+        let (seq, _) = sequential_expectation(&alts, ms(5));
+        let (conc, _) = concurrent_expectation(&alts, ms(20), ms(5));
+        assert!(conc < seq, "concurrent {conc} vs sequential {seq}");
+    }
+
+    #[test]
+    fn analytic_sequential_matches_monte_carlo() {
+        // Cross-validate against the DistributedRecoveryBlock simulation
+        // with deterministic times and random pass/fail draws.
+        let p = 0.6;
+        let times = [ms(3_000), ms(5_000)];
+        let profiles = [
+            AlternateProfile::new(p, times[0]),
+            AlternateProfile::new(p, times[1]),
+        ];
+        let (analytic, _) = sequential_expectation(&profiles, ms(5));
+
+        let mut rng = SimRng::seed_from_u64(42);
+        let trials = 20_000;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let alternates: Vec<AlternateModel> = times
+                .iter()
+                .map(|&t| AlternateModel {
+                    compute: t,
+                    passes: rng.chance(p),
+                    crashes: false,
+                    dirty_bytes: 0,
+                })
+                .collect();
+            let block = DistributedRecoveryBlock::new(alternates);
+            let (_, time) = block.sequential();
+            total += time.as_secs_f64();
+        }
+        let simulated = total / trials as f64;
+        assert!(
+            (simulated - analytic).abs() / analytic < 0.02,
+            "analytic {analytic} vs simulated {simulated}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_probability_rejected() {
+        AlternateProfile::new(1.5, ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs alternates")]
+    fn empty_block_rejected() {
+        block_reliability(&[]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Model-level distributed recovery blocks (experiment E7).
+//!
+//! Kim (1984) and Welch (1983) studied distributed execution of recovery
+//! blocks — Welch "used two-alternate recovery blocks on a bus-connected
+//! shared memory multiprocessor" (§5.1's footnote). This module builds
+//! the same experiment shape on the altx substrates: alternates with
+//! injected faults and data-dependent execution times, run
+//!
+//! * **sequentially with rollback** (the classic construct, local), and
+//! * **concurrently across cluster nodes** (the paper's transformation,
+//!   paying rfork + synchronization overhead),
+//!
+//! and compares completion times.
+
+use altx_cluster::{DistributedRace, DistributedRaceReport, NodeId, RemoteAlternate, SyncMode};
+use altx_des::{SimDuration, SimRng};
+
+/// Fault-injection parameters for generated alternates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability an alternate's acceptance test passes.
+    pub accept_probability: f64,
+    /// Probability the alternate's node crashes mid-run (concurrent case;
+    /// sequentially this manifests as a detected failure + rollback).
+    pub crash_probability: f64,
+}
+
+impl FaultSpec {
+    /// No faults at all.
+    pub fn none() -> Self {
+        FaultSpec {
+            accept_probability: 1.0,
+            crash_probability: 0.0,
+        }
+    }
+}
+
+/// One modeled alternate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlternateModel {
+    /// Execution time of the alternate's body.
+    pub compute: SimDuration,
+    /// Whether its acceptance test will pass.
+    pub passes: bool,
+    /// Whether its node crashes (concurrent) / it aborts late
+    /// (sequential).
+    pub crashes: bool,
+    /// Result-state footprint copied back on a win.
+    pub dirty_bytes: u64,
+}
+
+impl AlternateModel {
+    /// Draws an alternate from log-normally distributed compute times
+    /// (`median_ms`, dispersion `sigma`) under `faults`.
+    pub fn sample(rng: &mut SimRng, median_ms: f64, sigma: f64, faults: &FaultSpec) -> Self {
+        let ms = rng.log_normal(median_ms.ln(), sigma);
+        AlternateModel {
+            compute: SimDuration::from_millis_f64(ms.max(0.01)),
+            passes: rng.chance(faults.accept_probability),
+            crashes: rng.chance(faults.crash_probability),
+            dirty_bytes: 4 * 1024,
+        }
+    }
+}
+
+/// A recovery block expressed as cost models, executable both ways.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedRecoveryBlock {
+    /// Process image shipped per remote alternate.
+    pub image_bytes: u64,
+    /// The alternates in primary-first order.
+    pub alternates: Vec<AlternateModel>,
+    /// State-restoration cost charged per sequential rollback.
+    pub rollback_cost: SimDuration,
+    /// Synchronization mode of the concurrent execution.
+    pub sync: SyncMode,
+    /// Consensus seed.
+    pub seed: u64,
+}
+
+impl DistributedRecoveryBlock {
+    /// A block with the paper-calibrated 70 KB image, 5 ms rollbacks, and
+    /// a healthy single sync point.
+    pub fn new(alternates: Vec<AlternateModel>) -> Self {
+        DistributedRecoveryBlock {
+            image_bytes: 70 * 1024,
+            alternates,
+            rollback_cost: SimDuration::from_millis(5),
+            sync: SyncMode::SinglePoint { coordinator_up: true },
+            seed: 23,
+        }
+    }
+
+    /// Uses majority-consensus synchronization (§5.1.2's remedy for the
+    /// single point of failure).
+    pub fn with_majority_sync(mut self, n_voters: usize, crashed_voters: usize) -> Self {
+        self.sync = SyncMode::Majority { n_voters, crashed_voters };
+        self
+    }
+
+    /// Sequential execution with rollback, local to one node: each failed
+    /// alternate costs its full compute time (the failure is detected by
+    /// the acceptance test at the end) plus a rollback.
+    ///
+    /// Returns `(winner index, total time)`; `winner` is `None` when the
+    /// whole block fails (total time then covers every attempt).
+    pub fn sequential(&self) -> (Option<usize>, SimDuration) {
+        let mut total = SimDuration::ZERO;
+        for (i, alt) in self.alternates.iter().enumerate() {
+            total += alt.compute;
+            if alt.passes && !alt.crashes {
+                return (Some(i), total);
+            }
+            total += self.rollback_cost;
+        }
+        (None, total)
+    }
+
+    /// Concurrent distributed execution: alternate *i* on node *i*.
+    pub fn concurrent(&self) -> DistributedRaceReport {
+        let remote: Vec<RemoteAlternate> = self
+            .alternates
+            .iter()
+            .enumerate()
+            .map(|(i, alt)| RemoteAlternate {
+                node: NodeId(i as u32),
+                compute: alt.compute,
+                guard_passes: alt.passes,
+                node_crashes: alt.crashes,
+                dirty_bytes: alt.dirty_bytes,
+            })
+            .collect();
+        let mut race = DistributedRace::new(self.image_bytes, remote).with_sync(self.sync);
+        race.seed = self.seed;
+        race.run()
+    }
+
+    /// Runs both executions and summarizes.
+    pub fn compare(&self) -> ExecutionComparison {
+        let (seq_winner, seq_time) = self.sequential();
+        let conc = self.concurrent();
+        let conc_time = conc.completed_at.map(|t| t - altx_des::SimTime::ZERO);
+        let speedup = match (seq_winner, conc_time) {
+            (Some(_), Some(ct)) => Some(seq_time.as_secs_f64() / ct.as_secs_f64()),
+            _ => None,
+        };
+        ExecutionComparison {
+            sequential_winner: seq_winner,
+            sequential_time: seq_time,
+            concurrent_winner: conc.winner,
+            concurrent_time: conc_time,
+            speedup,
+        }
+    }
+}
+
+/// Side-by-side result of the two execution strategies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionComparison {
+    /// Sequential winner index.
+    pub sequential_winner: Option<usize>,
+    /// Sequential completion time.
+    pub sequential_time: SimDuration,
+    /// Concurrent winner index.
+    pub concurrent_winner: Option<usize>,
+    /// Concurrent completion time (absorption included).
+    pub concurrent_time: Option<SimDuration>,
+    /// `sequential / concurrent`; > 1 means the transformation won.
+    pub speedup: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn alt(compute_ms: u64, passes: bool, crashes: bool) -> AlternateModel {
+        AlternateModel {
+            compute: ms(compute_ms),
+            passes,
+            crashes,
+            dirty_bytes: 4 * 1024,
+        }
+    }
+
+    #[test]
+    fn sequential_takes_primary_when_it_passes() {
+        let block = DistributedRecoveryBlock::new(vec![alt(100, true, false), alt(50, true, false)]);
+        let (winner, time) = block.sequential();
+        assert_eq!(winner, Some(0));
+        assert_eq!(time, ms(100));
+    }
+
+    #[test]
+    fn sequential_pays_for_failed_primaries() {
+        let block = DistributedRecoveryBlock::new(vec![
+            alt(100, false, false),
+            alt(200, false, false),
+            alt(50, true, false),
+        ]);
+        let (winner, time) = block.sequential();
+        assert_eq!(winner, Some(2));
+        // 100 + rollback + 200 + rollback + 50.
+        assert_eq!(time, ms(100) + ms(5) + ms(200) + ms(5) + ms(50));
+    }
+
+    #[test]
+    fn sequential_total_failure() {
+        let block = DistributedRecoveryBlock::new(vec![alt(10, false, false), alt(20, false, false)]);
+        let (winner, time) = block.sequential();
+        assert_eq!(winner, None);
+        assert_eq!(time, ms(10) + ms(5) + ms(20) + ms(5));
+    }
+
+    #[test]
+    fn concurrent_skips_slow_failed_primary() {
+        // Primary fails after a long run; sequentially that's disastrous,
+        // concurrently the secondary wins in parallel.
+        let block = DistributedRecoveryBlock::new(vec![
+            alt(10_000, false, false),
+            alt(1_000, true, false),
+        ]);
+        let cmp = block.compare();
+        assert_eq!(cmp.sequential_winner, Some(1));
+        assert_eq!(cmp.concurrent_winner, Some(1));
+        assert!(
+            cmp.speedup.expect("both succeeded") > 2.0,
+            "speedup {:?}",
+            cmp.speedup
+        );
+    }
+
+    #[test]
+    fn concurrent_overhead_loses_on_fast_healthy_primary() {
+        // A 50 ms healthy primary: sequential is nearly free, concurrent
+        // pays seconds of rfork. The transformation must lose here — the
+        // paper's "minimal implementation overhead" caveat.
+        let block = DistributedRecoveryBlock::new(vec![alt(50, true, false), alt(50, true, false)]);
+        let cmp = block.compare();
+        assert!(cmp.speedup.expect("both succeed") < 1.0, "{:?}", cmp.speedup);
+    }
+
+    #[test]
+    fn node_crash_is_tolerated_concurrently() {
+        let block = DistributedRecoveryBlock::new(vec![
+            alt(100, true, true), // would win but its node dies
+            alt(500, true, false),
+        ]);
+        let report = block.concurrent();
+        assert_eq!(report.winner, Some(1));
+    }
+
+    #[test]
+    fn majority_sync_survives_minority_voter_crash() {
+        let block = DistributedRecoveryBlock::new(vec![alt(100, true, false)])
+            .with_majority_sync(5, 2);
+        assert_eq!(block.concurrent().winner, Some(0));
+    }
+
+    #[test]
+    fn single_point_down_fails_concurrent_but_not_sequential() {
+        let mut block = DistributedRecoveryBlock::new(vec![alt(100, true, false)]);
+        block.sync = SyncMode::SinglePoint { coordinator_up: false };
+        let cmp = block.compare();
+        assert_eq!(cmp.sequential_winner, Some(0), "sequential is local, unaffected");
+        assert_eq!(cmp.concurrent_winner, None);
+        assert_eq!(cmp.speedup, None);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_respects_faults() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let spec = FaultSpec { accept_probability: 0.0, crash_probability: 0.0 };
+        let a = AlternateModel::sample(&mut rng, 100.0, 0.5, &spec);
+        assert!(!a.passes);
+        assert!(!a.crashes);
+        assert!(a.compute > SimDuration::ZERO);
+
+        let mut rng2 = SimRng::seed_from_u64(5);
+        let b = AlternateModel::sample(&mut rng2, 100.0, 0.5, &spec);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_spec_none_passes_everything() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let a = AlternateModel::sample(&mut rng, 10.0, 1.0, &FaultSpec::none());
+            assert!(a.passes && !a.crashes);
+        }
+    }
+}

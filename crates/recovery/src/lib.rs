@@ -1,0 +1,42 @@
+//! # altx-recovery — distributed execution of recovery blocks
+//!
+//! The paper's first application (§5.1). A *recovery block* (Horning et
+//! al. 1974) is software fault tolerance by design diversity: several
+//! independently written versions of a routine plus one boolean
+//! **acceptance test**. Sequentially, the primary runs first; if the
+//! acceptance test fails, the program state is *rolled back* and the next
+//! alternate is tried; if every alternate fails, the block fails.
+//!
+//! The paper's transformation races the alternates concurrently instead:
+//! the acceptance test becomes the guard, copy-on-write memory bounds the
+//! state kept per alternate, and the "fastest-first" selection finds "a
+//! rapid failure-free path through the computation" (§7). Because the
+//! construct exists to *tolerate faults*, the concurrent execution must
+//! not add failure modes — hence full-state copies and majority-consensus
+//! synchronization in the distributed case (§5.1.2).
+//!
+//! This crate provides:
+//!
+//! * [`RecoveryBlock`] — the construct over real closures, with
+//!   [`RecoveryBlock::run_sequential`] (rollback semantics) and
+//!   [`RecoveryBlock::run_concurrent`] (threaded race) executors.
+//! * [`distributed`] — the model-level distributed execution used by
+//!   experiment E7: alternates on cluster nodes with injected faults,
+//!   sequential-with-rollback versus concurrent racing, Kim/Welch style.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod block;
+pub mod distributed;
+pub mod simulated;
+
+pub use analysis::{
+    block_reliability, concurrent_expectation, sequential_expectation, AlternateProfile,
+};
+pub use block::{RecoveryBlock, RecoveryOutcome};
+pub use distributed::{
+    AlternateModel, DistributedRecoveryBlock, ExecutionComparison, FaultSpec,
+};
+pub use simulated::{run_simulated, SimAlternate, SimRecoveryResult};

@@ -1,0 +1,214 @@
+//! Recovery blocks on the simulated kernel.
+//!
+//! §5.1.1's reduction, executed literally: "the computation can be viewed
+//! as part of the guard, with the body consisting solely of updates to
+//! external variables." Each alternate becomes a kernel program that does
+//! its work and then writes a *result marker* into its (copy-on-write)
+//! state; the acceptance test becomes a [`GuardSpec::MemByteEquals`]
+//! checking that marker — evaluated in the child at synchronization time,
+//! like any other guard.
+//!
+//! This gives recovery blocks the full §3.2 machinery — calibrated fork
+//! costs, sibling elimination, timeouts — and lets experiments run them
+//! on the 1989 machine profiles.
+
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, BlockOutcome, GuardSpec, Kernel, KernelConfig, Op, Program,
+    RunReport,
+};
+use altx_pager::MachineProfile;
+
+/// Byte address where alternates deposit their acceptance marker.
+const MARKER_ADDR: usize = 0;
+/// Marker value meaning "my result passed my self-check".
+const ACCEPTED: u8 = 0xAC;
+
+/// One alternate of a simulated recovery block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimAlternate {
+    /// The alternate's computation time.
+    pub compute: SimDuration,
+    /// Whether the alternate's result will pass the acceptance test.
+    pub acceptable: bool,
+    /// Pages of state the alternate updates (its COW footprint).
+    pub dirty_pages: usize,
+}
+
+impl SimAlternate {
+    /// A healthy alternate.
+    pub fn ok(compute: SimDuration) -> Self {
+        SimAlternate {
+            compute,
+            acceptable: true,
+            dirty_pages: 2,
+        }
+    }
+
+    /// A faulty alternate (fails its acceptance test).
+    pub fn faulty(compute: SimDuration) -> Self {
+        SimAlternate {
+            compute,
+            acceptable: false,
+            dirty_pages: 2,
+        }
+    }
+
+    fn to_alternative(&self) -> Alternative {
+        let mut ops = vec![Op::Compute(self.compute)];
+        if self.dirty_pages > 0 {
+            // State updates; start at page 1 so the marker page is
+            // page 0.
+            ops.push(Op::TouchPages { first: 1, count: self.dirty_pages });
+        }
+        // "The body consisting solely of updates to external variables":
+        // deposit the marker the shared acceptance test will inspect.
+        ops.push(Op::Write {
+            addr: MARKER_ADDR,
+            data: vec![if self.acceptable { ACCEPTED } else { 0x00 }],
+        });
+        Alternative::new(
+            GuardSpec::MemByteEquals { addr: MARKER_ADDR, expected: ACCEPTED },
+            Program::new(ops),
+        )
+    }
+}
+
+/// Result of one simulated recovery-block execution.
+#[derive(Debug, Clone)]
+pub struct SimRecoveryResult {
+    /// The parent-side block outcome.
+    pub outcome: BlockOutcome,
+    /// The full kernel report.
+    pub report: RunReport,
+}
+
+impl SimRecoveryResult {
+    /// Index of the accepted alternate.
+    pub fn winner(&self) -> Option<usize> {
+        self.outcome.winner
+    }
+
+    /// Virtual time from block start to parent resume.
+    pub fn elapsed(&self) -> SimDuration {
+        self.outcome.elapsed()
+    }
+}
+
+/// Runs a recovery block's alternates concurrently on the simulated
+/// kernel under `profile`, with an `alt_wait` timeout.
+///
+/// # Panics
+///
+/// Panics if `alternates` is empty.
+pub fn run_simulated(
+    alternates: &[SimAlternate],
+    profile: MachineProfile,
+    timeout: SimDuration,
+) -> SimRecoveryResult {
+    assert!(!alternates.is_empty(), "a recovery block needs alternates");
+    let spec = AltBlockSpec::new(alternates.iter().map(SimAlternate::to_alternative).collect())
+        .with_timeout(timeout);
+    let mut kernel = Kernel::new(KernelConfig {
+        profile: profile.clone(),
+        ..KernelConfig::default()
+    });
+    // The program image is resident (non-zero), so alternates' state
+    // updates trigger genuine COW copies, as §5.1.2's analysis assumes.
+    let image =
+        altx_pager::AddressSpace::from_bytes(&vec![0x11; 320 * 1024], profile.page_size());
+    let root = kernel.spawn_with_space(Program::new(vec![Op::AltBlock(spec)]), image);
+    let report = kernel.run();
+    let outcome = report.block_outcomes(root)[0].clone();
+    SimRecoveryResult { outcome, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn hour() -> SimDuration {
+        SimDuration::from_secs(3600)
+    }
+
+    #[test]
+    fn fastest_acceptable_alternate_wins() {
+        let result = run_simulated(
+            &[
+                SimAlternate::ok(ms(120)),
+                SimAlternate::ok(ms(40)),
+                SimAlternate::ok(ms(80)),
+            ],
+            MachineProfile::hp_9000_350(),
+            hour(),
+        );
+        assert_eq!(result.winner(), Some(1));
+    }
+
+    #[test]
+    fn acceptance_failures_fall_through() {
+        // The fast alternates produce unacceptable results; the guard —
+        // evaluated against each child's own memory — rejects them.
+        let result = run_simulated(
+            &[
+                SimAlternate::faulty(ms(10)),
+                SimAlternate::faulty(ms(20)),
+                SimAlternate::ok(ms(300)),
+            ],
+            MachineProfile::hp_9000_350(),
+            hour(),
+        );
+        assert_eq!(result.winner(), Some(2));
+        assert!(!result.outcome.failed);
+    }
+
+    #[test]
+    fn all_faulty_fails_the_block() {
+        let result = run_simulated(
+            &[SimAlternate::faulty(ms(10)), SimAlternate::faulty(ms(20))],
+            MachineProfile::hp_9000_350(),
+            hour(),
+        );
+        assert!(result.outcome.failed);
+        assert!(!result.outcome.timed_out);
+    }
+
+    #[test]
+    fn timeout_bounds_a_runaway_block() {
+        let result = run_simulated(
+            &[SimAlternate::ok(SimDuration::from_secs(100))],
+            MachineProfile::hp_9000_350(),
+            ms(50),
+        );
+        assert!(result.outcome.failed && result.outcome.timed_out);
+        assert!(result.elapsed() < ms(100));
+    }
+
+    #[test]
+    fn machine_profile_scales_cost_not_outcome() {
+        let alts = [SimAlternate::ok(ms(50)), SimAlternate::ok(ms(90))];
+        let hp = run_simulated(&alts, MachineProfile::hp_9000_350(), hour());
+        let att = run_simulated(&alts, MachineProfile::att_3b2_310(), hour());
+        assert_eq!(hp.winner(), att.winner());
+        assert!(att.elapsed() > hp.elapsed(), "the 3B2 pays more overhead");
+    }
+
+    #[test]
+    fn dirty_footprint_charges_cow_copies() {
+        let light = run_simulated(
+            &[SimAlternate { compute: ms(50), acceptable: true, dirty_pages: 1 }],
+            MachineProfile::att_3b2_310(),
+            hour(),
+        );
+        let heavy = run_simulated(
+            &[SimAlternate { compute: ms(50), acceptable: true, dirty_pages: 120 }],
+            MachineProfile::att_3b2_310(),
+            hour(),
+        );
+        assert!(heavy.elapsed() > light.elapsed() + ms(300), "120 pages at ~3 ms each");
+    }
+}

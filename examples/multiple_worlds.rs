@@ -1,0 +1,122 @@
+//! Multiple worlds: predicated IPC under speculation (§3.4.2).
+//!
+//! "An idea from science fiction, inspired by DeWitt's multiple worlds
+//! notion, is appropriate here."
+//!
+//! A logging service receives messages from ordinary and *speculative*
+//! processes. When a speculative alternate — which may yet be eliminated
+//! — sends it a message, the service cannot simply accept it: if the
+//! alternate loses its race, the message must never have been seen. The
+//! kernel therefore **splits the receiver into two worlds**: one that
+//! accepted the message (betting the sender wins) and one that rejected
+//! it (betting the sender loses). When the race resolves, the
+//! wrong-world copy is eliminated and no inconsistency was ever
+//! observable.
+//!
+//! The example also shows the source restriction: a speculative process
+//! blocks on source (non-idempotent device) access until its fate is
+//! known.
+//!
+//! Run: `cargo run --release --example multiple_worlds`
+
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program, Target, TraceEvent,
+};
+
+fn main() {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    kernel.add_source(0, vec![b"operator-input".to_vec()]);
+
+    // The logging service: receive one message, store it, then (as an
+    // unconditional process) read from the operator console — a source.
+    let logger = Program::new(vec![
+        Op::RegisterName("logger".into()),
+        Op::Recv { reg: 0 },
+        Op::WriteFromRegister { reg: 0, addr: 0 },
+        Op::SourcePull { source_id: 0, index: 0, reg: 1 },
+        Op::WriteFromRegister { reg: 1, addr: 64 },
+    ]);
+
+    // A speculative block: the chatty alternate logs eagerly (before its
+    // fate is known!) but computes slowly; the quiet alternate computes
+    // fast and wins.
+    let chatty = Program::new(vec![
+        Op::Send { to: Target::Name("logger".into()), payload: b"chatty-was-here".to_vec() },
+        Op::Compute(SimDuration::from_millis(300)),
+        Op::Send { to: Target::Name("logger".into()), payload: b"chatty-finished".to_vec() },
+    ]);
+    let quiet = Program::new(vec![
+        Op::Compute(SimDuration::from_millis(40)),
+        Op::Send { to: Target::Name("logger".into()), payload: b"quiet-won-race!".to_vec() },
+    ]);
+
+    let logger_pid = kernel.spawn(logger, 4 * 1024);
+    let racer = kernel.spawn(
+        Program::new(vec![
+            Op::Compute(SimDuration::from_millis(5)), // let the logger register
+            Op::AltBlock(AltBlockSpec::new(vec![
+                Alternative::new(GuardSpec::Const(true), chatty),
+                Alternative::new(GuardSpec::Const(true), quiet),
+            ])),
+        ]),
+        4 * 1024,
+    );
+
+    let report = kernel.run();
+
+    println!("trace of the speculative conversation:\n");
+    for event in report.trace() {
+        match event {
+            TraceEvent::WorldSplit { .. }
+            | TraceEvent::MessageAccepted { .. }
+            | TraceEvent::MessageIgnored { .. }
+            | TraceEvent::Synchronized { .. }
+            | TraceEvent::Eliminated { .. }
+            | TraceEvent::Spawned { .. } => println!("  {event}"),
+            _ => {}
+        }
+    }
+
+    let outcome = &report.block_outcomes(racer)[0];
+    println!("\nrace winner: alternative {} (quiet)", outcome.winner.expect("won") + 1);
+    println!("worlds split: {}", report.stats.world_splits);
+
+    // Which logger world survived? Collect every world descended from the
+    // logger through splits; exactly one of them runs to completion, and
+    // it holds the only consistent history: the chatty message must NOT
+    // be visible anywhere, the quiet one must be logged.
+    let mut worlds = std::collections::BTreeSet::from([logger_pid]);
+    for event in report.trace() {
+        if let TraceEvent::WorldSplit { accepting, rejecting, .. } = event {
+            if worlds.contains(accepting) {
+                worlds.insert(*rejecting);
+            }
+        }
+    }
+    let survivor = worlds
+        .iter()
+        .copied()
+        .find(|&pid| report.exit(pid).map(|s| s.is_success()).unwrap_or(false))
+        .expect("exactly one logger world completes");
+    println!("logger worlds: {worlds:?}, survivor: {survivor}");
+
+    let mut space = kernel
+        .space(survivor)
+        .expect("a logger world survives")
+        .clone();
+    let logged = space.read_vec(0, 15);
+    let console = space.read_vec(64, 14);
+    println!(
+        "surviving logger state: logged={:?} console={:?}",
+        String::from_utf8_lossy(&logged),
+        String::from_utf8_lossy(&console)
+    );
+
+    assert_eq!(&logged, b"quiet-won-race!", "only the winner's message is real");
+    assert_eq!(&console, b"operator-input", "source read proceeded once unconditional");
+    println!(
+        "\nno observer can tell the chatty alternate ever spoke — its world was\n\
+         eliminated with it. ✓"
+    );
+}

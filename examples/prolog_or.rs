@@ -1,0 +1,108 @@
+//! OR-parallel Prolog (§5.2): racing clause alternatives.
+//!
+//! A route-planning knowledge base where three strategies ("rules") can
+//! answer the same query with wildly data-dependent costs: "the
+//! computation is data-driven, and thus the execution time and control
+//! flow can vary greatly with the input" (§7).
+//!
+//! The example shows: sequential SLD resolution, branch profiling,
+//! the threaded OR-parallel solver, and the calibrated simulated race
+//! with its speedup over sequential DFS.
+//!
+//! Run with: `cargo run --release --example prolog_or`
+
+use altx_prolog::{
+    profile_branches, solve_first_parallel, KnowledgeBase, OrSimConfig, Solver,
+};
+
+const PROGRAM: &str = "
+    % A chain graph plus a shortcut; three routing rules of wildly
+    % different cost. The slow rules walk a long countdown before their
+    % final check fails — deep, data-driven work, unknowable in advance.
+    edge(0, 1). edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).
+    edge(5, 6). edge(6, 7). edge(7, 8). edge(8, 9). edge(9, 10).
+    shortcut(0, 10).
+
+    reach(X, X).
+    reach(X, Z) :- edge(X, Y), reach(Y, Z).
+
+    countdown(0).
+    countdown(N) :- N > 0, M is N - 1, countdown(M).
+
+    % route/2 has three alternative clauses — the OR choice point.
+    route(X, Y) :- reach(X, Y), countdown(30000), expensive_check(X, Y).
+    route(X, Y) :- reach(X, Y), countdown(60000), expensive_check(X, Y).
+    route(X, Y) :- shortcut(X, Y).
+
+    % expensive_check never holds: the first two rules burn work and fail.
+    expensive_check(no, way).
+
+    % Arithmetic workload for the sequential demo.
+    fib(0, 0). fib(1, 1).
+    fib(N, F) :- N > 1, A is N - 1, B is N - 2,
+                 fib(A, FA), fib(B, FB), F is FA + FB.
+";
+
+fn main() {
+    let kb = KnowledgeBase::parse(PROGRAM).expect("valid program");
+
+    // Plain sequential resolution.
+    let mut solver = Solver::new(&kb);
+    let sols = solver.solve_str("fib(17, F)", 1).expect("valid query");
+    println!(
+        "sequential: fib(17) = {} in {} resolution steps\n",
+        sols[0].binding_str("F").expect("bound"),
+        solver.steps()
+    );
+
+    // Profile the OR branches of route(0, 10).
+    let query = "route(0, 10)";
+    let profiles = profile_branches(&kb, query).expect("valid query");
+    println!("branch profiles for `{query}`:");
+    for p in &profiles {
+        println!(
+            "  clause {}: {:>8} steps, {}",
+            p.clause_index + 1,
+            p.steps,
+            if p.succeeded { "SUCCEEDS" } else { "fails" }
+        );
+    }
+
+    // Sequential DFS pays the failing branches first; the threaded
+    // OR-parallel solver races them.
+    let mut solver = Solver::new(&kb);
+    let seq = solver.solve_str(query, 1).expect("valid");
+    println!(
+        "\nsequential first solution: {} ({} steps — failed branches paid first)",
+        if seq.is_empty() { "no" } else { "yes" },
+        solver.steps()
+    );
+
+    let report = solve_first_parallel(&kb, query).expect("valid");
+    println!(
+        "threaded OR-parallel:      {} (winner branch {}, {} raced, {:?})",
+        if report.solution.is_some() { "yes" } else { "no" },
+        report.winner_branch.map(|b| b + 1).unwrap_or(0),
+        report.branches,
+        report.wall
+    );
+
+    // The calibrated simulation: what would this look like on the 1989
+    // machines, and does racing pay?
+    let cmp = altx_prolog::simulate_race(&profiles, &OrSimConfig::default());
+    println!(
+        "\nsimulated on the calibrated kernel:\n  sequential DFS : {}\n  OR-parallel    : {}\n  speedup        : {:.2}x",
+        cmp.sequential, cmp.parallel, cmp.speedup
+    );
+
+    // Granularity (§5.2): the same race on a *tiny* query loses to the
+    // per-process overhead — 'how aggressively available parallelism is
+    // exploited is a function of the overhead associated with maintaining
+    // a process'.
+    let tiny = profile_branches(&kb, "reach(0, 3)").expect("valid");
+    let cmp_tiny = altx_prolog::simulate_race(&tiny, &OrSimConfig::default());
+    println!(
+        "\ngranularity check on the tiny query `reach(0, 3)`:\n  sequential DFS : {}\n  OR-parallel    : {}\n  speedup        : {:.2}x  (racing does not pay below the fork overhead)",
+        cmp_tiny.sequential, cmp_tiny.parallel, cmp_tiny.speedup
+    );
+}

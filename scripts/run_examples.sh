@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds and runs every repository example; each asserts its own
+# invariants, so this doubles as an end-to-end smoke suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+examples=(quickstart query_race recovery_blocks prolog_or multiple_worlds deadline_race)
+cargo build --release --examples
+
+for ex in "${examples[@]}"; do
+  echo
+  echo "================================================================"
+  echo "  example: $ex"
+  echo "================================================================"
+  "./target/release/examples/$ex"
+done
+
+echo
+echo "all ${#examples[@]} examples ran their assertions clean."

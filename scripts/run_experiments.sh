@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs every paper-reproduction experiment (E1-E13) in sequence.
+# Each binary asserts its shape claims; the script fails fast on any
+# reproduction regression. See EXPERIMENTS.md for expected output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p altx-bench --bins
+
+experiments=(
+  exp_fig2_trace        # E1  Figures 1 & 2
+  exp_table1_pi         # E2  §4.2 PI table
+  exp_threaded_pi       # E2b the same table on real host threads
+  exp_fork_overhead     # E3  §4.4 fork latency
+  exp_page_copy_sweep   # E4  §4.4 copy rates + write fraction
+  exp_rfork             # E5  §4.4 remote fork
+  exp_speedup_vs_variance # E6 dispersion & crossover
+  exp_recovery_blocks   # E7  §5.1 distributed recovery blocks
+  exp_prolog_or         # E8  §5.2 OR-parallel Prolog
+  exp_sibling_elim      # E9  §3.2.1 elimination policies
+  exp_consensus         # E10 majority consensus
+  exp_replication       # E11 §6 replication extension
+  exp_ablation_cow      # E12 COW vs eager ablation
+  exp_schemes           # E13 §4.2 scheme comparison
+  exp_ablation_predicates # E14 §3.3 predication-design ablation
+  exp_timeout_choice    # E15 §3.2 alt_wait timeout choice
+)
+
+for exp in "${experiments[@]}"; do
+  echo
+  echo "================================================================"
+  echo "  $exp"
+  echo "================================================================"
+  "./target/release/$exp"
+done
+
+echo
+echo "all ${#experiments[@]} experiments reproduced their paper shapes."

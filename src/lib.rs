@@ -1,0 +1,21 @@
+//! # altx-repro — umbrella crate
+//!
+//! Re-exports every crate in the workspace reproduction of Smith &
+//! Maguire, *Transparent Concurrent Execution of Mutually Exclusive
+//! Alternatives* (ICDCS 1989). The root package exists so that the
+//! repository-level `examples/` and `tests/` can exercise the full public
+//! API surface from a single dependency.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the per-table/figure reproduction record.
+
+pub use altx;
+pub use altx_cluster as cluster;
+pub use altx_consensus as consensus;
+pub use altx_des as des;
+pub use altx_ipc as ipc;
+pub use altx_kernel as kernel;
+pub use altx_pager as pager;
+pub use altx_predicates as predicates;
+pub use altx_prolog as prolog;
+pub use altx_recovery as recovery;

@@ -1,0 +1,122 @@
+//! End-to-end calibration tests: the paper's §4.2/§4.4 numbers must be
+//! reproducible through the public API, not just the individual cost
+//! models. These are the acceptance criteria for experiments E2–E5.
+
+use altx::engine::sim::{race, SimRaceSpec};
+use altx::perf::{paper_table, performance_improvement, Overhead};
+use altx::MachineProfile;
+use altx_cluster::RemoteForkModel;
+use altx_des::SimDuration;
+use altx_kernel::{Kernel, KernelConfig, Op, Program};
+
+#[test]
+fn e2_paper_pi_table_analytic() {
+    // §4.2: all six rows to printed precision.
+    let expected = [1.33, 7.0, 0.8, 0.33, 1.0, 1.9];
+    for (row, want) in paper_table().iter().zip(expected) {
+        let got = performance_improvement(&row.times, &Overhead::total_of(row.overhead));
+        assert!((got - want).abs() < 0.01, "row {}: {got} vs {want}", row.row);
+    }
+}
+
+#[test]
+fn e2_simulated_pi_tracks_analytic_ordering() {
+    // The simulated kernel charges *real* modelled overhead rather than
+    // the abstract τ(overhead)=5, so absolute PI differs — but the
+    // qualitative structure of the table must hold: which rows win, and
+    // their relative order.
+    let measured: Vec<f64> = paper_table()
+        .iter()
+        .map(|row| {
+            let times: Vec<u64> = row.times.iter().map(|&t| t as u64).collect();
+            let spec = SimRaceSpec::from_millis(&times).with_dirty_pages(2);
+            altx::engine::sim::measured_pi(&spec)
+        })
+        .collect();
+    // Rows 1, 2, 6 won on paper; rows 3, 4 lost; row 5 broke even.
+    assert!(measured[1] > measured[0], "big dispersion beats small: {measured:?}");
+    assert!(measured[3] < 1.0, "tiny times lose to overhead: {measured:?}");
+    assert!(measured[5] > 1.0, "row 6 wins: {measured:?}");
+    assert!(measured[2] < 1.0, "identical times lose: {measured:?}");
+}
+
+#[test]
+fn e3_fork_latency_via_simulated_kernel() {
+    // §4.4: fork of a 320K address space with no updates costs ≈31 ms on
+    // the 3B2 and ≈12 ms on the HP. We measure through a real kernel run:
+    // an alt block with one no-op alternative charges exactly one fork.
+    for (profile, expect_ms) in [
+        (MachineProfile::att_3b2_310(), 31.0),
+        (MachineProfile::hp_9000_350(), 12.0),
+    ] {
+        let name = profile.name();
+        let mut kernel = Kernel::new(KernelConfig {
+            profile,
+            ..KernelConfig::default()
+        });
+        let spec = altx_kernel::AltBlockSpec::new(vec![altx_kernel::Alternative::new(
+            altx_kernel::GuardSpec::Const(true),
+            Program::empty(),
+        )]);
+        let root = kernel.spawn(Program::new(vec![Op::AltBlock(spec)]), 320 * 1024);
+        let report = kernel.run();
+        let setup = report.block_outcomes(root)[0].setup_cost;
+        let fork_ms = setup.as_millis_f64();
+        // setup = syscall + one fork; the syscall is ≤ 0.2 ms.
+        assert!(
+            (fork_ms - expect_ms).abs() < 0.5,
+            "{name}: fork setup {fork_ms} ms, paper {expect_ms} ms"
+        );
+    }
+}
+
+#[test]
+fn e4_page_copy_rates_through_cow_faults() {
+    // §4.4: 326 2K-pages/s (3B2) and 1034 4K-pages/s (HP). Measure by
+    // timing an alternative that dirties many inherited pages.
+    for (profile, pages_per_sec) in [
+        (MachineProfile::att_3b2_310(), 326.0),
+        (MachineProfile::hp_9000_350(), 1034.0),
+    ] {
+        let name = profile.name();
+        // 80 pages exist on both machines' 320 KB spaces (160 × 2K, 80 × 4K).
+        let npages = 80usize;
+        let spec = SimRaceSpec::new(vec![SimDuration::ZERO])
+            .with_profile(profile.clone())
+            .with_dirty_pages(npages);
+        let result = race(&spec);
+        let o = &result.outcome;
+        // Copy time = decided - waiting - (sync costs); bound it instead
+        // of solving exactly: it must be within 15% of npages / rate
+        // (fault overhead inflates it slightly above the pure copy rate).
+        let copying = (o.decided_at - o.waiting_at).as_secs_f64();
+        let pure = npages as f64 / pages_per_sec;
+        assert!(
+            copying >= pure && copying < pure * 1.25,
+            "{name}: measured {copying}s vs pure-copy {pure}s"
+        );
+    }
+}
+
+#[test]
+fn e5_rfork_service_and_observed_times() {
+    // §4.4: 70K process → slightly under 1 s service, ≈1.3 s observed.
+    let model = RemoteForkModel::calibrated_1989();
+    let service = model.service_time(70 * 1024).as_secs_f64();
+    let observed = model.observed_time(70 * 1024).as_secs_f64();
+    assert!((0.9..1.0).contains(&service), "service {service}");
+    assert!((1.2..1.4).contains(&observed), "observed {observed}");
+}
+
+#[test]
+fn overheads_scale_down_on_frictionless_hardware() {
+    // Sanity: with zero-cost hardware, the measured PI approaches the
+    // analytic PI with zero overhead (mean / best).
+    let times = [100u64, 200, 300];
+    let spec = SimRaceSpec::from_millis(&times)
+        .with_profile(MachineProfile::frictionless())
+        .with_dirty_pages(0);
+    let pi = altx::engine::sim::measured_pi(&spec);
+    let ideal = performance_improvement(&[100.0, 200.0, 300.0], &Overhead::default());
+    assert!((pi - ideal).abs() / ideal < 0.01, "pi {pi} vs ideal {ideal}");
+}

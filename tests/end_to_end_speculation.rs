@@ -1,0 +1,278 @@
+//! Integration tests across the full speculative-execution stack:
+//! kernel + pager + predicates + IPC, exercised together.
+
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, EliminationPolicy, ExitStatus, GuardSpec, Kernel, KernelConfig, Op,
+    Program, Target, TraceEvent,
+};
+use altx_pager::MachineProfile;
+
+fn kernel() -> Kernel {
+    Kernel::new(KernelConfig::default())
+}
+
+#[test]
+fn winner_state_flows_through_nested_blocks_and_messages() {
+    // A pipeline: a consumer process waits for a message; a producer runs
+    // a nested alternative block whose winner computes a value, writes it
+    // to memory, and (after winning) the parent sends it onward.
+    let mut k = kernel();
+
+    let consumer = Program::new(vec![
+        Op::RegisterName("consumer".into()),
+        Op::Recv { reg: 0 },
+        Op::WriteFromRegister { reg: 0, addr: 100 },
+    ]);
+
+    let inner = AltBlockSpec::new(vec![
+        Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(40)),
+                Op::Write { addr: 0, data: b"slow-inner".to_vec() },
+            ]),
+        ),
+        Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![
+                Op::Compute(SimDuration::from_millis(5)),
+                Op::Write { addr: 0, data: b"fast-inner".to_vec() },
+            ]),
+        ),
+    ]);
+
+    let producer = Program::new(vec![
+        Op::Compute(SimDuration::from_millis(1)),
+        Op::AltBlock(AltBlockSpec::new(vec![Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![Op::AltBlock(inner), Op::Nop]),
+        )])),
+        // After both blocks resolve, the parent is unconditional again
+        // and may publish the result.
+        Op::Read { addr: 0, len: 10 },
+        Op::Send { to: Target::Name("consumer".into()), payload: b"fast-inner".to_vec() },
+    ]);
+
+    let consumer_pid = k.spawn(consumer, 4 * 1024);
+    let producer_pid = k.spawn(producer, 4 * 1024);
+    let report = k.run();
+
+    assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
+    assert!(report.exit(producer_pid).expect("producer exits").is_success());
+    assert!(report.exit(consumer_pid).expect("consumer exits").is_success());
+
+    // The producer's own memory holds the inner winner's state.
+    let mut producer_space = k.space(producer_pid).expect("space").clone();
+    assert_eq!(&producer_space.read_vec(0, 10), b"fast-inner");
+    // And the consumer received the published copy.
+    let mut consumer_space = k.space(consumer_pid).expect("space").clone();
+    assert_eq!(&consumer_space.read_vec(100, 10), b"fast-inner");
+}
+
+#[test]
+fn speculative_sender_worlds_resolve_to_a_single_consistent_receiver() {
+    // Two alternates race; the one that will LOSE sends a message first.
+    // The receiver splits into two worlds; when the race resolves, only
+    // the world consistent with the actual winner survives.
+    let mut k = kernel();
+
+    let receiver = Program::new(vec![
+        Op::RegisterName("rx".into()),
+        Op::Recv { reg: 0 },
+        Op::WriteFromRegister { reg: 0, addr: 0 },
+        Op::Compute(SimDuration::from_millis(500)),
+    ]);
+
+    let losing_sender = Program::new(vec![
+        // Sends early, then loses the race (finishes later than sibling).
+        Op::Send { to: Target::Name("rx".into()), payload: b"from-loser".to_vec() },
+        Op::Compute(SimDuration::from_millis(300)),
+    ]);
+    let winning_quiet = Program::new(vec![Op::Compute(SimDuration::from_millis(30))]);
+
+    let rx = k.spawn(receiver, 4 * 1024);
+    let root = k.spawn(
+        Program::new(vec![
+            Op::Compute(SimDuration::from_millis(5)),
+            Op::AltBlock(AltBlockSpec::new(vec![
+                Alternative::new(GuardSpec::Const(true), losing_sender),
+                Alternative::new(GuardSpec::Const(true), winning_quiet),
+            ])),
+        ]),
+        4 * 1024,
+    );
+    let report = k.run();
+
+    assert_eq!(report.block_outcomes(root)[0].winner, Some(1), "quiet alternate wins");
+    assert_eq!(report.stats.world_splits, 1);
+
+    // The accepting world (which consumed the loser's message) must be
+    // eliminated; the rejecting world survives and keeps waiting — it
+    // never gets a message, so it is reported blocked rather than
+    // completing with leaked speculative state.
+    let split_pids: Vec<_> = report
+        .trace()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::WorldSplit { accepting, rejecting, .. } => Some((*accepting, *rejecting)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(split_pids.len(), 1);
+    let (accepting, rejecting) = split_pids[0];
+    assert_eq!(accepting, rx);
+    assert!(matches!(
+        report.exit(accepting),
+        Some(ExitStatus::Eliminated { .. })
+    ));
+    // The rejecting world took over the wait; it is deadlocked (no sender
+    // remains), which is the correct containment outcome: no observable
+    // effect of the loser's message anywhere.
+    assert!(report.deadlocked.contains(&rejecting));
+    let mut space = k.space(rejecting).expect("surviving world").clone();
+    assert_eq!(space.read_vec(0, 10), vec![0; 10], "loser's payload never leaked");
+}
+
+#[test]
+fn at_most_one_synchronization_per_block_under_heavy_contention() {
+    // 12 equal alternatives finishing simultaneously: exactly one
+    // synchronizes, the rest are too-late or eliminated.
+    let mut k = kernel();
+    let alts: Vec<Alternative> = (0..12)
+        .map(|_| Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)))
+        .collect();
+    let root = k.spawn(Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]), 8 * 1024);
+    let report = k.run();
+
+    let syncs = report
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Synchronized { .. }))
+        .count();
+    assert_eq!(syncs, 1);
+    let terminated = report
+        .trace()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Eliminated { .. } | TraceEvent::TooLate { .. }))
+        .count();
+    assert_eq!(terminated, 11);
+    assert!(report.exit(root).expect("root exits").is_success());
+}
+
+#[test]
+fn guard_in_parent_and_child_agree() {
+    // With pre-spawn checking, a memory guard that is false in the parent
+    // never spawns; the same guard evaluated in the child (no pre-check)
+    // aborts at sync time. Either way the block outcome is identical.
+    let run = |prespawn: bool| {
+        let mut k = kernel();
+        let mut spec = AltBlockSpec::new(vec![
+            Alternative::new(
+                GuardSpec::MemByteEquals { addr: 0, expected: 9 },
+                Program::compute_ms(1),
+            ),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(5)),
+        ]);
+        if prespawn {
+            spec = spec.with_prespawn_guard_check();
+        }
+        let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
+        let report = k.run();
+        (
+            report.block_outcomes(root)[0].winner,
+            report.stats.forks,
+        )
+    };
+    let (winner_checked, forks_checked) = run(true);
+    let (winner_child, forks_child) = run(false);
+    assert_eq!(winner_checked, Some(1));
+    assert_eq!(winner_child, Some(1));
+    assert!(forks_checked < forks_child, "pre-spawn check saves a fork");
+}
+
+#[test]
+fn elimination_policies_preserve_semantics() {
+    for policy in [EliminationPolicy::Synchronous, EliminationPolicy::Asynchronous] {
+        let mut k = kernel();
+        let spec = AltBlockSpec::new(vec![
+            Alternative::new(
+                GuardSpec::Const(true),
+                Program::new(vec![
+                    Op::Compute(SimDuration::from_millis(5)),
+                    Op::Write { addr: 0, data: vec![1] },
+                ]),
+            ),
+            Alternative::new(
+                GuardSpec::Const(true),
+                Program::new(vec![
+                    Op::Compute(SimDuration::from_millis(50)),
+                    Op::Write { addr: 0, data: vec![2] },
+                ]),
+            ),
+        ])
+        .with_elimination(policy);
+        let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
+        let report = k.run();
+        assert_eq!(report.block_outcomes(root)[0].winner, Some(0), "{policy:?}");
+        let mut space = k.space(root).expect("space").clone();
+        assert_eq!(space.read_vec(0, 1), vec![1], "{policy:?}");
+    }
+}
+
+#[test]
+fn profiles_change_costs_but_never_outcomes() {
+    let run = |profile: MachineProfile| {
+        let mut k = Kernel::new(KernelConfig {
+            profile,
+            ..KernelConfig::default()
+        });
+        let spec = AltBlockSpec::new(vec![
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(50)),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)),
+        ]);
+        let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 320 * 1024);
+        let report = k.run();
+        let o = report.block_outcomes(root)[0].clone();
+        (o.winner, o.elapsed())
+    };
+    let (w_att, t_att) = run(MachineProfile::att_3b2_310());
+    let (w_hp, t_hp) = run(MachineProfile::hp_9000_350());
+    let (w_free, t_free) = run(MachineProfile::frictionless());
+    assert_eq!(w_att, Some(1));
+    assert_eq!(w_hp, Some(1));
+    assert_eq!(w_free, Some(1));
+    // Costs order as the hardware does: 3B2 slowest, frictionless fastest.
+    assert!(t_att > t_hp, "3B2 {t_att} vs HP {t_hp}");
+    assert!(t_hp > t_free, "HP {t_hp} vs frictionless {t_free}");
+}
+
+#[test]
+fn deeply_nested_blocks_resolve_inside_out() {
+    // Three levels of nesting; each level's fast alternative wins.
+    let level0 = AltBlockSpec::new(vec![
+        Alternative::new(GuardSpec::Const(true), Program::compute_ms(2)),
+        Alternative::new(GuardSpec::Const(true), Program::compute_ms(30)),
+    ]);
+    let level1 = AltBlockSpec::new(vec![
+        Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![Op::AltBlock(level0)]),
+        ),
+        Alternative::new(GuardSpec::Const(true), Program::compute_ms(200)),
+    ]);
+    let level2 = AltBlockSpec::new(vec![
+        Alternative::new(
+            GuardSpec::Const(true),
+            Program::new(vec![Op::AltBlock(level1)]),
+        ),
+        Alternative::new(GuardSpec::Const(true), Program::compute_ms(2_000)),
+    ]);
+    let mut k = kernel();
+    let root = k.spawn(Program::new(vec![Op::AltBlock(level2)]), 4 * 1024);
+    let report = k.run();
+    assert_eq!(report.block_outcomes(root)[0].winner, Some(0));
+    assert!(report.exit(root).expect("exits").is_success());
+    // All speculative processes are accounted for: no leaks, no deadlock.
+    assert!(report.deadlocked.is_empty());
+}

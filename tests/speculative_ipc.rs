@@ -1,0 +1,179 @@
+//! Integration tests: predicated IPC with cascading world splits, plus
+//! checkpoint-based state migration of speculation results.
+
+use altx_cluster::{Checkpoint, RemoteForkModel};
+use altx_des::SimDuration;
+use altx_kernel::{
+    AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program, Target, TraceEvent,
+};
+
+/// The multiple-worlds scenario, CI-guarded: a logger service receives
+/// from two racing alternates; its worlds split twice and exactly one
+/// consistent world survives.
+#[test]
+fn cascading_world_splits_leave_one_consistent_survivor() {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    kernel.add_source(0, vec![b"console".to_vec()]);
+
+    let logger = Program::new(vec![
+        Op::RegisterName("logger".into()),
+        Op::Recv { reg: 0 },
+        Op::WriteFromRegister { reg: 0, addr: 0 },
+        Op::SourcePull { source_id: 0, index: 0, reg: 1 },
+        Op::WriteFromRegister { reg: 1, addr: 64 },
+    ]);
+    let chatty_loser = Program::new(vec![
+        Op::Send { to: Target::Name("logger".into()), payload: b"loser-spoke".to_vec() },
+        Op::Compute(SimDuration::from_millis(300)),
+    ]);
+    let quiet_winner = Program::new(vec![
+        Op::Compute(SimDuration::from_millis(40)),
+        Op::Send { to: Target::Name("logger".into()), payload: b"winner-word".to_vec() },
+    ]);
+
+    let logger_pid = kernel.spawn(logger, 4 * 1024);
+    let racer = kernel.spawn(
+        Program::new(vec![
+            Op::Compute(SimDuration::from_millis(5)),
+            Op::AltBlock(AltBlockSpec::new(vec![
+                Alternative::new(GuardSpec::Const(true), chatty_loser),
+                Alternative::new(GuardSpec::Const(true), quiet_winner),
+            ])),
+        ]),
+        4 * 1024,
+    );
+    let report = kernel.run();
+
+    assert_eq!(report.block_outcomes(racer)[0].winner, Some(1));
+    assert_eq!(report.stats.world_splits, 2, "one split per speculative sender");
+
+    // Exactly one world of the logger's logical process completes.
+    let mut worlds = std::collections::BTreeSet::from([logger_pid]);
+    for e in report.trace() {
+        if let TraceEvent::WorldSplit { accepting, rejecting, .. } = e {
+            if worlds.contains(accepting) {
+                worlds.insert(*rejecting);
+            }
+        }
+    }
+    let survivors: Vec<_> = worlds
+        .iter()
+        .filter(|&&p| report.exit(p).map(|s| s.is_success()).unwrap_or(false))
+        .collect();
+    assert_eq!(survivors.len(), 1, "worlds {worlds:?}");
+    let survivor = *survivors[0];
+
+    let mut space = kernel.space(survivor).expect("survivor lives").clone();
+    assert_eq!(&space.read_vec(0, 11), b"winner-word");
+    assert_eq!(&space.read_vec(64, 7), b"console");
+
+    // No other world's memory is observable as a completed process, and
+    // the loser's payload appears in no surviving state.
+    for &world in worlds.iter().filter(|&&p| p != survivor) {
+        assert!(
+            !report.exit(world).map(|s| s.is_success()).unwrap_or(false),
+            "world {world} must not complete"
+        );
+    }
+}
+
+/// Checkpoint pipeline: a speculation winner's address space survives a
+/// capture → ship → restore round trip, and the shipping cost is the
+/// rfork model applied to the real image size.
+#[test]
+fn winner_state_migrates_via_checkpoint() {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let winner_body = Program::new(vec![
+        Op::Compute(SimDuration::from_millis(5)),
+        Op::Write { addr: 0, data: b"result-of-the-race".to_vec() },
+        Op::TouchPages { first: 2, count: 3 },
+    ]);
+    let root = kernel.spawn(
+        Program::new(vec![Op::AltBlock(AltBlockSpec::new(vec![
+            Alternative::new(GuardSpec::Const(true), winner_body),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(500)),
+        ]))]),
+        32 * 1024,
+    );
+    let report = kernel.run();
+    assert!(report.exit(root).expect("exits").is_success());
+
+    // "Migrate" the absorbed result to another node.
+    let space = kernel.space(root).expect("root").clone();
+    let image = Checkpoint::capture(&space);
+    assert!(!image.is_empty());
+
+    // The wire: bytes only.
+    let wire = image.as_bytes().to_vec();
+    let received = Checkpoint::from_bytes(wire).expect("intact in transit");
+    let mut remote = received.restore().expect("restores");
+    assert_eq!(remote.flatten(), space.flatten());
+    assert_eq!(&remote.read_vec(0, 18), b"result-of-the-race");
+
+    // Cost model: driven by the real encoded size.
+    let model = RemoteForkModel::calibrated_1989();
+    let shipped = image.rfork_time(&model);
+    let full = model.observed_time(space.len() as u64);
+    assert!(
+        shipped < full,
+        "sparse image ({} bytes of {}) must ship faster: {} vs {}",
+        image.len(),
+        space.len(),
+        shipped,
+        full
+    );
+}
+
+/// Messages sent to a process after it has terminated are dropped, not
+/// delivered to a recycled mailbox; senders are unaffected.
+#[test]
+fn messages_to_dead_processes_are_dropped() {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let short_lived = Program::new(vec![Op::RegisterName("flash".into())]);
+    let sender = Program::new(vec![
+        Op::Compute(SimDuration::from_millis(50)), // flash is long gone
+        Op::Send { to: Target::Name("flash".into()), payload: b"too late".to_vec() },
+        Op::Write { addr: 0, data: vec![1] },
+    ]);
+    let flash = kernel.spawn(short_lived, 4 * 1024);
+    let tx = kernel.spawn(sender, 4 * 1024);
+    let report = kernel.run();
+    assert!(report.exit(flash).expect("exits").is_success());
+    assert!(report.exit(tx).expect("sender exits").is_success(), "send to dead pid is not fatal");
+    let mut space = kernel.space(tx).expect("tx").clone();
+    assert_eq!(space.read_vec(0, 1), vec![1], "sender continued past the dead send");
+}
+
+/// Two alternative blocks executed back-to-back by the same parent keep
+/// independent outcomes and the pid is stable throughout (§3.2:
+/// "maintenance of the process id").
+#[test]
+fn sequential_blocks_in_one_process() {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let program = Program::new(vec![
+        Op::AltBlock(AltBlockSpec::new(vec![
+            Alternative::new(
+                GuardSpec::Const(true),
+                Program::new(vec![Op::Write { addr: 0, data: vec![1] }]),
+            ),
+            Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)),
+        ])),
+        Op::AltBlock(AltBlockSpec::new(vec![
+            Alternative::new(GuardSpec::Const(false), Program::empty()),
+            Alternative::new(
+                GuardSpec::Const(true),
+                Program::new(vec![Op::Write { addr: 1, data: vec![2] }]),
+            ),
+        ])),
+    ]);
+    let root = kernel.spawn(program, 4 * 1024);
+    let report = kernel.run();
+    let outcomes = report.block_outcomes(root);
+    assert_eq!(outcomes.len(), 2);
+    assert_eq!(outcomes[0].winner, Some(0));
+    assert_eq!(outcomes[1].winner, Some(1));
+    assert_eq!(outcomes[0].block_seq, 0);
+    assert_eq!(outcomes[1].block_seq, 1);
+    let mut space = kernel.space(root).expect("root").clone();
+    assert_eq!(space.read_vec(0, 2), vec![1, 2], "both winners' state present");
+}
