@@ -1,76 +1,58 @@
-//! Criterion microbenchmarks of τ(overhead)'s components (§4.3) in the
+//! Microbenchmarks of τ(overhead)'s components (§4.3) in the
 //! real-thread engine and its substrates: setup (spawn + COW fork),
 //! runtime (COW faults), and selection, plus the predicate and message
 //! machinery that §3.3/§3.4 argue is cheap.
 
 use altx::engine::{OrderedEngine, ThreadedEngine};
 use altx::{AddressSpace, AltBlock, Engine, PageSize};
+use altx_bench::Micro;
 use altx_ipc::{classify, Message};
 use altx_predicates::{Pid, PredicateSet};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 /// Setup + selection: racing N trivial alternatives measures pure engine
 /// overhead (no useful work to hide it behind).
-fn bench_engine_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_overhead");
+fn bench_engine_overhead(m: &Micro) {
     for n in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("threaded_trivial", n), &n, |b, &n| {
-            let mut block: AltBlock<usize> = AltBlock::new();
-            for i in 0..n {
-                block = block.alternative(format!("alt{i}"), move |_w, _t| Some(i));
-            }
-            b.iter(|| {
-                let mut ws = AddressSpace::zeroed(64 * 1024, PageSize::K4);
-                black_box(ThreadedEngine::new().execute(&block, &mut ws).value)
-            });
+        let mut block: AltBlock<usize> = AltBlock::new();
+        for i in 0..n {
+            block = block.alternative(format!("alt{i}"), move |_w, _t| Some(i));
+        }
+        m.run(&format!("engine_overhead/threaded_trivial/{n}"), || {
+            let mut ws = AddressSpace::zeroed(64 * 1024, PageSize::K4);
+            ThreadedEngine::new().execute(&block, &mut ws).value
         });
-        group.bench_with_input(BenchmarkId::new("ordered_trivial", n), &n, |b, &n| {
-            let mut block: AltBlock<usize> = AltBlock::new();
-            for i in 0..n {
-                block = block.alternative(format!("alt{i}"), move |_w, _t| Some(i));
-            }
-            b.iter(|| {
-                let mut ws = AddressSpace::zeroed(64 * 1024, PageSize::K4);
-                black_box(OrderedEngine::new().execute(&block, &mut ws).value)
-            });
+        m.run(&format!("engine_overhead/ordered_trivial/{n}"), || {
+            let mut ws = AddressSpace::zeroed(64 * 1024, PageSize::K4);
+            OrderedEngine::new().execute(&block, &mut ws).value
         });
     }
-    group.finish();
 }
 
 /// Runtime overhead: COW fork of an address space and the per-page copy
 /// cost of the first write — the §4.4 quantities on host hardware.
-fn bench_cow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cow");
+fn bench_cow(m: &Micro) {
     for pages in [16usize, 64, 256] {
         let bytes = pages * PageSize::K4.bytes();
         let parent = AddressSpace::from_bytes(&vec![7u8; bytes], PageSize::K4);
-        group.bench_with_input(BenchmarkId::new("fork", pages), &pages, |b, _| {
-            b.iter(|| black_box(parent.cow_fork().page_count()));
+        m.run(&format!("cow/fork/{pages}"), || {
+            parent.cow_fork().page_count()
         });
-        group.bench_with_input(BenchmarkId::new("fork_write_all", pages), &pages, |b, &p| {
-            b.iter(|| {
-                let mut child = parent.cow_fork();
-                child.touch_pages(0, p, 0xFF);
-                black_box(child.stats().pages_copied)
-            });
+        m.run(&format!("cow/fork_write_all/{pages}"), || {
+            let mut child = parent.cow_fork();
+            child.touch_pages(0, pages, 0xFF);
+            child.stats().pages_copied
         });
-        group.bench_with_input(BenchmarkId::new("fork_write_one", pages), &pages, |b, _| {
-            b.iter(|| {
-                let mut child = parent.cow_fork();
-                child.write(0, &[1, 2, 3]);
-                black_box(child.stats().pages_copied)
-            });
+        m.run(&format!("cow/fork_write_one/{pages}"), || {
+            let mut child = parent.cow_fork();
+            child.write(0, &[1, 2, 3]);
+            child.stats().pages_copied
         });
     }
-    group.finish();
 }
 
 /// The predicate algebra: §3.3 claims process-status predicates are cheap
 /// to maintain; measure set construction, comparison, and resolution.
-fn bench_predicates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("predicates");
+fn bench_predicates(m: &Micro) {
     for n in [4usize, 16, 64] {
         let mut receiver = PredicateSet::new();
         for i in 0..n as u64 {
@@ -82,48 +64,43 @@ fn bench_predicates(c: &mut Criterion) {
         }
         let mut sender = receiver.clone();
         sender.assume_completes(Pid::new(1_000)).expect("fresh");
-        group.bench_with_input(BenchmarkId::new("compare", n), &n, |b, _| {
-            b.iter(|| black_box(receiver.compare(&sender)));
+        m.run(&format!("predicates/compare/{n}"), || {
+            receiver.compare(&sender)
         });
-        group.bench_with_input(BenchmarkId::new("sibling_rivalry", n), &n, |b, &n| {
-            b.iter(|| {
-                let cohort: Vec<Pid> = (0..n as u64).map(|i| Pid::new(10_000 + i)).collect();
-                black_box(
-                    PredicateSet::child_of(&receiver)
-                        .with_sibling_rivalry(cohort[0], cohort.iter().copied())
-                        .expect("fresh cohort"),
-                )
-            });
+        m.run(&format!("predicates/sibling_rivalry/{n}"), || {
+            let cohort: Vec<Pid> = (0..n as u64).map(|i| Pid::new(10_000 + i)).collect();
+            PredicateSet::child_of(&receiver)
+                .with_sibling_rivalry(cohort[0], cohort.iter().copied())
+                .expect("fresh cohort")
         });
-        group.bench_with_input(BenchmarkId::new("resolve", n), &n, |b, _| {
-            b.iter(|| {
-                let mut s = receiver.clone();
-                black_box(s.resolve(Pid::new(0), altx_predicates::Outcome::Completed))
-            });
+        m.run(&format!("predicates/resolve/{n}"), || {
+            let mut s = receiver.clone();
+            s.resolve(Pid::new(0), altx_predicates::Outcome::Completed)
         });
     }
-    group.finish();
 }
 
 /// Message classification (§3.4.2): the per-message acceptance decision.
-fn bench_message_classify(c: &mut Criterion) {
+fn bench_message_classify(m: &Micro) {
     let mut receiver = PredicateSet::new();
     for i in 0..16u64 {
         receiver.assume_completes(Pid::new(i)).expect("fresh");
     }
     let mut sender_pred = receiver.clone();
     sender_pred.assume_completes(Pid::new(99)).expect("fresh");
-    let msg = Message::new(Pid::new(99), Pid::new(1), sender_pred, &b"payload-bytes"[..]);
-    c.bench_function("message_classify_split", |b| {
-        b.iter(|| black_box(classify(&receiver, &msg)))
-    });
+    let msg = Message::new(
+        Pid::new(99),
+        Pid::new(1),
+        sender_pred,
+        &b"payload-bytes"[..],
+    );
+    m.run("message_classify_split", || classify(&receiver, &msg));
 }
 
-criterion_group!(
-    benches,
-    bench_engine_overhead,
-    bench_cow,
-    bench_predicates,
-    bench_message_classify
-);
-criterion_main!(benches);
+fn main() {
+    let m = Micro::new();
+    bench_engine_overhead(&m);
+    bench_cow(&m);
+    bench_predicates(&m);
+    bench_message_classify(&m);
+}

@@ -1,12 +1,11 @@
-//! Criterion microbenchmarks of the Prolog engine: unification, the
-//! classic naive-reverse workload, and OR-parallel racing on the host.
+//! Microbenchmarks of the Prolog engine: unification, the classic
+//! naive-reverse workload, and OR-parallel racing on the host.
 //!
 //! §7 argues logic programs are an ideal target: "an overwhelming
 //! preponderance of read references" and data-driven execution times.
 
+use altx_bench::Micro;
 use altx_prolog::{solve_first_parallel, KnowledgeBase, Solver, Term};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
 fn lists_kb() -> KnowledgeBase {
     KnowledgeBase::parse(
@@ -18,8 +17,7 @@ fn lists_kb() -> KnowledgeBase {
     .expect("valid program")
 }
 
-fn bench_unify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("unify");
+fn bench_unify(m: &Micro) {
     for depth in [4usize, 16, 64] {
         // f(f(...f(a)...)) against itself with a variable at the bottom.
         let mut ground = Term::atom("a");
@@ -28,35 +26,28 @@ fn bench_unify(c: &mut Criterion) {
             ground = Term::compound("f", vec![ground]);
             open = Term::compound("f", vec![open]);
         }
-        group.bench_with_input(BenchmarkId::new("deep_terms", depth), &depth, |b, _| {
-            b.iter(|| {
-                let mut bindings = altx_prolog::Bindings::new();
-                bindings.ensure(1);
-                black_box(bindings.unify(&ground, &open))
-            });
+        m.run(&format!("unify/deep_terms/{depth}"), || {
+            let mut bindings = altx_prolog::Bindings::new();
+            bindings.ensure(1);
+            bindings.unify(&ground, &open)
         });
     }
-    group.finish();
 }
 
-fn bench_nrev(c: &mut Criterion) {
+fn bench_nrev(m: &Micro) {
     let kb = lists_kb();
-    let mut group = c.benchmark_group("nrev");
-    group.sample_size(20);
+    let m = m.sample_size(8);
     for len in [10usize, 20, 30] {
         let items: Vec<String> = (0..len).map(|i| i.to_string()).collect();
         let query = format!("nrev([{}], R)", items.join(", "));
-        group.bench_with_input(BenchmarkId::new("first_solution", len), &len, |b, _| {
-            b.iter(|| {
-                let mut solver = Solver::new(&kb);
-                black_box(solver.solve_str(&query, 1).expect("valid").len())
-            });
+        m.run(&format!("nrev/first_solution/{len}"), || {
+            let mut solver = Solver::new(&kb);
+            solver.solve_str(&query, 1).expect("valid").len()
         });
     }
-    group.finish();
 }
 
-fn bench_or_parallel(c: &mut Criterion) {
+fn bench_or_parallel(m: &Micro) {
     let kb = KnowledgeBase::parse(
         "countdown(0).
          countdown(N) :- N > 0, M is N - 1, countdown(M).
@@ -65,19 +56,21 @@ fn bench_or_parallel(c: &mut Criterion) {
          q(_).",
     )
     .expect("valid program");
-    let mut group = c.benchmark_group("or_parallel");
-    group.sample_size(20);
-    group.bench_function("sequential_dfs", |b| {
-        b.iter(|| {
-            let mut solver = Solver::new(&kb);
-            black_box(solver.solve_str("q(3000)", 1).expect("valid").len())
-        });
+    let m = m.sample_size(8);
+    m.run("or_parallel/sequential_dfs", || {
+        let mut solver = Solver::new(&kb);
+        solver.solve_str("q(3000)", 1).expect("valid").len()
     });
-    group.bench_function("threaded_race", |b| {
-        b.iter(|| black_box(solve_first_parallel(&kb, "q(3000)").expect("valid").winner_branch));
+    m.run("or_parallel/threaded_race", || {
+        solve_first_parallel(&kb, "q(3000)")
+            .expect("valid")
+            .winner_branch
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_unify, bench_nrev, bench_or_parallel);
-criterion_main!(benches);
+fn main() {
+    let m = Micro::new();
+    bench_unify(&m);
+    bench_nrev(&m);
+    bench_or_parallel(&m);
+}

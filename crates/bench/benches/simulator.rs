@@ -1,94 +1,82 @@
-//! Criterion microbenchmarks of the simulation substrates themselves:
+//! Microbenchmarks of the simulation substrates themselves:
 //! how fast the deterministic kernel, consensus simulator, and
 //! checkpoint codec run on the host. These bound experiment turnaround,
 //! not paper results.
 
+use altx_bench::Micro;
 use altx_cluster::Checkpoint;
 use altx_consensus::{CandidateSpec, ConsensusConfig, ConsensusSim};
 use altx_des::{SimDuration, SimTime};
-use altx_kernel::{
-    AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program,
-};
+use altx_kernel::{AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program};
 use altx_pager::{AddressSpace, PageSize};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 
-fn bench_kernel_race(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_kernel");
+fn bench_kernel_race(m: &Micro) {
     for n in [2usize, 8, 32] {
-        group.bench_with_input(BenchmarkId::new("race", n), &n, |b, &n| {
-            b.iter(|| {
-                let alts: Vec<Alternative> = (0..n)
-                    .map(|i| {
-                        Alternative::new(
-                            GuardSpec::Const(true),
-                            Program::compute_ms(10 + i as u64),
-                        )
-                    })
-                    .collect();
-                let mut kernel = Kernel::new(KernelConfig::default());
-                let root = kernel.spawn(
-                    Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]),
-                    64 * 1024,
-                );
-                let report = kernel.run();
-                black_box(report.block_outcomes(root)[0].winner)
-            });
+        m.run(&format!("sim_kernel/race/{n}"), || {
+            let alts: Vec<Alternative> = (0..n)
+                .map(|i| {
+                    Alternative::new(GuardSpec::Const(true), Program::compute_ms(10 + i as u64))
+                })
+                .collect();
+            let mut kernel = Kernel::new(KernelConfig::default());
+            let root = kernel.spawn(
+                Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]),
+                64 * 1024,
+            );
+            let report = kernel.run();
+            report.block_outcomes(root)[0].winner
         });
     }
     // A contended single-CPU run exercises the quantum-slicing path.
-    group.bench_function("race_1cpu_sliced", |b| {
-        b.iter(|| {
-            let alts: Vec<Alternative> = (0..4)
-                .map(|_| Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)))
-                .collect();
-            let mut kernel = Kernel::new(KernelConfig {
-                cpus: 1,
-                quantum: SimDuration::from_millis(1),
-                ..KernelConfig::default()
-            });
-            let root = kernel.spawn(
-                Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]),
-                16 * 1024,
-            );
-            black_box(kernel.run().block_outcomes(root)[0].winner)
+    m.run("sim_kernel/race_1cpu_sliced", || {
+        let alts: Vec<Alternative> = (0..4)
+            .map(|_| Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)))
+            .collect();
+        let mut kernel = Kernel::new(KernelConfig {
+            cpus: 1,
+            quantum: SimDuration::from_millis(1),
+            ..KernelConfig::default()
         });
-    });
-    group.finish();
-}
-
-fn bench_consensus_sim(c: &mut Criterion) {
-    c.bench_function("sim_consensus_lossy", |b| {
-        b.iter(|| {
-            let mut cfg = ConsensusConfig::simple(
-                5,
-                vec![
-                    CandidateSpec::new(1, SimTime::ZERO),
-                    CandidateSpec::new(2, SimTime::from_nanos(1_000_000)),
-                ],
-            );
-            cfg.faults.drop_probability = 0.3;
-            black_box(ConsensusSim::new(cfg).run().winner)
-        });
+        let root = kernel.spawn(
+            Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]),
+            16 * 1024,
+        );
+        kernel.run().block_outcomes(root)[0].winner
     });
 }
 
-fn bench_checkpoint(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checkpoint");
+fn bench_consensus_sim(m: &Micro) {
+    m.run("sim_consensus_lossy", || {
+        let mut cfg = ConsensusConfig::simple(
+            5,
+            vec![
+                CandidateSpec::new(1, SimTime::ZERO),
+                CandidateSpec::new(2, SimTime::from_nanos(1_000_000)),
+            ],
+        );
+        cfg.faults.drop_probability = 0.3;
+        ConsensusSim::new(cfg).run().winner
+    });
+}
+
+fn bench_checkpoint(m: &Micro) {
     for kb in [16usize, 64, 320] {
         let mut space = AddressSpace::zeroed(kb * 1024, PageSize::K2);
         let pages = space.page_count();
         space.touch_pages(0, pages / 2, 0x5A); // half resident
         let image = Checkpoint::capture(&space);
-        group.bench_with_input(BenchmarkId::new("capture", kb), &kb, |b, _| {
-            b.iter(|| black_box(Checkpoint::capture(&space).len()));
+        m.run(&format!("checkpoint/capture/{kb}"), || {
+            Checkpoint::capture(&space).len()
         });
-        group.bench_with_input(BenchmarkId::new("restore", kb), &kb, |b, _| {
-            b.iter(|| black_box(image.restore().expect("valid").page_count()));
+        m.run(&format!("checkpoint/restore/{kb}"), || {
+            image.restore().expect("valid").page_count()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_kernel_race, bench_consensus_sim, bench_checkpoint);
-criterion_main!(benches);
+fn main() {
+    let m = Micro::new();
+    bench_kernel_race(&m);
+    bench_consensus_sim(&m);
+    bench_checkpoint(&m);
+}

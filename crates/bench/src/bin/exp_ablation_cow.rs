@@ -24,12 +24,24 @@ use altx_pager::MachineProfile;
 ///
 /// COW:   N×(fork) + winner's path (compute + f×pages cow-faults).
 /// Eager: N×(fork + pages full copies, no fault overhead) + compute.
-fn cow_cost(profile: &MachineProfile, n: usize, pages: usize, f: f64, t: SimDuration) -> SimDuration {
+fn cow_cost(
+    profile: &MachineProfile,
+    n: usize,
+    pages: usize,
+    f: f64,
+    t: SimDuration,
+) -> SimDuration {
     let dirty = (pages as f64 * f).round() as usize;
     profile.fork_cost(pages) * n as u64 + t + profile.copy_cost(dirty)
 }
 
-fn eager_cost(profile: &MachineProfile, n: usize, pages: usize, _f: f64, t: SimDuration) -> SimDuration {
+fn eager_cost(
+    profile: &MachineProfile,
+    n: usize,
+    pages: usize,
+    _f: f64,
+    t: SimDuration,
+) -> SimDuration {
     // Eager copy at spawn: the full space, but as a bulk copy (no
     // per-page trap), for every alternate.
     (profile.fork_cost(pages) + profile.page_copy_time() * pages as u64) * n as u64 + t

@@ -50,7 +50,14 @@ fn per_object_epoch(spec_procs: usize, refs_per_proc: usize, objects: u64) -> u6
     }
     // The epoch resolves: winner completes, the rest fail.
     for (i, &pid) in cohort.iter().enumerate() {
-        store.resolve(pid, if i == 0 { Outcome::Completed } else { Outcome::Failed });
+        store.resolve(
+            pid,
+            if i == 0 {
+                Outcome::Completed
+            } else {
+                Outcome::Failed
+            },
+        );
     }
     store.versions_visited
 }
@@ -73,7 +80,11 @@ fn process_level_epoch(spec_procs: usize, _refs_per_proc: usize) -> u64 {
     // Object references cost nothing here (plain memory + COW).
     // Status changes: each resolution visits each live set once.
     for (i, &pid) in cohort.iter().enumerate() {
-        let outcome = if i == 0 { Outcome::Completed } else { Outcome::Failed };
+        let outcome = if i == 0 {
+            Outcome::Completed
+        } else {
+            Outcome::Failed
+        };
         for set in sets.iter_mut() {
             set.resolve(pid, outcome);
             touched += 1;
@@ -119,7 +130,10 @@ fn main() {
         *ratios.last().expect("rows") > 20.0,
         "at high reference rates the paper's design must dominate: {ratios:?}"
     );
-    assert!(ratios[0] < 15.0, "at low rates the gap is modest: {ratios:?}");
+    assert!(
+        ratios[0] < 15.0,
+        "at low rates the gap is modest: {ratios:?}"
+    );
     println!("process-level predicate cost is flat in the reference rate; per-object");
     println!("predication scales with it — \"processes change status much less");
     println!("frequently than they make memory references to objects\". even at a");

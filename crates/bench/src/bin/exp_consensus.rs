@@ -22,7 +22,11 @@ fn main() {
     // Part 1: quorum size × crashed voters.
     println!("part 1: quorum size vs crashed voters (one candidate, reliable messages):\n");
     let mut table = Table::new(vec![
-        "voters", "crashed", "sync possible?", "commit latency", "messages",
+        "voters",
+        "crashed",
+        "sync possible?",
+        "commit latency",
+        "messages",
     ]);
     for n in [1usize, 3, 5, 7] {
         for crashed in [0usize, 1, 2, 3] {
@@ -53,7 +57,10 @@ fn main() {
     // Part 2: racing candidates under message loss.
     println!("part 2: three racing candidates, lossy network (per-seed trials):\n");
     let mut table = Table::new(vec![
-        "P(drop)", "winners over 60 trials", "at-most-once held?", "mean msgs/trial",
+        "P(drop)",
+        "winners over 60 trials",
+        "at-most-once held?",
+        "mean msgs/trial",
     ]);
     for drop in [0.0f64, 0.2, 0.4, 0.6] {
         let mut winners = 0usize;

@@ -27,21 +27,30 @@ fn main() {
             GuardSpec::Const(true),
             Program::new(vec![
                 Op::Compute(SimDuration::from_millis(60)),
-                Op::Write { addr: 0, data: b"method1".to_vec() },
+                Op::Write {
+                    addr: 0,
+                    data: b"method1".to_vec(),
+                },
             ]),
         ),
         Alternative::new(
             GuardSpec::Const(false),
             Program::new(vec![
                 Op::Compute(SimDuration::from_millis(25)),
-                Op::Write { addr: 0, data: b"method2".to_vec() },
+                Op::Write {
+                    addr: 0,
+                    data: b"method2".to_vec(),
+                },
             ]),
         ),
         Alternative::new(
             GuardSpec::Const(true),
             Program::new(vec![
                 Op::Compute(SimDuration::from_millis(35)),
-                Op::Write { addr: 0, data: b"method3".to_vec() },
+                Op::Write {
+                    addr: 0,
+                    data: b"method3".to_vec(),
+                },
             ]),
         ),
     ]);
@@ -92,23 +101,39 @@ fn main() {
         };
         figure.bar(label, start, end, m);
     }
-    println!("
+    println!(
+        "
 Figure 2 (ms; ✓ synchronized, ▢ guard failed, × eliminated):
-");
+"
+    );
     print!("{figure}");
 
     let outcome = &report.block_outcomes(root)[0];
     let mut space = kernel.space(root).expect("root space").clone();
-    println!("\nwinner: alternative {} (0-indexed {:?})", outcome.winner.map(|w| w + 1).unwrap_or(0), outcome.winner);
-    println!("parent state after absorption: {:?}", String::from_utf8_lossy(&space.read_vec(0, 7)));
-    println!("block elapsed (spawn → parent resumed): {}", outcome.elapsed());
+    println!(
+        "\nwinner: alternative {} (0-indexed {:?})",
+        outcome.winner.map(|w| w + 1).unwrap_or(0),
+        outcome.winner
+    );
+    println!(
+        "parent state after absorption: {:?}",
+        String::from_utf8_lossy(&space.read_vec(0, 7))
+    );
+    println!(
+        "block elapsed (spawn → parent resumed): {}",
+        outcome.elapsed()
+    );
     println!("setup (alt_spawn forks): {}", outcome.setup_cost);
     println!(
         "stats: {} forks, {} teardowns, wasted speculative compute {}",
         report.stats.forks, report.stats.teardowns, report.stats.wasted_compute
     );
 
-    assert_eq!(outcome.winner, Some(2), "method3: fastest whose guard holds");
+    assert_eq!(
+        outcome.winner,
+        Some(2),
+        "method3: fastest whose guard holds"
+    );
     // Note: with closer times the serial alt_spawn stagger (one fork per
     // child) can reorder finishes — itself a faithful §4.1 setup-cost
     // effect; the 25 ms separations here keep the figure unambiguous.

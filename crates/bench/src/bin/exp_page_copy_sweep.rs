@@ -25,7 +25,10 @@ fn run(profile: &MachineProfile, bytes: usize, dirty: usize) -> (SimDuration, Si
         ..KernelConfig::default()
     });
     let body = if dirty > 0 {
-        Program::new(vec![Op::TouchPages { first: 0, count: dirty }])
+        Program::new(vec![Op::TouchPages {
+            first: 0,
+            count: dirty,
+        }])
     } else {
         Program::empty()
     };

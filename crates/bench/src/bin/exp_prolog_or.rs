@@ -38,7 +38,11 @@ fn main() {
     // Part 1: deepening the failing branches.
     println!("part 1: speedup vs depth of the failing branches (50 µs/step):\n");
     let mut table = Table::new(vec![
-        "depth", "branch steps (1/2/3)", "sequential", "OR-parallel", "speedup",
+        "depth",
+        "branch steps (1/2/3)",
+        "sequential",
+        "OR-parallel",
+        "speedup",
     ]);
     let mut speedups = Vec::new();
     for depth in [100u32, 1_000, 5_000, 20_000, 80_000] {
@@ -69,7 +73,13 @@ fn main() {
     println!("part 2: granularity threshold at depth 500 (per-process fork overhead fixed):\n");
     let q = "query(500, R)";
     let profiles = profile_branches(&kb, q).expect("valid query");
-    let mut table = Table::new(vec!["µs per step", "sequential", "OR-parallel", "speedup", "worth racing?"]);
+    let mut table = Table::new(vec![
+        "µs per step",
+        "sequential",
+        "OR-parallel",
+        "speedup",
+        "worth racing?",
+    ]);
     let mut first_winning: Option<u64> = None;
     for us in [1u64, 2, 5, 10, 25, 50, 100] {
         let cfg = OrSimConfig {

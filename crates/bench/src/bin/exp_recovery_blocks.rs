@@ -61,7 +61,12 @@ fn main() {
 
     let mut rng = SimRng::seed_from_u64(1989);
     let mut table = Table::new(vec![
-        "alternates", "P(alt fails)", "seq mean", "conc mean", "mean speedup", "P(block fails)",
+        "alternates",
+        "P(alt fails)",
+        "seq mean",
+        "conc mean",
+        "mean speedup",
+        "P(block fails)",
     ]);
     let mut speedup_at = std::collections::BTreeMap::new();
     for &n in &[2usize, 4] {
@@ -109,7 +114,9 @@ fn main() {
         format!("{}", cmp.concurrent_time.expect("completes")),
     ]);
     let mut down = DistributedRecoveryBlock::new(alternates.clone());
-    down.sync = altx_cluster::SyncMode::SinglePoint { coordinator_up: false };
+    down.sync = altx_cluster::SyncMode::SinglePoint {
+        coordinator_up: false,
+    };
     table.row(vec![
         "single point (DOWN)".into(),
         "NO — block lost".into(),

@@ -23,16 +23,17 @@ fn cell(k: usize, crash_prob: f64, rng: &mut SimRng) -> (f64, f64, usize) {
     let mut rforks = 0usize;
     for _ in 0..TRIALS {
         let mk = |compute_ms: f64, rng: &mut SimRng| {
-            let mut alt = ReplicatedAlternate::healthy(
-                SimDuration::from_millis_f64(compute_ms.max(1.0)),
-                k,
-            );
+            let mut alt =
+                ReplicatedAlternate::healthy(SimDuration::from_millis_f64(compute_ms.max(1.0)), k);
             for c in alt.replica_crashes.iter_mut() {
                 *c = rng.chance(crash_prob);
             }
             alt
         };
-        let fast = mk(rng.log_normal(8.0_f64.ln() * 0.0 + 3_000.0_f64.ln(), 0.3), rng);
+        let fast = mk(
+            rng.log_normal(8.0_f64.ln() * 0.0 + 3_000.0_f64.ln(), 0.3),
+            rng,
+        );
         let slow = mk(rng.log_normal(7_000.0_f64.ln(), 0.3), rng);
         let race = ReplicatedRace::new(70 * 1024, vec![fast, slow]);
         let report = race.run();
@@ -44,7 +45,11 @@ fn cell(k: usize, crash_prob: f64, rng: &mut SimRng) -> (f64, f64, usize) {
     }
     (
         successes as f64 / TRIALS as f64,
-        if successes > 0 { total_secs / successes as f64 } else { f64::NAN },
+        if successes > 0 {
+            total_secs / successes as f64
+        } else {
+            f64::NAN
+        },
         rforks / TRIALS,
     )
 }
@@ -55,7 +60,11 @@ fn main() {
 
     let mut rng = SimRng::seed_from_u64(606);
     let mut table = Table::new(vec![
-        "replicas k", "P(replica crash)", "block success", "mean completion", "rforks/block",
+        "replicas k",
+        "P(replica crash)",
+        "block success",
+        "mean completion",
+        "rforks/block",
     ]);
     let mut success = std::collections::BTreeMap::new();
     for k in [1usize, 2, 3] {
@@ -66,7 +75,11 @@ fn main() {
                 format!("{k}"),
                 format!("{p:.1}"),
                 format!("{:.1}%", ok * 100.0),
-                if mean.is_nan() { "-".into() } else { format!("{mean:.2}s") },
+                if mean.is_nan() {
+                    "-".into()
+                } else {
+                    format!("{mean:.2}s")
+                },
                 format!("{forks}"),
             ]);
         }

@@ -18,7 +18,12 @@ fn main() {
 
     let model = RemoteForkModel::calibrated_1989();
     let mut table = Table::new(vec![
-        "image", "checkpoint", "restore", "protocol", "service total", "observed total",
+        "image",
+        "checkpoint",
+        "restore",
+        "protocol",
+        "service total",
+        "observed total",
     ]);
     for kb in [10u64, 30, 70, 150, 320] {
         let service = model.service_breakdown(kb * 1024);

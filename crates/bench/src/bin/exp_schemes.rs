@@ -69,7 +69,12 @@ fn run_regime(regime: &str, seed: u64) -> SchemeCosts {
     let mut rng = SimRng::seed_from_u64(seed);
     let mut means = [0.0f64; N_ALTS];
     let mut runs = [0u64; N_ALTS];
-    let mut totals = SchemeCosts { synthetic: 0.0, scheme_a: 0.0, scheme_b: 0.0, scheme_c: 0.0 };
+    let mut totals = SchemeCosts {
+        synthetic: 0.0,
+        scheme_a: 0.0,
+        scheme_b: 0.0,
+        scheme_c: 0.0,
+    };
 
     for _ in 0..QUERIES {
         let (times, class) = sample_times(regime, &mut rng);
@@ -82,8 +87,16 @@ fn run_regime(regime: &str, seed: u64) -> SchemeCosts {
         // (explore each once first); update its statistic.
         let pick = (0..N_ALTS)
             .min_by(|&a, &b| {
-                let ma = if runs[a] == 0 { f64::NEG_INFINITY } else { means[a] };
-                let mb = if runs[b] == 0 { f64::NEG_INFINITY } else { means[b] };
+                let ma = if runs[a] == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    means[a]
+                };
+                let mb = if runs[b] == 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    means[b]
+                };
                 ma.partial_cmp(&mb).expect("no NaN")
             })
             .expect("non-empty");
@@ -108,10 +121,16 @@ fn run_regime(regime: &str, seed: u64) -> SchemeCosts {
 
 fn main() {
     println!("E13 — §4.2 selection schemes across workload regimes");
-    println!("(3 alternatives, {QUERIES} queries/regime, Scheme C pays {OVERHEAD_MS} ms overhead)\n");
+    println!(
+        "(3 alternatives, {QUERIES} queries/regime, Scheme C pays {OVERHEAD_MS} ms overhead)\n"
+    );
 
     let mut table = Table::new(vec![
-        "regime", "synthetic (case 2)", "Scheme A (stats)", "Scheme B (random)", "Scheme C (race)",
+        "regime",
+        "synthetic (case 2)",
+        "Scheme A (stats)",
+        "Scheme B (random)",
+        "Scheme C (race)",
     ]);
     let mut results = std::collections::BTreeMap::new();
     for regime in ["stable", "partitionable", "erratic"] {

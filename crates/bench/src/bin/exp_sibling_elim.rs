@@ -104,8 +104,7 @@ fn main() {
     println!("throughput instead of execution time, exactly as §3.2.1 predicts. ✓\n");
 
     let s = run(8, EliminationPolicy::Synchronous);
-    let utilization =
-        s.cpu_busy.as_secs_f64() / (s.cpus as f64 * s.elapsed.as_secs_f64());
+    let utilization = s.cpu_busy.as_secs_f64() / (s.cpus as f64 * s.elapsed.as_secs_f64());
     println!(
         "throughput cost at 8 alternates: {} of discarded speculative compute;\n\
          cpu utilization {:.0}% of {} CPUs over the block — execution time is\n\

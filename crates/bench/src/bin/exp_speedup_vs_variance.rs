@@ -13,9 +13,7 @@
 //! Run: `cargo run --release -p altx-bench --bin exp_speedup_vs_variance`
 
 use altx::engine::sim::{measured_pi, SimRaceSpec};
-use altx::perf::{
-    breakeven_overhead, coefficient_of_variation, performance_improvement, Overhead,
-};
+use altx::perf::{breakeven_overhead, coefficient_of_variation, performance_improvement, Overhead};
 use altx_bench::{summarize, Table, TimeDistribution};
 use altx_des::SimRng;
 
@@ -29,7 +27,11 @@ fn main() {
     println!("E6 — PI vs dispersion (N = 3, mean fixed at 200 ms)\n");
 
     let mut table = Table::new(vec![
-        "spread ±ms", "CV", "PI analytic (ovh=20)", "PI simulated", "parallel wins?",
+        "spread ±ms",
+        "CV",
+        "PI analytic (ovh=20)",
+        "PI simulated",
+        "parallel wins?",
     ]);
     for spread in [0.0, 25.0, 50.0, 100.0, 150.0, 190.0] {
         let times = times_with_spread(spread);
@@ -60,7 +62,10 @@ fn main() {
     println!("simulated PI is monotone in dispersion: {pis:?} ✓\n");
 
     // The crossover: PI = 1 exactly at overhead = mean − best.
-    println!("crossover sweep for times (100, 200, 300), breakeven overhead = mean − best = {} ms:\n", breakeven_overhead(&[100.0, 200.0, 300.0]));
+    println!(
+        "crossover sweep for times (100, 200, 300), breakeven overhead = mean − best = {} ms:\n",
+        breakeven_overhead(&[100.0, 200.0, 300.0])
+    );
     let mut table = Table::new(vec!["overhead ms", "PI analytic", "regime"]);
     for overhead in [0.0, 25.0, 50.0, 75.0, 100.0, 125.0, 150.0] {
         let pi = performance_improvement(&[100.0, 200.0, 300.0], &Overhead::total_of(overhead));
@@ -78,8 +83,7 @@ fn main() {
         ]);
     }
     println!("{table}");
-    let at_breakeven =
-        performance_improvement(&[100.0, 200.0, 300.0], &Overhead::total_of(100.0));
+    let at_breakeven = performance_improvement(&[100.0, 200.0, 300.0], &Overhead::total_of(100.0));
     assert!((at_breakeven - 1.0).abs() < 1e-12);
     println!("crossover lands exactly at overhead = 100 ms. ✓\n");
 
@@ -89,9 +93,28 @@ fn main() {
     println!("sampled regimes (N = 3 alternatives, 40 draws each, simulated kernel):\n");
     let regimes: [(&str, TimeDistribution); 4] = [
         ("constant 200ms", TimeDistribution::Constant { ms: 200.0 }),
-        ("uniform 150-250ms", TimeDistribution::Uniform { lo_ms: 150.0, hi_ms: 250.0 }),
-        ("lognormal σ=0.8", TimeDistribution::LogNormal { median_ms: 150.0, sigma: 0.8 }),
-        ("bimodal 20/600ms", TimeDistribution::Bimodal { fast_ms: 20.0, slow_ms: 600.0, p_fast: 0.4 }),
+        (
+            "uniform 150-250ms",
+            TimeDistribution::Uniform {
+                lo_ms: 150.0,
+                hi_ms: 250.0,
+            },
+        ),
+        (
+            "lognormal σ=0.8",
+            TimeDistribution::LogNormal {
+                median_ms: 150.0,
+                sigma: 0.8,
+            },
+        ),
+        (
+            "bimodal 20/600ms",
+            TimeDistribution::Bimodal {
+                fast_ms: 20.0,
+                slow_ms: 600.0,
+                p_fast: 0.4,
+            },
+        ),
     ];
     let mut table = Table::new(vec!["regime", "regime CV", "mean simulated PI"]);
     let mut mean_pis = Vec::new();

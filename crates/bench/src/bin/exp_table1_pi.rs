@@ -15,7 +15,14 @@ fn main() {
     println!("E2 — §4.2 table: PI = τ(C_mean) / (τ(C_best) + τ(overhead))\n");
 
     let mut table = Table::new(vec![
-        "row", "τ(C1)", "τ(C2)", "τ(C3)", "overhead", "PI (paper)", "PI (model)", "PI (simulated)",
+        "row",
+        "τ(C1)",
+        "τ(C2)",
+        "τ(C3)",
+        "overhead",
+        "PI (paper)",
+        "PI (model)",
+        "PI (simulated)",
     ]);
 
     for row in paper_table() {

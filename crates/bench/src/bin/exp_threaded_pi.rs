@@ -44,12 +44,20 @@ fn block_for(times: [f64; 3]) -> AltBlock<usize> {
 }
 
 fn main() {
-    println!("E2b — §4.2 PI table on real threads ({} host cores)\n", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "E2b — §4.2 PI table on real threads ({} host cores)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let engine = ThreadedEngine::new();
     let reps = 5;
     let mut table = Table::new(vec![
-        "row", "τ(C1..C3) ms", "PI paper (ovh=5)", "PI measured (host)",
+        "row",
+        "τ(C1..C3) ms",
+        "PI paper (ovh=5)",
+        "PI measured (host)",
     ]);
     let mut measured = Vec::new();
     for row in paper_table() {
@@ -77,7 +85,10 @@ fn main() {
         measured.push(pi);
         table.row(vec![
             format!("({})", row.row),
-            format!("{:.0}/{:.0}/{:.0}", row.times[0], row.times[1], row.times[2]),
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                row.times[0], row.times[1], row.times[2]
+            ),
             format!("{:.2}", row.paper_pi),
             format!("{pi:.2}"),
         ]);
@@ -85,8 +96,14 @@ fn main() {
     println!("{table}");
 
     // Ordering assertions (robust to wall-clock noise at these scales).
-    assert!(measured[1] > measured[0], "row 2 (dispersion) must beat row 1: {measured:?}");
-    assert!(measured[5] > 1.0, "row 6 must win on real threads: {measured:?}");
+    assert!(
+        measured[1] > measured[0],
+        "row 2 (dispersion) must beat row 1: {measured:?}"
+    );
+    assert!(
+        measured[5] > 1.0,
+        "row 6 must win on real threads: {measured:?}"
+    );
     assert!(
         measured[1] > measured[2],
         "dispersion must beat uniformity: {measured:?}"

@@ -16,9 +16,7 @@
 
 use altx_bench::{Table, TimeDistribution};
 use altx_des::{SimDuration, SimRng};
-use altx_kernel::{
-    AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program,
-};
+use altx_kernel::{AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program};
 
 const TRIALS: usize = 120;
 /// Probability an alternative's guard fails (so some blocks are doomed
@@ -38,7 +36,10 @@ struct Cell {
 }
 
 fn run_cell(timeout: SimDuration, rng: &mut SimRng) -> Cell {
-    let dist = TimeDistribution::LogNormal { median_ms: 100.0, sigma: 0.8 };
+    let dist = TimeDistribution::LogNormal {
+        median_ms: 100.0,
+        sigma: 0.8,
+    };
     let mut cell = Cell {
         false_aborts: 0,
         completions: 0,
@@ -86,7 +87,11 @@ fn main() {
     println!("50% guard-failure rate, {TRIALS} blocks per timeout)\n");
 
     let mut table = Table::new(vec![
-        "timeout", "false aborts", "completions", "mean completion", "doomed-block wait",
+        "timeout",
+        "false aborts",
+        "completions",
+        "mean completion",
+        "doomed-block wait",
     ]);
     let mut false_abort_rates = Vec::new();
     let mut doomed_waits = Vec::new();
@@ -111,7 +116,10 @@ fn main() {
         false_abort_rates.windows(2).all(|w| w[0] >= w[1]),
         "false aborts must fall as the timeout grows: {false_abort_rates:?}"
     );
-    assert!(false_abort_rates[0] > 10, "a 50 ms timeout aborts many viable blocks");
+    assert!(
+        false_abort_rates[0] > 10,
+        "a 50 ms timeout aborts many viable blocks"
+    );
     assert_eq!(
         *false_abort_rates.last().expect("rows"),
         0,

@@ -1,8 +1,9 @@
 //! # altx-bench — experiment harness for the reproduction
 //!
 //! One binary per table/figure of the paper (see `EXPERIMENTS.md` at the
-//! repository root and the `src/bin/` directory), plus Criterion
-//! microbenchmarks of the overhead components under `benches/`.
+//! repository root and the `src/bin/` directory), plus hand-rolled
+//! microbenchmarks of the overhead components under `benches/` (plain
+//! `fn main()` targets built on [`micro::Micro`] — no external harness).
 //!
 //! This library crate holds the shared report-formatting helpers the
 //! experiment binaries use to print paper-style tables.
@@ -10,8 +11,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod micro;
 pub mod report;
 pub mod workloads;
 
+pub use micro::{Micro, MicroStats};
 pub use report::{Table, Timeline};
 pub use workloads::{summarize, RegimeSummary, TimeDistribution};

@@ -1,0 +1,136 @@
+//! Hand-rolled micro-benchmark timer.
+//!
+//! A std-only stand-in for Criterion: each benchmark warms up, picks a
+//! batch size targeting a fixed per-sample duration, collects a set of
+//! samples, and prints min/median/mean nanoseconds per iteration. The
+//! `benches/*.rs` targets are plain `fn main()` programs (`harness =
+//! false`) built on this module, so `cargo bench` works offline.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing statistics for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroStats {
+    /// Fastest sample, ns/iter — the least-noise estimate.
+    pub min_ns: f64,
+    /// Median sample, ns/iter.
+    pub median_ns: f64,
+    /// Mean across samples, ns/iter.
+    pub mean_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// A micro-benchmark runner with tunable sampling effort.
+#[derive(Debug, Clone, Copy)]
+pub struct Micro {
+    warmup: Duration,
+    samples: usize,
+    target_sample: Duration,
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Micro {
+    /// Default effort: ~20 ms warm-up, 15 samples of ≥2 ms each.
+    pub fn new() -> Self {
+        Micro {
+            warmup: Duration::from_millis(20),
+            samples: 15,
+            target_sample: Duration::from_millis(2),
+        }
+    }
+
+    /// Overrides the number of samples (use fewer for slow workloads).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Times `f`, prints one report line, and returns the statistics.
+    ///
+    /// The closure's return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn run<R>(&self, name: &str, mut f: impl FnMut() -> R) -> MicroStats {
+        // Warm-up: run until the budget elapses, estimating per-iter cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        let iters = ((self.target_sample.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+
+        let stats = MicroStats {
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            samples: per_iter_ns.len(),
+            iters_per_sample: iters,
+        };
+        println!(
+            "{:<44} median {:>12} min {:>12}  ({} samples x {} iters)",
+            name,
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        stats
+    }
+}
+
+/// Formats a nanosecond quantity with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let stats = Micro::new()
+            .sample_size(3)
+            .run("spin", || (0..100u64).sum::<u64>());
+        assert!(stats.min_ns > 0.0);
+        assert!(stats.median_ns >= stats.min_ns);
+        assert!(stats.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("us"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.0e9).ends_with(" s"));
+    }
+}

@@ -241,7 +241,10 @@ mod tests {
         assert!(s.contains("10.0"), "axis label: {s}");
         // The winner's bar ends earlier than the parent's.
         let alt1_line = s.lines().find(|l| l.contains("alt1")).expect("alt1 row");
-        let parent_line = s.lines().find(|l| l.contains("parent")).expect("parent row");
+        let parent_line = s
+            .lines()
+            .find(|l| l.contains("parent"))
+            .expect("parent row");
         assert!(alt1_line.trim_end().len() < parent_line.trim_end().len());
     }
 

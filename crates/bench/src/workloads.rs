@@ -61,7 +61,11 @@ impl TimeDistribution {
                 assert!(0.0 < lo_ms && lo_ms <= hi_ms, "bad uniform bounds");
                 rng.range_f64(lo_ms, hi_ms)
             }
-            TimeDistribution::Bimodal { fast_ms, slow_ms, p_fast } => {
+            TimeDistribution::Bimodal {
+                fast_ms,
+                slow_ms,
+                p_fast,
+            } => {
                 assert!(
                     fast_ms > 0.0 && slow_ms > 0.0 && (0.0..=1.0).contains(&p_fast),
                     "bad bimodal params"
@@ -118,9 +122,14 @@ mod tests {
 
     #[test]
     fn lognormal_median_is_roughly_right() {
-        let d = TimeDistribution::LogNormal { median_ms: 100.0, sigma: 0.5 };
+        let d = TimeDistribution::LogNormal {
+            median_ms: 100.0,
+            sigma: 0.5,
+        };
         let mut r = rng();
-        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut r).as_millis_f64()).collect();
+        let mut samples: Vec<f64> = (0..10_001)
+            .map(|_| d.sample(&mut r).as_millis_f64())
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let median = samples[samples.len() / 2];
         assert!((median - 100.0).abs() < 5.0, "median {median}");
@@ -128,7 +137,10 @@ mod tests {
 
     #[test]
     fn uniform_stays_in_bounds() {
-        let d = TimeDistribution::Uniform { lo_ms: 10.0, hi_ms: 20.0 };
+        let d = TimeDistribution::Uniform {
+            lo_ms: 10.0,
+            hi_ms: 20.0,
+        };
         let mut r = rng();
         for _ in 0..1000 {
             let t = d.sample(&mut r).as_millis_f64();
@@ -138,7 +150,11 @@ mod tests {
 
     #[test]
     fn bimodal_hits_both_modes() {
-        let d = TimeDistribution::Bimodal { fast_ms: 1.0, slow_ms: 100.0, p_fast: 0.5 };
+        let d = TimeDistribution::Bimodal {
+            fast_ms: 1.0,
+            slow_ms: 100.0,
+            p_fast: 0.5,
+        };
         let mut r = rng();
         let samples = d.sample_n(1000, &mut r);
         let fast = samples.iter().filter(|t| t.as_millis_f64() < 50.0).count();
@@ -149,21 +165,41 @@ mod tests {
     fn constant_is_constant() {
         let d = TimeDistribution::Constant { ms: 42.0 };
         let mut r = rng();
-        assert!(d.sample_n(10, &mut r).iter().all(|t| t.as_millis_f64() == 42.0));
+        assert!(d
+            .sample_n(10, &mut r)
+            .iter()
+            .all(|t| t.as_millis_f64() == 42.0));
     }
 
     #[test]
     fn summaries_rank_dispersion() {
         let mut r = rng();
-        let tight = summarize(&TimeDistribution::Uniform { lo_ms: 99.0, hi_ms: 101.0 }, 2000, &mut r);
-        let wide = summarize(&TimeDistribution::LogNormal { median_ms: 100.0, sigma: 1.2 }, 2000, &mut r);
+        let tight = summarize(
+            &TimeDistribution::Uniform {
+                lo_ms: 99.0,
+                hi_ms: 101.0,
+            },
+            2000,
+            &mut r,
+        );
+        let wide = summarize(
+            &TimeDistribution::LogNormal {
+                median_ms: 100.0,
+                sigma: 1.2,
+            },
+            2000,
+            &mut r,
+        );
         assert!(tight.cv < 0.05, "tight cv {}", tight.cv);
         assert!(wide.cv > 0.5, "wide cv {}", wide.cv);
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let d = TimeDistribution::LogNormal { median_ms: 50.0, sigma: 0.7 };
+        let d = TimeDistribution::LogNormal {
+            median_ms: 50.0,
+            sigma: 0.7,
+        };
         let a = d.sample_n(10, &mut SimRng::seed_from_u64(1));
         let b = d.sample_n(10, &mut SimRng::seed_from_u64(1));
         assert_eq!(a, b);
@@ -172,6 +208,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bad uniform bounds")]
     fn bad_bounds_rejected() {
-        TimeDistribution::Uniform { lo_ms: 5.0, hi_ms: 1.0 }.sample(&mut rng());
+        TimeDistribution::Uniform {
+            lo_ms: 5.0,
+            hi_ms: 1.0,
+        }
+        .sample(&mut rng());
     }
 }

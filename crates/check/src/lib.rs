@@ -1,0 +1,242 @@
+//! # altx-check — a tiny seeded property-testing harness
+//!
+//! A std-only stand-in for `proptest`, used by the workspace's
+//! property-test suites. It has no strategy algebra and no shrinking;
+//! instead every case is generated from a deterministic seed, and a
+//! failing case panics with its case number and seed so the failure can
+//! be replayed exactly with [`replay`].
+//!
+//! ```
+//! altx_check::check("addition_commutes", 64, |rng| {
+//!     let (a, b) = (rng.u64_below(1000), rng.u64_below(1000));
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases for suites that don't pick their own count.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// A deterministic generator handed to each property case.
+///
+/// The core is SplitMix64 — tiny, fast, and well distributed — which is
+/// also what `altx_des::SimRng` seeds itself from, so the whole
+/// workspace shares one RNG lineage.
+#[derive(Debug, Clone)]
+pub struct CaseRng {
+    state: u64,
+}
+
+impl CaseRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        CaseRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. `bound` 0 yields 0.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift bound reduction; bias is negligible for test
+        // generation purposes.
+        ((self.u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.u64_below(hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_in(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        lo.wrapping_add(self.u64_below((hi - lo) as u64) as i64)
+    }
+
+    /// Uniform byte.
+    pub fn u8(&mut self) -> u8 {
+        (self.u64() >> 56) as u8
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.u64() & 1 == 1
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// A vector of `len` in `[lo, hi)` elements drawn by `f`.
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut CaseRng) -> T) -> Vec<T> {
+        let n = self.usize_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A vector of random bytes with `len` in `[lo, hi)`.
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        self.vec(lo, hi, |r| r.u8())
+    }
+
+    /// `Some(f(rng))` with probability `p`, else `None`.
+    pub fn option<T>(&mut self, p: f64, f: impl FnOnce(&mut CaseRng) -> T) -> Option<T> {
+        self.chance(p).then(|| f(self))
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.usize_in(0, items.len())]
+    }
+}
+
+/// Derives the seed for case `case` of the property named `name`.
+///
+/// The name participates so distinct properties in one file don't share
+/// generation streams.
+pub fn case_seed(name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `cases` deterministic cases of property `body`; panics with the
+/// case number and seed on the first failure.
+pub fn check(name: &str, cases: u32, mut body: impl FnMut(&mut CaseRng)) {
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        let mut rng = CaseRng::from_seed(seed);
+        if let Err(cause) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!(
+                "altx-check: property '{name}' failed at case {case} (seed {seed:#x}); \
+                 replay with altx_check::replay({seed:#x}, ...)"
+            );
+            resume_unwind(cause);
+        }
+    }
+}
+
+/// Re-runs one failing case by seed (for debugging a [`check`] failure).
+pub fn replay(seed: u64, mut body: impl FnMut(&mut CaseRng)) {
+    let mut rng = CaseRng::from_seed(seed);
+    body(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = CaseRng::from_seed(case_seed("p", 3));
+        let mut b = CaseRng::from_seed(case_seed("p", 3));
+        assert_eq!(a.u64(), b.u64());
+        assert_ne!(
+            CaseRng::from_seed(case_seed("p", 0)).u64(),
+            CaseRng::from_seed(case_seed("q", 0)).u64()
+        );
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = CaseRng::from_seed(1);
+        for _ in 0..1000 {
+            let v = rng.u64_in(10, 20);
+            assert!((10..20).contains(&v));
+            let f = rng.f64_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let x = rng.i64_in(-5, 5);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = CaseRng::from_seed(2);
+        for _ in 0..100 {
+            let v = rng.bytes(1, 64);
+            assert!((1..64).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn bool_and_chance_hit_both_sides() {
+        let mut rng = CaseRng::from_seed(3);
+        let trues = (0..1000).filter(|_| rng.bool()).count();
+        assert!((400..600).contains(&trues), "{trues}");
+        let hits = (0..1000).filter(|_| rng.chance(0.1)).count();
+        assert!((50..200).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn check_runs_every_case() {
+        let mut n = 0;
+        check("counter", 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn check_propagates_failures() {
+        check("fails", 4, |rng| {
+            if rng.u64() % 2 == 0 || true {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn replay_matches_check_stream() {
+        let seed = case_seed("stream", 5);
+        let mut from_check = Vec::new();
+        let mut case = 0u32;
+        check("stream", 6, |rng| {
+            if case == 5 {
+                from_check.push(rng.u64());
+            }
+            case += 1;
+        });
+        let mut from_replay = Vec::new();
+        replay(seed, |rng| from_replay.push(rng.u64()));
+        assert_eq!(from_check, from_replay);
+    }
+}

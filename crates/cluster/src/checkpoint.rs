@@ -63,8 +63,7 @@ impl Checkpoint {
             .map(|(idx, page)| (idx.0, page.as_bytes()))
             .collect();
 
-        let mut bytes =
-            Vec::with_capacity(16 + stored.len() * (4 + page_size.bytes()));
+        let mut bytes = Vec::with_capacity(16 + stored.len() * (4 + page_size.bytes()));
         bytes.extend_from_slice(&MAGIC.to_le_bytes());
         bytes.extend_from_slice(&(page_size.bytes() as u32).to_le_bytes());
         bytes.extend_from_slice(&(space.page_count() as u32).to_le_bytes());
@@ -110,7 +109,9 @@ impl Checkpoint {
     /// Returns [`RestoreError`] on a malformed image.
     pub fn restore(&self) -> Result<AddressSpace, RestoreError> {
         let b = &self.bytes;
-        let err = |message: &str| RestoreError { message: message.to_string() };
+        let err = |message: &str| RestoreError {
+            message: message.to_string(),
+        };
         let u32_at = |off: usize| -> Result<u32, RestoreError> {
             b.get(off..off + 4)
                 .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
@@ -203,7 +204,10 @@ mod tests {
         let cp_dense = Checkpoint::capture(&dense);
         let cp_sparse = Checkpoint::capture(&sparse);
         assert!(cp_sparse.len() < cp_dense.len() / 10);
-        assert_eq!(cp_sparse.restore().expect("valid").flatten(), sparse.flatten());
+        assert_eq!(
+            cp_sparse.restore().expect("valid").flatten(),
+            sparse.flatten()
+        );
     }
 
     #[test]
@@ -271,7 +275,13 @@ mod tests {
         space.touch_pages(0, 35, 0xAB);
         let cp = Checkpoint::capture(&space);
         assert!(cp.len() >= 70 * 1024, "resident image at least 70K");
-        let t = cp.rfork_time(&RemoteForkModel::calibrated_1989()).as_secs_f64();
-        assert!((1.1..1.5).contains(&t), "observed {t}s for {} bytes", cp.len());
+        let t = cp
+            .rfork_time(&RemoteForkModel::calibrated_1989())
+            .as_secs_f64();
+        assert!(
+            (1.1..1.5).contains(&t),
+            "observed {t}s for {} bytes",
+            cp.len()
+        );
     }
 }

@@ -83,8 +83,14 @@ mod tests {
             delay_factor: 1.0,
         };
         assert_eq!(n.transfer_time(0), SimDuration::from_millis(1));
-        assert_eq!(n.transfer_time(1000), SimDuration::from_millis(1) + SimDuration::from_secs(1));
-        assert_eq!(n.transfer_time(500), SimDuration::from_millis(1) + SimDuration::from_millis(500));
+        assert_eq!(
+            n.transfer_time(1000),
+            SimDuration::from_millis(1) + SimDuration::from_secs(1)
+        );
+        assert_eq!(
+            n.transfer_time(500),
+            SimDuration::from_millis(1) + SimDuration::from_millis(500)
+        );
     }
 
     #[test]
@@ -115,6 +121,9 @@ mod tests {
         let n = NetworkModel::lan_1989();
         // 70K over the 1989 LAN: tens of milliseconds, not seconds.
         let t = n.transfer_time(70 * 1024);
-        assert!(t > SimDuration::from_millis(50) && t < SimDuration::from_millis(500), "{t}");
+        assert!(
+            t > SimDuration::from_millis(50) && t < SimDuration::from_millis(500),
+            "{t}"
+        );
     }
 }

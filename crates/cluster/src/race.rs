@@ -119,7 +119,9 @@ impl DistributedRace {
             image_bytes,
             alternates,
             rfork: RemoteForkModel::calibrated_1989(),
-            sync: SyncMode::SinglePoint { coordinator_up: true },
+            sync: SyncMode::SinglePoint {
+                coordinator_up: true,
+            },
             seed: 11,
         }
     }
@@ -136,7 +138,10 @@ impl DistributedRace {
     ///
     /// Panics if there are no alternates.
     pub fn run(&self) -> DistributedRaceReport {
-        assert!(!self.alternates.is_empty(), "race needs at least one alternate");
+        assert!(
+            !self.alternates.is_empty(),
+            "race needs at least one alternate"
+        );
         let n = self.alternates.len();
         let breakdown = self.rfork.observed_breakdown(self.image_bytes);
 
@@ -183,7 +188,10 @@ impl DistributedRace {
                     (Some(idx), Some(finish + network.rtt()))
                 }
             }
-            SyncMode::Majority { n_voters, crashed_voters } => {
+            SyncMode::Majority {
+                n_voters,
+                crashed_voters,
+            } => {
                 if eligible.is_empty() || n_voters == 0 {
                     (None, None)
                 } else {
@@ -314,7 +322,9 @@ mod tests {
     #[test]
     fn single_point_of_failure_blocks_sync() {
         let r = race(vec![RemoteAlternate::healthy(NodeId(0), ms(100))])
-            .with_sync(SyncMode::SinglePoint { coordinator_up: false })
+            .with_sync(SyncMode::SinglePoint {
+                coordinator_up: false,
+            })
             .run();
         assert!(!r.succeeded(), "coordinator down: nobody can synchronize");
     }
@@ -322,7 +332,10 @@ mod tests {
     #[test]
     fn majority_consensus_tolerates_minority_crash() {
         let r = race(vec![RemoteAlternate::healthy(NodeId(0), ms(100))])
-            .with_sync(SyncMode::Majority { n_voters: 5, crashed_voters: 2 })
+            .with_sync(SyncMode::Majority {
+                n_voters: 5,
+                crashed_voters: 2,
+            })
             .run();
         assert!(r.succeeded());
     }
@@ -330,7 +343,10 @@ mod tests {
     #[test]
     fn majority_consensus_fails_with_majority_crashed() {
         let r = race(vec![RemoteAlternate::healthy(NodeId(0), ms(100))])
-            .with_sync(SyncMode::Majority { n_voters: 5, crashed_voters: 3 })
+            .with_sync(SyncMode::Majority {
+                n_voters: 5,
+                crashed_voters: 3,
+            })
             .run();
         assert!(!r.succeeded());
     }
@@ -340,7 +356,10 @@ mod tests {
         let alts = vec![RemoteAlternate::healthy(NodeId(0), ms(1_000))];
         let single = race(alts.clone()).run();
         let majority = race(alts)
-            .with_sync(SyncMode::Majority { n_voters: 5, crashed_voters: 0 })
+            .with_sync(SyncMode::Majority {
+                n_voters: 5,
+                crashed_voters: 0,
+            })
             .run();
         assert!(single.succeeded() && majority.succeeded());
         // The reliability price: consensus needs at least as long.

@@ -199,16 +199,10 @@ mod tests {
 
     #[test]
     fn replication_multiplies_setup_cost() {
-        let one = ReplicatedRace::new(
-            70 * 1024,
-            vec![ReplicatedAlternate::healthy(ms(60_000), 1)],
-        )
-        .run();
-        let three = ReplicatedRace::new(
-            70 * 1024,
-            vec![ReplicatedAlternate::healthy(ms(60_000), 3)],
-        )
-        .run();
+        let one =
+            ReplicatedRace::new(70 * 1024, vec![ReplicatedAlternate::healthy(ms(60_000), 1)]).run();
+        let three =
+            ReplicatedRace::new(70 * 1024, vec![ReplicatedAlternate::healthy(ms(60_000), 3)]).run();
         assert_eq!(three.rforks, 3 * one.rforks);
         // With identical compute, extra replicas only add cost: the
         // first-dispatched replica still finishes first.

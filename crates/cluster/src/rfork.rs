@@ -163,7 +163,10 @@ mod tests {
         let m = RemoteForkModel::calibrated_1989();
         let small = m.service_time(10 * 1024);
         let big = m.service_time(100 * 1024);
-        assert!(big > small * 5, "10× image must cost much more: {small} vs {big}");
+        assert!(
+            big > small * 5,
+            "10× image must cost much more: {small} vs {big}"
+        );
     }
 
     #[test]

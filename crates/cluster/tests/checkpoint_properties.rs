@@ -1,19 +1,16 @@
 //! Property-based tests for checkpoint/restore.
 
+use altx_check::check;
 use altx_cluster::Checkpoint;
 use altx_pager::{AddressSpace, PageSize};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// capture → restore is the identity on contents, for arbitrary
-    /// write patterns and page sizes.
-    #[test]
-    fn round_trip_identity(
-        writes in prop::collection::vec((0usize..500, prop::collection::vec(any::<u8>(), 1..40)), 0..20),
-        page_size in 1usize..128,
-    ) {
+/// capture → restore is the identity on contents, for arbitrary
+/// write patterns and page sizes.
+#[test]
+fn round_trip_identity() {
+    check("round_trip_identity", 64, |rng| {
+        let page_size = rng.usize_in(1, 128);
+        let writes = rng.vec(0, 20, |r| (r.usize_in(0, 500), r.bytes(1, 40)));
         let mut space = AddressSpace::zeroed(512, PageSize::new(page_size));
         let len = space.len();
         for (addr, data) in writes {
@@ -23,13 +20,17 @@ proptest! {
         }
         let cp = Checkpoint::capture(&space);
         let restored = cp.restore().expect("self-captured image is valid");
-        prop_assert_eq!(space.flatten(), restored.flatten());
-        prop_assert_eq!(space.page_count(), restored.page_count());
-    }
+        assert_eq!(space.flatten(), restored.flatten());
+        assert_eq!(space.page_count(), restored.page_count());
+    });
+}
 
-    /// Image size is monotone in the number of distinct dirty pages.
-    #[test]
-    fn size_monotone_in_dirty_pages(dirty_a in 0usize..16, extra in 0usize..16) {
+/// Image size is monotone in the number of distinct dirty pages.
+#[test]
+fn size_monotone_in_dirty_pages() {
+    check("size_monotone_in_dirty_pages", 64, |rng| {
+        let dirty_a = rng.usize_in(0, 16);
+        let extra = rng.usize_in(0, 16);
         let mk = |pages: usize| {
             let mut s = AddressSpace::zeroed(32 * 64, PageSize::new(64));
             if pages > 0 {
@@ -37,15 +38,16 @@ proptest! {
             }
             Checkpoint::capture(&s).len()
         };
-        prop_assert!(mk(dirty_a) <= mk((dirty_a + extra).min(32)));
-    }
+        assert!(mk(dirty_a) <= mk((dirty_a + extra).min(32)));
+    });
+}
 
-    /// Restored images re-capture to the identical byte sequence
-    /// (canonical form: capture ∘ restore ∘ capture = capture).
-    #[test]
-    fn capture_is_canonical(
-        writes in prop::collection::vec((0usize..300, any::<u8>()), 0..30),
-    ) {
+/// Restored images re-capture to the identical byte sequence
+/// (canonical form: capture ∘ restore ∘ capture = capture).
+#[test]
+fn capture_is_canonical() {
+    check("capture_is_canonical", 64, |rng| {
+        let writes = rng.vec(0, 30, |r| (r.usize_in(0, 300), r.u8()));
         let mut space = AddressSpace::zeroed(320, PageSize::new(32));
         for (addr, value) in writes {
             if addr < space.len() {
@@ -54,14 +56,17 @@ proptest! {
         }
         let first = Checkpoint::capture(&space);
         let second = Checkpoint::capture(&first.restore().expect("valid"));
-        prop_assert_eq!(first.as_bytes(), second.as_bytes());
-    }
+        assert_eq!(first.as_bytes(), second.as_bytes());
+    });
+}
 
-    /// Arbitrary byte soup never restores successfully unless it happens
-    /// to be a valid image (fuzz the parser: must error, never panic).
-    #[test]
-    fn parser_rejects_garbage_without_panicking(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// Arbitrary byte soup never restores successfully unless it happens
+/// to be a valid image (fuzz the parser: must error, never panic).
+#[test]
+fn parser_rejects_garbage_without_panicking() {
+    check("parser_rejects_garbage_without_panicking", 256, |rng| {
+        let bytes = rng.bytes(0, 200);
         // Any outcome is fine except a panic; almost all inputs error.
         let _ = Checkpoint::from_bytes(bytes);
-    }
+    });
 }

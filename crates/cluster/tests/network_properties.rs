@@ -1,0 +1,71 @@
+//! Property-based tests of the network cost model.
+
+use altx_check::check;
+use altx_cluster::NetworkModel;
+use altx_des::SimDuration;
+
+fn arb_model(rng: &mut altx_check::CaseRng) -> NetworkModel {
+    NetworkModel {
+        latency: SimDuration::from_micros(rng.u64_in(0, 10_000)),
+        bandwidth_bytes_per_sec: rng.u64_in(1, 100_000_000),
+        delay_factor: rng.f64_in(1.0, 4.0),
+    }
+}
+
+/// The delay factor only ever inflates: observed ≥ raw, with equality
+/// exactly at factor 1.
+#[test]
+fn delay_factor_never_deflates() {
+    check("delay_factor_never_deflates", 128, |rng| {
+        let mut model = arb_model(rng);
+        let bytes = rng.u64_in(0, 10_000_000);
+        assert!(model.transfer_time(bytes) >= model.raw_transfer_time(bytes));
+        model.delay_factor = 1.0;
+        assert_eq!(model.transfer_time(bytes), model.raw_transfer_time(bytes));
+    });
+}
+
+/// Transfer time is monotone in payload size.
+#[test]
+fn transfer_monotone_in_bytes() {
+    check("transfer_monotone_in_bytes", 128, |rng| {
+        let model = arb_model(rng);
+        let small = rng.u64_in(0, 1_000_000);
+        let extra = rng.u64_in(0, 1_000_000);
+        assert!(model.transfer_time(small) <= model.transfer_time(small + extra));
+    });
+}
+
+/// An empty transfer still pays one latency; rtt pays exactly two.
+#[test]
+fn latency_floor_and_rtt() {
+    check("latency_floor_and_rtt", 128, |rng| {
+        let model = arb_model(rng);
+        assert_eq!(model.raw_transfer_time(0), model.latency);
+        assert_eq!(model.rtt(), model.latency * 2);
+        assert!(model.transfer_time(0) >= model.latency);
+    });
+}
+
+/// More bandwidth never slows a transfer down, all else equal.
+#[test]
+fn bandwidth_monotone() {
+    check("bandwidth_monotone", 128, |rng| {
+        let mut model = arb_model(rng);
+        let bytes = rng.u64_in(1, 10_000_000);
+        let slower = model.transfer_time(bytes);
+        model.bandwidth_bytes_per_sec = model.bandwidth_bytes_per_sec.saturating_mul(2);
+        assert!(model.transfer_time(bytes) <= slower);
+    });
+}
+
+/// The ideal network dominates every other model.
+#[test]
+fn ideal_is_a_lower_bound() {
+    check("ideal_is_a_lower_bound", 128, |rng| {
+        let model = arb_model(rng);
+        let ideal = NetworkModel::ideal();
+        let bytes = rng.u64_in(0, 10_000_000);
+        assert!(ideal.transfer_time(bytes) <= model.transfer_time(bytes));
+    });
+}

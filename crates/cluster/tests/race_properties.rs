@@ -1,10 +1,10 @@
 //! Property-based tests of the distributed race and replication models.
 
+use altx_check::{check, CaseRng};
 use altx_cluster::{
     DistributedRace, NodeId, RemoteAlternate, ReplicatedAlternate, ReplicatedRace, SyncMode,
 };
 use altx_des::SimDuration;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct AltGen {
@@ -14,15 +14,13 @@ struct AltGen {
     dirty_kb: u64,
 }
 
-fn arb_alt() -> impl Strategy<Value = AltGen> {
-    (1u64..30_000, any::<bool>(), any::<bool>(), 1u64..64).prop_map(
-        |(compute_ms, guard_passes, node_crashes, dirty_kb)| AltGen {
-            compute_ms,
-            guard_passes,
-            node_crashes,
-            dirty_kb,
-        },
-    )
+fn arb_alt(rng: &mut CaseRng) -> AltGen {
+    AltGen {
+        compute_ms: rng.u64_in(1, 30_000),
+        guard_passes: rng.bool(),
+        node_crashes: rng.bool(),
+        dirty_kb: rng.u64_in(1, 64),
+    }
 }
 
 fn to_remote(alts: &[AltGen]) -> Vec<RemoteAlternate> {
@@ -38,96 +36,112 @@ fn to_remote(alts: &[AltGen]) -> Vec<RemoteAlternate> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// A race succeeds iff some alternate both survives and passes its
-    /// guard; the winner is always such an alternate.
-    #[test]
-    fn success_iff_viable_alternate(alts in prop::collection::vec(arb_alt(), 1..6)) {
+/// A race succeeds iff some alternate both survives and passes its
+/// guard; the winner is always such an alternate.
+#[test]
+fn success_iff_viable_alternate() {
+    check("success_iff_viable_alternate", 64, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
         let report = DistributedRace::new(70 * 1024, to_remote(&alts)).run();
         let viable = alts.iter().any(|a| a.guard_passes && !a.node_crashes);
-        prop_assert_eq!(report.succeeded(), viable);
+        assert_eq!(report.succeeded(), viable);
         if let Some(w) = report.winner {
-            prop_assert!(alts[w].guard_passes && !alts[w].node_crashes);
-            prop_assert!(report.timelines[w].synced_at.is_some());
-            prop_assert!(report.completed_at.is_some());
+            assert!(alts[w].guard_passes && !alts[w].node_crashes);
+            assert!(report.timelines[w].synced_at.is_some());
+            assert!(report.completed_at.is_some());
         }
-    }
+    });
+}
 
-    /// The winner has the minimal finish time among viable alternates
-    /// (ties to the earlier-dispatched one).
-    #[test]
-    fn winner_is_earliest_finisher(alts in prop::collection::vec(arb_alt(), 1..6)) {
+/// The winner has the minimal finish time among viable alternates
+/// (ties to the earlier-dispatched one).
+#[test]
+fn winner_is_earliest_finisher() {
+    check("winner_is_earliest_finisher", 64, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
         let report = DistributedRace::new(70 * 1024, to_remote(&alts)).run();
         if let Some(w) = report.winner {
             let w_finish = report.timelines[w].finished_at.expect("winner finished");
             for (i, (a, tl)) in alts.iter().zip(&report.timelines).enumerate() {
                 if a.guard_passes && !a.node_crashes {
                     let f = tl.finished_at.expect("viable alternates finish");
-                    prop_assert!(
+                    assert!(
                         w_finish < f || (w_finish == f && w <= i),
-                        "alt {i} finished at {:?} before winner {w} at {:?}",
-                        f,
-                        w_finish
+                        "alt {i} finished at {f:?} before winner {w} at {w_finish:?}"
                     );
                 }
             }
         }
-    }
+    });
+}
 
-    /// Completion is monotone in dirty-state size (more copy-back can
-    /// never make the block finish earlier), all else equal.
-    #[test]
-    fn copyback_monotone(compute_ms in 100u64..10_000, small_kb in 1u64..32, extra_kb in 1u64..512) {
+/// Completion is monotone in dirty-state size (more copy-back can
+/// never make the block finish earlier), all else equal.
+#[test]
+fn copyback_monotone() {
+    check("copyback_monotone", 64, |rng| {
+        let compute_ms = rng.u64_in(100, 10_000);
+        let small_kb = rng.u64_in(1, 32);
+        let extra_kb = rng.u64_in(1, 512);
         let mk = |kb: u64| {
             let mut alt = RemoteAlternate::healthy(NodeId(0), SimDuration::from_millis(compute_ms));
             alt.dirty_bytes = kb * 1024;
-            DistributedRace::new(70 * 1024, vec![alt]).run().completed_at.expect("succeeds")
+            DistributedRace::new(70 * 1024, vec![alt])
+                .run()
+                .completed_at
+                .expect("succeeds")
         };
-        prop_assert!(mk(small_kb) <= mk(small_kb + extra_kb));
-    }
+        assert!(mk(small_kb) <= mk(small_kb + extra_kb));
+    });
+}
 
-    /// Majority sync succeeds exactly when a voter majority survives
-    /// (given a viable alternate).
-    #[test]
-    fn majority_threshold(n_voters in 1usize..8, crashed in 0usize..8) {
-        let crashed = crashed.min(n_voters);
+/// Majority sync succeeds exactly when a voter majority survives
+/// (given a viable alternate).
+#[test]
+fn majority_threshold() {
+    check("majority_threshold", 64, |rng| {
+        let n_voters = rng.usize_in(1, 8);
+        let crashed = rng.usize_in(0, 8).min(n_voters);
         let race = DistributedRace::new(
             70 * 1024,
-            vec![RemoteAlternate::healthy(NodeId(0), SimDuration::from_millis(500))],
+            vec![RemoteAlternate::healthy(
+                NodeId(0),
+                SimDuration::from_millis(500),
+            )],
         )
-        .with_sync(SyncMode::Majority { n_voters, crashed_voters: crashed });
+        .with_sync(SyncMode::Majority {
+            n_voters,
+            crashed_voters: crashed,
+        });
         let report = race.run();
-        prop_assert_eq!(report.succeeded(), n_voters - crashed > n_voters / 2);
-    }
+        assert_eq!(report.succeeded(), n_voters - crashed > n_voters / 2);
+    });
+}
 
-    /// Replication dominance: with the same per-replica crash pattern
-    /// prefix, more replicas never lose a previously won race, and the
-    /// rfork bill is exactly alternates × replicas.
-    #[test]
-    fn replication_dominance(
-        compute_ms in 1u64..10_000,
-        crashes in prop::collection::vec(any::<bool>(), 1..5),
-    ) {
+/// Replication dominance: with the same per-replica crash pattern
+/// prefix, more replicas never lose a previously won race, and the
+/// rfork bill is exactly alternates × replicas.
+#[test]
+fn replication_dominance() {
+    check("replication_dominance", 64, |rng| {
+        let compute_ms = rng.u64_in(1, 10_000);
+        let crashes = rng.vec(1, 5, |r| r.bool());
         let k = crashes.len();
         let mk = |replicas: usize| {
-            let mut alt = ReplicatedAlternate::healthy(
-                SimDuration::from_millis(compute_ms),
-                replicas,
-            );
+            let mut alt =
+                ReplicatedAlternate::healthy(SimDuration::from_millis(compute_ms), replicas);
             alt.replica_crashes = crashes[..replicas].to_vec();
             ReplicatedRace::new(70 * 1024, vec![alt]).run()
         };
         let fewer = mk(k.max(1)); // all replicas
-        prop_assert_eq!(fewer.rforks, k);
+        assert_eq!(fewer.rforks, k);
         if k > 1 {
             let one = mk(1);
             // If the single-replica version succeeded, the replicated one
             // must too (the same first replica exists).
             if one.winner.is_some() {
-                prop_assert!(fewer.winner.is_some());
+                assert!(fewer.winner.is_some());
             }
         }
-    }
+    });
 }

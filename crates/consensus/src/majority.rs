@@ -154,9 +154,19 @@ impl fmt::Display for ConsensusReport {
 
 #[derive(Debug)]
 enum Event {
-    Request { candidate: u64, voter: usize },
-    Response { voter: usize, candidate: u64, granted: bool },
-    Retry { candidate: u64, round: u32 },
+    Request {
+        candidate: u64,
+        voter: usize,
+    },
+    Response {
+        voter: usize,
+        candidate: u64,
+        granted: bool,
+    },
+    Retry {
+        candidate: u64,
+        round: u32,
+    },
 }
 
 #[derive(Debug)]
@@ -196,7 +206,11 @@ impl ConsensusSim {
         let mut ids: Vec<u64> = cfg.candidates.iter().map(|c| c.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), cfg.candidates.len(), "candidate ids must be unique");
+        assert_eq!(
+            ids.len(),
+            cfg.candidates.len(),
+            "candidate ids must be unique"
+        );
         ConsensusSim { cfg }
     }
 
@@ -222,7 +236,13 @@ impl ConsensusSim {
                     outcome: CandidateOutcome::Undecided,
                 },
             );
-            queue.schedule(spec.start, Event::Retry { candidate: spec.id, round: 0 });
+            queue.schedule(
+                spec.start,
+                Event::Retry {
+                    candidate: spec.id,
+                    round: 0,
+                },
+            );
         }
 
         let mut winner: Option<(u64, SimTime)> = None;
@@ -254,7 +274,10 @@ impl ConsensusSim {
                     }
                     queue.schedule(
                         now + retry,
-                        Event::Retry { candidate, round: round + 1 },
+                        Event::Retry {
+                            candidate,
+                            round: round + 1,
+                        },
                     );
                 }
                 Event::Request { candidate, voter } => {
@@ -280,10 +303,18 @@ impl ConsensusSim {
                     }
                     queue.schedule(
                         now + self.cfg.latency,
-                        Event::Response { voter, candidate, granted },
+                        Event::Response {
+                            voter,
+                            candidate,
+                            granted,
+                        },
                     );
                 }
-                Event::Response { voter, candidate, granted } => {
+                Event::Response {
+                    voter,
+                    candidate,
+                    granted,
+                } => {
                     let state = candidates.get_mut(&candidate).expect("known candidate");
                     if !matches!(state.outcome, CandidateOutcome::Undecided) {
                         continue;
@@ -344,14 +375,19 @@ mod tests {
         let report =
             ConsensusSim::new(ConsensusConfig::simple(5, vec![cand(1, 0), cand(2, 10)])).run();
         assert_eq!(report.winner, Some(1));
-        assert!(matches!(report.outcomes[&2], CandidateOutcome::GaveUp { .. }));
+        assert!(matches!(
+            report.outcomes[&2],
+            CandidateOutcome::GaveUp { .. }
+        ));
     }
 
     #[test]
     fn at_most_one_winner_simultaneous_start() {
-        let report =
-            ConsensusSim::new(ConsensusConfig::simple(5, vec![cand(1, 0), cand(2, 0), cand(3, 0)]))
-                .run();
+        let report = ConsensusSim::new(ConsensusConfig::simple(
+            5,
+            vec![cand(1, 0), cand(2, 0), cand(3, 0)],
+        ))
+        .run();
         let wins = report.outcomes.values().filter(|o| o.is_win()).count();
         assert!(wins <= 1, "outcomes: {:?}", report.outcomes);
         assert_eq!(report.winner.is_some(), wins == 1);
@@ -447,6 +483,9 @@ mod tests {
     #[test]
     fn report_display() {
         let report = ConsensusSim::new(ConsensusConfig::simple(3, vec![cand(1, 0)])).run();
-        assert!(report.to_string().contains("winner: candidate 1"), "{report}");
+        assert!(
+            report.to_string().contains("winner: candidate 1"),
+            "{report}"
+        );
     }
 }

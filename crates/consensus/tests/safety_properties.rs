@@ -5,95 +5,98 @@
 //! arbitrary fault schedules at the simulator and assert the invariant can
 //! never be violated.
 
+use altx_check::{check, CaseRng};
 use altx_consensus::{CandidateSpec, ConsensusConfig, ConsensusSim, FaultPlan};
 use altx_des::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-fn arb_config() -> impl Strategy<Value = ConsensusConfig> {
-    (
-        1usize..=9,                                  // voters
-        1usize..=4,                                  // candidates
-        0.0f64..0.9,                                 // drop probability
-        any::<u64>(),                                // seed
-        prop::collection::vec(prop::option::of(0u64..200), 9),
-        prop::collection::vec(0u64..50, 4),          // start times (ms)
-    )
-        .prop_map(|(n_voters, n_cands, drop, seed, crashes, starts)| {
-            let candidates = (0..n_cands)
-                .map(|i| {
-                    let mut c = CandidateSpec::new(
-                        i as u64 + 1,
-                        SimTime::from_nanos(starts[i] * 1_000_000),
-                    );
-                    c.retry_interval = SimDuration::from_millis(20);
-                    c.max_rounds = 4;
-                    c
-                })
-                .collect();
-            ConsensusConfig {
-                n_voters,
-                latency: SimDuration::from_millis(2),
-                candidates,
-                faults: FaultPlan {
-                    voter_crash_times: crashes[..n_voters]
-                        .iter()
-                        .map(|c| c.map(|ms| SimTime::from_nanos(ms * 1_000_000)))
-                        .collect(),
-                    drop_probability: drop,
-                },
-                seed,
-            }
+fn arb_config(rng: &mut CaseRng) -> ConsensusConfig {
+    let n_voters = rng.usize_in(1, 10);
+    let n_cands = rng.usize_in(1, 5);
+    let drop = rng.f64_in(0.0, 0.9);
+    let seed = rng.u64();
+    let crashes: Vec<Option<u64>> = (0..9)
+        .map(|_| rng.option(0.5, |r| r.u64_in(0, 200)))
+        .collect();
+    let starts: Vec<u64> = (0..4).map(|_| rng.u64_in(0, 50)).collect();
+    let candidates = (0..n_cands)
+        .map(|i| {
+            let mut c =
+                CandidateSpec::new(i as u64 + 1, SimTime::from_nanos(starts[i] * 1_000_000));
+            c.retry_interval = SimDuration::from_millis(20);
+            c.max_rounds = 4;
+            c
         })
+        .collect();
+    ConsensusConfig {
+        n_voters,
+        latency: SimDuration::from_millis(2),
+        candidates,
+        faults: FaultPlan {
+            voter_crash_times: crashes[..n_voters]
+                .iter()
+                .map(|c| c.map(|ms| SimTime::from_nanos(ms * 1_000_000)))
+                .collect(),
+            drop_probability: drop,
+        },
+        seed,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// At most one candidate ever wins, under any fault schedule.
-    #[test]
-    fn at_most_one_winner(cfg in arb_config()) {
-        let report = ConsensusSim::new(cfg).run();
+/// At most one candidate ever wins, under any fault schedule.
+#[test]
+fn at_most_one_winner() {
+    check("at_most_one_winner", 128, |rng| {
+        let report = ConsensusSim::new(arb_config(rng)).run();
         let wins = report.outcomes.values().filter(|o| o.is_win()).count();
-        prop_assert!(wins <= 1, "multiple winners: {:?}", report.outcomes);
-        prop_assert_eq!(report.winner.is_some(), wins == 1);
-    }
+        assert!(wins <= 1, "multiple winners: {:?}", report.outcomes);
+        assert_eq!(report.winner.is_some(), wins == 1);
+    });
+}
 
-    /// With no failures and a single candidate, the candidate always wins,
-    /// in one round, at start + 2×latency (request out, grant back).
-    #[test]
-    fn failure_free_single_candidate_latency(n_voters in 1usize..9, start_ms in 0u64..100) {
+/// With no failures and a single candidate, the candidate always wins,
+/// in one round, at start + 2×latency (request out, grant back).
+#[test]
+fn failure_free_single_candidate_latency() {
+    check("failure_free_single_candidate_latency", 128, |rng| {
+        let n_voters = rng.usize_in(1, 9);
+        let start_ms = rng.u64_in(0, 100);
         let start = SimTime::from_nanos(start_ms * 1_000_000);
         let cfg = ConsensusConfig::simple(n_voters, vec![CandidateSpec::new(1, start)]);
         let latency = cfg.latency;
         let report = ConsensusSim::new(cfg).run();
-        prop_assert_eq!(report.winner, Some(1));
-        prop_assert_eq!(report.decided_at, Some(start + latency + latency));
-    }
+        assert_eq!(report.winner, Some(1));
+        assert_eq!(report.decided_at, Some(start + latency + latency));
+    });
+}
 
-    /// Determinism: identical configs yield identical reports.
-    #[test]
-    fn runs_are_deterministic(cfg in arb_config()) {
+/// Determinism: identical configs yield identical reports.
+#[test]
+fn runs_are_deterministic() {
+    check("runs_are_deterministic", 64, |rng| {
+        let cfg = arb_config(rng);
         let a = ConsensusSim::new(cfg.clone()).run();
         let b = ConsensusSim::new(cfg).run();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    /// If a majority of voters stay up forever and messages are reliable,
-    /// some candidate must win (liveness under the good case).
-    #[test]
-    fn reliable_majority_alive_implies_winner(
-        n_voters in 1usize..9,
-        n_crashed in 0usize..4,
-        seed in any::<u64>(),
-    ) {
-        let n_crashed = n_crashed.min(n_voters.saturating_sub(1));
-        prop_assume!(n_voters - n_crashed > n_voters / 2);
+/// If a majority of voters stay up forever and messages are reliable,
+/// some candidate must win (liveness under the good case).
+#[test]
+fn reliable_majority_alive_implies_winner() {
+    check("reliable_majority_alive_implies_winner", 128, |rng| {
+        let n_voters = rng.usize_in(1, 9);
+        let n_crashed = rng.usize_in(0, 4).min(n_voters.saturating_sub(1));
+        let seed = rng.u64();
+        if n_voters - n_crashed <= n_voters / 2 {
+            return; // no surviving majority: out of this property's scope
+        }
         let mut cfg = ConsensusConfig::simple(n_voters, vec![CandidateSpec::new(1, SimTime::ZERO)]);
         for v in 0..n_crashed {
             cfg.faults.voter_crash_times[v] = Some(SimTime::ZERO);
         }
         cfg.seed = seed;
         let report = ConsensusSim::new(cfg).run();
-        prop_assert_eq!(report.winner, Some(1), "{}", report);
-    }
+        assert_eq!(report.winner, Some(1), "{report}");
+    });
 }

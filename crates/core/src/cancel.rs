@@ -1,14 +1,24 @@
-//! Cooperative cancellation for racing alternatives.
+//! Cooperative cancellation and deadlines for racing alternatives.
 //!
 //! Sibling elimination (§3.2.1) for real threads: Rust cannot safely kill
 //! a thread, so losing alternatives are *asked* to stop via a shared
 //! [`CancelToken`] that well-behaved bodies poll. The token is cheap
 //! enough to check inside inner loops.
+//!
+//! A token may additionally carry a **deadline** — the real-time analogue
+//! of the paper's `alt_wait(timeout)`: once the deadline passes, every
+//! observer of the token sees it as cancelled, so a race whose budget is
+//! blown converts into an explicit failure instead of a late answer.
+//! [`CancelToken::deadline_expired`] distinguishes "lost the race" from
+//! "ran out of time", which `altx-serve` maps to its `DeadlineExceeded`
+//! reply.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// A shared cancellation flag. Cloning shares the underlying flag.
+/// A shared cancellation flag, optionally with a deadline. Cloning
+/// shares the underlying flag (and deadline).
 ///
 /// # Example
 ///
@@ -25,12 +35,42 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
 }
 
 impl CancelToken {
-    /// Creates an un-cancelled token.
+    /// Creates an un-cancelled token with no deadline.
     pub fn new() -> Self {
         CancelToken::default()
+    }
+
+    /// Creates a token that auto-cancels once `budget` has elapsed
+    /// (measured from now).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Creates a token that auto-cancels at `deadline`.
+    pub fn with_deadline_at(deadline: Instant) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The absolute deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time remaining until the deadline (`None` if no deadline; zero if
+    /// already past it).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
     }
 
     /// Requests cancellation (idempotent).
@@ -38,9 +78,18 @@ impl CancelToken {
         self.flag.store(true, Ordering::Release);
     }
 
-    /// True iff cancellation was requested.
+    /// True iff the deadline (if any) has passed.
+    ///
+    /// Independent of [`cancel`](Self::cancel): a race that was decided
+    /// before its budget ran out has `is_cancelled() == true` but
+    /// `deadline_expired() == false`.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// True iff cancellation was requested or the deadline has passed.
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Acquire)
+        self.flag.load(Ordering::Acquire) || self.deadline_expired()
     }
 
     /// `Some(())` while running, `None` once cancelled — lets bodies bail
@@ -59,6 +108,8 @@ mod tests {
         let t = CancelToken::new();
         assert!(!t.is_cancelled());
         assert_eq!(t.checkpoint(), Some(()));
+        assert!(t.deadline().is_none());
+        assert!(t.remaining().is_none());
     }
 
     #[test]
@@ -83,5 +134,41 @@ mod tests {
         });
         t.cancel();
         assert!(handle.join().expect("thread joins"));
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_all_clones() {
+        let t = CancelToken::with_deadline(Duration::from_millis(10));
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        assert!(!t.deadline_expired());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(t.deadline_expired());
+        assert!(u.is_cancelled(), "clone observes the shared deadline");
+        assert_eq!(u.checkpoint(), None);
+    }
+
+    #[test]
+    fn explicit_cancel_does_not_claim_expiry() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.deadline_expired(), "won race != blown budget");
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let t = CancelToken::with_deadline(Duration::from_millis(50));
+        let first = t.remaining().expect("has deadline");
+        assert!(first <= Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn deadline_at_absolute_instant() {
+        let t = CancelToken::with_deadline_at(Instant::now());
+        assert!(t.is_cancelled());
+        assert!(t.deadline_expired());
     }
 }

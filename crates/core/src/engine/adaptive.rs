@@ -17,7 +17,7 @@ use crate::block::{AltBlock, BlockResult};
 use crate::cancel::CancelToken;
 use crate::engine::Engine;
 use altx_pager::AddressSpace;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 #[derive(Debug, Clone, Default)]
@@ -79,18 +79,23 @@ impl AdaptiveEngine {
     /// Observed mean execution time (seconds) of alternative `i`, if it
     /// has run.
     pub fn observed_mean(&self, i: usize) -> Option<f64> {
-        let stats = self.stats.lock();
+        let stats = self.stats.lock().expect("stats lock");
         stats.get(i).filter(|s| s.runs > 0).map(AltStats::mean)
     }
 
     /// Total guard failures observed for alternative `i`.
     pub fn observed_failures(&self, i: usize) -> u64 {
-        self.stats.lock().get(i).map(|s| s.failures).unwrap_or(0)
+        self.stats
+            .lock()
+            .expect("stats lock")
+            .get(i)
+            .map(|s| s.failures)
+            .unwrap_or(0)
     }
 
     /// Preference order: unexplored first, then ascending observed mean.
     fn order(&self, n: usize) -> Vec<usize> {
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().expect("stats lock");
         if stats.len() < n {
             stats.resize(n, AltStats::default());
         }
@@ -105,7 +110,7 @@ impl AdaptiveEngine {
     }
 
     fn record(&self, i: usize, secs: f64, failed: bool) {
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().expect("stats lock");
         let s = &mut stats[i];
         s.runs += 1;
         s.total_secs += secs;
@@ -116,7 +121,11 @@ impl AdaptiveEngine {
 }
 
 impl Engine for AdaptiveEngine {
-    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R> {
+    fn execute<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+    ) -> BlockResult<R> {
         let start = Instant::now();
         if block.is_empty() {
             return BlockResult {
@@ -192,7 +201,10 @@ mod tests {
         let fast_runs = runs[1].load(Ordering::SeqCst);
         assert!(slow_runs >= 1, "exploration must try the slow one");
         assert!(slow_runs <= 2, "but then abandon it: {slow_runs}");
-        assert!(fast_runs >= 6, "the statistic picks the fast one: {fast_runs}");
+        assert!(
+            fast_runs >= 6,
+            "the statistic picks the fast one: {fast_runs}"
+        );
         assert!(engine.observed_mean(0).expect("ran") > engine.observed_mean(1).expect("ran"));
     }
 

@@ -37,5 +37,6 @@ use altx_pager::AddressSpace;
 /// value (if any) was produced by exactly that alternative.
 pub trait Engine {
     /// Executes `block` against `workspace`.
-    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R>;
+    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace)
+        -> BlockResult<R>;
 }

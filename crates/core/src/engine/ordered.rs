@@ -24,7 +24,11 @@ impl OrderedEngine {
 }
 
 impl Engine for OrderedEngine {
-    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R> {
+    fn execute<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+    ) -> BlockResult<R> {
         let start = Instant::now();
         let token = CancelToken::new(); // never cancelled: sequential
         let mut attempts = 0;

@@ -5,7 +5,7 @@ use crate::cancel::CancelToken;
 use crate::engine::Engine;
 use altx_des::SimRng;
 use altx_pager::AddressSpace;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Picks **one** alternative uniformly at random and runs only it — the
@@ -39,7 +39,11 @@ impl Default for RandomEngine {
 }
 
 impl Engine for RandomEngine {
-    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R> {
+    fn execute<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+    ) -> BlockResult<R> {
         let start = Instant::now();
         if block.is_empty() {
             return BlockResult {
@@ -50,7 +54,7 @@ impl Engine for RandomEngine {
                 attempts: 0,
             };
         }
-        let i = self.rng.lock().index(block.len());
+        let i = self.rng.lock().expect("rng lock").index(block.len());
         let alt = &block.alternatives()[i];
         let token = CancelToken::new();
         let mut fork = workspace.cow_fork();
@@ -147,6 +151,8 @@ mod tests {
     #[test]
     fn empty_block_fails() {
         let block: AltBlock<i32> = AltBlock::new();
-        assert!(!RandomEngine::default().execute(&block, &mut ws()).succeeded());
+        assert!(!RandomEngine::default()
+            .execute(&block, &mut ws())
+            .succeeded());
     }
 }

@@ -70,7 +70,11 @@ impl std::fmt::Debug for SelectorEngine {
 }
 
 impl Engine for SelectorEngine {
-    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R> {
+    fn execute<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+    ) -> BlockResult<R> {
         let start = Instant::now();
         if block.is_empty() {
             return BlockResult {

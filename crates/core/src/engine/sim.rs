@@ -52,7 +52,12 @@ impl SimRaceSpec {
 
     /// Convenience: times given in milliseconds.
     pub fn from_millis(times_ms: &[u64]) -> Self {
-        SimRaceSpec::new(times_ms.iter().map(|&t| SimDuration::from_millis(t)).collect())
+        SimRaceSpec::new(
+            times_ms
+                .iter()
+                .map(|&t| SimDuration::from_millis(t))
+                .collect(),
+        )
     }
 
     /// Sets the CPU count.
@@ -103,14 +108,20 @@ impl SimRaceResult {
 ///
 /// Panics if `spec.times` is empty.
 pub fn race(spec: &SimRaceSpec) -> SimRaceResult {
-    assert!(!spec.times.is_empty(), "race needs at least one alternative");
+    assert!(
+        !spec.times.is_empty(),
+        "race needs at least one alternative"
+    );
     let alternatives: Vec<Alternative> = spec
         .times
         .iter()
         .map(|&t| {
             let mut ops = vec![Op::Compute(t)];
             if spec.dirty_pages > 0 {
-                ops.push(Op::TouchPages { first: 0, count: spec.dirty_pages });
+                ops.push(Op::TouchPages {
+                    first: 0,
+                    count: spec.dirty_pages,
+                });
             }
             Alternative::new(GuardSpec::Const(true), Program::new(ops))
         })
@@ -126,10 +137,8 @@ pub fn race(spec: &SimRaceSpec) -> SimRaceResult {
     // The parent's pages are mapped (non-zero image), so an alternate's
     // writes trigger genuine COW copies, not zero-fills — the quantity
     // §4.4's pages/second rate measures.
-    let image = altx_pager::AddressSpace::from_bytes(
-        &vec![0x5A; spec.mem_bytes],
-        spec.profile.page_size(),
-    );
+    let image =
+        altx_pager::AddressSpace::from_bytes(&vec![0x5A; spec.mem_bytes], spec.profile.page_size());
     let root = kernel.spawn_with_space(Program::new(vec![Op::AltBlock(block)]), image);
     let report = kernel.run();
     let outcome = report.block_outcomes(root)[0].clone();
@@ -166,7 +175,11 @@ mod tests {
         // Total elapsed covers at least the winner's compute, and stays
         // below setup + the runner-up's time (the 20 ms and 30 ms bodies
         // never needed to finish).
-        assert!(r.elapsed() >= SimDuration::from_millis(10), "elapsed {}", r.elapsed());
+        assert!(
+            r.elapsed() >= SimDuration::from_millis(10),
+            "elapsed {}",
+            r.elapsed()
+        );
         assert!(
             r.elapsed() < r.outcome.setup_cost + SimDuration::from_millis(20),
             "elapsed {} vs setup {}",
@@ -177,7 +190,10 @@ mod tests {
 
     #[test]
     fn scheme_b_mean_is_arithmetic_mean() {
-        let times: Vec<SimDuration> = [10u64, 20, 30].iter().map(|&t| SimDuration::from_millis(t)).collect();
+        let times: Vec<SimDuration> = [10u64, 20, 30]
+            .iter()
+            .map(|&t| SimDuration::from_millis(t))
+            .collect();
         assert_eq!(scheme_b_mean(&times), SimDuration::from_millis(20));
         assert_eq!(scheme_b_mean(&[]), SimDuration::ZERO);
     }

@@ -3,7 +3,9 @@
 use crate::block::{AltBlock, BlockResult};
 use crate::cancel::CancelToken;
 use crate::engine::Engine;
+use crate::sync::Semaphore;
 use altx_pager::AddressSpace;
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// Races every alternative on its own OS thread over a private COW fork
@@ -44,12 +46,30 @@ impl ThreadedEngine {
     /// Panics if `n` is zero.
     pub fn with_max_threads(n: usize) -> Self {
         assert!(n > 0, "need at least one thread");
-        ThreadedEngine { max_threads: Some(n) }
+        ThreadedEngine {
+            max_threads: Some(n),
+        }
     }
-}
 
-impl Engine for ThreadedEngine {
-    fn execute<R: Send>(&self, block: &AltBlock<R>, workspace: &mut AddressSpace) -> BlockResult<R> {
+    /// Races `block` under a caller-supplied [`CancelToken`].
+    ///
+    /// This is the serving-layer entry point: the caller owns the token,
+    /// so it can carry a per-request deadline
+    /// ([`CancelToken::with_deadline`]) or be cancelled externally (e.g.
+    /// client disconnect). The engine cancels the token itself the moment
+    /// a winner is selected (sibling elimination), so a token must not be
+    /// shared between concurrent `execute_with_token` calls.
+    ///
+    /// If the token is already cancelled — or its deadline expires before
+    /// any alternative succeeds — the block fails; the caller can
+    /// distinguish a blown budget via
+    /// [`CancelToken::deadline_expired`].
+    pub fn execute_with_token<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+        token: &CancelToken,
+    ) -> BlockResult<R> {
         let start = Instant::now();
         if block.is_empty() {
             return BlockResult {
@@ -61,33 +81,29 @@ impl Engine for ThreadedEngine {
             };
         }
 
-        let token = CancelToken::new();
-        let (tx, rx) = crossbeam::channel::bounded::<(usize, Option<R>, AddressSpace)>(block.len());
+        // std mpsc: many racing senders, one selecting receiver.
+        let (tx, rx) = mpsc::channel::<(usize, Option<R>, AddressSpace)>();
         let slots = self.max_threads.unwrap_or(block.len()).min(block.len());
-        // A simple admission ticket: threads block here until a slot
+        // Admission tickets: threads block on the semaphore until a slot
         // frees; the winner's cancellation drains queued starters fast
         // (they check the token before doing any work).
-        let (slot_tx, slot_rx) = crossbeam::channel::bounded::<()>(slots);
-        for _ in 0..slots {
-            let _ = slot_tx.send(());
-        }
+        let semaphore = Semaphore::new(slots);
 
         let winner_slot = std::thread::scope(|scope| {
             for (i, alt) in block.alternatives().iter().enumerate() {
                 let mut fork = workspace.cow_fork();
                 let tx = tx.clone();
                 let token = token.clone();
-                let slot_rx = slot_rx.clone();
-                let slot_tx = slot_tx.clone();
+                let semaphore = &semaphore;
                 scope.spawn(move || {
                     // Wait for an execution slot (bounded concurrency).
-                    let _ticket = slot_rx.recv();
+                    semaphore.acquire();
                     let value = if token.is_cancelled() {
                         None // race already decided: never start
                     } else {
                         alt.run(&mut fork, &token)
                     };
-                    let _ = slot_tx.send(());
+                    semaphore.release();
                     // A closed channel just means the race is over.
                     let _ = tx.send((i, value, fork));
                 });
@@ -129,6 +145,16 @@ impl Engine for ThreadedEngine {
                 attempts: block.len(),
             },
         }
+    }
+}
+
+impl Engine for ThreadedEngine {
+    fn execute<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+    ) -> BlockResult<R> {
+        self.execute_with_token(block, workspace, &CancelToken::new())
     }
 }
 

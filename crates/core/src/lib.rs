@@ -52,6 +52,7 @@ pub mod engine;
 #[macro_use]
 pub mod macros;
 pub mod perf;
+pub mod sync;
 
 pub use block::{AltBlock, BlockResult};
 pub use cancel::CancelToken;

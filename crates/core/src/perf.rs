@@ -156,12 +156,42 @@ impl fmt::Display for PaperRow {
 /// `τ(overhead) = 5`), with the PI values as printed there.
 pub fn paper_table() -> Vec<PaperRow> {
     vec![
-        PaperRow { row: 1, times: [10.0, 20.0, 30.0], overhead: 5.0, paper_pi: 1.33 },
-        PaperRow { row: 2, times: [1.0, 19.0, 106.0], overhead: 5.0, paper_pi: 7.0 },
-        PaperRow { row: 3, times: [20.0, 20.0, 20.0], overhead: 5.0, paper_pi: 0.8 },
-        PaperRow { row: 4, times: [1.0, 2.0, 3.0], overhead: 5.0, paper_pi: 0.33 },
-        PaperRow { row: 5, times: [115.0, 120.0, 125.0], overhead: 5.0, paper_pi: 1.0 },
-        PaperRow { row: 6, times: [100.0, 200.0, 300.0], overhead: 5.0, paper_pi: 1.9 },
+        PaperRow {
+            row: 1,
+            times: [10.0, 20.0, 30.0],
+            overhead: 5.0,
+            paper_pi: 1.33,
+        },
+        PaperRow {
+            row: 2,
+            times: [1.0, 19.0, 106.0],
+            overhead: 5.0,
+            paper_pi: 7.0,
+        },
+        PaperRow {
+            row: 3,
+            times: [20.0, 20.0, 20.0],
+            overhead: 5.0,
+            paper_pi: 0.8,
+        },
+        PaperRow {
+            row: 4,
+            times: [1.0, 2.0, 3.0],
+            overhead: 5.0,
+            paper_pi: 0.33,
+        },
+        PaperRow {
+            row: 5,
+            times: [115.0, 120.0, 125.0],
+            overhead: 5.0,
+            paper_pi: 1.0,
+        },
+        PaperRow {
+            row: 6,
+            times: [100.0, 200.0, 300.0],
+            overhead: 5.0,
+            paper_pi: 1.9,
+        },
     ]
 }
 
@@ -250,7 +280,11 @@ mod tests {
 
     #[test]
     fn overhead_components_sum() {
-        let o = Overhead { setup: 1.0, runtime: 2.0, selection: 3.0 };
+        let o = Overhead {
+            setup: 1.0,
+            runtime: 2.0,
+            selection: 3.0,
+        };
         assert_eq!(o.total(), 6.0);
         assert_eq!(Overhead::total_of(5.0).total(), 5.0);
     }

@@ -10,7 +10,7 @@
 
 use altx::engine::{Engine, OrderedEngine, RandomEngine, SelectorEngine, ThreadedEngine};
 use altx::{AddressSpace, AltBlock, PageSize};
-use proptest::prelude::*;
+use altx_check::{check, CaseRng};
 
 /// A generated alternative: may fail; on success writes `stamp` at
 /// `addr` and returns its index.
@@ -21,17 +21,25 @@ struct GenAlt {
     stamp: u8,
 }
 
-fn arb_alt() -> impl Strategy<Value = GenAlt> {
-    (any::<bool>(), 0usize..200, 1u8..255).prop_map(|(succeeds, addr, stamp)| GenAlt {
-        succeeds,
-        addr,
-        stamp,
-    })
+fn arb_alt(rng: &mut CaseRng) -> GenAlt {
+    GenAlt {
+        succeeds: rng.bool(),
+        addr: rng.usize_in(0, 200),
+        stamp: rng.u64_in(1, 255) as u8,
+    }
 }
 
 fn build_block(alts: &[GenAlt]) -> AltBlock<usize> {
     let mut block = AltBlock::new();
-    for (i, &GenAlt { succeeds, addr, stamp }) in alts.iter().enumerate() {
+    for (
+        i,
+        &GenAlt {
+            succeeds,
+            addr,
+            stamp,
+        },
+    ) in alts.iter().enumerate()
+    {
         block = block.alternative(format!("alt{i}"), move |ws, _t| {
             // Every alternative writes (side effect) *before* its guard
             // decides — the containment must hide failing writes.
@@ -50,88 +58,91 @@ fn ws() -> AddressSpace {
 /// with value, winner's guard passes, and the workspace equals a
 /// sequential run of exactly the winner (or the untouched workspace on
 /// failure).
-fn assert_admissible(
-    alts: &[GenAlt],
-    result: &altx::BlockResult<usize>,
-    workspace: &AddressSpace,
-) -> Result<(), TestCaseError> {
+fn assert_admissible(alts: &[GenAlt], result: &altx::BlockResult<usize>, workspace: &AddressSpace) {
     match (result.winner, &result.value) {
         (Some(w), Some(v)) => {
-            prop_assert_eq!(w, *v, "winner and value must agree");
-            prop_assert!(alts[w].succeeds, "winner's guard must hold");
+            assert_eq!(w, *v, "winner and value must agree");
+            assert!(alts[w].succeeds, "winner's guard must hold");
             let mut oracle = ws();
             oracle.write(alts[w].addr, &[alts[w].stamp]);
-            prop_assert_eq!(
+            assert_eq!(
                 workspace.flatten(),
                 oracle.flatten(),
                 "workspace must equal a sequential run of the winner alone"
             );
         }
         (None, None) => {
-            prop_assert_eq!(
+            assert_eq!(
                 workspace.flatten(),
                 ws().flatten(),
                 "failed block must leave no trace"
             );
         }
-        other => prop_assert!(false, "inconsistent result {:?}", other),
+        other => panic!("inconsistent result {other:?}"),
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// OrderedEngine: picks the first succeeding alternative, always.
-    #[test]
-    fn ordered_is_first_success(alts in prop::collection::vec(arb_alt(), 1..6)) {
+/// OrderedEngine: picks the first succeeding alternative, always.
+#[test]
+fn ordered_is_first_success() {
+    check("ordered_is_first_success", 64, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
         let mut workspace = ws();
         let result = OrderedEngine::new().execute(&build_block(&alts), &mut workspace);
-        assert_admissible(&alts, &result, &workspace)?;
+        assert_admissible(&alts, &result, &workspace);
         let expected = alts.iter().position(|a| a.succeeds);
-        prop_assert_eq!(result.winner, expected);
-    }
+        assert_eq!(result.winner, expected);
+    });
+}
 
-    /// ThreadedEngine: succeeds iff some alternative can, and the outcome
-    /// is admissible whatever thread timing occurred.
-    #[test]
-    fn threaded_is_admissible(alts in prop::collection::vec(arb_alt(), 1..6)) {
+/// ThreadedEngine: succeeds iff some alternative can, and the outcome
+/// is admissible whatever thread timing occurred.
+#[test]
+fn threaded_is_admissible() {
+    check("threaded_is_admissible", 64, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
         let mut workspace = ws();
         let result = ThreadedEngine::new().execute(&build_block(&alts), &mut workspace);
-        assert_admissible(&alts, &result, &workspace)?;
-        prop_assert_eq!(result.succeeded(), alts.iter().any(|a| a.succeeds));
-    }
+        assert_admissible(&alts, &result, &workspace);
+        assert_eq!(result.succeeded(), alts.iter().any(|a| a.succeeds));
+    });
+}
 
-    /// RandomEngine (Scheme B): admissible, and fails exactly when its
-    /// arbitrary pick fails — never substitutes another alternative.
-    #[test]
-    fn random_is_admissible(alts in prop::collection::vec(arb_alt(), 1..6), seed in any::<u64>()) {
+/// RandomEngine (Scheme B): admissible, and fails exactly when its
+/// arbitrary pick fails — never substitutes another alternative.
+#[test]
+fn random_is_admissible() {
+    check("random_is_admissible", 64, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
+        let seed = rng.u64();
         let mut workspace = ws();
         let result = RandomEngine::seeded(seed).execute(&build_block(&alts), &mut workspace);
-        assert_admissible(&alts, &result, &workspace)?;
-        prop_assert_eq!(result.attempts, 1);
-    }
+        assert_admissible(&alts, &result, &workspace);
+        assert_eq!(result.attempts, 1);
+    });
+}
 
-    /// SelectorEngine (§4.2 case 2): admissible for any selector.
-    #[test]
-    fn selector_is_admissible(
-        alts in prop::collection::vec(arb_alt(), 1..6),
-        pick in 0usize..8,
-    ) {
+/// SelectorEngine (§4.2 case 2): admissible for any selector.
+#[test]
+fn selector_is_admissible() {
+    check("selector_is_admissible", 64, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
+        let pick = rng.usize_in(0, 8);
         let mut workspace = ws();
         let engine = SelectorEngine::new(move |_| pick);
         let result = engine.execute(&build_block(&alts), &mut workspace);
-        assert_admissible(&alts, &result, &workspace)?;
+        assert_admissible(&alts, &result, &workspace);
         let chosen = pick.min(alts.len() - 1);
-        prop_assert_eq!(result.succeeded(), alts[chosen].succeeds);
-    }
+        assert_eq!(result.succeeded(), alts[chosen].succeeds);
+    });
+}
 
-    /// Engines agree bit-for-bit when only one alternative can win.
-    #[test]
-    fn engines_agree_on_forced_winner(
-        mut alts in prop::collection::vec(arb_alt(), 1..6),
-        winner_slot in 0usize..6,
-    ) {
+/// Engines agree bit-for-bit when only one alternative can win.
+#[test]
+fn engines_agree_on_forced_winner() {
+    check("engines_agree_on_forced_winner", 64, |rng| {
+        let mut alts = rng.vec(1, 6, arb_alt);
+        let winner_slot = rng.usize_in(0, 6);
         let w = winner_slot % alts.len();
         for (i, a) in alts.iter_mut().enumerate() {
             a.succeeds = i == w;
@@ -140,8 +151,8 @@ proptest! {
         let r_ordered = OrderedEngine::new().execute(&build_block(&alts), &mut ws_ordered);
         let mut ws_threaded = ws();
         let r_threaded = ThreadedEngine::new().execute(&build_block(&alts), &mut ws_threaded);
-        prop_assert_eq!(r_ordered.winner, Some(w));
-        prop_assert_eq!(r_threaded.winner, Some(w));
-        prop_assert_eq!(ws_ordered.flatten(), ws_threaded.flatten());
-    }
+        assert_eq!(r_ordered.winner, Some(w));
+        assert_eq!(r_threaded.winner, Some(w));
+        assert_eq!(ws_ordered.flatten(), ws_threaded.flatten());
+    });
 }

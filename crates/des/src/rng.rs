@@ -153,7 +153,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "range_f64: bad range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "range_f64: bad range"
+        );
         lo + self.next_f64() * (hi - lo)
     }
 
@@ -168,7 +171,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential: mean must be > 0");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential: mean must be > 0"
+        );
         // Inverse transform; guard against ln(0).
         let mut u = self.next_f64();
         if u == 0.0 {
@@ -299,7 +305,10 @@ mod tests {
         }
         for &c in &counts {
             // Each bucket expects 10_000; allow generous slack.
-            assert!((9_000..11_000).contains(&c), "bucket count {c} out of range");
+            assert!(
+                (9_000..11_000).contains(&c),
+                "bucket count {c} out of range"
+            );
         }
     }
 

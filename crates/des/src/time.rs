@@ -281,7 +281,11 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0.checked_mul(rhs).expect("SimDuration * u64 overflowed"))
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration * u64 overflowed"),
+        )
     }
 }
 
@@ -336,13 +340,22 @@ mod tests {
     fn arithmetic_behaves() {
         let t = SimTime::ZERO + SimDuration::from_millis(10);
         assert_eq!(t.as_millis_f64(), 10.0);
-        assert_eq!(t - SimTime::from_nanos(1), SimDuration::from_nanos(9_999_999));
+        assert_eq!(
+            t - SimTime::from_nanos(1),
+            SimDuration::from_nanos(9_999_999)
+        );
         assert_eq!(
             SimDuration::from_millis(4) + SimDuration::from_millis(6),
             SimDuration::from_millis(10)
         );
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) / 4, SimDuration::from_micros(2_500));
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 4,
+            SimDuration::from_micros(2_500)
+        );
     }
 
     #[test]
@@ -378,7 +391,10 @@ mod tests {
             SimTime::ZERO.saturating_duration_since(SimTime::from_nanos(9)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]

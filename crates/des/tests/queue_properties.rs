@@ -1,12 +1,13 @@
 //! Property-based tests for the deterministic event queue and statistics.
 
+use altx_check::check;
 use altx_des::{EventQueue, SimTime, Summary};
-use proptest::prelude::*;
 
-proptest! {
-    /// Events pop in nondecreasing time order, FIFO within equal times.
-    #[test]
-    fn pops_sorted_stable(times in prop::collection::vec(0u64..50, 1..60)) {
+/// Events pop in nondecreasing time order, FIFO within equal times.
+#[test]
+fn pops_sorted_stable() {
+    check("pops_sorted_stable", 64, |rng| {
+        let times = rng.vec(1, 60, |r| r.u64_in(0, 50));
         let mut q = EventQueue::new();
         for (seq, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), seq);
@@ -15,24 +16,25 @@ proptest! {
         while let Some((at, seq)) = q.pop() {
             popped.push((at, seq));
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
             }
         }
         // The clock ends at the max scheduled time.
         let max = times.iter().copied().max().expect("non-empty");
-        prop_assert_eq!(q.now(), SimTime::from_nanos(max));
-    }
+        assert_eq!(q.now(), SimTime::from_nanos(max));
+    });
+}
 
-    /// Cancelling an arbitrary subset removes exactly those events.
-    #[test]
-    fn cancellation_is_exact(
-        times in prop::collection::vec(0u64..50, 1..40),
-        cancel_mask in prop::collection::vec(any::<bool>(), 40),
-    ) {
+/// Cancelling an arbitrary subset removes exactly those events.
+#[test]
+fn cancellation_is_exact() {
+    check("cancellation_is_exact", 64, |rng| {
+        let times = rng.vec(1, 40, |r| r.u64_in(0, 50));
+        let cancel_mask: Vec<bool> = (0..40).map(|_| rng.bool()).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
@@ -42,34 +44,35 @@ proptest! {
         let mut kept = Vec::new();
         for (seq, id) in ids {
             if cancel_mask[seq % cancel_mask.len()] {
-                prop_assert!(q.cancel(id), "first cancel succeeds");
-                prop_assert!(!q.cancel(id), "second cancel fails");
+                assert!(q.cancel(id), "first cancel succeeds");
+                assert!(!q.cancel(id), "second cancel fails");
             } else {
                 kept.push(seq);
             }
         }
-        prop_assert_eq!(q.len(), kept.len());
+        assert_eq!(q.len(), kept.len());
         let mut popped: Vec<usize> = Vec::new();
         while let Some((_, seq)) = q.pop() {
             popped.push(seq);
         }
         popped.sort_unstable();
         kept.sort_unstable();
-        prop_assert_eq!(popped, kept);
-    }
+        assert_eq!(popped, kept);
+    });
+}
 
-    /// Interleaved schedule/pop never lets time run backwards, even when
-    /// new events are scheduled "in the past" (they clamp to now).
-    #[test]
-    fn time_is_monotone_under_interleaving(
-        ops in prop::collection::vec((any::<bool>(), 0u64..100), 1..80),
-    ) {
+/// Interleaved schedule/pop never lets time run backwards, even when
+/// new events are scheduled "in the past" (they clamp to now).
+#[test]
+fn time_is_monotone_under_interleaving() {
+    check("time_is_monotone_under_interleaving", 64, |rng| {
+        let ops = rng.vec(1, 80, |r| (r.bool(), r.u64_in(0, 100)));
         let mut q = EventQueue::new();
         let mut last = SimTime::ZERO;
         for (do_pop, t) in ops {
             if do_pop {
                 if let Some((at, ())) = q.pop() {
-                    prop_assert!(at >= last);
+                    assert!(at >= last);
                     last = at;
                 }
             } else {
@@ -77,25 +80,28 @@ proptest! {
             }
         }
         while let Some((at, ())) = q.pop() {
-            prop_assert!(at >= last);
+            assert!(at >= last);
             last = at;
         }
-    }
+    });
+}
 
-    /// Summary's mean/variance agree with naive two-pass computation.
-    #[test]
-    fn summary_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+/// Summary's mean/variance agree with naive two-pass computation.
+#[test]
+fn summary_matches_two_pass() {
+    check("summary_matches_two_pass", 64, |rng| {
+        let xs = rng.vec(1, 100, |r| r.f64_in(-1e6, 1e6));
         let s = Summary::from_samples(xs.iter().copied());
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
+        assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        assert!((s.variance() - var).abs() <= 1e-5 * var.abs().max(1.0));
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), Some(min));
-        prop_assert_eq!(s.max(), Some(max));
+        assert_eq!(s.min(), Some(min));
+        assert_eq!(s.max(), Some(max));
         // Percentiles bracket the range.
-        prop_assert_eq!(s.percentile(0.0), Some(min));
-        prop_assert_eq!(s.percentile(100.0), Some(max));
-    }
+        assert_eq!(s.percentile(0.0), Some(min));
+        assert_eq!(s.percentile(100.0), Some(max));
+    });
 }

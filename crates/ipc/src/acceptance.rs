@@ -108,7 +108,10 @@ mod tests {
         let mut sender_pred = PredicateSet::new();
         sender_pred.assume_completes(pid(5)).unwrap();
         let m = msg_with_pred(pid(5), sender_pred);
-        assert_eq!(classify(&receiver, &m), Acceptance::Ignore { witness: pid(5) });
+        assert_eq!(
+            classify(&receiver, &m),
+            Acceptance::Ignore { witness: pid(5) }
+        );
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! A minimal cheaply-cloneable byte buffer.
+//!
+//! Message payloads are written once and then shared: world splits clone
+//! whole mailboxes, and the kernel re-delivers the same payload to every
+//! speculative world. [`Bytes`] is an `Arc<[u8]>` behind the `bytes`
+//! crate's spelling — reference-counted clones, immutable contents —
+//! which is all the transport needs.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer; cloning is O(1).
+///
+/// # Example
+///
+/// ```
+/// use altx_ipc::Bytes;
+///
+/// let b: Bytes = vec![1, 2, 3].into();
+/// let shared = b.clone();
+/// assert_eq!(&shared[..], &[1, 2, 3]);
+/// assert_eq!(b.len(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.into() }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: v.into() }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(v: &str) -> Self {
+        Bytes::copy_from_slice(v.as_bytes())
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{:?}", &self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_len() {
+        assert!(Bytes::new().is_empty());
+        let b: Bytes = vec![9, 8].into();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn clones_share_contents() {
+        let a: Bytes = (&b"shared"[..]).into();
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.to_vec(), b"shared".to_vec());
+    }
+
+    #[test]
+    fn conversions_agree() {
+        let from_vec: Bytes = b"xy".to_vec().into();
+        let from_slice: Bytes = (&b"xy"[..]).into();
+        let from_arr: Bytes = b"xy".into();
+        let from_str: Bytes = "xy".into();
+        assert_eq!(from_vec, from_slice);
+        assert_eq!(from_slice, from_arr);
+        assert_eq!(from_arr, from_str);
+    }
+
+    #[test]
+    fn indexing_via_deref() {
+        let b: Bytes = vec![5, 6, 7].into();
+        assert_eq!(b[1], 6);
+        assert_eq!(&b[..2], &[5, 6]);
+    }
+}

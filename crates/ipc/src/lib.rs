@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod acceptance;
+pub mod bytes;
 pub mod device;
 pub mod message;
 pub mod router;
 
 pub use acceptance::{classify, split_worlds, Acceptance};
+pub use bytes::Bytes;
 pub use device::{BufferedSource, SinkDevice, Source, SourceAccessError, SourceGate, VecSource};
 pub use message::{Control, Message};
 pub use router::{Mailbox, Router};

@@ -1,7 +1,7 @@
 //! The three-part message structure of §3.4.1.
 
+use crate::bytes::Bytes;
 use altx_predicates::{Pid, PredicateSet};
-use bytes::Bytes;
 use std::fmt;
 
 /// Control information: sender, destination, and a per-(sender, receiver)
@@ -112,7 +112,11 @@ mod tests {
 
     #[test]
     fn control_display() {
-        let c = Control { from: Pid::new(1), to: Pid::new(2), seq: 7 };
+        let c = Control {
+            from: Pid::new(1),
+            to: Pid::new(2),
+            seq: 7,
+        };
         assert_eq!(c.to_string(), "pid1→pid2 #7");
     }
 }

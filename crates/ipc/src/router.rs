@@ -8,9 +8,9 @@
 //! `altx-cluster`, which models it above this layer for the
 //! synchronization protocol's sake.)
 
+use crate::bytes::Bytes;
 use crate::message::{Control, Message};
 use altx_predicates::{Pid, PredicateSet};
-use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 
 /// A receiver's in-order message queue.
@@ -118,7 +118,11 @@ impl Router {
             return None;
         }
         let seq = self.flow_seq.entry((from, to)).or_insert(0);
-        let control = Control { from, to, seq: *seq };
+        let control = Control {
+            from,
+            to,
+            seq: *seq,
+        };
         *seq += 1;
         self.delivered += 1;
         let message = Message {
@@ -182,9 +186,15 @@ mod tests {
     fn sequence_numbers_per_flow() {
         let mut r = Router::new();
         r.register(pid(3));
-        let c1 = r.send(pid(1), pid(3), PredicateSet::new(), &b"a"[..]).unwrap();
-        let c2 = r.send(pid(1), pid(3), PredicateSet::new(), &b"b"[..]).unwrap();
-        let c3 = r.send(pid(2), pid(3), PredicateSet::new(), &b"c"[..]).unwrap();
+        let c1 = r
+            .send(pid(1), pid(3), PredicateSet::new(), &b"a"[..])
+            .unwrap();
+        let c2 = r
+            .send(pid(1), pid(3), PredicateSet::new(), &b"b"[..])
+            .unwrap();
+        let c3 = r
+            .send(pid(2), pid(3), PredicateSet::new(), &b"c"[..])
+            .unwrap();
         assert_eq!((c1.seq, c2.seq), (0, 1));
         assert_eq!(c3.seq, 0, "flows are independent");
     }
@@ -192,7 +202,9 @@ mod tests {
     #[test]
     fn send_to_unregistered_fails() {
         let mut r = Router::new();
-        assert!(r.send(pid(1), pid(9), PredicateSet::new(), &b"x"[..]).is_none());
+        assert!(r
+            .send(pid(1), pid(9), PredicateSet::new(), &b"x"[..])
+            .is_none());
         assert_eq!(r.delivered_count(), 0);
     }
 
@@ -204,7 +216,10 @@ mod tests {
         let pending = r.unregister(pid(2));
         assert_eq!(pending.len(), 1);
         assert!(!r.is_registered(pid(2)));
-        assert!(r.unregister(pid(2)).is_empty(), "double unregister is empty");
+        assert!(
+            r.unregister(pid(2)).is_empty(),
+            "double unregister is empty"
+        );
     }
 
     #[test]

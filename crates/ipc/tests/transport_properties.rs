@@ -1,16 +1,17 @@
 //! Property-based tests of the message transport's reliability/FIFO
 //! contract (§3.1) and the acceptance algorithm's totality.
 
+use altx_check::{check, CaseRng};
 use altx_ipc::{classify, Acceptance, Message, Router};
 use altx_predicates::{Pid, PredicateSet};
-use proptest::prelude::*;
 
-proptest! {
-    /// Reliable FIFO per flow: for any interleaving of sends from
-    /// multiple senders, each sender's messages arrive complete, in
-    /// order, with consecutive sequence numbers.
-    #[test]
-    fn per_flow_fifo(sends in prop::collection::vec(0u64..4, 1..60)) {
+/// Reliable FIFO per flow: for any interleaving of sends from
+/// multiple senders, each sender's messages arrive complete, in
+/// order, with consecutive sequence numbers.
+#[test]
+fn per_flow_fifo() {
+    check("per_flow_fifo", 128, |rng| {
+        let sends = rng.vec(1, 60, |r| r.u64_in(0, 4));
         let mut router = Router::new();
         let rx = Pid::new(100);
         router.register(rx);
@@ -31,17 +32,21 @@ proptest! {
             let sender = m.payload[0] as u64;
             let idx = m.payload[1] as u64;
             let expected = seen.entry(sender).or_insert(0u64);
-            prop_assert_eq!(idx, *expected, "per-sender order broken");
-            prop_assert_eq!(m.control.seq, idx, "seq numbers consecutive");
+            assert_eq!(idx, *expected, "per-sender order broken");
+            assert_eq!(m.control.seq, idx, "seq numbers consecutive");
             *expected += 1;
         }
-        prop_assert_eq!(received, sends.len(), "no loss, no duplication");
-    }
+        assert_eq!(received, sends.len(), "no loss, no duplication");
+    });
+}
 
-    /// Mailbox cloning (world splits) duplicates pending messages exactly
-    /// and the clones then evolve independently.
-    #[test]
-    fn clone_mailbox_snapshot(n_pending in 0usize..20, n_after in 0usize..10) {
+/// Mailbox cloning (world splits) duplicates pending messages exactly
+/// and the clones then evolve independently.
+#[test]
+fn clone_mailbox_snapshot() {
+    check("clone_mailbox_snapshot", 128, |rng| {
+        let n_pending = rng.usize_in(0, 20);
+        let n_after = rng.usize_in(0, 10);
         let mut router = Router::new();
         let (tx, rx, clone) = (Pid::new(1), Pid::new(2), Pid::new(3));
         router.register(rx);
@@ -49,28 +54,41 @@ proptest! {
             router.send(tx, rx, PredicateSet::new(), vec![i as u8]);
         }
         router.clone_mailbox(rx, clone);
-        prop_assert_eq!(router.mailbox(clone).expect("cloned").len(), n_pending);
+        assert_eq!(router.mailbox(clone).expect("cloned").len(), n_pending);
         // Later messages to the original do not appear in the clone.
         for i in 0..n_after {
             router.send(tx, rx, PredicateSet::new(), vec![100 + i as u8]);
         }
-        prop_assert_eq!(router.mailbox(rx).expect("rx").len(), n_pending + n_after);
-        prop_assert_eq!(router.mailbox(clone).expect("clone").len(), n_pending);
-    }
+        assert_eq!(router.mailbox(rx).expect("rx").len(), n_pending + n_after);
+        assert_eq!(router.mailbox(clone).expect("clone").len(), n_pending);
+    });
+}
 
-    /// classify() is total and consistent: for arbitrary receiver/sender
-    /// predicate sets it returns exactly one verdict, and `Accept` and
-    /// `Ignore` are mutually exclusive with `Split`.
-    #[test]
-    fn classify_total(
-        r_completes in prop::collection::btree_set(0u64..8, 0..4),
-        r_fails in prop::collection::btree_set(8u64..16, 0..4),
-        s_completes in prop::collection::btree_set(0u64..12, 0..4),
-        s_fails in prop::collection::btree_set(4u64..16, 0..4),
-    ) {
+/// Draws a set of distinct pids from `[lo, hi)`, at most `max` of them.
+fn pid_set(rng: &mut CaseRng, lo: u64, hi: u64, max: usize) -> std::collections::BTreeSet<u64> {
+    let n = rng.usize_in(0, max);
+    (0..n).map(|_| rng.u64_in(lo, hi)).collect()
+}
+
+/// classify() is total and consistent: for arbitrary receiver/sender
+/// predicate sets it returns exactly one verdict, and `Accept` and
+/// `Ignore` are mutually exclusive with `Split`.
+#[test]
+fn classify_total() {
+    check("classify_total", 256, |rng| {
+        let r_completes = pid_set(rng, 0, 8, 4);
+        let r_fails = pid_set(rng, 8, 16, 4);
+        let s_completes = pid_set(rng, 0, 12, 4);
+        let s_fails = pid_set(rng, 4, 16, 4);
         let mut receiver = PredicateSet::new();
-        for &p in &r_completes { receiver.assume_completes(Pid::new(p)).expect("disjoint ranges"); }
-        for &p in &r_fails { receiver.assume_fails(Pid::new(p)).expect("disjoint ranges"); }
+        for &p in &r_completes {
+            receiver
+                .assume_completes(Pid::new(p))
+                .expect("disjoint ranges");
+        }
+        for &p in &r_fails {
+            receiver.assume_fails(Pid::new(p)).expect("disjoint ranges");
+        }
         let mut sender = PredicateSet::new();
         for &p in &s_completes {
             let _ = sender.assume_completes(Pid::new(p));
@@ -80,13 +98,13 @@ proptest! {
         }
         let msg = Message::new(Pid::new(99), Pid::new(98), sender.clone(), &b"m"[..]);
         match classify(&receiver, &msg) {
-            Acceptance::Accept => prop_assert!(receiver.implies(&sender)),
-            Acceptance::Ignore { .. } => prop_assert!(receiver.conflicts_with(&sender)),
+            Acceptance::Accept => assert!(receiver.implies(&sender)),
+            Acceptance::Ignore { .. } => assert!(receiver.conflicts_with(&sender)),
             Acceptance::Split { extra } => {
-                prop_assert!(!receiver.implies(&sender));
-                prop_assert!(!receiver.conflicts_with(&sender));
-                prop_assert!(!extra.is_empty());
+                assert!(!receiver.implies(&sender));
+                assert!(!receiver.conflicts_with(&sender));
+                assert!(!extra.is_empty());
             }
         }
-    }
+    });
 }

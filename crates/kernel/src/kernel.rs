@@ -429,8 +429,7 @@ impl Kernel {
             let cost = self.cfg.profile.context_switch_cost() + self.execute_op(pid);
             self.busy_in_flight.insert(pid, (self.queue.now(), cost));
             let gen = self.gen(pid);
-            self.queue
-                .schedule_after(cost, Event::OpDone { pid, gen });
+            self.queue.schedule_after(cost, Event::OpDone { pid, gen });
         }
     }
 
@@ -439,7 +438,12 @@ impl Kernel {
             Event::OpDone { pid, gen } => self.on_op_done(pid, gen),
             Event::Ready { pid, gen } => self.on_ready(pid, gen),
             Event::Timeout { parent, block_seq } => self.on_timeout(parent, block_seq),
-            Event::Deliver { from, to_logical, predicate, payload } => {
+            Event::Deliver {
+                from,
+                to_logical,
+                predicate,
+                payload,
+            } => {
                 self.deliver(from, to_logical, predicate, payload);
                 self.dispatch();
             }
@@ -570,7 +574,11 @@ impl Kernel {
                 self.cfg.profile.syscall_cost()
             }
             Op::Recv { reg } => self.do_recv(pid, reg),
-            Op::SinkWrite { sink_id, addr, value } => {
+            Op::SinkWrite {
+                sink_id,
+                addr,
+                value,
+            } => {
                 if let Some(sink) = self.sinks.get_mut(&sink_id) {
                     sink.write(pid.as_u64(), addr, value);
                 }
@@ -588,7 +596,11 @@ impl Kernel {
                 proc.after_op = AfterOp::Advance;
                 self.cfg.profile.syscall_cost()
             }
-            Op::SourcePull { source_id, index, reg } => self.do_source_pull(pid, source_id, index, reg),
+            Op::SourcePull {
+                source_id,
+                index,
+                reg,
+            } => self.do_source_pull(pid, source_id, index, reg),
             Op::AltBlock(spec) => self.do_alt_block(pid, spec),
             Op::FailIfBlockFailed => {
                 let failed = self.procs.get(&pid).expect("exists").last_block_failed;
@@ -617,7 +629,11 @@ impl Kernel {
         let quantum = self.cfg.quantum;
         let proc = self.procs.get_mut(&pid).expect("exists");
         let remaining = proc.compute_remaining.expect("compute in progress");
-        let slice = if contended { remaining.min(quantum) } else { remaining };
+        let slice = if contended {
+            remaining.min(quantum)
+        } else {
+            remaining
+        };
         let left = remaining - slice;
         self.slice_in_flight.insert(pid, (self.queue.now(), slice));
         let proc = self.procs.get_mut(&pid).expect("exists");
@@ -644,8 +660,12 @@ impl Kernel {
                 // assumptions acquired through speculative messages must
                 // wait for them to resolve — it is then either doomed
                 // (eliminated by `resolve`) or free to exit.
-                let conditional =
-                    !self.procs.get(&pid).expect("exists").predicates.is_unconditional();
+                let conditional = !self
+                    .procs
+                    .get(&pid)
+                    .expect("exists")
+                    .predicates
+                    .is_unconditional();
                 if conditional {
                     let proc = self.procs.get_mut(&pid).expect("exists");
                     proc.state = ProcState::SourceBlocked;
@@ -706,11 +726,9 @@ impl Kernel {
             .get(&link.parent)
             .map(|p| p.predicates.clone())
             .unwrap_or_default();
-        let foreign = |q: Pid| {
-            q != pid && !cohort.contains(&q) && parent_preds.assumption_about(q).is_none()
-        };
-        proc.predicates.must_complete().any(foreign)
-            || proc.predicates.must_fail().any(foreign)
+        let foreign =
+            |q: Pid| q != pid && !cohort.contains(&q) && parent_preds.assumption_about(q).is_none();
+        proc.predicates.must_complete().any(foreign) || proc.predicates.must_fail().any(foreign)
     }
 
     fn guard_and_sync(&mut self, pid: Pid, link: AltLink) -> SimDuration {
@@ -726,7 +744,10 @@ impl Kernel {
         });
         if !passed {
             // Abort without synchronizing.
-            self.trace.push(TraceEvent::Aborted { at: self.now(), pid });
+            self.trace.push(TraceEvent::Aborted {
+                at: self.now(),
+                pid,
+            });
             let teardown = self.teardown_cost_of(pid);
             self.discard_process(pid, ExitStatus::Failed { at: self.now() });
             self.resolve(pid, Outcome::Failed);
@@ -740,7 +761,10 @@ impl Kernel {
         let block_decided = self.blocks.get(&key).map(|b| b.decided).unwrap_or(true);
         if block_decided {
             // At-most-once: told "too late", terminate self.
-            self.trace.push(TraceEvent::TooLate { at: self.now(), pid });
+            self.trace.push(TraceEvent::TooLate {
+                at: self.now(),
+                pid,
+            });
             let teardown = self.teardown_cost_of(pid);
             self.discard_process(pid, ExitStatus::TooLate { at: self.now() });
             self.resolve(pid, Outcome::Failed);
@@ -759,7 +783,10 @@ impl Kernel {
                 self.queue.cancel(tid);
             }
             block.alive.remove(&pid);
-            (block.elimination, block.alive.iter().copied().collect::<Vec<_>>())
+            (
+                block.elimination,
+                block.alive.iter().copied().collect::<Vec<_>>(),
+            )
         };
 
         self.trace.push(TraceEvent::Synchronized {
@@ -798,10 +825,7 @@ impl Kernel {
         // assumed the winner would fail), so they are torn down inside
         // `resolve`; the explicit sweep below catches any that held no
         // such predicate.
-        let elim_total: SimDuration = siblings
-            .iter()
-            .map(|&s| self.teardown_cost_of(s))
-            .sum();
+        let elim_total: SimDuration = siblings.iter().map(|&s| self.teardown_cost_of(s)).sum();
         self.resolve(pid, Outcome::Completed);
         for sib in siblings {
             self.eliminate(sib);
@@ -926,19 +950,22 @@ impl Kernel {
 
         self.blocks.remove(&key);
         let decided_at = self.now();
-        self.outcomes.entry(parent_pid).or_default().push(BlockOutcome {
-            block_seq,
-            winner: None,
-            winner_pid: None,
-            failed: true,
-            timed_out,
-            started_at,
-            waiting_at,
-            decided_at,
-            parent_resumed_at: resumed_at,
-            setup_cost,
-            n_alternatives,
-        });
+        self.outcomes
+            .entry(parent_pid)
+            .or_default()
+            .push(BlockOutcome {
+                block_seq,
+                winner: None,
+                winner_pid: None,
+                failed: true,
+                timed_out,
+                started_at,
+                waiting_at,
+                decided_at,
+                parent_resumed_at: resumed_at,
+                setup_cost,
+                n_alternatives,
+            });
     }
 
     fn on_timeout(&mut self, parent: Pid, block_seq: u64) {
@@ -995,19 +1022,22 @@ impl Kernel {
                 block_seq,
                 timed_out: false,
             });
-            self.outcomes.entry(parent_pid).or_default().push(BlockOutcome {
-                block_seq,
-                winner: None,
-                winner_pid: None,
-                failed: true,
-                timed_out: false,
-                started_at,
-                waiting_at: started_at,
-                decided_at: started_at,
-                parent_resumed_at: started_at + setup_cost,
-                setup_cost,
-                n_alternatives: 0,
-            });
+            self.outcomes
+                .entry(parent_pid)
+                .or_default()
+                .push(BlockOutcome {
+                    block_seq,
+                    winner: None,
+                    winner_pid: None,
+                    failed: true,
+                    timed_out: false,
+                    started_at,
+                    waiting_at: started_at,
+                    decided_at: started_at,
+                    parent_resumed_at: started_at + setup_cost,
+                    setup_cost,
+                    n_alternatives: 0,
+                });
             self.set_after(parent_pid, AfterOp::Advance);
             return setup_cost;
         }
@@ -1028,12 +1058,8 @@ impl Kernel {
                 .with_sibling_rivalry(pid, child_pids.iter().copied())
                 .expect("fresh pids cannot conflict");
 
-            let mut child = Process::new(
-                pid,
-                alt.body.clone(),
-                parent_space.cow_fork(),
-                predicates,
-            );
+            let mut child =
+                Process::new(pid, alt.body.clone(), parent_space.cow_fork(), predicates);
             child.alt_link = Some(AltLink {
                 parent: parent_pid,
                 block_seq,
@@ -1050,10 +1076,8 @@ impl Kernel {
                 alt_index: Some(alt_index),
             });
             let gen = self.gen(pid);
-            self.queue.schedule(
-                self.now() + ready_offset,
-                Event::Ready { pid, gen },
-            );
+            self.queue
+                .schedule(self.now() + ready_offset, Event::Ready { pid, gen });
         }
 
         let waiting_at = self.now() + setup_cost;
@@ -1101,7 +1125,11 @@ impl Kernel {
         let to_pid = match to {
             Target::Pid(p) => Some(*p),
             Target::Name(n) => self.names.get(n).copied(),
-            Target::Parent => self.procs.get(&from).and_then(|p| p.alt_link).map(|l| l.parent),
+            Target::Parent => self
+                .procs
+                .get(&from)
+                .and_then(|p| p.alt_link)
+                .map(|l| l.parent),
         };
         let Some(to_pid) = to_pid else {
             return; // unresolvable destination: dropped
@@ -1133,14 +1161,17 @@ impl Kernel {
             .procs
             .iter()
             .filter(|(&p, proc)| {
-                !proc.is_zombie()
-                    && self.logical.get(&p).copied().unwrap_or(p) == to_logical
+                !proc.is_zombie() && self.logical.get(&p).copied().unwrap_or(p) == to_logical
             })
             .map(|(&p, _)| p)
             .collect();
         let mut delivered_any = false;
         for world in worlds {
-            if self.router.send(from, world, predicate.clone(), payload.clone()).is_some() {
+            if self
+                .router
+                .send(from, world, predicate.clone(), payload.clone())
+                .is_some()
+            {
                 delivered_any = true;
                 // Wake a blocked receiver world.
                 if let Some(receiver) = self.procs.get_mut(&world) {
@@ -1227,9 +1258,8 @@ impl Kernel {
                 }
                 Acceptance::Split { extra } => {
                     let sender = msg.from();
-                    let (accepting, rejecting) =
-                        split_worlds(&receiver_preds, sender, &extra)
-                            .expect("classify guaranteed consistency");
+                    let (accepting, rejecting) = split_worlds(&receiver_preds, sender, &extra)
+                        .expect("classify guaranteed consistency");
                     let clone_pid = self.alloc_pid();
                     self.stats.world_splits += 1;
                     self.stats.forks += 1;
@@ -1312,7 +1342,13 @@ impl Kernel {
         cost
     }
 
-    fn do_source_pull(&mut self, pid: Pid, source_id: u32, index: usize, reg: usize) -> SimDuration {
+    fn do_source_pull(
+        &mut self,
+        pid: Pid,
+        source_id: u32,
+        index: usize,
+        reg: usize,
+    ) -> SimDuration {
         let cost = self.cfg.profile.syscall_cost();
         let proc = self.procs.get_mut(&pid).expect("exists");
         if !proc.predicates.is_unconditional() {
@@ -1405,7 +1441,10 @@ impl Kernel {
             self.idle_cpus += 1;
         }
         let cost = self.teardown_cost_of(pid);
-        self.trace.push(TraceEvent::Eliminated { at: self.now(), pid });
+        self.trace.push(TraceEvent::Eliminated {
+            at: self.now(),
+            pid,
+        });
         self.discard_process(pid, ExitStatus::Eliminated { at: self.now() });
         self.resolve(pid, Outcome::Failed);
         cost
@@ -1449,7 +1488,6 @@ impl Kernel {
             }
         }
     }
-
 }
 
 #[cfg(test)]
@@ -1488,11 +1526,17 @@ mod tests {
         let mut k = kernel();
         let fast = Program::new(vec![
             Op::Compute(SimDuration::from_millis(5)),
-            Op::Write { addr: 0, data: b"fast".to_vec() },
+            Op::Write {
+                addr: 0,
+                data: b"fast".to_vec(),
+            },
         ]);
         let slow = Program::new(vec![
             Op::Compute(SimDuration::from_millis(50)),
-            Op::Write { addr: 0, data: b"slow".to_vec() },
+            Op::Write {
+                addr: 0,
+                data: b"slow".to_vec(),
+            },
         ]);
         let root = k.spawn(
             block_of(vec![
@@ -1550,10 +1594,7 @@ mod tests {
         .then(Op::FailIfBlockFailed);
         let root = k.spawn(program, 4 * 1024);
         let report = k.run();
-        assert!(matches!(
-            report.exit(root),
-            Some(ExitStatus::Failed { .. })
-        ));
+        assert!(matches!(report.exit(root), Some(ExitStatus::Failed { .. })));
     }
 
     #[test]
@@ -1652,7 +1693,10 @@ mod tests {
         let outer = AltBlockSpec::new(vec![
             Alternative::new(
                 GuardSpec::Const(true),
-                Program::new(vec![Op::AltBlock(inner), Op::Compute(SimDuration::from_millis(5))]),
+                Program::new(vec![
+                    Op::AltBlock(inner),
+                    Op::Compute(SimDuration::from_millis(5)),
+                ]),
             ),
             Alternative::new(GuardSpec::Const(true), Program::compute_ms(200)),
         ]);
@@ -1708,13 +1752,28 @@ mod tests {
         // 1 does not, so 0 wins despite being slower.
         let writer = Program::new(vec![
             Op::Compute(SimDuration::from_millis(30)),
-            Op::Write { addr: 0, data: vec![7] },
+            Op::Write {
+                addr: 0,
+                data: vec![7],
+            },
         ]);
         let idler = Program::compute_ms(1);
         let root = k.spawn(
             block_of(vec![
-                Alternative::new(GuardSpec::MemByteEquals { addr: 0, expected: 7 }, writer),
-                Alternative::new(GuardSpec::MemByteEquals { addr: 0, expected: 7 }, idler),
+                Alternative::new(
+                    GuardSpec::MemByteEquals {
+                        addr: 0,
+                        expected: 7,
+                    },
+                    writer,
+                ),
+                Alternative::new(
+                    GuardSpec::MemByteEquals {
+                        addr: 0,
+                        expected: 7,
+                    },
+                    idler,
+                ),
             ]),
             4 * 1024,
         );
@@ -1746,12 +1805,19 @@ mod tests {
         ]);
         let sender = Program::new(vec![
             Op::Compute(SimDuration::from_millis(5)),
-            Op::Send { to: Target::Name("rx".into()), payload: b"ping".to_vec() },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"ping".to_vec(),
+            },
         ]);
         let rx = k.spawn(receiver, 4 * 1024);
         let _tx = k.spawn(sender, 4 * 1024);
         let report = k.run();
-        assert!(report.deadlocked.is_empty(), "deadlocked: {:?}", report.deadlocked);
+        assert!(
+            report.deadlocked.is_empty(),
+            "deadlocked: {:?}",
+            report.deadlocked
+        );
         let mut space = k.space(rx).expect("rx lives").clone();
         assert_eq!(&space.read_vec(0, 4), b"ping");
     }
@@ -1769,7 +1835,10 @@ mod tests {
             Op::Compute(SimDuration::from_millis(1)),
         ]);
         let speculative_sender = Program::new(vec![
-            Op::Send { to: Target::Name("rx".into()), payload: b"spec".to_vec() },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"spec".to_vec(),
+            },
             Op::Compute(SimDuration::from_millis(10)),
         ]);
         let rx = k.spawn(receiver, 4 * 1024);
@@ -1816,7 +1885,11 @@ mod tests {
         let spec = AltBlockSpec::new(vec![
             Alternative::new(
                 GuardSpec::Const(true),
-                Program::new(vec![Op::SourcePull { source_id: 1, index: 0, reg: 0 }]),
+                Program::new(vec![Op::SourcePull {
+                    source_id: 1,
+                    index: 0,
+                    reg: 0,
+                }]),
             ),
             Alternative::new(GuardSpec::Const(true), Program::compute_ms(10_000)),
         ])
@@ -1824,7 +1897,10 @@ mod tests {
         let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
         let report = k.run();
         let o = &report.block_outcomes(root)[0];
-        assert!(o.failed && o.timed_out, "source-blocked alternate cannot win");
+        assert!(
+            o.failed && o.timed_out,
+            "source-blocked alternate cannot win"
+        );
     }
 
     #[test]
@@ -1832,7 +1908,11 @@ mod tests {
         let mut k = kernel();
         k.add_source(7, vec![b"tape0".to_vec(), b"tape1".to_vec()]);
         let program = Program::new(vec![
-            Op::SourcePull { source_id: 7, index: 1, reg: 2 },
+            Op::SourcePull {
+                source_id: 7,
+                index: 1,
+                reg: 2,
+            },
             Op::WriteFromRegister { reg: 2, addr: 0 },
         ]);
         let root = k.spawn(program, 4 * 1024);
@@ -1936,7 +2016,10 @@ mod tests {
         ]);
         // The SENDING alternate is the fast winner here.
         let winner_sender = Program::new(vec![
-            Op::Send { to: Target::Name("rx".into()), payload: b"spec!".to_vec() },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"spec!".to_vec(),
+            },
             Op::Compute(SimDuration::from_millis(10)),
         ]);
         let rx = k.spawn(receiver, 4 * 1024);
@@ -1983,12 +2066,12 @@ mod tests {
             ipc_latency: SimDuration::from_millis(50),
             ..KernelConfig::default()
         });
-        let receiver = Program::new(vec![
-            Op::RegisterName("rx".into()),
-            Op::Recv { reg: 0 },
-        ]);
+        let receiver = Program::new(vec![Op::RegisterName("rx".into()), Op::Recv { reg: 0 }]);
         let sender = Program::new(vec![
-            Op::Send { to: Target::Name("rx".into()), payload: vec![7] },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: vec![7],
+            },
             Op::Compute(SimDuration::from_millis(1)),
         ]);
         let rx = k.spawn(receiver, 4 * 1024);
@@ -2019,17 +2102,20 @@ mod tests {
             ipc_latency: SimDuration::from_millis(80),
             ..KernelConfig::default()
         });
-        let receiver = Program::new(vec![
-            Op::RegisterName("rx".into()),
-            Op::Recv { reg: 0 },
-        ]);
+        let receiver = Program::new(vec![Op::RegisterName("rx".into()), Op::Recv { reg: 0 }]);
         let loser = Program::new(vec![
-            Op::Send { to: Target::Name("rx".into()), payload: b"loser".to_vec() },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"loser".to_vec(),
+            },
             Op::Compute(SimDuration::from_millis(500)),
         ]);
         let winner = Program::new(vec![
             Op::Compute(SimDuration::from_millis(20)),
-            Op::Send { to: Target::Name("rx".into()), payload: b"winnr".to_vec() },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"winnr".to_vec(),
+            },
         ]);
         let rx = k.spawn(receiver, 4 * 1024);
         let root = k.spawn(
@@ -2071,7 +2157,15 @@ mod tests {
         let spawned = mid
             .trace()
             .iter()
-            .filter(|e| matches!(e, TraceEvent::Spawned { parent: Some(_), .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Spawned {
+                        parent: Some(_),
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(spawned, 2, "both alternates live mid-race");
         assert_eq!(mid.deadlocked.len(), 3, "parent + 2 children still active");
@@ -2088,13 +2182,13 @@ mod tests {
                 ipc_latency: SimDuration::from_millis(latency_ms),
                 ..KernelConfig::default()
             });
-            let receiver = Program::new(vec![
-                Op::RegisterName("rx".into()),
-                Op::Recv { reg: 0 },
-            ]);
+            let receiver = Program::new(vec![Op::RegisterName("rx".into()), Op::Recv { reg: 0 }]);
             let sender = Program::new(vec![
                 Op::Compute(SimDuration::from_millis(5)),
-                Op::Send { to: Target::Name("rx".into()), payload: vec![1] },
+                Op::Send {
+                    to: Target::Name("rx".into()),
+                    payload: vec![1],
+                },
             ]);
             let rx = k.spawn(receiver, 4 * 1024);
             let _tx = k.spawn(sender, 4 * 1024);
@@ -2133,8 +2227,14 @@ mod tests {
             Op::Compute(SimDuration::from_millis(1)),
         ]);
         let speculative_sender = Program::new(vec![
-            Op::Send { to: Target::Name("rx".into()), payload: b"one".to_vec() },
-            Op::Send { to: Target::Name("rx".into()), payload: b"two".to_vec() },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"one".to_vec(),
+            },
+            Op::Send {
+                to: Target::Name("rx".into()),
+                payload: b"two".to_vec(),
+            },
             Op::Compute(SimDuration::from_millis(10)),
         ]);
         let rx = k.spawn(receiver, 4 * 1024);
@@ -2165,10 +2265,18 @@ mod tests {
         // winner's may ever become permanent.
         let fast = Program::new(vec![
             Op::Compute(SimDuration::from_millis(5)),
-            Op::SinkWrite { sink_id: 1, addr: 0, value: 0xFA },
+            Op::SinkWrite {
+                sink_id: 1,
+                addr: 0,
+                value: 0xFA,
+            },
         ]);
         let slow = Program::new(vec![
-            Op::SinkWrite { sink_id: 1, addr: 0, value: 0x51 }, // stages early!
+            Op::SinkWrite {
+                sink_id: 1,
+                addr: 0,
+                value: 0x51,
+            }, // stages early!
             Op::Compute(SimDuration::from_millis(500)),
         ]);
         let root = k.spawn(
@@ -2193,7 +2301,11 @@ mod tests {
     fn sink_writes_abort_on_block_failure() {
         let mut k = kernel();
         k.add_sink(2, 4);
-        let body = Program::new(vec![Op::SinkWrite { sink_id: 2, addr: 0, value: 9 }]);
+        let body = Program::new(vec![Op::SinkWrite {
+            sink_id: 2,
+            addr: 0,
+            value: 9,
+        }]);
         let root = k.spawn(
             block_of(vec![Alternative::new(GuardSpec::Const(false), body)]),
             4 * 1024,
@@ -2213,7 +2325,11 @@ mod tests {
         k.add_sink(3, 4);
         let inner = AltBlockSpec::new(vec![Alternative::new(
             GuardSpec::Const(true),
-            Program::new(vec![Op::SinkWrite { sink_id: 3, addr: 1, value: 7 }]),
+            Program::new(vec![Op::SinkWrite {
+                sink_id: 3,
+                addr: 1,
+                value: 7,
+            }]),
         )]);
         let outer = AltBlockSpec::new(vec![Alternative::new(
             GuardSpec::Const(true),
@@ -2230,8 +2346,16 @@ mod tests {
         let mut k = kernel();
         k.add_sink(4, 4);
         let program = Program::new(vec![
-            Op::SinkWrite { sink_id: 4, addr: 2, value: 0xEE },
-            Op::SinkRead { sink_id: 4, addr: 2, reg: 0 },
+            Op::SinkWrite {
+                sink_id: 4,
+                addr: 2,
+                value: 0xEE,
+            },
+            Op::SinkRead {
+                sink_id: 4,
+                addr: 2,
+                reg: 0,
+            },
             Op::WriteFromRegister { reg: 0, addr: 0 },
         ]);
         let root = k.spawn(program, 4 * 1024);

@@ -124,7 +124,10 @@ impl AltBlockSpec {
     ///
     /// Panics if `alternatives` is empty.
     pub fn new(alternatives: Vec<Alternative>) -> Self {
-        assert!(!alternatives.is_empty(), "an alternative block needs at least one alternative");
+        assert!(
+            !alternatives.is_empty(),
+            "an alternative block needs at least one alternative"
+        );
         AltBlockSpec {
             alternatives,
             timeout: SimDuration::from_secs(3600),
@@ -365,6 +368,10 @@ mod tests {
     fn guard_validate_accepts_valid() {
         GuardSpec::Const(true).validate();
         GuardSpec::WithProbability(0.5).validate();
-        GuardSpec::MemByteEquals { addr: 0, expected: 1 }.validate();
+        GuardSpec::MemByteEquals {
+            addr: 0,
+            expected: 1,
+        }
+        .validate();
     }
 }

@@ -138,8 +138,15 @@ impl TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Spawned { at, pid, parent, alt_index } => match (parent, alt_index) {
-                (Some(pp), Some(i)) => write!(f, "[{at}] {pid} spawned by {pp} as alternative {}", i + 1),
+            TraceEvent::Spawned {
+                at,
+                pid,
+                parent,
+                alt_index,
+            } => match (parent, alt_index) {
+                (Some(pp), Some(i)) => {
+                    write!(f, "[{at}] {pid} spawned by {pp} as alternative {}", i + 1)
+                }
                 (Some(pp), None) => write!(f, "[{at}] {pid} spawned by {pp}"),
                 _ => write!(f, "[{at}] {pid} spawned (root)"),
             },
@@ -147,9 +154,18 @@ impl fmt::Display for TraceEvent {
                 write!(f, "[{at}] {pid} alt_wait(block #{block_seq})")
             }
             TraceEvent::GuardEvaluated { at, pid, passed } => {
-                write!(f, "[{at}] {pid} guard {}", if *passed { "SATISFIED" } else { "FAILED" })
+                write!(
+                    f,
+                    "[{at}] {pid} guard {}",
+                    if *passed { "SATISFIED" } else { "FAILED" }
+                )
             }
-            TraceEvent::Synchronized { at, winner, parent, alt_index } => write!(
+            TraceEvent::Synchronized {
+                at,
+                winner,
+                parent,
+                alt_index,
+            } => write!(
                 f,
                 "[{at}] {winner} synchronized with {parent} (alternative {} wins)",
                 alt_index + 1
@@ -157,12 +173,22 @@ impl fmt::Display for TraceEvent {
             TraceEvent::TooLate { at, pid } => write!(f, "[{at}] {pid} too late to synchronize"),
             TraceEvent::Eliminated { at, pid } => write!(f, "[{at}] {pid} eliminated"),
             TraceEvent::Aborted { at, pid } => write!(f, "[{at}] {pid} aborted"),
-            TraceEvent::BlockFailed { at, pid, block_seq, timed_out } => write!(
+            TraceEvent::BlockFailed {
+                at,
+                pid,
+                block_seq,
+                timed_out,
+            } => write!(
                 f,
                 "[{at}] {pid} block #{block_seq} FAILED{}",
                 if *timed_out { " (timeout)" } else { "" }
             ),
-            TraceEvent::WorldSplit { at, accepting, rejecting, sender } => write!(
+            TraceEvent::WorldSplit {
+                at,
+                accepting,
+                rejecting,
+                sender,
+            } => write!(
                 f,
                 "[{at}] world split on {sender}: {accepting} accepts, {rejecting} rejects"
             ),
@@ -200,7 +226,12 @@ pub fn chrome_trace_json(events: &[TraceEvent], finished_at: SimTime) -> String 
             TraceEvent::Spawned { at, pid, .. } => {
                 spans.entry(pid).or_insert((at, None));
             }
-            TraceEvent::Synchronized { at, winner, alt_index, .. } => {
+            TraceEvent::Synchronized {
+                at,
+                winner,
+                alt_index,
+                ..
+            } => {
                 if let Some(span) = spans.get_mut(&winner) {
                     span.1 = Some((at, "synchronized"));
                 }
@@ -221,7 +252,12 @@ pub fn chrome_trace_json(events: &[TraceEvent], finished_at: SimTime) -> String 
                     span.1 = Some((at, "too late"));
                 }
             }
-            TraceEvent::WorldSplit { at, accepting, rejecting, sender } => {
+            TraceEvent::WorldSplit {
+                at,
+                accepting,
+                rejecting,
+                sender,
+            } => {
                 instants.push((
                     at,
                     accepting,
@@ -234,7 +270,9 @@ pub fn chrome_trace_json(events: &[TraceEvent], finished_at: SimTime) -> String 
             TraceEvent::MessageIgnored { at, from, to } => {
                 instants.push((at, to, format!("ignored message from {from}")));
             }
-            TraceEvent::BlockFailed { at, pid, block_seq, .. } => {
+            TraceEvent::BlockFailed {
+                at, pid, block_seq, ..
+            } => {
                 instants.push((at, pid, format!("block #{block_seq} failed")));
             }
             TraceEvent::AltWait { .. } | TraceEvent::GuardEvaluated { .. } => {}
@@ -286,7 +324,10 @@ mod tests {
     #[test]
     fn timestamps_accessible() {
         let t = SimTime::from_nanos(1_000_000);
-        let e = TraceEvent::Eliminated { at: t, pid: Pid::new(3) };
+        let e = TraceEvent::Eliminated {
+            at: t,
+            pid: Pid::new(3),
+        };
         assert_eq!(e.at(), t);
     }
 
@@ -327,7 +368,12 @@ mod tests {
     fn chrome_trace_has_spans_and_instants() {
         let t = |ms: u64| SimTime::from_nanos(ms * 1_000_000);
         let events = vec![
-            TraceEvent::Spawned { at: t(0), pid: Pid::new(1), parent: None, alt_index: None },
+            TraceEvent::Spawned {
+                at: t(0),
+                pid: Pid::new(1),
+                parent: None,
+                alt_index: None,
+            },
             TraceEvent::Spawned {
                 at: t(1),
                 pid: Pid::new(2),
@@ -340,7 +386,11 @@ mod tests {
                 parent: Pid::new(1),
                 alt_index: 0,
             },
-            TraceEvent::MessageAccepted { at: t(5), from: Pid::new(2), to: Pid::new(1) },
+            TraceEvent::MessageAccepted {
+                at: t(5),
+                from: Pid::new(2),
+                to: Pid::new(1),
+            },
         ];
         let json = chrome_trace_json(&events, t(12));
         assert!(json.starts_with("[\n"), "{json}");
@@ -348,8 +398,14 @@ mod tests {
         assert!(json.contains("\"ph\":\"X\""), "duration events: {json}");
         assert!(json.contains("\"ph\":\"i\""), "instant events: {json}");
         assert!(json.contains("pid2 (synchronized)"), "{json}");
-        assert!(json.contains("pid1 (running)"), "root runs to the end: {json}");
-        assert!(json.contains("\"dur\":9000.000"), "2 spawned at 1ms, synced at 10ms: {json}");
+        assert!(
+            json.contains("pid1 (running)"),
+            "root runs to the end: {json}"
+        );
+        assert!(
+            json.contains("\"dur\":9000.000"),
+            "2 spawned at 1ms, synced at 10ms: {json}"
+        );
         // Balanced braces and no trailing comma before the close.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains(",\n]"), "{json}");

@@ -9,11 +9,11 @@
 //! the invariant is that splits always resolve back to exactly one world
 //! per receiver.
 
+use altx_check::{check, CaseRng};
 use altx_des::SimDuration;
 use altx_kernel::{
     AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program, Target, TraceEvent,
 };
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct Mesh {
@@ -29,28 +29,24 @@ struct Mesh {
     ipc_latency_ms: u64,
 }
 
-fn arb_mesh() -> impl Strategy<Value = Mesh> {
-    (
-        1usize..4,                                     // receivers
-        1usize..4,                                     // senders
-        prop::collection::vec(0u64..10, 4),            // delays
-        any::<bool>(),                                 // speculative noise
-        0u64..5,                                       // ipc latency
-        prop::collection::vec((0usize..4, any::<u8>()), 0..12),
-    )
-        .prop_map(|(nr, ns, delays, speculative_noise, ipc_latency_ms, raw)| {
-            let mut inbox_plan = vec![Vec::new(); nr];
-            for (i, (s, payload)) in raw.into_iter().enumerate() {
-                inbox_plan[i % nr].push((s % ns, payload));
-            }
-            Mesh {
-                inbox_plan,
-                n_senders: ns,
-                sender_delay_ms: delays,
-                speculative_noise,
-                ipc_latency_ms,
-            }
-        })
+fn arb_mesh(rng: &mut CaseRng) -> Mesh {
+    let nr = rng.usize_in(1, 4);
+    let ns = rng.usize_in(1, 4);
+    let delays: Vec<u64> = (0..4).map(|_| rng.u64_in(0, 10)).collect();
+    let speculative_noise = rng.bool();
+    let ipc_latency_ms = rng.u64_in(0, 5);
+    let raw = rng.vec(0, 12, |r| (r.usize_in(0, 4), r.u8()));
+    let mut inbox_plan = vec![Vec::new(); nr];
+    for (i, (s, payload)) in raw.into_iter().enumerate() {
+        inbox_plan[i % nr].push((s % ns, payload));
+    }
+    Mesh {
+        inbox_plan,
+        n_senders: ns,
+        sender_delay_ms: delays,
+        speculative_noise,
+        ipc_latency_ms,
+    }
 }
 
 fn build_and_run(mesh: &Mesh) -> (altx_kernel::RunReport, Vec<altx_predicates::Pid>, Kernel) {
@@ -92,7 +88,10 @@ fn build_and_run(mesh: &Mesh) -> (altx_kernel::RunReport, Vec<altx_predicates::P
     // rx0 before losing.
     if mesh.speculative_noise {
         let noisy = Program::new(vec![
-            Op::Send { to: Target::Name("rx0".into()), payload: vec![0xEE] },
+            Op::Send {
+                to: Target::Name("rx0".into()),
+                payload: vec![0xEE],
+            },
             Op::Compute(SimDuration::from_millis(500)),
         ]);
         let quiet = Program::compute_ms(5);
@@ -112,11 +111,10 @@ fn build_and_run(mesh: &Mesh) -> (altx_kernel::RunReport, Vec<altx_predicates::P
     (report, receiver_pids, kernel)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn ipc_meshes_deliver_and_contain(mesh in arb_mesh()) {
+#[test]
+fn ipc_meshes_deliver_and_contain() {
+    check("ipc_meshes_deliver_and_contain", 40, |rng| {
+        let mesh = arb_mesh(rng);
         let (report, receiver_pids, kernel) = build_and_run(&mesh);
 
         // For every receiver's logical process: exactly one world
@@ -125,7 +123,12 @@ proptest! {
             // Worlds of rx: the original plus split-offs.
             let mut worlds = std::collections::BTreeSet::from([rx]);
             for e in report.trace() {
-                if let TraceEvent::WorldSplit { accepting, rejecting, .. } = e {
+                if let TraceEvent::WorldSplit {
+                    accepting,
+                    rejecting,
+                    ..
+                } = e
+                {
                     if worlds.contains(accepting) {
                         worlds.insert(*rejecting);
                     }
@@ -136,12 +139,10 @@ proptest! {
                 .filter(|&&w| report.exit(w).map(|s| s.is_success()).unwrap_or(false))
                 .copied()
                 .collect();
-            prop_assert_eq!(
+            assert_eq!(
                 survivors.len(),
                 1,
-                "receiver {} worlds {:?} must have one survivor",
-                r,
-                worlds
+                "receiver {r} worlds {worlds:?} must have one survivor"
             );
             let survivor = survivors[0];
 
@@ -151,10 +152,10 @@ proptest! {
             let mut got: Vec<u8> = (0..plan.len())
                 .map(|k| {
                     let reg = kernel.register_of(survivor, k).expect("world exists");
-                    prop_assert!(!reg.is_empty(), "register {k} filled");
-                    Ok(reg[0])
+                    assert!(!reg.is_empty(), "register {k} filled");
+                    reg[0]
                 })
-                .collect::<Result<_, TestCaseError>>()?;
+                .collect();
             let mut want: Vec<u8> = plan.iter().map(|&(_, p)| p).collect();
             got.sort_unstable();
             want.sort_unstable();
@@ -162,14 +163,12 @@ proptest! {
             // in the accepting world only if that world died; the
             // survivor's view must contain no 0xEE unless planned.
             if !mesh.speculative_noise || !want.contains(&0xEE) {
-                prop_assert!(
+                assert!(
                     !got.contains(&0xEE) || want.contains(&0xEE),
-                    "loser payload leaked into survivor: {:?} vs {:?}",
-                    got,
-                    want
+                    "loser payload leaked into survivor: {got:?} vs {want:?}"
                 );
             }
-            prop_assert_eq!(got, want, "receiver {}", r);
+            assert_eq!(got, want, "receiver {r}");
         }
-    }
+    });
 }

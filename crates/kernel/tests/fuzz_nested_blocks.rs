@@ -7,17 +7,24 @@
 //! most once per block, pick only guard-satisfying winners, and be
 //! bit-for-bit deterministic.
 
+use altx_check::{check, CaseRng};
 use altx_des::SimDuration;
 use altx_kernel::{
     AltBlockSpec, Alternative, GuardSpec, Kernel, KernelConfig, Op, Program, TraceEvent,
 };
-use proptest::prelude::*;
 
 /// A generated alternative: either leaf work or a nested block.
 #[derive(Debug, Clone)]
 enum GenAlt {
-    Leaf { compute_ms: u64, dirty_pages: usize, guard: bool },
-    Nested { inner: Vec<GenAlt>, guard: bool },
+    Leaf {
+        compute_ms: u64,
+        dirty_pages: usize,
+        guard: bool,
+    },
+    Nested {
+        inner: Vec<GenAlt>,
+        guard: bool,
+    },
 }
 
 impl GenAlt {
@@ -29,10 +36,17 @@ impl GenAlt {
 
     fn to_alternative(&self) -> Alternative {
         match self {
-            GenAlt::Leaf { compute_ms, dirty_pages, guard } => {
+            GenAlt::Leaf {
+                compute_ms,
+                dirty_pages,
+                guard,
+            } => {
                 let mut ops = vec![Op::Compute(SimDuration::from_millis(*compute_ms))];
                 if *dirty_pages > 0 {
-                    ops.push(Op::TouchPages { first: 0, count: *dirty_pages });
+                    ops.push(Op::TouchPages {
+                        first: 0,
+                        count: *dirty_pages,
+                    });
                 }
                 Alternative::new(GuardSpec::Const(*guard), Program::new(ops))
             }
@@ -56,24 +70,30 @@ impl GenAlt {
     }
 }
 
-fn arb_alt() -> impl Strategy<Value = GenAlt> {
-    let leaf = (1u64..60, 0usize..4, any::<bool>()).prop_map(|(compute_ms, dirty_pages, guard)| {
-        GenAlt::Leaf { compute_ms, dirty_pages, guard }
-    });
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        (prop::collection::vec(inner, 1..4), any::<bool>())
-            .prop_map(|(inner, guard)| GenAlt::Nested { inner, guard })
-    })
+/// Generates a leaf or (with decreasing probability by depth) a nested
+/// block of 1–3 children — the same shape distribution the proptest
+/// version produced with `prop_recursive(3, 12, 3, ...)`.
+fn arb_alt(rng: &mut CaseRng, depth: usize) -> GenAlt {
+    if depth < 3 && rng.chance(0.35) {
+        let inner = rng.vec(1, 4, |r| arb_alt(r, depth + 1));
+        GenAlt::Nested {
+            inner,
+            guard: rng.bool(),
+        }
+    } else {
+        GenAlt::Leaf {
+            compute_ms: rng.u64_in(1, 60),
+            dirty_pages: rng.usize_in(0, 4),
+            guard: rng.bool(),
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn nested_block_trees_preserve_all_invariants(
-        alts in prop::collection::vec(arb_alt(), 1..4),
-        cpus in 1usize..6,
-    ) {
+#[test]
+fn nested_block_trees_preserve_all_invariants() {
+    check("nested_block_trees_preserve_all_invariants", 48, |rng| {
+        let alts = rng.vec(1, 4, |r| arb_alt(r, 0));
+        let cpus = rng.usize_in(1, 6);
         let spec = AltBlockSpec::new(alts.iter().map(GenAlt::to_alternative).collect());
         let run = |seed: u64| {
             let mut kernel = Kernel::new(KernelConfig {
@@ -87,8 +107,8 @@ proptest! {
         let (report, root) = run(1);
 
         // 1. Everything terminates: no deadlocks, no stuck processes.
-        prop_assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
-        prop_assert!(report.exit(root).expect("root exits").is_success());
+        assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
+        assert!(report.exit(root).expect("root exits").is_success());
 
         // 2. The top block's outcome matches the generated guards: it
         //    succeeds iff some top-level alternative's guard is true
@@ -96,9 +116,9 @@ proptest! {
         //    guard holds).
         let top = &report.block_outcomes(root)[0];
         let any_pass = alts.iter().any(|a| a.guard());
-        prop_assert_eq!(top.failed, !any_pass);
+        assert_eq!(top.failed, !any_pass);
         if let Some(w) = top.winner {
-            prop_assert!(alts[w].guard(), "winner's guard must hold");
+            assert!(alts[w].guard(), "winner's guard must hold");
         }
 
         // 3. At most one synchronization per (parent, block) pair.
@@ -110,23 +130,33 @@ proptest! {
         }
         // A parent runs blocks sequentially, so per-parent sync counts
         // must not exceed its block count; the root runs exactly one.
-        prop_assert!(syncs.get(&root).copied().unwrap_or(0) <= 1);
+        assert!(syncs.get(&root).copied().unwrap_or(0) <= 1);
 
         // 4. Total blocks decided ≤ blocks in the tree + 1 (some nested
         //    blocks never run when their alternative loses early).
-        let total_blocks: usize =
-            1 + alts.iter().map(GenAlt::count_blocks).sum::<usize>();
-        let decided: usize = report.trace().iter().filter(|e| {
-            matches!(e, TraceEvent::Synchronized { .. } | TraceEvent::BlockFailed { .. })
-        }).count();
-        prop_assert!(decided <= total_blocks, "{decided} > {total_blocks}");
+        let total_blocks: usize = 1 + alts.iter().map(GenAlt::count_blocks).sum::<usize>();
+        let decided: usize = report
+            .trace()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Synchronized { .. } | TraceEvent::BlockFailed { .. }
+                )
+            })
+            .count();
+        assert!(decided <= total_blocks, "{decided} > {total_blocks}");
 
         // 5. Every spawned process reached a terminal trace event.
         let spawned: std::collections::BTreeSet<_> = report
             .trace()
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Spawned { pid, parent: Some(_), .. } => Some(*pid),
+                TraceEvent::Spawned {
+                    pid,
+                    parent: Some(_),
+                    ..
+                } => Some(*pid),
                 _ => None,
             })
             .collect();
@@ -141,7 +171,7 @@ proptest! {
                 _ => None,
             })
             .collect();
-        prop_assert!(
+        assert!(
             spawned.is_subset(&terminated),
             "leaked processes: {:?}",
             spawned.difference(&terminated).collect::<Vec<_>>()
@@ -149,8 +179,8 @@ proptest! {
 
         // 6. Determinism.
         let (again, root2) = run(1);
-        prop_assert_eq!(root, root2);
-        prop_assert_eq!(report.finished_at, again.finished_at);
-        prop_assert_eq!(report.stats, again.stats);
-    }
+        assert_eq!(root, root2);
+        assert_eq!(report.finished_at, again.finished_at);
+        assert_eq!(report.stats, again.stats);
+    });
 }

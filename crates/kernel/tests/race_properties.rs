@@ -6,13 +6,13 @@
 //! select *some* alternative iff one can succeed, account for every
 //! spawned child, and do all of it deterministically.
 
+use altx_check::{check, CaseRng};
 use altx_des::SimDuration;
 use altx_kernel::{
     AltBlockSpec, Alternative, EliminationPolicy, GuardSpec, Kernel, KernelConfig, Op, Program,
     TraceEvent,
 };
 use altx_pager::MachineProfile;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 struct AltSpec {
@@ -21,14 +21,12 @@ struct AltSpec {
     dirty_pages: usize,
 }
 
-fn arb_alt() -> impl Strategy<Value = AltSpec> {
-    (1u64..200, any::<bool>(), 0usize..8).prop_map(|(compute_ms, guard_passes, dirty_pages)| {
-        AltSpec {
-            compute_ms,
-            guard_passes,
-            dirty_pages,
-        }
-    })
+fn arb_alt(rng: &mut CaseRng) -> AltSpec {
+    AltSpec {
+        compute_ms: rng.u64_in(1, 200),
+        guard_passes: rng.bool(),
+        dirty_pages: rng.usize_in(0, 8),
+    }
 }
 
 fn run_race(
@@ -41,7 +39,10 @@ fn run_race(
         .map(|a| {
             let mut ops = vec![Op::Compute(SimDuration::from_millis(a.compute_ms))];
             if a.dirty_pages > 0 {
-                ops.push(Op::TouchPages { first: 0, count: a.dirty_pages });
+                ops.push(Op::TouchPages {
+                    first: 0,
+                    count: a.dirty_pages,
+                });
             }
             Alternative::new(GuardSpec::Const(a.guard_passes), Program::new(ops))
         })
@@ -64,24 +65,21 @@ fn run_race(
     (report, root)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Success iff some guard can pass; at most one synchronization; all
-    /// children accounted for.
-    #[test]
-    fn selection_contract(
-        alts in prop::collection::vec(arb_alt(), 1..7),
-        cpus in 1usize..9,
-        sync_elim in any::<bool>(),
-    ) {
+/// Success iff some guard can pass; at most one synchronization; all
+/// children accounted for.
+#[test]
+fn selection_contract() {
+    check("selection_contract", 48, |rng| {
+        let alts = rng.vec(1, 7, arb_alt);
+        let cpus = rng.usize_in(1, 9);
+        let sync_elim = rng.bool();
         let (report, root) = run_race(&alts, cpus, sync_elim);
         let outcome = &report.block_outcomes(root)[0];
         let any_can_pass = alts.iter().any(|a| a.guard_passes);
 
-        prop_assert_eq!(outcome.failed, !any_can_pass);
+        assert_eq!(outcome.failed, !any_can_pass);
         if let Some(w) = outcome.winner {
-            prop_assert!(alts[w].guard_passes, "winner's guard must hold");
+            assert!(alts[w].guard_passes, "winner's guard must hold");
         }
 
         let syncs = report
@@ -89,11 +87,11 @@ proptest! {
             .iter()
             .filter(|e| matches!(e, TraceEvent::Synchronized { .. }))
             .count();
-        prop_assert_eq!(syncs, usize::from(any_can_pass));
+        assert_eq!(syncs, usize::from(any_can_pass));
 
         // Every spawned child terminates: wins, aborts, is eliminated, or
         // is told too-late. None left running or blocked.
-        prop_assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
+        assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
         let terminated = report
             .trace()
             .iter()
@@ -107,20 +105,25 @@ proptest! {
                 )
             })
             .count();
-        prop_assert_eq!(terminated, alts.len());
-    }
+        assert_eq!(terminated, alts.len());
+    });
+}
 
-    /// With ample CPUs and all guards passing, the winner is an
-    /// alternative minimizing dispatch-order-adjusted finish time:
-    /// ready(i) + compute(i), where ready is staggered by one fork per
-    /// earlier alternative.
-    #[test]
-    fn fastest_first_modulo_spawn_stagger(
-        times in prop::collection::vec(1u64..500, 1..6),
-    ) {
+/// With ample CPUs and all guards passing, the winner is an
+/// alternative minimizing dispatch-order-adjusted finish time:
+/// ready(i) + compute(i), where ready is staggered by one fork per
+/// earlier alternative.
+#[test]
+fn fastest_first_modulo_spawn_stagger() {
+    check("fastest_first_modulo_spawn_stagger", 48, |rng| {
+        let times = rng.vec(1, 6, |r| r.u64_in(1, 500));
         let alts: Vec<AltSpec> = times
             .iter()
-            .map(|&t| AltSpec { compute_ms: t, guard_passes: true, dirty_pages: 0 })
+            .map(|&t| AltSpec {
+                compute_ms: t,
+                guard_passes: true,
+                dirty_pages: 0,
+            })
             .collect();
         let (report, root) = run_race(&alts, 16, false);
         let outcome = &report.block_outcomes(root)[0];
@@ -134,53 +137,59 @@ proptest! {
         let best = (0..times.len()).map(finish).min().expect("non-empty");
         // The winner must be within one sync window of the best (ties
         // can legitimately go to either; sync costs are identical).
-        prop_assert!(
-            finish(w) <= best + profile.syscall_cost().as_nanos() + profile.context_switch_cost().as_nanos(),
+        assert!(
+            finish(w)
+                <= best
+                    + profile.syscall_cost().as_nanos()
+                    + profile.context_switch_cost().as_nanos(),
             "winner {} finish {} vs best {}",
             w,
             finish(w),
             best
         );
-    }
+    });
+}
 
-    /// Determinism: identical inputs produce identical reports.
-    #[test]
-    fn runs_are_deterministic(
-        alts in prop::collection::vec(arb_alt(), 1..6),
-        cpus in 1usize..5,
-    ) {
+/// Determinism: identical inputs produce identical reports.
+#[test]
+fn runs_are_deterministic() {
+    check("runs_are_deterministic", 48, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
+        let cpus = rng.usize_in(1, 5);
         let (a, root_a) = run_race(&alts, cpus, false);
         let (b, root_b) = run_race(&alts, cpus, false);
-        prop_assert_eq!(root_a, root_b);
-        prop_assert_eq!(a.finished_at, b.finished_at);
-        prop_assert_eq!(a.stats, b.stats);
-        prop_assert_eq!(a.block_outcomes(root_a), b.block_outcomes(root_b));
-        prop_assert_eq!(a.trace().len(), b.trace().len());
-    }
+        assert_eq!(root_a, root_b);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.block_outcomes(root_a), b.block_outcomes(root_b));
+        assert_eq!(a.trace().len(), b.trace().len());
+    });
+}
 
-    /// Elimination policy never changes the selected winner, only the
-    /// parent's resume time (sync ≥ async).
-    #[test]
-    fn elimination_policy_is_performance_only(
-        alts in prop::collection::vec(arb_alt(), 1..6),
-    ) {
+/// Elimination policy never changes the selected winner, only the
+/// parent's resume time (sync ≥ async).
+#[test]
+fn elimination_policy_is_performance_only() {
+    check("elimination_policy_is_performance_only", 48, |rng| {
+        let alts = rng.vec(1, 6, arb_alt);
         let (sync, root_s) = run_race(&alts, 8, true);
         let (async_, root_a) = run_race(&alts, 8, false);
         let so = &sync.block_outcomes(root_s)[0];
         let ao = &async_.block_outcomes(root_a)[0];
-        prop_assert_eq!(so.winner, ao.winner);
-        prop_assert_eq!(so.failed, ao.failed);
-        prop_assert_eq!(so.decided_at, ao.decided_at);
-        prop_assert!(so.parent_resumed_at >= ao.parent_resumed_at);
-    }
+        assert_eq!(so.winner, ao.winner);
+        assert_eq!(so.failed, ao.failed);
+        assert_eq!(so.decided_at, ao.decided_at);
+        assert!(so.parent_resumed_at >= ao.parent_resumed_at);
+    });
+}
 
-    /// Cross-validation against the analytic model: on frictionless
-    /// hardware with ample CPUs, the race's elapsed time is *exactly*
-    /// the fastest alternative's time — τ(C_best) with τ(overhead) = 0.
-    #[test]
-    fn frictionless_race_equals_analytic_best(
-        times in prop::collection::vec(1u64..1_000, 1..8),
-    ) {
+/// Cross-validation against the analytic model: on frictionless
+/// hardware with ample CPUs, the race's elapsed time is *exactly*
+/// the fastest alternative's time — τ(C_best) with τ(overhead) = 0.
+#[test]
+fn frictionless_race_equals_analytic_best() {
+    check("frictionless_race_equals_analytic_best", 48, |rng| {
+        let times = rng.vec(1, 8, |r| r.u64_in(1, 1_000));
         let alternatives: Vec<Alternative> = times
             .iter()
             .map(|&t| {
@@ -204,34 +213,36 @@ proptest! {
         let report = kernel.run();
         let o = &report.block_outcomes(root)[0];
         let best = *times.iter().min().expect("non-empty");
-        prop_assert_eq!(o.elapsed(), SimDuration::from_millis(best));
+        assert_eq!(o.elapsed(), SimDuration::from_millis(best));
         // And the winner is a minimal-time alternative.
-        prop_assert_eq!(times[o.winner.expect("all pass")], best);
+        assert_eq!(times[o.winner.expect("all pass")], best);
         // CPU-busy accounting: on frictionless hardware, busy time is
         // exactly the compute performed before the decision — at least
         // the winner's, at most every alternative running to the
         // decision instant.
-        prop_assert!(report.stats.cpu_busy >= SimDuration::from_millis(best));
-        prop_assert!(
-            report.stats.cpu_busy
-                <= SimDuration::from_millis(best) * times.len() as u64
-        );
-    }
+        assert!(report.stats.cpu_busy >= SimDuration::from_millis(best));
+        assert!(report.stats.cpu_busy <= SimDuration::from_millis(best) * times.len() as u64);
+    });
+}
 
-    /// Fewer CPUs never makes the race finish earlier (virtual
-    /// concurrency is a pessimization, §4.2).
-    #[test]
-    fn more_cpus_never_hurt(
-        times in prop::collection::vec(20u64..200, 2..5),
-    ) {
+/// Fewer CPUs never makes the race finish earlier (virtual
+/// concurrency is a pessimization, §4.2).
+#[test]
+fn more_cpus_never_hurt() {
+    check("more_cpus_never_hurt", 48, |rng| {
+        let times = rng.vec(2, 5, |r| r.u64_in(20, 200));
         let alts: Vec<AltSpec> = times
             .iter()
-            .map(|&t| AltSpec { compute_ms: t, guard_passes: true, dirty_pages: 0 })
+            .map(|&t| AltSpec {
+                compute_ms: t,
+                guard_passes: true,
+                dirty_pages: 0,
+            })
             .collect();
         let (one, r1) = run_race(&alts, 1, false);
         let (many, rm) = run_race(&alts, 16, false);
         let t1 = one.block_outcomes(r1)[0].elapsed();
         let tm = many.block_outcomes(rm)[0].elapsed();
-        prop_assert!(tm <= t1, "16 cpus {tm} vs 1 cpu {t1}");
-    }
+        assert!(tm <= t1, "16 cpus {tm} vs 1 cpu {t1}");
+    });
 }

@@ -268,8 +268,16 @@ mod tests {
         // §4.4: 326 2K-pages/s on the 3B2, 1034 4K-pages/s on the HP.
         let att = MachineProfile::att_3b2_310();
         let hp = MachineProfile::hp_9000_350();
-        assert!((att.page_copy_rate() - 326.0).abs() < 1.0, "{}", att.page_copy_rate());
-        assert!((hp.page_copy_rate() - 1034.0).abs() < 1.0, "{}", hp.page_copy_rate());
+        assert!(
+            (att.page_copy_rate() - 326.0).abs() < 1.0,
+            "{}",
+            att.page_copy_rate()
+        );
+        assert!(
+            (hp.page_copy_rate() - 1034.0).abs() < 1.0,
+            "{}",
+            hp.page_copy_rate()
+        );
     }
 
     #[test]

@@ -253,7 +253,10 @@ mod tests {
     #[test]
     fn flatten_reads_zero_for_unmapped() {
         let mut m = small_map();
-        m.page_mut(PageIndex(1)).0.as_bytes_mut().copy_from_slice(&[1, 2, 3, 4]);
+        m.page_mut(PageIndex(1))
+            .0
+            .as_bytes_mut()
+            .copy_from_slice(&[1, 2, 3, 4]);
         let flat = m.flatten();
         assert_eq!(flat.len(), 32);
         assert_eq!(&flat[0..4], &[0, 0, 0, 0]);

@@ -128,7 +128,12 @@ impl Page {
 
 impl fmt::Debug for Page {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Page({} bytes, zero={})", self.bytes.len(), self.is_zero())
+        write!(
+            f,
+            "Page({} bytes, zero={})",
+            self.bytes.len(),
+            self.is_zero()
+        )
     }
 }
 

@@ -202,7 +202,8 @@ impl AddressSpace {
             let chunk = (ps - page_off).min(buf.len() - off);
             match self.map.page(page_idx) {
                 Some(page) => {
-                    buf[off..off + chunk].copy_from_slice(&page.as_bytes()[page_off..page_off + chunk]);
+                    buf[off..off + chunk]
+                        .copy_from_slice(&page.as_bytes()[page_off..page_off + chunk]);
                 }
                 None => {
                     buf[off..off + chunk].fill(0);
@@ -398,8 +399,7 @@ mod tests {
             pages_zero_filled: 2,
             pages_touched: 5,
         };
-        let expected =
-            profile.cow_fault_cost() * 3 + profile.page_fault_cost() * 2;
+        let expected = profile.cow_fault_cost() * 3 + profile.page_fault_cost() * 2;
         assert_eq!(receipt.cost(&profile), expected);
     }
 

@@ -6,8 +6,8 @@
 //! byte-for-byte identical to a plain flat-buffer oracle that received the
 //! same operations.
 
+use altx_check::{check, CaseRng};
 use altx_pager::{AddressSpace, PageSize};
-use proptest::prelude::*;
 
 /// A flat, non-COW model of an address space.
 #[derive(Clone)]
@@ -17,7 +17,9 @@ struct Oracle {
 
 impl Oracle {
     fn new(len: usize) -> Self {
-        Oracle { bytes: vec![0; len] }
+        Oracle {
+            bytes: vec![0; len],
+        }
     }
     fn write(&mut self, addr: usize, data: &[u8]) {
         self.bytes[addr..addr + data.len()].copy_from_slice(data);
@@ -27,33 +29,38 @@ impl Oracle {
 #[derive(Debug, Clone)]
 enum Op {
     /// Write `data` at `addr` in space `target` (modulo live spaces).
-    Write { target: usize, addr: usize, data: Vec<u8> },
+    Write {
+        target: usize,
+        addr: usize,
+        data: Vec<u8>,
+    },
     /// Fork space `target` into a new space.
     Fork { target: usize },
 }
 
-fn op_strategy(space_bytes: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (any::<usize>(), 0..space_bytes, prop::collection::vec(any::<u8>(), 1..64))
-            .prop_map(move |(target, addr, mut data)| {
-                let max_len = space_bytes - addr;
-                data.truncate(max_len.max(1).min(data.len()));
-                Op::Write { target, addr, data }
-            }),
-        1 => any::<usize>().prop_map(|target| Op::Fork { target }),
-    ]
+fn arb_op(rng: &mut CaseRng, space_bytes: usize) -> Op {
+    if rng.usize_in(0, 5) < 4 {
+        let target = rng.u64() as usize;
+        let addr = rng.usize_in(0, space_bytes);
+        let mut data = rng.bytes(1, 64);
+        let max_len = space_bytes - addr;
+        data.truncate(max_len.max(1).min(data.len()));
+        Op::Write { target, addr, data }
+    } else {
+        Op::Fork {
+            target: rng.u64() as usize,
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Every space always equals its oracle, no matter how ops interleave
+/// across forks.
+#[test]
+fn spaces_match_flat_oracles() {
+    check("spaces_match_flat_oracles", 64, |rng| {
+        let page_size = rng.usize_in(1, 64);
+        let ops = rng.vec(1, 60, |r| arb_op(r, 256));
 
-    /// Every space always equals its oracle, no matter how ops interleave
-    /// across forks.
-    #[test]
-    fn spaces_match_flat_oracles(
-        ops in prop::collection::vec(op_strategy(256), 1..60),
-        page_size in 1usize..64,
-    ) {
         let ps = PageSize::new(page_size);
         let mut spaces = vec![AddressSpace::zeroed(256, ps)];
         let mut oracles = vec![Oracle::new(spaces[0].len())];
@@ -81,31 +88,33 @@ proptest! {
         }
 
         for (space, oracle) in spaces.iter().zip(&oracles) {
-            prop_assert_eq!(space.flatten(), oracle.bytes.clone());
+            assert_eq!(space.flatten(), oracle.bytes.clone());
         }
-    }
+    });
+}
 
-    /// Copies are only charged when pages are genuinely shared: a space
-    /// that never forks never records a COW copy.
-    #[test]
-    fn no_fork_no_cow_copies(
-        writes in prop::collection::vec((0usize..200, prop::collection::vec(any::<u8>(), 1..32)), 1..40),
-    ) {
+/// Copies are only charged when pages are genuinely shared: a space
+/// that never forks never records a COW copy.
+#[test]
+fn no_fork_no_cow_copies() {
+    check("no_fork_no_cow_copies", 64, |rng| {
+        let writes = rng.vec(1, 40, |r| (r.usize_in(0, 200), r.bytes(1, 32)));
         let mut s = AddressSpace::zeroed(256, PageSize::new(16));
         for (addr, data) in writes {
             if addr + data.len() <= s.len() {
                 s.write(addr, &data);
             }
         }
-        prop_assert_eq!(s.stats().pages_copied, 0);
-    }
+        assert_eq!(s.stats().pages_copied, 0);
+    });
+}
 
-    /// After a fork, the first write to each inherited non-zero page
-    /// copies exactly once; repeat writes are in-place.
-    #[test]
-    fn each_shared_page_copied_at_most_once(
-        touches in prop::collection::vec(0usize..10, 1..50),
-    ) {
+/// After a fork, the first write to each inherited non-zero page
+/// copies exactly once; repeat writes are in-place.
+#[test]
+fn each_shared_page_copied_at_most_once() {
+    check("each_shared_page_copied_at_most_once", 64, |rng| {
+        let touches = rng.vec(1, 50, |r| r.usize_in(0, 10));
         let parent = AddressSpace::from_bytes(&[1u8; 160], PageSize::new(16)); // 10 pages
         let mut child = parent.cow_fork();
         let mut unique = std::collections::HashSet::new();
@@ -113,16 +122,17 @@ proptest! {
             child.touch_pages(t, 1, 0xAB);
             unique.insert(t);
         }
-        prop_assert_eq!(child.stats().pages_copied, unique.len() as u64);
+        assert_eq!(child.stats().pages_copied, unique.len() as u64);
         // Parent never observes child writes.
-        prop_assert!(parent.flatten().iter().all(|&b| b == 1));
-    }
+        assert!(parent.flatten().iter().all(|&b| b == 1));
+    });
+}
 
-    /// absorb() makes the parent bit-identical to the winning child.
-    #[test]
-    fn absorb_equals_child_state(
-        child_writes in prop::collection::vec((0usize..200, prop::collection::vec(any::<u8>(), 1..16)), 0..20),
-    ) {
+/// absorb() makes the parent bit-identical to the winning child.
+#[test]
+fn absorb_equals_child_state() {
+    check("absorb_equals_child_state", 64, |rng| {
+        let child_writes = rng.vec(0, 20, |r| (r.usize_in(0, 200), r.bytes(1, 16)));
         let mut parent = AddressSpace::from_bytes(&[7u8; 256], PageSize::new(32));
         let mut child = parent.cow_fork();
         for (addr, data) in child_writes {
@@ -132,6 +142,6 @@ proptest! {
         }
         let expect = child.flatten();
         parent.absorb(child);
-        prop_assert_eq!(parent.flatten(), expect);
-    }
+        assert_eq!(parent.flatten(), expect);
+    });
 }

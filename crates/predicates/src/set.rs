@@ -122,7 +122,10 @@ impl PredicateSet {
 
     /// The failure alternative's predicates (§3.3 footnote: it "assumes
     /// that none of the siblings will complete").
-    pub fn failure_alternative<I>(parent: &PredicateSet, siblings: I) -> Result<Self, PredicateConflict>
+    pub fn failure_alternative<I>(
+        parent: &PredicateSet,
+        siblings: I,
+    ) -> Result<Self, PredicateConflict>
     where
         I: IntoIterator<Item = Pid>,
     {
@@ -238,7 +241,11 @@ impl PredicateSet {
                 .difference(&self.must_complete)
                 .copied()
                 .collect(),
-            must_fail: sender.must_fail.difference(&self.must_fail).copied().collect(),
+            must_fail: sender
+                .must_fail
+                .difference(&self.must_fail)
+                .copied()
+                .collect(),
         };
         Compatibility::NeedsAssumptions { extra }
     }
@@ -266,7 +273,11 @@ impl PredicateSet {
     /// … will become TRUE, and they can be eliminated from the lists",
     /// §3.4.2); contradicted assumptions doom the holder.
     pub fn resolve(&mut self, pid: Pid, outcome: Outcome) -> Resolution {
-        match (self.must_complete.contains(&pid), self.must_fail.contains(&pid), outcome) {
+        match (
+            self.must_complete.contains(&pid),
+            self.must_fail.contains(&pid),
+            outcome,
+        ) {
             (true, _, Outcome::Completed) => {
                 self.must_complete.remove(&pid);
                 Resolution::Satisfied
@@ -402,7 +413,10 @@ mod tests {
         let mut sender = PredicateSet::new();
         sender.assume_completes(pid(1)).unwrap();
         assert_eq!(receiver.compare(&sender), Compatibility::Implied);
-        assert_eq!(receiver.compare(&PredicateSet::new()), Compatibility::Implied);
+        assert_eq!(
+            receiver.compare(&PredicateSet::new()),
+            Compatibility::Implied
+        );
     }
 
     #[test]

@@ -187,7 +187,11 @@ mod tests {
         store.write(1, speculative(5), 20);
         store.write(2, speculative(5), 99);
         store.resolve(Pid::new(5), Outcome::Failed);
-        assert_eq!(store.read(1, &speculative(5)), Some(&10), "spec version gone");
+        assert_eq!(
+            store.read(1, &speculative(5)),
+            Some(&10),
+            "spec version gone"
+        );
         assert_eq!(store.read(2, &PredicateSet::new()), None, "object vanished");
         assert_eq!(store.len(), 1);
     }

@@ -5,101 +5,121 @@
 //! exhaustive and mutually exclusive, and resolution commutes with
 //! conjunction for disjoint pids.
 
+use altx_check::{check, CaseRng};
 use altx_predicates::{Compatibility, Outcome, Pid, PredicateSet, Resolution};
-use proptest::prelude::*;
 
 /// Builds an arbitrary consistent predicate set over pids `0..n`.
-fn arb_set(n: u64) -> impl Strategy<Value = PredicateSet> {
-    prop::collection::vec(prop_oneof![Just(0u8), Just(1), Just(2)], n as usize).prop_map(|fates| {
-        let mut s = PredicateSet::new();
-        for (i, fate) in fates.into_iter().enumerate() {
-            let pid = Pid::new(i as u64);
-            match fate {
-                1 => s.assume_completes(pid).expect("fresh pid"),
-                2 => s.assume_fails(pid).expect("fresh pid"),
-                _ => {}
-            }
+fn arb_set(rng: &mut CaseRng, n: u64) -> PredicateSet {
+    let mut s = PredicateSet::new();
+    for i in 0..n {
+        let pid = Pid::new(i);
+        match rng.usize_in(0, 3) {
+            1 => s.assume_completes(pid).expect("fresh pid"),
+            2 => s.assume_fails(pid).expect("fresh pid"),
+            _ => {}
         }
-        s
-    })
+    }
+    s
 }
 
-proptest! {
-    /// compare() classifies every (receiver, sender) pair into exactly one
-    /// of the three §3.4.2 outcomes, consistently with implies/conflicts.
-    #[test]
-    fn compare_is_exhaustive_and_consistent(r in arb_set(6), s in arb_set(6)) {
+/// compare() classifies every (receiver, sender) pair into exactly one
+/// of the three §3.4.2 outcomes, consistently with implies/conflicts.
+#[test]
+fn compare_is_exhaustive_and_consistent() {
+    check("compare_is_exhaustive_and_consistent", 256, |rng| {
+        let r = arb_set(rng, 6);
+        let s = arb_set(rng, 6);
         match r.compare(&s) {
             Compatibility::Implied => {
-                prop_assert!(r.implies(&s));
-                prop_assert!(!r.conflicts_with(&s));
+                assert!(r.implies(&s));
+                assert!(!r.conflicts_with(&s));
             }
             Compatibility::Conflicting { witness } => {
-                prop_assert!(r.conflicts_with(&s));
+                assert!(r.conflicts_with(&s));
                 // The witness really is assumed both ways.
                 let rw = r.assumption_about(witness).expect("receiver assumption");
                 let sw = s.assumption_about(witness).expect("sender assumption");
-                prop_assert_eq!(rw, sw.negated());
+                assert_eq!(rw, sw.negated());
             }
             Compatibility::NeedsAssumptions { extra } => {
-                prop_assert!(!r.implies(&s));
-                prop_assert!(!r.conflicts_with(&s));
-                prop_assert!(!extra.is_empty());
+                assert!(!r.implies(&s));
+                assert!(!r.conflicts_with(&s));
+                assert!(!extra.is_empty());
                 // Conjoining the extras yields a world that implies S.
                 let mut accepting = r.clone();
-                accepting.conjoin(&extra).expect("no conflict by construction");
-                prop_assert!(accepting.implies(&s));
+                accepting
+                    .conjoin(&extra)
+                    .expect("no conflict by construction");
+                assert!(accepting.implies(&s));
             }
         }
-    }
+    });
+}
 
-    /// Conflict detection is symmetric.
-    #[test]
-    fn conflicts_symmetric(a in arb_set(6), b in arb_set(6)) {
-        prop_assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
-    }
+/// Conflict detection is symmetric.
+#[test]
+fn conflicts_symmetric() {
+    check("conflicts_symmetric", 256, |rng| {
+        let a = arb_set(rng, 6);
+        let b = arb_set(rng, 6);
+        assert_eq!(a.conflicts_with(&b), b.conflicts_with(&a));
+    });
+}
 
-    /// implies is reflexive and transitive on generated sets.
-    #[test]
-    fn implies_reflexive_transitive(a in arb_set(5), b in arb_set(5), c in arb_set(5)) {
-        prop_assert!(a.implies(&a));
+/// implies is reflexive and transitive on generated sets.
+#[test]
+fn implies_reflexive_transitive() {
+    check("implies_reflexive_transitive", 256, |rng| {
+        let a = arb_set(rng, 5);
+        let b = arb_set(rng, 5);
+        let c = arb_set(rng, 5);
+        assert!(a.implies(&a));
         if a.implies(&b) && b.implies(&c) {
-            prop_assert!(a.implies(&c));
+            assert!(a.implies(&c));
         }
-    }
+    });
+}
 
-    /// Resolving every assumed pid with its assumed fate empties the set
-    /// (all assumptions discharged, never doomed).
-    #[test]
-    fn resolving_as_assumed_discharges_everything(s in arb_set(8)) {
+/// Resolving every assumed pid with its assumed fate empties the set
+/// (all assumptions discharged, never doomed).
+#[test]
+fn resolving_as_assumed_discharges_everything() {
+    check("resolving_as_assumed_discharges_everything", 128, |rng| {
+        let s = arb_set(rng, 8);
         let mut set = s.clone();
         let assumed: Vec<(Pid, Outcome)> = (0..8)
             .map(Pid::new)
             .filter_map(|p| set.assumption_about(p).map(|o| (p, o)))
             .collect();
         for (p, o) in assumed {
-            prop_assert_eq!(set.resolve(p, o), Resolution::Satisfied);
+            assert_eq!(set.resolve(p, o), Resolution::Satisfied);
         }
-        prop_assert!(set.is_unconditional());
-    }
+        assert!(set.is_unconditional());
+    });
+}
 
-    /// Resolving any assumed pid with the opposite fate dooms the world.
-    #[test]
-    fn resolving_against_assumption_dooms(s in arb_set(8)) {
+/// Resolving any assumed pid with the opposite fate dooms the world.
+#[test]
+fn resolving_against_assumption_dooms() {
+    check("resolving_against_assumption_dooms", 128, |rng| {
+        let s = arb_set(rng, 8);
         for p in (0..8).map(Pid::new) {
             if let Some(o) = s.assumption_about(p) {
                 let mut world = s.clone();
-                prop_assert_eq!(world.resolve(p, o.negated()), Resolution::Doomed);
+                assert_eq!(world.resolve(p, o.negated()), Resolution::Doomed);
             }
         }
-    }
+    });
+}
 
-    /// The two worlds created by a split hold contradictory assumptions
-    /// about the sender, so exactly one survives any resolution of the
-    /// sender's fate — the §3.4.2 "multiple worlds" invariant.
-    #[test]
-    fn split_worlds_partition_on_sender_fate(r in arb_set(4), sender_pid in 4u64..8) {
-        let sender_pid = Pid::new(sender_pid);
+/// The two worlds created by a split hold contradictory assumptions
+/// about the sender, so exactly one survives any resolution of the
+/// sender's fate — the §3.4.2 "multiple worlds" invariant.
+#[test]
+fn split_worlds_partition_on_sender_fate() {
+    check("split_worlds_partition_on_sender_fate", 128, |rng| {
+        let r = arb_set(rng, 4);
+        let sender_pid = Pid::new(rng.u64_in(4, 8));
         // Sender assumes its own completion (footnote 2: accepting implies
         // all the sender's predicates, rooted in its completion).
         let mut sender = PredicateSet::new();
@@ -111,7 +131,9 @@ proptest! {
             world_a.conjoin(&extra).expect("consistent by construction");
             // World B: rejects (assumes the sender fails; footnote 3).
             let mut world_b = r.clone();
-            world_b.assume_fails(sender_pid).expect("no prior assumption");
+            world_b
+                .assume_fails(sender_pid)
+                .expect("no prior assumption");
 
             for fate in [Outcome::Completed, Outcome::Failed] {
                 let mut a = world_a.clone();
@@ -120,22 +142,28 @@ proptest! {
                 let rb = b.resolve(sender_pid, fate);
                 let a_survives = ra != Resolution::Doomed;
                 let b_survives = rb != Resolution::Doomed;
-                prop_assert_ne!(a_survives, b_survives,
-                    "exactly one world must survive fate {:?}", fate);
+                assert_ne!(
+                    a_survives, b_survives,
+                    "exactly one world must survive fate {fate:?}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Conjunction is commutative when it succeeds.
-    #[test]
-    fn conjoin_commutative_on_success(a in arb_set(6), b in arb_set(6)) {
+/// Conjunction is commutative when it succeeds.
+#[test]
+fn conjoin_commutative_on_success() {
+    check("conjoin_commutative_on_success", 256, |rng| {
+        let a = arb_set(rng, 6);
+        let b = arb_set(rng, 6);
         let mut ab = a.clone();
         let mut ba = b.clone();
         let r1 = ab.conjoin(&b);
         let r2 = ba.conjoin(&a);
-        prop_assert_eq!(r1.is_ok(), r2.is_ok());
+        assert_eq!(r1.is_ok(), r2.is_ok());
         if r1.is_ok() {
-            prop_assert_eq!(ab, ba);
+            assert_eq!(ab, ba);
         }
-    }
+    });
 }

@@ -42,8 +42,10 @@ fn show_solutions(kb: &KnowledgeBase, query: &str) {
                 return;
             }
             for s in &solutions {
-                let bindings: Vec<String> =
-                    s.iter().map(|(name, term)| format!("{name} = {term}")).collect();
+                let bindings: Vec<String> = s
+                    .iter()
+                    .map(|(name, term)| format!("{name} = {term}"))
+                    .collect();
                 if bindings.is_empty() {
                     println!("  true");
                 } else {
@@ -54,7 +56,11 @@ fn show_solutions(kb: &KnowledgeBase, query: &str) {
                 "  ({} solution(s) in {} steps{}{})",
                 solutions.len(),
                 solver.steps(),
-                if solutions.len() == 10 { ", limit reached" } else { "" },
+                if solutions.len() == 10 {
+                    ", limit reached"
+                } else {
+                    ""
+                },
                 trunc(&solver)
             );
         }
@@ -74,11 +80,17 @@ fn show_parallel(kb: &KnowledgeBase, query: &str) {
         Err(e) => println!("  parse error: {e}"),
         Ok(report) => match report.solution {
             Some(s) => {
-                let bindings: Vec<String> =
-                    s.iter().map(|(name, term)| format!("{name} = {term}")).collect();
+                let bindings: Vec<String> = s
+                    .iter()
+                    .map(|(name, term)| format!("{name} = {term}"))
+                    .collect();
                 println!(
                     "  {} [branch {} of {}, {:?}]",
-                    if bindings.is_empty() { "true".to_string() } else { bindings.join(", ") },
+                    if bindings.is_empty() {
+                        "true".to_string()
+                    } else {
+                        bindings.join(", ")
+                    },
                     report.winner_branch.map(|b| b + 1).unwrap_or(0),
                     report.branches,
                     report.wall

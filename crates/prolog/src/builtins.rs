@@ -44,14 +44,18 @@ pub fn eval_arith(bindings: &Bindings, term: &Term) -> Result<i64, EvalError> {
                 "*" => Ok(lhs.wrapping_mul(rhs)),
                 "//" => {
                     if rhs == 0 {
-                        Err(EvalError { message: "division by zero".into() })
+                        Err(EvalError {
+                            message: "division by zero".into(),
+                        })
                     } else {
                         Ok(lhs.wrapping_div(rhs))
                     }
                 }
                 "mod" => {
                     if rhs == 0 {
-                        Err(EvalError { message: "mod by zero".into() })
+                        Err(EvalError {
+                            message: "mod by zero".into(),
+                        })
                     } else {
                         Ok(lhs.rem_euclid(rhs))
                     }
@@ -144,24 +148,32 @@ mod tests {
     #[test]
     fn eval_precedence_and_ops() {
         let (b, g) = goal("X is 2 + 3 * 4 - 10 // 2");
-        let Term::Compound { args, .. } = &g else { panic!() };
+        let Term::Compound { args, .. } = &g else {
+            panic!()
+        };
         assert_eq!(eval_arith(&b, &args[1]), Ok(2 + 12 - 5));
     }
 
     #[test]
     fn eval_mod_is_euclidean() {
         let (b, g) = goal("X is -7 mod 3");
-        let Term::Compound { args, .. } = &g else { panic!() };
+        let Term::Compound { args, .. } = &g else {
+            panic!()
+        };
         assert_eq!(eval_arith(&b, &args[1]), Ok(2));
     }
 
     #[test]
     fn eval_errors() {
         let (b, g) = goal("X is Y + 1");
-        let Term::Compound { args, .. } = &g else { panic!() };
+        let Term::Compound { args, .. } = &g else {
+            panic!()
+        };
         assert!(eval_arith(&b, &args[1]).is_err());
         let (b, g) = goal("X is 1 // 0");
-        let Term::Compound { args, .. } = &g else { panic!() };
+        let Term::Compound { args, .. } = &g else {
+            panic!()
+        };
         let err = eval_arith(&b, &args[1]).unwrap_err();
         assert!(err.to_string().contains("division by zero"), "{err}");
     }

@@ -60,10 +60,7 @@ pub struct OrParallelReport {
 /// # Errors
 ///
 /// Returns [`ParseError`] if the query is malformed.
-pub fn profile_branches(
-    kb: &KnowledgeBase,
-    query: &str,
-) -> Result<Vec<BranchProfile>, ParseError> {
+pub fn profile_branches(kb: &KnowledgeBase, query: &str) -> Result<Vec<BranchProfile>, ParseError> {
     let q = parse_query(query)?;
     let n = top_branch_count(kb, &q);
     let mut profiles = Vec::with_capacity(n);
@@ -313,8 +310,16 @@ mod tests {
     fn simulated_race_overhead_dominates_tiny_queries() {
         // All branches trivial: racing cannot pay for the forks.
         let profiles = vec![
-            BranchProfile { clause_index: 0, succeeded: true, steps: 2 },
-            BranchProfile { clause_index: 1, succeeded: true, steps: 2 },
+            BranchProfile {
+                clause_index: 0,
+                succeeded: true,
+                steps: 2,
+            },
+            BranchProfile {
+                clause_index: 1,
+                succeeded: true,
+                steps: 2,
+            },
         ];
         let cmp = simulate_race(&profiles, &OrSimConfig::default());
         assert!(cmp.speedup < 1.0, "speedup {}", cmp.speedup);
@@ -323,8 +328,16 @@ mod tests {
     #[test]
     fn unsatisfiable_race_reports_it() {
         let profiles = vec![
-            BranchProfile { clause_index: 0, succeeded: false, steps: 100 },
-            BranchProfile { clause_index: 1, succeeded: false, steps: 200 },
+            BranchProfile {
+                clause_index: 0,
+                succeeded: false,
+                steps: 100,
+            },
+            BranchProfile {
+                clause_index: 1,
+                succeeded: false,
+                steps: 200,
+            },
         ];
         let cmp = simulate_race(&profiles, &OrSimConfig::default());
         assert!(!cmp.satisfiable);

@@ -161,7 +161,8 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             '.' => {
                 // End of clause iff followed by whitespace or EOF.
                 let next = bytes.get(i + 1).copied();
-                if next.is_none() || next.is_some_and(|b| (b as char).is_whitespace() || b == b'%') {
+                if next.is_none() || next.is_some_and(|b| (b as char).is_whitespace() || b == b'%')
+                {
                     out.push((Tok::ClauseEnd, i));
                     i += 1;
                 } else {
@@ -176,7 +177,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     out.push((Tok::Neck, i));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected ':-'".into(), offset: i });
+                    return Err(ParseError {
+                        message: "expected ':-'".into(),
+                        offset: i,
+                    });
                 }
             }
             '0'..='9' => {
@@ -192,9 +196,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             'a'..='z' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -206,9 +208,7 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
             }
             'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push((Tok::Var(src[start..i].to_string()), start));
@@ -236,7 +236,10 @@ fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     out.push((Tok::Op("\\+"), i));
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "unexpected '\\'".into(), offset: i });
+                    return Err(ParseError {
+                        message: "unexpected '\\'".into(),
+                        offset: i,
+                    });
                 }
             }
             '<' => {

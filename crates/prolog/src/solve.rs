@@ -218,7 +218,11 @@ impl<'kb> Solver<'kb> {
             }
         }
         let head = renumber(term, &mut map);
-        Some(Clause { head, body: Vec::new(), nvars: map.len() })
+        Some(Clause {
+            head,
+            body: Vec::new(),
+            nvars: map.len(),
+        })
     }
 
     /// Steps consumed by the last query.
@@ -389,9 +393,8 @@ impl<'kb> Solver<'kb> {
                                 // asserta semantics (clause-first) only
                                 // affect ordering among *dynamic*
                                 // clauses; KB clauses always precede.
-                                let front = goal
-                                    .functor_arity()
-                                    .is_some_and(|(n, _)| n == "asserta");
+                                let front =
+                                    goal.functor_arity().is_some_and(|(n, _)| n == "asserta");
                                 self.local.push(Some((clause, front)));
                                 goals = rest;
                                 continue 'outer;
@@ -621,7 +624,11 @@ impl<'kb> Solver<'kb> {
         }
         solutions
             .into_iter()
-            .map(|s| s.binding("$findall").expect("wrapper binds template").clone())
+            .map(|s| {
+                s.binding("$findall")
+                    .expect("wrapper binds template")
+                    .clone()
+            })
             .collect()
     }
 }
@@ -647,9 +654,7 @@ fn cut_barrier(goal: &Term) -> Option<usize> {
 /// a `\+` argument is handled by the sub-proof's own query-level rule).
 fn install_cut_barrier(goal: Term, barrier: usize) -> Term {
     match &goal {
-        Term::Atom(a) if &**a == "!" => {
-            Term::compound("$cut", vec![Term::Int(barrier as i64)])
-        }
+        Term::Atom(a) if &**a == "!" => Term::compound("$cut", vec![Term::Int(barrier as i64)]),
         _ => goal,
     }
 }
@@ -879,10 +884,7 @@ mod tests {
             .map(|s| (s.binding_str("X").unwrap(), s.binding_str("Y").unwrap()))
             .collect();
         // f/1 always yields only 1 (cut), but g/1 still backtracks.
-        assert_eq!(
-            pairs,
-            [("a".into(), "1".into()), ("b".into(), "1".into())]
-        );
+        assert_eq!(pairs, [("a".into(), "1".into()), ("b".into(), "1".into())]);
     }
 
     #[test]
@@ -1028,7 +1030,10 @@ mod tests {
         let kb = kb("seed(1).");
         let mut s = Solver::new(&kb);
         let sols = s
-            .solve_str("assertz(extra(2)), assertz(extra(3)), findall(X, extra(X), L)", 1)
+            .solve_str(
+                "assertz(extra(2)), assertz(extra(3)), findall(X, extra(X), L)",
+                1,
+            )
             .unwrap();
         assert_eq!(sols[0].binding_str("L").unwrap(), "[2, 3]");
         assert_eq!(s.dynamic_clause_count(), 2);
@@ -1045,7 +1050,10 @@ mod tests {
         let kb = kb("pick(kb_first).");
         let mut s = Solver::new(&kb);
         let sols = s
-            .solve_str("asserta(pick(front)), assertz(pick(back)), findall(X, pick(X), L)", 1)
+            .solve_str(
+                "asserta(pick(front)), assertz(pick(back)), findall(X, pick(X), L)",
+                1,
+            )
             .unwrap();
         assert_eq!(
             sols[0].binding_str("L").unwrap(),

@@ -46,7 +46,10 @@ impl Term {
     ///
     /// Panics if `args` is empty — a zero-arity "compound" is an atom.
     pub fn compound(functor: &str, args: Vec<Term>) -> Term {
-        assert!(!args.is_empty(), "compound term needs arguments; use an atom");
+        assert!(
+            !args.is_empty(),
+            "compound term needs arguments; use an atom"
+        );
         Term::Compound {
             functor: Arc::from(functor),
             args,
@@ -61,10 +64,9 @@ impl Term {
     /// Builds a proper list from items.
     pub fn list(items: impl IntoIterator<Item = Term>) -> Term {
         let items: Vec<Term> = items.into_iter().collect();
-        items
-            .into_iter()
-            .rev()
-            .fold(Term::nil(), |tail, head| Term::compound(".", vec![head, tail]))
+        items.into_iter().rev().fold(Term::nil(), |tail, head| {
+            Term::compound(".", vec![head, tail])
+        })
     }
 
     /// Decomposes a proper list into its items; `None` for improper lists
@@ -220,7 +222,10 @@ mod tests {
 
     #[test]
     fn var_shifting() {
-        let t = Term::compound("f", vec![Term::var(0), Term::compound("g", vec![Term::var(2)])]);
+        let t = Term::compound(
+            "f",
+            vec![Term::var(0), Term::compound("g", vec![Term::var(2)])],
+        );
         assert_eq!(t.max_var(), Some(2));
         let s = t.shift_vars(10);
         assert_eq!(s.max_var(), Some(12));

@@ -159,8 +159,14 @@ impl Bindings {
             (Term::Atom(x), Term::Atom(y)) => x == y,
             (Term::Int(x), Term::Int(y)) => x == y,
             (
-                Term::Compound { functor: f, args: xs },
-                Term::Compound { functor: g, args: ys },
+                Term::Compound {
+                    functor: f,
+                    args: xs,
+                },
+                Term::Compound {
+                    functor: g,
+                    args: ys,
+                },
             ) => {
                 if f != g || xs.len() != ys.len() {
                     return false;

@@ -1,74 +1,91 @@
 //! Property-based tests of the Prolog engine's logical laws.
 
+use altx_check::{check, CaseRng};
 use altx_prolog::{
     parse_query, profile_branches, solve_first_parallel, Bindings, KnowledgeBase, Solver, Term,
 };
-use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
 // Term / unification laws.
 // ---------------------------------------------------------------------
 
 /// Arbitrary ground or open terms over a tiny signature, with variables
-/// drawn from 0..4.
-fn arb_term(depth: u32) -> BoxedStrategy<Term> {
-    let leaf = prop_oneof![
-        Just(Term::atom("a")),
-        Just(Term::atom("b")),
-        (0i64..5).prop_map(Term::Int),
-        (0usize..4).prop_map(Term::var),
-    ];
-    leaf.prop_recursive(depth, 16, 2, |inner| {
-        prop::collection::vec(inner, 1..3)
-            .prop_map(|args| Term::compound("f", args))
-    })
-    .boxed()
+/// drawn from 0..4 and compounds nesting up to `depth` levels.
+fn arb_term(rng: &mut CaseRng, depth: u32) -> Term {
+    if depth > 0 && rng.chance(0.4) {
+        let args = rng.vec(1, 3, |r| arb_term(r, depth - 1));
+        return Term::compound("f", args);
+    }
+    match rng.usize_in(0, 4) {
+        0 => Term::atom("a"),
+        1 => Term::atom("b"),
+        2 => Term::Int(rng.i64_in(0, 5)),
+        _ => Term::var(rng.usize_in(0, 4)),
+    }
 }
 
-proptest! {
-    /// Unification is symmetric in success.
-    #[test]
-    fn unify_symmetric(a in arb_term(3), b in arb_term(3)) {
+/// Unification is symmetric in success.
+#[test]
+fn unify_symmetric() {
+    check("unify_symmetric", 256, |rng| {
+        let a = arb_term(rng, 3);
+        let b = arb_term(rng, 3);
         let mut b1 = Bindings::new();
         b1.ensure(4);
         let mut b2 = Bindings::new();
         b2.ensure(4);
-        prop_assert_eq!(b1.unify(&a, &b), b2.unify(&b, &a));
-    }
+        assert_eq!(b1.unify(&a, &b), b2.unify(&b, &a));
+    });
+}
 
-    /// Unification is reflexive and binds nothing new on t = t.
-    #[test]
-    fn unify_reflexive(t in arb_term(3)) {
+/// Unification is reflexive and binds nothing new on t = t.
+#[test]
+fn unify_reflexive() {
+    check("unify_reflexive", 256, |rng| {
+        let t = arb_term(rng, 3);
         let mut b = Bindings::new();
         b.ensure(4);
-        prop_assert!(b.unify(&t, &t));
-    }
+        assert!(b.unify(&t, &t));
+    });
+}
 
-    /// A successful unification is a *unifier*: resolving both sides
-    /// afterwards yields syntactically identical terms.
-    #[test]
-    fn unify_produces_a_unifier(a in arb_term(3), b in arb_term(3)) {
+/// A successful unification is a *unifier*: resolving both sides
+/// afterwards yields syntactically identical terms.
+#[test]
+fn unify_produces_a_unifier() {
+    check("unify_produces_a_unifier", 256, |rng| {
+        let a = arb_term(rng, 3);
+        let b = arb_term(rng, 3);
         let mut bind = Bindings::new();
         bind.ensure(4);
         if bind.unify(&a, &b) {
-            prop_assert_eq!(bind.resolve(&a), bind.resolve(&b));
+            assert_eq!(bind.resolve(&a), bind.resolve(&b));
         }
-    }
+    });
+}
 
-    /// resolve() is idempotent.
-    #[test]
-    fn resolve_idempotent(a in arb_term(3), b in arb_term(3)) {
+/// resolve() is idempotent.
+#[test]
+fn resolve_idempotent() {
+    check("resolve_idempotent", 256, |rng| {
+        let a = arb_term(rng, 3);
+        let b = arb_term(rng, 3);
         let mut bind = Bindings::new();
         bind.ensure(4);
         let _ = bind.unify(&a, &b);
         let once = bind.resolve(&a);
-        prop_assert_eq!(bind.resolve(&once), once.clone());
-    }
+        assert_eq!(bind.resolve(&once), once.clone());
+    });
+}
 
-    /// Failed unification leaves the store exactly as it was (trail
-    /// correctness), checked via resolution of every variable.
-    #[test]
-    fn failed_unify_restores_store(a in arb_term(3), b in arb_term(3), c in arb_term(3)) {
+/// Failed unification leaves the store exactly as it was (trail
+/// correctness), checked via resolution of every variable.
+#[test]
+fn failed_unify_restores_store() {
+    check("failed_unify_restores_store", 256, |rng| {
+        let a = arb_term(rng, 3);
+        let b = arb_term(rng, 3);
+        let c = arb_term(rng, 3);
         let mut bind = Bindings::new();
         bind.ensure(4);
         let _ = bind.unify(&a, &b); // set up arbitrary prior state
@@ -76,12 +93,12 @@ proptest! {
         let mark = bind.mark();
         if !bind.unify(&Term::compound("g", vec![c]), &Term::atom("not_g")) {
             let after: Vec<Term> = (0..4).map(|v| bind.resolve(&Term::var(v))).collect();
-            prop_assert_eq!(&before, &after);
+            assert_eq!(&before, &after);
         }
         bind.undo_to(mark);
         let restored: Vec<Term> = (0..4).map(|v| bind.resolve(&Term::var(v))).collect();
-        prop_assert_eq!(before, restored);
-    }
+        assert_eq!(before, restored);
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -92,16 +109,14 @@ proptest! {
 /// DAG edges (source index < target index): plain SLD resolution of the
 /// textbook `reach/2` diverges on cyclic graphs, which is a property of
 /// Prolog's search strategy, not a bug to be tested away here.
-fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
-    prop::collection::vec((0usize..4, 1usize..5), 0..12).prop_map(|pairs| {
-        pairs
-            .into_iter()
-            .filter_map(|(a, b)| {
-                let (lo, hi) = (a.min(b), a.max(b));
-                (lo != hi).then_some((lo, hi))
-            })
-            .collect()
-    })
+fn arb_edges(rng: &mut CaseRng) -> Vec<(usize, usize)> {
+    rng.vec(0, 12, |r| (r.usize_in(0, 4), r.usize_in(1, 5)))
+        .into_iter()
+        .filter_map(|(a, b)| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            (lo != hi).then_some((lo, hi))
+        })
+        .collect()
 }
 
 const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
@@ -140,13 +155,12 @@ fn oracle_reach(edges: &[(usize, usize)]) -> [[bool; 5]; 5] {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The solver's reach/2 agrees with a Rust transitive-closure oracle
-    /// on every node pair, and the OR-parallel solver agrees with both.
-    #[test]
-    fn reachability_matches_oracle(edges in arb_edges()) {
+/// The solver's reach/2 agrees with a Rust transitive-closure oracle
+/// on every node pair, and the OR-parallel solver agrees with both.
+#[test]
+fn reachability_matches_oracle() {
+    check("reachability_matches_oracle", 32, |rng| {
+        let edges = arb_edges(rng);
         let kb = kb_from_edges(&edges);
         let expect = oracle_reach(&edges);
         let mut solver = Solver::new(&kb);
@@ -155,38 +169,46 @@ proptest! {
             for t in 0..5 {
                 let q = format!("reach({}, {})", NAMES[s], NAMES[t]);
                 let seq = !solver.solve_str(&q, 1).unwrap().is_empty();
-                prop_assert!(!solver.truncated(), "query too deep: {q}");
-                prop_assert_eq!(seq, expect[s][t], "{}", q);
+                assert!(!solver.truncated(), "query too deep: {q}");
+                assert_eq!(seq, expect[s][t], "{q}");
                 let par = solve_first_parallel(&kb, &q).unwrap().solution.is_some();
-                prop_assert_eq!(par, expect[s][t], "parallel {}", q);
+                assert_eq!(par, expect[s][t], "parallel {q}");
             }
         }
-    }
+    });
+}
 
-    /// Enumerating all solutions of reach(a, X) yields exactly the
-    /// oracle's reachable set, each exactly once per derivation-free
-    /// count (set equality).
-    #[test]
-    fn enumeration_matches_oracle_set(edges in arb_edges()) {
+/// Enumerating all solutions of reach(a, X) yields exactly the
+/// oracle's reachable set, each exactly once per derivation-free
+/// count (set equality).
+#[test]
+fn enumeration_matches_oracle_set() {
+    check("enumeration_matches_oracle_set", 32, |rng| {
+        let edges = arb_edges(rng);
         let kb = kb_from_edges(&edges);
         let expect = oracle_reach(&edges);
         let mut solver = Solver::new(&kb);
         solver.max_steps = 2_000_000;
         let sols = solver.solve_str("reach(a, X)", 500).unwrap();
-        prop_assume!(!solver.truncated());
+        if solver.truncated() {
+            return;
+        }
         let got: std::collections::BTreeSet<String> =
             sols.iter().map(|s| s.binding_str("X").unwrap()).collect();
         let want: std::collections::BTreeSet<String> = (0..5)
             .filter(|&t| expect[0][t])
             .map(|t| NAMES[t].to_string())
             .collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Branch profiles partition sequential work: for an unsatisfiable
-    /// first goal, DFS steps equal the per-branch totals (±bookkeeping).
-    #[test]
-    fn profiles_partition_work(edges in arb_edges()) {
+/// Branch profiles partition sequential work: for an unsatisfiable
+/// first goal, DFS steps equal the per-branch totals (±bookkeeping).
+#[test]
+fn profiles_partition_work() {
+    check("profiles_partition_work", 32, |rng| {
+        let edges = arb_edges(rng);
         let kb = kb_from_edges(&edges);
         // reach(b, zz): zz is not a node, so the query fails after full
         // exploration — unless b reaches nothing, still fine.
@@ -194,26 +216,31 @@ proptest! {
         let profiles = profile_branches(&kb, q).unwrap();
         let mut solver = Solver::new(&kb);
         solver.max_steps = 2_000_000;
-        prop_assert!(solver.solve_str(q, 1).unwrap().is_empty());
-        prop_assume!(!solver.truncated());
+        assert!(solver.solve_str(q, 1).unwrap().is_empty());
+        if solver.truncated() {
+            return;
+        }
         let total: u64 = profiles.iter().map(|p| p.steps).sum();
-        prop_assert!(
+        assert!(
             solver.steps().abs_diff(total) <= profiles.len() as u64 + 2,
             "seq {} vs branch total {}",
             solver.steps(),
             total
         );
-    }
+    });
+}
 
-    /// parse → display → parse round-trips for queries over the term
-    /// grammar (modulo variable renaming, which display normalizes).
-    #[test]
-    fn display_parse_round_trip(t in arb_term(3)) {
+/// parse → display → parse round-trips for queries over the term
+/// grammar (modulo variable renaming, which display normalizes).
+#[test]
+fn display_parse_round_trip() {
+    check("display_parse_round_trip", 256, |rng| {
+        let t = arb_term(rng, 3);
         // Embed in a goal so the parser accepts it.
         let text = format!("holds({t})");
         let q1 = parse_query(&text).expect("display emits parseable text");
         let text2 = q1.goals[0].to_string();
         let q2 = parse_query(&text2).expect("round trip");
-        prop_assert_eq!(q1.goals[0].to_string(), q2.goals[0].to_string());
-    }
+        assert_eq!(q1.goals[0].to_string(), q2.goals[0].to_string());
+    });
 }

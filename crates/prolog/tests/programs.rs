@@ -77,7 +77,10 @@ fn four_queens_has_exactly_two_solutions() {
 fn three_queens_is_unsatisfiable() {
     let kb = KnowledgeBase::parse(QUEENS).expect("valid program");
     let mut solver = Solver::new(&kb);
-    assert!(solver.solve_str("queens(3, S)", 1).expect("parses").is_empty());
+    assert!(solver
+        .solve_str("queens(3, S)", 1)
+        .expect("parses")
+        .is_empty());
     assert!(!solver.truncated());
 }
 
@@ -149,6 +152,8 @@ fn list_utilities() {
     assert_eq!(sols[0].binding_str("R").expect("R"), "[2, 3]");
 
     // Generator mode still works where no cut applies.
-    let sols = solver.solve_str("append(X, Y, [1, 2])", 10).expect("parses");
+    let sols = solver
+        .solve_str("append(X, Y, [1, 2])", 10)
+        .expect("parses");
     assert_eq!(sols.len(), 3);
 }

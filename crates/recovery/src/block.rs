@@ -173,7 +173,11 @@ impl<R: Send + 'static> RecoveryBlock<R> {
         self.run_engine(&OrderedEngine::new(), workspace)
     }
 
-    fn run_engine<E: Engine>(&self, engine: &E, workspace: &mut AddressSpace) -> RecoveryOutcome<R> {
+    fn run_engine<E: Engine>(
+        &self,
+        engine: &E,
+        workspace: &mut AddressSpace,
+    ) -> RecoveryOutcome<R> {
         let start = std::time::Instant::now();
         let block = self.build_alt_block();
         let result = engine.execute(&block, workspace);

@@ -86,7 +86,9 @@ impl DistributedRecoveryBlock {
             image_bytes: 70 * 1024,
             alternates,
             rollback_cost: SimDuration::from_millis(5),
-            sync: SyncMode::SinglePoint { coordinator_up: true },
+            sync: SyncMode::SinglePoint {
+                coordinator_up: true,
+            },
             seed: 23,
         }
     }
@@ -94,7 +96,10 @@ impl DistributedRecoveryBlock {
     /// Uses majority-consensus synchronization (§5.1.2's remedy for the
     /// single point of failure).
     pub fn with_majority_sync(mut self, n_voters: usize, crashed_voters: usize) -> Self {
-        self.sync = SyncMode::Majority { n_voters, crashed_voters };
+        self.sync = SyncMode::Majority {
+            n_voters,
+            crashed_voters,
+        };
         self
     }
 
@@ -188,7 +193,8 @@ mod tests {
 
     #[test]
     fn sequential_takes_primary_when_it_passes() {
-        let block = DistributedRecoveryBlock::new(vec![alt(100, true, false), alt(50, true, false)]);
+        let block =
+            DistributedRecoveryBlock::new(vec![alt(100, true, false), alt(50, true, false)]);
         let (winner, time) = block.sequential();
         assert_eq!(winner, Some(0));
         assert_eq!(time, ms(100));
@@ -209,7 +215,8 @@ mod tests {
 
     #[test]
     fn sequential_total_failure() {
-        let block = DistributedRecoveryBlock::new(vec![alt(10, false, false), alt(20, false, false)]);
+        let block =
+            DistributedRecoveryBlock::new(vec![alt(10, false, false), alt(20, false, false)]);
         let (winner, time) = block.sequential();
         assert_eq!(winner, None);
         assert_eq!(time, ms(10) + ms(5) + ms(20) + ms(5));
@@ -219,10 +226,8 @@ mod tests {
     fn concurrent_skips_slow_failed_primary() {
         // Primary fails after a long run; sequentially that's disastrous,
         // concurrently the secondary wins in parallel.
-        let block = DistributedRecoveryBlock::new(vec![
-            alt(10_000, false, false),
-            alt(1_000, true, false),
-        ]);
+        let block =
+            DistributedRecoveryBlock::new(vec![alt(10_000, false, false), alt(1_000, true, false)]);
         let cmp = block.compare();
         assert_eq!(cmp.sequential_winner, Some(1));
         assert_eq!(cmp.concurrent_winner, Some(1));
@@ -240,7 +245,11 @@ mod tests {
         // paper's "minimal implementation overhead" caveat.
         let block = DistributedRecoveryBlock::new(vec![alt(50, true, false), alt(50, true, false)]);
         let cmp = block.compare();
-        assert!(cmp.speedup.expect("both succeed") < 1.0, "{:?}", cmp.speedup);
+        assert!(
+            cmp.speedup.expect("both succeed") < 1.0,
+            "{:?}",
+            cmp.speedup
+        );
     }
 
     #[test]
@@ -255,17 +264,23 @@ mod tests {
 
     #[test]
     fn majority_sync_survives_minority_voter_crash() {
-        let block = DistributedRecoveryBlock::new(vec![alt(100, true, false)])
-            .with_majority_sync(5, 2);
+        let block =
+            DistributedRecoveryBlock::new(vec![alt(100, true, false)]).with_majority_sync(5, 2);
         assert_eq!(block.concurrent().winner, Some(0));
     }
 
     #[test]
     fn single_point_down_fails_concurrent_but_not_sequential() {
         let mut block = DistributedRecoveryBlock::new(vec![alt(100, true, false)]);
-        block.sync = SyncMode::SinglePoint { coordinator_up: false };
+        block.sync = SyncMode::SinglePoint {
+            coordinator_up: false,
+        };
         let cmp = block.compare();
-        assert_eq!(cmp.sequential_winner, Some(0), "sequential is local, unaffected");
+        assert_eq!(
+            cmp.sequential_winner,
+            Some(0),
+            "sequential is local, unaffected"
+        );
         assert_eq!(cmp.concurrent_winner, None);
         assert_eq!(cmp.speedup, None);
     }
@@ -273,7 +288,10 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_and_respects_faults() {
         let mut rng = SimRng::seed_from_u64(5);
-        let spec = FaultSpec { accept_probability: 0.0, crash_probability: 0.0 };
+        let spec = FaultSpec {
+            accept_probability: 0.0,
+            crash_probability: 0.0,
+        };
         let a = AlternateModel::sample(&mut rng, 100.0, 0.5, &spec);
         assert!(!a.passes);
         assert!(!a.crashes);

@@ -36,7 +36,5 @@ pub use analysis::{
     block_reliability, concurrent_expectation, sequential_expectation, AlternateProfile,
 };
 pub use block::{RecoveryBlock, RecoveryOutcome};
-pub use distributed::{
-    AlternateModel, DistributedRecoveryBlock, ExecutionComparison, FaultSpec,
-};
+pub use distributed::{AlternateModel, DistributedRecoveryBlock, ExecutionComparison, FaultSpec};
 pub use simulated::{run_simulated, SimAlternate, SimRecoveryResult};

@@ -59,7 +59,10 @@ impl SimAlternate {
         if self.dirty_pages > 0 {
             // State updates; start at page 1 so the marker page is
             // page 0.
-            ops.push(Op::TouchPages { first: 1, count: self.dirty_pages });
+            ops.push(Op::TouchPages {
+                first: 1,
+                count: self.dirty_pages,
+            });
         }
         // "The body consisting solely of updates to external variables":
         // deposit the marker the shared acceptance test will inspect.
@@ -68,7 +71,10 @@ impl SimAlternate {
             data: vec![if self.acceptable { ACCEPTED } else { 0x00 }],
         });
         Alternative::new(
-            GuardSpec::MemByteEquals { addr: MARKER_ADDR, expected: ACCEPTED },
+            GuardSpec::MemByteEquals {
+                addr: MARKER_ADDR,
+                expected: ACCEPTED,
+            },
             Program::new(ops),
         )
     }
@@ -107,16 +113,20 @@ pub fn run_simulated(
     timeout: SimDuration,
 ) -> SimRecoveryResult {
     assert!(!alternates.is_empty(), "a recovery block needs alternates");
-    let spec = AltBlockSpec::new(alternates.iter().map(SimAlternate::to_alternative).collect())
-        .with_timeout(timeout);
+    let spec = AltBlockSpec::new(
+        alternates
+            .iter()
+            .map(SimAlternate::to_alternative)
+            .collect(),
+    )
+    .with_timeout(timeout);
     let mut kernel = Kernel::new(KernelConfig {
         profile: profile.clone(),
         ..KernelConfig::default()
     });
     // The program image is resident (non-zero), so alternates' state
     // updates trigger genuine COW copies, as §5.1.2's analysis assumes.
-    let image =
-        altx_pager::AddressSpace::from_bytes(&vec![0x11; 320 * 1024], profile.page_size());
+    let image = altx_pager::AddressSpace::from_bytes(&vec![0x11; 320 * 1024], profile.page_size());
     let root = kernel.spawn_with_space(Program::new(vec![Op::AltBlock(spec)]), image);
     let report = kernel.run();
     let outcome = report.block_outcomes(root)[0].clone();
@@ -200,15 +210,26 @@ mod tests {
     #[test]
     fn dirty_footprint_charges_cow_copies() {
         let light = run_simulated(
-            &[SimAlternate { compute: ms(50), acceptable: true, dirty_pages: 1 }],
+            &[SimAlternate {
+                compute: ms(50),
+                acceptable: true,
+                dirty_pages: 1,
+            }],
             MachineProfile::att_3b2_310(),
             hour(),
         );
         let heavy = run_simulated(
-            &[SimAlternate { compute: ms(50), acceptable: true, dirty_pages: 120 }],
+            &[SimAlternate {
+                compute: ms(50),
+                acceptable: true,
+                dirty_pages: 120,
+            }],
             MachineProfile::att_3b2_310(),
             hour(),
         );
-        assert!(heavy.elapsed() > light.elapsed() + ms(300), "120 pages at ~3 ms each");
+        assert!(
+            heavy.elapsed() > light.elapsed() + ms(300),
+            "120 pages at ~3 ms each"
+        );
     }
 }

@@ -1,0 +1,231 @@
+//! `altx-load` — closed-loop load generator for `altxd`.
+//!
+//! ```text
+//! altx-load [--addr HOST:PORT] [--workload NAME] [--clients N]
+//!           [--duration SECS] [--deadline-ms N] [--out FILE.json]
+//! ```
+//!
+//! Spawns `N` client threads, each with its own connection, issuing
+//! requests back-to-back (one outstanding request per connection) for
+//! the given duration. Prints a summary table and writes a JSON report
+//! — throughput, p50/p99 latency, reply mix, and per-alternative win
+//! counts — to `--out` (default `BENCH_serve_throughput.json`).
+
+use altx_serve::frame::Response;
+use altx_serve::Client;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: String,
+    workload: String,
+    clients: usize,
+    duration_s: u64,
+    deadline_ms: u32,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_owned(),
+        workload: "trivial".to_owned(),
+        clients: 8,
+        duration_s: 5,
+        deadline_ms: 0,
+        out: "BENCH_serve_throughput.json".to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workload" => args.workload = value("--workload")?,
+            "--clients" => {
+                args.clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--duration" => {
+                args.duration_s = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = value("--deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?
+            }
+            "--out" => args.out = value("--out")?,
+            "--help" | "-h" => {
+                println!(
+                    "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
+                     [--duration SECS] [--deadline-ms N] [--out FILE.json]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Per-client tallies, merged after the run.
+#[derive(Default)]
+struct ClientReport {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    deadline_exceeded: u64,
+    overloaded: u64,
+    errors: u64,
+    wins: BTreeMap<String, u64>,
+}
+
+fn client_loop(
+    addr: &str,
+    workload: &str,
+    deadline_ms: u32,
+    seed: u64,
+    stop: &AtomicBool,
+) -> Result<ClientReport, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut report = ClientReport::default();
+    let mut arg = seed;
+    while !stop.load(Ordering::Relaxed) {
+        arg = arg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let begin = Instant::now();
+        let resp = client
+            .run(workload, arg, deadline_ms)
+            .map_err(|e| format!("request failed: {e}"))?;
+        let rtt_us = begin.elapsed().as_micros() as u64;
+        match resp {
+            Response::Ok { winner_name, .. } => {
+                report.ok += 1;
+                report.latencies_us.push(rtt_us);
+                *report.wins.entry(winner_name).or_insert(0) += 1;
+            }
+            Response::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
+            Response::Overloaded => report.overloaded += 1,
+            Response::UnknownWorkload => return Err(format!("unknown workload {workload}")),
+            Response::Error { message } => {
+                report.errors += 1;
+                eprintln!("altx-load: server error: {message}");
+            }
+            Response::Text { .. } => return Err("unexpected text reply".to_owned()),
+        }
+    }
+    Ok(report)
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((p * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len()) - 1;
+    sorted_us[idx]
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("altx-load: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|i| {
+            let addr = args.addr.clone();
+            let workload = args.workload.clone();
+            let stop = Arc::clone(&stop);
+            let deadline_ms = args.deadline_ms;
+            std::thread::spawn(move || {
+                client_loop(&addr, &workload, deadline_ms, 0x5eed + i as u64, &stop)
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_secs(args.duration_s));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut merged = ClientReport::default();
+    for h in handles {
+        match h.join().expect("client thread exits") {
+            Ok(r) => {
+                merged.latencies_us.extend(r.latencies_us);
+                merged.ok += r.ok;
+                merged.deadline_exceeded += r.deadline_exceeded;
+                merged.overloaded += r.overloaded;
+                merged.errors += r.errors;
+                for (name, n) in r.wins {
+                    *merged.wins.entry(name).or_insert(0) += n;
+                }
+            }
+            Err(e) => {
+                eprintln!("altx-load: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    merged.latencies_us.sort_unstable();
+    let total = merged.ok + merged.deadline_exceeded + merged.overloaded + merged.errors;
+    let throughput = merged.ok as f64 / elapsed;
+    let p50 = percentile(&merged.latencies_us, 0.50);
+    let p99 = percentile(&merged.latencies_us, 0.99);
+
+    println!(
+        "altx-load: {} clients x {:.1}s against {}",
+        args.clients, elapsed, args.addr
+    );
+    println!("  workload            {}", args.workload);
+    println!("  requests            {total}");
+    println!("  ok                  {}", merged.ok);
+    println!("  deadline exceeded   {}", merged.deadline_exceeded);
+    println!("  overloaded (shed)   {}", merged.overloaded);
+    println!("  errors              {}", merged.errors);
+    println!("  throughput          {throughput:.0} req/s");
+    println!("  latency us          p50 {p50}  p99 {p99}");
+    for (name, n) in &merged.wins {
+        println!("  wins[{name}]  {n}");
+    }
+
+    let mut wins_json: Vec<String> = Vec::new();
+    for (name, n) in &merged.wins {
+        wins_json.push(format!("    \"{}\": {}", json_escape(name), n));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"duration_s\": {:.3},\n  \
+         \"deadline_ms\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
+         \"deadline_exceeded\": {},\n  \"overloaded\": {},\n  \"errors\": {},\n  \
+         \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
+         \"wins\": {{\n{}\n  }}\n}}\n",
+        json_escape(&args.workload),
+        args.clients,
+        elapsed,
+        args.deadline_ms,
+        total,
+        merged.ok,
+        merged.deadline_exceeded,
+        merged.overloaded,
+        merged.errors,
+        throughput,
+        p50,
+        p99,
+        wins_json.join(",\n"),
+    );
+    if let Err(e) = std::fs::write(&args.out, json) {
+        eprintln!("altx-load: writing {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    println!("altx-load: wrote {}", args.out);
+}

@@ -1,0 +1,103 @@
+//! `altxd` — the speculation daemon.
+//!
+//! ```text
+//! altxd [--addr HOST:PORT] [--workers N] [--queue N] [--duration SECS]
+//! ```
+//!
+//! `--duration 0` (the default) serves until a client sends the
+//! SHUTDOWN opcode; a positive duration makes the daemon drain and exit
+//! on its own — handy for smoke tests.
+
+use altx_serve::server::{available_workers, start, ServerConfig};
+use altx_serve::workload::CATALOG;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    workers: usize,
+    queue_depth: usize,
+    duration_s: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7171".to_owned(),
+        workers: available_workers(),
+        queue_depth: 64,
+        duration_s: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.queue_depth = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--duration" => {
+                args.duration_s = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] [--duration SECS]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("altxd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let handle = match start(ServerConfig {
+        addr: args.addr,
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+    }) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("altxd: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "altxd listening on {} ({} workers, queue depth {})",
+        handle.local_addr(),
+        args.workers,
+        args.queue_depth
+    );
+    println!("workloads:");
+    for w in CATALOG {
+        println!(
+            "  {:<10} {} ({} alternatives)",
+            w.name, w.description, w.alternatives
+        );
+    }
+
+    let telemetry = handle.telemetry();
+    if args.duration_s > 0 {
+        std::thread::sleep(Duration::from_secs(args.duration_s));
+        handle.shutdown();
+    } else {
+        handle.wait();
+    }
+    print!("{}", telemetry.render_stats());
+    println!("altxd: drained, bye");
+}

@@ -1,0 +1,72 @@
+//! Blocking client for the daemon's framed protocol.
+
+use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to an `altxd` daemon. Requests are synchronous: one
+/// outstanding request per connection, replies in order.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends a request and waits for its reply.
+    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(body) => Response::decode(&body),
+            None => Err(FrameError::Truncated),
+        }
+    }
+
+    /// Races `workload` with `arg` under `deadline_ms` (0 = unbounded).
+    pub fn run(
+        &mut self,
+        workload: &str,
+        arg: u64,
+        deadline_ms: u32,
+    ) -> Result<Response, FrameError> {
+        self.call(&Request::Run {
+            workload: workload.to_owned(),
+            deadline_ms,
+            arg,
+        })
+    }
+
+    /// Fetches the human-readable stats page.
+    pub fn stats(&mut self) -> Result<String, FrameError> {
+        match self.call(&Request::Stats)? {
+            Response::Text { body } => Ok(body),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches Prometheus text-format metrics.
+    pub fn prometheus(&mut self) -> Result<String, FrameError> {
+        match self.call(&Request::Prometheus)? {
+            Response::Text { body } => Ok(body),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), FrameError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Text { .. } => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> FrameError {
+    let _ = resp;
+    FrameError::Malformed("unexpected response kind")
+}

@@ -1,0 +1,355 @@
+//! Length-prefixed wire protocol for the speculation daemon.
+//!
+//! Every message is one *frame*: a 4-byte big-endian body length
+//! followed by the body. Bodies are bounded by [`MAX_FRAME`]; a peer
+//! announcing a larger frame is rejected before any allocation, and a
+//! short read surfaces as [`FrameError::Truncated`] rather than a hang
+//! or a panic.
+//!
+//! Request body layout (all integers big-endian):
+//!
+//! ```text
+//! RUN:        0x01 | deadline_ms: u32 | arg: u64 | name_len: u16 | name
+//! STATS:      0x02
+//! PROMETHEUS: 0x03
+//! SHUTDOWN:   0x04
+//! ```
+//!
+//! Response body layout:
+//!
+//! ```text
+//! OK:                0x00 | winner: u32 | latency_us: u64 | value: u64
+//!                         | name_len: u16 | winner_name
+//! DEADLINE_EXCEEDED: 0x01 | latency_us: u64
+//! OVERLOADED:        0x02
+//! UNKNOWN_WORKLOAD:  0x03
+//! ERROR:             0x04 | msg_len: u16 | message
+//! TEXT:              0x05 | body_len: u32 | body      (STATS/PROMETHEUS)
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body, in bytes. Large enough for any stats
+/// dump, small enough that a hostile length prefix cannot OOM the
+/// server.
+pub const MAX_FRAME: usize = 256 * 1024;
+
+/// Decoding failures. I/O errors are kept separate from protocol
+/// violations so the server can distinguish "peer went away" from
+/// "peer is speaking garbage".
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended mid-frame (or mid-header).
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// The body was well-framed but malformed (bad tag, short field,
+    /// invalid UTF-8).
+    Malformed(&'static str),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated frame"),
+            FrameError::Oversized(n) => write!(f, "oversized frame ({n} bytes > {MAX_FRAME})"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Writes one frame (length prefix + body).
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME);
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body. `Ok(None)` means the peer closed the
+/// connection cleanly *between* frames.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    // A clean EOF before any header byte is a normal disconnect.
+    match r.read(&mut header) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut header[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => r.read_exact(&mut header)?,
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Race the named workload's alternatives; reply with the winner.
+    Run {
+        /// Registered workload name.
+        workload: String,
+        /// Per-request deadline in milliseconds; `0` means unbounded.
+        deadline_ms: u32,
+        /// Workload argument (problem size, RNG seed — workload-defined).
+        arg: u64,
+    },
+    /// Human-readable counter dump.
+    Stats,
+    /// Prometheus text-format metrics.
+    Prometheus,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+}
+
+const OP_RUN: u8 = 0x01;
+const OP_STATS: u8 = 0x02;
+const OP_PROMETHEUS: u8 = 0x03;
+const OP_SHUTDOWN: u8 = 0x04;
+
+impl Request {
+    /// Serializes into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Run {
+                workload,
+                deadline_ms,
+                arg,
+            } => {
+                let name = workload.as_bytes();
+                let mut b = Vec::with_capacity(15 + name.len());
+                b.push(OP_RUN);
+                b.extend_from_slice(&deadline_ms.to_be_bytes());
+                b.extend_from_slice(&arg.to_be_bytes());
+                b.extend_from_slice(&(name.len() as u16).to_be_bytes());
+                b.extend_from_slice(name);
+                b
+            }
+            Request::Stats => vec![OP_STATS],
+            Request::Prometheus => vec![OP_PROMETHEUS],
+            Request::Shutdown => vec![OP_SHUTDOWN],
+        }
+    }
+
+    /// Parses a frame body.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(body);
+        let req = match c.u8()? {
+            OP_RUN => {
+                let deadline_ms = c.u32()?;
+                let arg = c.u64()?;
+                let name_len = c.u16()? as usize;
+                let workload = c.str(name_len)?;
+                Request::Run {
+                    workload,
+                    deadline_ms,
+                    arg,
+                }
+            }
+            OP_STATS => Request::Stats,
+            OP_PROMETHEUS => Request::Prometheus,
+            OP_SHUTDOWN => Request::Shutdown,
+            _ => return Err(FrameError::Malformed("unknown request opcode")),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The race completed; the first successful alternative's result.
+    Ok {
+        /// Index of the winning alternative within its workload.
+        winner: u32,
+        /// Name of the winning alternative.
+        winner_name: String,
+        /// Server-side latency, microseconds.
+        latency_us: u64,
+        /// The winning value.
+        value: u64,
+    },
+    /// The deadline expired before any alternative succeeded.
+    DeadlineExceeded {
+        /// Server-side latency, microseconds.
+        latency_us: u64,
+    },
+    /// The run queue was full; the request was shed without executing.
+    Overloaded,
+    /// No workload registered under the requested name.
+    UnknownWorkload,
+    /// The race failed for a non-deadline reason.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Textual payload (stats / metrics dumps, shutdown ack).
+    Text {
+        /// The text body.
+        body: String,
+    },
+}
+
+const ST_OK: u8 = 0x00;
+const ST_DEADLINE: u8 = 0x01;
+const ST_OVERLOADED: u8 = 0x02;
+const ST_UNKNOWN: u8 = 0x03;
+const ST_ERROR: u8 = 0x04;
+const ST_TEXT: u8 = 0x05;
+
+impl Response {
+    /// Serializes into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok {
+                winner,
+                winner_name,
+                latency_us,
+                value,
+            } => {
+                let name = winner_name.as_bytes();
+                let mut b = Vec::with_capacity(23 + name.len());
+                b.push(ST_OK);
+                b.extend_from_slice(&winner.to_be_bytes());
+                b.extend_from_slice(&latency_us.to_be_bytes());
+                b.extend_from_slice(&value.to_be_bytes());
+                b.extend_from_slice(&(name.len() as u16).to_be_bytes());
+                b.extend_from_slice(name);
+                b
+            }
+            Response::DeadlineExceeded { latency_us } => {
+                let mut b = vec![ST_DEADLINE];
+                b.extend_from_slice(&latency_us.to_be_bytes());
+                b
+            }
+            Response::Overloaded => vec![ST_OVERLOADED],
+            Response::UnknownWorkload => vec![ST_UNKNOWN],
+            Response::Error { message } => {
+                let msg = message.as_bytes();
+                let msg = &msg[..msg.len().min(u16::MAX as usize)];
+                let mut b = vec![ST_ERROR];
+                b.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+                b.extend_from_slice(msg);
+                b
+            }
+            Response::Text { body } => {
+                let text = body.as_bytes();
+                let mut b = vec![ST_TEXT];
+                b.extend_from_slice(&(text.len() as u32).to_be_bytes());
+                b.extend_from_slice(text);
+                b
+            }
+        }
+    }
+
+    /// Parses a frame body.
+    pub fn decode(body: &[u8]) -> Result<Self, FrameError> {
+        let mut c = Cursor::new(body);
+        let resp = match c.u8()? {
+            ST_OK => {
+                let winner = c.u32()?;
+                let latency_us = c.u64()?;
+                let value = c.u64()?;
+                let name_len = c.u16()? as usize;
+                let winner_name = c.str(name_len)?;
+                Response::Ok {
+                    winner,
+                    winner_name,
+                    latency_us,
+                    value,
+                }
+            }
+            ST_DEADLINE => Response::DeadlineExceeded {
+                latency_us: c.u64()?,
+            },
+            ST_OVERLOADED => Response::Overloaded,
+            ST_UNKNOWN => Response::UnknownWorkload,
+            ST_ERROR => {
+                let len = c.u16()? as usize;
+                Response::Error {
+                    message: c.str(len)?,
+                }
+            }
+            ST_TEXT => {
+                let len = c.u32()? as usize;
+                Response::Text { body: c.str(len)? }
+            }
+            _ => return Err(FrameError::Malformed("unknown response status")),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Tiny bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Cursor { body, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.body.len())
+            .ok_or(FrameError::Malformed("field past end of body"))?;
+        let s = &self.body[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, FrameError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn str(&mut self, n: usize) -> Result<String, FrameError> {
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_owned)
+            .map_err(|_| FrameError::Malformed("invalid utf-8"))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after message"))
+        }
+    }
+}

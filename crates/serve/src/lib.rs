@@ -1,0 +1,43 @@
+//! # altx-serve — speculation as a service
+//!
+//! A std-only TCP daemon that runs the paper's construct as a server
+//! primitive: each request names a registered *workload* — a block of
+//! mutually exclusive alternatives — and the daemon races the
+//! alternatives on real threads, replying with the first successful
+//! value, the winning alternative, and the latency. It is the
+//! hedged-request pattern with the paper's semantics made explicit:
+//! alternatives are speculative, losers are eliminated cooperatively,
+//! and the observable behaviour is that of a single sequential choice.
+//!
+//! Production scaffolding around the race:
+//!
+//! * a fixed [`pool::WorkerPool`] with a **bounded** run queue —
+//!   admission control sheds load with an explicit `Overloaded` reply
+//!   instead of queueing without bound;
+//! * per-request **deadlines** carried by the engine's `CancelToken`
+//!   (the serving analogue of `alt_wait(timeout)` from §3.2) with
+//!   `DeadlineExceeded` replies;
+//! * graceful shutdown that drains every in-flight race and joins every
+//!   thread before exiting;
+//! * [`telemetry`]: atomic counters, fixed-bucket latency histograms,
+//!   and per-alternative win rates, served over the same socket as a
+//!   stats page or Prometheus text format.
+//!
+//! Binaries: `altxd` (the daemon) and `altx-load` (a closed-loop load
+//! generator emitting `BENCH_serve_throughput.json`). See the README's
+//! "Serving" section for the wire protocol and a transcript.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod frame;
+pub mod pool;
+pub mod server;
+pub mod telemetry;
+pub mod workload;
+
+pub use client::Client;
+pub use frame::{Request, Response, MAX_FRAME};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use telemetry::Telemetry;

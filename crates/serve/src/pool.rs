@@ -1,0 +1,154 @@
+//! Fixed worker pool with a bounded run queue and load shedding.
+//!
+//! Connections never execute races themselves: they enqueue a job and
+//! wait for its reply. The queue is bounded, and `try_submit` refuses —
+//! it never blocks — when the queue is full, which is the daemon's
+//! admission-control point: a full queue means the pool is saturated and
+//! queueing deeper would only convert overload into latency. Shutdown
+//! closes the queue; workers drain every admitted job before exiting, so
+//! accepted requests are always answered.
+
+use altx::sync::{BoundedQueue, QueueError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work for the pool.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The run queue is full — shed the request.
+    Overloaded,
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+/// A fixed set of worker threads consuming a bounded job queue.
+pub struct WorkerPool {
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads over a queue of depth `queue_depth`.
+    pub fn new(workers: usize, queue_depth: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(queue_depth));
+        let handles = (0..workers)
+            .map(|i| {
+                let q = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("altxd-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = q.pop() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool {
+            queue,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Enqueues a job without blocking; refuses when full or closed.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        self.queue.push(job).map_err(|(_, e)| match e {
+            QueueError::Full => SubmitError::Overloaded,
+            QueueError::Closed => SubmitError::ShuttingDown,
+        })
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Closes the queue and joins every worker after it drains the jobs
+    /// already admitted. Idempotent: later calls find no workers left.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .expect("workers lock")
+            .drain(..)
+            .collect();
+        for w in handles {
+            w.join().expect("worker exits cleanly");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::new(4, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16usize {
+            let tx = tx.clone();
+            pool.try_submit(Box::new(move || tx.send(i).expect("receiver alive")))
+                .expect("queue has room");
+        }
+        let mut got: Vec<usize> = (0..16).map(|_| rx.recv().expect("job ran")).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn sheds_when_queue_is_full() {
+        let pool = WorkerPool::new(1, 2);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.try_submit(Box::new(move || {
+            block_rx.recv().ok();
+        }))
+        .expect("admitted");
+        // ...then fill the queue.
+        let mut sheds = 0;
+        for _ in 0..20 {
+            if pool.try_submit(Box::new(|| {})) == Err(SubmitError::Overloaded) {
+                sheds += 1;
+            }
+        }
+        assert!(sheds >= 18, "only {sheds} sheds");
+        block_tx.send(()).expect("worker waiting");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs() {
+        let pool = WorkerPool::new(2, 64);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("queue has room");
+        }
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::SeqCst), 50, "admitted jobs must all run");
+    }
+
+    #[test]
+    fn submit_after_shutdown_refused() {
+        let pool = WorkerPool::new(1, 4);
+        let q = Arc::clone(&pool.queue);
+        pool.shutdown();
+        assert_eq!(
+            q.push(Box::new(|| {}) as Job).map_err(|(_, e)| e),
+            Err(QueueError::Closed)
+        );
+    }
+}

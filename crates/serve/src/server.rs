@@ -1,0 +1,309 @@
+//! The daemon: TCP accept loop, per-connection framing, and the
+//! request → race bridge.
+//!
+//! Flow of one request: the connection thread decodes a `RUN` frame and
+//! tries to enqueue a job on the [`WorkerPool`]. If the bounded queue
+//! refuses, the request is shed with an immediate `Overloaded` reply —
+//! admission control at the door, not timeouts deep in the building. If
+//! admitted, a worker races the workload's alternatives on a
+//! [`ThreadedEngine`] under a [`CancelToken`] carrying the request's
+//! deadline — the serving analogue of the paper's `alt_wait(timeout)` —
+//! and posts the reply back to the connection thread, which writes
+//! frames in order.
+//!
+//! Shutdown (local call or the `SHUTDOWN` opcode) stops admissions,
+//! lets every in-flight race finish, joins every thread, and only then
+//! returns: no request that was admitted goes unanswered, and no race
+//! thread outlives the daemon.
+
+use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
+use crate::pool::{SubmitError, WorkerPool};
+use crate::telemetry::Telemetry;
+use crate::workload;
+use altx::engine::ThreadedEngine;
+use altx::CancelToken;
+use altx_pager::{AddressSpace, PageSize};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for the daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads racing requests.
+    pub workers: usize,
+    /// Bounded run-queue depth; the shed threshold.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: available_workers(),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// Worker count matched to the host (at least 2).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(2, |n| n.get())
+        .max(2)
+}
+
+/// A running daemon. Dropping the handle does *not* stop it; call
+/// [`ServerHandle::shutdown`] or send the `SHUTDOWN` opcode.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    telemetry: Arc<Telemetry>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared telemetry, live while the daemon runs.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Requests shutdown and blocks until the daemon has drained every
+    /// in-flight race and joined every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop exits cleanly");
+        }
+    }
+
+    /// Blocks until the daemon shuts down (e.g. via the `SHUTDOWN`
+    /// opcode from a client).
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            h.join().expect("accept loop exits cleanly");
+        }
+    }
+}
+
+/// Binds and starts the daemon, returning once it is accepting.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
+    let listener = TcpListener::bind(&addrs[..])?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let telemetry = Arc::new(Telemetry::new());
+    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        let telemetry = Arc::clone(&telemetry);
+        std::thread::Builder::new()
+            .name("altxd-accept".to_owned())
+            .spawn(move || accept_loop(listener, pool, telemetry, shutdown))
+            .expect("spawn accept loop")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        telemetry,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    pool: Arc<WorkerPool>,
+    telemetry: Arc<Telemetry>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let pool = Arc::clone(&pool);
+                let telemetry = Arc::clone(&telemetry);
+                let shutdown = Arc::clone(&shutdown);
+                let h = std::thread::Builder::new()
+                    .name("altxd-conn".to_owned())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &pool, &telemetry, &shutdown);
+                    })
+                    .expect("spawn connection");
+                connections.push(h);
+                connections.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    // Drain: connections notice the flag within one read timeout, finish
+    // their in-flight request, and exit; then the pool drains admitted
+    // jobs and joins its workers.
+    for c in connections {
+        c.join().expect("connection exits cleanly");
+    }
+    pool.shutdown();
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    pool: &Arc<WorkerPool>,
+    telemetry: &Arc<Telemetry>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Ok(()), // clean disconnect
+            Err(FrameError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; re-check the shutdown flag
+            }
+            Err(e) => {
+                telemetry.on_error();
+                let reply = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &reply.encode());
+                return Ok(());
+            }
+        };
+        let request = match Request::decode(&body) {
+            Ok(r) => r,
+            Err(e) => {
+                telemetry.on_error();
+                let reply = Response::Error {
+                    message: e.to_string(),
+                };
+                let _ = write_frame(&mut stream, &reply.encode());
+                return Ok(());
+            }
+        };
+        let response = match request {
+            Request::Stats => Response::Text {
+                body: telemetry.render_stats(),
+            },
+            Request::Prometheus => Response::Text {
+                body: telemetry.render_prometheus(),
+            },
+            Request::Shutdown => {
+                shutdown.store(true, Ordering::SeqCst);
+                let reply = Response::Text {
+                    body: "draining\n".to_owned(),
+                };
+                write_frame(&mut stream, &reply.encode())?;
+                return Ok(());
+            }
+            Request::Run {
+                workload,
+                deadline_ms,
+                arg,
+            } => dispatch_run(pool, telemetry, workload, deadline_ms, arg),
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+/// Admission-controls one RUN request and waits for its reply.
+fn dispatch_run(
+    pool: &Arc<WorkerPool>,
+    telemetry: &Arc<Telemetry>,
+    workload: String,
+    deadline_ms: u32,
+    arg: u64,
+) -> Response {
+    // Reject unknown names before spending a queue slot.
+    if workload::spec(&workload).is_none() {
+        telemetry.on_error();
+        return Response::UnknownWorkload;
+    }
+    let (tx, rx) = mpsc::channel();
+    let job_telemetry = Arc::clone(telemetry);
+    let submitted = pool.try_submit(Box::new(move || {
+        let _ = tx.send(run_race(&job_telemetry, &workload, deadline_ms, arg));
+    }));
+    match submitted {
+        Ok(()) => {
+            telemetry.on_accepted();
+            rx.recv().unwrap_or_else(|_| {
+                // A worker can only vanish without replying if a workload
+                // body panicked; answer rather than hang the connection.
+                Response::Error {
+                    message: "worker lost".to_owned(),
+                }
+            })
+        }
+        Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
+            telemetry.on_shed();
+            Response::Overloaded
+        }
+    }
+}
+
+/// Executes the race for one admitted request (worker context).
+fn run_race(telemetry: &Telemetry, workload: &str, deadline_ms: u32, arg: u64) -> Response {
+    let block = match workload::build(workload, arg) {
+        Some(b) => b,
+        None => {
+            telemetry.on_error();
+            return Response::UnknownWorkload;
+        }
+    };
+    let token = if deadline_ms > 0 {
+        CancelToken::with_deadline(Duration::from_millis(u64::from(deadline_ms)))
+    } else {
+        CancelToken::new()
+    };
+    let mut workspace = AddressSpace::zeroed(4096, PageSize::K4);
+    let start = Instant::now();
+    let result = ThreadedEngine::new().execute_with_token(&block, &mut workspace, &token);
+    let latency_us = start.elapsed().as_micros() as u64;
+
+    match (result.winner, result.value) {
+        (Some(w), Some(value)) => {
+            let winner_name = result
+                .winner_name
+                .clone()
+                .unwrap_or_else(|| format!("alt{w}"));
+            telemetry.on_completed(workload, &winner_name, latency_us);
+            Response::Ok {
+                winner: w as u32,
+                winner_name,
+                latency_us,
+                value,
+            }
+        }
+        _ if token.deadline_expired() => {
+            telemetry.on_deadline_exceeded();
+            Response::DeadlineExceeded { latency_us }
+        }
+        _ => {
+            telemetry.on_error();
+            Response::Error {
+                message: "no alternative succeeded".to_owned(),
+            }
+        }
+    }
+}

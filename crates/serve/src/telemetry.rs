@@ -1,0 +1,342 @@
+//! Daemon telemetry: lock-free counters, a fixed-bucket latency
+//! histogram, and per-alternative win tallies, rendered either as a
+//! human-readable stats page or Prometheus text format.
+//!
+//! Everything on the request path is an atomic increment; the only lock
+//! guards the win-count map, touched once per completed race.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Histogram bucket upper bounds, microseconds. The last bucket is
+/// unbounded.
+pub const BUCKET_BOUNDS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];
+
+/// A fixed-bucket latency histogram with atomic counters.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    total: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&b| us <= b)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0 < q ≤ 1): the bound
+    /// of the first bucket whose cumulative count reaches `q·total`.
+    /// Resolution is the bucket grid; the open last bucket reports its
+    /// lower edge.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(*BUCKET_BOUNDS_US.last().expect("non-empty bounds"));
+            }
+        }
+        *BUCKET_BOUNDS_US.last().expect("non-empty bounds")
+    }
+
+    /// (bound, cumulative count) pairs for Prometheus `le` buckets,
+    /// ending with the +Inf bucket.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut acc = 0;
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c.load(Ordering::Relaxed);
+            out.push((BUCKET_BOUNDS_US.get(i).copied(), acc));
+        }
+        out
+    }
+}
+
+/// All daemon counters. One instance, shared by every connection and
+/// worker.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    /// Requests admitted to the run queue.
+    accepted: AtomicU64,
+    /// Races that completed with a winner.
+    completed: AtomicU64,
+    /// Requests shed because the queue was full.
+    shed: AtomicU64,
+    /// Races that blew their deadline.
+    deadline_exceeded: AtomicU64,
+    /// Unknown workloads, protocol violations, failed races.
+    errors: AtomicU64,
+    /// Latency of completed races.
+    latency: LatencyHistogram,
+    /// Wins per (workload, alternative name).
+    wins: Mutex<BTreeMap<(String, String), u64>>,
+}
+
+/// A point-in-time copy of the counters, for rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Requests admitted to the run queue.
+    pub accepted: u64,
+    /// Races completed with a winner.
+    pub completed: u64,
+    /// Requests shed at admission.
+    pub shed: u64,
+    /// Deadline-exceeded races.
+    pub deadline_exceeded: u64,
+    /// Error replies.
+    pub errors: u64,
+    /// Mean completed-race latency (µs).
+    pub mean_us: f64,
+    /// p50 estimate (µs).
+    pub p50_us: u64,
+    /// p99 estimate (µs).
+    pub p99_us: u64,
+    /// Wins per (workload, alternative).
+    pub wins: BTreeMap<(String, String), u64>,
+}
+
+impl Telemetry {
+    /// Creates zeroed telemetry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts an admitted request.
+    pub fn on_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a completed race and its winner.
+    pub fn on_completed(&self, workload: &str, winner_name: &str, latency_us: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_us);
+        let mut wins = self.wins.lock().expect("wins lock");
+        *wins
+            .entry((workload.to_owned(), winner_name.to_owned()))
+            .or_insert(0) += 1;
+    }
+
+    /// Counts a shed request.
+    pub fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a blown deadline.
+    pub fn on_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an error reply.
+    pub fn on_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters out.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            mean_us: self.latency.mean_us(),
+            p50_us: self.latency.quantile_us(0.50),
+            p99_us: self.latency.quantile_us(0.99),
+            wins: self.wins.lock().expect("wins lock").clone(),
+        }
+    }
+
+    /// Human-readable stats page (the STATS reply body).
+    pub fn render_stats(&self) -> String {
+        let s = self.snapshot();
+        let mut out = String::new();
+        out.push_str("altxd stats\n");
+        out.push_str(&format!("  accepted            {}\n", s.accepted));
+        out.push_str(&format!("  completed           {}\n", s.completed));
+        out.push_str(&format!("  shed (overloaded)   {}\n", s.shed));
+        out.push_str(&format!("  deadline exceeded   {}\n", s.deadline_exceeded));
+        out.push_str(&format!("  errors              {}\n", s.errors));
+        out.push_str(&format!(
+            "  latency us          mean {:.1}  p50 {}  p99 {}\n",
+            s.mean_us, s.p50_us, s.p99_us
+        ));
+        out.push_str("  wins per alternative\n");
+        for ((workload, alt), n) in &s.wins {
+            out.push_str(&format!("    {workload}/{alt}  {n}\n"));
+        }
+        out
+    }
+
+    /// Prometheus text exposition (the PROMETHEUS reply body).
+    pub fn render_prometheus(&self) -> String {
+        let s = self.snapshot();
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        counter(
+            &mut out,
+            "altxd_requests_accepted_total",
+            "Requests admitted to the run queue",
+            s.accepted,
+        );
+        counter(
+            &mut out,
+            "altxd_requests_completed_total",
+            "Races completed with a winner",
+            s.completed,
+        );
+        counter(
+            &mut out,
+            "altxd_requests_shed_total",
+            "Requests shed by admission control",
+            s.shed,
+        );
+        counter(
+            &mut out,
+            "altxd_requests_deadline_exceeded_total",
+            "Races that blew their deadline",
+            s.deadline_exceeded,
+        );
+        counter(
+            &mut out,
+            "altxd_requests_error_total",
+            "Error replies",
+            s.errors,
+        );
+
+        out.push_str("# HELP altxd_race_latency_us Completed-race latency in microseconds\n");
+        out.push_str("# TYPE altxd_race_latency_us histogram\n");
+        for (bound, cum) in self.latency.cumulative() {
+            let le = bound.map_or("+Inf".to_owned(), |b| b.to_string());
+            out.push_str(&format!(
+                "altxd_race_latency_us_bucket{{le=\"{le}\"}} {cum}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "altxd_race_latency_us_sum {}\n",
+            self.latency.sum_us.load(Ordering::Relaxed)
+        ));
+        out.push_str(&format!(
+            "altxd_race_latency_us_count {}\n",
+            self.latency.count()
+        ));
+
+        out.push_str("# HELP altxd_alternative_wins_total Races won, per alternative\n");
+        out.push_str("# TYPE altxd_alternative_wins_total counter\n");
+        for ((workload, alt), n) in &s.wins {
+            out.push_str(&format!(
+                "altxd_alternative_wins_total{{workload=\"{workload}\",alternative=\"{alt}\"}} {n}\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for us in [40, 90, 90, 90, 90, 90, 90, 90, 90, 200_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile_us(0.5), 100); // 90 µs falls in the ≤100 bucket
+        assert_eq!(h.quantile_us(0.99), 250_000);
+        assert!(h.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn histogram_cumulative_ends_at_total() {
+        let h = LatencyHistogram::new();
+        for us in [1, 10_000, 9_999_999] {
+            h.record(us);
+        }
+        let cum = h.cumulative();
+        assert_eq!(cum.last().expect("buckets"), &(None, 3));
+    }
+
+    #[test]
+    fn snapshot_reflects_events() {
+        let t = Telemetry::new();
+        t.on_accepted();
+        t.on_accepted();
+        t.on_completed("trivial", "instant-a", 120);
+        t.on_shed();
+        t.on_deadline_exceeded();
+        t.on_error();
+        let s = t.snapshot();
+        assert_eq!(
+            (
+                s.accepted,
+                s.completed,
+                s.shed,
+                s.deadline_exceeded,
+                s.errors
+            ),
+            (2, 1, 1, 1, 1)
+        );
+        assert_eq!(s.wins[&("trivial".into(), "instant-a".into())], 1);
+    }
+
+    #[test]
+    fn prometheus_dump_is_well_formed() {
+        let t = Telemetry::new();
+        t.on_completed("trivial", "instant-a", 80);
+        let text = t.render_prometheus();
+        assert!(text.contains("altxd_requests_completed_total 1"));
+        assert!(text.contains("altxd_race_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains(
+            "altxd_alternative_wins_total{workload=\"trivial\",alternative=\"instant-a\"} 1"
+        ));
+        // Every non-comment line is "name{labels} value" with a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().expect("value field");
+            assert!(value.parse::<f64>().is_ok(), "bad line: {line}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The workload catalog: named alternative-blocks a request can race.
+//!
+//! Each workload is a recipe for an [`AltBlock`] whose alternatives are
+//! mutually exclusive ways of producing one `u64`. The request's `arg`
+//! parameterizes the block (problem size or RNG seed), so repeated
+//! requests explore the workload's latency distribution rather than one
+//! fixed point. Sleep-based workloads poll their [`CancelToken`] every
+//! 200 µs, so losing siblings and deadline-expired races stop promptly —
+//! the serving-layer analogue of the paper's elimination signal.
+
+use altx::{AltBlock, CancelToken};
+use altx_bench::TimeDistribution;
+use altx_des::SimRng;
+use altx_prolog::{KnowledgeBase, Solver};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// A catalog entry: what a workload is and how many alternatives race.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Registered name (what requests put on the wire).
+    pub name: &'static str,
+    /// One-line description for stats dumps.
+    pub description: &'static str,
+    /// Number of alternatives the block races.
+    pub alternatives: usize,
+}
+
+/// Every workload the daemon serves.
+pub const CATALOG: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        name: "trivial",
+        description: "two instant alternatives; measures pure service overhead",
+        alternatives: 2,
+    },
+    WorkloadSpec {
+        name: "lognormal",
+        description: "three heavy-tailed (lognormal) alternatives; racing wins",
+        alternatives: 3,
+    },
+    WorkloadSpec {
+        name: "bimodal",
+        description: "two usually-fast/sometimes-slow alternatives",
+        alternatives: 2,
+    },
+    WorkloadSpec {
+        name: "sleep",
+        description: "one alternative sleeping arg milliseconds; deadline fodder",
+        alternatives: 1,
+    },
+    WorkloadSpec {
+        name: "prolog",
+        description: "or-parallel countdown query raced against a reordered program",
+        alternatives: 2,
+    },
+];
+
+/// Looks up a catalog entry by name.
+pub fn spec(name: &str) -> Option<&'static WorkloadSpec> {
+    CATALOG.iter().find(|w| w.name == name)
+}
+
+/// Builds the alternative block for `name`, parameterized by `arg`.
+/// Returns `None` for unregistered names.
+pub fn build(name: &str, arg: u64) -> Option<AltBlock<u64>> {
+    match name {
+        "trivial" => Some(trivial(arg)),
+        "lognormal" => Some(sampled(
+            arg,
+            3,
+            TimeDistribution::LogNormal {
+                median_ms: 3.0,
+                sigma: 1.0,
+            },
+        )),
+        "bimodal" => Some(sampled(
+            arg,
+            2,
+            TimeDistribution::Bimodal {
+                fast_ms: 1.0,
+                slow_ms: 20.0,
+                p_fast: 0.7,
+            },
+        )),
+        "sleep" => Some(sleep_block(arg)),
+        "prolog" => Some(prolog(arg)),
+        _ => None,
+    }
+}
+
+/// Sleeps for `total`, polling the token; `false` means we were
+/// cancelled (race already decided, or deadline blown) and the
+/// alternative should fail instead of pretending it finished.
+fn cancellable_sleep(total: Duration, token: &CancelToken) -> bool {
+    const SLICE: Duration = Duration::from_micros(200);
+    let end = Instant::now() + total;
+    loop {
+        if token.is_cancelled() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= end {
+            return true;
+        }
+        std::thread::sleep(SLICE.min(end - now));
+    }
+}
+
+/// Two alternatives that answer immediately. The race is decided by
+/// scheduler timing alone; the value is `arg` either way, mirroring the
+/// paper's requirement that alternatives be observably interchangeable.
+fn trivial(arg: u64) -> AltBlock<u64> {
+    AltBlock::new()
+        .alternative("instant-a", move |_ws, _t| Some(arg))
+        .alternative("instant-b", move |_ws, _t| Some(arg))
+}
+
+/// `n` alternatives each sleeping a time drawn from `dist` (seeded by
+/// `arg`, so the same request replays the same race). Each stamps its
+/// index into the workspace before succeeding — losing writes must
+/// never survive, and the engine's COW containment guarantees it.
+fn sampled(arg: u64, n: usize, dist: TimeDistribution) -> AltBlock<u64> {
+    let mut rng = SimRng::seed_from_u64(arg.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA17B);
+    let mut block = AltBlock::new();
+    for i in 0..n {
+        let ms = dist.sample(&mut rng).as_millis_f64();
+        block = block.alternative(format!("draw-{i}"), move |ws, token: &CancelToken| {
+            if !cancellable_sleep(Duration::from_secs_f64(ms / 1_000.0), token) {
+                return None;
+            }
+            ws.write(0, &[i as u8 + 1]);
+            Some(ms.ceil() as u64)
+        });
+    }
+    block
+}
+
+/// One alternative sleeping exactly `arg` milliseconds — the simplest
+/// way to exercise deadlines: a deadline shorter than `arg` must come
+/// back `DeadlineExceeded`, never a value.
+fn sleep_block(arg: u64) -> AltBlock<u64> {
+    AltBlock::new().alternative("sleeper", move |_ws, token: &CancelToken| {
+        cancellable_sleep(Duration::from_millis(arg), token).then_some(arg)
+    })
+}
+
+/// The canned knowledge base for the `prolog` workload. Parsed once;
+/// requests share it read-only — the paper's "overwhelming
+/// preponderance of read references" case.
+fn prolog_kb() -> &'static (KnowledgeBase, KnowledgeBase) {
+    static KB: OnceLock<(KnowledgeBase, KnowledgeBase)> = OnceLock::new();
+    KB.get_or_init(|| {
+        // Left program explores a dead-end branch first; the reordered
+        // program reaches the witness clause immediately. Racing the two
+        // clause orders is or-parallelism at the strategy level.
+        let slow_first = KnowledgeBase::parse(
+            "countdown(0).
+             countdown(N) :- N > 0, M is N - 1, countdown(M).
+             q(D) :- countdown(D), fail.
+             q(_).",
+        )
+        .expect("canned program parses");
+        let fast_first = KnowledgeBase::parse(
+            "countdown(0).
+             countdown(N) :- N > 0, M is N - 1, countdown(M).
+             q(_).
+             q(D) :- countdown(D), fail.",
+        )
+        .expect("canned program parses");
+        (slow_first, fast_first)
+    })
+}
+
+/// Races the same query under two clause orders; the winner is whichever
+/// strategy proves `q/1` first. The solver itself is not interruptible,
+/// so the query size is bounded to keep losers short-lived.
+fn prolog(arg: u64) -> AltBlock<u64> {
+    let depth = 50 + arg % 450;
+    let query = format!("q({depth})");
+    let q2 = query.clone();
+    AltBlock::new()
+        .alternative(
+            "clause-order-as-written",
+            move |_ws, token: &CancelToken| {
+                if token.is_cancelled() {
+                    return None;
+                }
+                let (slow_first, _) = prolog_kb();
+                let mut solver = Solver::new(slow_first);
+                let sols = solver.solve_str(&query, 1).ok()?;
+                (!sols.is_empty()).then(|| solver.steps())
+            },
+        )
+        .alternative("clause-order-reversed", move |_ws, token: &CancelToken| {
+            if token.is_cancelled() {
+                return None;
+            }
+            let (_, fast_first) = prolog_kb();
+            let mut solver = Solver::new(fast_first);
+            let sols = solver.solve_str(&q2, 1).ok()?;
+            (!sols.is_empty()).then(|| solver.steps())
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use altx::engine::ThreadedEngine;
+    use altx::Engine;
+    use altx_pager::{AddressSpace, PageSize};
+
+    fn ws() -> AddressSpace {
+        AddressSpace::zeroed(4096, PageSize::K4)
+    }
+
+    #[test]
+    fn catalog_names_all_build() {
+        for spec in CATALOG {
+            let block = build(spec.name, 7).expect("catalog entry builds");
+            assert_eq!(block.len(), spec.alternatives, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(build("no-such-workload", 0).is_none());
+        assert!(spec("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn trivial_returns_arg() {
+        let r = ThreadedEngine::new().execute(&build("trivial", 42).unwrap(), &mut ws());
+        assert_eq!(r.value, Some(42));
+    }
+
+    #[test]
+    fn prolog_finds_the_witness() {
+        let r = ThreadedEngine::new().execute(&build("prolog", 3).unwrap(), &mut ws());
+        assert!(r.succeeded());
+    }
+
+    #[test]
+    fn sleep_workload_is_cancellable() {
+        let token = CancelToken::new();
+        token.cancel();
+        let start = Instant::now();
+        let block = build("sleep", 5_000).unwrap();
+        let mut space = ws();
+        let r = ThreadedEngine::new().execute_with_token(&block, &mut space, &token);
+        assert!(!r.succeeded());
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "cancel must cut the sleep short"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the wire codec: round-trips, truncation,
+//! oversize rejection, and garbage tolerance.
+
+use altx_check::{check, CaseRng};
+use altx_serve::frame::{read_frame, write_frame, FrameError, Request, Response, MAX_FRAME};
+
+fn arb_request(rng: &mut CaseRng) -> Request {
+    match rng.usize_in(0, 4) {
+        0 => Request::Run {
+            workload: String::from_utf8(rng.vec(0, 40, |r| b'a' + (r.u8() % 26))).expect("ascii"),
+            deadline_ms: rng.u64_in(0, u32::MAX as u64 + 1) as u32,
+            arg: rng.u64(),
+        },
+        1 => Request::Stats,
+        2 => Request::Prometheus,
+        _ => Request::Shutdown,
+    }
+}
+
+fn arb_response(rng: &mut CaseRng) -> Response {
+    let text = |r: &mut CaseRng, lo: usize, hi: usize| {
+        String::from_utf8(r.vec(lo, hi, |r| b' ' + (r.u8() % 95))).expect("ascii")
+    };
+    match rng.usize_in(0, 6) {
+        0 => Response::Ok {
+            winner: rng.u64_in(0, 1 << 32) as u32,
+            winner_name: text(rng, 0, 30),
+            latency_us: rng.u64(),
+            value: rng.u64(),
+        },
+        1 => Response::DeadlineExceeded {
+            latency_us: rng.u64(),
+        },
+        2 => Response::Overloaded,
+        3 => Response::UnknownWorkload,
+        4 => Response::Error {
+            message: text(rng, 0, 120),
+        },
+        _ => Response::Text {
+            body: text(rng, 0, 400),
+        },
+    }
+}
+
+/// encode → decode is the identity for both message directions.
+#[test]
+fn round_trip_identity() {
+    check("round_trip_identity", 256, |rng| {
+        let req = arb_request(rng);
+        assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+        let resp = arb_response(rng);
+        assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
+    });
+}
+
+/// Frames survive the stream layer: write then read returns the body.
+#[test]
+fn stream_round_trip() {
+    check("stream_round_trip", 128, |rng| {
+        let body = rng.bytes(0, 300);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("vec write");
+        let got = read_frame(&mut wire.as_slice())
+            .expect("reads")
+            .expect("one frame");
+        assert_eq!(got, body);
+        // And a second read sees clean EOF, not an error.
+        let mut cursor = &wire[..];
+        read_frame(&mut cursor).expect("first frame");
+        assert!(read_frame(&mut cursor).expect("clean eof").is_none());
+    });
+}
+
+/// Any prefix of a valid frame is Truncated — never a hang, panic, or
+/// bogus success.
+#[test]
+fn truncated_frames_rejected() {
+    check("truncated_frames_rejected", 128, |rng| {
+        let body = rng.bytes(1, 200);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("vec write");
+        let cut = rng.usize_in(1, wire.len()); // strict prefix, non-empty
+        match read_frame(&mut &wire[..cut]) {
+            Err(FrameError::Truncated) => {}
+            other => panic!("prefix of {cut} bytes gave {other:?}"),
+        }
+    });
+}
+
+/// A length prefix beyond MAX_FRAME is rejected before allocation.
+#[test]
+fn oversized_frames_rejected() {
+    check("oversized_frames_rejected", 64, |rng| {
+        let len = rng.u64_in(MAX_FRAME as u64 + 1, u32::MAX as u64 + 1) as u32;
+        let wire = len.to_be_bytes();
+        match read_frame(&mut &wire[..]) {
+            Err(FrameError::Oversized(n)) => assert_eq!(n, len as usize),
+            other => panic!("announced {len} bytes, got {other:?}"),
+        }
+    });
+}
+
+/// Arbitrary bodies never panic the decoders; truncating a valid body
+/// mid-field errors rather than mis-parsing.
+#[test]
+fn decoder_tolerates_garbage() {
+    check("decoder_tolerates_garbage", 512, |rng| {
+        let junk = rng.bytes(0, 64);
+        let _ = Request::decode(&junk);
+        let _ = Response::decode(&junk);
+
+        let valid = arb_request(rng).encode();
+        let cut = rng.usize_in(0, valid.len());
+        if cut < valid.len() {
+            assert!(
+                Request::decode(&valid[..cut]).is_err(),
+                "prefix must not parse"
+            );
+        }
+    });
+}
+
+/// Trailing bytes after a well-formed message are a protocol error.
+#[test]
+fn trailing_bytes_rejected() {
+    check("trailing_bytes_rejected", 128, |rng| {
+        let mut body = arb_response(rng).encode();
+        body.extend(rng.bytes(1, 8));
+        assert!(Response::decode(&body).is_err());
+    });
+}

@@ -23,13 +23,20 @@ use altx_kernel::{
 
 /// One control period: race the estimators under `deadline`, with the
 /// exact solver needing `exact_ms` for this input.
-fn control_period(deadline_ms: u64, exact_ms: u64, heuristic_ok: bool) -> (Option<&'static str>, SimDuration) {
+fn control_period(
+    deadline_ms: u64,
+    exact_ms: u64,
+    heuristic_ok: bool,
+) -> (Option<&'static str>, SimDuration) {
     // Result quality is encoded by which alternative wins.
     let exact = Alternative::new(
         GuardSpec::Const(true),
         Program::new(vec![
             Op::Compute(SimDuration::from_millis(exact_ms)),
-            Op::Write { addr: 0, data: vec![3] }, // quality 3: exact
+            Op::Write {
+                addr: 0,
+                data: vec![3],
+            }, // quality 3: exact
         ]),
     );
     let heuristic = Alternative::new(
@@ -38,14 +45,20 @@ fn control_period(deadline_ms: u64, exact_ms: u64, heuristic_ok: bool) -> (Optio
         GuardSpec::Const(heuristic_ok),
         Program::new(vec![
             Op::Compute(SimDuration::from_millis(18)),
-            Op::Write { addr: 0, data: vec![2] }, // quality 2: good
+            Op::Write {
+                addr: 0,
+                data: vec![2],
+            }, // quality 2: good
         ]),
     );
     let fallback = Alternative::new(
         GuardSpec::Const(true),
         Program::new(vec![
             Op::Compute(SimDuration::from_millis(60)),
-            Op::Write { addr: 0, data: vec![1] }, // quality 1: coarse
+            Op::Write {
+                addr: 0,
+                data: vec![1],
+            }, // quality 1: coarse
         ]),
     );
 
@@ -69,7 +82,10 @@ fn control_period(deadline_ms: u64, exact_ms: u64, heuristic_ok: bool) -> (Optio
 
 fn main() {
     println!("deadline-driven estimator racing (deadline counted from alt_wait):\n");
-    println!("{:<28} {:>10} {:>12}  delivered", "input scenario", "deadline", "elapsed");
+    println!(
+        "{:<28} {:>10} {:>12}  delivered",
+        "input scenario", "deadline", "elapsed"
+    );
 
     let scenarios = [
         ("easy input, exact fast", 200u64, 9u64, true),
@@ -92,10 +108,25 @@ fn main() {
     // The shape the paper predicts: quality degrades gracefully with
     // input difficulty, and the timeout converts a blown budget into an
     // explicit failure.
-    assert_eq!(delivered[0], Some("exact"), "fast exact answer wins when available");
-    assert_eq!(delivered[1], Some("heuristic"), "heuristic covers hard inputs");
-    assert_eq!(delivered[2], Some("fallback"), "fallback covers heuristic failures");
-    assert_eq!(delivered[3], None, "a missed deadline is explicit, not late");
+    assert_eq!(
+        delivered[0],
+        Some("exact"),
+        "fast exact answer wins when available"
+    );
+    assert_eq!(
+        delivered[1],
+        Some("heuristic"),
+        "heuristic covers hard inputs"
+    );
+    assert_eq!(
+        delivered[2],
+        Some("fallback"),
+        "fallback covers heuristic failures"
+    );
+    assert_eq!(
+        delivered[3], None,
+        "a missed deadline is explicit, not late"
+    );
 
     println!(
         "\nasynchronous elimination means delivery latency never includes sibling\n\

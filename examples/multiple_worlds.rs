@@ -34,7 +34,11 @@ fn main() {
         Op::RegisterName("logger".into()),
         Op::Recv { reg: 0 },
         Op::WriteFromRegister { reg: 0, addr: 0 },
-        Op::SourcePull { source_id: 0, index: 0, reg: 1 },
+        Op::SourcePull {
+            source_id: 0,
+            index: 0,
+            reg: 1,
+        },
         Op::WriteFromRegister { reg: 1, addr: 64 },
     ]);
 
@@ -42,13 +46,22 @@ fn main() {
     // fate is known!) but computes slowly; the quiet alternate computes
     // fast and wins.
     let chatty = Program::new(vec![
-        Op::Send { to: Target::Name("logger".into()), payload: b"chatty-was-here".to_vec() },
+        Op::Send {
+            to: Target::Name("logger".into()),
+            payload: b"chatty-was-here".to_vec(),
+        },
         Op::Compute(SimDuration::from_millis(300)),
-        Op::Send { to: Target::Name("logger".into()), payload: b"chatty-finished".to_vec() },
+        Op::Send {
+            to: Target::Name("logger".into()),
+            payload: b"chatty-finished".to_vec(),
+        },
     ]);
     let quiet = Program::new(vec![
         Op::Compute(SimDuration::from_millis(40)),
-        Op::Send { to: Target::Name("logger".into()), payload: b"quiet-won-race!".to_vec() },
+        Op::Send {
+            to: Target::Name("logger".into()),
+            payload: b"quiet-won-race!".to_vec(),
+        },
     ]);
 
     let logger_pid = kernel.spawn(logger, 4 * 1024);
@@ -79,7 +92,10 @@ fn main() {
     }
 
     let outcome = &report.block_outcomes(racer)[0];
-    println!("\nrace winner: alternative {} (quiet)", outcome.winner.expect("won") + 1);
+    println!(
+        "\nrace winner: alternative {} (quiet)",
+        outcome.winner.expect("won") + 1
+    );
     println!("worlds split: {}", report.stats.world_splits);
 
     // Which logger world survived? Collect every world descended from the
@@ -88,7 +104,12 @@ fn main() {
     // be visible anywhere, the quiet one must be logged.
     let mut worlds = std::collections::BTreeSet::from([logger_pid]);
     for event in report.trace() {
-        if let TraceEvent::WorldSplit { accepting, rejecting, .. } = event {
+        if let TraceEvent::WorldSplit {
+            accepting,
+            rejecting,
+            ..
+        } = event
+        {
             if worlds.contains(accepting) {
                 worlds.insert(*rejecting);
             }
@@ -113,8 +134,14 @@ fn main() {
         String::from_utf8_lossy(&console)
     );
 
-    assert_eq!(&logged, b"quiet-won-race!", "only the winner's message is real");
-    assert_eq!(&console, b"operator-input", "source read proceeded once unconditional");
+    assert_eq!(
+        &logged, b"quiet-won-race!",
+        "only the winner's message is real"
+    );
+    assert_eq!(
+        &console, b"operator-input",
+        "source read proceeded once unconditional"
+    );
     println!(
         "\nno observer can tell the chatty alternate ever spoke — its world was\n\
          eliminated with it. ✓"

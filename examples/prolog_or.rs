@@ -11,9 +11,7 @@
 //!
 //! Run with: `cargo run --release --example prolog_or`
 
-use altx_prolog::{
-    profile_branches, solve_first_parallel, KnowledgeBase, OrSimConfig, Solver,
-};
+use altx_prolog::{profile_branches, solve_first_parallel, KnowledgeBase, OrSimConfig, Solver};
 
 const PROGRAM: &str = "
     % A chain graph plus a shortcut; three routing rules of wildly
@@ -81,7 +79,11 @@ fn main() {
     let report = solve_first_parallel(&kb, query).expect("valid");
     println!(
         "threaded OR-parallel:      {} (winner branch {}, {} raced, {:?})",
-        if report.solution.is_some() { "yes" } else { "no" },
+        if report.solution.is_some() {
+            "yes"
+        } else {
+            "no"
+        },
         report.winner_branch.map(|b| b + 1).unwrap_or(0),
         report.branches,
         report.wall

@@ -22,58 +22,59 @@ fn sorted(v: &[u32]) -> bool {
 fn part1_real_block() {
     println!("— part 1: a software-fault-tolerant sort —\n");
     // Values collide heavily (mod 997), so duplicate-dropping bugs bite.
-    let input: Vec<u32> = (0..20_000u32).map(|i| i.wrapping_mul(2_654_435_761) % 997).collect();
+    let input: Vec<u32> = (0..20_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % 997)
+        .collect();
     let reference_len = input.len();
 
-    let block: RecoveryBlock<Vec<u32>> =
-        RecoveryBlock::new(move |result: &Vec<u32>, _ws| {
-            // The acceptance test, written from the specification: output
-            // sorted and a permutation-sized copy of the input.
-            sorted(result) && result.len() == reference_len
-        })
-        .alternate("buggy-quicksort", {
-            let input = input.clone();
-            move |_ws, _t| {
-                // An "independently developed" quicksort with a bug: it
-                // drops pivot duplicates.
-                fn qs(v: &[u32]) -> Vec<u32> {
-                    if v.len() <= 1 {
-                        return v.to_vec();
-                    }
-                    let pivot = v[v.len() / 2];
-                    let less: Vec<u32> = v.iter().copied().filter(|&x| x < pivot).collect();
-                    let greater: Vec<u32> = v.iter().copied().filter(|&x| x > pivot).collect();
-                    let mut out = qs(&less);
-                    out.push(pivot); // duplicates of pivot are lost!
-                    out.extend(qs(&greater));
-                    out
+    let block: RecoveryBlock<Vec<u32>> = RecoveryBlock::new(move |result: &Vec<u32>, _ws| {
+        // The acceptance test, written from the specification: output
+        // sorted and a permutation-sized copy of the input.
+        sorted(result) && result.len() == reference_len
+    })
+    .alternate("buggy-quicksort", {
+        let input = input.clone();
+        move |_ws, _t| {
+            // An "independently developed" quicksort with a bug: it
+            // drops pivot duplicates.
+            fn qs(v: &[u32]) -> Vec<u32> {
+                if v.len() <= 1 {
+                    return v.to_vec();
                 }
-                Some(qs(&input))
+                let pivot = v[v.len() / 2];
+                let less: Vec<u32> = v.iter().copied().filter(|&x| x < pivot).collect();
+                let greater: Vec<u32> = v.iter().copied().filter(|&x| x > pivot).collect();
+                let mut out = qs(&less);
+                out.push(pivot); // duplicates of pivot are lost!
+                out.extend(qs(&greater));
+                out
             }
-        })
-        .alternate("crashing-mergesort", |_ws, _t| {
-            // Models a version that dies on this input (e.g. blows its
-            // recursion budget): the alternate itself fails.
-            None
-        })
-        .alternate("trusty-insertion-sort", {
-            let input = input.clone();
-            move |_ws, t| {
-                let mut v = input.clone();
-                // Slow but correct; polls for elimination periodically.
-                for i in 1..v.len() {
-                    if i % 4096 == 0 {
-                        t.checkpoint()?;
-                    }
-                    let mut j = i;
-                    while j > 0 && v[j - 1] > v[j] {
-                        v.swap(j - 1, j);
-                        j -= 1;
-                    }
+            Some(qs(&input))
+        }
+    })
+    .alternate("crashing-mergesort", |_ws, _t| {
+        // Models a version that dies on this input (e.g. blows its
+        // recursion budget): the alternate itself fails.
+        None
+    })
+    .alternate("trusty-insertion-sort", {
+        let input = input.clone();
+        move |_ws, t| {
+            let mut v = input.clone();
+            // Slow but correct; polls for elimination periodically.
+            for i in 1..v.len() {
+                if i % 4096 == 0 {
+                    t.checkpoint()?;
                 }
-                Some(v)
+                let mut j = i;
+                while j > 0 && v[j - 1] > v[j] {
+                    v.swap(j - 1, j);
+                    j -= 1;
+                }
             }
-        });
+            Some(v)
+        }
+    });
 
     let mut ws = AddressSpace::zeroed(4096, PageSize::K4);
     let seq = block.run_sequential(&mut ws);
@@ -106,16 +107,11 @@ fn part2_distributed_model() {
             // Primary: faster but unreliable; secondary: slower, solid.
             let primary = AlternateModel {
                 passes: !rng.chance(fail_prob),
-                ..AlternateModel::sample(
-                    &mut rng,
-                    4_000.0,
-                    0.4,
-                    &FaultSpec::none(),
-                )
+                ..AlternateModel::sample(&mut rng, 4_000.0, 0.4, &FaultSpec::none())
             };
             let secondary = AlternateModel::sample(&mut rng, 9_000.0, 0.4, &FaultSpec::none());
-            let block = DistributedRecoveryBlock::new(vec![primary, secondary])
-                .with_majority_sync(3, 0);
+            let block =
+                DistributedRecoveryBlock::new(vec![primary, secondary]).with_majority_sync(3, 0);
             let cmp = block.compare();
             seq_total += cmp.sequential_time.as_secs_f64();
             if let (Some(ct), Some(s)) = (cmp.concurrent_time, cmp.speedup) {

@@ -1,0 +1,80 @@
+//! Speculation as a service: race two query strategies against a local
+//! `altxd` under a deadline.
+//!
+//! The daemon is started in-process on an ephemeral port (exactly what
+//! `bin/altxd` does behind its flag parsing), then a client sends RUN
+//! requests over real loopback TCP. Each request names a workload from
+//! the daemon's catalog; here `bimodal` plays the role of two query
+//! strategies — an index probe that is usually fast and a sequential
+//! scan with predictable-but-slow latency — and the reply says which
+//! strategy won and how long the race took.
+//!
+//! The per-request deadline is the serving analogue of the kernel's
+//! `alt_wait(timeout)` (§3.2): a budget that converts a too-slow race
+//! into an explicit DeadlineExceeded instead of a late answer.
+//!
+//! Run with: `cargo run --release --example serve_race`
+
+use altx_serve::frame::Response;
+use altx_serve::{start, Client, ServerConfig};
+
+fn main() {
+    let server = start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_depth: 32,
+    })
+    .expect("bind ephemeral port");
+    println!("daemon up on {}\n", server.local_addr());
+
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Phase 1: race the two strategies with a generous 2 s budget.
+    println!("{:<10} {:>12} {:>12}  winner", "query", "value", "latency");
+    let mut wins = [0u32; 8];
+    for arg in 0..12u64 {
+        match client.run("bimodal", arg, 2_000).expect("reply") {
+            Response::Ok {
+                winner,
+                winner_name,
+                latency_us,
+                value,
+            } => {
+                wins[winner as usize] += 1;
+                println!("q{arg:<9} {value:>12} {latency_us:>10}us  {winner_name}");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    println!(
+        "\nwin split across alternatives: {:?} — racing picked the faster\n\
+         strategy per input instead of betting on one up front.",
+        &wins[..2]
+    );
+
+    // Phase 2: an impossible budget. The 10-second sleep workload can
+    // never meet a 50 ms deadline; the daemon answers promptly with an
+    // explicit failure and the losing race observes cancellation.
+    match client.run("sleep", 10_000, 50).expect("reply") {
+        Response::DeadlineExceeded { latency_us } => {
+            println!(
+                "\nimpossible deadline: DeadlineExceeded after {}us (budget 50ms,\n\
+                 work 10s) — the blown budget is explicit, not late. ✓",
+                latency_us
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The connection is still healthy after a blown deadline.
+    match client.run("trivial", 7, 0).expect("reply") {
+        Response::Ok { value, .. } => assert_eq!(value, 7),
+        other => panic!("expected Ok, got {other:?}"),
+    }
+
+    println!("\nserver-side view of the session:");
+    print!("{}", client.stats().expect("stats"));
+
+    server.shutdown();
+    println!("daemon drained. ✓");
+}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# The full offline CI gate: build, test, format, and a live smoke run
+# of the serving daemon. No network access required beyond loopback.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release (tier-1) + workspace bins"
+cargo build --release
+cargo build --release --workspace
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> smoke: altxd + altx-load (2s, trivial workload)"
+SMOKE_ADDR=127.0.0.1:7979
+SMOKE_OUT=$(mktemp /tmp/altx-smoke.XXXXXX.json)
+./target/release/altxd --addr "$SMOKE_ADDR" --duration 4 &
+ALTXD_PID=$!
+trap 'kill "$ALTXD_PID" 2>/dev/null || true; rm -f "$SMOKE_OUT"' EXIT
+sleep 0.3
+./target/release/altx-load \
+    --addr "$SMOKE_ADDR" --workload trivial --clients 4 --duration 2 \
+    --out "$SMOKE_OUT"
+wait "$ALTXD_PID"
+grep -q '"requests"' "$SMOKE_OUT" || {
+    echo "smoke run produced no bench artifact" >&2
+    exit 1
+}
+rm -f "$SMOKE_OUT"
+trap - EXIT
+
+echo "==> CI gate passed"

@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-examples=(quickstart query_race recovery_blocks prolog_or multiple_worlds deadline_race)
+examples=(quickstart query_race recovery_blocks prolog_or multiple_worlds deadline_race serve_race)
 cargo build --release --examples
 
 for ex in "${examples[@]}"; do

@@ -144,7 +144,10 @@ fn branch_profiles_cover_all_clauses_and_sum_to_sequential_work() {
     let kb = KnowledgeBase::parse(GRAPH).unwrap();
     let profiles = profile_branches(&kb, "connected(b, x)").unwrap();
     assert_eq!(profiles.len(), 2, "one per connected/2 clause");
-    assert!(profiles.iter().all(|p| !p.succeeded), "query is unsatisfiable");
+    assert!(
+        profiles.iter().all(|p| !p.succeeded),
+        "query is unsatisfiable"
+    );
 
     // For a failing query, sequential DFS explores every branch fully,
     // so its step count matches the profile total (+ the top goal).

@@ -15,7 +15,11 @@ fn e2_paper_pi_table_analytic() {
     let expected = [1.33, 7.0, 0.8, 0.33, 1.0, 1.9];
     for (row, want) in paper_table().iter().zip(expected) {
         let got = performance_improvement(&row.times, &Overhead::total_of(row.overhead));
-        assert!((got - want).abs() < 0.01, "row {}: {got} vs {want}", row.row);
+        assert!(
+            (got - want).abs() < 0.01,
+            "row {}: {got} vs {want}",
+            row.row
+        );
     }
 }
 
@@ -34,8 +38,14 @@ fn e2_simulated_pi_tracks_analytic_ordering() {
         })
         .collect();
     // Rows 1, 2, 6 won on paper; rows 3, 4 lost; row 5 broke even.
-    assert!(measured[1] > measured[0], "big dispersion beats small: {measured:?}");
-    assert!(measured[3] < 1.0, "tiny times lose to overhead: {measured:?}");
+    assert!(
+        measured[1] > measured[0],
+        "big dispersion beats small: {measured:?}"
+    );
+    assert!(
+        measured[3] < 1.0,
+        "tiny times lose to overhead: {measured:?}"
+    );
     assert!(measured[5] > 1.0, "row 6 wins: {measured:?}");
     assert!(measured[2] < 1.0, "identical times lose: {measured:?}");
 }
@@ -118,5 +128,8 @@ fn overheads_scale_down_on_frictionless_hardware() {
         .with_dirty_pages(0);
     let pi = altx::engine::sim::measured_pi(&spec);
     let ideal = performance_improvement(&[100.0, 200.0, 300.0], &Overhead::default());
-    assert!((pi - ideal).abs() / ideal < 0.01, "pi {pi} vs ideal {ideal}");
+    assert!(
+        (pi - ideal).abs() / ideal < 0.01,
+        "pi {pi} vs ideal {ideal}"
+    );
 }

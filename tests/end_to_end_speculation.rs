@@ -30,14 +30,20 @@ fn winner_state_flows_through_nested_blocks_and_messages() {
             GuardSpec::Const(true),
             Program::new(vec![
                 Op::Compute(SimDuration::from_millis(40)),
-                Op::Write { addr: 0, data: b"slow-inner".to_vec() },
+                Op::Write {
+                    addr: 0,
+                    data: b"slow-inner".to_vec(),
+                },
             ]),
         ),
         Alternative::new(
             GuardSpec::Const(true),
             Program::new(vec![
                 Op::Compute(SimDuration::from_millis(5)),
-                Op::Write { addr: 0, data: b"fast-inner".to_vec() },
+                Op::Write {
+                    addr: 0,
+                    data: b"fast-inner".to_vec(),
+                },
             ]),
         ),
     ]);
@@ -51,7 +57,10 @@ fn winner_state_flows_through_nested_blocks_and_messages() {
         // After both blocks resolve, the parent is unconditional again
         // and may publish the result.
         Op::Read { addr: 0, len: 10 },
-        Op::Send { to: Target::Name("consumer".into()), payload: b"fast-inner".to_vec() },
+        Op::Send {
+            to: Target::Name("consumer".into()),
+            payload: b"fast-inner".to_vec(),
+        },
     ]);
 
     let consumer_pid = k.spawn(consumer, 4 * 1024);
@@ -59,8 +68,14 @@ fn winner_state_flows_through_nested_blocks_and_messages() {
     let report = k.run();
 
     assert!(report.deadlocked.is_empty(), "{:?}", report.deadlocked);
-    assert!(report.exit(producer_pid).expect("producer exits").is_success());
-    assert!(report.exit(consumer_pid).expect("consumer exits").is_success());
+    assert!(report
+        .exit(producer_pid)
+        .expect("producer exits")
+        .is_success());
+    assert!(report
+        .exit(consumer_pid)
+        .expect("consumer exits")
+        .is_success());
 
     // The producer's own memory holds the inner winner's state.
     let mut producer_space = k.space(producer_pid).expect("space").clone();
@@ -86,7 +101,10 @@ fn speculative_sender_worlds_resolve_to_a_single_consistent_receiver() {
 
     let losing_sender = Program::new(vec![
         // Sends early, then loses the race (finishes later than sibling).
-        Op::Send { to: Target::Name("rx".into()), payload: b"from-loser".to_vec() },
+        Op::Send {
+            to: Target::Name("rx".into()),
+            payload: b"from-loser".to_vec(),
+        },
         Op::Compute(SimDuration::from_millis(300)),
     ]);
     let winning_quiet = Program::new(vec![Op::Compute(SimDuration::from_millis(30))]);
@@ -104,7 +122,11 @@ fn speculative_sender_worlds_resolve_to_a_single_consistent_receiver() {
     );
     let report = k.run();
 
-    assert_eq!(report.block_outcomes(root)[0].winner, Some(1), "quiet alternate wins");
+    assert_eq!(
+        report.block_outcomes(root)[0].winner,
+        Some(1),
+        "quiet alternate wins"
+    );
     assert_eq!(report.stats.world_splits, 1);
 
     // The accepting world (which consumed the loser's message) must be
@@ -115,7 +137,11 @@ fn speculative_sender_worlds_resolve_to_a_single_consistent_receiver() {
         .trace()
         .iter()
         .filter_map(|e| match e {
-            TraceEvent::WorldSplit { accepting, rejecting, .. } => Some((*accepting, *rejecting)),
+            TraceEvent::WorldSplit {
+                accepting,
+                rejecting,
+                ..
+            } => Some((*accepting, *rejecting)),
             _ => None,
         })
         .collect();
@@ -131,7 +157,11 @@ fn speculative_sender_worlds_resolve_to_a_single_consistent_receiver() {
     // effect of the loser's message anywhere.
     assert!(report.deadlocked.contains(&rejecting));
     let mut space = k.space(rejecting).expect("surviving world").clone();
-    assert_eq!(space.read_vec(0, 10), vec![0; 10], "loser's payload never leaked");
+    assert_eq!(
+        space.read_vec(0, 10),
+        vec![0; 10],
+        "loser's payload never leaked"
+    );
 }
 
 #[test]
@@ -142,7 +172,10 @@ fn at_most_one_synchronization_per_block_under_heavy_contention() {
     let alts: Vec<Alternative> = (0..12)
         .map(|_| Alternative::new(GuardSpec::Const(true), Program::compute_ms(10)))
         .collect();
-    let root = k.spawn(Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]), 8 * 1024);
+    let root = k.spawn(
+        Program::new(vec![Op::AltBlock(AltBlockSpec::new(alts))]),
+        8 * 1024,
+    );
     let report = k.run();
 
     let syncs = report
@@ -154,7 +187,12 @@ fn at_most_one_synchronization_per_block_under_heavy_contention() {
     let terminated = report
         .trace()
         .iter()
-        .filter(|e| matches!(e, TraceEvent::Eliminated { .. } | TraceEvent::TooLate { .. }))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Eliminated { .. } | TraceEvent::TooLate { .. }
+            )
+        })
         .count();
     assert_eq!(terminated, 11);
     assert!(report.exit(root).expect("root exits").is_success());
@@ -169,7 +207,10 @@ fn guard_in_parent_and_child_agree() {
         let mut k = kernel();
         let mut spec = AltBlockSpec::new(vec![
             Alternative::new(
-                GuardSpec::MemByteEquals { addr: 0, expected: 9 },
+                GuardSpec::MemByteEquals {
+                    addr: 0,
+                    expected: 9,
+                },
                 Program::compute_ms(1),
             ),
             Alternative::new(GuardSpec::Const(true), Program::compute_ms(5)),
@@ -179,10 +220,7 @@ fn guard_in_parent_and_child_agree() {
         }
         let root = k.spawn(Program::new(vec![Op::AltBlock(spec)]), 4 * 1024);
         let report = k.run();
-        (
-            report.block_outcomes(root)[0].winner,
-            report.stats.forks,
-        )
+        (report.block_outcomes(root)[0].winner, report.stats.forks)
     };
     let (winner_checked, forks_checked) = run(true);
     let (winner_child, forks_child) = run(false);
@@ -193,21 +231,30 @@ fn guard_in_parent_and_child_agree() {
 
 #[test]
 fn elimination_policies_preserve_semantics() {
-    for policy in [EliminationPolicy::Synchronous, EliminationPolicy::Asynchronous] {
+    for policy in [
+        EliminationPolicy::Synchronous,
+        EliminationPolicy::Asynchronous,
+    ] {
         let mut k = kernel();
         let spec = AltBlockSpec::new(vec![
             Alternative::new(
                 GuardSpec::Const(true),
                 Program::new(vec![
                     Op::Compute(SimDuration::from_millis(5)),
-                    Op::Write { addr: 0, data: vec![1] },
+                    Op::Write {
+                        addr: 0,
+                        data: vec![1],
+                    },
                 ]),
             ),
             Alternative::new(
                 GuardSpec::Const(true),
                 Program::new(vec![
                     Op::Compute(SimDuration::from_millis(50)),
-                    Op::Write { addr: 0, data: vec![2] },
+                    Op::Write {
+                        addr: 0,
+                        data: vec![2],
+                    },
                 ]),
             ),
         ])

@@ -19,16 +19,26 @@ fn cascading_world_splits_leave_one_consistent_survivor() {
         Op::RegisterName("logger".into()),
         Op::Recv { reg: 0 },
         Op::WriteFromRegister { reg: 0, addr: 0 },
-        Op::SourcePull { source_id: 0, index: 0, reg: 1 },
+        Op::SourcePull {
+            source_id: 0,
+            index: 0,
+            reg: 1,
+        },
         Op::WriteFromRegister { reg: 1, addr: 64 },
     ]);
     let chatty_loser = Program::new(vec![
-        Op::Send { to: Target::Name("logger".into()), payload: b"loser-spoke".to_vec() },
+        Op::Send {
+            to: Target::Name("logger".into()),
+            payload: b"loser-spoke".to_vec(),
+        },
         Op::Compute(SimDuration::from_millis(300)),
     ]);
     let quiet_winner = Program::new(vec![
         Op::Compute(SimDuration::from_millis(40)),
-        Op::Send { to: Target::Name("logger".into()), payload: b"winner-word".to_vec() },
+        Op::Send {
+            to: Target::Name("logger".into()),
+            payload: b"winner-word".to_vec(),
+        },
     ]);
 
     let logger_pid = kernel.spawn(logger, 4 * 1024);
@@ -45,12 +55,20 @@ fn cascading_world_splits_leave_one_consistent_survivor() {
     let report = kernel.run();
 
     assert_eq!(report.block_outcomes(racer)[0].winner, Some(1));
-    assert_eq!(report.stats.world_splits, 2, "one split per speculative sender");
+    assert_eq!(
+        report.stats.world_splits, 2,
+        "one split per speculative sender"
+    );
 
     // Exactly one world of the logger's logical process completes.
     let mut worlds = std::collections::BTreeSet::from([logger_pid]);
     for e in report.trace() {
-        if let TraceEvent::WorldSplit { accepting, rejecting, .. } = e {
+        if let TraceEvent::WorldSplit {
+            accepting,
+            rejecting,
+            ..
+        } = e
+        {
             if worlds.contains(accepting) {
                 worlds.insert(*rejecting);
             }
@@ -85,7 +103,10 @@ fn winner_state_migrates_via_checkpoint() {
     let mut kernel = Kernel::new(KernelConfig::default());
     let winner_body = Program::new(vec![
         Op::Compute(SimDuration::from_millis(5)),
-        Op::Write { addr: 0, data: b"result-of-the-race".to_vec() },
+        Op::Write {
+            addr: 0,
+            data: b"result-of-the-race".to_vec(),
+        },
         Op::TouchPages { first: 2, count: 3 },
     ]);
     let root = kernel.spawn(
@@ -132,16 +153,29 @@ fn messages_to_dead_processes_are_dropped() {
     let short_lived = Program::new(vec![Op::RegisterName("flash".into())]);
     let sender = Program::new(vec![
         Op::Compute(SimDuration::from_millis(50)), // flash is long gone
-        Op::Send { to: Target::Name("flash".into()), payload: b"too late".to_vec() },
-        Op::Write { addr: 0, data: vec![1] },
+        Op::Send {
+            to: Target::Name("flash".into()),
+            payload: b"too late".to_vec(),
+        },
+        Op::Write {
+            addr: 0,
+            data: vec![1],
+        },
     ]);
     let flash = kernel.spawn(short_lived, 4 * 1024);
     let tx = kernel.spawn(sender, 4 * 1024);
     let report = kernel.run();
     assert!(report.exit(flash).expect("exits").is_success());
-    assert!(report.exit(tx).expect("sender exits").is_success(), "send to dead pid is not fatal");
+    assert!(
+        report.exit(tx).expect("sender exits").is_success(),
+        "send to dead pid is not fatal"
+    );
     let mut space = kernel.space(tx).expect("tx").clone();
-    assert_eq!(space.read_vec(0, 1), vec![1], "sender continued past the dead send");
+    assert_eq!(
+        space.read_vec(0, 1),
+        vec![1],
+        "sender continued past the dead send"
+    );
 }
 
 /// Two alternative blocks executed back-to-back by the same parent keep
@@ -154,7 +188,10 @@ fn sequential_blocks_in_one_process() {
         Op::AltBlock(AltBlockSpec::new(vec![
             Alternative::new(
                 GuardSpec::Const(true),
-                Program::new(vec![Op::Write { addr: 0, data: vec![1] }]),
+                Program::new(vec![Op::Write {
+                    addr: 0,
+                    data: vec![1],
+                }]),
             ),
             Alternative::new(GuardSpec::Const(true), Program::compute_ms(100)),
         ])),
@@ -162,7 +199,10 @@ fn sequential_blocks_in_one_process() {
             Alternative::new(GuardSpec::Const(false), Program::empty()),
             Alternative::new(
                 GuardSpec::Const(true),
-                Program::new(vec![Op::Write { addr: 1, data: vec![2] }]),
+                Program::new(vec![Op::Write {
+                    addr: 1,
+                    data: vec![2],
+                }]),
             ),
         ])),
     ]);
@@ -175,5 +215,9 @@ fn sequential_blocks_in_one_process() {
     assert_eq!(outcomes[0].block_seq, 0);
     assert_eq!(outcomes[1].block_seq, 1);
     let mut space = kernel.space(root).expect("root").clone();
-    assert_eq!(space.read_vec(0, 2), vec![1, 2], "both winners' state present");
+    assert_eq!(
+        space.read_vec(0, 2),
+        vec![1, 2],
+        "both winners' state present"
+    );
 }
