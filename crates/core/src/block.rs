@@ -11,6 +11,7 @@
 use crate::cancel::CancelToken;
 use altx_pager::AddressSpace;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
 
 /// The signature of an alternative's body: compute on a private COW fork
@@ -33,6 +34,29 @@ impl<R> BlockAlternative<R> {
     /// Runs the body on `workspace`.
     pub fn run(&self, workspace: &mut AddressSpace, token: &CancelToken) -> Option<R> {
         (self.body)(workspace, token)
+    }
+
+    /// Runs the body with panic containment: a panicking body is
+    /// reported as a failed guard (`None`) plus `panicked = true`,
+    /// instead of unwinding into the engine (and, under a threaded
+    /// engine, killing the racing thread).
+    ///
+    /// This is the paper's guard-fails semantics applied to crashes: an
+    /// alternative that dies is indistinguishable from one whose guard
+    /// was unsatisfied — its fork is discarded either way, so no
+    /// partially-mutated state can leak. `AssertUnwindSafe` is sound
+    /// here because the only state the closure can reach besides its
+    /// own captures is the fork, which the caller throws away on
+    /// failure.
+    pub fn run_contained(
+        &self,
+        workspace: &mut AddressSpace,
+        token: &CancelToken,
+    ) -> (Option<R>, bool) {
+        match catch_unwind(AssertUnwindSafe(|| self.run(workspace, token))) {
+            Ok(value) => (value, false),
+            Err(_) => (None, true),
+        }
     }
 }
 
@@ -123,6 +147,10 @@ pub struct BlockResult<R> {
     pub wall: Duration,
     /// How many alternative bodies were started.
     pub attempts: usize,
+    /// How many alternative bodies panicked and were contained (each is
+    /// also a failed attempt; a nonzero count with a successful block
+    /// means a *sibling* crashed and the race survived it).
+    pub panics: usize,
 }
 
 impl<R> BlockResult<R> {
@@ -170,6 +198,21 @@ mod tests {
     }
 
     #[test]
+    fn run_contained_converts_panic_to_failed_guard() {
+        let block: AltBlock<u8> = AltBlock::new()
+            .alternative("bomb", |_w, _t| panic!("kaboom"))
+            .alternative("fine", |_w, _t| Some(1));
+        let mut ws = AddressSpace::zeroed(16, PageSize::new(16));
+        let token = CancelToken::new();
+        let (value, panicked) = block.alternatives()[0].run_contained(&mut ws, &token);
+        assert_eq!(value, None);
+        assert!(panicked);
+        let (value, panicked) = block.alternatives()[1].run_contained(&mut ws, &token);
+        assert_eq!(value, Some(1));
+        assert!(!panicked);
+    }
+
+    #[test]
     fn empty_block_reports_empty() {
         let block: AltBlock<()> = AltBlock::new();
         assert!(block.is_empty());
@@ -184,6 +227,7 @@ mod tests {
             winner_name: Some("x".into()),
             wall: Duration::ZERO,
             attempts: 1,
+            panics: 0,
         };
         assert!(ok.succeeded());
         assert_eq!(ok.into_value(), 5);
@@ -193,6 +237,7 @@ mod tests {
             winner_name: None,
             wall: Duration::ZERO,
             attempts: 2,
+            panics: 1,
         };
         assert!(!failed.succeeded());
     }
@@ -206,6 +251,7 @@ mod tests {
             winner_name: None,
             wall: Duration::ZERO,
             attempts: 0,
+            panics: 0,
         };
         failed.into_value();
     }

@@ -171,4 +171,48 @@ mod tests {
         assert!(t.is_cancelled());
         assert!(t.deadline_expired());
     }
+
+    #[test]
+    fn deadline_in_the_past_expires_immediately() {
+        let past = Instant::now()
+            .checked_sub(Duration::from_secs(60))
+            .unwrap_or_else(Instant::now);
+        let t = CancelToken::with_deadline_at(past);
+        assert!(t.deadline_expired(), "a past deadline is already blown");
+        assert!(t.is_cancelled());
+        assert_eq!(t.checkpoint(), None);
+        assert_eq!(
+            t.remaining(),
+            Some(Duration::ZERO),
+            "remaining saturates, never underflows"
+        );
+        // A zero-budget relative deadline behaves the same way.
+        let z = CancelToken::with_deadline(Duration::ZERO);
+        assert!(z.is_cancelled());
+        assert_eq!(z.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn checkpoint_after_cancel_stays_none() {
+        let t = CancelToken::new();
+        assert_eq!(t.checkpoint(), Some(()));
+        t.cancel();
+        assert_eq!(t.checkpoint(), None);
+        // Cancellation is sticky: repeated polls and repeated cancels
+        // never resurrect the token.
+        t.cancel();
+        assert_eq!(t.checkpoint(), None);
+        assert_eq!(t.clone().checkpoint(), None, "clones see it too");
+    }
+
+    #[test]
+    fn remaining_saturates_at_zero_far_past_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(15));
+        // Repeated reads long after expiry keep returning exactly zero.
+        for _ in 0..3 {
+            assert_eq!(t.remaining(), Some(Duration::ZERO));
+        }
+        assert!(t.deadline_expired());
+    }
 }

@@ -134,16 +134,23 @@ impl Engine for AdaptiveEngine {
                 winner_name: None,
                 wall: start.elapsed(),
                 attempts: 0,
+                panics: 0,
             };
         }
         let token = CancelToken::new();
         let mut attempts = 0;
+        let mut panics = 0;
         for i in self.order(block.len()) {
             attempts += 1;
             let alt = &block.alternatives()[i];
             let attempt_start = Instant::now();
             let mut fork = workspace.cow_fork();
-            let value = alt.run(&mut fork, &token);
+            // Contained: a crash counts as a failure in the statistics,
+            // steering future selections away from crashy alternatives.
+            let (value, panicked) = alt.run_contained(&mut fork, &token);
+            if panicked {
+                panics += 1;
+            }
             let secs = attempt_start.elapsed().as_secs_f64();
             self.record(i, secs, value.is_none());
             if let Some(v) = value {
@@ -154,6 +161,7 @@ impl Engine for AdaptiveEngine {
                     winner_name: Some(alt.name().to_string()),
                     wall: start.elapsed(),
                     attempts,
+                    panics,
                 };
             }
         }
@@ -163,6 +171,7 @@ impl Engine for AdaptiveEngine {
             winner_name: None,
             wall: start.elapsed(),
             attempts,
+            panics,
         }
     }
 }

@@ -32,10 +32,18 @@ impl Engine for OrderedEngine {
         let start = Instant::now();
         let token = CancelToken::new(); // never cancelled: sequential
         let mut attempts = 0;
+        let mut panics = 0;
         for (i, alt) in block.alternatives().iter().enumerate() {
             attempts += 1;
             let mut fork = workspace.cow_fork();
-            if let Some(value) = alt.run(&mut fork, &token) {
+            // Contained: a crashing alternative is a failed guard, and
+            // the next alternative is tried — exactly the recovery-block
+            // error case this engine models.
+            let (value, panicked) = alt.run_contained(&mut fork, &token);
+            if panicked {
+                panics += 1;
+            }
+            if let Some(value) = value {
                 workspace.absorb(fork);
                 return BlockResult {
                     value: Some(value),
@@ -43,6 +51,7 @@ impl Engine for OrderedEngine {
                     winner_name: Some(alt.name().to_string()),
                     wall: start.elapsed(),
                     attempts,
+                    panics,
                 };
             }
             // Failure: drop the fork — implicit rollback.
@@ -53,6 +62,7 @@ impl Engine for OrderedEngine {
             winner_name: None,
             wall: start.elapsed(),
             attempts,
+            panics,
         }
     }
 }
@@ -122,5 +132,24 @@ mod tests {
         let r = OrderedEngine::new().execute(&block, &mut ws());
         assert!(!r.succeeded());
         assert_eq!(r.attempts, 0);
+    }
+
+    #[test]
+    fn crashing_alternative_falls_through_like_a_failed_guard() {
+        let block: AltBlock<i32> = AltBlock::new()
+            .alternative("crashes", |w, _t| {
+                w.write(0, &[0xEE]); // dirty write that must roll back
+                panic!("primary died")
+            })
+            .alternative("recovers", |w, _t| {
+                assert_eq!(w.read_vec(0, 1)[0], 0, "crash leaked state");
+                Some(11)
+            });
+        let mut workspace = ws();
+        let r = OrderedEngine::new().execute(&block, &mut workspace);
+        assert_eq!(r.value, Some(11));
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.panics, 1);
+        assert_eq!(r.attempts, 2);
     }
 }

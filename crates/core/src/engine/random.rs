@@ -52,13 +52,16 @@ impl Engine for RandomEngine {
                 winner_name: None,
                 wall: start.elapsed(),
                 attempts: 0,
+                panics: 0,
             };
         }
         let i = self.rng.lock().expect("rng lock").index(block.len());
         let alt = &block.alternatives()[i];
         let token = CancelToken::new();
         let mut fork = workspace.cow_fork();
-        let value = alt.run(&mut fork, &token);
+        // Scheme B commits to its arbitrary choice — a crash, like a
+        // failed guard, fails the block (contained, fork discarded).
+        let (value, panicked) = alt.run_contained(&mut fork, &token);
         let (winner, winner_name) = if value.is_some() {
             workspace.absorb(fork);
             (Some(i), Some(alt.name().to_string()))
@@ -71,6 +74,7 @@ impl Engine for RandomEngine {
             winner_name,
             wall: start.elapsed(),
             attempts: 1,
+            panics: usize::from(panicked),
         }
     }
 }

@@ -83,13 +83,16 @@ impl Engine for SelectorEngine {
                 winner_name: None,
                 wall: start.elapsed(),
                 attempts: 0,
+                panics: 0,
             };
         }
         let choice = (self.selector)(workspace).min(block.len() - 1);
         let alt = &block.alternatives()[choice];
         let token = CancelToken::new();
         let mut fork = workspace.cow_fork();
-        let value = alt.run(&mut fork, &token);
+        // Contained: a crashing prediction fails the block like a
+        // misprediction, with the fork discarded.
+        let (value, panicked) = alt.run_contained(&mut fork, &token);
         let (winner, winner_name) = if value.is_some() {
             workspace.absorb(fork);
             (Some(choice), Some(alt.name().to_string()))
@@ -105,6 +108,7 @@ impl Engine for SelectorEngine {
             winner_name,
             wall: start.elapsed(),
             attempts: 1,
+            panics: usize::from(panicked),
         }
     }
 }

@@ -3,8 +3,10 @@
 use crate::block::{AltBlock, BlockResult};
 use crate::cancel::CancelToken;
 use crate::engine::Engine;
+use crate::faults;
 use crate::sync::Semaphore;
 use altx_pager::AddressSpace;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
@@ -78,6 +80,7 @@ impl ThreadedEngine {
                 winner_name: None,
                 wall: start.elapsed(),
                 attempts: 0,
+                panics: 0,
             };
         }
 
@@ -88,6 +91,7 @@ impl ThreadedEngine {
         // frees; the winner's cancellation drains queued starters fast
         // (they check the token before doing any work).
         let semaphore = Semaphore::new(slots);
+        let panics = AtomicUsize::new(0);
 
         let winner_slot = std::thread::scope(|scope| {
             for (i, alt) in block.alternatives().iter().enumerate() {
@@ -95,14 +99,50 @@ impl ThreadedEngine {
                 let tx = tx.clone();
                 let token = token.clone();
                 let semaphore = &semaphore;
+                let panics = &panics;
                 scope.spawn(move || {
                     // Wait for an execution slot (bounded concurrency).
                     semaphore.acquire();
                     let value = if token.is_cancelled() {
                         None // race already decided: never start
                     } else {
-                        alt.run(&mut fork, &token)
+                        // Containment: a panicking body — or an
+                        // injected panic — is a failed guard, not a
+                        // dead racing thread (a scoped thread's panic
+                        // would otherwise re-raise at scope exit and
+                        // kill the whole race). The fault site sits
+                        // inside the contained region for exactly that
+                        // reason.
+                        use std::panic::{catch_unwind, AssertUnwindSafe};
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            if faults::enabled()
+                                && faults::inject(
+                                    &format!("engine.alt.{}", alt.name()),
+                                    Some(&token),
+                                ) == faults::Verdict::Fail
+                            {
+                                return None; // injected guard failure
+                            }
+                            alt.run(&mut fork, &token)
+                        }));
+                        match outcome {
+                            Ok(v) => v,
+                            Err(_) => {
+                                panics.fetch_add(1, Ordering::Relaxed);
+                                None
+                            }
+                        }
                     };
+                    // Sibling elimination at the source: any success
+                    // decides the race (selection among multiple
+                    // successes is still arrival order at the receiver),
+                    // and cancelling *before* the permit is released
+                    // guarantees a queued alternative acquiring this
+                    // slot sees the decision — not a window where the
+                    // slot is free but the token not yet cancelled.
+                    if value.is_some() {
+                        token.cancel();
+                    }
                     semaphore.release();
                     // A closed channel just means the race is over.
                     let _ = tx.send((i, value, fork));
@@ -125,6 +165,7 @@ impl ThreadedEngine {
             winner
         });
 
+        let panics = panics.load(Ordering::Relaxed);
         match winner_slot {
             Some((i, value, fork)) => {
                 // alt_wait absorption: the winner's page map becomes ours.
@@ -135,6 +176,7 @@ impl ThreadedEngine {
                     winner_name: Some(block.alternatives()[i].name().to_string()),
                     wall: start.elapsed(),
                     attempts: block.len(),
+                    panics,
                 }
             }
             None => BlockResult {
@@ -143,6 +185,7 @@ impl ThreadedEngine {
                 winner_name: None,
                 wall: start.elapsed(),
                 attempts: block.len(),
+                panics,
             },
         }
     }
@@ -311,6 +354,40 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_rejected() {
         ThreadedEngine::with_max_threads(0);
+    }
+
+    #[test]
+    fn panicking_sibling_is_contained_and_race_survives() {
+        let block: AltBlock<i32> = AltBlock::new()
+            .alternative("bomb", |_w, _t| panic!("injected body crash"))
+            .alternative("steady", |_w, _t| Some(7));
+        let mut workspace = ws();
+        let r = ThreadedEngine::new().execute(&block, &mut workspace);
+        assert_eq!(r.value, Some(7), "survivor's value is kept");
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.panics, 1, "the crash was observed and contained");
+    }
+
+    #[test]
+    fn all_panicking_alternatives_fail_the_block_cleanly() {
+        let block: AltBlock<i32> = AltBlock::new()
+            .alternative("b1", |w, _t| {
+                w.write(0, &[1]);
+                panic!("crash one")
+            })
+            .alternative("b2", |w, _t| {
+                w.write(0, &[2]);
+                panic!("crash two")
+            });
+        let mut workspace = ws();
+        let r = ThreadedEngine::new().execute(&block, &mut workspace);
+        assert!(!r.succeeded(), "all-crash block fails like all-guards-fail");
+        assert_eq!(r.panics, 2);
+        assert_eq!(
+            workspace.read_vec(0, 1),
+            vec![0],
+            "no crashed fork's writes leak"
+        );
     }
 
     #[test]

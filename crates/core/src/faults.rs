@@ -1,0 +1,437 @@
+//! Deterministic, seeded fault injection for the racing and serving
+//! layers.
+//!
+//! The paper's premise is that alternatives *fail* — a guard is
+//! unsatisfied, a sibling is eliminated, a machine dies — and the
+//! survivor must still present clean sequential semantics (§5 frames
+//! this as recovery blocks). This module makes those failures
+//! *manufacturable*: a [`FaultPlan`] built from a seed decides, at named
+//! **sites** on the execution path, whether to inject a panic, a delay,
+//! a spurious cancellation, or a forced alternative failure. Every
+//! decision is drawn from a per-site deterministic stream, so a soak run
+//! under seed `S` injects the same fault sequence at each site every
+//! time — failures become replayable test inputs rather than flakes.
+//!
+//! Sites in this workspace:
+//!
+//! | site | layer | faults honored |
+//! |---|---|---|
+//! | `engine.alt.<name>` | `ThreadedEngine`, per alternative | panic, delay, cancel, fail |
+//! | `pool.job` | `WorkerPool`, per job | panic, delay, fail |
+//! | `pool.worker` | `WorkerPool`, per queue pop | panic (kills the thread) |
+//!
+//! A plan is installed process-globally with [`install`] and removed
+//! with [`clear`]. With no plan installed, [`inject`] is a single
+//! relaxed atomic load — the layer compiles to near-zero overhead on the
+//! hot path. Install a plan only from a test or binary that owns the
+//! process (the chaos soak test lives in its own test binary for exactly
+//! this reason).
+
+use crate::cancel::CancelToken;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic at the site (`panic!`); the surrounding layer must contain
+    /// it — a dead worker or poisoned race is a containment bug, and the
+    /// chaos soak exists to catch it.
+    Panic,
+    /// Sleep for the carried duration before proceeding: models a slow
+    /// disk, a GC pause, a cold cache.
+    Delay(Duration),
+    /// Cancel the site's [`CancelToken`]: a spurious elimination signal,
+    /// as if a sibling had already won or the caller gave up.
+    Cancel,
+    /// Force the alternative to fail (guard-unsatisfied semantics)
+    /// without running it.
+    Fail,
+}
+
+impl Fault {
+    fn kind_index(self) -> usize {
+        match self {
+            Fault::Panic => 0,
+            Fault::Delay(_) => 1,
+            Fault::Cancel => 2,
+            Fault::Fail => 3,
+        }
+    }
+}
+
+/// What a call site must do after consulting the plan. Panics and
+/// delays are handled inside [`inject`]; the verdict only carries what
+/// the caller itself has to act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Proceed normally.
+    Continue,
+    /// Treat the alternative/job as failed without running it.
+    Fail,
+}
+
+/// Per-kind injection probabilities and the seed they are drawn under.
+///
+/// Probabilities are evaluated in order panic → delay → cancel → fail
+/// against one uniform draw per site visit, so their sum is the total
+/// injection rate (values summing above 1.0 saturate).
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for every per-site decision stream.
+    pub seed: u64,
+    /// Probability of [`Fault::Panic`] per site visit.
+    pub p_panic: f64,
+    /// Probability of [`Fault::Delay`] per site visit.
+    pub p_delay: f64,
+    /// Probability of [`Fault::Cancel`] per site visit.
+    pub p_cancel: f64,
+    /// Probability of [`Fault::Fail`] per site visit.
+    pub p_fail: f64,
+    /// Upper bound for injected delays (drawn uniformly in `0..max`).
+    pub max_delay: Duration,
+}
+
+impl FaultConfig {
+    /// A quiet plan: nothing fires. Useful as a base for builders.
+    pub fn quiet(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            p_panic: 0.0,
+            p_delay: 0.0,
+            p_cancel: 0.0,
+            p_fail: 0.0,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+
+    /// The standard chaos-soak mix: roughly 30% of site visits are
+    /// faulted, split across all four kinds, with short delays so soaks
+    /// stay fast.
+    pub fn chaos(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            p_panic: 0.08,
+            p_delay: 0.08,
+            p_cancel: 0.04,
+            p_fail: 0.10,
+            max_delay: Duration::from_millis(3),
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.p_panic + self.p_delay + self.p_cancel + self.p_fail
+    }
+}
+
+/// A seeded fault plan plus its injection counters.
+///
+/// Each site gets its own decision stream: visit `n` of site `s` hashes
+/// `(seed, s, n)`, so the fault sequence a site sees depends only on
+/// the seed and how many times that site has been visited — not on how
+/// threads interleave across sites.
+#[derive(Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    /// Per-site visit counters (site name → visits so far).
+    site_seq: Mutex<BTreeMap<String, u64>>,
+    /// Injections per fault kind, indexed by [`Fault::kind_index`].
+    injected: [AtomicU64; 4],
+}
+
+impl FaultPlan {
+    /// Builds a plan from a config.
+    pub fn new(cfg: FaultConfig) -> Arc<Self> {
+        Arc::new(FaultPlan {
+            cfg,
+            site_seq: Mutex::new(BTreeMap::new()),
+            injected: Default::default(),
+        })
+    }
+
+    /// Shorthand: the [`FaultConfig::chaos`] mix under `seed`.
+    pub fn chaos(seed: u64) -> Arc<Self> {
+        FaultPlan::new(FaultConfig::chaos(seed))
+    }
+
+    /// The plan's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Total faults injected so far, all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Faults of one kind injected so far (`Delay`'s duration is
+    /// ignored for matching).
+    pub fn injected_of(&self, kind: Fault) -> u64 {
+        self.injected[kind.kind_index()].load(Ordering::Relaxed)
+    }
+
+    /// Decides the fault (if any) for the next visit of `site`, and
+    /// counts it. Deterministic per `(seed, site, visit-number)`.
+    pub fn decide(&self, site: &str) -> Option<Fault> {
+        let seq = {
+            let mut sites = self.site_seq.lock().unwrap_or_else(PoisonError::into_inner);
+            let n = sites.entry(site.to_owned()).or_insert(0);
+            let seq = *n;
+            *n += 1;
+            seq
+        };
+        let raw = splitmix(self.cfg.seed ^ fnv1a(site) ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = uniform(raw);
+        if self.cfg.total() <= 0.0 {
+            return None;
+        }
+        // One uniform draw against the stacked probability edges.
+        let mut edge = 0.0;
+        let mut hits = |p: f64| {
+            edge += p;
+            u < edge
+        };
+        let fault = if hits(self.cfg.p_panic) {
+            Fault::Panic
+        } else if hits(self.cfg.p_delay) {
+            // A second draw picks the delay length, still deterministic.
+            let frac = uniform(splitmix(raw ^ 0xD31A));
+            Fault::Delay(self.cfg.max_delay.mul_f64(frac))
+        } else if hits(self.cfg.p_cancel) {
+            Fault::Cancel
+        } else if hits(self.cfg.p_fail) {
+            Fault::Fail
+        } else {
+            return None;
+        };
+        self.injected[fault.kind_index()].fetch_add(1, Ordering::Relaxed);
+        Some(fault)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn uniform(raw: u64) -> f64 {
+    (raw >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// ---------------------------------------------------------------------
+// Process-global installation.
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static REGISTRY: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `plan` process-globally; replaces any previous plan.
+pub fn install(plan: Arc<FaultPlan>) {
+    *registry().lock().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the installed plan; injection sites return to the
+/// single-atomic-load fast path.
+pub fn clear() {
+    ACTIVE.store(false, Ordering::Release);
+    *registry().lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// True iff a plan is installed. One relaxed load — this is the hot-path
+/// guard call sites use before doing any per-site work (such as
+/// formatting a site name).
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// The currently installed plan, if any.
+pub fn current() -> Option<Arc<FaultPlan>> {
+    if !enabled() {
+        return None;
+    }
+    registry()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Total faults injected by the installed plan (0 when none).
+pub fn injected_total() -> u64 {
+    current().map_or(0, |p| p.injected_total())
+}
+
+/// Uninstalls the plan when dropped — keeps a panicking test from
+/// leaking chaos into the rest of the process.
+#[derive(Debug)]
+pub struct InstallGuard(());
+
+/// Installs `plan` and returns a guard that [`clear`]s it on drop.
+#[must_use = "dropping the guard immediately uninstalls the plan"]
+pub fn install_guarded(plan: Arc<FaultPlan>) -> InstallGuard {
+    install(plan);
+    InstallGuard(())
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Consults the plan at `site`, handling panics and delays in place.
+///
+/// With no plan installed this is one relaxed atomic load. Otherwise:
+/// `Panic` faults panic right here (the caller's containment layer must
+/// absorb it), `Delay` sleeps and continues, `Cancel` cancels `token`
+/// (if one was passed) and continues, and `Fail` is returned as
+/// [`Verdict::Fail`] for the caller to act on.
+#[inline]
+pub fn inject(site: &str, token: Option<&CancelToken>) -> Verdict {
+    if !enabled() {
+        return Verdict::Continue;
+    }
+    inject_slow(site, token)
+}
+
+#[cold]
+fn inject_slow(site: &str, token: Option<&CancelToken>) -> Verdict {
+    let Some(plan) = current() else {
+        return Verdict::Continue;
+    };
+    match plan.decide(site) {
+        None => Verdict::Continue,
+        Some(Fault::Panic) => panic!("altx-faults: injected panic at {site}"),
+        Some(Fault::Delay(d)) => {
+            std::thread::sleep(d);
+            Verdict::Continue
+        }
+        Some(Fault::Cancel) => {
+            if let Some(t) = token {
+                t.cancel();
+            }
+            Verdict::Continue
+        }
+        Some(Fault::Fail) => Verdict::Fail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_never_fires() {
+        let plan = FaultPlan::new(FaultConfig::quiet(7));
+        for _ in 0..500 {
+            assert_eq!(plan.decide("engine.alt.x"), None);
+        }
+        assert_eq!(plan.injected_total(), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_site() {
+        let a = FaultPlan::new(FaultConfig::chaos(42));
+        let b = FaultPlan::new(FaultConfig::chaos(42));
+        let seq_a: Vec<_> = (0..200).map(|_| a.decide("pool.job")).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.decide("pool.job")).collect();
+        assert_eq!(seq_a, seq_b);
+
+        let c = FaultPlan::new(FaultConfig::chaos(43));
+        let seq_c: Vec<_> = (0..200).map(|_| c.decide("pool.job")).collect();
+        assert_ne!(seq_a, seq_c, "different seed, different stream");
+    }
+
+    #[test]
+    fn sites_have_independent_streams() {
+        let plan = FaultPlan::new(FaultConfig::chaos(9));
+        let s1: Vec<_> = (0..100).map(|_| plan.decide("site.one")).collect();
+        let plan2 = FaultPlan::new(FaultConfig::chaos(9));
+        let s2: Vec<_> = (0..100).map(|_| plan2.decide("site.two")).collect();
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn injection_rate_tracks_configured_probability() {
+        let plan = FaultPlan::new(FaultConfig::chaos(1));
+        let fired = (0..2000).filter(|_| plan.decide("rate").is_some()).count();
+        // chaos() totals 0.30; allow generous slack.
+        assert!((400..800).contains(&fired), "fired {fired} of 2000");
+        assert_eq!(plan.injected_total(), fired as u64);
+    }
+
+    #[test]
+    fn per_kind_counters_sum_to_total() {
+        let plan = FaultPlan::new(FaultConfig::chaos(5));
+        for _ in 0..1000 {
+            let _ = plan.decide("kinds");
+        }
+        let by_kind = plan.injected_of(Fault::Panic)
+            + plan.injected_of(Fault::Delay(Duration::ZERO))
+            + plan.injected_of(Fault::Cancel)
+            + plan.injected_of(Fault::Fail);
+        assert_eq!(by_kind, plan.injected_total());
+        assert!(plan.injected_of(Fault::Panic) > 0);
+        assert!(plan.injected_of(Fault::Fail) > 0);
+    }
+
+    #[test]
+    fn delays_respect_max_delay() {
+        let mut cfg = FaultConfig::quiet(3);
+        cfg.p_delay = 1.0;
+        cfg.max_delay = Duration::from_millis(7);
+        let plan = FaultPlan::new(cfg);
+        for _ in 0..100 {
+            match plan.decide("delays") {
+                Some(Fault::Delay(d)) => assert!(d <= Duration::from_millis(7)),
+                other => panic!("expected Delay, got {other:?}"),
+            }
+        }
+    }
+
+    // The install/clear global is exercised in one test to avoid
+    // cross-test interference inside this binary.
+    #[test]
+    fn global_install_roundtrip() {
+        assert_eq!(inject("nothing.installed", None), Verdict::Continue);
+        assert_eq!(injected_total(), 0);
+
+        let mut cfg = FaultConfig::quiet(11);
+        cfg.p_fail = 1.0;
+        {
+            let _guard = install_guarded(FaultPlan::new(cfg));
+            assert!(enabled());
+            assert_eq!(inject("always.fails", None), Verdict::Fail);
+            assert!(injected_total() >= 1);
+
+            let mut cancel_cfg = FaultConfig::quiet(12);
+            cancel_cfg.p_cancel = 1.0;
+            install(FaultPlan::new(cancel_cfg));
+            let token = CancelToken::new();
+            assert_eq!(inject("always.cancels", Some(&token)), Verdict::Continue);
+            assert!(token.is_cancelled(), "cancel fault fired the token");
+        }
+        assert!(!enabled(), "guard uninstalls on drop");
+        assert!(current().is_none());
+    }
+}

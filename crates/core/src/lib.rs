@@ -49,6 +49,7 @@
 pub mod block;
 pub mod cancel;
 pub mod engine;
+pub mod faults;
 #[macro_use]
 pub mod macros;
 pub mod perf;

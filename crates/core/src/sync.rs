@@ -5,9 +5,18 @@
 //! rather than pull in a dependency for two well-understood structures,
 //! they live here on `Mutex` + `Condvar`. Both are deliberately boring:
 //! correctness and drainability (for graceful shutdown) over raw speed.
+//!
+//! Both primitives **recover from lock poisoning** rather than
+//! propagating it: their invariants are re-established before every
+//! unlock (a push/pop/count update completes or doesn't happen), so a
+//! panic elsewhere on a thread that once held the lock cannot leave the
+//! state half-mutated. Propagating the poison would instead let one
+//! contained panic anywhere in the process wedge shutdown paths — the
+//! serving layer's drain guarantee depends on `close`/`pop` never
+//! panicking.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// A counting semaphore: [`acquire`](Semaphore::acquire) blocks while the
@@ -33,16 +42,19 @@ impl Semaphore {
 
     /// Blocks until a permit is available, then takes it.
     pub fn acquire(&self) {
-        let mut count = self.count.lock().expect("semaphore poisoned");
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
         while *count == 0 {
-            count = self.available.wait(count).expect("semaphore poisoned");
+            count = self
+                .available
+                .wait(count)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         *count -= 1;
     }
 
     /// Returns one permit.
     pub fn release(&self) {
-        let mut count = self.count.lock().expect("semaphore poisoned");
+        let mut count = self.count.lock().unwrap_or_else(PoisonError::into_inner);
         *count += 1;
         drop(count);
         self.available.notify_one();
@@ -104,7 +116,7 @@ impl<T> BoundedQueue<T> {
     /// [`QueueError::Full`] at capacity (the item is handed back),
     /// [`QueueError::Closed`] after [`close`](Self::close).
     pub fn push(&self, item: T) -> Result<(), (T, QueueError)> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if state.closed {
             return Err((item, QueueError::Closed));
         }
@@ -124,7 +136,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`QueueError::Closed`] after close-and-drain; never `Full`.
     pub fn pop(&self) -> Result<T, QueueError> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Ok(item);
@@ -132,7 +144,10 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return Err(QueueError::Closed);
             }
-            state = self.items_available.wait(state).expect("queue poisoned");
+            state = self
+                .items_available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -143,7 +158,7 @@ impl<T> BoundedQueue<T> {
     ///
     /// [`QueueError::Closed`] after close-and-drain.
     pub fn pop_timeout(&self, timeout: Duration) -> Result<Option<T>, QueueError> {
-        let mut state = self.inner.lock().expect("queue poisoned");
+        let mut state = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Ok(Some(item));
@@ -154,7 +169,7 @@ impl<T> BoundedQueue<T> {
             let (next, waited) = self
                 .items_available
                 .wait_timeout(state, timeout)
-                .expect("queue poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
             state = next;
             if waited.timed_out() {
                 return Ok(state.items.pop_front());
@@ -164,7 +179,11 @@ impl<T> BoundedQueue<T> {
 
     /// Current backlog length.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
     }
 
     /// True iff no items are queued.
@@ -175,7 +194,10 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: future `push`es fail, consumers drain what was
     /// already admitted and then see `Closed`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue poisoned").closed = true;
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
         self.items_available.notify_all();
     }
 }

@@ -3,14 +3,19 @@
 //! ```text
 //! altx-load [--addr HOST:PORT] [--workload NAME] [--clients N]
 //!           [--duration SECS] [--deadline-ms N] [--out FILE.json]
+//!           [--retries N] [--hedge-ms N]
 //! ```
 //!
 //! Spawns `N` client threads, each with its own connection, issuing
 //! requests back-to-back (one outstanding request per connection) for
-//! the given duration. Prints a summary table and writes a JSON report
-//! — throughput, p50/p99 latency, reply mix, and per-alternative win
-//! counts — to `--out` (default `BENCH_serve_throughput.json`).
+//! the given duration. `--retries` enables the client's retry policy
+//! (N attempts per call with backoff); `--hedge-ms` arms a hedged
+//! second attempt after that many milliseconds. Prints a summary table
+//! and writes a JSON report — throughput, p50/p99 latency, reply mix,
+//! per-alternative win counts, and resilience counters — to `--out`
+//! (default `BENCH_serve_throughput.json`).
 
+use altx_serve::client::{ClientConfig, RetryPolicy};
 use altx_serve::frame::Response;
 use altx_serve::Client;
 use std::collections::BTreeMap;
@@ -25,6 +30,24 @@ struct Args {
     duration_s: u64,
     deadline_ms: u32,
     out: String,
+    retries: u32,
+    hedge_ms: u64,
+}
+
+impl Args {
+    /// Client config implied by the resilience flags.
+    fn client_config(&self, seed: u64) -> ClientConfig {
+        ClientConfig {
+            retry: (self.retries > 0).then(|| RetryPolicy {
+                max_attempts: self.retries.max(1),
+                budget: u32::MAX, // the run is time-bounded, not budget-bounded
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            }),
+            hedge_delay: (self.hedge_ms > 0).then(|| Duration::from_millis(self.hedge_ms)),
+            ..ClientConfig::default()
+        }
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         duration_s: 5,
         deadline_ms: 0,
         out: "BENCH_serve_throughput.json".to_owned(),
+        retries: 0,
+        hedge_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,10 +83,21 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--deadline-ms: {e}"))?
             }
             "--out" => args.out = value("--out")?,
+            "--retries" => {
+                args.retries = value("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--hedge-ms" => {
+                args.hedge_ms = value("--hedge-ms")?
+                    .parse()
+                    .map_err(|e| format!("--hedge-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
-                     [--duration SECS] [--deadline-ms N] [--out FILE.json]"
+                     [--duration SECS] [--deadline-ms N] [--out FILE.json] \
+                     [--retries N] [--hedge-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -79,6 +115,9 @@ struct ClientReport {
     deadline_exceeded: u64,
     overloaded: u64,
     errors: u64,
+    retries: u64,
+    hedges: u64,
+    reconnects: u64,
     wins: BTreeMap<String, u64>,
 }
 
@@ -86,10 +125,12 @@ fn client_loop(
     addr: &str,
     workload: &str,
     deadline_ms: u32,
+    config: ClientConfig,
     seed: u64,
     stop: &AtomicBool,
 ) -> Result<ClientReport, String> {
-    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut client =
+        Client::connect_with(addr, config).map_err(|e| format!("connect {addr}: {e}"))?;
     let mut report = ClientReport::default();
     let mut arg = seed;
     while !stop.load(Ordering::Relaxed) {
@@ -117,6 +158,10 @@ fn client_loop(
             Response::Text { .. } => return Err("unexpected text reply".to_owned()),
         }
     }
+    let stats = client.stats();
+    report.retries = stats.retries();
+    report.hedges = stats.hedges();
+    report.reconnects = stats.reconnects();
     Ok(report)
 }
 
@@ -149,8 +194,10 @@ fn main() {
             let workload = args.workload.clone();
             let stop = Arc::clone(&stop);
             let deadline_ms = args.deadline_ms;
+            let seed = 0x5eed + i as u64;
+            let config = args.client_config(seed);
             std::thread::spawn(move || {
-                client_loop(&addr, &workload, deadline_ms, 0x5eed + i as u64, &stop)
+                client_loop(&addr, &workload, deadline_ms, config, seed, &stop)
             })
         })
         .collect();
@@ -166,6 +213,9 @@ fn main() {
                 merged.deadline_exceeded += r.deadline_exceeded;
                 merged.overloaded += r.overloaded;
                 merged.errors += r.errors;
+                merged.retries += r.retries;
+                merged.hedges += r.hedges;
+                merged.reconnects += r.reconnects;
                 for (name, n) in r.wins {
                     *merged.wins.entry(name).or_insert(0) += n;
                 }
@@ -195,6 +245,12 @@ fn main() {
     println!("  errors              {}", merged.errors);
     println!("  throughput          {throughput:.0} req/s");
     println!("  latency us          p50 {p50}  p99 {p99}");
+    if merged.retries + merged.hedges + merged.reconnects > 0 {
+        println!(
+            "  resilience          retries {}  hedges {}  reconnects {}",
+            merged.retries, merged.hedges, merged.reconnects
+        );
+    }
     for (name, n) in &merged.wins {
         println!("  wins[{name}]  {n}");
     }
@@ -207,6 +263,7 @@ fn main() {
         "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"duration_s\": {:.3},\n  \
          \"deadline_ms\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
          \"deadline_exceeded\": {},\n  \"overloaded\": {},\n  \"errors\": {},\n  \
+         \"client_retries\": {},\n  \"client_hedges\": {},\n  \"client_reconnects\": {},\n  \
          \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
          \"wins\": {{\n{}\n  }}\n}}\n",
         json_escape(&args.workload),
@@ -218,6 +275,9 @@ fn main() {
         merged.deadline_exceeded,
         merged.overloaded,
         merged.errors,
+        merged.retries,
+        merged.hedges,
+        merged.reconnects,
         throughput,
         p50,
         p99,

@@ -1,30 +1,311 @@
-//! Blocking client for the daemon's framed protocol.
+//! Blocking client for the daemon's framed protocol, with timeouts,
+//! retries, and optional request hedging.
+//!
+//! The bare [`Client::connect`] is already defensive: every socket gets
+//! connect/read/write timeouts so a dead or wedged daemon surfaces as a
+//! timed-out [`FrameError::Io`] instead of a hang. Resilience beyond
+//! that is opt-in via [`ClientConfig`]:
+//!
+//! * a [`RetryPolicy`] re-issues calls that failed *retryably* — an
+//!   `Overloaded` shed or a transport error — with exponential backoff,
+//!   deterministic jitter, and a per-client retry **budget** so a
+//!   persistently sick server cannot trap the client in backoff forever;
+//! * a **hedge delay** races a second attempt on a fresh connection when
+//!   the first reply is slow — the paper's Scheme A ("initiate both,
+//!   first answer wins") applied at the RPC layer, where the mutually
+//!   exclusive alternatives are two sends of the same idempotent request.
+//!
+//! Every retry, hedge, and reconnect is counted in [`ClientStats`] so
+//! load generators can report how much resilience machinery actually
+//! fired.
 
 use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// When and how aggressively to retry a failed call.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per call, including the first (min 1).
+    pub max_attempts: u32,
+    /// Backoff before retry `n` is `base_backoff · 2^(n-1)` plus jitter.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Retries available over the client's whole lifetime. Once spent,
+    /// failures return immediately — a sick server can't hold every
+    /// caller in backoff.
+    pub budget: u32,
+    /// Seed for the deterministic jitter stream (reproducible runs).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            budget: 64,
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// Connection and resilience knobs for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-address connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout (`None` = block forever; the default is
+    /// bounded so a silent daemon can't hang the caller).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Retry policy; `None` disables retries (one attempt per call).
+    pub retry: Option<RetryPolicy>,
+    /// If set, a call whose reply hasn't arrived after this long sends
+    /// the same request once more on a fresh connection and takes
+    /// whichever reply lands first.
+    pub hedge_delay: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            retry: None,
+            hedge_delay: None,
+        }
+    }
+}
+
+/// Counters for how often the resilience machinery fired.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl ClientStats {
+    /// Calls re-issued after a retryable failure.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Hedged second attempts launched.
+    pub fn hedges(&self) -> u64 {
+        self.hedges.load(Ordering::Relaxed)
+    }
+
+    /// Fresh connections opened after the first (reconnects + hedges).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+}
 
 /// One connection to an `altxd` daemon. Requests are synchronous: one
-/// outstanding request per connection, replies in order.
+/// outstanding request per connection, replies in order. (Hedging may
+/// briefly hold a second connection; the loser is discarded, never
+/// reused.)
 pub struct Client {
-    stream: TcpStream,
+    stream: Option<TcpStream>,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    stats: Arc<ClientStats>,
+    budget_left: u32,
+    jitter: u64,
 }
 
 impl Client {
-    /// Connects to a daemon.
+    /// Connects with default timeouts and no retries.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Self::connect_with(addr, ClientConfig::default())
     }
 
-    /// Sends a request and waits for its reply.
-    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
-        write_frame(&mut self.stream, &request.encode())?;
-        match read_frame(&mut self.stream)? {
-            Some(body) => Response::decode(&body),
-            None => Err(FrameError::Truncated),
+    /// Connects with explicit configuration.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            ));
         }
+        let stream = open_stream(&addrs, &config)?;
+        let (budget_left, jitter) = config
+            .retry
+            .as_ref()
+            .map_or((0, 0), |r| (r.budget, splitmix(r.jitter_seed)));
+        Ok(Client {
+            stream: Some(stream),
+            addrs,
+            config,
+            stats: Arc::new(ClientStats::default()),
+            budget_left,
+            jitter,
+        })
+    }
+
+    /// The client's resilience counters (shared; stays readable while
+    /// calls are in flight).
+    pub fn stats(&self) -> Arc<ClientStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Sends a request and waits for its reply, retrying and hedging
+    /// per the client's [`ClientConfig`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, FrameError> {
+        let max_attempts = self
+            .config
+            .retry
+            .as_ref()
+            .map_or(1, |r| r.max_attempts.max(1));
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self.attempt(request);
+            let retryable = match &result {
+                Ok(Response::Overloaded) => true,
+                Ok(_) => return result,
+                // A dead/slow transport is worth a fresh connection; a
+                // protocol violation (Malformed/Oversized) is not.
+                Err(FrameError::Io(_) | FrameError::Truncated) => true,
+                Err(_) => return result,
+            };
+            debug_assert!(retryable);
+            if attempt >= max_attempts || self.budget_left == 0 {
+                return result;
+            }
+            self.budget_left -= 1;
+            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+            self.backoff(attempt);
+        }
+    }
+
+    /// One try: plain exchange, or a hedged one if configured.
+    fn attempt(&mut self, request: &Request) -> Result<Response, FrameError> {
+        let payload = request.encode();
+        match self.config.hedge_delay {
+            Some(delay) => self.attempt_hedged(&payload, delay),
+            None => {
+                let mut stream = self.take_stream()?;
+                let result = exchange(&mut stream, &payload);
+                if result.is_ok() {
+                    self.stream = Some(stream);
+                }
+                // On error the stream is dropped: the reply owed to this
+                // request may still arrive, so the connection is tainted.
+                result
+            }
+        }
+    }
+
+    /// Scheme-A hedging: the primary exchange runs on its own thread;
+    /// if no reply lands within `delay`, a second copy of the request
+    /// goes out on a fresh connection and the first reply wins. The
+    /// losing connection is dropped, never reused — its reply is owed
+    /// to a request nobody is waiting on.
+    fn attempt_hedged(&mut self, payload: &[u8], delay: Duration) -> Result<Response, FrameError> {
+        let mut stream = self.take_stream()?;
+        let (tx, rx) = mpsc::channel::<(Option<TcpStream>, Result<Response, FrameError>)>();
+        let primary = {
+            let tx = tx.clone();
+            let payload = payload.to_vec();
+            std::thread::spawn(move || {
+                let result = exchange(&mut stream, &payload);
+                let stream = result.is_ok().then_some(stream);
+                let _ = tx.send((stream, result));
+            })
+        };
+        let mut hedged = false;
+        let first = match rx.recv_timeout(delay) {
+            Ok(reply) => reply,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                hedged = true;
+                self.stats.hedges.fetch_add(1, Ordering::Relaxed);
+                self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                let addrs = self.addrs.clone();
+                let config = self.config.clone();
+                let payload = payload.to_vec();
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    let _ = match open_stream(&addrs, &config)
+                        .map_err(FrameError::from)
+                        .and_then(|mut s| exchange(&mut s, &payload).map(|r| (s, r)))
+                    {
+                        Ok((s, r)) => tx.send((Some(s), Ok(r))),
+                        Err(e) => tx.send((None, Err(e))),
+                    };
+                });
+                // Both attempts are bounded by socket timeouts, so each
+                // thread sends exactly once and this recv terminates.
+                rx.recv().expect("at least one attempt reports")
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                unreachable!("primary thread always sends before exiting")
+            }
+        };
+        drop(primary);
+        drop(tx); // rx must see Disconnected once the attempts report
+        match first {
+            (stream, Ok(reply)) => {
+                // The winner's connection is clean (its reply was fully
+                // read) and becomes the client's stream; the loser is
+                // dropped when its thread finishes.
+                self.stream = stream;
+                Ok(reply)
+            }
+            (_, Err(first_err)) if hedged => match rx.recv() {
+                // First reporter failed; the other attempt may still
+                // deliver.
+                Ok((stream, Ok(reply))) => {
+                    self.stream = stream;
+                    Ok(reply)
+                }
+                Ok((_, Err(_))) | Err(_) => Err(first_err),
+            },
+            (_, Err(first_err)) => Err(first_err),
+        }
+    }
+
+    /// Hands out the live stream, reconnecting if the last attempt
+    /// tainted it.
+    fn take_stream(&mut self) -> Result<TcpStream, FrameError> {
+        match self.stream.take() {
+            Some(s) => Ok(s),
+            None => {
+                self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                open_stream(&self.addrs, &self.config).map_err(FrameError::from)
+            }
+        }
+    }
+
+    /// Exponential backoff with deterministic jitter before retry
+    /// `attempt` (1-based: the first retry backs off `base_backoff`±).
+    fn backoff(&mut self, attempt: u32) {
+        let Some(policy) = &self.config.retry else {
+            return;
+        };
+        let exp = policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.saturating_sub(1).min(16));
+        let capped = exp.min(policy.max_backoff);
+        // Jitter in [0, capped/2): de-synchronizes clients retrying
+        // after a shared overload event.
+        self.jitter = splitmix(self.jitter);
+        let jitter_us = if capped.is_zero() {
+            0
+        } else {
+            self.jitter % (capped.as_micros() as u64 / 2).max(1)
+        };
+        std::thread::sleep(capped + Duration::from_micros(jitter_us));
     }
 
     /// Races `workload` with `arg` under `deadline_ms` (0 = unbounded).
@@ -42,7 +323,7 @@ impl Client {
     }
 
     /// Fetches the human-readable stats page.
-    pub fn stats(&mut self) -> Result<String, FrameError> {
+    pub fn stats_page(&mut self) -> Result<String, FrameError> {
         match self.call(&Request::Stats)? {
             Response::Text { body } => Ok(body),
             other => Err(unexpected(other)),
@@ -66,7 +347,42 @@ impl Client {
     }
 }
 
+/// One framed request/reply exchange on an open stream.
+fn exchange(stream: &mut TcpStream, payload: &[u8]) -> Result<Response, FrameError> {
+    write_frame(stream, payload)?;
+    match read_frame(stream)? {
+        Some(body) => Response::decode(&body),
+        None => Err(FrameError::Truncated),
+    }
+}
+
+/// Connects to the first reachable address with the config's timeouts.
+fn open_stream(addrs: &[SocketAddr], config: &ClientConfig) -> io::Result<TcpStream> {
+    let mut last_err = None;
+    for addr in addrs {
+        match TcpStream::connect_timeout(addr, config.connect_timeout) {
+            Ok(stream) => {
+                stream.set_nodelay(true)?;
+                stream.set_read_timeout(config.read_timeout)?;
+                stream.set_write_timeout(config.write_timeout)?;
+                return Ok(stream);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err
+        .unwrap_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no addresses to try")))
+}
+
 fn unexpected(resp: Response) -> FrameError {
     let _ = resp;
     FrameError::Malformed("unexpected response kind")
+}
+
+/// SplitMix64 step, the same generator the fault plan uses.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }

@@ -1,4 +1,5 @@
-//! Fixed worker pool with a bounded run queue and load shedding.
+//! Fixed worker pool with a bounded run queue, load shedding, panic
+//! containment, and a supervisor that respawns dead workers.
 //!
 //! Connections never execute races themselves: they enqueue a job and
 //! wait for its reply. The queue is bounded, and `try_submit` refuses —
@@ -7,10 +8,26 @@
 //! queueing deeper would only convert overload into latency. Shutdown
 //! closes the queue; workers drain every admitted job before exiting, so
 //! accepted requests are always answered.
+//!
+//! Failure story (this is the layer the chaos soak beats on):
+//!
+//! * every job runs inside `catch_unwind` — a panicking job is counted
+//!   ([`PoolStats::jobs_panicked`]) and the worker keeps consuming;
+//! * a **supervisor** thread watches for workers that died anyway (a
+//!   fault-injected kill at the `pool.worker` site, or a panic that
+//!   somehow escaped containment) and respawns them, so pool capacity
+//!   is restored instead of silently decaying to zero
+//!   ([`PoolStats::worker_respawns`]);
+//! * `shutdown` recovers poisoned locks instead of propagating them —
+//!   a crashed worker must never wedge the drain path.
 
+use altx::faults;
 use altx::sync::{BoundedQueue, QueueError};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A unit of work for the pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -24,39 +41,77 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
-/// A fixed set of worker threads consuming a bounded job queue.
-pub struct WorkerPool {
-    queue: Arc<BoundedQueue<Job>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+/// Failure counters the pool maintains; shared with telemetry.
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    jobs_panicked: AtomicU64,
+    worker_respawns: AtomicU64,
 }
 
+impl PoolStats {
+    /// Jobs whose closure panicked (contained; the worker survived).
+    pub fn jobs_panicked(&self) -> u64 {
+        self.jobs_panicked.load(Ordering::Relaxed)
+    }
+
+    /// Workers found dead by the supervisor and replaced.
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+}
+
+/// State shared between the pool handle, its workers, and the
+/// supervisor.
+struct Shared {
+    queue: BoundedQueue<Job>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<PoolStats>,
+    shutting_down: AtomicBool,
+}
+
+/// A fixed set of worker threads consuming a bounded job queue, kept at
+/// strength by a supervisor.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// How often the supervisor sweeps for dead workers.
+const SUPERVISE_EVERY: Duration = Duration::from_millis(5);
+
 impl WorkerPool {
-    /// Spawns `workers` threads over a queue of depth `queue_depth`.
+    /// Spawns `workers` threads over a queue of depth `queue_depth`,
+    /// plus the supervisor.
     pub fn new(workers: usize, queue_depth: usize) -> Self {
         assert!(workers > 0, "need at least one worker");
-        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(queue_depth));
-        let handles = (0..workers)
-            .map(|i| {
-                let q = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name(format!("altxd-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = q.pop() {
-                            job();
-                        }
-                    })
-                    .expect("spawn worker")
-            })
-            .collect();
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(queue_depth),
+            workers: Mutex::new(Vec::with_capacity(workers)),
+            stats: Arc::new(PoolStats::default()),
+            shutting_down: AtomicBool::new(false),
+        });
+        {
+            let mut slots = lock_workers(&shared);
+            for i in 0..workers {
+                slots.push(spawn_worker(&shared, &format!("altxd-worker-{i}")));
+            }
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("altxd-supervisor".to_owned())
+                .spawn(move || supervise(&shared))
+                .expect("spawn supervisor")
+        };
         WorkerPool {
-            queue,
-            workers: Mutex::new(handles),
+            shared,
+            supervisor: Mutex::new(Some(supervisor)),
         }
     }
 
     /// Enqueues a job without blocking; refuses when full or closed.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
-        self.queue.push(job).map_err(|(_, e)| match e {
+        self.shared.queue.push(job).map_err(|(_, e)| match e {
             QueueError::Full => SubmitError::Overloaded,
             QueueError::Closed => SubmitError::ShuttingDown,
         })
@@ -64,29 +119,130 @@ impl WorkerPool {
 
     /// Jobs currently queued (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.shared.queue.len()
+    }
+
+    /// The pool's failure counters, shareable with telemetry. The
+    /// `Arc` keeps the counters readable after `shutdown`.
+    pub fn stats(&self) -> Arc<PoolStats> {
+        Arc::clone(&self.shared.stats)
     }
 
     /// Closes the queue and joins every worker after it drains the jobs
-    /// already admitted. Idempotent: later calls find no workers left.
+    /// already admitted, then joins the supervisor. Idempotent: later
+    /// calls find no workers left. Never panics — poisoned locks and
+    /// workers that died of a contained-but-escaped panic are both
+    /// recovered, so shutdown always drains.
     pub fn shutdown(&self) {
-        self.queue.close();
-        let handles: Vec<_> = self
-            .workers
+        // Order matters: stop the supervisor from respawning *before*
+        // closing the queue, so a worker that exits on drain is not
+        // replaced.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        let supervisor = self
+            .supervisor
             .lock()
-            .expect("workers lock")
-            .drain(..)
-            .collect();
-        for w in handles {
-            w.join().expect("worker exits cleanly");
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(s) = supervisor {
+            let _ = s.join();
         }
+        let handles: Vec<_> = lock_workers(&self.shared).drain(..).collect();
+        for w in handles {
+            // A worker killed by an injected fault panicked; that must
+            // not abort the drain of its siblings.
+            let _ = w.join();
+        }
+    }
+}
+
+fn lock_workers(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+    shared
+        .workers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn spawn_worker(shared: &Arc<Shared>, name: &str) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(name.to_owned())
+        .spawn(move || worker_loop(&shared))
+        .expect("spawn worker")
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        // Fault site `pool.worker`: an injected panic here is *not*
+        // contained — it kills this thread, which is the supervisor's
+        // cue. Sits before the pop so no admitted job is lost with the
+        // worker.
+        if faults::enabled() {
+            let _ = faults::inject("pool.worker", None);
+        }
+        match shared.queue.pop() {
+            Ok(job) => run_job(job, shared),
+            Err(_) => break, // closed and drained
+        }
+    }
+}
+
+fn run_job(job: Job, shared: &Shared) {
+    // Fault site `pool.job` sits inside the contained region: an
+    // injected panic is indistinguishable from the job itself crashing,
+    // and `Fail` drops the job unrun (the submitter's reply channel
+    // closes, which the server answers rather than awaits forever).
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if faults::enabled() && faults::inject("pool.job", None) == faults::Verdict::Fail {
+            return;
+        }
+        job();
+    }));
+    if outcome.is_err() {
+        shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Sweeps the worker set, replacing dead threads until shutdown.
+fn supervise(shared: &Arc<Shared>) {
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(SUPERVISE_EVERY);
+        let mut slots = lock_workers(shared);
+        for slot in slots.iter_mut() {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            if !slot.is_finished() {
+                continue;
+            }
+            // Replace first, then examine the corpse: only a panicked
+            // worker counts as a respawn. (A worker that exited cleanly
+            // means the queue just closed; its replacement will see the
+            // same and exit — shutdown joins it like any other.)
+            let gen = shared.stats.worker_respawns.load(Ordering::Relaxed);
+            let dead =
+                std::mem::replace(slot, spawn_worker(shared, &format!("altxd-worker-r{gen}")));
+            if dead.join().is_err() {
+                shared.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("queued", &self.queued())
+            .field("jobs_panicked", &self.shared.stats.jobs_panicked())
+            .field("worker_respawns", &self.shared.stats.worker_respawns())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::AtomicUsize;
     use std::sync::mpsc;
 
     #[test]
@@ -144,11 +300,59 @@ mod tests {
     #[test]
     fn submit_after_shutdown_refused() {
         let pool = WorkerPool::new(1, 4);
-        let q = Arc::clone(&pool.queue);
         pool.shutdown();
         assert_eq!(
-            q.push(Box::new(|| {}) as Job).map_err(|(_, e)| e),
-            Err(QueueError::Closed)
+            pool.try_submit(Box::new(|| {})),
+            Err(SubmitError::ShuttingDown)
         );
+    }
+
+    #[test]
+    fn panicking_job_is_contained_and_pool_keeps_serving() {
+        let pool = WorkerPool::new(2, 16);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            if i % 2 == 0 {
+                pool.try_submit(Box::new(move || panic!("job {i} crashed")))
+                    .expect("admitted");
+            } else {
+                pool.try_submit(Box::new(move || tx.send(i).expect("receiver alive")))
+                    .expect("admitted");
+            }
+        }
+        let mut got: Vec<i32> = (0..4)
+            .map(|_| {
+                rx.recv_timeout(Duration::from_secs(5))
+                    .expect("survivors ran")
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 3, 5, 7]);
+        pool.shutdown(); // drain: the crashing jobs have all run by now
+        assert_eq!(pool.stats().jobs_panicked(), 4);
+        assert_eq!(
+            pool.stats().worker_respawns(),
+            0,
+            "contained panics never cost a worker"
+        );
+    }
+
+    #[test]
+    fn shutdown_after_job_panics_still_drains() {
+        let pool = WorkerPool::new(1, 32);
+        pool.try_submit(Box::new(|| panic!("early crash")))
+            .expect("admitted");
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let ran = Arc::clone(&ran);
+            pool.try_submit(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .expect("admitted");
+        }
+        pool.shutdown(); // must not panic, must drain everything after the crash
+        assert_eq!(ran.load(Ordering::SeqCst), 10);
+        assert_eq!(pool.stats().jobs_panicked(), 1);
     }
 }

@@ -106,6 +106,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let shutdown = Arc::new(AtomicBool::new(false));
     let telemetry = Arc::new(Telemetry::new());
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+    telemetry.attach_pool(pool.stats());
 
     let accept = {
         let shutdown = Arc::clone(&shutdown);
@@ -242,14 +243,28 @@ fn dispatch_run(
     let (tx, rx) = mpsc::channel();
     let job_telemetry = Arc::clone(telemetry);
     let submitted = pool.try_submit(Box::new(move || {
-        let _ = tx.send(run_race(&job_telemetry, &workload, deadline_ms, arg));
+        // The race itself is contained here so a crash becomes an
+        // explicit error reply; the pool's own catch_unwind is the
+        // backstop for panics outside this region.
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let reply = catch_unwind(AssertUnwindSafe(|| {
+            run_race(&job_telemetry, &workload, deadline_ms, arg)
+        }))
+        .unwrap_or_else(|_| {
+            job_telemetry.on_error();
+            Response::Error {
+                message: "internal error: race panicked".to_owned(),
+            }
+        });
+        let _ = tx.send(reply);
     }));
     match submitted {
         Ok(()) => {
             telemetry.on_accepted();
             rx.recv().unwrap_or_else(|_| {
-                // A worker can only vanish without replying if a workload
-                // body panicked; answer rather than hang the connection.
+                // The job was dropped unrun (injected `Fail` fault or a
+                // worker killed mid-job); answer rather than hang the
+                // connection.
                 Response::Error {
                     message: "worker lost".to_owned(),
                 }
@@ -280,6 +295,7 @@ fn run_race(telemetry: &Telemetry, workload: &str, deadline_ms: u32, arg: u64) -
     let start = Instant::now();
     let result = ThreadedEngine::new().execute_with_token(&block, &mut workspace, &token);
     let latency_us = start.elapsed().as_micros() as u64;
+    telemetry.on_alt_panics(result.panics as u64);
 
     match (result.winner, result.value) {
         (Some(w), Some(value)) => {

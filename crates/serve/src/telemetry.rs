@@ -5,9 +5,10 @@
 //! Everything on the request path is an atomic increment; the only lock
 //! guards the win-count map, touched once per completed race.
 
+use crate::pool::PoolStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Histogram bucket upper bounds, microseconds. The last bucket is
 /// unbounded.
@@ -105,10 +106,14 @@ pub struct Telemetry {
     deadline_exceeded: AtomicU64,
     /// Unknown workloads, protocol violations, failed races.
     errors: AtomicU64,
+    /// Alternative bodies that panicked and were contained by an engine.
+    alt_panics: AtomicU64,
     /// Latency of completed races.
     latency: LatencyHistogram,
     /// Wins per (workload, alternative name).
     wins: Mutex<BTreeMap<(String, String), u64>>,
+    /// The serving pool's failure counters, attached once at startup.
+    pool: OnceLock<Arc<PoolStats>>,
 }
 
 /// A point-in-time copy of the counters, for rendering.
@@ -124,6 +129,15 @@ pub struct Snapshot {
     pub deadline_exceeded: u64,
     /// Error replies.
     pub errors: u64,
+    /// Contained panics inside racing alternatives.
+    pub alt_panics: u64,
+    /// Jobs whose closure panicked inside the pool (contained).
+    pub jobs_panicked: u64,
+    /// Dead workers replaced by the pool supervisor.
+    pub worker_respawns: u64,
+    /// Faults injected process-wide by the active [`altx::faults`] plan
+    /// (zero when no plan is installed).
+    pub faults_injected: u64,
     /// Mean completed-race latency (µs).
     pub mean_us: f64,
     /// p50 estimate (µs).
@@ -170,6 +184,20 @@ impl Telemetry {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts `n` contained alternative panics (from a race's
+    /// `BlockResult::panics`).
+    pub fn on_alt_panics(&self, n: u64) {
+        if n > 0 {
+            self.alt_panics.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Attaches the serving pool's counters so snapshots include them.
+    /// Later calls are ignored (one pool per daemon).
+    pub fn attach_pool(&self, stats: Arc<PoolStats>) {
+        let _ = self.pool.set(stats);
+    }
+
     /// Copies the counters out.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -178,6 +206,10 @@ impl Telemetry {
             shed: self.shed.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            alt_panics: self.alt_panics.load(Ordering::Relaxed),
+            jobs_panicked: self.pool.get().map_or(0, |p| p.jobs_panicked()),
+            worker_respawns: self.pool.get().map_or(0, |p| p.worker_respawns()),
+            faults_injected: altx::faults::injected_total(),
             mean_us: self.latency.mean_us(),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
@@ -195,6 +227,10 @@ impl Telemetry {
         out.push_str(&format!("  shed (overloaded)   {}\n", s.shed));
         out.push_str(&format!("  deadline exceeded   {}\n", s.deadline_exceeded));
         out.push_str(&format!("  errors              {}\n", s.errors));
+        out.push_str(&format!("  alt panics          {}\n", s.alt_panics));
+        out.push_str(&format!("  jobs panicked       {}\n", s.jobs_panicked));
+        out.push_str(&format!("  worker respawns     {}\n", s.worker_respawns));
+        out.push_str(&format!("  faults injected     {}\n", s.faults_injected));
         out.push_str(&format!(
             "  latency us          mean {:.1}  p50 {}  p99 {}\n",
             s.mean_us, s.p50_us, s.p99_us
@@ -244,6 +280,30 @@ impl Telemetry {
             "altxd_requests_error_total",
             "Error replies",
             s.errors,
+        );
+        counter(
+            &mut out,
+            "altxd_alt_panics_total",
+            "Alternative bodies that panicked and were contained",
+            s.alt_panics,
+        );
+        counter(
+            &mut out,
+            "altxd_jobs_panicked_total",
+            "Pool jobs that panicked and were contained",
+            s.jobs_panicked,
+        );
+        counter(
+            &mut out,
+            "altxd_worker_respawns_total",
+            "Dead pool workers replaced by the supervisor",
+            s.worker_respawns,
+        );
+        counter(
+            &mut out,
+            "altxd_faults_injected_total",
+            "Faults injected by the active fault plan",
+            s.faults_injected,
         );
 
         out.push_str("# HELP altxd_race_latency_us Completed-race latency in microseconds\n");

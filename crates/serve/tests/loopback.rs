@@ -203,7 +203,7 @@ fn stats_and_prometheus_over_the_wire() {
     }
     let _ = client.run("sleep", 10_000, 20).expect("reply"); // one blown deadline
 
-    let stats = client.stats().expect("stats");
+    let stats = client.stats_page().expect("stats");
     assert!(stats.contains("completed           5"), "{stats}");
     assert!(stats.contains("deadline exceeded   1"), "{stats}");
 

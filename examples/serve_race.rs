@@ -73,7 +73,7 @@ fn main() {
     }
 
     println!("\nserver-side view of the session:");
-    print!("{}", client.stats().expect("stats"));
+    print!("{}", client.stats_page().expect("stats"));
 
     server.shutdown();
     println!("daemon drained. ✓");

@@ -19,19 +19,41 @@ cargo test -q --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> smoke: altxd + altx-load (2s, trivial workload)"
+echo "==> chaos soak (pinned seed, own process)"
+ALTX_CHAOS_SEED=0xC0FFEE cargo test -q -p altx-serve --test chaos_soak
+
+echo "==> bench regression gate: altxd + altx-load vs committed baseline"
+BASELINE=BENCH_serve_throughput.json
 SMOKE_ADDR=127.0.0.1:7979
 SMOKE_OUT=$(mktemp /tmp/altx-smoke.XXXXXX.json)
-./target/release/altxd --addr "$SMOKE_ADDR" --duration 4 &
+./target/release/altxd --addr "$SMOKE_ADDR" --duration 8 &
 ALTXD_PID=$!
 trap 'kill "$ALTXD_PID" 2>/dev/null || true; rm -f "$SMOKE_OUT"' EXIT
 sleep 0.3
 ./target/release/altx-load \
-    --addr "$SMOKE_ADDR" --workload trivial --clients 4 --duration 2 \
+    --addr "$SMOKE_ADDR" --workload trivial --clients 8 --duration 6 \
     --out "$SMOKE_OUT"
 wait "$ALTXD_PID"
-grep -q '"requests"' "$SMOKE_OUT" || {
-    echo "smoke run produced no bench artifact" >&2
+
+# Extract "throughput_rps": N.N with no JSON tooling (offline CI).
+rps() {
+    grep -o '"throughput_rps": *[0-9.]*' "$1" | grep -o '[0-9.]*$'
+}
+BASE_RPS=$(rps "$BASELINE")
+FRESH_RPS=$(rps "$SMOKE_OUT")
+[ -n "$BASE_RPS" ] && [ -n "$FRESH_RPS" ] || {
+    echo "bench gate: missing throughput_rps (baseline='$BASE_RPS' fresh='$FRESH_RPS')" >&2
+    exit 1
+}
+# Fail when fresh throughput drops below 70% of the committed baseline.
+# The bound is loose on purpose: the gate catches wreckage (an accidental
+# lock on the request path), not noise.
+awk -v base="$BASE_RPS" -v fresh="$FRESH_RPS" 'BEGIN {
+    printf "bench gate: baseline %.1f rps, fresh %.1f rps (floor %.1f)\n",
+        base, fresh, base * 0.70
+    exit !(fresh >= base * 0.70)
+}' || {
+    echo "bench gate: throughput regressed more than 30% vs $BASELINE" >&2
     exit 1
 }
 rm -f "$SMOKE_OUT"
