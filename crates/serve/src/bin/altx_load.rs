@@ -2,18 +2,23 @@
 //!
 //! ```text
 //! altx-load [--addr HOST:PORT] [--workload NAME] [--clients N]
-//!           [--duration SECS] [--deadline-ms N] [--out FILE.json]
-//!           [--retries N] [--hedge-ms N]
+//!           [--connections N] [--duration SECS] [--deadline-ms N]
+//!           [--out FILE.json] [--retries N] [--hedge-ms N]
 //! ```
 //!
 //! Spawns `N` client threads, each with its own connection, issuing
 //! requests back-to-back (one outstanding request per connection) for
-//! the given duration. `--retries` enables the client's retry policy
-//! (N attempts per call with backoff); `--hedge-ms` arms a hedged
-//! second attempt after that many milliseconds. Prints a summary table
-//! and writes a JSON report — throughput, p50/p99 latency, reply mix,
-//! per-alternative win counts, and resilience counters — to `--out`
-//! (default `BENCH_serve_throughput.json`).
+//! the given duration. `--connections` decouples open connections from
+//! in-flight clients: when it exceeds `--clients`, the surplus is held
+//! open *idle* for the whole run — exercising the daemon's reactor,
+//! which must serve them for file descriptors, not threads. The
+//! server-reported `conns open` gauge is fetched while the idles are
+//! held and echoed for smoke tests. `--retries` enables the client's
+//! retry policy (N attempts per call with backoff); `--hedge-ms` arms a
+//! hedged second attempt after that many milliseconds. Prints a summary
+//! table and writes a JSON report — throughput, p50/p99/p99.9/max
+//! latency, reply mix, per-alternative win counts, and resilience
+//! counters — to `--out` (default `BENCH_serve_throughput.json`).
 
 use altx_serve::client::{ClientConfig, RetryPolicy};
 use altx_serve::frame::Response;
@@ -27,6 +32,7 @@ struct Args {
     addr: String,
     workload: String,
     clients: usize,
+    connections: usize,
     duration_s: u64,
     deadline_ms: u32,
     out: String,
@@ -55,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7171".to_owned(),
         workload: "trivial".to_owned(),
         clients: 8,
+        connections: 0, // 0 = same as --clients (no idle surplus)
         duration_s: 5,
         deadline_ms: 0,
         out: "BENCH_serve_throughput.json".to_owned(),
@@ -71,6 +78,11 @@ fn parse_args() -> Result<Args, String> {
                 args.clients = value("--clients")?
                     .parse()
                     .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--connections" => {
+                args.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?
             }
             "--duration" => {
                 args.duration_s = value("--duration")?
@@ -96,8 +108,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
-                     [--duration SECS] [--deadline-ms N] [--out FILE.json] \
-                     [--retries N] [--hedge-ms N]"
+                     [--connections N] [--duration SECS] [--deadline-ms N] \
+                     [--out FILE.json] [--retries N] [--hedge-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -165,6 +177,16 @@ fn client_loop(
     Ok(report)
 }
 
+/// Parses the `conns open` line out of the daemon's STATS page.
+fn conns_open_from_stats(stats: &str) -> Option<u64> {
+    stats.lines().find_map(|l| {
+        let mut words = l.split_whitespace();
+        (words.next() == Some("conns") && words.next() == Some("open"))
+            .then(|| words.next()?.parse().ok())
+            .flatten()
+    })
+}
+
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
     if sorted_us.is_empty() {
         return 0;
@@ -185,6 +207,41 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    // Surplus connections beyond the active clients are held open and
+    // idle for the whole run; the daemon's reactor must carry them
+    // without spending threads on them.
+    let idle_count = args.connections.saturating_sub(args.clients);
+    let idles: Vec<Client> = (0..idle_count)
+        .map(|i| match Client::connect(&*args.addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("altx-load: idle connection {i}: {e}");
+                std::process::exit(1);
+            }
+        })
+        .collect();
+    // While the idles are held, ask the daemon how many connections it
+    // sees — the CI smoke asserts on this line.
+    let conns_open_observed = if idle_count > 0 {
+        match Client::connect(&*args.addr).and_then(|mut c| {
+            c.stats_page()
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }) {
+            Ok(stats) => conns_open_from_stats(&stats).unwrap_or(0),
+            Err(e) => {
+                eprintln!("altx-load: probing conns_open: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        0
+    };
+    if idle_count > 0 {
+        println!(
+            "altx-load: holding {idle_count} idle connections (server reports conns_open={conns_open_observed})"
+        );
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
@@ -227,11 +284,14 @@ fn main() {
         }
     }
     let elapsed = started.elapsed().as_secs_f64();
+    drop(idles); // held through the whole measured window
     merged.latencies_us.sort_unstable();
     let total = merged.ok + merged.deadline_exceeded + merged.overloaded + merged.errors;
     let throughput = merged.ok as f64 / elapsed;
     let p50 = percentile(&merged.latencies_us, 0.50);
     let p99 = percentile(&merged.latencies_us, 0.99);
+    let p999 = percentile(&merged.latencies_us, 0.999);
+    let max = merged.latencies_us.last().copied().unwrap_or(0);
 
     println!(
         "altx-load: {} clients x {:.1}s against {}",
@@ -244,7 +304,7 @@ fn main() {
     println!("  overloaded (shed)   {}", merged.overloaded);
     println!("  errors              {}", merged.errors);
     println!("  throughput          {throughput:.0} req/s");
-    println!("  latency us          p50 {p50}  p99 {p99}");
+    println!("  latency us          p50 {p50}  p99 {p99}  p99.9 {p999}  max {max}");
     if merged.retries + merged.hedges + merged.reconnects > 0 {
         println!(
             "  resilience          retries {}  hedges {}  reconnects {}",
@@ -260,14 +320,17 @@ fn main() {
         wins_json.push(format!("    \"{}\": {}", json_escape(name), n));
     }
     let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"duration_s\": {:.3},\n  \
+        "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"connections\": {},\n  \
+         \"duration_s\": {:.3},\n  \
          \"deadline_ms\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
          \"deadline_exceeded\": {},\n  \"overloaded\": {},\n  \"errors\": {},\n  \
          \"client_retries\": {},\n  \"client_hedges\": {},\n  \"client_reconnects\": {},\n  \
          \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
+         \"p999_us\": {},\n  \"max_us\": {},\n  \
          \"wins\": {{\n{}\n  }}\n}}\n",
         json_escape(&args.workload),
         args.clients,
+        args.clients.max(args.connections),
         elapsed,
         args.deadline_ms,
         total,
@@ -281,6 +344,8 @@ fn main() {
         throughput,
         p50,
         p99,
+        p999,
+        max,
         wins_json.join(",\n"),
     );
     if let Err(e) = std::fs::write(&args.out, json) {

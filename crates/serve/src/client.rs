@@ -308,6 +308,36 @@ impl Client {
         std::thread::sleep(capped + Duration::from_micros(jitter_us));
     }
 
+    /// Pipelining: writes one request frame without waiting for its
+    /// reply. Pair with [`Client::recv`]; the daemon's reactor
+    /// guarantees replies come back in request order. Raw mode — no
+    /// retries, no hedging, no reconnect on error (a tainted stream
+    /// would desynchronize the pipeline).
+    pub fn send(&mut self, request: &Request) -> Result<(), FrameError> {
+        let mut stream = self.take_stream()?;
+        match write_frame(&mut stream, &request.encode()) {
+            Ok(()) => {
+                self.stream = Some(stream);
+                Ok(())
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Pipelining: reads the next reply frame. Replies arrive in the
+    /// order their requests were [`Client::send`]-ed.
+    pub fn recv(&mut self) -> Result<Response, FrameError> {
+        let mut stream = self.take_stream()?;
+        match read_frame(&mut stream) {
+            Ok(Some(body)) => {
+                self.stream = Some(stream);
+                Response::decode(&body)
+            }
+            Ok(None) => Err(FrameError::Truncated),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Races `workload` with `arg` under `deadline_ms` (0 = unbounded).
     pub fn run(
         &mut self,

@@ -1,0 +1,199 @@
+//! Per-connection state machine for the reactor front end.
+//!
+//! A connection owns a non-blocking socket, an incremental
+//! [`FrameDecoder`] for the inbound side, and an outbound byte buffer
+//! flushed opportunistically. Because requests pipeline — a client may
+//! send several RUN frames before the first reply lands — every request
+//! is assigned a monotonically increasing *sequence number* at decode
+//! time, and replies are released to the write buffer strictly in
+//! sequence order: a completion for seq 3 parks in its slot until seqs
+//! 1 and 2 have been encoded, so replies always come back in request
+//! order no matter which race finishes first.
+//!
+//! Lifecycle: `Open` (reading and writing) → `read_closed` (peer EOF, a
+//! protocol error, or server drain: no new requests, in-flight replies
+//! still flush) → reclaimed by the reactor the moment the last owed
+//! reply is flushed. There is no half-reaped state and no thread to
+//! join — closing a connection is dropping its state.
+
+use crate::frame::{write_frame, FrameDecoder, FrameError, Response};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// What a readiness-driven read pass produced.
+pub(crate) struct ReadOutcome {
+    /// Complete frame bodies, in arrival order.
+    pub frames: Vec<Vec<u8>>,
+    /// A framing error (oversized prefix, EOF mid-frame). The
+    /// connection stops reading; the reactor owes the peer one error
+    /// reply before close.
+    pub error: Option<FrameError>,
+}
+
+/// One client connection owned by the reactor.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Encoded, ordered reply bytes awaiting the socket.
+    out: Vec<u8>,
+    /// How much of `out` has already been written.
+    out_pos: usize,
+    /// Reply slots in request order: `None` until the reply for that
+    /// seq is known, then the encoded `Response` body.
+    pending: VecDeque<(u64, Option<Vec<u8>>)>,
+    next_seq: u64,
+    /// No more requests will be read (peer EOF, protocol error, or
+    /// server drain made permanent).
+    read_closed: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            read_closed: false,
+        })
+    }
+
+    /// Reads until the socket would block (or EOF), returning every
+    /// complete frame that became available. `Err` means the transport
+    /// itself failed and the connection is unsalvageable.
+    pub(crate) fn on_readable(&mut self) -> io::Result<ReadOutcome> {
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    break;
+                }
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let mut frames = Vec::new();
+        let mut error = None;
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(body)) => frames.push(body),
+                Ok(None) => break,
+                Err(e) => {
+                    self.read_closed = true;
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        if error.is_none() && self.read_closed {
+            // EOF with a partial frame buffered is a truncation, not a
+            // clean disconnect.
+            error = self.decoder.finish().err();
+        }
+        Ok(ReadOutcome { frames, error })
+    }
+
+    /// Assigns the next request sequence number and opens its reply
+    /// slot.
+    pub(crate) fn begin_request(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back((seq, None));
+        seq
+    }
+
+    /// Fills the reply slot for `seq` and releases every reply that is
+    /// now deliverable in order. Unknown or already-released seqs are
+    /// ignored (a refused-then-completed race can double-report).
+    pub(crate) fn fulfill(&mut self, seq: u64, response: &Response) {
+        if let Some(slot) = self
+            .pending
+            .iter_mut()
+            .find(|(s, body)| *s == seq && body.is_none())
+        {
+            slot.1 = Some(response.encode());
+        }
+        while let Some((_, Some(_))) = self.pending.front() {
+            let (_, body) = self.pending.pop_front().expect("front exists");
+            let body = body.expect("checked Some");
+            if write_frame(&mut self.out, &body).is_err() {
+                // Only an over-MAX_FRAME body can fail a Vec write;
+                // substitute a bounded error reply so the stream stays
+                // framed.
+                let fallback = Response::Error {
+                    message: "reply exceeded MAX_FRAME".to_owned(),
+                };
+                write_frame(&mut self.out, &fallback.encode()).expect("error reply is bounded");
+            }
+        }
+    }
+
+    /// Flushes buffered output until the socket would block. `Err`
+    /// means the peer is unreachable and the connection is dead.
+    pub(crate) fn on_writable(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Stops reading new requests (drain or protocol error); in-flight
+    /// replies still flush.
+    pub(crate) fn close_read(&mut self) {
+        self.read_closed = true;
+    }
+
+    /// Unflushed bytes are waiting on the socket.
+    pub(crate) fn has_output(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// At least one request has not had its reply fully released.
+    pub(crate) fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Every owed reply has been released and flushed.
+    pub(crate) fn is_drained(&self) -> bool {
+        self.pending.is_empty() && !self.has_output()
+    }
+
+    /// The connection has served its purpose and can be reclaimed.
+    pub(crate) fn should_close(&self, draining: bool) -> bool {
+        (self.read_closed || draining) && self.is_drained()
+    }
+
+    /// The poll interest set for the current state.
+    pub(crate) fn poll_events(&self, draining: bool) -> i16 {
+        let mut events = 0;
+        if !self.read_closed && !draining {
+            events |= crate::reactor::POLLIN;
+        }
+        if self.has_output() {
+            events |= crate::reactor::POLLOUT;
+        }
+        events
+    }
+
+    pub(crate) fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}

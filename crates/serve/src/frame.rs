@@ -73,9 +73,17 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Writes one frame (length prefix + body).
+/// Writes one frame (length prefix + body). A body over [`MAX_FRAME`]
+/// is refused with `InvalidInput` before any byte hits the wire — the
+/// peer would reject it anyway, and a half-written oversized frame
+/// would desynchronize the stream for good.
 pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
-    debug_assert!(body.len() <= MAX_FRAME);
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
+        ));
+    }
     w.write_all(&(body.len() as u32).to_be_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -99,6 +107,70 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
     Ok(Some(body))
+}
+
+/// Incremental, resumable frame decoder for non-blocking transports.
+///
+/// The blocking [`read_frame`] owns the stream until a whole frame
+/// arrives — fine for one thread per connection, useless for a reactor
+/// that must never wait. `FrameDecoder` inverts the control flow: feed
+/// it whatever bytes the socket had ([`FrameDecoder::extend`]), then
+/// drain complete bodies with [`FrameDecoder::next_frame`]. Partial
+/// headers and partial bodies are buffered across calls, so a frame
+/// split across any number of reads decodes identically to one that
+/// arrived whole.
+///
+/// An oversized length prefix is rejected as soon as the 4 header
+/// bytes are visible — before the announced body is buffered — with
+/// the same [`FrameError::Oversized`] the blocking path returns.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers bytes read from the transport.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as a frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame body, `Ok(None)` if more bytes are
+    /// needed. After an `Err` the stream is desynchronized and the
+    /// connection should be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("len 4")) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(body))
+    }
+
+    /// Call at EOF: leftover bytes mean the peer died mid-frame.
+    pub fn finish(&self) -> Result<(), FrameError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(FrameError::Truncated)
+        }
+    }
 }
 
 /// A client request.

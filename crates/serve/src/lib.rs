@@ -26,13 +26,24 @@
 //! Binaries: `altxd` (the daemon) and `altx-load` (a closed-loop load
 //! generator emitting `BENCH_serve_throughput.json`). See the README's
 //! "Serving" section for the wire protocol and a transcript.
+//!
+//! The front end is a poll-based **reactor** (`reactor.rs`): one event
+//! loop thread multiplexes every connection over non-blocking sockets,
+//! so idle connections cost a file descriptor rather than a thread, and
+//! pipelined requests on one connection are answered in order. Workers
+//! hand finished races back through a completion queue and a self-pipe
+//! wakeup instead of a per-request blocking channel.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the reactor's `sys` module carries the
+// crate's single `#[allow(unsafe_code)]` for the `poll(2)` binding.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod frame;
 pub mod pool;
+pub(crate) mod reactor;
 pub mod server;
 pub mod telemetry;
 pub mod workload;

@@ -32,6 +32,27 @@ use std::time::Duration;
 /// A unit of work for the pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A completion notifier for [`WorkerPool::try_submit_notify`].
+pub type Notify = Box<dyn FnOnce() + Send + 'static>;
+
+/// Fires its notifier exactly once — when dropped, whether that drop
+/// happens after the job returned, while a panic unwinds through it,
+/// or because the pool discarded the job unrun.
+struct NotifyOnDrop {
+    armed: Arc<AtomicBool>,
+    notify: Option<Notify>,
+}
+
+impl Drop for NotifyOnDrop {
+    fn drop(&mut self) {
+        if self.armed.load(Ordering::SeqCst) {
+            if let Some(f) = self.notify.take() {
+                f();
+            }
+        }
+    }
+}
+
 /// Why a submission was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
@@ -115,6 +136,43 @@ impl WorkerPool {
             QueueError::Full => SubmitError::Overloaded,
             QueueError::Closed => SubmitError::ShuttingDown,
         })
+    }
+
+    /// Enqueues a job with a completion notifier. The pool guarantees
+    /// `notify` runs **exactly once** for an admitted job — after the
+    /// job returns, while its panic unwinds, or when the pool drops the
+    /// job unrun (an injected `Fail` fault, a worker killed mid-queue).
+    /// A refused submission never notifies: the `Err` return is the
+    /// caller's signal.
+    ///
+    /// This is the reactor's bridge out of blocking-channel land: the
+    /// notifier posts the finished response to the reactor's completion
+    /// queue and tickles its self-pipe, so no thread ever parks in
+    /// `recv()` waiting for a race to finish.
+    pub fn try_submit_notify(&self, job: Job, notify: Notify) -> Result<(), SubmitError> {
+        let armed = Arc::new(AtomicBool::new(true));
+        let guard = NotifyOnDrop {
+            armed: Arc::clone(&armed),
+            notify: Some(notify),
+        };
+        let wrapped: Job = Box::new(move || {
+            job();
+            drop(guard); // unwind-safe: a panicking job still notifies
+        });
+        match self.shared.queue.push(wrapped) {
+            Ok(()) => Ok(()),
+            Err((wrapped, e)) => {
+                // Disarm *before* dropping the refused wrapper, or its
+                // guard would report a loss for a job that was never
+                // admitted.
+                armed.store(false, Ordering::SeqCst);
+                drop(wrapped);
+                Err(match e {
+                    QueueError::Full => SubmitError::Overloaded,
+                    QueueError::Closed => SubmitError::ShuttingDown,
+                })
+            }
+        }
     }
 
     /// Jobs currently queued (not yet picked up by a worker).
@@ -336,6 +394,73 @@ mod tests {
             0,
             "contained panics never cost a worker"
         );
+    }
+
+    #[test]
+    fn notify_fires_once_after_job_runs() {
+        let pool = WorkerPool::new(2, 8);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        {
+            let fired = Arc::clone(&fired);
+            pool.try_submit_notify(
+                Box::new(|| {}),
+                Box::new(move || {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                    tx.send(()).expect("receiver alive");
+                }),
+            )
+            .expect("admitted");
+        }
+        rx.recv_timeout(Duration::from_secs(5)).expect("notified");
+        pool.shutdown();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn notify_fires_when_job_panics() {
+        let pool = WorkerPool::new(1, 8);
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit_notify(
+            Box::new(|| panic!("job crashed")),
+            Box::new(move || tx.send(()).expect("receiver alive")),
+        )
+        .expect("admitted");
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("a panicking job must still notify");
+        pool.shutdown();
+        assert_eq!(pool.stats().jobs_panicked(), 1);
+    }
+
+    #[test]
+    fn refused_submission_never_notifies() {
+        let pool = WorkerPool::new(1, 1);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            block_rx.recv().ok();
+        }))
+        .expect("occupies the worker");
+        // Fill the depth-1 queue, then overflow it with a notifier.
+        while pool.try_submit(Box::new(|| {})).is_ok() {}
+        let fired = Arc::new(AtomicUsize::new(0));
+        let refused = {
+            let fired = Arc::clone(&fired);
+            pool.try_submit_notify(
+                Box::new(|| {}),
+                Box::new(move || {
+                    fired.fetch_add(1, Ordering::SeqCst);
+                }),
+            )
+        };
+        assert_eq!(refused, Err(SubmitError::Overloaded));
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            0,
+            "refusal must not look like a lost job"
+        );
+        block_tx.send(()).expect("worker waiting");
+        pool.shutdown();
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
     }
 
     #[test]

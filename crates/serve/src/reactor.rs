@@ -1,0 +1,546 @@
+//! The event-loop front end: one thread, `poll(2)`, every connection.
+//!
+//! The thread-per-connection daemon spent a stack per idle client and a
+//! blocked `rx.recv()` per in-flight race. The reactor inverts that:
+//! a single thread multiplexes the listener, a *wake channel*, and
+//! every client socket through `poll(2)`, so concurrent connections
+//! cost file descriptors, not threads — the paper's parent/child split
+//! (a cheap speculative child per alternative, one responsive parent at
+//! the rendezvous) applied to the serving layer itself.
+//!
+//! The moving parts:
+//!
+//! * **sys**: a minimal FFI binding to the C library's `poll(2)` —
+//!   std already links libc, so this adds no dependency; it is the only
+//!   unsafe code in the crate and is confined to this module.
+//! * **Wake channel**: a loopback socket pair acting as a self-pipe.
+//!   Workers finish a race, push the `Response` onto a shared
+//!   completion queue, and write one byte to the wake socket; `poll`
+//!   returns, the reactor drains the queue, and replies flow out
+//!   through the owning connection's ordered write buffer. No thread
+//!   ever blocks waiting for a specific race.
+//! * **Drain ordering** (shutdown): (1) stop accepting and stop
+//!   reading new requests, (2) keep polling so in-flight completions
+//!   still arrive and flush, (3) close each connection the moment its
+//!   last owed reply is written, (4) when no connections remain, close
+//!   the queue and join the pool. No admitted request goes unanswered.
+
+use crate::conn::Conn;
+use crate::frame::{Request, Response};
+use crate::pool::WorkerPool;
+use crate::server::run_race;
+use crate::telemetry::Telemetry;
+use crate::workload;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLNVAL};
+pub(crate) use sys::{POLLIN, POLLOUT};
+
+/// The one unsafe corner: calling the C library's `poll(2)`. std links
+/// libc on every supported platform, so the extern declaration names a
+/// symbol that is already in the process — no new dependency, no raw
+/// syscall numbers.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+    use std::os::fd::RawFd;
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct PollFd {
+        pub fd: RawFd,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    impl PollFd {
+        pub fn new(fd: RawFd, events: i16) -> Self {
+            PollFd {
+                fd,
+                events,
+                revents: 0,
+            }
+        }
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int) -> i32;
+    }
+
+    /// Blocks until an fd is ready or `timeout_ms` elapses, retrying
+    /// EINTR. Returns how many entries have non-zero `revents`.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // repr(C) pollfd records for the duration of the call, and
+            // its length is passed as nfds.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// A finished race routed back to its connection and request slot.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    response: Response,
+}
+
+/// State shared between the reactor thread, pool workers (through
+/// completion notifiers), and the [`crate::server::ServerHandle`].
+pub(crate) struct ReactorShared {
+    completions: Mutex<Vec<Completion>>,
+    wake_tx: TcpStream,
+    shutdown: AtomicBool,
+}
+
+impl ReactorShared {
+    /// Queues a completion and wakes the reactor.
+    fn post(&self, conn: u64, seq: u64, response: Response) {
+        self.completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Completion {
+                conn,
+                seq,
+                response,
+            });
+        self.wake();
+    }
+
+    /// Writes one byte to the self-pipe. `WouldBlock` means wake bytes
+    /// are already pending, so the reactor is waking anyway; every
+    /// other error means the reactor is gone and waking is moot.
+    fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    /// Flags shutdown and wakes the reactor so it notices promptly.
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake();
+    }
+}
+
+/// A connected loopback socket pair: the reactor polls `rx`, everyone
+/// else writes `tx`. This is the classic self-pipe trick built from
+/// std-only parts (no `pipe(2)` binding needed).
+fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let tx = TcpStream::connect(addr)?;
+    let local = tx.local_addr()?;
+    // Accept until we see our own connect — a stray peer racing onto
+    // the ephemeral port must not become the wake channel.
+    let rx = loop {
+        let (stream, peer) = listener.accept()?;
+        if peer == local {
+            break stream;
+        }
+    };
+    tx.set_nonblocking(true)?;
+    tx.set_nodelay(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((tx, rx))
+}
+
+/// How long `poll` may sleep with nothing to do. Wakeups (completions,
+/// shutdown requests) interrupt it; the timeout is only a backstop.
+const POLL_BACKSTOP_MS: i32 = 250;
+
+/// The event loop: owns the listener, the wake receiver, and every
+/// connection's state.
+pub(crate) struct Reactor {
+    listener: TcpListener,
+    wake_rx: TcpStream,
+    shared: Arc<ReactorShared>,
+    pool: Arc<WorkerPool>,
+    telemetry: Arc<Telemetry>,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+}
+
+impl Reactor {
+    pub(crate) fn new(
+        listener: TcpListener,
+        pool: Arc<WorkerPool>,
+        telemetry: Arc<Telemetry>,
+    ) -> io::Result<(Self, Arc<ReactorShared>)> {
+        let (wake_tx, wake_rx) = wake_pair()?;
+        let shared = Arc::new(ReactorShared {
+            completions: Mutex::new(Vec::new()),
+            wake_tx,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok((
+            Reactor {
+                listener,
+                wake_rx,
+                shared: Arc::clone(&shared),
+                pool,
+                telemetry,
+                conns: HashMap::new(),
+                next_conn: 0,
+            },
+            shared,
+        ))
+    }
+
+    /// Runs until shutdown is requested *and* every connection has
+    /// drained, then closes the queue and joins the pool.
+    pub(crate) fn run(mut self) {
+        loop {
+            let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            if draining && self.conns.is_empty() {
+                break;
+            }
+
+            // Poll set: wake channel first, listener second (only while
+            // accepting), then every connection.
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+            let listener_at = if draining {
+                None
+            } else {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
+                Some(fds.len() - 1)
+            };
+            let mut ids = Vec::with_capacity(self.conns.len());
+            for (&id, conn) in &self.conns {
+                fds.push(PollFd::new(
+                    conn.stream().as_raw_fd(),
+                    conn.poll_events(draining),
+                ));
+                ids.push(id);
+            }
+
+            match poll_fds(&mut fds, POLL_BACKSTOP_MS) {
+                Ok(_) => {}
+                Err(_) => continue, // EINTR is retried inside; anything else: re-loop
+            }
+
+            if fds[0].revents != 0 {
+                self.drain_wake();
+            }
+            // Completions are routed every iteration regardless of the
+            // wake flag — the queue is cheap to check and a byte lost to
+            // a full self-pipe must not strand a reply.
+            self.route_completions(draining);
+
+            if let Some(i) = listener_at {
+                if fds[i].revents & POLLIN != 0 {
+                    self.accept_ready();
+                }
+            }
+
+            let conn_fds_start = if listener_at.is_some() { 2 } else { 1 };
+            for (slot, &id) in ids.iter().enumerate() {
+                let revents = fds[conn_fds_start + slot].revents;
+                if revents != 0 {
+                    self.handle_conn_event(id, revents, draining);
+                }
+            }
+
+            self.reap(draining);
+            self.publish_gauges();
+        }
+        self.telemetry.set_conns_active(0);
+        self.pool.shutdown();
+    }
+
+    /// Empties the self-pipe. One wakeup event is counted per drain,
+    /// not per byte — the gauge tracks how often the reactor was
+    /// roused, not how many completions arrived.
+    fn drain_wake(&mut self) {
+        self.telemetry.on_wakeup();
+        let mut sink = [0u8; 256];
+        loop {
+            match self.wake_rx.read(&mut sink) {
+                Ok(0) => break, // wake tx gone: shutdown is near
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // WouldBlock: drained
+            }
+        }
+    }
+
+    /// Routes queued completions into their connections' reply slots.
+    /// Completions for connections already reclaimed are dropped — the
+    /// peer that asked is gone.
+    fn route_completions(&mut self, draining: bool) {
+        let batch = std::mem::take(
+            &mut *self
+                .shared
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for c in batch {
+            if let Some(conn) = self.conns.get_mut(&c.conn) {
+                conn.fulfill(c.seq, &c.response);
+                self.flush(c.conn, draining);
+            }
+        }
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => match Conn::new(stream) {
+                    Ok(conn) => {
+                        let id = self.next_conn;
+                        self.next_conn += 1;
+                        self.conns.insert(id, conn);
+                        self.telemetry.on_conn_open();
+                    }
+                    Err(_) => continue, // setsockopt failed: drop it
+                },
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient accept failure; retry next loop
+            }
+        }
+    }
+
+    /// Dispatches poll readiness for one connection.
+    fn handle_conn_event(&mut self, id: u64, revents: i16, draining: bool) {
+        if revents & (POLLERR | POLLHUP | POLLNVAL) != 0 {
+            // The peer is gone in both directions: no reply can be
+            // delivered, so the state is reclaimed eagerly. In-flight
+            // races keep running; their completions are dropped on
+            // arrival.
+            self.close(id);
+            return;
+        }
+        if revents & POLLIN != 0 {
+            let outcome = match self.conns.get_mut(&id) {
+                Some(conn) => conn.on_readable(),
+                None => return,
+            };
+            match outcome {
+                Ok(read) => {
+                    for body in read.frames {
+                        if !self.handle_frame(id, &body) {
+                            break; // protocol error: later frames are garbage
+                        }
+                    }
+                    if let Some(e) = read.error {
+                        self.telemetry.on_error();
+                        self.reply_and_close_read(
+                            id,
+                            &Response::Error {
+                                message: e.to_string(),
+                            },
+                        );
+                    }
+                }
+                Err(_) => {
+                    self.close(id);
+                    return;
+                }
+            }
+        }
+        if revents & POLLOUT != 0 {
+            self.flush(id, draining);
+        }
+    }
+
+    /// Decodes and executes one request frame. Returns `false` when the
+    /// connection must stop consuming input (malformed request or
+    /// shutdown).
+    fn handle_frame(&mut self, id: u64, body: &[u8]) -> bool {
+        let seq = match self.conns.get_mut(&id) {
+            Some(conn) => conn.begin_request(),
+            None => return false,
+        };
+        match Request::decode(body) {
+            Err(e) => {
+                self.telemetry.on_error();
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Error {
+                        message: e.to_string(),
+                    },
+                );
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    conn.close_read();
+                }
+                false
+            }
+            Ok(Request::Stats) => {
+                let reply = Response::Text {
+                    body: self.telemetry.render_stats(),
+                };
+                self.fulfill(id, seq, &reply);
+                true
+            }
+            Ok(Request::Prometheus) => {
+                let reply = Response::Text {
+                    body: self.telemetry.render_prometheus(),
+                };
+                self.fulfill(id, seq, &reply);
+                true
+            }
+            Ok(Request::Shutdown) => {
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Text {
+                        body: "draining\n".to_owned(),
+                    },
+                );
+                self.shared.shutdown.store(true, Ordering::SeqCst);
+                false
+            }
+            Ok(Request::Run {
+                workload,
+                deadline_ms,
+                arg,
+            }) => {
+                self.submit_run(id, seq, workload, deadline_ms, arg);
+                true
+            }
+        }
+    }
+
+    /// Admission-controls one RUN request without ever blocking the
+    /// reactor: refused submissions are answered `Overloaded` in line;
+    /// admitted ones will come back through the completion queue.
+    fn submit_run(&mut self, id: u64, seq: u64, workload: String, deadline_ms: u32, arg: u64) {
+        // Reject unknown names before spending a queue slot.
+        if workload::spec(&workload).is_none() {
+            self.telemetry.on_error();
+            self.fulfill(id, seq, &Response::UnknownWorkload);
+            return;
+        }
+        let slot: Arc<Mutex<Option<Response>>> = Arc::new(Mutex::new(None));
+        let job = {
+            let slot = Arc::clone(&slot);
+            let telemetry = Arc::clone(&self.telemetry);
+            Box::new(move || {
+                // Contained so a crash becomes an explicit error reply;
+                // the pool's own catch_unwind is the backstop.
+                let reply = catch_unwind(AssertUnwindSafe(|| {
+                    run_race(&telemetry, &workload, deadline_ms, arg)
+                }))
+                .unwrap_or_else(|_| {
+                    telemetry.on_error();
+                    Response::Error {
+                        message: "internal error: race panicked".to_owned(),
+                    }
+                });
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(reply);
+            })
+        };
+        let notify = {
+            let shared = Arc::clone(&self.shared);
+            Box::new(move || {
+                // An empty slot means the pool dropped the job unrun
+                // (injected `Fail` fault, worker killed mid-job) —
+                // answer rather than strand the connection.
+                let reply = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .unwrap_or(Response::Error {
+                        message: "worker lost".to_owned(),
+                    });
+                shared.post(id, seq, reply);
+            })
+        };
+        match self.pool.try_submit_notify(job, notify) {
+            Ok(()) => self.telemetry.on_accepted(),
+            Err(_) => {
+                self.telemetry.on_shed();
+                self.fulfill(id, seq, &Response::Overloaded);
+            }
+        }
+    }
+
+    /// Fills a reply slot and opportunistically flushes — the common
+    /// case (reply fits the socket buffer) completes without another
+    /// poll round-trip.
+    fn fulfill(&mut self, id: u64, seq: u64, response: &Response) {
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.fulfill(seq, response);
+            self.flush(id, false);
+        }
+    }
+
+    /// Queues one last reply, stops reading, and lets the drain logic
+    /// close the connection once the reply is out.
+    fn reply_and_close_read(&mut self, id: u64, response: &Response) {
+        let seq = match self.conns.get_mut(&id) {
+            Some(conn) => {
+                let seq = conn.begin_request();
+                conn.close_read();
+                seq
+            }
+            None => return,
+        };
+        self.fulfill(id, seq, response);
+    }
+
+    /// Writes as much buffered output as the socket accepts; a failed
+    /// write reclaims the connection.
+    fn flush(&mut self, id: u64, _draining: bool) {
+        let dead = match self.conns.get_mut(&id) {
+            Some(conn) => conn.has_output() && conn.on_writable().is_err(),
+            None => false,
+        };
+        if dead {
+            self.close(id);
+        }
+    }
+
+    /// Reclaims every connection that has served its purpose. This runs
+    /// on *every* loop iteration — a closed connection's state is gone
+    /// before the next poll, never parked until some future accept.
+    fn reap(&mut self, draining: bool) {
+        let done: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.should_close(draining))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            self.close(id);
+        }
+    }
+
+    /// Drops one connection's state and updates the gauge.
+    fn close(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            self.telemetry.on_conn_close();
+        }
+    }
+
+    /// Publishes the `conns_active` gauge (connections with at least
+    /// one request awaiting its reply).
+    fn publish_gauges(&self) {
+        let active = self.conns.values().filter(|c| c.in_flight() > 0).count();
+        self.telemetry.set_conns_active(active as u64);
+    }
+}

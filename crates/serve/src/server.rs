@@ -1,32 +1,42 @@
-//! The daemon: TCP accept loop, per-connection framing, and the
-//! request → race bridge.
+//! The daemon: a reactor front end bridging framed requests to the
+//! worker pool.
 //!
-//! Flow of one request: the connection thread decodes a `RUN` frame and
-//! tries to enqueue a job on the [`WorkerPool`]. If the bounded queue
-//! refuses, the request is shed with an immediate `Overloaded` reply —
-//! admission control at the door, not timeouts deep in the building. If
-//! admitted, a worker races the workload's alternatives on a
-//! [`ThreadedEngine`] under a [`CancelToken`] carrying the request's
-//! deadline — the serving analogue of the paper's `alt_wait(timeout)` —
-//! and posts the reply back to the connection thread, which writes
-//! frames in order.
+//! Flow of one request: the reactor (one thread, `poll(2)` over every
+//! socket — see [`crate::reactor`]) feeds inbound bytes through an
+//! incremental frame decoder and tries to enqueue each decoded `RUN` on
+//! the [`WorkerPool`]. If the bounded queue refuses, the request is
+//! shed with an immediate `Overloaded` reply — admission control at the
+//! door, not timeouts deep in the building. If admitted, a worker races
+//! the workload's alternatives on a [`ThreadedEngine`] under a
+//! [`CancelToken`] carrying the request's deadline — the serving
+//! analogue of the paper's `alt_wait(timeout)` — and posts the reply
+//! back to the reactor through a completion queue and a self-pipe
+//! wakeup. Replies are released per connection in request order, so
+//! pipelined requests on one socket come back in the order they were
+//! sent even when a later race finishes first.
 //!
-//! Shutdown (local call or the `SHUTDOWN` opcode) stops admissions,
-//! lets every in-flight race finish, joins every thread, and only then
-//! returns: no request that was admitted goes unanswered, and no race
-//! thread outlives the daemon.
+//! Concurrency cost model: an idle connection is a file descriptor and
+//! a few hundred bytes of state — not a thread. The daemon runs
+//! O(workers + 1) OS threads (the reactor, the pool, its supervisor)
+//! regardless of how many clients are connected.
+//!
+//! Shutdown (local call or the `SHUTDOWN` opcode) stops admissions and
+//! new reads, lets every in-flight race finish and flush its reply,
+//! reclaims each connection as it drains, and only then joins the pool:
+//! no request that was admitted goes unanswered, and no daemon thread
+//! outlives the drain.
 
-use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
-use crate::pool::{SubmitError, WorkerPool};
+use crate::frame::Response;
+use crate::pool::WorkerPool;
+use crate::reactor::{Reactor, ReactorShared};
 use crate::telemetry::Telemetry;
 use crate::workload;
 use altx::engine::ThreadedEngine;
 use altx::CancelToken;
 use altx_pager::{AddressSpace, PageSize};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -62,8 +72,8 @@ pub fn available_workers() -> usize {
 /// [`ServerHandle::shutdown`] or send the `SHUTDOWN` opcode.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    shared: Arc<ReactorShared>,
+    reactor: Option<JoinHandle<()>>,
     telemetry: Arc<Telemetry>,
 }
 
@@ -81,17 +91,17 @@ impl ServerHandle {
     /// Requests shutdown and blocks until the daemon has drained every
     /// in-flight race and joined every thread.
     pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept loop exits cleanly");
+        self.shared.request_shutdown();
+        if let Some(h) = self.reactor.take() {
+            h.join().expect("reactor exits cleanly");
         }
     }
 
     /// Blocks until the daemon shuts down (e.g. via the `SHUTDOWN`
     /// opcode from a client).
     pub fn wait(mut self) {
-        if let Some(h) = self.accept.take() {
-            h.join().expect("accept loop exits cleanly");
+        if let Some(h) = self.reactor.take() {
+            h.join().expect("reactor exits cleanly");
         }
     }
 }
@@ -103,182 +113,31 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
-    let shutdown = Arc::new(AtomicBool::new(false));
     let telemetry = Arc::new(Telemetry::new());
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
     telemetry.attach_pool(pool.stats());
 
-    let accept = {
-        let shutdown = Arc::clone(&shutdown);
-        let telemetry = Arc::clone(&telemetry);
-        std::thread::Builder::new()
-            .name("altxd-accept".to_owned())
-            .spawn(move || accept_loop(listener, pool, telemetry, shutdown))
-            .expect("spawn accept loop")
-    };
+    let (reactor, shared) = Reactor::new(listener, pool, Arc::clone(&telemetry))?;
+    let handle = std::thread::Builder::new()
+        .name("altxd-reactor".to_owned())
+        .spawn(move || reactor.run())
+        .expect("spawn reactor");
 
     Ok(ServerHandle {
         addr,
-        shutdown,
-        accept: Some(accept),
+        shared,
+        reactor: Some(handle),
         telemetry,
     })
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    pool: Arc<WorkerPool>,
-    telemetry: Arc<Telemetry>,
-    shutdown: Arc<AtomicBool>,
-) {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    while !shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let pool = Arc::clone(&pool);
-                let telemetry = Arc::clone(&telemetry);
-                let shutdown = Arc::clone(&shutdown);
-                let h = std::thread::Builder::new()
-                    .name("altxd-conn".to_owned())
-                    .spawn(move || {
-                        let _ = serve_connection(stream, &pool, &telemetry, &shutdown);
-                    })
-                    .expect("spawn connection");
-                connections.push(h);
-                connections.retain(|c| !c.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => break,
-        }
-    }
-    // Drain: connections notice the flag within one read timeout, finish
-    // their in-flight request, and exit; then the pool drains admitted
-    // jobs and joins its workers.
-    for c in connections {
-        c.join().expect("connection exits cleanly");
-    }
-    pool.shutdown();
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    pool: &Arc<WorkerPool>,
-    telemetry: &Arc<Telemetry>,
-    shutdown: &AtomicBool,
-) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let body = match read_frame(&mut stream) {
-            Ok(Some(body)) => body,
-            Ok(None) => return Ok(()), // clean disconnect
-            Err(FrameError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue; // idle; re-check the shutdown flag
-            }
-            Err(e) => {
-                telemetry.on_error();
-                let reply = Response::Error {
-                    message: e.to_string(),
-                };
-                let _ = write_frame(&mut stream, &reply.encode());
-                return Ok(());
-            }
-        };
-        let request = match Request::decode(&body) {
-            Ok(r) => r,
-            Err(e) => {
-                telemetry.on_error();
-                let reply = Response::Error {
-                    message: e.to_string(),
-                };
-                let _ = write_frame(&mut stream, &reply.encode());
-                return Ok(());
-            }
-        };
-        let response = match request {
-            Request::Stats => Response::Text {
-                body: telemetry.render_stats(),
-            },
-            Request::Prometheus => Response::Text {
-                body: telemetry.render_prometheus(),
-            },
-            Request::Shutdown => {
-                shutdown.store(true, Ordering::SeqCst);
-                let reply = Response::Text {
-                    body: "draining\n".to_owned(),
-                };
-                write_frame(&mut stream, &reply.encode())?;
-                return Ok(());
-            }
-            Request::Run {
-                workload,
-                deadline_ms,
-                arg,
-            } => dispatch_run(pool, telemetry, workload, deadline_ms, arg),
-        };
-        write_frame(&mut stream, &response.encode())?;
-    }
-}
-
-/// Admission-controls one RUN request and waits for its reply.
-fn dispatch_run(
-    pool: &Arc<WorkerPool>,
-    telemetry: &Arc<Telemetry>,
-    workload: String,
+/// Executes the race for one admitted request (worker context).
+pub(crate) fn run_race(
+    telemetry: &Telemetry,
+    workload: &str,
     deadline_ms: u32,
     arg: u64,
 ) -> Response {
-    // Reject unknown names before spending a queue slot.
-    if workload::spec(&workload).is_none() {
-        telemetry.on_error();
-        return Response::UnknownWorkload;
-    }
-    let (tx, rx) = mpsc::channel();
-    let job_telemetry = Arc::clone(telemetry);
-    let submitted = pool.try_submit(Box::new(move || {
-        // The race itself is contained here so a crash becomes an
-        // explicit error reply; the pool's own catch_unwind is the
-        // backstop for panics outside this region.
-        use std::panic::{catch_unwind, AssertUnwindSafe};
-        let reply = catch_unwind(AssertUnwindSafe(|| {
-            run_race(&job_telemetry, &workload, deadline_ms, arg)
-        }))
-        .unwrap_or_else(|_| {
-            job_telemetry.on_error();
-            Response::Error {
-                message: "internal error: race panicked".to_owned(),
-            }
-        });
-        let _ = tx.send(reply);
-    }));
-    match submitted {
-        Ok(()) => {
-            telemetry.on_accepted();
-            rx.recv().unwrap_or_else(|_| {
-                // The job was dropped unrun (injected `Fail` fault or a
-                // worker killed mid-job); answer rather than hang the
-                // connection.
-                Response::Error {
-                    message: "worker lost".to_owned(),
-                }
-            })
-        }
-        Err(SubmitError::Overloaded) | Err(SubmitError::ShuttingDown) => {
-            telemetry.on_shed();
-            Response::Overloaded
-        }
-    }
-}
-
-/// Executes the race for one admitted request (worker context).
-fn run_race(telemetry: &Telemetry, workload: &str, deadline_ms: u32, arg: u64) -> Response {
     let block = match workload::build(workload, arg) {
         Some(b) => b,
         None => {

@@ -108,6 +108,14 @@ pub struct Telemetry {
     errors: AtomicU64,
     /// Alternative bodies that panicked and were contained by an engine.
     alt_panics: AtomicU64,
+    /// Connections currently open on the reactor (gauge).
+    conns_open: AtomicU64,
+    /// Connections with at least one request in flight (gauge, set by
+    /// the reactor each loop iteration).
+    conns_active: AtomicU64,
+    /// Times the reactor was woken through the self-pipe by a worker
+    /// posting a completion (counter).
+    wakeups: AtomicU64,
     /// Latency of completed races.
     latency: LatencyHistogram,
     /// Wins per (workload, alternative name).
@@ -138,6 +146,12 @@ pub struct Snapshot {
     /// Faults injected process-wide by the active [`altx::faults`] plan
     /// (zero when no plan is installed).
     pub faults_injected: u64,
+    /// Connections currently open on the reactor.
+    pub conns_open: u64,
+    /// Connections with at least one request in flight.
+    pub conns_active: u64,
+    /// Reactor self-pipe wakeups.
+    pub wakeups: u64,
     /// Mean completed-race latency (µs).
     pub mean_us: f64,
     /// p50 estimate (µs).
@@ -192,6 +206,26 @@ impl Telemetry {
         }
     }
 
+    /// Counts a connection accepted by the reactor.
+    pub fn on_conn_open(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection whose state the reactor reclaimed.
+    pub fn on_conn_close(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes how many connections have a request in flight.
+    pub fn set_conns_active(&self, n: u64) {
+        self.conns_active.store(n, Ordering::Relaxed);
+    }
+
+    /// Counts a self-pipe wakeup of the reactor.
+    pub fn on_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Attaches the serving pool's counters so snapshots include them.
     /// Later calls are ignored (one pool per daemon).
     pub fn attach_pool(&self, stats: Arc<PoolStats>) {
@@ -210,6 +244,9 @@ impl Telemetry {
             jobs_panicked: self.pool.get().map_or(0, |p| p.jobs_panicked()),
             worker_respawns: self.pool.get().map_or(0, |p| p.worker_respawns()),
             faults_injected: altx::faults::injected_total(),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_active: self.conns_active.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
             mean_us: self.latency.mean_us(),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
@@ -231,6 +268,9 @@ impl Telemetry {
         out.push_str(&format!("  jobs panicked       {}\n", s.jobs_panicked));
         out.push_str(&format!("  worker respawns     {}\n", s.worker_respawns));
         out.push_str(&format!("  faults injected     {}\n", s.faults_injected));
+        out.push_str(&format!("  conns open          {}\n", s.conns_open));
+        out.push_str(&format!("  conns active        {}\n", s.conns_active));
+        out.push_str(&format!("  reactor wakeups     {}\n", s.wakeups));
         out.push_str(&format!(
             "  latency us          mean {:.1}  p50 {}  p99 {}\n",
             s.mean_us, s.p50_us, s.p99_us
@@ -304,6 +344,30 @@ impl Telemetry {
             "altxd_faults_injected_total",
             "Faults injected by the active fault plan",
             s.faults_injected,
+        );
+
+        counter(
+            &mut out,
+            "altxd_reactor_wakeups_total",
+            "Reactor self-pipe wakeups from completion posts",
+            s.wakeups,
+        );
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        gauge(
+            &mut out,
+            "altxd_conns_open",
+            "Connections currently open on the reactor",
+            s.conns_open,
+        );
+        gauge(
+            &mut out,
+            "altxd_conns_active",
+            "Connections with a request in flight",
+            s.conns_active,
         );
 
         out.push_str("# HELP altxd_race_latency_us Completed-race latency in microseconds\n");

@@ -2,7 +2,9 @@
 //! oversize rejection, and garbage tolerance.
 
 use altx_check::{check, CaseRng};
-use altx_serve::frame::{read_frame, write_frame, FrameError, Request, Response, MAX_FRAME};
+use altx_serve::frame::{
+    read_frame, write_frame, FrameDecoder, FrameError, Request, Response, MAX_FRAME,
+};
 
 fn arb_request(rng: &mut CaseRng) -> Request {
     match rng.usize_in(0, 4) {
@@ -116,6 +118,113 @@ fn decoder_tolerates_garbage() {
                 Request::decode(&valid[..cut]).is_err(),
                 "prefix must not parse"
             );
+        }
+    });
+}
+
+/// Oversized bodies are refused at the writer in *release* builds too —
+/// a half-written oversized frame would desynchronize the stream for
+/// every later message (regression: this used to be a `debug_assert!`).
+#[test]
+fn write_frame_rejects_oversized_bodies() {
+    let body = vec![0u8; MAX_FRAME + 1];
+    let mut wire = Vec::new();
+    let err = write_frame(&mut wire, &body).expect_err("oversized body must be refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(
+        wire.is_empty(),
+        "no bytes may reach the wire: {}",
+        wire.len()
+    );
+
+    // Exactly MAX_FRAME is still legal.
+    let body = vec![0u8; MAX_FRAME];
+    write_frame(&mut wire, &body).expect("MAX_FRAME body is legal");
+    assert_eq!(wire.len(), 4 + MAX_FRAME);
+}
+
+/// A wire image of several frames, for the incremental decoder tests.
+fn arb_wire(rng: &mut CaseRng) -> (Vec<Vec<u8>>, Vec<u8>) {
+    let bodies: Vec<Vec<u8>> = (0..rng.usize_in(1, 6)).map(|_| rng.bytes(0, 120)).collect();
+    let mut wire = Vec::new();
+    for b in &bodies {
+        write_frame(&mut wire, b).expect("vec write");
+    }
+    (bodies, wire)
+}
+
+/// Feeding the decoder one byte at a time yields exactly the frames the
+/// blocking reader would see, with nothing left over.
+#[test]
+fn incremental_decoder_byte_at_a_time() {
+    check("incremental_decoder_byte_at_a_time", 128, |rng| {
+        let (bodies, wire) = arb_wire(rng);
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in &wire {
+            decoder.extend(std::slice::from_ref(byte));
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, bodies);
+        assert_eq!(decoder.buffered(), 0);
+        decoder.finish().expect("no partial frame at EOF");
+    });
+}
+
+/// Splitting the stream at *every* point produces identical frames: the
+/// decoder is resumable across arbitrary read boundaries.
+#[test]
+fn incremental_decoder_every_split_point() {
+    check("incremental_decoder_every_split_point", 64, |rng| {
+        let (bodies, wire) = arb_wire(rng);
+        for cut in 0..=wire.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut got = Vec::new();
+            for chunk in [&wire[..cut], &wire[cut..]] {
+                decoder.extend(chunk);
+                while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                    got.push(frame);
+                }
+            }
+            assert_eq!(got, bodies, "split at {cut}");
+            decoder.finish().expect("no partial frame at EOF");
+        }
+    });
+}
+
+/// An oversized length prefix is rejected as soon as the header is
+/// visible — before the announced body is buffered — and EOF mid-frame
+/// is a truncation, exactly like the blocking path.
+#[test]
+fn incremental_decoder_rejects_oversize_and_truncation() {
+    check("incremental_decoder_oversize_truncation", 64, |rng| {
+        let len = rng.u64_in(MAX_FRAME as u64 + 1, u32::MAX as u64 + 1) as u32;
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&len.to_be_bytes());
+        match decoder.next_frame() {
+            Err(FrameError::Oversized(n)) => assert_eq!(n, len as usize),
+            other => panic!("announced {len} bytes, got {other:?}"),
+        }
+
+        // A strict prefix of a valid frame, then EOF.
+        let body = rng.bytes(1, 100);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &body).expect("vec write");
+        let cut = rng.usize_in(1, wire.len() - 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&wire[..cut]);
+        assert!(
+            decoder
+                .next_frame()
+                .expect("prefix is not an error")
+                .is_none(),
+            "partial frame must not decode"
+        );
+        match decoder.finish() {
+            Err(FrameError::Truncated) => {}
+            other => panic!("EOF after {cut}/{} bytes gave {other:?}", wire.len()),
         }
     });
 }

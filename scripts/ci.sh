@@ -31,8 +31,8 @@ ALTXD_PID=$!
 trap 'kill "$ALTXD_PID" 2>/dev/null || true; rm -f "$SMOKE_OUT"' EXIT
 sleep 0.3
 ./target/release/altx-load \
-    --addr "$SMOKE_ADDR" --workload trivial --clients 8 --duration 6 \
-    --out "$SMOKE_OUT"
+    --addr "$SMOKE_ADDR" --workload trivial --clients 8 --connections 64 \
+    --duration 6 --out "$SMOKE_OUT"
 wait "$ALTXD_PID"
 
 # Extract "throughput_rps": N.N with no JSON tooling (offline CI).
@@ -57,6 +57,46 @@ awk -v base="$BASE_RPS" -v fresh="$FRESH_RPS" 'BEGIN {
     exit 1
 }
 rm -f "$SMOKE_OUT"
+trap - EXIT
+
+echo "==> idle-connection smoke: 1024 idle conns on O(workers) threads"
+IDLE_ADDR=127.0.0.1:7981
+IDLE_OUT=$(mktemp /tmp/altx-idle.XXXXXX.log)
+./target/release/altxd --addr "$IDLE_ADDR" --workers 4 &
+IDLE_PID=$!
+trap 'kill "$IDLE_PID" 2>/dev/null || true; rm -f "$IDLE_OUT"' EXIT
+sleep 0.3
+# 8 load clients plus 1024 held-open idle connections. The load runs
+# long enough to sample the daemon's thread count while every
+# connection is open; under the reactor that count is O(workers), not
+# O(connections).
+./target/release/altx-load \
+    --addr "$IDLE_ADDR" --workload trivial --clients 8 --connections 1032 \
+    --duration 4 --out /dev/null >"$IDLE_OUT" &
+LOAD_PID=$!
+for _ in $(seq 1 100); do
+    grep -q 'holding' "$IDLE_OUT" && break
+    sleep 0.1
+done
+grep -q 'holding' "$IDLE_OUT" || {
+    echo "idle smoke: altx-load never reported held connections" >&2
+    exit 1
+}
+THREADS=$(awk '/^Threads:/{print $2}' "/proc/$IDLE_PID/status")
+CONNS=$(grep -o 'conns_open=[0-9]*' "$IDLE_OUT" | grep -o '[0-9]*$')
+wait "$LOAD_PID"
+kill "$IDLE_PID" 2>/dev/null || true
+wait "$IDLE_PID" 2>/dev/null || true
+echo "idle smoke: daemon threads=$THREADS with conns_open=$CONNS"
+[ -n "$CONNS" ] && [ "$CONNS" -ge 1024 ] || {
+    echo "idle smoke: expected >=1024 open connections, daemon reported '$CONNS'" >&2
+    exit 1
+}
+[ -n "$THREADS" ] && [ "$THREADS" -le 16 ] || {
+    echo "idle smoke: idle connections must not cost threads (threads=$THREADS, want <=16)" >&2
+    exit 1
+}
+rm -f "$IDLE_OUT"
 trap - EXIT
 
 echo "==> CI gate passed"
