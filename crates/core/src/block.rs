@@ -151,6 +151,12 @@ pub struct BlockResult<R> {
     /// also a failed attempt; a nonzero count with a successful block
     /// means a *sibling* crashed and the race survived it).
     pub panics: usize,
+    /// How many alternatives never ran their body because the race was
+    /// already decided when their turn came — a queued alternative under
+    /// bounded parallelism, or a hedged alternative whose
+    /// [`LaunchPlan`](crate::engine::LaunchPlan) offset had not elapsed.
+    /// Suppression changes cost, never which value is selected.
+    pub suppressed: usize,
 }
 
 impl<R> BlockResult<R> {
@@ -228,6 +234,7 @@ mod tests {
             wall: Duration::ZERO,
             attempts: 1,
             panics: 0,
+            suppressed: 0,
         };
         assert!(ok.succeeded());
         assert_eq!(ok.into_value(), 5);
@@ -238,6 +245,7 @@ mod tests {
             wall: Duration::ZERO,
             attempts: 2,
             panics: 1,
+            suppressed: 0,
         };
         assert!(!failed.succeeded());
     }
@@ -252,6 +260,7 @@ mod tests {
             wall: Duration::ZERO,
             attempts: 0,
             panics: 0,
+            suppressed: 0,
         };
         failed.into_value();
     }

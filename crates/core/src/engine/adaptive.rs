@@ -4,44 +4,28 @@
 //! "Statistical data can be applied, e.g., quicksort is 'almost always'
 //! O(n log n). Thus, we'll rarely go wrong to use it."
 //!
-//! [`AdaptiveEngine`] learns that statistic online: it tracks a running
-//! mean of each alternative's observed execution time and (after an
-//! exploration phase that tries everything once) always runs the
-//! alternative with the best historical mean, falling back to the next
-//! best when the favourite's guard fails. It beats Scheme B whenever one
-//! alternative is *usually* fastest — and loses to Scheme C when the
-//! fastest alternative varies per input, which is exactly the regime the
-//! paper's racing design targets.
+//! [`AdaptiveEngine`] learns that statistic online through a shared
+//! [`AltStatsTable`]: it tracks an EWMA of each alternative's observed
+//! execution time and (after an exploration phase that tries everything
+//! once) always runs the alternative with the best learned latency,
+//! falling back to the next best when the favourite's guard fails. It
+//! beats Scheme B whenever one alternative is *usually* fastest — and
+//! loses to Scheme C when the fastest alternative varies per input,
+//! which is exactly the regime the paper's racing design targets.
 
 use crate::block::{AltBlock, BlockResult};
 use crate::cancel::CancelToken;
 use crate::engine::Engine;
+use crate::stats::AltStatsTable;
 use altx_pager::AddressSpace;
-use std::sync::Mutex;
 use std::time::Instant;
-
-#[derive(Debug, Clone, Default)]
-struct AltStats {
-    runs: u64,
-    total_secs: f64,
-    failures: u64,
-}
-
-impl AltStats {
-    fn mean(&self) -> f64 {
-        if self.runs == 0 {
-            f64::NEG_INFINITY // unexplored: try it first
-        } else {
-            self.total_secs / self.runs as f64
-        }
-    }
-}
 
 /// An engine that runs the historically fastest alternative first.
 ///
-/// Statistics are keyed by alternative *index*, so one engine instance
-/// should be reused across executions of the same (or same-shaped)
-/// block; a fresh instance starts with an exploration pass.
+/// Statistics are keyed by alternative *index* in a lock-cheap
+/// [`AltStatsTable`], so one engine instance should be reused across
+/// executions of the same (or same-shaped) block; a fresh instance
+/// starts with an exploration pass.
 ///
 /// # Example
 ///
@@ -67,7 +51,7 @@ impl AltStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct AdaptiveEngine {
-    stats: Mutex<Vec<AltStats>>,
+    stats: AltStatsTable,
 }
 
 impl AdaptiveEngine {
@@ -76,47 +60,32 @@ impl AdaptiveEngine {
         AdaptiveEngine::default()
     }
 
-    /// Observed mean execution time (seconds) of alternative `i`, if it
-    /// has run.
+    /// The live statistics table backing this engine's decisions.
+    pub fn stats(&self) -> &AltStatsTable {
+        &self.stats
+    }
+
+    /// Observed (EWMA) execution time in seconds of alternative `i`, if
+    /// it has run.
     pub fn observed_mean(&self, i: usize) -> Option<f64> {
-        let stats = self.stats.lock().expect("stats lock");
-        stats.get(i).filter(|s| s.runs > 0).map(AltStats::mean)
+        self.stats.ewma_us(i).map(|us| us / 1e6)
     }
 
     /// Total guard failures observed for alternative `i`.
     pub fn observed_failures(&self, i: usize) -> u64 {
-        self.stats
-            .lock()
-            .expect("stats lock")
-            .get(i)
-            .map(|s| s.failures)
-            .unwrap_or(0)
+        self.stats.failures(i)
     }
 
     /// Preference order: unexplored first, then ascending observed mean.
     fn order(&self, n: usize) -> Vec<usize> {
-        let mut stats = self.stats.lock().expect("stats lock");
-        if stats.len() < n {
-            stats.resize(n, AltStats::default());
-        }
+        self.stats.ensure(n);
+        let key = |i: usize| -> f64 {
+            // Unexplored alternatives sort before everything observed.
+            self.stats.ewma_us(i).unwrap_or(f64::NEG_INFINITY)
+        };
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            stats[a]
-                .mean()
-                .partial_cmp(&stats[b].mean())
-                .expect("means are never NaN")
-        });
+        order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).expect("EWMA is never NaN"));
         order
-    }
-
-    fn record(&self, i: usize, secs: f64, failed: bool) {
-        let mut stats = self.stats.lock().expect("stats lock");
-        let s = &mut stats[i];
-        s.runs += 1;
-        s.total_secs += secs;
-        if failed {
-            s.failures += 1;
-        }
     }
 }
 
@@ -135,6 +104,7 @@ impl Engine for AdaptiveEngine {
                 wall: start.elapsed(),
                 attempts: 0,
                 panics: 0,
+                suppressed: 0,
             };
         }
         let token = CancelToken::new();
@@ -151,18 +121,22 @@ impl Engine for AdaptiveEngine {
             if panicked {
                 panics += 1;
             }
-            let secs = attempt_start.elapsed().as_secs_f64();
-            self.record(i, secs, value.is_none());
-            if let Some(v) = value {
-                workspace.absorb(fork);
-                return BlockResult {
-                    value: Some(v),
-                    winner: Some(i),
-                    winner_name: Some(alt.name().to_string()),
-                    wall: start.elapsed(),
-                    attempts,
-                    panics,
-                };
+            let us = attempt_start.elapsed().as_micros() as u64;
+            match value {
+                Some(v) => {
+                    self.stats.record_win(i, us);
+                    workspace.absorb(fork);
+                    return BlockResult {
+                        value: Some(v),
+                        winner: Some(i),
+                        winner_name: Some(alt.name().to_string()),
+                        wall: start.elapsed(),
+                        attempts,
+                        panics,
+                        suppressed: block.len() - attempts,
+                    };
+                }
+                None => self.stats.record_run(i, us, true),
             }
         }
         BlockResult {
@@ -172,6 +146,7 @@ impl Engine for AdaptiveEngine {
             wall: start.elapsed(),
             attempts,
             panics,
+            suppressed: 0,
         }
     }
 }
@@ -215,6 +190,10 @@ mod tests {
             "the statistic picks the fast one: {fast_runs}"
         );
         assert!(engine.observed_mean(0).expect("ran") > engine.observed_mean(1).expect("ran"));
+        assert!(
+            engine.stats().wins(1) >= 6,
+            "wins accrue to the settled favourite"
+        );
     }
 
     #[test]

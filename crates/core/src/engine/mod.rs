@@ -16,6 +16,7 @@
 
 mod adaptive;
 mod ordered;
+mod plan;
 mod random;
 mod selector;
 pub mod sim;
@@ -23,6 +24,7 @@ mod threaded;
 
 pub use adaptive::AdaptiveEngine;
 pub use ordered::OrderedEngine;
+pub use plan::LaunchPlan;
 pub use random::RandomEngine;
 pub use selector::SelectorEngine;
 pub use threaded::ThreadedEngine;

@@ -52,6 +52,7 @@ impl Engine for OrderedEngine {
                     wall: start.elapsed(),
                     attempts,
                     panics,
+                    suppressed: block.len() - attempts,
                 };
             }
             // Failure: drop the fork — implicit rollback.
@@ -63,6 +64,7 @@ impl Engine for OrderedEngine {
             wall: start.elapsed(),
             attempts,
             panics,
+            suppressed: 0,
         }
     }
 }

@@ -1,0 +1,87 @@
+//! Launch plans: *when* each alternative of a race starts.
+//!
+//! The paper's §4.2 separates *which alternatives exist* from *how they
+//! are scheduled*: Scheme C races everything at once, Scheme A trusts
+//! statistics to pick a favourite. A [`LaunchPlan`] makes that schedule an
+//! explicit, inspectable value — per-alternative start offsets relative to
+//! the moment the race begins — so a policy layer (e.g. the serving
+//! stack's hedging policy) can decide the strategy while the engine keeps
+//! sole ownership of the mutual-exclusion semantics. An alternative whose
+//! offset has not elapsed when the race is decided is *suppressed*: its
+//! body never runs, which changes cost, never selection semantics.
+
+use std::time::Duration;
+
+/// Per-alternative start offsets for one race.
+///
+/// Offsets are relative to race start. Index `i` schedules alternative
+/// `i`; alternatives beyond the plan's length launch immediately (offset
+/// zero), so [`LaunchPlan::immediate`] and a too-short plan are both safe.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LaunchPlan {
+    offsets: Vec<Duration>,
+}
+
+impl LaunchPlan {
+    /// The classic Scheme C plan: every one of `n` alternatives launches
+    /// at t=0. Racing under this plan is behaviourally identical to the
+    /// unplanned engine entry points.
+    pub fn immediate(n: usize) -> Self {
+        LaunchPlan {
+            offsets: vec![Duration::ZERO; n],
+        }
+    }
+
+    /// A plan from explicit per-alternative offsets.
+    pub fn from_offsets(offsets: Vec<Duration>) -> Self {
+        LaunchPlan { offsets }
+    }
+
+    /// Start offset for alternative `i` (zero when out of range).
+    pub fn offset(&self, i: usize) -> Duration {
+        self.offsets.get(i).copied().unwrap_or(Duration::ZERO)
+    }
+
+    /// Number of alternatives this plan covers explicitly.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True when the plan covers no alternatives explicitly.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// True when every covered alternative launches at t=0.
+    pub fn is_immediate(&self) -> bool {
+        self.offsets.iter().all(|o| o.is_zero())
+    }
+
+    /// Number of alternatives held back (non-zero offset) — the hedges.
+    pub fn staggered(&self) -> usize {
+        self.offsets.iter().filter(|o| !o.is_zero()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_plan_is_all_zeros() {
+        let p = LaunchPlan::immediate(4);
+        assert_eq!(p.len(), 4);
+        assert!(p.is_immediate());
+        assert_eq!(p.staggered(), 0);
+        assert_eq!(p.offset(2), Duration::ZERO);
+    }
+
+    #[test]
+    fn out_of_range_offsets_are_zero() {
+        let p = LaunchPlan::from_offsets(vec![Duration::from_millis(5)]);
+        assert_eq!(p.offset(0), Duration::from_millis(5));
+        assert_eq!(p.offset(7), Duration::ZERO);
+        assert!(!p.is_immediate());
+        assert_eq!(p.staggered(), 1);
+    }
+}

@@ -53,6 +53,7 @@ impl Engine for RandomEngine {
                 wall: start.elapsed(),
                 attempts: 0,
                 panics: 0,
+                suppressed: 0,
             };
         }
         let i = self.rng.lock().expect("rng lock").index(block.len());
@@ -75,6 +76,7 @@ impl Engine for RandomEngine {
             wall: start.elapsed(),
             attempts: 1,
             panics: usize::from(panicked),
+            suppressed: block.len() - 1,
         }
     }
 }

@@ -84,6 +84,7 @@ impl Engine for SelectorEngine {
                 wall: start.elapsed(),
                 attempts: 0,
                 panics: 0,
+                suppressed: 0,
             };
         }
         let choice = (self.selector)(workspace).min(block.len() - 1);
@@ -109,6 +110,7 @@ impl Engine for SelectorEngine {
             wall: start.elapsed(),
             attempts: 1,
             panics: usize::from(panicked),
+            suppressed: block.len() - 1,
         }
     }
 }

@@ -2,13 +2,39 @@
 
 use crate::block::{AltBlock, BlockResult};
 use crate::cancel::CancelToken;
-use crate::engine::Engine;
+use crate::engine::{Engine, LaunchPlan};
 use crate::faults;
 use crate::sync::Semaphore;
 use altx_pager::AddressSpace;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Slice length for the cancellable launch-offset wait: hedged
+/// alternatives poll their token at this granularity while holding back,
+/// so a decided race suppresses them within ~a slice.
+const LAUNCH_WAIT_SLICE: Duration = Duration::from_micros(200);
+
+/// Waits until `offset` has elapsed or the race is decided. Returns
+/// `true` when the alternative should launch, `false` when it was
+/// suppressed. A zero offset never touches the clock — the immediate
+/// path is exactly the pre-plan behaviour.
+fn wait_for_launch(token: &CancelToken, offset: Duration) -> bool {
+    if offset.is_zero() {
+        return true;
+    }
+    let due = Instant::now() + offset;
+    loop {
+        if token.is_cancelled() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= due {
+            return true;
+        }
+        std::thread::sleep((due - now).min(LAUNCH_WAIT_SLICE));
+    }
+}
 
 /// Races every alternative on its own OS thread over a private COW fork
 /// of the workspace; the first `Some` result wins, the losers are
@@ -72,6 +98,24 @@ impl ThreadedEngine {
         workspace: &mut AddressSpace,
         token: &CancelToken,
     ) -> BlockResult<R> {
+        self.execute_planned(block, workspace, token, &LaunchPlan::immediate(block.len()))
+    }
+
+    /// Races `block` under a caller-supplied [`LaunchPlan`]: alternative
+    /// `i` launches `plan.offset(i)` after race start, or not at all if
+    /// the race is decided first (it counts as *suppressed* in the
+    /// result). An all-zeros plan is byte-for-byte
+    /// [`execute_with_token`](ThreadedEngine::execute_with_token): the
+    /// plan changes only *when* bodies start, never how the winner is
+    /// selected, how siblings are eliminated, or how panics are
+    /// contained.
+    pub fn execute_planned<R: Send>(
+        &self,
+        block: &AltBlock<R>,
+        workspace: &mut AddressSpace,
+        token: &CancelToken,
+        plan: &LaunchPlan,
+    ) -> BlockResult<R> {
         let start = Instant::now();
         if block.is_empty() {
             return BlockResult {
@@ -81,6 +125,7 @@ impl ThreadedEngine {
                 wall: start.elapsed(),
                 attempts: 0,
                 panics: 0,
+                suppressed: 0,
             };
         }
 
@@ -92,19 +137,31 @@ impl ThreadedEngine {
         // (they check the token before doing any work).
         let semaphore = Semaphore::new(slots);
         let panics = AtomicUsize::new(0);
+        let suppressed = AtomicUsize::new(0);
 
         let winner_slot = std::thread::scope(|scope| {
             for (i, alt) in block.alternatives().iter().enumerate() {
                 let mut fork = workspace.cow_fork();
                 let tx = tx.clone();
                 let token = token.clone();
+                let offset = plan.offset(i);
                 let semaphore = &semaphore;
                 let panics = &panics;
+                let suppressed = &suppressed;
                 scope.spawn(move || {
+                    // Hold back per the launch plan; a race decided during
+                    // the hold-back suppresses this alternative entirely.
+                    if !wait_for_launch(&token, offset) {
+                        suppressed.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send((i, None, fork));
+                        return;
+                    }
                     // Wait for an execution slot (bounded concurrency).
                     semaphore.acquire();
                     let value = if token.is_cancelled() {
-                        None // race already decided: never start
+                        // Race already decided: never start.
+                        suppressed.fetch_add(1, Ordering::Relaxed);
+                        None
                     } else {
                         // Containment: a panicking body — or an
                         // injected panic — is a failed guard, not a
@@ -166,6 +223,7 @@ impl ThreadedEngine {
         });
 
         let panics = panics.load(Ordering::Relaxed);
+        let suppressed = suppressed.load(Ordering::Relaxed);
         match winner_slot {
             Some((i, value, fork)) => {
                 // alt_wait absorption: the winner's page map becomes ours.
@@ -177,6 +235,7 @@ impl ThreadedEngine {
                     wall: start.elapsed(),
                     attempts: block.len(),
                     panics,
+                    suppressed,
                 }
             }
             None => BlockResult {
@@ -186,6 +245,7 @@ impl ThreadedEngine {
                 wall: start.elapsed(),
                 attempts: block.len(),
                 panics,
+                suppressed,
             },
         }
     }
@@ -388,6 +448,89 @@ mod tests {
             vec![0],
             "no crashed fork's writes leak"
         );
+    }
+
+    #[test]
+    fn planned_hold_back_suppresses_the_loser() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        // alt0 wins in ~5 ms; alt1 is held back 200 ms, so the decision
+        // arrives during its hold-back and its body never runs.
+        let started = Arc::new(AtomicUsize::new(0));
+        let s = started.clone();
+        let fast = sleepy(5);
+        let block: AltBlock<usize> = AltBlock::new()
+            .alternative("favourite", move |_w, t| fast(t).map(|_| 0))
+            .alternative("hedge", move |_w, _t| {
+                s.fetch_add(1, Ordering::SeqCst);
+                Some(1)
+            });
+        let plan = LaunchPlan::from_offsets(vec![Duration::ZERO, Duration::from_millis(200)]);
+        let r =
+            ThreadedEngine::new().execute_planned(&block, &mut ws(), &CancelToken::new(), &plan);
+        assert_eq!(r.value, Some(0));
+        assert_eq!(r.suppressed, 1, "the hedge was suppressed");
+        assert_eq!(started.load(Ordering::SeqCst), 0, "hedge body never ran");
+        assert!(
+            r.wall < Duration::from_millis(150),
+            "no wait for the hedge offset"
+        );
+    }
+
+    #[test]
+    fn planned_hedge_fires_when_the_favourite_fails() {
+        // alt0 fails its guard; alt1 launches after its offset and wins.
+        let start = Instant::now();
+        let block: AltBlock<&'static str> = AltBlock::new()
+            .alternative("favourite-fails", |_w, _t| None::<&'static str>)
+            .alternative("hedge", |_w, _t| Some("hedge"));
+        let plan = LaunchPlan::from_offsets(vec![Duration::ZERO, Duration::from_millis(20)]);
+        let r =
+            ThreadedEngine::new().execute_planned(&block, &mut ws(), &CancelToken::new(), &plan);
+        assert_eq!(r.value, Some("hedge"));
+        assert_eq!(r.winner, Some(1));
+        assert_eq!(r.suppressed, 0);
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "the hedge respected its launch offset"
+        );
+    }
+
+    #[test]
+    fn immediate_plan_matches_execute_with_token() {
+        // Same block, same workspace shape: the all-zeros plan must give
+        // the same value, winner, and workspace bytes as the token entry
+        // point (it is the same code path).
+        let mk = || -> AltBlock<u8> {
+            AltBlock::new()
+                .alternative("loser", |w, t| {
+                    w.write(0, &[1]);
+                    for _ in 0..100 {
+                        t.checkpoint()?;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Some(1)
+                })
+                .alternative("winner", |w, _t| {
+                    w.write(0, &[2]);
+                    Some(2)
+                })
+        };
+        let mut ws_token = ws();
+        let via_token =
+            ThreadedEngine::new().execute_with_token(&mk(), &mut ws_token, &CancelToken::new());
+        let mut ws_plan = ws();
+        let via_plan = ThreadedEngine::new().execute_planned(
+            &mk(),
+            &mut ws_plan,
+            &CancelToken::new(),
+            &LaunchPlan::immediate(2),
+        );
+        assert_eq!(via_token.value, via_plan.value);
+        assert_eq!(via_token.winner, via_plan.winner);
+        assert_eq!(via_token.winner_name, via_plan.winner_name);
+        assert_eq!(via_token.attempts, via_plan.attempts);
+        assert_eq!(ws_token.read_vec(0, 1), ws_plan.read_vec(0, 1));
     }
 
     #[test]

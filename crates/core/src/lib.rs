@@ -53,6 +53,7 @@ pub mod faults;
 #[macro_use]
 pub mod macros;
 pub mod perf;
+pub mod stats;
 pub mod sync;
 
 pub use block::{AltBlock, BlockResult};

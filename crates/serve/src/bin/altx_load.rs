@@ -4,6 +4,7 @@
 //! altx-load [--addr HOST:PORT] [--workload NAME] [--clients N]
 //!           [--connections N] [--duration SECS] [--deadline-ms N]
 //!           [--out FILE.json] [--retries N] [--hedge-ms N]
+//!           [--batch-window-us N]
 //! ```
 //!
 //! Spawns `N` client threads, each with its own connection, issuing
@@ -15,10 +16,21 @@
 //! server-reported `conns open` gauge is fetched while the idles are
 //! held and echoed for smoke tests. `--retries` enables the client's
 //! retry policy (N attempts per call with backoff); `--hedge-ms` arms a
-//! hedged second attempt after that many milliseconds. Prints a summary
-//! table and writes a JSON report — throughput, p50/p99/p99.9/max
-//! latency, reply mix, per-alternative win counts, and resilience
-//! counters — to `--out` (default `BENCH_serve_throughput.json`).
+//! hedged second attempt after that many milliseconds.
+//!
+//! `--batch-window-us N` aligns the clients onto the daemon's
+//! coalescing window: instead of each client walking its own RNG arg
+//! stream, every client derives its arg from the *shared* run clock
+//! (`elapsed / N`), so clients issuing in the same window send the
+//! identical `(workload, arg, deadline)` key and the daemon can batch
+//! them into one race. Start the daemon with the same
+//! `--batch-window-us` to see `requests coalesced` climb.
+//!
+//! Prints a summary table and writes a JSON report — throughput,
+//! p50/p99/p99.9/max latency, reply mix, per-alternative win counts,
+//! client resilience counters, and the daemon's post-run scheduler
+//! counters (`server_*` fields, parsed from its STATS page) — to
+//! `--out` (default `BENCH_serve_throughput.json`).
 
 use altx_serve::client::{ClientConfig, RetryPolicy};
 use altx_serve::frame::Response;
@@ -38,6 +50,7 @@ struct Args {
     out: String,
     retries: u32,
     hedge_ms: u64,
+    batch_window_us: u64,
 }
 
 impl Args {
@@ -67,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         out: "BENCH_serve_throughput.json".to_owned(),
         retries: 0,
         hedge_ms: 0,
+        batch_window_us: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,11 +119,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--hedge-ms: {e}"))?
             }
+            "--batch-window-us" => {
+                args.batch_window_us = value("--batch-window-us")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window-us: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
                      [--connections N] [--duration SECS] [--deadline-ms N] \
-                     [--out FILE.json] [--retries N] [--hedge-ms N]"
+                     [--out FILE.json] [--retries N] [--hedge-ms N] [--batch-window-us N]"
                 );
                 std::process::exit(0);
             }
@@ -130,15 +149,19 @@ struct ClientReport {
     retries: u64,
     hedges: u64,
     reconnects: u64,
+    abandoned: u64,
     wins: BTreeMap<String, u64>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: &str,
     workload: &str,
     deadline_ms: u32,
     config: ClientConfig,
     seed: u64,
+    batch_window_us: u64,
+    epoch: Instant,
     stop: &AtomicBool,
 ) -> Result<ClientReport, String> {
     let mut client =
@@ -146,9 +169,14 @@ fn client_loop(
     let mut report = ClientReport::default();
     let mut arg = seed;
     while !stop.load(Ordering::Relaxed) {
-        arg = arg
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        arg = if batch_window_us > 0 {
+            // Shared-clock arg: every client in the same window sends
+            // the same key, so the daemon's batcher can coalesce them.
+            epoch.elapsed().as_micros() as u64 / batch_window_us
+        } else {
+            arg.wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407)
+        };
         let begin = Instant::now();
         let resp = client
             .run(workload, arg, deadline_ms)
@@ -174,17 +202,43 @@ fn client_loop(
     report.retries = stats.retries();
     report.hedges = stats.hedges();
     report.reconnects = stats.reconnects();
+    report.abandoned = stats.abandoned();
     Ok(report)
 }
 
-/// Parses the `conns open` line out of the daemon's STATS page.
-fn conns_open_from_stats(stats: &str) -> Option<u64> {
+/// Reads a labelled counter line (e.g. `requests coalesced  12`) off
+/// the daemon's STATS page: the label words must lead the line and the
+/// next word must parse as the value.
+fn counter_from_stats(stats: &str, label: &[&str]) -> Option<u64> {
     stats.lines().find_map(|l| {
         let mut words = l.split_whitespace();
-        (words.next() == Some("conns") && words.next() == Some("open"))
+        label
+            .iter()
+            .all(|w| words.next() == Some(w))
             .then(|| words.next()?.parse().ok())
             .flatten()
     })
+}
+
+/// The daemon's race-scheduler counters, scraped after the run.
+#[derive(Default)]
+struct ServerCounters {
+    batches_formed: u64,
+    requests_coalesced: u64,
+    hedges_launched: u64,
+    hedge_wins: u64,
+    launches_suppressed: u64,
+}
+
+fn scrape_server_counters(stats: &str) -> ServerCounters {
+    let get = |label: &[&str]| counter_from_stats(stats, label).unwrap_or(0);
+    ServerCounters {
+        batches_formed: get(&["batches", "formed"]),
+        requests_coalesced: get(&["requests", "coalesced"]),
+        hedges_launched: get(&["hedges", "launched"]),
+        hedge_wins: get(&["hedge", "wins"]),
+        launches_suppressed: get(&["launches", "suppressed"]),
+    }
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -228,7 +282,7 @@ fn main() {
             c.stats_page()
                 .map_err(|e| std::io::Error::other(e.to_string()))
         }) {
-            Ok(stats) => conns_open_from_stats(&stats).unwrap_or(0),
+            Ok(stats) => counter_from_stats(&stats, &["conns", "open"]).unwrap_or(0),
             Err(e) => {
                 eprintln!("altx-load: probing conns_open: {e}");
                 std::process::exit(1);
@@ -253,8 +307,18 @@ fn main() {
             let deadline_ms = args.deadline_ms;
             let seed = 0x5eed + i as u64;
             let config = args.client_config(seed);
+            let batch_window_us = args.batch_window_us;
             std::thread::spawn(move || {
-                client_loop(&addr, &workload, deadline_ms, config, seed, &stop)
+                client_loop(
+                    &addr,
+                    &workload,
+                    deadline_ms,
+                    config,
+                    seed,
+                    batch_window_us,
+                    started,
+                    &stop,
+                )
             })
         })
         .collect();
@@ -273,6 +337,7 @@ fn main() {
                 merged.retries += r.retries;
                 merged.hedges += r.hedges;
                 merged.reconnects += r.reconnects;
+                merged.abandoned += r.abandoned;
                 for (name, n) in r.wins {
                     *merged.wins.entry(name).or_insert(0) += n;
                 }
@@ -285,6 +350,20 @@ fn main() {
     }
     let elapsed = started.elapsed().as_secs_f64();
     drop(idles); // held through the whole measured window
+
+    // The daemon is still up: scrape its scheduler counters so the
+    // report shows what the server did with this load (batching and
+    // hedging live server-side; client counters can't see them).
+    let server = match Client::connect(&*args.addr).and_then(|mut c| {
+        c.stats_page()
+            .map_err(|e| std::io::Error::other(e.to_string()))
+    }) {
+        Ok(stats) => scrape_server_counters(&stats),
+        Err(e) => {
+            eprintln!("altx-load: scraping server counters: {e} (reporting zeros)");
+            ServerCounters::default()
+        }
+    };
     merged.latencies_us.sort_unstable();
     let total = merged.ok + merged.deadline_exceeded + merged.overloaded + merged.errors;
     let throughput = merged.ok as f64 / elapsed;
@@ -305,12 +384,20 @@ fn main() {
     println!("  errors              {}", merged.errors);
     println!("  throughput          {throughput:.0} req/s");
     println!("  latency us          p50 {p50}  p99 {p99}  p99.9 {p999}  max {max}");
-    if merged.retries + merged.hedges + merged.reconnects > 0 {
+    if merged.retries + merged.hedges + merged.reconnects + merged.abandoned > 0 {
         println!(
-            "  resilience          retries {}  hedges {}  reconnects {}",
-            merged.retries, merged.hedges, merged.reconnects
+            "  resilience          retries {}  hedges {}  reconnects {}  abandoned {}",
+            merged.retries, merged.hedges, merged.reconnects, merged.abandoned
         );
     }
+    println!(
+        "  server sched        batches {}  coalesced {}  hedges {}  hedge wins {}  suppressed {}",
+        server.batches_formed,
+        server.requests_coalesced,
+        server.hedges_launched,
+        server.hedge_wins,
+        server.launches_suppressed
+    );
     for (name, n) in &merged.wins {
         println!("  wins[{name}]  {n}");
     }
@@ -322,9 +409,13 @@ fn main() {
     let json = format!(
         "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"connections\": {},\n  \
          \"duration_s\": {:.3},\n  \
-         \"deadline_ms\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
+         \"deadline_ms\": {},\n  \"batch_window_us\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
          \"deadline_exceeded\": {},\n  \"overloaded\": {},\n  \"errors\": {},\n  \
          \"client_retries\": {},\n  \"client_hedges\": {},\n  \"client_reconnects\": {},\n  \
+         \"client_abandoned\": {},\n  \
+         \"server_batches_formed\": {},\n  \"server_requests_coalesced\": {},\n  \
+         \"server_hedges_launched\": {},\n  \"server_hedge_wins\": {},\n  \
+         \"server_launches_suppressed\": {},\n  \
          \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
          \"p999_us\": {},\n  \"max_us\": {},\n  \
          \"wins\": {{\n{}\n  }}\n}}\n",
@@ -333,6 +424,7 @@ fn main() {
         args.clients.max(args.connections),
         elapsed,
         args.deadline_ms,
+        args.batch_window_us,
         total,
         merged.ok,
         merged.deadline_exceeded,
@@ -341,6 +433,12 @@ fn main() {
         merged.retries,
         merged.hedges,
         merged.reconnects,
+        merged.abandoned,
+        server.batches_formed,
+        server.requests_coalesced,
+        server.hedges_launched,
+        server.hedge_wins,
+        server.launches_suppressed,
         throughput,
         p50,
         p99,

@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! altxd [--addr HOST:PORT] [--workers N] [--queue N] [--duration SECS]
+//!       [--batch-window-us N] [--hedge] [--hedge-min-samples N]
+//!       [--hedge-explore-every N]
 //! ```
 //!
 //! `--duration 0` (the default) serves until a client sends the
 //! SHUTDOWN opcode; a positive duration makes the daemon drain and exit
 //! on its own — handy for smoke tests.
+//!
+//! `--batch-window-us` turns on request coalescing: identical
+//! `(workload, deadline, arg)` requests arriving within the window share
+//! one race. `--hedge` turns on adaptive hedged launches: the
+//! statistically favoured alternative starts immediately and the rest
+//! are held back until its observed p95 has passed.
 
 use altx_serve::server::{available_workers, start, ServerConfig};
 use altx_serve::workload::CATALOG;
+use altx_serve::HedgeConfig;
 use std::time::Duration;
 
 struct Args {
@@ -17,6 +26,8 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     duration_s: u64,
+    batch_window: Duration,
+    hedge: HedgeConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
         workers: available_workers(),
         queue_depth: 64,
         duration_s: 0,
+        batch_window: Duration::ZERO,
+        hedge: HedgeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -46,9 +59,28 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--duration: {e}"))?
             }
+            "--batch-window-us" => {
+                let us: u64 = value("--batch-window-us")?
+                    .parse()
+                    .map_err(|e| format!("--batch-window-us: {e}"))?;
+                args.batch_window = Duration::from_micros(us);
+            }
+            "--hedge" => args.hedge.enabled = true,
+            "--hedge-min-samples" => {
+                args.hedge.min_samples = value("--hedge-min-samples")?
+                    .parse()
+                    .map_err(|e| format!("--hedge-min-samples: {e}"))?
+            }
+            "--hedge-explore-every" => {
+                args.hedge.explore_every = value("--hedge-explore-every")?
+                    .parse()
+                    .map_err(|e| format!("--hedge-explore-every: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] [--duration SECS]"
+                    "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--duration SECS] [--batch-window-us N] [--hedge] \
+                     [--hedge-min-samples N] [--hedge-explore-every N]"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +102,8 @@ fn main() {
         addr: args.addr,
         workers: args.workers,
         queue_depth: args.queue_depth,
+        batch_window: args.batch_window,
+        hedge: args.hedge.clone(),
     }) {
         Ok(h) => h,
         Err(e) => {
@@ -83,11 +117,22 @@ fn main() {
         args.workers,
         args.queue_depth
     );
+    if !args.batch_window.is_zero() {
+        println!("batching: window {:?}", args.batch_window);
+    }
+    if args.hedge.enabled {
+        println!(
+            "hedging: on (min samples {}, explore every {})",
+            args.hedge.min_samples, args.hedge.explore_every
+        );
+    }
     println!("workloads:");
     for w in CATALOG {
         println!(
             "  {:<10} {} ({} alternatives)",
-            w.name, w.description, w.alternatives
+            w.name,
+            w.description,
+            w.alternatives()
         );
     }
 

@@ -15,15 +15,18 @@
 //!   first answer wins") applied at the RPC layer, where the mutually
 //!   exclusive alternatives are two sends of the same idempotent request.
 //!
-//! Every retry, hedge, and reconnect is counted in [`ClientStats`] so
-//! load generators can report how much resilience machinery actually
-//! fired.
+//! Every retry, hedge, reconnect, and abandoned hedge loser is counted
+//! in [`ClientStats`] so load generators can report how much resilience
+//! machinery actually fired. A hedge loser's thread is never leaked:
+//! it is reaped opportunistically and joined on [`Drop`], bounded by
+//! the attempt's socket timeouts.
 
 use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
 use std::io;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// When and how aggressively to retry a failed call.
@@ -91,6 +94,7 @@ pub struct ClientStats {
     retries: AtomicU64,
     hedges: AtomicU64,
     reconnects: AtomicU64,
+    abandoned: AtomicU64,
 }
 
 impl ClientStats {
@@ -108,12 +112,21 @@ impl ClientStats {
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
     }
+
+    /// Hedge attempts whose reply nobody waited for — the race was
+    /// decided by the other attempt, so the loser's thread was left to
+    /// drain on its own (joined, at the latest, when the client drops).
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
+    }
 }
 
 /// One connection to an `altxd` daemon. Requests are synchronous: one
 /// outstanding request per connection, replies in order. (Hedging may
-/// briefly hold a second connection; the loser is discarded, never
-/// reused.)
+/// briefly hold a second connection; the loser's connection is
+/// discarded, never reused, and its thread is tracked in `outstanding`
+/// so [`Drop`] can join it — attempts are bounded by socket timeouts,
+/// so no abandoned thread outlives the client by more than a timeout.)
 pub struct Client {
     stream: Option<TcpStream>,
     addrs: Vec<SocketAddr>,
@@ -121,6 +134,7 @@ pub struct Client {
     stats: Arc<ClientStats>,
     budget_left: u32,
     jitter: u64,
+    outstanding: Vec<JoinHandle<()>>,
 }
 
 impl Client {
@@ -150,6 +164,7 @@ impl Client {
             stats: Arc::new(ClientStats::default()),
             budget_left,
             jitter,
+            outstanding: Vec::new(),
         })
     }
 
@@ -211,7 +226,10 @@ impl Client {
     /// if no reply lands within `delay`, a second copy of the request
     /// goes out on a fresh connection and the first reply wins. The
     /// losing connection is dropped, never reused — its reply is owed
-    /// to a request nobody is waiting on.
+    /// to a request nobody is waiting on. The loser's *thread* is not
+    /// leaked: it lands in `outstanding` and is joined by [`Drop`]
+    /// (bounded — every attempt runs under the config's socket
+    /// timeouts), and its unconsumed result counts as `abandoned`.
     fn attempt_hedged(&mut self, payload: &[u8], delay: Duration) -> Result<Response, FrameError> {
         let mut stream = self.take_stream()?;
         let (tx, rx) = mpsc::channel::<(Option<TcpStream>, Result<Response, FrameError>)>();
@@ -224,6 +242,8 @@ impl Client {
                 let _ = tx.send((stream, result));
             })
         };
+        let mut attempts = vec![primary];
+        let mut consumed = 0usize;
         let mut hedged = false;
         let first = match rx.recv_timeout(delay) {
             Ok(reply) => reply,
@@ -235,7 +255,7 @@ impl Client {
                 let config = self.config.clone();
                 let payload = payload.to_vec();
                 let tx = tx.clone();
-                std::thread::spawn(move || {
+                attempts.push(std::thread::spawn(move || {
                     let _ = match open_stream(&addrs, &config)
                         .map_err(FrameError::from)
                         .and_then(|mut s| exchange(&mut s, &payload).map(|r| (s, r)))
@@ -243,7 +263,7 @@ impl Client {
                         Ok((s, r)) => tx.send((Some(s), Ok(r))),
                         Err(e) => tx.send((None, Err(e))),
                     };
-                });
+                }));
                 // Both attempts are bounded by socket timeouts, so each
                 // thread sends exactly once and this recv terminates.
                 rx.recv().expect("at least one attempt reports")
@@ -252,9 +272,9 @@ impl Client {
                 unreachable!("primary thread always sends before exiting")
             }
         };
-        drop(primary);
+        consumed += 1;
         drop(tx); // rx must see Disconnected once the attempts report
-        match first {
+        let result = match first {
             (stream, Ok(reply)) => {
                 // The winner's connection is clean (its reply was fully
                 // read) and becomes the client's stream; the loser is
@@ -262,16 +282,40 @@ impl Client {
                 self.stream = stream;
                 Ok(reply)
             }
-            (_, Err(first_err)) if hedged => match rx.recv() {
+            (_, Err(first_err)) if hedged => {
                 // First reporter failed; the other attempt may still
                 // deliver.
-                Ok((stream, Ok(reply))) => {
-                    self.stream = stream;
-                    Ok(reply)
+                let second = rx.recv();
+                consumed += 1;
+                match second {
+                    Ok((stream, Ok(reply))) => {
+                        self.stream = stream;
+                        Ok(reply)
+                    }
+                    Ok((_, Err(_))) | Err(_) => Err(first_err),
                 }
-                Ok((_, Err(_))) | Err(_) => Err(first_err),
-            },
+            }
             (_, Err(first_err)) => Err(first_err),
+        };
+        self.stats
+            .abandoned
+            .fetch_add((attempts.len() - consumed) as u64, Ordering::Relaxed);
+        self.reap(attempts);
+        result
+    }
+
+    /// Tracks attempt threads: already-finished ones are joined on the
+    /// spot (free), the rest wait in `outstanding` for the next reap or
+    /// for [`Drop`].
+    fn reap(&mut self, fresh: Vec<JoinHandle<()>>) {
+        self.outstanding.extend(fresh);
+        let mut i = 0;
+        while i < self.outstanding.len() {
+            if self.outstanding[i].is_finished() {
+                let _ = self.outstanding.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -368,11 +412,32 @@ impl Client {
         }
     }
 
+    /// Fetches the workload catalog: every registered workload, its
+    /// alternatives, and which one the scheduler currently favours.
+    pub fn catalog_page(&mut self) -> Result<String, FrameError> {
+        match self.call(&Request::Catalog)? {
+            Response::Text { body } => Ok(body),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Asks the daemon to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), FrameError> {
         match self.call(&Request::Shutdown)? {
             Response::Text { .. } => Ok(()),
             other => Err(unexpected(other)),
+        }
+    }
+}
+
+impl Drop for Client {
+    /// Joins every abandoned hedge attempt. Bounded: each attempt runs
+    /// under the config's connect/read/write timeouts, so the slowest
+    /// possible join is one socket timeout away — no thread outlives
+    /// the client unseen, and no reply socket lingers half-read.
+    fn drop(&mut self) {
+        for handle in self.outstanding.drain(..) {
+            let _ = handle.join();
         }
     }
 }

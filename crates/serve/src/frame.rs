@@ -13,6 +13,7 @@
 //! STATS:      0x02
 //! PROMETHEUS: 0x03
 //! SHUTDOWN:   0x04
+//! CATALOG:    0x05
 //! ```
 //!
 //! Response body layout:
@@ -191,12 +192,16 @@ pub enum Request {
     Prometheus,
     /// Ask the daemon to drain and exit.
     Shutdown,
+    /// The workload catalog plus what the scheduler has learned
+    /// (favourite alternative and win rates per workload).
+    Catalog,
 }
 
 const OP_RUN: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_PROMETHEUS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
+const OP_CATALOG: u8 = 0x05;
 
 impl Request {
     /// Serializes into a frame body.
@@ -219,6 +224,7 @@ impl Request {
             Request::Stats => vec![OP_STATS],
             Request::Prometheus => vec![OP_PROMETHEUS],
             Request::Shutdown => vec![OP_SHUTDOWN],
+            Request::Catalog => vec![OP_CATALOG],
         }
     }
 
@@ -240,6 +246,7 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_PROMETHEUS => Request::Prometheus,
             OP_SHUTDOWN => Request::Shutdown,
+            OP_CATALOG => Request::Catalog,
             _ => return Err(FrameError::Malformed("unknown request opcode")),
         };
         c.finish()?;

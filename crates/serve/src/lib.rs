@@ -39,16 +39,19 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod batch;
 pub mod client;
 mod conn;
 pub mod frame;
 pub mod pool;
 pub(crate) mod reactor;
+pub mod sched;
 pub mod server;
 pub mod telemetry;
 pub mod workload;
 
 pub use client::Client;
 pub use frame::{Request, Response, MAX_FRAME};
+pub use sched::{HedgeConfig, HedgePolicy};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use telemetry::Telemetry;

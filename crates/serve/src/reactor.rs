@@ -25,9 +25,11 @@
 //!   last owed reply is written, (4) when no connections remain, close
 //!   the queue and join the pool. No admitted request goes unanswered.
 
+use crate::batch::{BatchKey, Batcher, Offered, Waiter};
 use crate::conn::Conn;
 use crate::frame::{Request, Response};
 use crate::pool::WorkerPool;
+use crate::sched::{render_catalog, HedgePolicy};
 use crate::server::run_race;
 use crate::telemetry::Telemetry;
 use crate::workload;
@@ -38,6 +40,7 @@ use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 use sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLNVAL};
 pub(crate) use sys::{POLLIN, POLLOUT};
@@ -99,10 +102,11 @@ mod sys {
     }
 }
 
-/// A finished race routed back to its connection and request slot.
+/// A finished race routed back to its reply group — the set of waiters
+/// (one per direct request, many per coalesced batch) whose reply slots
+/// it fans out to.
 struct Completion {
-    conn: u64,
-    seq: u64,
+    group: u64,
     response: Response,
 }
 
@@ -116,15 +120,11 @@ pub(crate) struct ReactorShared {
 
 impl ReactorShared {
     /// Queues a completion and wakes the reactor.
-    fn post(&self, conn: u64, seq: u64, response: Response) {
+    fn post(&self, group: u64, response: Response) {
         self.completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push(Completion {
-                conn,
-                seq,
-                response,
-            });
+            .push(Completion { group, response });
         self.wake();
     }
 
@@ -176,8 +176,13 @@ pub(crate) struct Reactor {
     shared: Arc<ReactorShared>,
     pool: Arc<WorkerPool>,
     telemetry: Arc<Telemetry>,
+    sched: Arc<HedgePolicy>,
+    batcher: Batcher,
     conns: HashMap<u64, Conn>,
     next_conn: u64,
+    /// In-flight reply groups: group id → waiters owed the one reply.
+    groups: HashMap<u64, Vec<Waiter>>,
+    next_group: u64,
 }
 
 impl Reactor {
@@ -185,6 +190,8 @@ impl Reactor {
         listener: TcpListener,
         pool: Arc<WorkerPool>,
         telemetry: Arc<Telemetry>,
+        sched: Arc<HedgePolicy>,
+        batch_window: Duration,
     ) -> io::Result<(Self, Arc<ReactorShared>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
         let shared = Arc::new(ReactorShared {
@@ -199,8 +206,12 @@ impl Reactor {
                 shared: Arc::clone(&shared),
                 pool,
                 telemetry,
+                sched,
+                batcher: Batcher::new(batch_window),
                 conns: HashMap::new(),
                 next_conn: 0,
+                groups: HashMap::new(),
+                next_group: 0,
             },
             shared,
         ))
@@ -234,7 +245,7 @@ impl Reactor {
                 ids.push(id);
             }
 
-            match poll_fds(&mut fds, POLL_BACKSTOP_MS) {
+            match poll_fds(&mut fds, self.poll_timeout_ms()) {
                 Ok(_) => {}
                 Err(_) => continue, // EINTR is retried inside; anything else: re-loop
             }
@@ -246,6 +257,10 @@ impl Reactor {
             // wake flag — the queue is cheap to check and a byte lost to
             // a full self-pipe must not strand a reply.
             self.route_completions(draining);
+            // Batch windows expire on the same clock; at drain every
+            // open window flushes immediately so no waiter is parked
+            // behind a window that outlives the listener.
+            self.flush_batches(draining);
 
             if let Some(i) = listener_at {
                 if fds[i].revents & POLLIN != 0 {
@@ -284,9 +299,11 @@ impl Reactor {
         }
     }
 
-    /// Routes queued completions into their connections' reply slots.
-    /// Completions for connections already reclaimed are dropped — the
-    /// peer that asked is gone.
+    /// Routes queued completions into their reply groups, fanning each
+    /// response out to every waiter exactly once (each waiter owns a
+    /// distinct reply slot; the group is consumed on arrival). Waiters
+    /// whose connections were already reclaimed are skipped — the peer
+    /// that asked is gone.
     fn route_completions(&mut self, draining: bool) {
         let batch = std::mem::take(
             &mut *self
@@ -296,10 +313,43 @@ impl Reactor {
                 .unwrap_or_else(PoisonError::into_inner),
         );
         for c in batch {
-            if let Some(conn) = self.conns.get_mut(&c.conn) {
-                conn.fulfill(c.seq, &c.response);
-                self.flush(c.conn, draining);
+            let Some(waiters) = self.groups.remove(&c.group) else {
+                continue; // already answered (e.g. shed at submit)
+            };
+            for (conn_id, seq) in waiters {
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.fulfill(seq, &c.response);
+                    self.flush(conn_id, draining);
+                }
             }
+        }
+    }
+
+    /// Poll timeout: the backstop, shortened so the reactor wakes in
+    /// time for the earliest open batch window (ceil to a millisecond —
+    /// `poll(2)`'s resolution — so a sub-ms window still expires).
+    fn poll_timeout_ms(&self) -> i32 {
+        match self.batcher.next_due() {
+            None => POLL_BACKSTOP_MS,
+            Some(due) => {
+                let remaining = due.saturating_duration_since(Instant::now());
+                (remaining.as_millis() as i32)
+                    .saturating_add(1)
+                    .min(POLL_BACKSTOP_MS)
+            }
+        }
+    }
+
+    /// Submits every batch whose window has expired (all of them at
+    /// drain) as single races.
+    fn flush_batches(&mut self, flush_all: bool) {
+        if self.batcher.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        for ready in self.batcher.take_due(now, flush_all) {
+            self.telemetry.on_batch_formed();
+            self.submit_race(ready.waiters, ready.key);
         }
     }
 
@@ -403,6 +453,13 @@ impl Reactor {
                 self.fulfill(id, seq, &reply);
                 true
             }
+            Ok(Request::Catalog) => {
+                let reply = Response::Text {
+                    body: render_catalog(&self.sched),
+                };
+                self.fulfill(id, seq, &reply);
+                true
+            }
             Ok(Request::Shutdown) => {
                 self.fulfill(
                     id,
@@ -426,24 +483,49 @@ impl Reactor {
     }
 
     /// Admission-controls one RUN request without ever blocking the
-    /// reactor: refused submissions are answered `Overloaded` in line;
-    /// admitted ones will come back through the completion queue.
+    /// reactor. With batching off the request races directly (a reply
+    /// group of one); with batching on it opens or joins a window and
+    /// races when the window expires. Refused submissions are answered
+    /// `Overloaded` in line; admitted ones come back through the
+    /// completion queue.
     fn submit_run(&mut self, id: u64, seq: u64, workload: String, deadline_ms: u32, arg: u64) {
         // Reject unknown names before spending a queue slot.
-        if workload::spec(&workload).is_none() {
+        let Some(widx) = workload::index_of(&workload) else {
             self.telemetry.on_error();
             self.fulfill(id, seq, &Response::UnknownWorkload);
             return;
+        };
+        let key = BatchKey {
+            widx,
+            deadline_ms,
+            arg,
+        };
+        if self.batcher.enabled() {
+            if self.batcher.offer(key, (id, seq), Instant::now()) == Offered::Coalesced {
+                self.telemetry.on_requests_coalesced(1);
+            }
+            return;
         }
+        self.submit_race(vec![(id, seq)], key);
+    }
+
+    /// Submits one race on behalf of `waiters` (one waiter when direct,
+    /// many when coalesced). The single response fans out to every
+    /// waiter exactly once via the reply group — including worker-lost
+    /// and fault outcomes, which take the same path.
+    fn submit_race(&mut self, waiters: Vec<Waiter>, key: BatchKey) {
+        let group = self.next_group;
+        self.next_group += 1;
         let slot: Arc<Mutex<Option<Response>>> = Arc::new(Mutex::new(None));
         let job = {
             let slot = Arc::clone(&slot);
             let telemetry = Arc::clone(&self.telemetry);
+            let sched = Arc::clone(&self.sched);
             Box::new(move || {
                 // Contained so a crash becomes an explicit error reply;
                 // the pool's own catch_unwind is the backstop.
                 let reply = catch_unwind(AssertUnwindSafe(|| {
-                    run_race(&telemetry, &workload, deadline_ms, arg)
+                    run_race(&telemetry, &sched, key.widx, key.deadline_ms, key.arg)
                 }))
                 .unwrap_or_else(|_| {
                     telemetry.on_error();
@@ -459,7 +541,7 @@ impl Reactor {
             Box::new(move || {
                 // An empty slot means the pool dropped the job unrun
                 // (injected `Fail` fault, worker killed mid-job) —
-                // answer rather than strand the connection.
+                // answer rather than strand the waiters.
                 let reply = slot
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
@@ -467,14 +549,20 @@ impl Reactor {
                     .unwrap_or(Response::Error {
                         message: "worker lost".to_owned(),
                     });
-                shared.post(id, seq, reply);
+                shared.post(group, reply);
             })
         };
         match self.pool.try_submit_notify(job, notify) {
-            Ok(()) => self.telemetry.on_accepted(),
+            Ok(()) => {
+                self.telemetry.on_accepted();
+                self.groups.insert(group, waiters);
+            }
             Err(_) => {
-                self.telemetry.on_shed();
-                self.fulfill(id, seq, &Response::Overloaded);
+                // Shed: every waiter gets its own Overloaded reply.
+                for (conn_id, seq) in waiters {
+                    self.telemetry.on_shed();
+                    self.fulfill(conn_id, seq, &Response::Overloaded);
+                }
             }
         }
     }

@@ -1,0 +1,366 @@
+//! The race scheduler: Scheme A statistics driving hedged launch plans.
+//!
+//! The paper's §4.2 Scheme A selects alternatives by statistical data;
+//! Scheme C races everything. The serving layer's [`HedgePolicy`] blends
+//! the two: once a workload has enough history, the historical favourite
+//! launches at t=0 and every other alternative is *hedged* — held back by
+//! a [`LaunchPlan`] offset derived from the favourite's observed p95
+//! latency. If the favourite answers within its usual envelope the
+//! siblings are suppressed (their bodies never run); if it straggles or
+//! fails, the hedges fire and the race proceeds exactly as before.
+//! Suppression changes cost, never which value is selected: the engine's
+//! winner selection, sibling elimination, and panic containment are
+//! untouched.
+//!
+//! A mandatory exploration floor keeps the statistics live: every
+//! `explore_every`-th request per workload races launch-all regardless of
+//! history, so a regime change (the favourite going slow) is observed and
+//! the policy adapts.
+//!
+//! [`CatalogStats`] is the shared, interned statistics store: one
+//! [`AltStatsTable`] per catalog workload, indexed `(workload index,
+//! alternative index)` — no string keys or locks on the record path.
+//! Telemetry renders win tallies from the same store the policy reads.
+
+use crate::workload::{self, WorkloadSpec};
+use altx::engine::LaunchPlan;
+use altx::stats::AltStatsTable;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Knobs for the hedging policy. Defaults keep hedging *off*: every race
+/// is launch-all, byte-for-byte the pre-scheduler behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct HedgeConfig {
+    /// Master switch; when false every plan is immediate.
+    pub enabled: bool,
+    /// Wins a workload must accumulate before its favourite is trusted.
+    pub min_samples: u64,
+    /// Every n-th request races launch-all (the exploration floor).
+    /// Clamped to at least 2 — exploration can never be disabled.
+    pub explore_every: u64,
+    /// Lower clamp on the hedge delay (guards against a p95 so small the
+    /// hedges would effectively launch immediately anyway).
+    pub min_delay: Duration,
+    /// Upper clamp on the hedge delay (bounds worst-case added latency
+    /// when the favourite fails outright).
+    pub max_delay: Duration,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            enabled: false,
+            min_samples: 20,
+            explore_every: 8,
+            min_delay: Duration::from_micros(500),
+            max_delay: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Per-workload interned statistics for the whole catalog.
+#[derive(Debug)]
+pub struct CatalogStats {
+    tables: Vec<AltStatsTable>,
+}
+
+impl CatalogStats {
+    /// One pre-sized table per catalog workload.
+    pub fn new() -> Self {
+        CatalogStats {
+            tables: workload::CATALOG
+                .iter()
+                .map(|w| AltStatsTable::with_len(w.alternatives()))
+                .collect(),
+        }
+    }
+
+    /// The statistics table for catalog workload `widx`.
+    pub fn table(&self, widx: usize) -> Option<&AltStatsTable> {
+        self.tables.get(widx)
+    }
+
+    /// Win tallies as `(workload, alternative) → wins`, for telemetry
+    /// snapshots and STATS/Prometheus rendering. Only alternatives with
+    /// at least one win appear (matching the old lazy-map behaviour).
+    pub fn wins_map(&self) -> BTreeMap<(String, String), u64> {
+        let mut map = BTreeMap::new();
+        for (widx, w) in workload::CATALOG.iter().enumerate() {
+            let table = &self.tables[widx];
+            for (aidx, alt) in w.alt_names.iter().enumerate() {
+                let wins = table.wins(aidx);
+                if wins > 0 {
+                    map.insert((w.name.to_string(), alt.to_string()), wins);
+                }
+            }
+        }
+        map
+    }
+}
+
+impl Default for CatalogStats {
+    fn default() -> Self {
+        CatalogStats::new()
+    }
+}
+
+/// What one race's plan meant, for counter accounting after it resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanKind {
+    /// Number of alternatives held back by the plan.
+    pub hedged: usize,
+}
+
+/// The per-workload hedging policy. See module docs.
+#[derive(Debug)]
+pub struct HedgePolicy {
+    config: HedgeConfig,
+    catalog: Arc<CatalogStats>,
+    /// Per-workload request tick, driving the exploration floor.
+    ticks: Vec<AtomicU64>,
+}
+
+impl HedgePolicy {
+    /// A policy over a fresh statistics store.
+    pub fn new(config: HedgeConfig) -> Self {
+        HedgePolicy::with_catalog(config, Arc::new(CatalogStats::new()))
+    }
+
+    /// A policy sharing an existing statistics store (telemetry holds the
+    /// same `Arc` to render win tallies).
+    pub fn with_catalog(config: HedgeConfig, catalog: Arc<CatalogStats>) -> Self {
+        let ticks = (0..workload::CATALOG.len())
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        HedgePolicy {
+            config,
+            catalog,
+            ticks,
+        }
+    }
+
+    /// The shared statistics store.
+    pub fn catalog(&self) -> &Arc<CatalogStats> {
+        &self.catalog
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &HedgeConfig {
+        &self.config
+    }
+
+    /// Builds the launch plan for one request of catalog workload `widx`
+    /// with `n_alts` alternatives. Immediate (launch-all) when hedging is
+    /// disabled, history is thin, this is an exploration tick, or there
+    /// is no favourite yet.
+    pub fn plan(&self, widx: usize, n_alts: usize) -> LaunchPlan {
+        if !self.config.enabled || n_alts <= 1 {
+            return LaunchPlan::immediate(n_alts);
+        }
+        let Some(table) = self.catalog.table(widx) else {
+            return LaunchPlan::immediate(n_alts);
+        };
+        // The exploration floor fires on tick 0 too, so a cold workload's
+        // first request is always a full race.
+        let tick = self.ticks[widx].fetch_add(1, Ordering::Relaxed);
+        let explore_every = self.config.explore_every.max(2);
+        if tick % explore_every == 0 {
+            return LaunchPlan::immediate(n_alts);
+        }
+        if table.total_wins() < self.config.min_samples {
+            return LaunchPlan::immediate(n_alts);
+        }
+        let Some(fav) = table.favourite() else {
+            return LaunchPlan::immediate(n_alts);
+        };
+        let p95 = table.quantile_us(fav, 0.95).unwrap_or(0);
+        let delay = Duration::from_micros(p95).clamp(self.config.min_delay, self.config.max_delay);
+        let offsets = (0..n_alts)
+            .map(|i| if i == fav { Duration::ZERO } else { delay })
+            .collect();
+        LaunchPlan::from_offsets(offsets)
+    }
+
+    /// Records a race outcome: the winner's latency feeds the EWMA,
+    /// histogram, and win count the next plan reads.
+    pub fn record_win(&self, widx: usize, alt_idx: usize, latency_us: u64) {
+        if let Some(table) = self.catalog.table(widx) {
+            table.record_win(alt_idx, latency_us);
+        }
+    }
+}
+
+/// Renders the catalog — with what the scheduler has learned — as the
+/// CATALOG control frame's text body.
+pub fn render_catalog(policy: &HedgePolicy) -> String {
+    let mut out = String::from("altxd workload catalog\n");
+    for (widx, w) in workload::CATALOG.iter().enumerate() {
+        render_entry(&mut out, w, widx, policy);
+    }
+    out
+}
+
+fn render_entry(out: &mut String, w: &WorkloadSpec, widx: usize, policy: &HedgePolicy) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "  {}  — {}", w.name, w.description);
+    let table = policy.catalog().table(widx);
+    let favourite = table.and_then(|t| t.favourite());
+    let total_wins = table.map_or(0, |t| t.total_wins());
+    for (aidx, alt) in w.alt_names.iter().enumerate() {
+        let wins = table.map_or(0, |t| t.wins(aidx));
+        let marker = if favourite == Some(aidx) {
+            "  <- favourite"
+        } else {
+            ""
+        };
+        let rate = if total_wins > 0 {
+            format!(
+                " ({:.1}% of {} wins)",
+                100.0 * wins as f64 / total_wins as f64,
+                total_wins
+            )
+        } else {
+            String::new()
+        };
+        let _ = writeln!(out, "    alt {aidx} {alt}  wins {wins}{rate}{marker}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hedging_on() -> HedgeConfig {
+        HedgeConfig {
+            enabled: true,
+            min_samples: 4,
+            explore_every: 4,
+            ..HedgeConfig::default()
+        }
+    }
+
+    fn lognormal_idx() -> usize {
+        workload::index_of("lognormal").expect("catalog has lognormal")
+    }
+
+    #[test]
+    fn disabled_policy_always_launches_all() {
+        let policy = HedgePolicy::new(HedgeConfig::default());
+        let widx = lognormal_idx();
+        for alt in 0..3 {
+            policy.record_win(widx, alt, 1_000);
+        }
+        for _ in 0..10 {
+            assert!(policy.plan(widx, 3).is_immediate());
+        }
+    }
+
+    #[test]
+    fn cold_workload_races_launch_all() {
+        let policy = HedgePolicy::new(hedging_on());
+        assert!(policy.plan(lognormal_idx(), 3).is_immediate());
+    }
+
+    #[test]
+    fn warm_workload_hedges_everyone_but_the_favourite() {
+        let policy = HedgePolicy::new(hedging_on());
+        let widx = lognormal_idx();
+        for _ in 0..10 {
+            policy.record_win(widx, 1, 3_000);
+        }
+        // Skip tick 0 (exploration floor).
+        let _ = policy.plan(widx, 3);
+        let plan = policy.plan(widx, 3);
+        assert!(!plan.is_immediate(), "warm history produces a hedged plan");
+        assert_eq!(plan.offset(1), Duration::ZERO, "favourite launches first");
+        assert!(plan.offset(0) > Duration::ZERO);
+        assert!(plan.offset(2) > Duration::ZERO);
+        assert_eq!(plan.staggered(), 2);
+    }
+
+    #[test]
+    fn exploration_floor_fires_on_schedule() {
+        let policy = HedgePolicy::new(hedging_on());
+        let widx = lognormal_idx();
+        for _ in 0..10 {
+            policy.record_win(widx, 0, 2_000);
+        }
+        // explore_every = 4: ticks 0, 4, 8, … are launch-all; the rest
+        // are hedged.
+        for tick in 0..12u64 {
+            let plan = policy.plan(widx, 3);
+            if tick % 4 == 0 {
+                assert!(plan.is_immediate(), "tick {tick} is an exploration race");
+            } else {
+                assert!(!plan.is_immediate(), "tick {tick} is hedged");
+            }
+        }
+    }
+
+    #[test]
+    fn hedge_delay_is_clamped() {
+        let mut config = hedging_on();
+        config.min_delay = Duration::from_millis(2);
+        config.max_delay = Duration::from_millis(10);
+        let policy = HedgePolicy::new(config);
+        let widx = lognormal_idx();
+        // Sub-microsecond favourite: delay clamps up to min_delay.
+        for _ in 0..10 {
+            policy.record_win(widx, 0, 1);
+        }
+        let _ = policy.plan(widx, 3);
+        let plan = policy.plan(widx, 3);
+        assert_eq!(plan.offset(1), Duration::from_millis(2));
+
+        // Very slow favourite: delay clamps down to max_delay.
+        let policy = HedgePolicy::new(config);
+        for _ in 0..10 {
+            policy.record_win(widx, 0, 900_000);
+        }
+        let _ = policy.plan(widx, 3);
+        let plan = policy.plan(widx, 3);
+        assert_eq!(plan.offset(1), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn single_alternative_workloads_never_hedge() {
+        let policy = HedgePolicy::new(hedging_on());
+        let widx = workload::index_of("sleep").unwrap();
+        for _ in 0..10 {
+            policy.record_win(widx, 0, 5_000);
+        }
+        for _ in 0..8 {
+            assert!(policy.plan(widx, 1).is_immediate());
+        }
+    }
+
+    #[test]
+    fn wins_map_uses_interned_names() {
+        let stats = CatalogStats::new();
+        let widx = workload::index_of("trivial").unwrap();
+        stats.tables[widx].record_win(0, 100);
+        stats.tables[widx].record_win(0, 100);
+        stats.tables[widx].record_win(1, 150);
+        let map = stats.wins_map();
+        assert_eq!(map.get(&("trivial".into(), "instant-a".into())), Some(&2));
+        assert_eq!(map.get(&("trivial".into(), "instant-b".into())), Some(&1));
+        assert_eq!(map.len(), 2, "workloads with no wins stay absent");
+    }
+
+    #[test]
+    fn catalog_rendering_marks_the_favourite() {
+        let policy = HedgePolicy::new(hedging_on());
+        let widx = lognormal_idx();
+        for _ in 0..5 {
+            policy.record_win(widx, 2, 3_000);
+        }
+        let text = render_catalog(&policy);
+        assert!(text.contains("lognormal"), "{text}");
+        assert!(text.contains("draw-2  wins 5"), "{text}");
+        assert!(text.contains("<- favourite"), "{text}");
+        assert!(text.contains("sleep"), "every workload is listed");
+    }
+}

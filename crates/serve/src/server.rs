@@ -29,6 +29,7 @@
 use crate::frame::Response;
 use crate::pool::WorkerPool;
 use crate::reactor::{Reactor, ReactorShared};
+use crate::sched::{HedgeConfig, HedgePolicy};
 use crate::telemetry::Telemetry;
 use crate::workload;
 use altx::engine::ThreadedEngine;
@@ -49,6 +50,11 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded run-queue depth; the shed threshold.
     pub queue_depth: usize,
+    /// Coalescing window for identical `(workload, arg, deadline)`
+    /// requests; zero (the default) disables batching entirely.
+    pub batch_window: Duration,
+    /// Adaptive hedging knobs; disabled by default (launch-all).
+    pub hedge: HedgeConfig,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +63,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: available_workers(),
             queue_depth: 64,
+            batch_window: Duration::ZERO,
+            hedge: HedgeConfig::default(),
         }
     }
 }
@@ -116,8 +124,16 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let telemetry = Arc::new(Telemetry::new());
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
     telemetry.attach_pool(pool.stats());
+    let sched = Arc::new(HedgePolicy::new(config.hedge));
+    telemetry.attach_catalog(Arc::clone(sched.catalog()));
 
-    let (reactor, shared) = Reactor::new(listener, pool, Arc::clone(&telemetry))?;
+    let (reactor, shared) = Reactor::new(
+        listener,
+        pool,
+        Arc::clone(&telemetry),
+        sched,
+        config.batch_window,
+    )?;
     let handle = std::thread::Builder::new()
         .name("altxd-reactor".to_owned())
         .spawn(move || reactor.run())
@@ -132,13 +148,28 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 /// Executes the race for one admitted request (worker context).
+///
+/// The scheduler is consulted for a [`LaunchPlan`](altx::engine::LaunchPlan)
+/// — launch-all unless hedging is enabled and the workload's history is
+/// warm — and the outcome feeds back: the winner's latency and win count
+/// update the interned statistics the *next* plan reads, and the hedge
+/// counters (`hedges_launched`, `hedge_wins`, `launches_suppressed`)
+/// account for what the plan actually saved or spent.
 pub(crate) fn run_race(
     telemetry: &Telemetry,
-    workload: &str,
+    sched: &HedgePolicy,
+    widx: usize,
     deadline_ms: u32,
     arg: u64,
 ) -> Response {
-    let block = match workload::build(workload, arg) {
+    let spec = match workload::CATALOG.get(widx) {
+        Some(spec) => spec,
+        None => {
+            telemetry.on_error();
+            return Response::UnknownWorkload;
+        }
+    };
+    let block = match workload::build(spec.name, arg) {
         Some(b) => b,
         None => {
             telemetry.on_error();
@@ -150,11 +181,17 @@ pub(crate) fn run_race(
     } else {
         CancelToken::new()
     };
+    let plan = sched.plan(widx, block.len());
     let mut workspace = AddressSpace::zeroed(4096, PageSize::K4);
     let start = Instant::now();
-    let result = ThreadedEngine::new().execute_with_token(&block, &mut workspace, &token);
+    let result = ThreadedEngine::new().execute_planned(&block, &mut workspace, &token, &plan);
     let latency_us = start.elapsed().as_micros() as u64;
     telemetry.on_alt_panics(result.panics as u64);
+    telemetry.on_launches_suppressed(result.suppressed as u64);
+    // Hedges that launched = those the plan held back minus those the
+    // decision suppressed (saturating: under bounded engines a t=0
+    // alternative can be suppressed too, but not here).
+    telemetry.on_hedges_launched(plan.staggered().saturating_sub(result.suppressed) as u64);
 
     match (result.winner, result.value) {
         (Some(w), Some(value)) => {
@@ -162,7 +199,11 @@ pub(crate) fn run_race(
                 .winner_name
                 .clone()
                 .unwrap_or_else(|| format!("alt{w}"));
-            telemetry.on_completed(workload, &winner_name, latency_us);
+            telemetry.on_completed(latency_us);
+            sched.record_win(widx, w, latency_us);
+            if !plan.offset(w).is_zero() {
+                telemetry.on_hedge_win();
+            }
             Response::Ok {
                 winner: w as u32,
                 winner_name,

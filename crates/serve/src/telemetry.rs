@@ -2,13 +2,18 @@
 //! histogram, and per-alternative win tallies, rendered either as a
 //! human-readable stats page or Prometheus text format.
 //!
-//! Everything on the request path is an atomic increment; the only lock
-//! guards the win-count map, touched once per completed race.
+//! Everything on the request path is an atomic increment. Win tallies
+//! live in the scheduler's interned [`CatalogStats`] — indexed atomics
+//! keyed by `(workload index, alternative index)` — so recording a win
+//! costs two relaxed atomic adds, not a `Mutex<BTreeMap<(String,
+//! String), u64>>` insert; the string keys are materialized only when a
+//! snapshot is rendered.
 
 use crate::pool::PoolStats;
+use crate::sched::CatalogStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 /// Histogram bucket upper bounds, microseconds. The last bucket is
 /// unbounded.
@@ -116,10 +121,22 @@ pub struct Telemetry {
     /// Times the reactor was woken through the self-pipe by a worker
     /// posting a completion (counter).
     wakeups: AtomicU64,
+    /// Batches submitted as one race (window > 0 only).
+    batches_formed: AtomicU64,
+    /// Requests that joined an already-open batch instead of racing.
+    requests_coalesced: AtomicU64,
+    /// Hedged alternatives whose launch offset elapsed (their bodies ran).
+    hedges_launched: AtomicU64,
+    /// Races won by an alternative that launched from a hedge offset.
+    hedge_wins: AtomicU64,
+    /// Alternatives whose bodies never ran because the race was decided
+    /// first (hedges suppressed by a fast favourite).
+    launches_suppressed: AtomicU64,
     /// Latency of completed races.
     latency: LatencyHistogram,
-    /// Wins per (workload, alternative name).
-    wins: Mutex<BTreeMap<(String, String), u64>>,
+    /// The scheduler's interned per-alternative statistics (win tallies
+    /// render from here), attached once at startup.
+    catalog: OnceLock<Arc<CatalogStats>>,
     /// The serving pool's failure counters, attached once at startup.
     pool: OnceLock<Arc<PoolStats>>,
 }
@@ -152,6 +169,16 @@ pub struct Snapshot {
     pub conns_active: u64,
     /// Reactor self-pipe wakeups.
     pub wakeups: u64,
+    /// Batches submitted as one race.
+    pub batches_formed: u64,
+    /// Requests coalesced into an already-open batch.
+    pub requests_coalesced: u64,
+    /// Hedged alternatives that actually launched.
+    pub hedges_launched: u64,
+    /// Races won from a hedge offset.
+    pub hedge_wins: u64,
+    /// Alternative bodies suppressed by an early decision.
+    pub launches_suppressed: u64,
     /// Mean completed-race latency (µs).
     pub mean_us: f64,
     /// p50 estimate (µs).
@@ -173,14 +200,12 @@ impl Telemetry {
         self.accepted.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Counts a completed race and its winner.
-    pub fn on_completed(&self, workload: &str, winner_name: &str, latency_us: u64) {
+    /// Counts a completed race. The winner itself is recorded in the
+    /// scheduler's [`CatalogStats`] (see [`Telemetry::attach_catalog`]);
+    /// this keeps the hot path free of string keys and locks.
+    pub fn on_completed(&self, latency_us: u64) {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.latency.record(latency_us);
-        let mut wins = self.wins.lock().expect("wins lock");
-        *wins
-            .entry((workload.to_owned(), winner_name.to_owned()))
-            .or_insert(0) += 1;
     }
 
     /// Counts a shed request.
@@ -226,6 +251,43 @@ impl Telemetry {
         self.wakeups.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one batch submitted as a single race.
+    pub fn on_batch_formed(&self) {
+        self.batches_formed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` requests that joined an already-open batch.
+    pub fn on_requests_coalesced(&self, n: u64) {
+        if n > 0 {
+            self.requests_coalesced.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts `n` hedged alternatives whose bodies actually ran.
+    pub fn on_hedges_launched(&self, n: u64) {
+        if n > 0 {
+            self.hedges_launched.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a race won by an alternative launched from a hedge offset.
+    pub fn on_hedge_win(&self) {
+        self.hedge_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` alternative bodies suppressed by an early decision.
+    pub fn on_launches_suppressed(&self, n: u64) {
+        if n > 0 {
+            self.launches_suppressed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Attaches the scheduler's interned statistics so win tallies
+    /// appear in snapshots. Later calls are ignored.
+    pub fn attach_catalog(&self, catalog: Arc<CatalogStats>) {
+        let _ = self.catalog.set(catalog);
+    }
+
     /// Attaches the serving pool's counters so snapshots include them.
     /// Later calls are ignored (one pool per daemon).
     pub fn attach_pool(&self, stats: Arc<PoolStats>) {
@@ -247,10 +309,15 @@ impl Telemetry {
             conns_open: self.conns_open.load(Ordering::Relaxed),
             conns_active: self.conns_active.load(Ordering::Relaxed),
             wakeups: self.wakeups.load(Ordering::Relaxed),
+            batches_formed: self.batches_formed.load(Ordering::Relaxed),
+            requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed),
+            hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
+            hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
+            launches_suppressed: self.launches_suppressed.load(Ordering::Relaxed),
             mean_us: self.latency.mean_us(),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
-            wins: self.wins.lock().expect("wins lock").clone(),
+            wins: self.catalog.get().map(|c| c.wins_map()).unwrap_or_default(),
         }
     }
 
@@ -271,6 +338,14 @@ impl Telemetry {
         out.push_str(&format!("  conns open          {}\n", s.conns_open));
         out.push_str(&format!("  conns active        {}\n", s.conns_active));
         out.push_str(&format!("  reactor wakeups     {}\n", s.wakeups));
+        out.push_str(&format!("  batches formed      {}\n", s.batches_formed));
+        out.push_str(&format!("  requests coalesced  {}\n", s.requests_coalesced));
+        out.push_str(&format!("  hedges launched     {}\n", s.hedges_launched));
+        out.push_str(&format!("  hedge wins          {}\n", s.hedge_wins));
+        out.push_str(&format!(
+            "  launches suppressed {}\n",
+            s.launches_suppressed
+        ));
         out.push_str(&format!(
             "  latency us          mean {:.1}  p50 {}  p99 {}\n",
             s.mean_us, s.p50_us, s.p99_us
@@ -352,6 +427,36 @@ impl Telemetry {
             "Reactor self-pipe wakeups from completion posts",
             s.wakeups,
         );
+        counter(
+            &mut out,
+            "altxd_batches_formed_total",
+            "Coalesced request batches submitted as one race",
+            s.batches_formed,
+        );
+        counter(
+            &mut out,
+            "altxd_requests_coalesced_total",
+            "Requests that joined an already-open batch",
+            s.requests_coalesced,
+        );
+        counter(
+            &mut out,
+            "altxd_hedges_launched_total",
+            "Hedged alternatives whose launch offset elapsed",
+            s.hedges_launched,
+        );
+        counter(
+            &mut out,
+            "altxd_hedge_wins_total",
+            "Races won by a hedge-launched alternative",
+            s.hedge_wins,
+        );
+        counter(
+            &mut out,
+            "altxd_launches_suppressed_total",
+            "Alternative bodies suppressed by an early race decision",
+            s.launches_suppressed,
+        );
         let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -424,12 +529,23 @@ mod tests {
         assert_eq!(cum.last().expect("buckets"), &(None, 3));
     }
 
+    /// Telemetry wired to a fresh interned stats store, with one
+    /// trivial/instant-a win recorded — the shape the daemon produces.
+    fn with_one_win() -> Telemetry {
+        let t = Telemetry::new();
+        let catalog = Arc::new(CatalogStats::new());
+        t.attach_catalog(Arc::clone(&catalog));
+        let widx = crate::workload::index_of("trivial").expect("catalog");
+        catalog.table(widx).expect("table").record_win(0, 120);
+        t.on_completed(120);
+        t
+    }
+
     #[test]
     fn snapshot_reflects_events() {
-        let t = Telemetry::new();
+        let t = with_one_win();
         t.on_accepted();
         t.on_accepted();
-        t.on_completed("trivial", "instant-a", 120);
         t.on_shed();
         t.on_deadline_exceeded();
         t.on_error();
@@ -448,15 +564,43 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_dump_is_well_formed() {
+    fn scheduler_counters_accumulate() {
         let t = Telemetry::new();
-        t.on_completed("trivial", "instant-a", 80);
+        t.on_batch_formed();
+        t.on_requests_coalesced(3);
+        t.on_hedges_launched(2);
+        t.on_hedge_win();
+        t.on_launches_suppressed(4);
+        t.on_launches_suppressed(0);
+        let s = t.snapshot();
+        assert_eq!(s.batches_formed, 1);
+        assert_eq!(s.requests_coalesced, 3);
+        assert_eq!(s.hedges_launched, 2);
+        assert_eq!(s.hedge_wins, 1);
+        assert_eq!(s.launches_suppressed, 4);
+        let page = t.render_stats();
+        assert!(page.contains("requests coalesced  3"), "{page}");
+        assert!(page.contains("launches suppressed 4"), "{page}");
+    }
+
+    #[test]
+    fn unattached_catalog_renders_no_wins() {
+        let t = Telemetry::new();
+        t.on_completed(50);
+        assert!(t.snapshot().wins.is_empty());
+    }
+
+    #[test]
+    fn prometheus_dump_is_well_formed() {
+        let t = with_one_win();
         let text = t.render_prometheus();
         assert!(text.contains("altxd_requests_completed_total 1"));
         assert!(text.contains("altxd_race_latency_us_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains(
             "altxd_alternative_wins_total{workload=\"trivial\",alternative=\"instant-a\"} 1"
         ));
+        assert!(text.contains("altxd_batches_formed_total 0"));
+        assert!(text.contains("altxd_hedge_wins_total 0"));
         // Every non-comment line is "name{labels} value" with a numeric value.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let value = line.rsplit(' ').next().expect("value field");

@@ -15,15 +15,30 @@ use altx_prolog::{KnowledgeBase, Solver};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-/// A catalog entry: what a workload is and how many alternatives race.
+/// A catalog entry: what a workload is and which alternatives race.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadSpec {
     /// Registered name (what requests put on the wire).
     pub name: &'static str,
     /// One-line description for stats dumps.
     pub description: &'static str,
+    /// The alternatives' names, in block declaration order. Interned
+    /// statically so telemetry and the scheduler can index wins by
+    /// `(workload index, alternative index)` with no string keys on the
+    /// hot path.
+    pub alt_names: &'static [&'static str],
+}
+
+impl WorkloadSpec {
     /// Number of alternatives the block races.
-    pub alternatives: usize,
+    pub fn alternatives(&self) -> usize {
+        self.alt_names.len()
+    }
+
+    /// Index of an alternative by name within this workload.
+    pub fn alt_index(&self, alt: &str) -> Option<usize> {
+        self.alt_names.iter().position(|n| *n == alt)
+    }
 }
 
 /// Every workload the daemon serves.
@@ -31,33 +46,39 @@ pub const CATALOG: &[WorkloadSpec] = &[
     WorkloadSpec {
         name: "trivial",
         description: "two instant alternatives; measures pure service overhead",
-        alternatives: 2,
+        alt_names: &["instant-a", "instant-b"],
     },
     WorkloadSpec {
         name: "lognormal",
         description: "three heavy-tailed (lognormal) alternatives; racing wins",
-        alternatives: 3,
+        alt_names: &["draw-0", "draw-1", "draw-2"],
     },
     WorkloadSpec {
         name: "bimodal",
         description: "two usually-fast/sometimes-slow alternatives",
-        alternatives: 2,
+        alt_names: &["draw-0", "draw-1"],
     },
     WorkloadSpec {
         name: "sleep",
         description: "one alternative sleeping arg milliseconds; deadline fodder",
-        alternatives: 1,
+        alt_names: &["sleeper"],
     },
     WorkloadSpec {
         name: "prolog",
         description: "or-parallel countdown query raced against a reordered program",
-        alternatives: 2,
+        alt_names: &["clause-order-as-written", "clause-order-reversed"],
     },
 ];
 
 /// Looks up a catalog entry by name.
 pub fn spec(name: &str) -> Option<&'static WorkloadSpec> {
     CATALOG.iter().find(|w| w.name == name)
+}
+
+/// Looks up a workload's catalog index by name — the interned key the
+/// scheduler and telemetry use in place of the string.
+pub fn index_of(name: &str) -> Option<usize> {
+    CATALOG.iter().position(|w| w.name == name)
 }
 
 /// Builds the alternative block for `name`, parameterized by `arg`.
@@ -217,7 +238,16 @@ mod tests {
     fn catalog_names_all_build() {
         for spec in CATALOG {
             let block = build(spec.name, 7).expect("catalog entry builds");
-            assert_eq!(block.len(), spec.alternatives, "{}", spec.name);
+            assert_eq!(block.len(), spec.alternatives(), "{}", spec.name);
+            for (i, alt) in block.alternatives().iter().enumerate() {
+                assert_eq!(
+                    alt.name(),
+                    spec.alt_names[i],
+                    "{}: interned alternative names match the block",
+                    spec.name
+                );
+                assert_eq!(spec.alt_index(alt.name()), Some(i));
+            }
         }
     }
 
@@ -225,6 +255,14 @@ mod tests {
     fn unknown_name_is_none() {
         assert!(build("no-such-workload", 0).is_none());
         assert!(spec("no-such-workload").is_none());
+        assert!(index_of("no-such-workload").is_none());
+    }
+
+    #[test]
+    fn index_of_matches_catalog_order() {
+        for (i, w) in CATALOG.iter().enumerate() {
+            assert_eq!(index_of(w.name), Some(i));
+        }
     }
 
     #[test]

@@ -20,6 +20,15 @@
 //! process-global: sharing a process with other tests would inject
 //! faults into them too. The seed comes from `ALTX_CHAOS_SEED` (decimal
 //! or 0x-hex) so CI can pin it and failures replay exactly.
+//!
+//! The soak also runs with a small **coalescing window**: the 8 clients
+//! walk the same request sequence, so identical `(workload, arg,
+//! deadline)` requests land inside one window and share a race. That
+//! puts the batching fan-out path under chaos too — a coalesced waiter
+//! must get exactly one reply even when its shared race panics, sheds,
+//! or loses its worker. The `answered == CLIENTS × REQUESTS` liveness
+//! assertion is the exactly-once check: a dropped reply hangs a client
+//! (socket timeout → panic) and a duplicate desynchronizes its framing.
 
 use altx::faults::{self, FaultPlan};
 use altx_serve::client::{ClientConfig, RetryPolicy};
@@ -78,6 +87,10 @@ fn chaos_soak_every_request_is_answered() {
         addr: "127.0.0.1:0".to_owned(),
         workers: 4,
         queue_depth: 32,
+        // Wide enough that the clients' identical request streams
+        // actually coalesce; the soak asserts they did.
+        batch_window: Duration::from_millis(2),
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();
@@ -115,15 +128,17 @@ fn chaos_soak_every_request_is_answered() {
             answered += a;
             retries += r;
         }
-        // The chaos config injects at ~30% per site visit; across
-        // hundreds of jobs the plan must have actually fired, and fired
-        // a lot — a soak that injected nothing proves nothing.
-        let total_jobs = CLIENTS * REQUESTS_PER_CLIENT;
+        // The chaos config injects at ~30% per site visit, and sites are
+        // visited per *race*: coalescing collapses up to CLIENTS
+        // identical requests into one race, so the floor scales with
+        // unique keys (one per request index), not raw request count. A
+        // soak that injected nothing proves nothing.
+        let min_races = REQUESTS_PER_CLIENT;
         assert!(
-            plan.injected_total() as usize >= total_jobs / 5,
-            "only {} faults across {} jobs (seed {seed:#x})",
+            plan.injected_total() as usize >= min_races / 5,
+            "only {} faults across >= {} races (seed {seed:#x})",
             plan.injected_total(),
-            total_jobs
+            min_races
         );
         let _ = retries; // tallied below from telemetry-independent stats
 
@@ -146,6 +161,11 @@ fn chaos_soak_every_request_is_answered() {
         telemetry.snapshot().worker_respawns > 0,
         "no worker was killed+respawned — the pool.worker site never fired \
          or the supervisor is dead (seed {seed:#x})"
+    );
+    assert!(
+        telemetry.snapshot().requests_coalesced > 0,
+        "8 clients replaying the same request sequence inside a 2 ms window \
+         never coalesced — the batching path went untested (seed {seed:#x})"
     );
 
     // Self-healing: with the plan cleared (guard dropped above), the
@@ -174,6 +194,7 @@ fn retries_absorb_overload_shed() {
         addr: "127.0.0.1:0".to_owned(),
         workers: 1,
         queue_depth: 1,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr();

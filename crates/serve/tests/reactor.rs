@@ -21,6 +21,7 @@ fn local_server(workers: usize, queue_depth: usize) -> altx_serve::ServerHandle 
         addr: "127.0.0.1:0".to_owned(),
         workers,
         queue_depth,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port")
 }

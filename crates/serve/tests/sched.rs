@@ -1,0 +1,294 @@
+//! Race-scheduler integration: hedged launch plans and request batching
+//! observed end-to-end, through a live daemon on the loopback.
+//!
+//! The contract under test is the tentpole invariant: the scheduler is
+//! a *strategy*, not a semantics change. Hedging may only change what a
+//! race costs (fewer alternative bodies run), never what it answers —
+//! every reply must carry a value some alternative legitimately
+//! produced. Batching may only change how many races run, never how
+//! many replies land — each waiter gets exactly one.
+
+use altx::engine::{LaunchPlan, ThreadedEngine};
+use altx::CancelToken;
+use altx_pager::{AddressSpace, PageSize};
+use altx_serve::frame::{Request, Response};
+use altx_serve::workload;
+use altx_serve::{start, Client, HedgeConfig, HedgePolicy, ServerConfig, ServerHandle};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+fn ws() -> AddressSpace {
+    AddressSpace::zeroed(4096, PageSize::K4)
+}
+
+fn local_server(config: ServerConfig) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 4,
+        queue_depth: 64,
+        ..config
+    })
+    .expect("bind ephemeral port")
+}
+
+/// Recomputes the lognormal workload's three seeded draws for `arg`,
+/// exactly as `workload::build` does — the oracle for "the reply's
+/// value belongs to a real alternative".
+fn lognormal_draws(arg: u64) -> BTreeSet<u64> {
+    use altx_bench::TimeDistribution;
+    use altx_des::SimRng;
+    let mut rng = SimRng::seed_from_u64(arg.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA17B);
+    let dist = TimeDistribution::LogNormal {
+        median_ms: 3.0,
+        sigma: 1.0,
+    };
+    (0..3)
+        .map(|_| dist.sample(&mut rng).as_millis_f64().ceil() as u64)
+        .collect()
+}
+
+/// The all-zeros plan must be byte-for-byte the old launch-all path:
+/// same winner, same value, same success/failure shape as
+/// `execute_with_token` on the same seeded block.
+#[test]
+fn all_zeros_plan_is_execute_with_token() {
+    for arg in [1u64, 7, 42, 1_000_003] {
+        let block = workload::build("lognormal", arg).expect("catalog workload");
+        let token = CancelToken::new();
+        let planned = ThreadedEngine::new().execute_planned(
+            &block,
+            &mut ws(),
+            &token,
+            &LaunchPlan::immediate(block.len()),
+        );
+        let token = CancelToken::new();
+        let unplanned = ThreadedEngine::new().execute_with_token(&block, &mut ws(), &token);
+        assert_eq!(planned.succeeded(), unplanned.succeeded(), "arg {arg}");
+        // The lognormal draws are seeded by `arg`, so both runs race the
+        // same sleeps and the shortest draw wins both times.
+        assert_eq!(planned.value, unplanned.value, "arg {arg}");
+        assert_eq!(planned.winner, unplanned.winner, "arg {arg}");
+    }
+}
+
+/// Launch order through the public policy API: the favourite is the
+/// only alternative at offset zero; everyone else waits.
+#[test]
+fn plan_puts_the_favourite_first() {
+    let policy = HedgePolicy::new(HedgeConfig {
+        enabled: true,
+        min_samples: 4,
+        ..HedgeConfig::default()
+    });
+    let widx = workload::index_of("lognormal").unwrap();
+    for _ in 0..8 {
+        policy.record_win(widx, 2, 2_500);
+    }
+    let _ = policy.plan(widx, 3); // tick 0 explores
+    let plan = policy.plan(widx, 3);
+    assert_eq!(plan.offset(2), Duration::ZERO);
+    assert!(plan.offset(0) > Duration::ZERO);
+    assert!(plan.offset(1) > Duration::ZERO);
+    assert_eq!(plan.staggered(), 2);
+}
+
+/// The exploration floor cannot be configured away: even with
+/// `explore_every: 0` (clamped to 2) warm history still races
+/// launch-all on schedule, keeping the statistics falsifiable.
+#[test]
+fn exploration_floor_survives_extreme_config() {
+    let policy = HedgePolicy::new(HedgeConfig {
+        enabled: true,
+        min_samples: 1,
+        explore_every: 0,
+        ..HedgeConfig::default()
+    });
+    let widx = workload::index_of("lognormal").unwrap();
+    for _ in 0..8 {
+        policy.record_win(widx, 0, 2_000);
+    }
+    let plans: Vec<bool> = (0..8)
+        .map(|_| policy.plan(widx, 3).is_immediate())
+        .collect();
+    assert!(
+        plans.iter().any(|imm| *imm),
+        "exploration races must still occur: {plans:?}"
+    );
+    assert!(
+        plans.iter().any(|imm| !*imm),
+        "warm history must still hedge: {plans:?}"
+    );
+}
+
+/// The headline property on a live daemon: with hedging on, the same
+/// seeded lognormal request stream executes strictly fewer alternative
+/// bodies than launch-all, at least one race is won from a hedge
+/// offset, and every reply still carries a value one of the three
+/// seeded draws actually produced.
+#[test]
+fn hedging_suppresses_launches_on_lognormal() {
+    const REQUESTS: u64 = 160;
+
+    let run_stream = |server: &ServerHandle| -> (u64, u64) {
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        for n in 0..REQUESTS {
+            // Seeded arg stream: both servers race identical blocks.
+            let arg = n.wrapping_mul(0x9E37_79B9).wrapping_add(17);
+            match client.run("lognormal", arg, 0).expect("reply") {
+                Response::Ok { value, .. } => {
+                    assert!(
+                        lognormal_draws(arg).contains(&value),
+                        "req {n}: value {value} is not one of the seeded draws"
+                    );
+                }
+                other => panic!("req {n}: unexpected {other:?}"),
+            }
+        }
+        let snap = server.telemetry().snapshot();
+        (snap.launches_suppressed, snap.hedge_wins)
+    };
+
+    let launch_all = local_server(ServerConfig::default());
+    let (suppressed_all, hedge_wins_all) = run_stream(&launch_all);
+    launch_all.shutdown();
+    assert_eq!(
+        hedge_wins_all, 0,
+        "launch-all has no hedge offsets to win from"
+    );
+
+    let hedged = local_server(ServerConfig {
+        hedge: HedgeConfig {
+            enabled: true,
+            min_samples: 10,
+            ..HedgeConfig::default()
+        },
+        ..ServerConfig::default()
+    });
+    let (suppressed_hedged, hedge_wins) = run_stream(&hedged);
+    let snap = hedged.telemetry().snapshot();
+    hedged.shutdown();
+
+    assert!(
+        suppressed_hedged > suppressed_all,
+        "hedging must execute strictly fewer bodies than launch-all \
+         (suppressed {suppressed_hedged} vs {suppressed_all})"
+    );
+    assert!(
+        snap.hedges_launched < snap.accepted * 2,
+        "most hedges must be suppressed, not launched \
+         ({} launched over {} races)",
+        snap.hedges_launched,
+        snap.accepted
+    );
+    // With a heavy-tailed favourite, some races are won by a hedge that
+    // out-ran a straggling favourite. 160 seeded requests make this
+    // statistically certain (the favourite exceeds its own p95 in ~5%
+    // of draws by construction).
+    assert!(
+        hedge_wins > 0,
+        "no race was ever won from a hedge offset over {REQUESTS} requests"
+    );
+}
+
+/// A pipelined burst of identical requests coalesces into fewer races,
+/// and every waiter gets exactly one correct reply — in order.
+#[test]
+fn identical_pipelined_requests_coalesce() {
+    const BURST: usize = 16;
+    let server = local_server(ServerConfig {
+        batch_window: Duration::from_millis(5),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let request = Request::Run {
+        workload: "trivial".to_owned(),
+        deadline_ms: 0,
+        arg: 77,
+    };
+    for _ in 0..BURST {
+        client.send(&request).expect("pipelined send");
+    }
+    // Exactly-once, in order: a dropped reply would hang this loop at
+    // the read timeout; a duplicate would desynchronize the framing.
+    for n in 0..BURST {
+        match client.recv().expect("pipelined reply") {
+            Response::Ok { value, .. } => assert_eq!(value, 77, "reply {n}"),
+            other => panic!("reply {n}: unexpected {other:?}"),
+        }
+    }
+
+    let snap = server.telemetry().snapshot();
+    assert!(
+        snap.requests_coalesced > 0,
+        "an identical pipelined burst must coalesce (got {} coalesced, \
+         {} batches)",
+        snap.requests_coalesced,
+        snap.batches_formed
+    );
+    assert!(snap.batches_formed > 0);
+    assert!(
+        snap.batches_formed + snap.requests_coalesced >= BURST as u64,
+        "every request is either a batch opener or coalesced"
+    );
+    server.shutdown();
+}
+
+/// Batched waiters spread across connections each get exactly one
+/// reply, and the daemon still drains cleanly with windows open.
+#[test]
+fn coalesced_waiters_across_connections_all_get_replies() {
+    const CONNS: usize = 6;
+    let server = local_server(ServerConfig {
+        batch_window: Duration::from_millis(3),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..CONNS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for round in 0..10u64 {
+                    // Same arg on every connection in the same round:
+                    // coalescible across connections.
+                    match client.run("trivial", round, 0).expect("reply") {
+                        Response::Ok { value, .. } => assert_eq!(value, round),
+                        other => panic!("round {round}: unexpected {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let snap = server.telemetry().snapshot();
+    server.shutdown();
+    assert!(
+        snap.requests_coalesced > 0,
+        "lock-stepped connections never coalesced"
+    );
+}
+
+/// The CATALOG control frame lists every workload and, once the
+/// scheduler has history, marks the favourite.
+#[test]
+fn catalog_frame_reports_workloads_and_favourite() {
+    let server = local_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Warm up the trivial workload so some alternative accumulates wins.
+    for n in 0..12u64 {
+        match client.run("trivial", n, 0).expect("reply") {
+            Response::Ok { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let page = client.catalog_page().expect("catalog page");
+    for spec in workload::CATALOG {
+        assert!(page.contains(spec.name), "{page}");
+    }
+    assert!(page.contains("instant-a"), "{page}");
+    assert!(page.contains("<- favourite"), "{page}");
+    server.shutdown();
+}

@@ -23,6 +23,7 @@ fn main() {
         addr: "127.0.0.1:0".to_owned(),
         workers: 4,
         queue_depth: 32,
+        ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
     println!("daemon up on {}\n", server.local_addr());

@@ -22,6 +22,9 @@ cargo fmt --check
 echo "==> chaos soak (pinned seed, own process)"
 ALTX_CHAOS_SEED=0xC0FFEE cargo test -q -p altx-serve --test chaos_soak
 
+echo "==> race scheduler suite (hedged launches + batching)"
+cargo test -q -p altx-serve --test sched
+
 echo "==> bench regression gate: altxd + altx-load vs committed baseline"
 BASELINE=BENCH_serve_throughput.json
 SMOKE_ADDR=127.0.0.1:7979
@@ -57,6 +60,40 @@ awk -v base="$BASE_RPS" -v fresh="$FRESH_RPS" 'BEGIN {
     exit 1
 }
 rm -f "$SMOKE_OUT"
+trap - EXIT
+
+echo "==> batching smoke: coalesced burst, asserted via live STATS counters"
+BATCH_ADDR=127.0.0.1:7983
+BATCH_OUT=$(mktemp /tmp/altx-batch.XXXXXX.json)
+# 2 ms coalescing window on both sides: the daemon batches, the load
+# generator aligns its arg stream so identical keys actually collide.
+# Hedging is on too, so the suppression counters run live.
+./target/release/altxd --addr "$BATCH_ADDR" --batch-window-us 2000 --hedge \
+    --hedge-min-samples 10 --duration 6 &
+BATCH_PID=$!
+trap 'kill "$BATCH_PID" 2>/dev/null || true; rm -f "$BATCH_OUT"' EXIT
+sleep 0.3
+./target/release/altx-load \
+    --addr "$BATCH_ADDR" --workload trivial --clients 8 \
+    --duration 3 --batch-window-us 2000 --out "$BATCH_OUT"
+wait "$BATCH_PID"
+# The server_* fields are scraped from the live daemon's STATS page by
+# altx-load after the run.
+counter() {
+    grep -o "\"$1\": *[0-9]*" "$BATCH_OUT" | grep -o '[0-9]*$'
+}
+COALESCED=$(counter server_requests_coalesced)
+SUPPRESSED=$(counter server_launches_suppressed)
+echo "batching smoke: requests_coalesced=$COALESCED launches_suppressed=$SUPPRESSED"
+[ -n "$COALESCED" ] && [ "$COALESCED" -gt 0 ] || {
+    echo "batching smoke: a burst of identical requests never coalesced" >&2
+    exit 1
+}
+[ -n "$SUPPRESSED" ] && [ "$SUPPRESSED" -gt 0 ] || {
+    echo "batching smoke: hedging never suppressed a launch" >&2
+    exit 1
+}
+rm -f "$BATCH_OUT"
 trap - EXIT
 
 echo "==> idle-connection smoke: 1024 idle conns on O(workers) threads"
