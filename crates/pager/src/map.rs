@@ -8,16 +8,70 @@
 
 use crate::page::{is_shared, Page, PageIndex, PageRef, PageSize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A page table mapping page indices to (possibly shared) physical pages.
 ///
 /// Unmapped slots read as zero and are materialized on first write
 /// (zero-fill-on-demand), mirroring sparse address spaces.
-#[derive(Clone)]
+///
+/// The occupancy counters are *maintained*, not scanned:
+/// [`PageMap::mapped_count`] is an exact field updated by every mapping
+/// mutation (these all take `&mut self`), and [`PageMap::shared_count`]
+/// keeps an upper-bound *hint* so the common "nothing shared" case — a
+/// map that was never cloned, or whose sharing has fully decayed —
+/// answers without touching a single slot. Both used to be O(#pages)
+/// scans sitting inside the kernel's cost-charging loop.
 pub struct PageMap {
     page_size: PageSize,
     slots: Vec<Option<PageRef>>,
+    /// Exact number of `Some` slots.
+    mapped: usize,
+    /// Packed `(epoch << 32) | shared_hint`. The hint is an upper bound
+    /// on how many mapped pages *might* be shared: sharedness lives in
+    /// `Arc` strong counts that other maps decay invisibly (dropping a
+    /// sibling privatizes our pages without telling us), so an exact
+    /// maintained count is impossible — but sharing can only *increase*
+    /// through this map's own clone/`map_page`, which bump the hint.
+    /// Hint 0 therefore proves nothing is shared. The epoch counts
+    /// clones; [`PageMap::shared_count`] publishes a scan result only
+    /// if no clone raced it (single compare-exchange on the packed
+    /// word), so a refreshed hint can never understate sharing.
+    sharing: AtomicU64,
+}
+
+/// Packs a clone epoch and a shared-pages hint into one atomic word.
+fn pack(epoch: u32, hint: usize) -> u64 {
+    (u64::from(epoch) << 32) | hint.min(u32::MAX as usize) as u64
+}
+
+/// Inverse of [`pack`].
+fn unpack(state: u64) -> (u32, usize) {
+    ((state >> 32) as u32, (state & u64::from(u32::MAX)) as usize)
+}
+
+impl Clone for PageMap {
+    /// Cloning re-shares every mapped page — both maps now hold a ref to
+    /// each one — so both sides' hints become exactly `mapped`. The
+    /// parent's epoch is bumped *after* the refs are cloned, through
+    /// `&self`, so a concurrently scanning [`PageMap::shared_count`]
+    /// cannot publish a stale lower hint over the top of this clone.
+    fn clone(&self) -> Self {
+        let slots = self.slots.clone();
+        let mapped = self.mapped;
+        let _ = self
+            .sharing
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |s| {
+                Some(pack(unpack(s).0.wrapping_add(1), mapped))
+            });
+        PageMap {
+            page_size: self.page_size,
+            slots,
+            mapped,
+            sharing: AtomicU64::new(pack(0, mapped)),
+        }
+    }
 }
 
 impl PageMap {
@@ -26,6 +80,8 @@ impl PageMap {
         PageMap {
             page_size,
             slots: vec![None; npages],
+            mapped: 0,
+            sharing: AtomicU64::new(0),
         }
     }
 
@@ -44,18 +100,43 @@ impl PageMap {
         self.slots.is_empty()
     }
 
-    /// Number of slots currently backed by a physical page.
+    /// Number of slots currently backed by a physical page. O(1): the
+    /// count is maintained by every mutation.
     pub fn mapped_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        debug_assert_eq!(
+            self.mapped,
+            self.slots.iter().filter(|s| s.is_some()).count(),
+            "maintained mapped count drifted from the slots"
+        );
+        self.mapped
     }
 
     /// Number of mapped slots whose physical page is shared with another
-    /// map (i.e., a write would trigger a COW copy).
+    /// map (i.e., a write would trigger a COW copy). O(1) whenever the
+    /// hint proves nothing can be shared (never cloned, or a previous
+    /// call observed full decay); otherwise one scan that refreshes the
+    /// hint for the next caller.
     pub fn shared_count(&self) -> usize {
-        self.slots
+        let state = self.sharing.load(Ordering::Acquire);
+        let (epoch, hint) = unpack(state);
+        if hint == 0 {
+            return 0;
+        }
+        let n = self
+            .slots
             .iter()
             .filter(|s| s.as_ref().is_some_and(is_shared))
-            .count()
+            .count();
+        // Publish the observed count as the new hint — but only if no
+        // clone raced the scan (the epoch half of the word is part of
+        // the compare), because a racing clone re-shares every page.
+        let _ = self.sharing.compare_exchange(
+            state,
+            pack(epoch, n),
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        );
+        n
     }
 
     /// Grows the map to at least `npages` slots (new slots unmapped).
@@ -88,6 +169,14 @@ impl PageMap {
             page.len(),
             self.page_size
         );
+        // An incoming ref the caller still holds elsewhere is shared on
+        // arrival; raise the hint so shared_count can't miss it.
+        if is_shared(&page) {
+            let s = self.sharing.get_mut();
+            let (epoch, hint) = unpack(*s);
+            *s = pack(epoch, hint.saturating_add(1));
+        }
+        self.mapped += usize::from(self.slots[idx.0].is_none());
         self.slots[idx.0] = Some(page);
     }
 
@@ -105,6 +194,7 @@ impl PageMap {
         let slot = &mut self.slots[idx.0];
         match slot {
             None => {
+                self.mapped += 1;
                 *slot = Some(Arc::new(Page::zeroed(self.page_size)));
                 let page = Arc::get_mut(slot.as_mut().expect("just set")).expect("fresh arc");
                 (page, CowOutcome::ZeroFilled)
@@ -115,6 +205,13 @@ impl PageMap {
                 } else {
                     CowOutcome::AlreadyPrivate
                 };
+                if outcome == CowOutcome::Copied {
+                    // The copy privatizes this page: one fewer shared
+                    // page, so the upper bound can come down with it.
+                    let s = self.sharing.get_mut();
+                    let (epoch, hint) = unpack(*s);
+                    *s = pack(epoch, hint.saturating_sub(1));
+                }
                 // Arc::make_mut clones the Page iff it is shared.
                 let page = Arc::make_mut(arc);
                 (page, outcome)
@@ -311,5 +408,67 @@ mod tests {
         let m = small_map();
         let s = format!("{m:?}");
         assert!(s.contains("8 slots"), "{s}");
+    }
+
+    /// Oracle check: the maintained counters must agree with a fresh
+    /// scan after every kind of mutation.
+    #[test]
+    fn maintained_counts_match_scan_oracle() {
+        fn oracle_mapped(m: &PageMap) -> usize {
+            (0..m.len())
+                .filter(|&i| m.page(PageIndex(i)).is_some())
+                .count()
+        }
+        fn oracle_shared(m: &PageMap) -> usize {
+            (0..m.len())
+                .filter(|&i| m.page(PageIndex(i)).is_some_and(is_shared))
+                .count()
+        }
+        let mut m = small_map();
+        m.page_mut(PageIndex(0)); // zero-fill
+        m.page_mut(PageIndex(0)); // already private
+        m.map_page(PageIndex(1), Arc::new(Page::zeroed(PageSize::new(4))));
+        m.map_page(PageIndex(1), Arc::new(Page::zeroed(PageSize::new(4)))); // replace
+        m.grow_to(12);
+        assert_eq!(m.mapped_count(), oracle_mapped(&m));
+        assert_eq!(m.shared_count(), oracle_shared(&m));
+
+        let mut child = m.clone();
+        assert_eq!(m.mapped_count(), oracle_mapped(&m));
+        assert_eq!(m.shared_count(), oracle_shared(&m));
+        assert_eq!(child.shared_count(), oracle_shared(&child));
+
+        child.page_mut(PageIndex(0)); // COW copy
+        child.page_mut(PageIndex(2)); // fresh zero-fill in the child
+        assert_eq!(child.mapped_count(), oracle_mapped(&child));
+        assert_eq!(child.shared_count(), oracle_shared(&child));
+
+        drop(child); // sharing decays invisibly; scan path must refresh
+        assert_eq!(m.shared_count(), oracle_shared(&m));
+        assert_eq!(m.shared_count(), 0); // second call takes the O(1) path
+    }
+
+    /// `map_page` with a ref the caller still holds must register as
+    /// shared even though the map was never cloned.
+    #[test]
+    fn map_page_with_held_ref_counts_as_shared() {
+        let mut m = small_map();
+        let page = Arc::new(Page::zeroed(PageSize::new(4)));
+        m.map_page(PageIndex(0), Arc::clone(&page));
+        assert_eq!(m.shared_count(), 1);
+        drop(page);
+        assert_eq!(m.shared_count(), 0);
+    }
+
+    /// A second clone after full COW divergence must re-arm the hint.
+    #[test]
+    fn reclone_after_divergence_rearms_hint() {
+        let mut parent = small_map();
+        parent.page_mut(PageIndex(0));
+        let mut child = parent.clone();
+        child.page_mut(PageIndex(0)); // diverge completely
+        assert_eq!(parent.shared_count(), 0); // hint settles at 0
+        let _second = parent.clone();
+        assert_eq!(parent.shared_count(), 1);
     }
 }

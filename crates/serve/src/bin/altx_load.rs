@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! altx-load [--addr HOST:PORT] [--workload NAME] [--clients N]
-//!           [--connections N] [--duration SECS] [--deadline-ms N]
-//!           [--out FILE.json] [--retries N] [--hedge-ms N]
-//!           [--batch-window-us N]
+//!           [--threads N] [--connections N] [--duration SECS]
+//!           [--deadline-ms N] [--out FILE.json] [--retries N]
+//!           [--hedge-ms N] [--batch-window-us N]
 //! ```
 //!
 //! Spawns `N` client threads, each with its own connection, issuing
 //! requests back-to-back (one outstanding request per connection) for
-//! the given duration. `--connections` decouples open connections from
+//! the given duration. `--threads T` (0, the default, keeps the
+//! thread-per-client mode) switches to *pipelined* generation: the
+//! `--clients` connections are dealt across only `T` OS threads, each
+//! thread driving its share in lockstep — send on every connection,
+//! then collect every reply. Same closed-loop offered load (one
+//! outstanding request per connection), a fraction of the generator
+//! threads: how a small box saturates a sharded daemon. Pipelined mode
+//! uses the client's raw send/recv path, so it rejects `--retries` and
+//! `--hedge-ms` (a retried send would desynchronize the pipeline). `--connections` decouples open connections from
 //! in-flight clients: when it exceeds `--clients`, the surplus is held
 //! open *idle* for the whole run — exercising the daemon's reactor,
 //! which must serve them for file descriptors, not threads. The
@@ -33,7 +41,7 @@
 //! `--out` (default `BENCH_serve_throughput.json`).
 
 use altx_serve::client::{ClientConfig, RetryPolicy};
-use altx_serve::frame::Response;
+use altx_serve::frame::{Request, Response};
 use altx_serve::Client;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,6 +52,7 @@ struct Args {
     addr: String,
     workload: String,
     clients: usize,
+    threads: usize,
     connections: usize,
     duration_s: u64,
     deadline_ms: u32,
@@ -74,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7171".to_owned(),
         workload: "trivial".to_owned(),
         clients: 8,
+        threads: 0,     // 0 = one thread per client (legacy mode)
         connections: 0, // 0 = same as --clients (no idle surplus)
         duration_s: 5,
         deadline_ms: 0,
@@ -92,6 +102,11 @@ fn parse_args() -> Result<Args, String> {
                 args.clients = value("--clients")?
                     .parse()
                     .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--connections" => {
                 args.connections = value("--connections")?
@@ -127,7 +142,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
-                     [--connections N] [--duration SECS] [--deadline-ms N] \
+                     [--threads N] [--connections N] [--duration SECS] [--deadline-ms N] \
                      [--out FILE.json] [--retries N] [--hedge-ms N] [--batch-window-us N]"
                 );
                 std::process::exit(0);
@@ -182,27 +197,92 @@ fn client_loop(
             .run(workload, arg, deadline_ms)
             .map_err(|e| format!("request failed: {e}"))?;
         let rtt_us = begin.elapsed().as_micros() as u64;
-        match resp {
-            Response::Ok { winner_name, .. } => {
-                report.ok += 1;
-                report.latencies_us.push(rtt_us);
-                *report.wins.entry(winner_name).or_insert(0) += 1;
-            }
-            Response::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
-            Response::Overloaded => report.overloaded += 1,
-            Response::UnknownWorkload => return Err(format!("unknown workload {workload}")),
-            Response::Error { message } => {
-                report.errors += 1;
-                eprintln!("altx-load: server error: {message}");
-            }
-            Response::Text { .. } => return Err("unexpected text reply".to_owned()),
-        }
+        tally(&mut report, resp, rtt_us, workload)?;
     }
     let stats = client.stats();
     report.retries = stats.retries();
     report.hedges = stats.hedges();
     report.reconnects = stats.reconnects();
     report.abandoned = stats.abandoned();
+    Ok(report)
+}
+
+/// Folds one reply into the tallies; fatal replies become `Err`.
+fn tally(
+    report: &mut ClientReport,
+    resp: Response,
+    rtt_us: u64,
+    workload: &str,
+) -> Result<(), String> {
+    match resp {
+        Response::Ok { winner_name, .. } => {
+            report.ok += 1;
+            report.latencies_us.push(rtt_us);
+            *report.wins.entry(winner_name).or_insert(0) += 1;
+        }
+        Response::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
+        Response::Overloaded => report.overloaded += 1,
+        Response::UnknownWorkload => return Err(format!("unknown workload {workload}")),
+        Response::Error { message } => {
+            report.errors += 1;
+            eprintln!("altx-load: server error: {message}");
+        }
+        Response::Text { .. } => return Err("unexpected text reply".to_owned()),
+    }
+    Ok(())
+}
+
+/// One generator thread driving `nconns` connections in lockstep: send
+/// a request on every connection, then collect every reply (the daemon
+/// releases pipelined replies in send order per connection). Offered
+/// load matches `nconns` thread-per-client loops — one outstanding
+/// request per connection — on a single OS thread.
+fn pipelined_loop(
+    addr: &str,
+    workload: &str,
+    deadline_ms: u32,
+    nconns: usize,
+    base_seed: u64,
+    batch_window_us: u64,
+    epoch: Instant,
+    stop: &AtomicBool,
+) -> Result<ClientReport, String> {
+    let mut conns: Vec<(Client, u64)> = (0..nconns)
+        .map(|i| {
+            Client::connect(addr)
+                .map(|c| (c, base_seed + i as u64))
+                .map_err(|e| format!("connect {addr}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut report = ClientReport::default();
+    let mut begins = Vec::with_capacity(nconns);
+    while !stop.load(Ordering::Relaxed) {
+        begins.clear();
+        for (client, arg) in &mut conns {
+            *arg = if batch_window_us > 0 {
+                epoch.elapsed().as_micros() as u64 / batch_window_us
+            } else {
+                arg.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407)
+            };
+            let request = Request::Run {
+                workload: workload.to_owned(),
+                deadline_ms,
+                arg: *arg,
+            };
+            begins.push(Instant::now());
+            client
+                .send(&request)
+                .map_err(|e| format!("pipelined send failed: {e}"))?;
+        }
+        for (i, (client, _)) in conns.iter_mut().enumerate() {
+            let resp = client
+                .recv()
+                .map_err(|e| format!("pipelined recv failed: {e}"))?;
+            let rtt_us = begins[i].elapsed().as_micros() as u64;
+            tally(&mut report, resp, rtt_us, workload)?;
+        }
+    }
     Ok(report)
 }
 
@@ -261,6 +341,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if args.threads > 0 && (args.retries > 0 || args.hedge_ms > 0) {
+        eprintln!(
+            "altx-load: --threads drives the raw pipelined path; \
+             --retries/--hedge-ms would desynchronize it"
+        );
+        std::process::exit(2);
+    }
 
     // Surplus connections beyond the active clients are held open and
     // idle for the whole run; the daemon's reactor must carry them
@@ -299,29 +386,60 @@ fn main() {
 
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
-    let handles: Vec<_> = (0..args.clients)
-        .map(|i| {
-            let addr = args.addr.clone();
-            let workload = args.workload.clone();
-            let stop = Arc::clone(&stop);
-            let deadline_ms = args.deadline_ms;
-            let seed = 0x5eed + i as u64;
-            let config = args.client_config(seed);
-            let batch_window_us = args.batch_window_us;
-            std::thread::spawn(move || {
-                client_loop(
-                    &addr,
-                    &workload,
-                    deadline_ms,
-                    config,
-                    seed,
-                    batch_window_us,
-                    started,
-                    &stop,
-                )
+    let handles: Vec<_> = if args.threads > 0 {
+        // Pipelined mode: deal the connections across the thread pool,
+        // spreading any remainder over the first few threads.
+        let nthreads = args.threads.min(args.clients);
+        let mut next = 0usize;
+        (0..nthreads)
+            .map(|i| {
+                let nconns = args.clients / nthreads + usize::from(i < args.clients % nthreads);
+                let base_seed = 0x5eed + next as u64;
+                next += nconns;
+                let addr = args.addr.clone();
+                let workload = args.workload.clone();
+                let stop = Arc::clone(&stop);
+                let deadline_ms = args.deadline_ms;
+                let batch_window_us = args.batch_window_us;
+                std::thread::spawn(move || {
+                    pipelined_loop(
+                        &addr,
+                        &workload,
+                        deadline_ms,
+                        nconns,
+                        base_seed,
+                        batch_window_us,
+                        started,
+                        &stop,
+                    )
+                })
             })
-        })
-        .collect();
+            .collect()
+    } else {
+        (0..args.clients)
+            .map(|i| {
+                let addr = args.addr.clone();
+                let workload = args.workload.clone();
+                let stop = Arc::clone(&stop);
+                let deadline_ms = args.deadline_ms;
+                let seed = 0x5eed + i as u64;
+                let config = args.client_config(seed);
+                let batch_window_us = args.batch_window_us;
+                std::thread::spawn(move || {
+                    client_loop(
+                        &addr,
+                        &workload,
+                        deadline_ms,
+                        config,
+                        seed,
+                        batch_window_us,
+                        started,
+                        &stop,
+                    )
+                })
+            })
+            .collect()
+    };
     std::thread::sleep(Duration::from_secs(args.duration_s));
     stop.store(true, Ordering::Relaxed);
 
@@ -372,10 +490,20 @@ fn main() {
     let p999 = percentile(&merged.latencies_us, 0.999);
     let max = merged.latencies_us.last().copied().unwrap_or(0);
 
-    println!(
-        "altx-load: {} clients x {:.1}s against {}",
-        args.clients, elapsed, args.addr
-    );
+    if args.threads > 0 {
+        println!(
+            "altx-load: {} pipelined connections on {} threads x {:.1}s against {}",
+            args.clients,
+            args.threads.min(args.clients),
+            elapsed,
+            args.addr
+        );
+    } else {
+        println!(
+            "altx-load: {} clients x {:.1}s against {}",
+            args.clients, elapsed, args.addr
+        );
+    }
     println!("  workload            {}", args.workload);
     println!("  requests            {total}");
     println!("  ok                  {}", merged.ok);
@@ -407,7 +535,8 @@ fn main() {
         wins_json.push(format!("    \"{}\": {}", json_escape(name), n));
     }
     let json = format!(
-        "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"connections\": {},\n  \
+        "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"threads\": {},\n  \
+         \"connections\": {},\n  \
          \"duration_s\": {:.3},\n  \
          \"deadline_ms\": {},\n  \"batch_window_us\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
          \"deadline_exceeded\": {},\n  \"overloaded\": {},\n  \"errors\": {},\n  \
@@ -421,6 +550,7 @@ fn main() {
          \"wins\": {{\n{}\n  }}\n}}\n",
         json_escape(&args.workload),
         args.clients,
+        args.threads,
         args.clients.max(args.connections),
         elapsed,
         args.deadline_ms,

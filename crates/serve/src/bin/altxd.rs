@@ -1,9 +1,9 @@
 //! `altxd` — the speculation daemon.
 //!
 //! ```text
-//! altxd [--addr HOST:PORT] [--workers N] [--queue N] [--duration SECS]
-//!       [--batch-window-us N] [--hedge] [--hedge-min-samples N]
-//!       [--hedge-explore-every N]
+//! altxd [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]
+//!       [--duration SECS] [--batch-window-us N] [--hedge]
+//!       [--hedge-min-samples N] [--hedge-explore-every N]
 //! ```
 //!
 //! `--duration 0` (the default) serves until a client sends the
@@ -15,6 +15,10 @@
 //! one race. `--hedge` turns on adaptive hedged launches: the
 //! statistically favoured alternative starts immediately and the rest
 //! are held back until its observed p95 has passed.
+//!
+//! `--shards N` runs N independent reactor event loops behind one
+//! acceptor thread (accepted connections are dealt round-robin); the
+//! default of 1 keeps the classic single-reactor front end.
 
 use altx_serve::server::{available_workers, start, ServerConfig};
 use altx_serve::workload::CATALOG;
@@ -25,6 +29,7 @@ struct Args {
     addr: String,
     workers: usize,
     queue_depth: usize,
+    shards: usize,
     duration_s: u64,
     batch_window: Duration,
     hedge: HedgeConfig,
@@ -35,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:7171".to_owned(),
         workers: available_workers(),
         queue_depth: 64,
+        shards: 1,
         duration_s: 0,
         batch_window: Duration::ZERO,
         hedge: HedgeConfig::default(),
@@ -53,6 +59,12 @@ fn parse_args() -> Result<Args, String> {
                 args.queue_depth = value("--queue")?
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--shards: {e}"))?
+                    .max(1)
             }
             "--duration" => {
                 args.duration_s = value("--duration")?
@@ -79,7 +91,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--duration SECS] [--batch-window-us N] [--hedge] \
+                     [--shards N] [--duration SECS] [--batch-window-us N] [--hedge] \
                      [--hedge-min-samples N] [--hedge-explore-every N]"
                 );
                 std::process::exit(0);
@@ -104,6 +116,7 @@ fn main() {
         queue_depth: args.queue_depth,
         batch_window: args.batch_window,
         hedge: args.hedge.clone(),
+        shards: args.shards,
     }) {
         Ok(h) => h,
         Err(e) => {
@@ -112,10 +125,12 @@ fn main() {
         }
     };
     println!(
-        "altxd listening on {} ({} workers, queue depth {})",
+        "altxd listening on {} ({} workers, queue depth {}, {} shard{})",
         handle.local_addr(),
         args.workers,
-        args.queue_depth
+        args.queue_depth,
+        args.shards,
+        if args.shards == 1 { "" } else { "s" }
     );
     if !args.batch_window.is_zero() {
         println!("batching: window {:?}", args.batch_window);

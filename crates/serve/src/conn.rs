@@ -16,6 +16,7 @@
 //! reply is flushed. There is no half-reaped state and no thread to
 //! join — closing a connection is dropping its state.
 
+use crate::bufpool::BufPool;
 use crate::frame::{write_frame, FrameDecoder, FrameError, Response};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -23,7 +24,8 @@ use std::net::TcpStream;
 
 /// What a readiness-driven read pass produced.
 pub(crate) struct ReadOutcome {
-    /// Complete frame bodies, in arrival order.
+    /// Complete frame bodies, in arrival order. Drawn from the shard's
+    /// [`BufPool`]; the reactor returns each to the pool once handled.
     pub frames: Vec<Vec<u8>>,
     /// A framing error (oversized prefix, EOF mid-frame). The
     /// connection stops reading; the reactor owes the peer one error
@@ -64,9 +66,10 @@ impl Conn {
     }
 
     /// Reads until the socket would block (or EOF), returning every
-    /// complete frame that became available. `Err` means the transport
-    /// itself failed and the connection is unsalvageable.
-    pub(crate) fn on_readable(&mut self) -> io::Result<ReadOutcome> {
+    /// complete frame that became available in pool-recycled buffers.
+    /// `Err` means the transport itself failed and the connection is
+    /// unsalvageable.
+    pub(crate) fn on_readable(&mut self, pool: &mut BufPool) -> io::Result<ReadOutcome> {
         let mut buf = [0u8; 8192];
         loop {
             match self.stream.read(&mut buf) {
@@ -83,10 +86,15 @@ impl Conn {
         let mut frames = Vec::new();
         let mut error = None;
         loop {
-            match self.decoder.next_frame() {
-                Ok(Some(body)) => frames.push(body),
-                Ok(None) => break,
+            let mut body = pool.get();
+            match self.decoder.next_frame_into(&mut body) {
+                Ok(true) => frames.push(body),
+                Ok(false) => {
+                    pool.put(body);
+                    break;
+                }
                 Err(e) => {
+                    pool.put(body);
                     self.read_closed = true;
                     error = Some(e);
                     break;
@@ -113,13 +121,20 @@ impl Conn {
     /// Fills the reply slot for `seq` and releases every reply that is
     /// now deliverable in order. Unknown or already-released seqs are
     /// ignored (a refused-then-completed race can double-report).
-    pub(crate) fn fulfill(&mut self, seq: u64, response: &Response) {
+    ///
+    /// Reply bodies are encoded into pool-recycled buffers; a slot that
+    /// parks waiting on an earlier seq holds its pooled buffer until
+    /// released, at which point the bytes are folded into `out` and the
+    /// buffer goes back to the pool.
+    pub(crate) fn fulfill(&mut self, seq: u64, response: &Response, pool: &mut BufPool) {
         if let Some(slot) = self
             .pending
             .iter_mut()
             .find(|(s, body)| *s == seq && body.is_none())
         {
-            slot.1 = Some(response.encode());
+            let mut body = pool.get();
+            response.encode_into(&mut body);
+            slot.1 = Some(body);
         }
         while let Some((_, Some(_))) = self.pending.front() {
             let (_, body) = self.pending.pop_front().expect("front exists");
@@ -133,6 +148,7 @@ impl Conn {
                 };
                 write_frame(&mut self.out, &fallback.encode()).expect("error reply is bounded");
             }
+            pool.put(body);
         }
     }
 

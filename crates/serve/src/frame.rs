@@ -124,9 +124,19 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
 /// An oversized length prefix is rejected as soon as the 4 header
 /// bytes are visible — before the announced body is buffered — with
 /// the same [`FrameError::Oversized`] the blocking path returns.
+///
+/// Internally the decoder is a buffer plus a *read cursor*. Consuming a
+/// frame only advances the cursor; the consumed prefix is reclaimed
+/// lazily — all at once when the buffer fully drains (the common case:
+/// `buf.clear()`, free), or by a single memmove once the dead prefix
+/// dominates the buffer. A pipelined burst of k frames therefore costs
+/// O(bytes) total, not the O(k · bytes) it would cost to memmove the
+/// tail after every frame.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
+    /// Bytes before `pos` belong to already-consumed frames.
+    pos: usize,
 }
 
 impl FrameDecoder {
@@ -142,31 +152,55 @@ impl FrameDecoder {
 
     /// Bytes buffered but not yet returned as a frame.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.pos
     }
 
     /// Pops the next complete frame body, `Ok(None)` if more bytes are
     /// needed. After an `Err` the stream is desynchronized and the
     /// connection should be dropped.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
+        let mut body = Vec::new();
+        Ok(self.next_frame_into(&mut body)?.then_some(body))
+    }
+
+    /// Like [`FrameDecoder::next_frame`], but appends the body into a
+    /// caller-supplied buffer (typically recycled from a pool) instead
+    /// of allocating. Returns `Ok(true)` when a frame was written to
+    /// `out`, `Ok(false)` when more bytes are needed (`out` untouched).
+    pub fn next_frame_into(&mut self, out: &mut Vec<u8>) -> Result<bool, FrameError> {
+        if self.buffered() < 4 {
+            return Ok(false);
         }
-        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("len 4")) as usize;
+        let header = &self.buf[self.pos..self.pos + 4];
+        let len = u32::from_be_bytes(header.try_into().expect("len 4")) as usize;
         if len > MAX_FRAME {
             return Err(FrameError::Oversized(len));
         }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
+        if self.buffered() < 4 + len {
+            return Ok(false);
         }
-        let body = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        Ok(Some(body))
+        out.extend_from_slice(&self.buf[self.pos + 4..self.pos + 4 + len]);
+        self.pos += 4 + len;
+        self.compact();
+        Ok(true)
+    }
+
+    /// Reclaims the consumed prefix, amortized: free when the buffer is
+    /// fully drained, one memmove when dead bytes are both sizeable and
+    /// the majority of the buffer.
+    fn compact(&mut self) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos >= 4096 && self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
     }
 
     /// Call at EOF: leftover bytes mean the peer died mid-frame.
     pub fn finish(&self) -> Result<(), FrameError> {
-        if self.buf.is_empty() {
+        if self.buffered() == 0 {
             Ok(())
         } else {
             Err(FrameError::Truncated)
@@ -299,6 +333,14 @@ const ST_TEXT: u8 = 0x05;
 impl Response {
     /// Serializes into a frame body.
     pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Serializes into a caller-supplied buffer (typically recycled
+    /// from a pool), appending the frame body to whatever it holds.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
         match self {
             Response::Ok {
                 winner,
@@ -307,36 +349,32 @@ impl Response {
                 value,
             } => {
                 let name = winner_name.as_bytes();
-                let mut b = Vec::with_capacity(23 + name.len());
+                b.reserve(23 + name.len());
                 b.push(ST_OK);
                 b.extend_from_slice(&winner.to_be_bytes());
                 b.extend_from_slice(&latency_us.to_be_bytes());
                 b.extend_from_slice(&value.to_be_bytes());
                 b.extend_from_slice(&(name.len() as u16).to_be_bytes());
                 b.extend_from_slice(name);
-                b
             }
             Response::DeadlineExceeded { latency_us } => {
-                let mut b = vec![ST_DEADLINE];
+                b.push(ST_DEADLINE);
                 b.extend_from_slice(&latency_us.to_be_bytes());
-                b
             }
-            Response::Overloaded => vec![ST_OVERLOADED],
-            Response::UnknownWorkload => vec![ST_UNKNOWN],
+            Response::Overloaded => b.push(ST_OVERLOADED),
+            Response::UnknownWorkload => b.push(ST_UNKNOWN),
             Response::Error { message } => {
                 let msg = message.as_bytes();
                 let msg = &msg[..msg.len().min(u16::MAX as usize)];
-                let mut b = vec![ST_ERROR];
+                b.push(ST_ERROR);
                 b.extend_from_slice(&(msg.len() as u16).to_be_bytes());
                 b.extend_from_slice(msg);
-                b
             }
             Response::Text { body } => {
                 let text = body.as_bytes();
-                let mut b = vec![ST_TEXT];
+                b.push(ST_TEXT);
                 b.extend_from_slice(&(text.len() as u32).to_be_bytes());
                 b.extend_from_slice(text);
-                b
             }
         }
     }

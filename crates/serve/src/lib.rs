@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub(crate) mod batch;
+pub mod bufpool;
 pub mod client;
 mod conn;
 pub mod frame;

@@ -1,45 +1,66 @@
-//! The event-loop front end: one thread, `poll(2)`, every connection.
+//! The event-loop front end: reactor *shards*, `poll(2)`, every
+//! connection.
 //!
 //! The thread-per-connection daemon spent a stack per idle client and a
 //! blocked `rx.recv()` per in-flight race. The reactor inverts that:
-//! a single thread multiplexes the listener, a *wake channel*, and
-//! every client socket through `poll(2)`, so concurrent connections
-//! cost file descriptors, not threads — the paper's parent/child split
-//! (a cheap speculative child per alternative, one responsive parent at
+//! an event-loop thread multiplexes a *wake channel* and a set of
+//! client sockets through `poll(2)`, so concurrent connections cost
+//! file descriptors, not threads — the paper's parent/child split (a
+//! cheap speculative child per alternative, one responsive parent at
 //! the rendezvous) applied to the serving layer itself.
+//!
+//! With `--shards N` (N > 1) the front end runs **N independent
+//! reactors**. A single acceptor thread polls the listener and hands
+//! each accepted socket round-robin to a shard's adoption inbox; from
+//! that moment the connection belongs to exactly one shard — its poll
+//! set, frame decoding, batch windows, buffer pool, and ordered reply
+//! slots all live on that shard's thread, and a finished race is routed
+//! back through *that shard's* wake pipe. Nothing on the request path
+//! crosses a shard boundary, so there is no lock to contend on: the
+//! only shared mutable state is each shard's completion queue and
+//! inbox, touched once per race / per accept. With one shard (the
+//! default) there is no acceptor thread at all — the lone reactor owns
+//! the listener directly, exactly the pre-sharding topology.
 //!
 //! The moving parts:
 //!
 //! * **sys**: a minimal FFI binding to the C library's `poll(2)` —
 //!   std already links libc, so this adds no dependency; it is the only
 //!   unsafe code in the crate and is confined to this module.
-//! * **Wake channel**: a loopback socket pair acting as a self-pipe.
-//!   Workers finish a race, push the `Response` onto a shared
-//!   completion queue, and write one byte to the wake socket; `poll`
-//!   returns, the reactor drains the queue, and replies flow out
-//!   through the owning connection's ordered write buffer. No thread
-//!   ever blocks waiting for a specific race.
+//! * **Wake channel**: a loopback socket pair acting as a self-pipe,
+//!   one per shard. Workers finish a race, push the `Response` onto the
+//!   owning shard's completion queue, and write one byte to its wake
+//!   socket; `poll` returns, the shard drains the queue, and replies
+//!   flow out through the owning connection's ordered write buffer. No
+//!   thread ever blocks waiting for a specific race.
+//! * **[`DaemonCtl`]**: the one deliberately global piece — the
+//!   shutdown latch. A `SHUTDOWN` opcode lands on *some* shard but must
+//!   drain all of them plus the acceptor, so the latch fans a wake out
+//!   to everyone, and the last shard to finish draining closes the
+//!   worker pool.
 //! * **Drain ordering** (shutdown): (1) stop accepting and stop
 //!   reading new requests, (2) keep polling so in-flight completions
 //!   still arrive and flush, (3) close each connection the moment its
-//!   last owed reply is written, (4) when no connections remain, close
-//!   the queue and join the pool. No admitted request goes unanswered.
+//!   last owed reply is written, (4) when the last shard has no
+//!   connections left, close the queue and join the pool. No admitted
+//!   request goes unanswered.
 
 use crate::batch::{BatchKey, Batcher, Offered, Waiter};
+use crate::bufpool::BufPool;
 use crate::conn::Conn;
 use crate::frame::{Request, Response};
 use crate::pool::WorkerPool;
 use crate::sched::{render_catalog, HedgePolicy};
 use crate::server::run_race;
-use crate::telemetry::Telemetry;
+use crate::telemetry::{ShardStats, Telemetry};
 use crate::workload;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLNVAL};
@@ -110,21 +131,32 @@ struct Completion {
     response: Response,
 }
 
-/// State shared between the reactor thread, pool workers (through
-/// completion notifiers), and the [`crate::server::ServerHandle`].
+/// State shared between one reactor shard's thread, pool workers
+/// (through completion notifiers), and — when sharded — the acceptor.
 pub(crate) struct ReactorShared {
     completions: Mutex<Vec<Completion>>,
+    /// Accepted sockets awaiting adoption by this shard (sharded mode
+    /// only; the acceptor pushes, the shard drains each loop turn).
+    inbox: Mutex<Vec<TcpStream>>,
     wake_tx: TcpStream,
-    shutdown: AtomicBool,
 }
 
 impl ReactorShared {
-    /// Queues a completion and wakes the reactor.
+    /// Queues a completion and wakes the shard that owns the waiters.
     fn post(&self, group: u64, response: Response) {
         self.completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(Completion { group, response });
+        self.wake();
+    }
+
+    /// Hands an accepted socket to this shard and wakes it.
+    fn adopt(&self, stream: TcpStream) {
+        self.inbox
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(stream);
         self.wake();
     }
 
@@ -134,18 +166,74 @@ impl ReactorShared {
     fn wake(&self) {
         let _ = (&self.wake_tx).write(&[1]);
     }
+}
 
-    /// Flags shutdown and wakes the reactor so it notices promptly.
+/// Daemon-wide control plane: the shutdown latch and the fan-out needed
+/// to make every front-end thread notice it. The `SHUTDOWN` opcode can
+/// arrive on any shard; the handle's `shutdown()` comes from outside
+/// any of them — both funnel here.
+pub(crate) struct DaemonCtl {
+    shutdown: AtomicBool,
+    /// Shards still running their event loop; the last one out shuts
+    /// the worker pool down.
+    live_shards: AtomicUsize,
+    /// Every shard's shared state, wired once after construction so the
+    /// latch can wake them all.
+    shards: OnceLock<Vec<Arc<ReactorShared>>>,
+    /// The acceptor's wake pipe (sharded mode only).
+    acceptor_wake: OnceLock<TcpStream>,
+}
+
+impl DaemonCtl {
+    pub(crate) fn new(shards: usize) -> Self {
+        DaemonCtl {
+            shutdown: AtomicBool::new(false),
+            live_shards: AtomicUsize::new(shards),
+            shards: OnceLock::new(),
+            acceptor_wake: OnceLock::new(),
+        }
+    }
+
+    /// Wires every shard's shared state in (once, at startup).
+    pub(crate) fn wire_shards(&self, shards: Vec<Arc<ReactorShared>>) {
+        let _ = self.shards.set(shards);
+    }
+
+    /// Wires the acceptor's wake pipe in (once, sharded mode only).
+    pub(crate) fn wire_acceptor(&self, wake_tx: TcpStream) {
+        let _ = self.acceptor_wake.set(wake_tx);
+    }
+
+    /// Flags shutdown and wakes the acceptor and every shard so they
+    /// notice promptly.
     pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        self.wake();
+        if let Some(mut tx) = self.acceptor_wake.get() {
+            let _ = tx.write(&[1]);
+        }
+        if let Some(shards) = self.shards.get() {
+            for shard in shards {
+                shard.wake();
+            }
+        }
+    }
+
+    /// The daemon is draining: no new connections, no new requests.
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Records one shard leaving its loop; true for the last one, which
+    /// then owns pool teardown.
+    fn shard_exited(&self) -> bool {
+        self.live_shards.fetch_sub(1, Ordering::SeqCst) == 1
     }
 }
 
 /// A connected loopback socket pair: the reactor polls `rx`, everyone
 /// else writes `tx`. This is the classic self-pipe trick built from
 /// std-only parts (no `pipe(2)` binding needed).
-fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
+pub(crate) fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
     let listener = TcpListener::bind(("127.0.0.1", 0))?;
     let addr = listener.local_addr()?;
     let tx = TcpStream::connect(addr)?;
@@ -168,14 +256,20 @@ fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
 /// shutdown requests) interrupt it; the timeout is only a backstop.
 const POLL_BACKSTOP_MS: i32 = 250;
 
-/// The event loop: owns the listener, the wake receiver, and every
-/// connection's state.
+/// One event-loop shard: owns the listener (single-shard mode only),
+/// its wake receiver, its buffer pool, and every connection it has
+/// adopted.
 pub(crate) struct Reactor {
-    listener: TcpListener,
+    /// `Some` in single-shard mode (the reactor accepts directly);
+    /// `None` when an acceptor thread feeds the shard's inbox.
+    listener: Option<TcpListener>,
     wake_rx: TcpStream,
     shared: Arc<ReactorShared>,
+    ctl: Arc<DaemonCtl>,
     pool: Arc<WorkerPool>,
     telemetry: Arc<Telemetry>,
+    stats: Arc<ShardStats>,
+    bufs: BufPool,
     sched: Arc<HedgePolicy>,
     batcher: Batcher,
     conns: HashMap<u64, Conn>,
@@ -187,25 +281,31 @@ pub(crate) struct Reactor {
 
 impl Reactor {
     pub(crate) fn new(
-        listener: TcpListener,
+        listener: Option<TcpListener>,
         pool: Arc<WorkerPool>,
         telemetry: Arc<Telemetry>,
         sched: Arc<HedgePolicy>,
         batch_window: Duration,
-    ) -> io::Result<(Self, Arc<ReactorShared>)> {
+        ctl: Arc<DaemonCtl>,
+    ) -> io::Result<(Self, Arc<ReactorShared>, Arc<ShardStats>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
         let shared = Arc::new(ReactorShared {
             completions: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
             wake_tx,
-            shutdown: AtomicBool::new(false),
         });
+        let bufs = BufPool::default();
+        let stats = Arc::new(ShardStats::new(bufs.stats()));
         Ok((
             Reactor {
                 listener,
                 wake_rx,
                 shared: Arc::clone(&shared),
+                ctl,
                 pool,
                 telemetry,
+                stats: Arc::clone(&stats),
+                bufs,
                 sched,
                 batcher: Batcher::new(batch_window),
                 conns: HashMap::new(),
@@ -214,27 +314,30 @@ impl Reactor {
                 next_group: 0,
             },
             shared,
+            stats,
         ))
     }
 
     /// Runs until shutdown is requested *and* every connection has
-    /// drained, then closes the queue and joins the pool.
+    /// drained; the last shard out closes the queue and joins the pool.
     pub(crate) fn run(mut self) {
         loop {
-            let draining = self.shared.shutdown.load(Ordering::SeqCst);
+            let draining = self.ctl.draining();
+            self.adopt_inbox(draining);
             if draining && self.conns.is_empty() {
                 break;
             }
 
             // Poll set: wake channel first, listener second (only while
-            // accepting), then every connection.
+            // accepting, single-shard mode), then every connection.
             let mut fds = Vec::with_capacity(2 + self.conns.len());
             fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
-            let listener_at = if draining {
-                None
-            } else {
-                fds.push(PollFd::new(self.listener.as_raw_fd(), POLLIN));
-                Some(fds.len() - 1)
+            let listener_at = match &self.listener {
+                Some(listener) if !draining => {
+                    fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+                    Some(fds.len() - 1)
+                }
+                _ => None,
             };
             let mut ids = Vec::with_capacity(self.conns.len());
             for (&id, conn) in &self.conns {
@@ -279,15 +382,41 @@ impl Reactor {
             self.reap(draining);
             self.publish_gauges();
         }
-        self.telemetry.set_conns_active(0);
-        self.pool.shutdown();
+        self.stats.set_conns_active(0);
+        if self.ctl.shard_exited() {
+            self.pool.shutdown();
+        }
+    }
+
+    /// Adopts sockets the acceptor handed this shard. During drain they
+    /// are dropped instead — the daemon stopped serving between accept
+    /// and adoption, and closing is kinder than a reply-less park.
+    fn adopt_inbox(&mut self, draining: bool) {
+        let streams = std::mem::take(
+            &mut *self
+                .shared
+                .inbox
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for stream in streams {
+            if draining {
+                continue;
+            }
+            if let Ok(conn) = Conn::new(stream) {
+                let id = self.next_conn;
+                self.next_conn += 1;
+                self.conns.insert(id, conn);
+                self.stats.on_conn_open();
+            }
+        }
     }
 
     /// Empties the self-pipe. One wakeup event is counted per drain,
     /// not per byte — the gauge tracks how often the reactor was
     /// roused, not how many completions arrived.
     fn drain_wake(&mut self) {
-        self.telemetry.on_wakeup();
+        self.stats.on_wakeup();
         let mut sink = [0u8; 256];
         loop {
             match self.wake_rx.read(&mut sink) {
@@ -318,7 +447,7 @@ impl Reactor {
             };
             for (conn_id, seq) in waiters {
                 if let Some(conn) = self.conns.get_mut(&conn_id) {
-                    conn.fulfill(seq, &c.response);
+                    conn.fulfill(seq, &c.response, &mut self.bufs);
                     self.flush(conn_id, draining);
                 }
             }
@@ -353,16 +482,19 @@ impl Reactor {
         }
     }
 
-    /// Accepts until the listener would block.
+    /// Accepts until the listener would block (single-shard mode).
     fn accept_ready(&mut self) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
         loop {
-            match self.listener.accept() {
+            match listener.accept() {
                 Ok((stream, _peer)) => match Conn::new(stream) {
                     Ok(conn) => {
                         let id = self.next_conn;
                         self.next_conn += 1;
                         self.conns.insert(id, conn);
-                        self.telemetry.on_conn_open();
+                        self.stats.on_conn_open();
                     }
                     Err(_) => continue, // setsockopt failed: drop it
                 },
@@ -385,15 +517,18 @@ impl Reactor {
         }
         if revents & POLLIN != 0 {
             let outcome = match self.conns.get_mut(&id) {
-                Some(conn) => conn.on_readable(),
+                Some(conn) => conn.on_readable(&mut self.bufs),
                 None => return,
             };
             match outcome {
                 Ok(read) => {
+                    let mut alive = true;
                     for body in read.frames {
-                        if !self.handle_frame(id, &body) {
-                            break; // protocol error: later frames are garbage
+                        if alive {
+                            // Protocol error: later frames are garbage.
+                            alive = self.handle_frame(id, &body);
                         }
+                        self.bufs.put(body);
                     }
                     if let Some(e) = read.error {
                         self.telemetry.on_error();
@@ -468,7 +603,9 @@ impl Reactor {
                         body: "draining\n".to_owned(),
                     },
                 );
-                self.shared.shutdown.store(true, Ordering::SeqCst);
+                // Daemon-wide: every shard and the acceptor must drain,
+                // not just the shard this frame happened to land on.
+                self.ctl.request_shutdown();
                 false
             }
             Ok(Request::Run {
@@ -572,7 +709,7 @@ impl Reactor {
     /// poll round-trip.
     fn fulfill(&mut self, id: u64, seq: u64, response: &Response) {
         if let Some(conn) = self.conns.get_mut(&id) {
-            conn.fulfill(seq, response);
+            conn.fulfill(seq, response, &mut self.bufs);
             self.flush(id, false);
         }
     }
@@ -621,14 +758,58 @@ impl Reactor {
     /// Drops one connection's state and updates the gauge.
     fn close(&mut self, id: u64) {
         if self.conns.remove(&id).is_some() {
-            self.telemetry.on_conn_close();
+            self.stats.on_conn_close();
         }
     }
 
-    /// Publishes the `conns_active` gauge (connections with at least
-    /// one request awaiting its reply).
+    /// Publishes the shard's `conns_active` gauge (connections with at
+    /// least one request awaiting its reply).
     fn publish_gauges(&self) {
         let active = self.conns.values().filter(|c| c.in_flight() > 0).count();
-        self.telemetry.set_conns_active(active as u64);
+        self.stats.set_conns_active(active as u64);
+    }
+}
+
+/// The acceptor loop (sharded mode): polls the listener plus its own
+/// wake pipe, accepts until the listener would block, and hands each
+/// socket round-robin to the next shard's inbox. Round-robin is fair
+/// enough here because connections are long-lived and statistically
+/// similar under the daemon's workloads; the counter is local, so the
+/// accept path takes no locks beyond the one push into the chosen
+/// shard's inbox.
+pub(crate) fn run_acceptor(
+    listener: TcpListener,
+    mut wake_rx: TcpStream,
+    ctl: Arc<DaemonCtl>,
+    shards: Vec<Arc<ReactorShared>>,
+) {
+    debug_assert!(!shards.is_empty());
+    let mut next = 0usize;
+    while !ctl.draining() {
+        let mut fds = [
+            PollFd::new(wake_rx.as_raw_fd(), POLLIN),
+            PollFd::new(listener.as_raw_fd(), POLLIN),
+        ];
+        if poll_fds(&mut fds, POLL_BACKSTOP_MS).is_err() {
+            continue;
+        }
+        if fds[0].revents != 0 {
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+        if fds[1].revents & POLLIN == 0 {
+            continue;
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shards[next % shards.len()].adopt(stream);
+                    next += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break, // transient accept failure; retry next loop
+            }
+        }
     }
 }

@@ -157,31 +157,55 @@ impl HedgePolicy {
     /// disabled, history is thin, this is an exploration tick, or there
     /// is no favourite yet.
     pub fn plan(&self, widx: usize, n_alts: usize) -> LaunchPlan {
+        self.plan_pruned(widx, n_alts).0
+    }
+
+    /// Like [`HedgePolicy::plan`], but additionally says which
+    /// alternatives are not worth *constructing*: on a hedged tick, an
+    /// alternative whose win rate is near zero over a warm history gets
+    /// `true` in the returned mask, and the workload builder substitutes
+    /// an instantly-failing stub for its body — don't build what you
+    /// won't launch. The stub keeps the alternative's index, name, and
+    /// hedge offset, so winner accounting is untouched and the engine's
+    /// existing suppression counting applies: when the favourite answers
+    /// inside its envelope the stub never launches and is counted
+    /// through `launches_suppressed` exactly like any other unlaunched
+    /// hedge. Exploration ticks always return `None` — every body is
+    /// built and raced, so a pruned alternative that comes back to life
+    /// is still observed and its win rate recovers.
+    pub fn plan_pruned(&self, widx: usize, n_alts: usize) -> (LaunchPlan, Option<Vec<bool>>) {
         if !self.config.enabled || n_alts <= 1 {
-            return LaunchPlan::immediate(n_alts);
+            return (LaunchPlan::immediate(n_alts), None);
         }
         let Some(table) = self.catalog.table(widx) else {
-            return LaunchPlan::immediate(n_alts);
+            return (LaunchPlan::immediate(n_alts), None);
         };
         // The exploration floor fires on tick 0 too, so a cold workload's
         // first request is always a full race.
         let tick = self.ticks[widx].fetch_add(1, Ordering::Relaxed);
         let explore_every = self.config.explore_every.max(2);
         if tick % explore_every == 0 {
-            return LaunchPlan::immediate(n_alts);
+            return (LaunchPlan::immediate(n_alts), None);
         }
-        if table.total_wins() < self.config.min_samples {
-            return LaunchPlan::immediate(n_alts);
+        let total_wins = table.total_wins();
+        if total_wins < self.config.min_samples {
+            return (LaunchPlan::immediate(n_alts), None);
         }
         let Some(fav) = table.favourite() else {
-            return LaunchPlan::immediate(n_alts);
+            return (LaunchPlan::immediate(n_alts), None);
         };
         let p95 = table.quantile_us(fav, 0.95).unwrap_or(0);
         let delay = Duration::from_micros(p95).clamp(self.config.min_delay, self.config.max_delay);
         let offsets = (0..n_alts)
             .map(|i| if i == fav { Duration::ZERO } else { delay })
             .collect();
-        LaunchPlan::from_offsets(offsets)
+        // Near-zero win rate: under 2% of a history already deep enough
+        // to trust (`min_samples` wins). The favourite is never pruned.
+        let mask: Vec<bool> = (0..n_alts)
+            .map(|i| i != fav && table.wins(i).saturating_mul(50) < total_wins)
+            .collect();
+        let prune = mask.iter().any(|&p| p).then_some(mask);
+        (LaunchPlan::from_offsets(offsets), prune)
     }
 
     /// Records a race outcome: the winner's latency feeds the EWMA,

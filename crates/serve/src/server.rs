@@ -28,7 +28,7 @@
 
 use crate::frame::Response;
 use crate::pool::WorkerPool;
-use crate::reactor::{Reactor, ReactorShared};
+use crate::reactor::{run_acceptor, wake_pair, DaemonCtl, Reactor};
 use crate::sched::{HedgeConfig, HedgePolicy};
 use crate::telemetry::Telemetry;
 use crate::workload;
@@ -55,6 +55,11 @@ pub struct ServerConfig {
     pub batch_window: Duration,
     /// Adaptive hedging knobs; disabled by default (launch-all).
     pub hedge: HedgeConfig,
+    /// Reactor shards. `1` (the default) runs the classic single
+    /// reactor that owns the listener itself; `N > 1` adds an acceptor
+    /// thread that deals accepted sockets round-robin to N independent
+    /// event loops.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +70,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             batch_window: Duration::ZERO,
             hedge: HedgeConfig::default(),
+            shards: 1,
         }
     }
 }
@@ -80,8 +86,9 @@ pub fn available_workers() -> usize {
 /// [`ServerHandle::shutdown`] or send the `SHUTDOWN` opcode.
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<ReactorShared>,
-    reactor: Option<JoinHandle<()>>,
+    ctl: Arc<DaemonCtl>,
+    /// The acceptor (when sharded) followed by every shard thread.
+    threads: Vec<JoinHandle<()>>,
     telemetry: Arc<Telemetry>,
 }
 
@@ -99,17 +106,17 @@ impl ServerHandle {
     /// Requests shutdown and blocks until the daemon has drained every
     /// in-flight race and joined every thread.
     pub fn shutdown(mut self) {
-        self.shared.request_shutdown();
-        if let Some(h) = self.reactor.take() {
-            h.join().expect("reactor exits cleanly");
+        self.ctl.request_shutdown();
+        for h in self.threads.drain(..) {
+            h.join().expect("front-end thread exits cleanly");
         }
     }
 
     /// Blocks until the daemon shuts down (e.g. via the `SHUTDOWN`
     /// opcode from a client).
     pub fn wait(mut self) {
-        if let Some(h) = self.reactor.take() {
-            h.join().expect("reactor exits cleanly");
+        for h in self.threads.drain(..) {
+            h.join().expect("front-end thread exits cleanly");
         }
     }
 }
@@ -120,29 +127,63 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&addrs[..])?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let n_shards = config.shards.max(1);
 
     let telemetry = Arc::new(Telemetry::new());
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
     telemetry.attach_pool(pool.stats());
     let sched = Arc::new(HedgePolicy::new(config.hedge));
     telemetry.attach_catalog(Arc::clone(sched.catalog()));
+    let ctl = Arc::new(DaemonCtl::new(n_shards));
 
-    let (reactor, shared) = Reactor::new(
-        listener,
-        pool,
-        Arc::clone(&telemetry),
-        sched,
-        config.batch_window,
-    )?;
-    let handle = std::thread::Builder::new()
-        .name("altxd-reactor".to_owned())
-        .spawn(move || reactor.run())
-        .expect("spawn reactor");
+    // Single shard: the reactor owns the listener and accepts directly
+    // (no acceptor thread — the pre-sharding topology, byte for byte).
+    // Sharded: reactors get `None` and adopt from their inboxes.
+    let mut reactors = Vec::with_capacity(n_shards);
+    let mut shareds = Vec::with_capacity(n_shards);
+    let mut shard_stats = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let own_listener = (n_shards == 1).then(|| listener.try_clone()).transpose()?;
+        let (reactor, shared, stats) = Reactor::new(
+            own_listener,
+            Arc::clone(&pool),
+            Arc::clone(&telemetry),
+            Arc::clone(&sched),
+            config.batch_window,
+            Arc::clone(&ctl),
+        )?;
+        reactors.push(reactor);
+        shareds.push(shared);
+        shard_stats.push(stats);
+    }
+    ctl.wire_shards(shareds.clone());
+    telemetry.attach_shards(shard_stats);
+
+    let mut threads = Vec::with_capacity(n_shards + 1);
+    if n_shards > 1 {
+        let (wake_tx, wake_rx) = wake_pair()?;
+        ctl.wire_acceptor(wake_tx);
+        let acceptor_ctl = Arc::clone(&ctl);
+        threads.push(
+            std::thread::Builder::new()
+                .name("altxd-acceptor".to_owned())
+                .spawn(move || run_acceptor(listener, wake_rx, acceptor_ctl, shareds))
+                .expect("spawn acceptor"),
+        );
+    }
+    for (i, reactor) in reactors.into_iter().enumerate() {
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("altxd-reactor-{i}"))
+                .spawn(move || reactor.run())
+                .expect("spawn reactor"),
+        );
+    }
 
     Ok(ServerHandle {
         addr,
-        shared,
-        reactor: Some(handle),
+        ctl,
+        threads,
         telemetry,
     })
 }
@@ -169,7 +210,13 @@ pub(crate) fn run_race(
             return Response::UnknownWorkload;
         }
     };
-    let block = match workload::build(spec.name, arg) {
+    // Plan before building: an alternative the scheduler prunes (near-
+    // zero win rate over a warm history) is replaced by a stub at
+    // construction — its real body is never built, and if the favourite
+    // answers inside its envelope the stub never launches either,
+    // feeding the ordinary `launches_suppressed` accounting below.
+    let (plan, prune) = sched.plan_pruned(widx, spec.alternatives());
+    let block = match workload::build_pruned(spec.name, arg, prune.as_deref()) {
         Some(b) => b,
         None => {
             telemetry.on_error();
@@ -181,7 +228,6 @@ pub(crate) fn run_race(
     } else {
         CancelToken::new()
     };
-    let plan = sched.plan(widx, block.len());
     let mut workspace = AddressSpace::zeroed(4096, PageSize::K4);
     let start = Instant::now();
     let result = ThreadedEngine::new().execute_planned(&block, &mut workspace, &token, &plan);

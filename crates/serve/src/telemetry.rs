@@ -8,7 +8,15 @@
 //! costs two relaxed atomic adds, not a `Mutex<BTreeMap<(String,
 //! String), u64>>` insert; the string keys are materialized only when a
 //! snapshot is rendered.
+//!
+//! Front-end counters are **per shard**: each reactor shard owns a
+//! [`ShardStats`] it updates without touching any other shard's cache
+//! line, and a [`Snapshot`] sums them back into the single global view
+//! (`conns_open`, `conns_active`, `wakeups`) existing STATS and
+//! Prometheus consumers already scrape — sharding changes who counts,
+//! not what is reported.
 
+use crate::bufpool::BufPoolStats;
 use crate::pool::PoolStats;
 use crate::sched::CatalogStats;
 use std::collections::BTreeMap;
@@ -97,6 +105,80 @@ impl LatencyHistogram {
     }
 }
 
+/// Counters owned by one reactor shard. The shard is the only writer
+/// (single-threaded event loop), so every update is an uncontended
+/// relaxed store; readers are snapshot renders on *some* shard's
+/// thread, which only need eventual consistency.
+#[derive(Debug)]
+pub struct ShardStats {
+    /// Connections currently owned by this shard (gauge).
+    conns_open: AtomicU64,
+    /// Connections with at least one request in flight (gauge).
+    conns_active: AtomicU64,
+    /// Self-pipe wakeups of this shard's event loop (counter).
+    wakeups: AtomicU64,
+    /// The shard's buffer-pool hit/miss counters.
+    buf: Arc<BufPoolStats>,
+}
+
+impl ShardStats {
+    /// Stats for a shard whose buffer pool reports through `buf`.
+    pub fn new(buf: Arc<BufPoolStats>) -> Self {
+        ShardStats {
+            conns_open: AtomicU64::new(0),
+            conns_active: AtomicU64::new(0),
+            wakeups: AtomicU64::new(0),
+            buf,
+        }
+    }
+
+    /// Counts a connection adopted by this shard.
+    pub fn on_conn_open(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection whose state this shard reclaimed.
+    pub fn on_conn_close(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publishes how many of this shard's connections have a request in
+    /// flight.
+    pub fn set_conns_active(&self, n: u64) {
+        self.conns_active.store(n, Ordering::Relaxed);
+    }
+
+    /// Counts a self-pipe wakeup of this shard.
+    pub fn on_wakeup(&self) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently owned by this shard.
+    pub fn conns_open(&self) -> u64 {
+        self.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// This shard's connections with a request in flight.
+    pub fn conns_active(&self) -> u64 {
+        self.conns_active.load(Ordering::Relaxed)
+    }
+
+    /// This shard's wakeup count.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Buffer-pool gets served from this shard's free list.
+    pub fn pool_recycled(&self) -> u64 {
+        self.buf.recycled()
+    }
+
+    /// Buffer-pool gets that had to allocate on this shard.
+    pub fn pool_misses(&self) -> u64 {
+        self.buf.misses()
+    }
+}
+
 /// All daemon counters. One instance, shared by every connection and
 /// worker.
 #[derive(Debug, Default)]
@@ -113,14 +195,6 @@ pub struct Telemetry {
     errors: AtomicU64,
     /// Alternative bodies that panicked and were contained by an engine.
     alt_panics: AtomicU64,
-    /// Connections currently open on the reactor (gauge).
-    conns_open: AtomicU64,
-    /// Connections with at least one request in flight (gauge, set by
-    /// the reactor each loop iteration).
-    conns_active: AtomicU64,
-    /// Times the reactor was woken through the self-pipe by a worker
-    /// posting a completion (counter).
-    wakeups: AtomicU64,
     /// Batches submitted as one race (window > 0 only).
     batches_formed: AtomicU64,
     /// Requests that joined an already-open batch instead of racing.
@@ -139,6 +213,9 @@ pub struct Telemetry {
     catalog: OnceLock<Arc<CatalogStats>>,
     /// The serving pool's failure counters, attached once at startup.
     pool: OnceLock<Arc<PoolStats>>,
+    /// One [`ShardStats`] per reactor shard, attached once at startup;
+    /// the front-end gauges in a [`Snapshot`] are sums over these.
+    shards: OnceLock<Vec<Arc<ShardStats>>>,
 }
 
 /// A point-in-time copy of the counters, for rendering.
@@ -163,12 +240,20 @@ pub struct Snapshot {
     /// Faults injected process-wide by the active [`altx::faults`] plan
     /// (zero when no plan is installed).
     pub faults_injected: u64,
-    /// Connections currently open on the reactor.
+    /// Connections currently open, summed across reactor shards.
     pub conns_open: u64,
-    /// Connections with at least one request in flight.
+    /// Connections with at least one request in flight, summed across
+    /// reactor shards.
     pub conns_active: u64,
-    /// Reactor self-pipe wakeups.
+    /// Reactor self-pipe wakeups, summed across shards.
     pub wakeups: u64,
+    /// Reactor shards serving the front end.
+    pub shards: u64,
+    /// Frame buffers served from a shard's free list instead of the
+    /// allocator, summed across shards.
+    pub pool_recycled: u64,
+    /// Frame-buffer requests that had to allocate, summed across shards.
+    pub pool_misses: u64,
     /// Batches submitted as one race.
     pub batches_formed: u64,
     /// Requests coalesced into an already-open batch.
@@ -231,26 +316,6 @@ impl Telemetry {
         }
     }
 
-    /// Counts a connection accepted by the reactor.
-    pub fn on_conn_open(&self) {
-        self.conns_open.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Counts a connection whose state the reactor reclaimed.
-    pub fn on_conn_close(&self) {
-        self.conns_open.fetch_sub(1, Ordering::Relaxed);
-    }
-
-    /// Publishes how many connections have a request in flight.
-    pub fn set_conns_active(&self, n: u64) {
-        self.conns_active.store(n, Ordering::Relaxed);
-    }
-
-    /// Counts a self-pipe wakeup of the reactor.
-    pub fn on_wakeup(&self) {
-        self.wakeups.fetch_add(1, Ordering::Relaxed);
-    }
-
     /// Counts one batch submitted as a single race.
     pub fn on_batch_formed(&self) {
         self.batches_formed.fetch_add(1, Ordering::Relaxed);
@@ -294,8 +359,23 @@ impl Telemetry {
         let _ = self.pool.set(stats);
     }
 
+    /// Attaches the per-shard front-end counters, one per reactor
+    /// shard. Later calls are ignored (the shard set is fixed for the
+    /// daemon's lifetime).
+    pub fn attach_shards(&self, shards: Vec<Arc<ShardStats>>) {
+        let _ = self.shards.set(shards);
+    }
+
+    /// The attached per-shard counters (empty before
+    /// [`Telemetry::attach_shards`]). Tests use this to observe how
+    /// connections were distributed; snapshots sum over it.
+    pub fn per_shard(&self) -> &[Arc<ShardStats>] {
+        self.shards.get().map_or(&[], Vec::as_slice)
+    }
+
     /// Copies the counters out.
     pub fn snapshot(&self) -> Snapshot {
+        let shards = self.per_shard();
         Snapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -306,9 +386,12 @@ impl Telemetry {
             jobs_panicked: self.pool.get().map_or(0, |p| p.jobs_panicked()),
             worker_respawns: self.pool.get().map_or(0, |p| p.worker_respawns()),
             faults_injected: altx::faults::injected_total(),
-            conns_open: self.conns_open.load(Ordering::Relaxed),
-            conns_active: self.conns_active.load(Ordering::Relaxed),
-            wakeups: self.wakeups.load(Ordering::Relaxed),
+            conns_open: shards.iter().map(|s| s.conns_open()).sum(),
+            conns_active: shards.iter().map(|s| s.conns_active()).sum(),
+            wakeups: shards.iter().map(|s| s.wakeups()).sum(),
+            shards: shards.len() as u64,
+            pool_recycled: shards.iter().map(|s| s.pool_recycled()).sum(),
+            pool_misses: shards.iter().map(|s| s.pool_misses()).sum(),
             batches_formed: self.batches_formed.load(Ordering::Relaxed),
             requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed),
             hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
@@ -338,6 +421,19 @@ impl Telemetry {
         out.push_str(&format!("  conns open          {}\n", s.conns_open));
         out.push_str(&format!("  conns active        {}\n", s.conns_active));
         out.push_str(&format!("  reactor wakeups     {}\n", s.wakeups));
+        out.push_str(&format!("  shards              {}\n", s.shards));
+        out.push_str(&format!("  pool recycled       {}\n", s.pool_recycled));
+        out.push_str(&format!("  pool misses         {}\n", s.pool_misses));
+        if s.shards > 1 {
+            for (i, shard) in self.per_shard().iter().enumerate() {
+                out.push_str(&format!(
+                    "    shard {i}: conns {} active {} wakeups {}\n",
+                    shard.conns_open(),
+                    shard.conns_active(),
+                    shard.wakeups()
+                ));
+            }
+        }
         out.push_str(&format!("  batches formed      {}\n", s.batches_formed));
         out.push_str(&format!("  requests coalesced  {}\n", s.requests_coalesced));
         out.push_str(&format!("  hedges launched     {}\n", s.hedges_launched));
@@ -474,6 +570,32 @@ impl Telemetry {
             "Connections with a request in flight",
             s.conns_active,
         );
+        gauge(
+            &mut out,
+            "altxd_shards",
+            "Reactor shards serving the front end",
+            s.shards,
+        );
+        counter(
+            &mut out,
+            "altxd_bufpool_recycled_total",
+            "Frame buffers served from a shard free list",
+            s.pool_recycled,
+        );
+        counter(
+            &mut out,
+            "altxd_bufpool_misses_total",
+            "Frame-buffer requests that had to allocate",
+            s.pool_misses,
+        );
+        out.push_str("# HELP altxd_shard_conns_open Connections owned, per shard\n");
+        out.push_str("# TYPE altxd_shard_conns_open gauge\n");
+        for (i, shard) in self.per_shard().iter().enumerate() {
+            out.push_str(&format!(
+                "altxd_shard_conns_open{{shard=\"{i}\"}} {}\n",
+                shard.conns_open()
+            ));
+        }
 
         out.push_str("# HELP altxd_race_latency_us Completed-race latency in microseconds\n");
         out.push_str("# TYPE altxd_race_latency_us histogram\n");

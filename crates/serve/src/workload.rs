@@ -84,8 +84,23 @@ pub fn index_of(name: &str) -> Option<usize> {
 /// Builds the alternative block for `name`, parameterized by `arg`.
 /// Returns `None` for unregistered names.
 pub fn build(name: &str, arg: u64) -> Option<AltBlock<u64>> {
+    build_pruned(name, arg, None)
+}
+
+/// Like [`build`], but alternatives whose `skip` entry is `true` get an
+/// instantly-failing **stub** in place of their real body — the
+/// scheduler decided they are not worth constructing (near-zero win
+/// rate; see `HedgePolicy::plan_pruned`). The stub preserves the
+/// alternative's index and name, so launch offsets, winner accounting,
+/// and the engine's suppression counting line up with the full block;
+/// only the body (and whatever it would have captured or computed at
+/// construction time) is skipped. Workloads that pre-draw per-
+/// alternative randomness still advance the stream for skipped
+/// entries, so the surviving alternatives replay exactly the values
+/// they would see in an unpruned build of the same `arg`.
+pub fn build_pruned(name: &str, arg: u64, skip: Option<&[bool]>) -> Option<AltBlock<u64>> {
     match name {
-        "trivial" => Some(trivial(arg)),
+        "trivial" => Some(trivial(arg, skip)),
         "lognormal" => Some(sampled(
             arg,
             3,
@@ -93,6 +108,7 @@ pub fn build(name: &str, arg: u64) -> Option<AltBlock<u64>> {
                 median_ms: 3.0,
                 sigma: 1.0,
             },
+            skip,
         )),
         "bimodal" => Some(sampled(
             arg,
@@ -102,11 +118,18 @@ pub fn build(name: &str, arg: u64) -> Option<AltBlock<u64>> {
                 slow_ms: 20.0,
                 p_fast: 0.7,
             },
+            skip,
         )),
         "sleep" => Some(sleep_block(arg)),
-        "prolog" => Some(prolog(arg)),
+        "prolog" => Some(prolog(arg, skip)),
         _ => None,
     }
+}
+
+/// Whether alternative `i` should be built for real. Out-of-range mask
+/// entries (a catalog/spec mismatch) fail safe: build everything.
+fn wanted(skip: Option<&[bool]>, i: usize) -> bool {
+    !skip.is_some_and(|s| s.get(i).copied().unwrap_or(false))
 }
 
 /// Sleeps for `total`, polling the token; `false` means we were
@@ -130,28 +153,40 @@ fn cancellable_sleep(total: Duration, token: &CancelToken) -> bool {
 /// Two alternatives that answer immediately. The race is decided by
 /// scheduler timing alone; the value is `arg` either way, mirroring the
 /// paper's requirement that alternatives be observably interchangeable.
-fn trivial(arg: u64) -> AltBlock<u64> {
-    AltBlock::new()
-        .alternative("instant-a", move |_ws, _t| Some(arg))
-        .alternative("instant-b", move |_ws, _t| Some(arg))
+fn trivial(arg: u64, skip: Option<&[bool]>) -> AltBlock<u64> {
+    let mut block = AltBlock::new();
+    for (i, name) in ["instant-a", "instant-b"].into_iter().enumerate() {
+        block = if wanted(skip, i) {
+            block.alternative(name, move |_ws, _t| Some(arg))
+        } else {
+            block.alternative(name, |_ws, _t| None)
+        };
+    }
+    block
 }
 
 /// `n` alternatives each sleeping a time drawn from `dist` (seeded by
 /// `arg`, so the same request replays the same race). Each stamps its
 /// index into the workspace before succeeding — losing writes must
 /// never survive, and the engine's COW containment guarantees it.
-fn sampled(arg: u64, n: usize, dist: TimeDistribution) -> AltBlock<u64> {
+fn sampled(arg: u64, n: usize, dist: TimeDistribution, skip: Option<&[bool]>) -> AltBlock<u64> {
     let mut rng = SimRng::seed_from_u64(arg.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA17B);
     let mut block = AltBlock::new();
     for i in 0..n {
+        // Drawn even for skipped alternatives: the per-arg stream must
+        // stay aligned so the kept alternatives replay their usual times.
         let ms = dist.sample(&mut rng).as_millis_f64();
-        block = block.alternative(format!("draw-{i}"), move |ws, token: &CancelToken| {
-            if !cancellable_sleep(Duration::from_secs_f64(ms / 1_000.0), token) {
-                return None;
-            }
-            ws.write(0, &[i as u8 + 1]);
-            Some(ms.ceil() as u64)
-        });
+        block = if wanted(skip, i) {
+            block.alternative(format!("draw-{i}"), move |ws, token: &CancelToken| {
+                if !cancellable_sleep(Duration::from_secs_f64(ms / 1_000.0), token) {
+                    return None;
+                }
+                ws.write(0, &[i as u8 + 1]);
+                Some(ms.ceil() as u64)
+            })
+        } else {
+            block.alternative(format!("draw-{i}"), |_ws, _t| None)
+        };
     }
     block
 }
@@ -194,13 +229,14 @@ fn prolog_kb() -> &'static (KnowledgeBase, KnowledgeBase) {
 
 /// Races the same query under two clause orders; the winner is whichever
 /// strategy proves `q/1` first. The solver itself is not interruptible,
-/// so the query size is bounded to keep losers short-lived.
-fn prolog(arg: u64) -> AltBlock<u64> {
+/// so the query size is bounded to keep losers short-lived. A skipped
+/// alternative's query string is never even formatted.
+fn prolog(arg: u64, skip: Option<&[bool]>) -> AltBlock<u64> {
     let depth = 50 + arg % 450;
-    let query = format!("q({depth})");
-    let q2 = query.clone();
-    AltBlock::new()
-        .alternative(
+    let mut block = AltBlock::new();
+    block = if wanted(skip, 0) {
+        let query = format!("q({depth})");
+        block.alternative(
             "clause-order-as-written",
             move |_ws, token: &CancelToken| {
                 if token.is_cancelled() {
@@ -212,15 +248,23 @@ fn prolog(arg: u64) -> AltBlock<u64> {
                 (!sols.is_empty()).then(|| solver.steps())
             },
         )
-        .alternative("clause-order-reversed", move |_ws, token: &CancelToken| {
+    } else {
+        block.alternative("clause-order-as-written", |_ws, _t| None)
+    };
+    if wanted(skip, 1) {
+        let query = format!("q({depth})");
+        block.alternative("clause-order-reversed", move |_ws, token: &CancelToken| {
             if token.is_cancelled() {
                 return None;
             }
             let (_, fast_first) = prolog_kb();
             let mut solver = Solver::new(fast_first);
-            let sols = solver.solve_str(&q2, 1).ok()?;
+            let sols = solver.solve_str(&query, 1).ok()?;
             (!sols.is_empty()).then(|| solver.steps())
         })
+    } else {
+        block.alternative("clause-order-reversed", |_ws, _t| None)
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,9 @@ fn chaos_soak_every_request_is_answered() {
         // Wide enough that the clients' identical request streams
         // actually coalesce; the soak asserts they did.
         batch_window: Duration::from_millis(2),
+        // Chaos with the acceptor + per-shard reactors in play: faults,
+        // drains, and reply routing must hold across shard boundaries.
+        shards: 4,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
