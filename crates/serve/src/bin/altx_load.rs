@@ -34,6 +34,12 @@
 //! them into one race. Start the daemon with the same
 //! `--batch-window-us` to see `requests coalesced` climb.
 //!
+//! `--peers a,b,c` names the other nodes of an `altxd` cluster: after
+//! the run their STATS pages are scraped too and the cluster counters
+//! (`remote_dispatched`, `remote_wins`, `peer_reconnects`) are summed
+//! across every node still answering — a killed peer is skipped, not
+//! fatal.
+//!
 //! Prints a summary table and writes a JSON report — throughput,
 //! p50/p99/p99.9/max latency, reply mix, per-alternative win counts,
 //! client resilience counters, and the daemon's post-run scheduler
@@ -60,6 +66,10 @@ struct Args {
     retries: u32,
     hedge_ms: u64,
     batch_window_us: u64,
+    /// Other cluster nodes (`--peers a,b,c`): their STATS pages are
+    /// scraped after the run and the cluster counters summed into the
+    /// report alongside the target daemon's.
+    peers: Vec<String>,
 }
 
 impl Args {
@@ -91,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
         retries: 0,
         hedge_ms: 0,
         batch_window_us: 0,
+        peers: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -139,11 +150,19 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--batch-window-us: {e}"))?
             }
+            "--peers" => {
+                args.peers = value("--peers")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
                      [--threads N] [--connections N] [--duration SECS] [--deadline-ms N] \
-                     [--out FILE.json] [--retries N] [--hedge-ms N] [--batch-window-us N]"
+                     [--out FILE.json] [--retries N] [--hedge-ms N] [--batch-window-us N] \
+                     [--peers HOST:PORT,...]"
                 );
                 std::process::exit(0);
             }
@@ -228,6 +247,7 @@ fn tally(
             eprintln!("altx-load: server error: {message}");
         }
         Response::Text { .. } => return Err("unexpected text reply".to_owned()),
+        Response::Vote { .. } => return Err("unexpected vote reply".to_owned()),
     }
     Ok(())
 }
@@ -308,6 +328,9 @@ struct ServerCounters {
     hedges_launched: u64,
     hedge_wins: u64,
     launches_suppressed: u64,
+    remote_dispatched: u64,
+    remote_wins: u64,
+    peer_reconnects: u64,
 }
 
 fn scrape_server_counters(stats: &str) -> ServerCounters {
@@ -318,7 +341,17 @@ fn scrape_server_counters(stats: &str) -> ServerCounters {
         hedges_launched: get(&["hedges", "launched"]),
         hedge_wins: get(&["hedge", "wins"]),
         launches_suppressed: get(&["launches", "suppressed"]),
+        remote_dispatched: get(&["remote", "dispatched"]),
+        remote_wins: get(&["remote", "wins"]),
+        peer_reconnects: get(&["peer", "reconnects"]),
     }
+}
+
+/// Fetches one daemon's STATS page.
+fn fetch_stats(addr: &str) -> std::io::Result<String> {
+    let mut c = Client::connect(addr)?;
+    c.stats_page()
+        .map_err(|e| std::io::Error::other(e.to_string()))
 }
 
 fn percentile(sorted_us: &[u64], p: f64) -> u64 {
@@ -363,17 +396,31 @@ fn main() {
         })
         .collect();
     // While the idles are held, ask the daemon how many connections it
-    // sees — the CI smoke asserts on this line.
+    // sees — the CI smoke asserts on this line. Shards register a
+    // handed-off connection on their next poll pass, so poll the gauge
+    // until it has converged on the idles just opened (or a deadline
+    // passes and the last observation stands).
     let conns_open_observed = if idle_count > 0 {
-        match Client::connect(&*args.addr).and_then(|mut c| {
-            c.stats_page()
-                .map_err(|e| std::io::Error::other(e.to_string()))
-        }) {
-            Ok(stats) => counter_from_stats(&stats, &["conns", "open"]).unwrap_or(0),
+        let mut probe = match Client::connect(&*args.addr) {
+            Ok(c) => c,
             Err(e) => {
                 eprintln!("altx-load: probing conns_open: {e}");
                 std::process::exit(1);
             }
+        };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let seen = match probe.stats_page() {
+                Ok(stats) => counter_from_stats(&stats, &["conns", "open"]).unwrap_or(0),
+                Err(e) => {
+                    eprintln!("altx-load: probing conns_open: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if seen >= idle_count as u64 || Instant::now() >= deadline {
+                break seen;
+            }
+            std::thread::sleep(Duration::from_millis(20));
         }
     } else {
         0
@@ -472,16 +519,27 @@ fn main() {
     // The daemon is still up: scrape its scheduler counters so the
     // report shows what the server did with this load (batching and
     // hedging live server-side; client counters can't see them).
-    let server = match Client::connect(&*args.addr).and_then(|mut c| {
-        c.stats_page()
-            .map_err(|e| std::io::Error::other(e.to_string()))
-    }) {
+    let mut server = match fetch_stats(&args.addr) {
         Ok(stats) => scrape_server_counters(&stats),
         Err(e) => {
             eprintln!("altx-load: scraping server counters: {e} (reporting zeros)");
             ServerCounters::default()
         }
     };
+    // With --peers the cluster counters are summed across every node
+    // still answering — a SIGKILLed peer is skipped, not fatal: the
+    // survivors' counters are exactly what the smoke asserts on.
+    for peer in &args.peers {
+        match fetch_stats(peer) {
+            Ok(stats) => {
+                let c = scrape_server_counters(&stats);
+                server.remote_dispatched += c.remote_dispatched;
+                server.remote_wins += c.remote_wins;
+                server.peer_reconnects += c.peer_reconnects;
+            }
+            Err(e) => eprintln!("altx-load: peer {peer} unreachable ({e}); skipping"),
+        }
+    }
     merged.latencies_us.sort_unstable();
     let total = merged.ok + merged.deadline_exceeded + merged.overloaded + merged.errors;
     let throughput = merged.ok as f64 / elapsed;
@@ -526,6 +584,12 @@ fn main() {
         server.hedge_wins,
         server.launches_suppressed
     );
+    if !args.peers.is_empty() {
+        println!(
+            "  cluster             remote dispatched {}  remote wins {}  peer reconnects {}",
+            server.remote_dispatched, server.remote_wins, server.peer_reconnects
+        );
+    }
     for (name, n) in &merged.wins {
         println!("  wins[{name}]  {n}");
     }
@@ -545,6 +609,8 @@ fn main() {
          \"server_batches_formed\": {},\n  \"server_requests_coalesced\": {},\n  \
          \"server_hedges_launched\": {},\n  \"server_hedge_wins\": {},\n  \
          \"server_launches_suppressed\": {},\n  \
+         \"remote_dispatched\": {},\n  \"remote_wins\": {},\n  \
+         \"peer_reconnects\": {},\n  \
          \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
          \"p999_us\": {},\n  \"max_us\": {},\n  \
          \"wins\": {{\n{}\n  }}\n}}\n",
@@ -569,6 +635,9 @@ fn main() {
         server.hedges_launched,
         server.hedge_wins,
         server.launches_suppressed,
+        server.remote_dispatched,
+        server.remote_wins,
+        server.peer_reconnects,
         throughput,
         p50,
         p99,

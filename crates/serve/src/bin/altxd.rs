@@ -19,10 +19,19 @@
 //! `--shards N` runs N independent reactor event loops behind one
 //! acceptor thread (accepted connections are dealt round-robin); the
 //! default of 1 keeps the classic single-reactor front end.
+//!
+//! `--peer HOST:PORT` (repeatable) joins a cluster: the daemon keeps an
+//! outbound link to each named peer, ships non-favourite alternatives
+//! to lightly loaded peers when the transfer model says it pays, and
+//! commits each race's winner through a majority vote across the nodes
+//! that were up when the race started. `--advertise HOST:PORT` sets
+//! the identity peers use to reach back (defaults to the bind
+//! address); `--peer-explore-every N` forces one remote dispatch every
+//! N races so link statistics stay live (0 disables exploration).
 
 use altx_serve::server::{available_workers, start, ServerConfig};
 use altx_serve::workload::CATALOG;
-use altx_serve::HedgeConfig;
+use altx_serve::{HedgeConfig, PeerConfig};
 use std::time::Duration;
 
 struct Args {
@@ -33,6 +42,7 @@ struct Args {
     duration_s: u64,
     batch_window: Duration,
     hedge: HedgeConfig,
+    peer: PeerConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         duration_s: 0,
         batch_window: Duration::ZERO,
         hedge: HedgeConfig::default(),
+        peer: PeerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -88,11 +99,20 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--hedge-explore-every: {e}"))?
             }
+            "--peer" => args.peer.peers.push(value("--peer")?),
+            "--advertise" => args.peer.advertise = Some(value("--advertise")?),
+            "--peer-explore-every" => {
+                args.peer.explore_every = value("--peer-explore-every")?
+                    .parse()
+                    .map_err(|e| format!("--peer-explore-every: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--shards N] [--duration SECS] [--batch-window-us N] [--hedge] \
-                     [--hedge-min-samples N] [--hedge-explore-every N]"
+                     [--hedge-min-samples N] [--hedge-explore-every N] \
+                     [--peer HOST:PORT]... [--advertise HOST:PORT] \
+                     [--peer-explore-every N]"
                 );
                 std::process::exit(0);
             }
@@ -117,6 +137,7 @@ fn main() {
         batch_window: args.batch_window,
         hedge: args.hedge.clone(),
         shards: args.shards,
+        peer: args.peer.clone(),
     }) {
         Ok(h) => h,
         Err(e) => {
@@ -139,6 +160,15 @@ fn main() {
         println!(
             "hedging: on (min samples {}, explore every {})",
             args.hedge.min_samples, args.hedge.explore_every
+        );
+    }
+    if !args.peer.peers.is_empty() {
+        println!(
+            "peering: {} peer{} [{}] (explore every {})",
+            args.peer.peers.len(),
+            if args.peer.peers.len() == 1 { "" } else { "s" },
+            args.peer.peers.join(", "),
+            args.peer.explore_every
         );
     }
     println!("workloads:");

@@ -412,6 +412,15 @@ impl Client {
         }
     }
 
+    /// Fetches the per-peer link table: up/down, rtt EWMA, dispatch
+    /// and reconnect counters for every configured peer.
+    pub fn peer_stats(&mut self) -> Result<String, FrameError> {
+        match self.call(&Request::PeerStats)? {
+            Response::Text { body } => Ok(body),
+            other => Err(unexpected(other)),
+        }
+    }
+
     /// Fetches the workload catalog: every registered workload, its
     /// alternatives, and which one the scheduler currently favours.
     pub fn catalog_page(&mut self) -> Result<String, FrameError> {

@@ -1,0 +1,298 @@
+//! The wire-backed majority 0–1 commit semaphore.
+//!
+//! The paper (§3.2.1, after Thomas 1979) makes cross-machine
+//! elimination at-most-once with a majority-consensus 0–1 semaphore:
+//! every node holds exactly one **exclusive, unrevocable** vote per
+//! race, a finisher commits only after collecting a majority of the
+//! votes, and because two candidates cannot both assemble a majority of
+//! exclusive grants, at most one winner ever commits — even when nodes
+//! crash or messages are lost mid-race. `altx-consensus` proves the
+//! rule out under a simulated clock; this module is the same voter rule
+//! carried by real frames (`COMMIT_VOTE` / `VOTE`, see
+//! [`crate::frame`]).
+//!
+//! Two halves:
+//!
+//! * [`CommitLedger`] — the **voter** side every peered daemon runs:
+//!   one grant slot per `(origin, race_id)`, granted to the first
+//!   candidate that asks and re-granted only to that same holder.
+//! * [`VoteTally`] — the **proposer** side the race origin runs: counts
+//!   grants and denials against the majority threshold of the voter set
+//!   frozen when the race started, and reports when the round is
+//!   decided — or when enough voters died that a majority can never
+//!   assemble and the origin must degrade.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One node's vote slots, keyed by `(origin address, race id)` so
+/// concurrent races from different origins can never collide even if
+/// their locally-assigned race ids do.
+#[derive(Debug, Default)]
+pub struct CommitLedger {
+    slots: Mutex<HashMap<(String, u64), Grant>>,
+    granted: AtomicU64,
+    denied: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Grant {
+    holder: String,
+    at: Instant,
+}
+
+impl CommitLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests this node's vote for `candidate` in race `(origin,
+    /// race_id)`. Returns `(granted, holder)`: the vote is granted to
+    /// the first candidate that asks and to the *same* candidate on a
+    /// re-request (retries after partial failure are idempotent); any
+    /// other candidate is denied for as long as the slot lives. The
+    /// grant is never revoked — that unrevocability is what makes a
+    /// majority of grants imply at most one committed winner.
+    pub fn vote(&self, origin: &str, race_id: u64, candidate: &str) -> (bool, String) {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let slot = slots
+            .entry((origin.to_owned(), race_id))
+            .or_insert_with(|| Grant {
+                holder: candidate.to_owned(),
+                at: Instant::now(),
+            });
+        let granted = slot.holder == candidate;
+        if granted {
+            self.granted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.denied.fetch_add(1, Ordering::Relaxed);
+        }
+        (granted, slot.holder.clone())
+    }
+
+    /// Votes granted (including idempotent re-grants).
+    pub fn votes_granted(&self) -> u64 {
+        self.granted.load(Ordering::Relaxed)
+    }
+
+    /// Votes denied (slot already held by another candidate).
+    pub fn votes_denied(&self) -> u64 {
+        self.denied.load(Ordering::Relaxed)
+    }
+
+    /// Drops slots older than `ttl`. Races are short-lived; the slot
+    /// only has to outlive any late retry for its race, so a sweep with
+    /// a generous TTL keeps the ledger bounded without risking a
+    /// double-grant inside a race's lifetime.
+    pub fn sweep(&self, ttl: Duration) {
+        let now = Instant::now();
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .retain(|_, g| now.duration_since(g.at) < ttl);
+    }
+
+    /// Live grant slots (test/diagnostic hook).
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when no grant slot is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The proposer's view of one commit round: grants collected against
+/// the majority threshold of a voter set that was frozen when the race
+/// was created (self plus every peer that was up). Freezing the set is
+/// what keeps the threshold meaningful when a voter dies mid-round —
+/// the dead peer's vote simply converts to a denial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteTally {
+    voters: usize,
+    granted: usize,
+    denied: usize,
+}
+
+/// Where a commit round stands after the latest vote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TallyState {
+    /// Votes are still outstanding and both outcomes remain possible.
+    Undecided,
+    /// A majority of the frozen voter set granted: the candidate is
+    /// committed, at most once cluster-wide.
+    Committed,
+    /// Enough voters denied (or died) that a majority can never
+    /// assemble. The origin must degrade: the paper's answer is to
+    /// block, the serving layer's is to answer anyway and record it.
+    Unreachable,
+}
+
+impl VoteTally {
+    /// A tally over `voters` total voters (self included), with the
+    /// proposer's own self-grant already counted when `self_granted`.
+    pub fn new(voters: usize, self_granted: bool) -> Self {
+        VoteTally {
+            voters: voters.max(1),
+            granted: usize::from(self_granted),
+            denied: 0,
+        }
+    }
+
+    /// Majority threshold: `n/2 + 1` of the frozen voter set.
+    pub fn majority(&self) -> usize {
+        self.voters / 2 + 1
+    }
+
+    /// Records one granted vote.
+    pub fn grant(&mut self) {
+        self.granted += 1;
+    }
+
+    /// Records one denial — an explicit `granted: false` reply, or a
+    /// voter that died before answering (same effect: that vote can no
+    /// longer contribute to a majority).
+    pub fn deny(&mut self) {
+        self.denied += 1;
+    }
+
+    /// Votes neither granted nor denied yet.
+    pub fn pending(&self) -> usize {
+        self.voters.saturating_sub(self.granted + self.denied)
+    }
+
+    /// Votes granted so far.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+
+    /// Where the round stands.
+    pub fn state(&self) -> TallyState {
+        if self.granted >= self.majority() {
+            TallyState::Committed
+        } else if self.granted + self.pending() < self.majority() {
+            TallyState::Unreachable
+        } else {
+            TallyState::Undecided
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn first_candidate_gets_the_vote_and_keeps_it() {
+        let ledger = CommitLedger::new();
+        let (granted, holder) = ledger.vote("a:1", 7, "a:1/alt0");
+        assert!(granted);
+        assert_eq!(holder, "a:1/alt0");
+        // Re-request by the same holder is idempotent.
+        let (granted, _) = ledger.vote("a:1", 7, "a:1/alt0");
+        assert!(granted);
+        // Any other candidate is denied, and told who holds it.
+        let (granted, holder) = ledger.vote("a:1", 7, "b:2/alt1");
+        assert!(!granted);
+        assert_eq!(holder, "a:1/alt0");
+        assert_eq!(ledger.votes_granted(), 2);
+        assert_eq!(ledger.votes_denied(), 1);
+    }
+
+    #[test]
+    fn race_ids_are_scoped_by_origin() {
+        let ledger = CommitLedger::new();
+        assert!(ledger.vote("a:1", 7, "a:1/alt0").0);
+        // Same race id from a different origin is a different slot.
+        assert!(ledger.vote("b:2", 7, "b:2/alt3").0);
+        assert_eq!(ledger.len(), 2);
+    }
+
+    /// The at-most-once property under contention: many threads racing
+    /// distinct candidates for one slot — exactly one is ever granted.
+    #[test]
+    fn concurrent_votes_grant_exactly_one_candidate() {
+        let ledger = Arc::new(CommitLedger::new());
+        let winners: Vec<String> = (0..8)
+            .map(|i| {
+                let ledger = Arc::clone(&ledger);
+                std::thread::spawn(move || {
+                    let cand = format!("node{i}/alt{i}");
+                    let (granted, holder) = ledger.vote("origin:9", 42, &cand);
+                    assert_eq!(granted, holder == cand);
+                    holder
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("voter thread"))
+            .collect();
+        // Every thread observed the same holder.
+        assert!(winners.windows(2).all(|w| w[0] == w[1]), "{winners:?}");
+        assert_eq!(ledger.votes_granted(), 1);
+        assert_eq!(ledger.votes_denied(), 7);
+    }
+
+    #[test]
+    fn sweep_reclaims_old_slots() {
+        let ledger = CommitLedger::new();
+        ledger.vote("a:1", 1, "x");
+        ledger.vote("a:1", 2, "y");
+        assert_eq!(ledger.len(), 2);
+        ledger.sweep(Duration::from_secs(600));
+        assert_eq!(ledger.len(), 2, "young slots survive");
+        ledger.sweep(Duration::ZERO);
+        assert!(ledger.is_empty(), "expired slots are reclaimed");
+    }
+
+    #[test]
+    fn tally_commits_on_majority() {
+        // Three voters (self + two peers), self-grant counted.
+        let mut t = VoteTally::new(3, true);
+        assert_eq!(t.majority(), 2);
+        assert_eq!(t.state(), TallyState::Undecided);
+        t.grant();
+        assert_eq!(t.state(), TallyState::Committed);
+    }
+
+    #[test]
+    fn tally_unreachable_when_majority_cannot_assemble() {
+        // Three voters; both peers die before voting.
+        let mut t = VoteTally::new(3, true);
+        t.deny();
+        assert_eq!(
+            t.state(),
+            TallyState::Undecided,
+            "one peer could still grant"
+        );
+        t.deny();
+        assert_eq!(t.state(), TallyState::Unreachable);
+    }
+
+    #[test]
+    fn single_voter_tally_self_commits() {
+        // No peers up: the voter set is just the origin.
+        let t = VoteTally::new(1, true);
+        assert_eq!(t.state(), TallyState::Committed);
+    }
+
+    #[test]
+    fn two_voter_tally_needs_both() {
+        let mut t = VoteTally::new(2, true);
+        assert_eq!(t.majority(), 2);
+        assert_eq!(t.state(), TallyState::Undecided);
+        let mut dead_peer = t;
+        dead_peer.deny();
+        assert_eq!(dead_peer.state(), TallyState::Unreachable);
+        t.grant();
+        assert_eq!(t.state(), TallyState::Committed);
+    }
+}

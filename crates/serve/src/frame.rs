@@ -9,11 +9,20 @@
 //! Request body layout (all integers big-endian):
 //!
 //! ```text
-//! RUN:        0x01 | deadline_ms: u32 | arg: u64 | name_len: u16 | name
-//! STATS:      0x02
-//! PROMETHEUS: 0x03
-//! SHUTDOWN:   0x04
-//! CATALOG:    0x05
+//! RUN:         0x01 | deadline_ms: u32 | arg: u64 | name_len: u16 | name
+//! STATS:       0x02
+//! PROMETHEUS:  0x03
+//! SHUTDOWN:    0x04
+//! CATALOG:     0x05
+//! EXEC_ALT:    0x06 | race_id: u64 | alt_idx: u32 | deadline_ms: u32
+//!                   | arg: u64 | name_len: u16 | workload
+//!                   | origin_len: u16 | origin
+//! ALT_RESULT:  0x07 | race_id: u64 | alt_idx: u32 | status: u8
+//!                   | value: u64 | latency_us: u64
+//! COMMIT_VOTE: 0x08 | race_id: u64 | origin_len: u16 | origin
+//!                   | cand_len: u16 | candidate
+//! ELIMINATE:   0x09 | race_id: u64 | origin_len: u16 | origin
+//! PEER_STATS:  0x0A
 //! ```
 //!
 //! Response body layout:
@@ -26,7 +35,18 @@
 //! UNKNOWN_WORKLOAD:  0x03
 //! ERROR:             0x04 | msg_len: u16 | message
 //! TEXT:              0x05 | body_len: u32 | body      (STATS/PROMETHEUS)
+//! VOTE:              0x06 | granted: u8 | holder_len: u16 | holder
 //! ```
+//!
+//! Opcodes 0x06–0x0A and the VOTE status are the peering plane (see
+//! `peer.rs` / `remote.rs` / `commit.rs`): `EXEC_ALT` ships one
+//! alternative of a race to a peer (acked immediately; the outcome
+//! comes back later as an `ALT_RESULT` request on the executor's own
+//! link to the origin), `COMMIT_VOTE` asks for the voter's exclusive
+//! 0–1 commit grant, and `ELIMINATE` cancels a shipped alternative
+//! after the race is decided. A daemon that predates these opcodes
+//! answers them with a protocol `ERROR` reply and keeps the connection
+//! — version skew fails loudly per request, not by dropping the link.
 
 use std::io::{self, Read, Write};
 
@@ -47,6 +67,13 @@ pub enum FrameError {
     /// The body was well-framed but malformed (bad tag, short field,
     /// invalid UTF-8).
     Malformed(&'static str),
+    /// The frame was well-formed but its leading opcode is not one this
+    /// build knows. Unlike [`FrameError::Malformed`] the stream is
+    /// *not* desynchronized — the length prefix delimited the body — so
+    /// the connection can answer with a protocol error and keep going,
+    /// which is how peer-version skew fails loudly instead of silently
+    /// dropping links.
+    UnknownOpcode(u8),
     /// Transport error.
     Io(io::Error),
 }
@@ -57,6 +84,7 @@ impl std::fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "truncated frame"),
             FrameError::Oversized(n) => write!(f, "oversized frame ({n} bytes > {MAX_FRAME})"),
             FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::UnknownOpcode(op) => write!(f, "unknown request opcode 0x{op:02x}"),
             FrameError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -229,13 +257,80 @@ pub enum Request {
     /// The workload catalog plus what the scheduler has learned
     /// (favourite alternative and win rates per workload).
     Catalog,
+    /// Peer plane: run *one* alternative of a race on this node. The
+    /// immediate reply only acks admission (`Text` or `Overloaded`);
+    /// the outcome travels back as an [`Request::AltResult`] on the
+    /// executor's own link to `origin`.
+    ExecAlt {
+        /// Race identifier, unique within the origin node.
+        race_id: u64,
+        /// Which alternative of the workload to run.
+        alt_idx: u32,
+        /// Deadline inherited from the client request (0 = unbounded).
+        deadline_ms: u32,
+        /// Workload argument.
+        arg: u64,
+        /// Registered workload name.
+        workload: String,
+        /// The origin node's advertised peer address — where the
+        /// result and any elimination bookkeeping go back to.
+        origin: String,
+    },
+    /// Peer plane: the outcome of a shipped alternative, sent by the
+    /// executor to the race's origin.
+    AltResult {
+        /// Race identifier (the origin's id space).
+        race_id: u64,
+        /// Which alternative this outcome belongs to.
+        alt_idx: u32,
+        /// One of [`ALT_OK`], [`ALT_FAILED`], [`ALT_DEADLINE`].
+        status: u8,
+        /// The alternative's value (meaningful only for [`ALT_OK`]).
+        value: u64,
+        /// Executor-side latency in microseconds.
+        latency_us: u64,
+    },
+    /// Peer plane: request this node's exclusive 0–1 commit vote for
+    /// `candidate` in race `(origin, race_id)`. Answered with
+    /// [`Response::Vote`].
+    CommitVote {
+        /// Race identifier (the origin's id space).
+        race_id: u64,
+        /// The origin node's advertised peer address (scopes the id).
+        origin: String,
+        /// Candidate identity, e.g. `"host:port/alt2"`.
+        candidate: String,
+    },
+    /// Peer plane: the race is decided — cancel any alternative of
+    /// `(origin, race_id)` still running here.
+    Eliminate {
+        /// Race identifier (the origin's id space).
+        race_id: u64,
+        /// The origin node's advertised peer address (scopes the id).
+        origin: String,
+    },
+    /// Peer plane: the node's per-peer link table (text).
+    PeerStats,
 }
+
+/// `AltResult` status: the alternative succeeded with a value.
+pub const ALT_OK: u8 = 0;
+/// `AltResult` status: the alternative's guard failed (or it panicked).
+pub const ALT_FAILED: u8 = 1;
+/// `AltResult` status: the deadline expired before the alternative
+/// finished.
+pub const ALT_DEADLINE: u8 = 2;
 
 const OP_RUN: u8 = 0x01;
 const OP_STATS: u8 = 0x02;
 const OP_PROMETHEUS: u8 = 0x03;
 const OP_SHUTDOWN: u8 = 0x04;
 const OP_CATALOG: u8 = 0x05;
+const OP_EXEC_ALT: u8 = 0x06;
+const OP_ALT_RESULT: u8 = 0x07;
+const OP_COMMIT_VOTE: u8 = 0x08;
+const OP_ELIMINATE: u8 = 0x09;
+const OP_PEER_STATS: u8 = 0x0A;
 
 impl Request {
     /// Serializes into a frame body.
@@ -259,6 +354,70 @@ impl Request {
             Request::Prometheus => vec![OP_PROMETHEUS],
             Request::Shutdown => vec![OP_SHUTDOWN],
             Request::Catalog => vec![OP_CATALOG],
+            Request::ExecAlt {
+                race_id,
+                alt_idx,
+                deadline_ms,
+                arg,
+                workload,
+                origin,
+            } => {
+                let name = workload.as_bytes();
+                let from = origin.as_bytes();
+                let mut b = Vec::with_capacity(29 + name.len() + from.len());
+                b.push(OP_EXEC_ALT);
+                b.extend_from_slice(&race_id.to_be_bytes());
+                b.extend_from_slice(&alt_idx.to_be_bytes());
+                b.extend_from_slice(&deadline_ms.to_be_bytes());
+                b.extend_from_slice(&arg.to_be_bytes());
+                b.extend_from_slice(&(name.len() as u16).to_be_bytes());
+                b.extend_from_slice(name);
+                b.extend_from_slice(&(from.len() as u16).to_be_bytes());
+                b.extend_from_slice(from);
+                b
+            }
+            Request::AltResult {
+                race_id,
+                alt_idx,
+                status,
+                value,
+                latency_us,
+            } => {
+                let mut b = Vec::with_capacity(30);
+                b.push(OP_ALT_RESULT);
+                b.extend_from_slice(&race_id.to_be_bytes());
+                b.extend_from_slice(&alt_idx.to_be_bytes());
+                b.push(*status);
+                b.extend_from_slice(&value.to_be_bytes());
+                b.extend_from_slice(&latency_us.to_be_bytes());
+                b
+            }
+            Request::CommitVote {
+                race_id,
+                origin,
+                candidate,
+            } => {
+                let from = origin.as_bytes();
+                let cand = candidate.as_bytes();
+                let mut b = Vec::with_capacity(13 + from.len() + cand.len());
+                b.push(OP_COMMIT_VOTE);
+                b.extend_from_slice(&race_id.to_be_bytes());
+                b.extend_from_slice(&(from.len() as u16).to_be_bytes());
+                b.extend_from_slice(from);
+                b.extend_from_slice(&(cand.len() as u16).to_be_bytes());
+                b.extend_from_slice(cand);
+                b
+            }
+            Request::Eliminate { race_id, origin } => {
+                let from = origin.as_bytes();
+                let mut b = Vec::with_capacity(11 + from.len());
+                b.push(OP_ELIMINATE);
+                b.extend_from_slice(&race_id.to_be_bytes());
+                b.extend_from_slice(&(from.len() as u16).to_be_bytes());
+                b.extend_from_slice(from);
+                b
+            }
+            Request::PeerStats => vec![OP_PEER_STATS],
         }
     }
 
@@ -281,7 +440,59 @@ impl Request {
             OP_PROMETHEUS => Request::Prometheus,
             OP_SHUTDOWN => Request::Shutdown,
             OP_CATALOG => Request::Catalog,
-            _ => return Err(FrameError::Malformed("unknown request opcode")),
+            OP_EXEC_ALT => {
+                let race_id = c.u64()?;
+                let alt_idx = c.u32()?;
+                let deadline_ms = c.u32()?;
+                let arg = c.u64()?;
+                let name_len = c.u16()? as usize;
+                let workload = c.str(name_len)?;
+                let origin_len = c.u16()? as usize;
+                let origin = c.str(origin_len)?;
+                Request::ExecAlt {
+                    race_id,
+                    alt_idx,
+                    deadline_ms,
+                    arg,
+                    workload,
+                    origin,
+                }
+            }
+            OP_ALT_RESULT => {
+                let race_id = c.u64()?;
+                let alt_idx = c.u32()?;
+                let status = c.u8()?;
+                if status > ALT_DEADLINE {
+                    return Err(FrameError::Malformed("bad alt-result status"));
+                }
+                Request::AltResult {
+                    race_id,
+                    alt_idx,
+                    status,
+                    value: c.u64()?,
+                    latency_us: c.u64()?,
+                }
+            }
+            OP_COMMIT_VOTE => {
+                let race_id = c.u64()?;
+                let origin_len = c.u16()? as usize;
+                let origin = c.str(origin_len)?;
+                let cand_len = c.u16()? as usize;
+                let candidate = c.str(cand_len)?;
+                Request::CommitVote {
+                    race_id,
+                    origin,
+                    candidate,
+                }
+            }
+            OP_ELIMINATE => {
+                let race_id = c.u64()?;
+                let origin_len = c.u16()? as usize;
+                let origin = c.str(origin_len)?;
+                Request::Eliminate { race_id, origin }
+            }
+            OP_PEER_STATS => Request::PeerStats,
+            op => return Err(FrameError::UnknownOpcode(op)),
         };
         c.finish()?;
         Ok(req)
@@ -321,6 +532,16 @@ pub enum Response {
         /// The text body.
         body: String,
     },
+    /// Peer plane: the reply to a [`Request::CommitVote`] — whether
+    /// this voter's exclusive 0–1 grant went to the asking candidate.
+    Vote {
+        /// True when the vote was granted (first request for the race,
+        /// or a re-request by the same holder).
+        granted: bool,
+        /// Who holds the vote after this request (the candidate it was
+        /// first granted to).
+        holder: String,
+    },
 }
 
 const ST_OK: u8 = 0x00;
@@ -329,6 +550,7 @@ const ST_OVERLOADED: u8 = 0x02;
 const ST_UNKNOWN: u8 = 0x03;
 const ST_ERROR: u8 = 0x04;
 const ST_TEXT: u8 = 0x05;
+const ST_VOTE: u8 = 0x06;
 
 impl Response {
     /// Serializes into a frame body.
@@ -376,6 +598,14 @@ impl Response {
                 b.extend_from_slice(&(text.len() as u32).to_be_bytes());
                 b.extend_from_slice(text);
             }
+            Response::Vote { granted, holder } => {
+                let who = holder.as_bytes();
+                b.reserve(4 + who.len());
+                b.push(ST_VOTE);
+                b.push(u8::from(*granted));
+                b.extend_from_slice(&(who.len() as u16).to_be_bytes());
+                b.extend_from_slice(who);
+            }
         }
     }
 
@@ -411,7 +641,19 @@ impl Response {
                 let len = c.u32()? as usize;
                 Response::Text { body: c.str(len)? }
             }
-            _ => return Err(FrameError::Malformed("unknown response status")),
+            ST_VOTE => {
+                let granted = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(FrameError::Malformed("bad vote flag")),
+                };
+                let len = c.u16()? as usize;
+                Response::Vote {
+                    granted,
+                    holder: c.str(len)?,
+                }
+            }
+            op => return Err(FrameError::UnknownOpcode(op)),
         };
         c.finish()?;
         Ok(resp)

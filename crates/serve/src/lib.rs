@@ -42,17 +42,23 @@
 pub(crate) mod batch;
 pub mod bufpool;
 pub mod client;
+pub mod commit;
 mod conn;
 pub mod frame;
+pub mod peer;
+pub(crate) mod placement;
 pub mod pool;
 pub(crate) mod reactor;
+pub(crate) mod remote;
 pub mod sched;
 pub mod server;
 pub mod telemetry;
 pub mod workload;
 
 pub use client::Client;
+pub use commit::{CommitLedger, TallyState, VoteTally};
 pub use frame::{Request, Response, MAX_FRAME};
+pub use peer::PeerConfig;
 pub use sched::{HedgeConfig, HedgePolicy};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use telemetry::Telemetry;

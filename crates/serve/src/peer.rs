@@ -1,0 +1,820 @@
+//! Cluster peering: outbound links to other `altxd` nodes.
+//!
+//! The paper's §4.4 remote execution needs a control plane: each daemon
+//! keeps one persistent outbound connection per configured `--peer`,
+//! ships `EXEC_ALT` / `COMMIT_VOTE` / `ELIMINATE` / `ALT_RESULT` frames
+//! over it, and measures the link (round-trip EWMA, liveness) so the
+//! placement model works from observations instead of guesses.
+//!
+//! All outbound traffic runs on **one dedicated thread** ([`PeerNet`]):
+//! a mini-reactor that polls every link plus a self-pipe, exactly the
+//! shape of the front-end shards but pointed outward. Reactor shards
+//! and pool workers never touch a peer socket — they push a [`Cmd`]
+//! onto the [`PeerHandle`] and write one wake byte, the same
+//! completion-queue discipline the shards already use inbound.
+//!
+//! Failure model (the part the paper hand-waves and a server cannot):
+//!
+//! * A link that refuses or drops is **failed fast**: an `EXEC_ALT`
+//!   that cannot be sent converts to a refused alternative at the
+//!   origin immediately, a `COMMIT_VOTE` converts to a denial. No
+//!   request path ever blocks on a dead peer.
+//! * A link that dies with requests in flight fails every pending tag
+//!   the same way, then tells the remote-race registry the peer is down
+//!   so alternatives already *acked* by that peer convert to failed
+//!   guards too ([`crate::remote::RemoteRaces::on_peer_down`]).
+//! * Reconnection is automatic with doubling backoff (50 ms → 2 s);
+//!   every successful re-dial after a first connect counts in the
+//!   per-peer `reconnects` counter the load generator scrapes.
+//!
+//! Replies on a link are correlated to requests by order — the framed
+//! protocol answers every request exactly once, in order, so a FIFO of
+//! [`SendTag`]s per link is a complete correlation table, and the
+//! request→reply time of *any* tag is an rtt sample for the EWMA.
+
+use crate::commit::CommitLedger;
+use crate::frame::{FrameDecoder, Request, Response};
+use crate::placement::Placement;
+use crate::reactor::{poll_fds, wake_pair, DaemonCtl, PollFd, POLLIN, POLLOUT};
+use crate::remote::{InflightRemote, RemoteRaces};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Peering knobs, carried in [`crate::ServerConfig`]. An empty peer
+/// list (the default) disables remote dispatch entirely: the placement
+/// never ships, and the peer thread idles on its wake pipe.
+#[derive(Debug, Clone)]
+pub struct PeerConfig {
+    /// Peer daemon addresses (`host:port`), one outbound link each.
+    pub peers: Vec<String>,
+    /// Force one remote dispatch every N races so link statistics stay
+    /// live even when the model prefers local (0 disables exploration).
+    pub explore_every: u64,
+    /// Address advertised to peers as this node's identity (where
+    /// results and votes come back to). Defaults to the bound listen
+    /// address — override it when the bind address is not routable.
+    pub advertise: Option<String>,
+}
+
+impl Default for PeerConfig {
+    fn default() -> Self {
+        PeerConfig {
+            peers: Vec::new(),
+            explore_every: 16,
+            advertise: None,
+        }
+    }
+}
+
+/// First re-dial delay after a link failure.
+const BACKOFF_INITIAL: Duration = Duration::from_millis(50);
+/// Backoff ceiling.
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+/// Dial timeout: a peer that cannot complete a TCP handshake in this
+/// budget is down for placement purposes.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(50);
+/// Commit-ledger slots older than this are swept (a race never lives
+/// anywhere near this long; the TTL only bounds memory).
+const LEDGER_TTL: Duration = Duration::from_secs(300);
+/// How often the ledger sweep runs.
+const SWEEP_EVERY: Duration = Duration::from_secs(5);
+/// Queued fire-and-forget frames kept per down link before the oldest
+/// are dropped.
+const MAX_QUEUED: usize = 256;
+/// Idle poll backstop for the peer thread.
+const PEER_BACKSTOP_MS: i32 = 250;
+
+/// Live counters for one configured peer link. The peer thread is the
+/// only writer of `up`/`rtt`; dispatch/win counters are bumped from
+/// reactor shards and the registry. Everything is relaxed atomics —
+/// telemetry reads need eventual consistency only.
+#[derive(Debug)]
+pub struct PeerStat {
+    addr: String,
+    up: AtomicBool,
+    rtt_ewma_us: AtomicU64,
+    dispatched: AtomicU64,
+    wins: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl PeerStat {
+    fn new(addr: String) -> Self {
+        PeerStat {
+            addr,
+            up: AtomicBool::new(false),
+            rtt_ewma_us: AtomicU64::new(0),
+            dispatched: AtomicU64::new(0),
+            wins: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// The peer's configured address.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// True while the outbound link is connected.
+    pub fn up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+
+    /// Round-trip EWMA in microseconds (0 until the first sample).
+    pub fn rtt_ewma_us(&self) -> u64 {
+        self.rtt_ewma_us.load(Ordering::Relaxed)
+    }
+
+    /// Alternatives shipped to this peer.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched.load(Ordering::Relaxed)
+    }
+
+    /// Races won by an alternative this peer executed.
+    pub fn wins(&self) -> u64 {
+        self.wins.load(Ordering::Relaxed)
+    }
+
+    /// Successful re-dials after the first connect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Records one request→reply round trip (EWMA, α = 0.2).
+    fn observe_rtt(&self, sample_us: u64) {
+        let old = self.rtt_ewma_us.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample_us
+        } else {
+            (old * 4 + sample_us) / 5
+        };
+        self.rtt_ewma_us.store(next.max(1), Ordering::Relaxed);
+    }
+
+    /// Counts one alternative shipped to this peer.
+    pub(crate) fn note_dispatched(&self) {
+        self.dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one race won by this peer's alternative.
+    pub(crate) fn note_win(&self) {
+        self.wins.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The fixed per-peer counter table, one entry per configured peer,
+/// shared by the peer thread, the reactor shards, the registry, and
+/// telemetry.
+#[derive(Debug, Default)]
+pub struct PeerStatsTable {
+    peers: Vec<Arc<PeerStat>>,
+}
+
+impl PeerStatsTable {
+    /// One zeroed entry per configured peer address.
+    pub fn new(addrs: &[String]) -> Self {
+        PeerStatsTable {
+            peers: addrs
+                .iter()
+                .map(|a| Arc::new(PeerStat::new(a.clone())))
+                .collect(),
+        }
+    }
+
+    /// Every configured peer's counters.
+    pub fn peers(&self) -> &[Arc<PeerStat>] {
+        &self.peers
+    }
+
+    /// Counters for one peer address.
+    pub fn by_addr(&self, addr: &str) -> Option<&Arc<PeerStat>> {
+        self.peers.iter().find(|p| p.addr == addr)
+    }
+
+    /// `(addr, rtt_ewma_us)` for every peer whose link is up right now
+    /// — the placement model's input.
+    pub fn up_peers(&self) -> Vec<(String, u64)> {
+        self.peers
+            .iter()
+            .filter(|p| p.up())
+            .map(|p| (p.addr.clone(), p.rtt_ewma_us().max(1)))
+            .collect()
+    }
+
+    /// Sum of per-peer reconnect counters.
+    pub fn total_reconnects(&self) -> u64 {
+        self.peers.iter().map(|p| p.reconnects()).sum()
+    }
+
+    /// Peers whose link is up right now.
+    pub fn peers_up(&self) -> u64 {
+        self.peers.iter().filter(|p| p.up()).count() as u64
+    }
+
+    /// The `PEER_STATS` text body.
+    pub fn render(&self) -> String {
+        let mut out = String::from("altxd peers\n");
+        for p in &self.peers {
+            out.push_str(&format!(
+                "  peer {}  up {}  rtt_us {}  dispatched {}  wins {}  reconnects {}\n",
+                p.addr,
+                u8::from(p.up()),
+                p.rtt_ewma_us(),
+                p.dispatched(),
+                p.wins(),
+                p.reconnects()
+            ));
+        }
+        out
+    }
+}
+
+/// What an outbound frame was *for* — pushed onto the link's FIFO when
+/// the frame is sent, popped when its in-order reply arrives, failed
+/// when the link dies first.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SendTag {
+    /// An `EXEC_ALT` whose ack decides admitted-vs-refused.
+    ExecAlt {
+        /// Race the shipped alternative belongs to.
+        race_id: u64,
+        /// Which alternative was shipped.
+        alt_idx: u32,
+    },
+    /// A `COMMIT_VOTE` whose reply carries the grant.
+    Vote {
+        /// Race the vote decides.
+        race_id: u64,
+    },
+    /// Fire-and-forget (`ALT_RESULT`, `ELIMINATE`): the ack only feeds
+    /// the rtt EWMA.
+    Fire,
+}
+
+struct Cmd {
+    addr: String,
+    req: Request,
+    tag: SendTag,
+}
+
+/// The handle everyone but the peer thread holds: queue a command,
+/// tickle the wake pipe. Sends never block and never touch a socket.
+pub(crate) struct PeerHandle {
+    cmds: Mutex<Vec<Cmd>>,
+    wake_tx: TcpStream,
+    stats: Arc<PeerStatsTable>,
+}
+
+impl PeerHandle {
+    /// Queues one frame for `addr` and wakes the peer thread. If the
+    /// link is down the thread fails the tag fast — the caller finds
+    /// out through the registry, never by blocking here.
+    pub(crate) fn send(&self, addr: &str, req: Request, tag: SendTag) {
+        self.cmds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Cmd {
+                addr: addr.to_owned(),
+                req,
+                tag,
+            });
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    /// The shared per-peer counter table.
+    pub(crate) fn stats(&self) -> &Arc<PeerStatsTable> {
+        &self.stats
+    }
+
+    /// A clone of the wake pipe's write end so the shutdown latch can
+    /// rouse the peer thread.
+    pub(crate) fn clone_waker(&self) -> io::Result<TcpStream> {
+        self.wake_tx.try_clone()
+    }
+}
+
+/// Everything the reactor shards need to speak to the peer plane,
+/// bundled so `Reactor::new` grows one argument, not six.
+pub(crate) struct PeerPlane {
+    /// Outbound send handle.
+    pub(crate) handle: Arc<PeerHandle>,
+    /// Origin-side distributed race registry.
+    pub(crate) races: Arc<RemoteRaces>,
+    /// Voter-side commit ledger.
+    pub(crate) ledger: Arc<CommitLedger>,
+    /// Executor-side in-flight remote alternatives (for `ELIMINATE`).
+    pub(crate) inflight: Arc<InflightRemote>,
+    /// Local-vs-remote placement policy.
+    pub(crate) placement: Placement,
+    /// This node's advertised peer identity.
+    pub(crate) advertise: String,
+}
+
+/// One outbound link's connection state.
+enum LinkState {
+    Down,
+    Up(UpLink),
+}
+
+struct UpLink {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_at: usize,
+    /// In-order correlation FIFO: one entry per sent frame, popped by
+    /// its reply; the `Instant` is the rtt sample's start.
+    pending: VecDeque<(SendTag, Instant)>,
+}
+
+struct Link {
+    /// Configured links persist and redial forever; dynamic links
+    /// (dialed on demand, e.g. to send a result back to an origin that
+    /// is not in our peer list) are dropped once idle and down.
+    configured: bool,
+    stat: Option<Arc<PeerStat>>,
+    state: LinkState,
+    /// Fire-and-forget frames parked while the link is down.
+    queue: VecDeque<(Request, SendTag)>,
+    backoff: Duration,
+    next_dial: Instant,
+    ever_up: bool,
+}
+
+impl Link {
+    fn new(configured: bool, stat: Option<Arc<PeerStat>>) -> Self {
+        Link {
+            configured,
+            stat,
+            state: LinkState::Down,
+            queue: VecDeque::new(),
+            backoff: BACKOFF_INITIAL,
+            next_dial: Instant::now(),
+            ever_up: false,
+        }
+    }
+}
+
+/// The peer thread: owns every outbound link.
+pub(crate) struct PeerNet {
+    wake_rx: TcpStream,
+    handle: Arc<PeerHandle>,
+    races: Arc<RemoteRaces>,
+    ledger: Arc<CommitLedger>,
+    ctl: Arc<DaemonCtl>,
+    links: HashMap<String, Link>,
+    last_sweep: Instant,
+}
+
+impl PeerNet {
+    /// Builds the peer thread's state plus the handle everyone else
+    /// uses. The caller spawns [`PeerNet::run`] on its own thread.
+    pub(crate) fn new(
+        stats: Arc<PeerStatsTable>,
+        races: Arc<RemoteRaces>,
+        ledger: Arc<CommitLedger>,
+        ctl: Arc<DaemonCtl>,
+    ) -> io::Result<(Self, Arc<PeerHandle>)> {
+        let (wake_tx, wake_rx) = wake_pair()?;
+        let handle = Arc::new(PeerHandle {
+            cmds: Mutex::new(Vec::new()),
+            wake_tx,
+            stats: Arc::clone(&stats),
+        });
+        let links = stats
+            .peers()
+            .iter()
+            .map(|p| (p.addr().to_owned(), Link::new(true, Some(Arc::clone(p)))))
+            .collect();
+        Ok((
+            PeerNet {
+                wake_rx,
+                handle: Arc::clone(&handle),
+                races,
+                ledger,
+                ctl,
+                links,
+                last_sweep: Instant::now(),
+            },
+            handle,
+        ))
+    }
+
+    /// The peer event loop. Exits when the daemon drains, after
+    /// flushing every open distributed race so no client is stranded.
+    pub(crate) fn run(mut self) {
+        loop {
+            if self.ctl.draining() {
+                self.races.shutdown_flush();
+                // Best effort: push any ELIMINATE/result frames the
+                // flush queued, then leave.
+                self.drain_cmds();
+                for addr in self.link_addrs() {
+                    self.flush_link(&addr);
+                }
+                break;
+            }
+            let now = Instant::now();
+            self.dial_due(now);
+            self.drain_cmds();
+            self.sweep(now);
+
+            let (mut fds, addrs) = self.poll_set();
+            let timeout = self.poll_timeout_ms(Instant::now());
+            if poll_fds(&mut fds, timeout).is_err() {
+                continue;
+            }
+            if fds[0].revents != 0 {
+                let mut sink = [0u8; 256];
+                while matches!(self.wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+            }
+            for (slot, addr) in addrs.iter().enumerate() {
+                let revents = fds[slot + 1].revents;
+                if revents == 0 {
+                    continue;
+                }
+                if revents & POLLIN != 0 {
+                    self.read_link(addr);
+                }
+                if revents & POLLOUT != 0 {
+                    self.flush_link(addr);
+                }
+            }
+            // Dynamic links that went down with nothing left to send
+            // are garbage; configured links persist for redial.
+            self.links.retain(|_, l| {
+                l.configured || !matches!(l.state, LinkState::Down) || !l.queue.is_empty()
+            });
+        }
+    }
+
+    fn link_addrs(&self) -> Vec<String> {
+        self.links.keys().cloned().collect()
+    }
+
+    /// Re-dials every down link whose backoff expired.
+    fn dial_due(&mut self, now: Instant) {
+        let due: Vec<String> = self
+            .links
+            .iter()
+            .filter(|(_, l)| matches!(l.state, LinkState::Down) && l.next_dial <= now)
+            .map(|(a, _)| a.clone())
+            .collect();
+        for addr in due {
+            self.dial(&addr);
+        }
+    }
+
+    fn dial(&mut self, addr: &str) {
+        if !self.links.contains_key(addr) {
+            return;
+        }
+        let connected = connect(addr);
+        let link = self.links.get_mut(addr).expect("link exists");
+        match connected {
+            Ok(stream) => {
+                if link.ever_up {
+                    if let Some(stat) = &link.stat {
+                        stat.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                link.ever_up = true;
+                link.backoff = BACKOFF_INITIAL;
+                if let Some(stat) = &link.stat {
+                    stat.up.store(true, Ordering::Relaxed);
+                }
+                let mut up = UpLink {
+                    stream,
+                    decoder: FrameDecoder::new(),
+                    out: Vec::new(),
+                    out_at: 0,
+                    pending: VecDeque::new(),
+                };
+                // Frames parked while down go out first.
+                let queued = std::mem::take(&mut link.queue);
+                for (req, tag) in queued {
+                    encode_onto(&mut up.out, &req);
+                    up.pending.push_back((tag, Instant::now()));
+                }
+                link.state = LinkState::Up(up);
+                let addr = addr.to_owned();
+                self.flush_link(&addr);
+            }
+            Err(_) => {
+                link.next_dial = Instant::now() + link.backoff;
+                link.backoff = (link.backoff * 2).min(BACKOFF_MAX);
+            }
+        }
+    }
+
+    /// Moves queued commands onto their links: encoded onto an up
+    /// link's buffer, failed fast or parked on a down one.
+    fn drain_cmds(&mut self) {
+        let cmds = std::mem::take(
+            &mut *self
+                .handle
+                .cmds
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for cmd in cmds {
+            if !self.links.contains_key(&cmd.addr) {
+                // Dial-on-demand: an origin outside the configured set
+                // (results/votes go back to whoever asked).
+                let stat = self.handle.stats.by_addr(&cmd.addr).cloned();
+                self.links.insert(cmd.addr.clone(), Link::new(false, stat));
+                self.dial(&cmd.addr);
+            }
+            let link = self.links.get_mut(&cmd.addr).expect("link exists");
+            let mut flush = false;
+            match &mut link.state {
+                LinkState::Up(up) => {
+                    encode_onto(&mut up.out, &cmd.req);
+                    up.pending.push_back((cmd.tag, Instant::now()));
+                    flush = true;
+                }
+                LinkState::Down => match cmd.tag {
+                    SendTag::Fire => {
+                        link.queue.push_back((cmd.req, cmd.tag));
+                        if link.queue.len() > MAX_QUEUED {
+                            link.queue.pop_front();
+                        }
+                    }
+                    // Fail fast: a down peer cannot run the alternative
+                    // or grant the vote, and the race must not wait for
+                    // the redial to find that out.
+                    SendTag::ExecAlt { race_id, alt_idx } => {
+                        self.races.on_remote_refused(race_id, alt_idx);
+                    }
+                    SendTag::Vote { race_id } => {
+                        self.races.on_vote(race_id, &cmd.addr, false);
+                    }
+                },
+            }
+            if flush {
+                self.flush_link(&cmd.addr);
+            }
+        }
+    }
+
+    /// Reads everything the link has, dispatching each in-order reply
+    /// against its pending tag.
+    fn read_link(&mut self, addr: &str) {
+        let Some(link) = self.links.get_mut(addr) else {
+            return;
+        };
+        let LinkState::Up(up) = &mut link.state else {
+            return;
+        };
+        let mut buf = [0u8; 8192];
+        let mut dead = false;
+        let mut dispatches: Vec<(SendTag, Response, Instant)> = Vec::new();
+        loop {
+            match up.stream.read(&mut buf) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    up.decoder.extend(&buf[..n]);
+                    loop {
+                        match up.decoder.next_frame() {
+                            Ok(Some(body)) => {
+                                match (Response::decode(&body), up.pending.pop_front()) {
+                                    (Ok(resp), Some((tag, sent_at))) => {
+                                        dispatches.push((tag, resp, sent_at));
+                                    }
+                                    _ => {
+                                        // Undecodable reply or a reply we
+                                        // never asked for: the stream is
+                                        // not trustworthy.
+                                        dead = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                dead = true;
+                                break;
+                            }
+                        }
+                    }
+                    if dead {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        let stat = link.stat.clone();
+        for (tag, resp, sent_at) in dispatches {
+            if let Some(stat) = &stat {
+                stat.observe_rtt(sent_at.elapsed().as_micros().max(1) as u64);
+            }
+            self.dispatch_reply(addr, tag, resp);
+        }
+        if dead {
+            self.link_down(addr);
+        }
+    }
+
+    fn dispatch_reply(&self, addr: &str, tag: SendTag, resp: Response) {
+        match tag {
+            SendTag::ExecAlt { race_id, alt_idx } => match resp {
+                // The executor acks admission with a Text frame; any
+                // other reply (Overloaded, Error from an older build)
+                // means the alternative is not running there.
+                Response::Text { .. } => {}
+                _ => self.races.on_remote_refused(race_id, alt_idx),
+            },
+            SendTag::Vote { race_id } => match resp {
+                Response::Vote { granted, .. } => self.races.on_vote(race_id, addr, granted),
+                _ => self.races.on_vote(race_id, addr, false),
+            },
+            SendTag::Fire => {}
+        }
+    }
+
+    /// Writes as much buffered output as the socket takes.
+    fn flush_link(&mut self, addr: &str) {
+        let Some(link) = self.links.get_mut(addr) else {
+            return;
+        };
+        let LinkState::Up(up) = &mut link.state else {
+            return;
+        };
+        let mut dead = false;
+        while up.out_at < up.out.len() {
+            match up.stream.write(&up.out[up.out_at..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => up.out_at += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if up.out_at == up.out.len() {
+            up.out.clear();
+            up.out_at = 0;
+        }
+        if dead {
+            self.link_down(addr);
+        }
+    }
+
+    /// A link died: fail every pending tag, mark the peer down, and
+    /// convert its acked-but-unfinished alternatives to failed guards.
+    fn link_down(&mut self, addr: &str) {
+        let Some(link) = self.links.get_mut(addr) else {
+            return;
+        };
+        let pending = match std::mem::replace(&mut link.state, LinkState::Down) {
+            LinkState::Up(up) => up.pending,
+            LinkState::Down => VecDeque::new(),
+        };
+        if let Some(stat) = &link.stat {
+            stat.up.store(false, Ordering::Relaxed);
+        }
+        link.backoff = BACKOFF_INITIAL;
+        link.next_dial = Instant::now() + BACKOFF_INITIAL;
+        for (tag, _) in pending {
+            match tag {
+                SendTag::ExecAlt { race_id, alt_idx } => {
+                    self.races.on_remote_refused(race_id, alt_idx);
+                }
+                SendTag::Vote { race_id } => self.races.on_vote(race_id, addr, false),
+                SendTag::Fire => {}
+            }
+        }
+        self.races.on_peer_down(addr);
+    }
+
+    /// Expires overdue races and (periodically) old ledger slots.
+    fn sweep(&mut self, now: Instant) {
+        self.races.sweep(now);
+        if now.duration_since(self.last_sweep) >= SWEEP_EVERY {
+            self.ledger.sweep(LEDGER_TTL);
+            self.last_sweep = now;
+        }
+    }
+
+    /// Poll set: the wake pipe first, then one entry per *up* link.
+    fn poll_set(&self) -> (Vec<PollFd>, Vec<String>) {
+        let mut fds = Vec::with_capacity(1 + self.links.len());
+        let mut addrs = Vec::with_capacity(self.links.len());
+        fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
+        for (addr, link) in &self.links {
+            if let LinkState::Up(up) = &link.state {
+                let mut events = POLLIN;
+                if up.out_at < up.out.len() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(up.stream.as_raw_fd(), events));
+                addrs.push(addr.clone());
+            }
+        }
+        (fds, addrs)
+    }
+
+    /// Sleep no longer than the earliest due redial or race expiry.
+    fn poll_timeout_ms(&self, now: Instant) -> i32 {
+        let mut deadline: Option<Instant> = self.races.next_expiry();
+        for link in self.links.values() {
+            if matches!(link.state, LinkState::Down) && (link.configured || !link.queue.is_empty())
+            {
+                deadline = Some(deadline.map_or(link.next_dial, |d| d.min(link.next_dial)));
+            }
+        }
+        match deadline {
+            None => PEER_BACKSTOP_MS,
+            Some(d) => (d.saturating_duration_since(now).as_millis() as i32)
+                .saturating_add(1)
+                .clamp(1, PEER_BACKSTOP_MS),
+        }
+    }
+}
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let sockaddr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable peer"))?;
+    let stream = TcpStream::connect_timeout(&sockaddr, CONNECT_TIMEOUT)?;
+    stream.set_nonblocking(true)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// Appends one framed request (length prefix + body) to `out`.
+fn encode_onto(out: &mut Vec<u8>, req: &Request) {
+    let body = req.encode();
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(&body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_ewma_converges_and_never_zeroes() {
+        let stat = PeerStat::new("p:1".into());
+        assert_eq!(stat.rtt_ewma_us(), 0, "no sample yet");
+        stat.observe_rtt(1000);
+        assert_eq!(stat.rtt_ewma_us(), 1000, "first sample seeds the EWMA");
+        stat.observe_rtt(0);
+        assert!(stat.rtt_ewma_us() >= 1, "EWMA floors at 1µs");
+        for _ in 0..64 {
+            stat.observe_rtt(200);
+        }
+        let settled = stat.rtt_ewma_us();
+        assert!(
+            (195..=210).contains(&settled),
+            "settles near 200: {settled}"
+        );
+    }
+
+    #[test]
+    fn stats_table_tracks_liveness() {
+        let table = PeerStatsTable::new(&["a:1".into(), "b:2".into()]);
+        assert!(table.up_peers().is_empty());
+        assert_eq!(table.peers_up(), 0);
+        table
+            .by_addr("a:1")
+            .unwrap()
+            .up
+            .store(true, Ordering::Relaxed);
+        table.by_addr("a:1").unwrap().observe_rtt(300);
+        let up = table.up_peers();
+        assert_eq!(up, vec![("a:1".to_owned(), 300)]);
+        assert_eq!(table.peers_up(), 1);
+        assert!(table.by_addr("c:3").is_none());
+    }
+
+    #[test]
+    fn render_lists_every_configured_peer() {
+        let table = PeerStatsTable::new(&["x:1".into(), "y:2".into()]);
+        table.by_addr("x:1").unwrap().note_dispatched();
+        table.by_addr("x:1").unwrap().note_win();
+        let text = table.render();
+        assert!(text.contains("peer x:1"), "{text}");
+        assert!(text.contains("peer y:2"), "{text}");
+        assert!(text.contains("dispatched 1  wins 1"), "{text}");
+    }
+}

@@ -95,6 +95,7 @@ struct Shared {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
+    n_workers: usize,
 }
 
 /// How often the supervisor sweeps for dead workers.
@@ -127,6 +128,7 @@ impl WorkerPool {
         WorkerPool {
             shared,
             supervisor: Mutex::new(Some(supervisor)),
+            n_workers: workers,
         }
     }
 
@@ -178,6 +180,11 @@ impl WorkerPool {
     /// Jobs currently queued (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Worker threads the pool was sized for.
+    pub fn workers(&self) -> usize {
+        self.n_workers
     }
 
     /// The pool's failure counters, shareable with telemetry. The

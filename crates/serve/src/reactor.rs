@@ -48,12 +48,14 @@
 use crate::batch::{BatchKey, Batcher, Offered, Waiter};
 use crate::bufpool::BufPool;
 use crate::conn::Conn;
-use crate::frame::{Request, Response};
+use crate::frame::{FrameError, Request, Response, ALT_FAILED};
+use crate::peer::{PeerPlane, SendTag};
 use crate::pool::WorkerPool;
 use crate::sched::{render_catalog, HedgePolicy};
-use crate::server::run_race;
+use crate::server::{run_race, run_remote_alt, run_subrace};
 use crate::telemetry::{ShardStats, Telemetry};
 use crate::workload;
+use altx::CancelToken;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -63,8 +65,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-use sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLNVAL};
-pub(crate) use sys::{POLLIN, POLLOUT};
+pub(crate) use sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+use sys::{POLLERR, POLLHUP, POLLNVAL};
 
 /// The one unsafe corner: calling the C library's `poll(2)`. std links
 /// libc on every supported platform, so the extern declaration names a
@@ -143,7 +145,9 @@ pub(crate) struct ReactorShared {
 
 impl ReactorShared {
     /// Queues a completion and wakes the shard that owns the waiters.
-    fn post(&self, group: u64, response: Response) {
+    /// `pub(crate)` because the remote-race registry posts the final
+    /// response of a distributed race back to the owning shard.
+    pub(crate) fn post(&self, group: u64, response: Response) {
         self.completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -182,6 +186,8 @@ pub(crate) struct DaemonCtl {
     shards: OnceLock<Vec<Arc<ReactorShared>>>,
     /// The acceptor's wake pipe (sharded mode only).
     acceptor_wake: OnceLock<TcpStream>,
+    /// The peer-network thread's wake pipe, so it drains too.
+    peer_wake: OnceLock<TcpStream>,
 }
 
 impl DaemonCtl {
@@ -191,6 +197,7 @@ impl DaemonCtl {
             live_shards: AtomicUsize::new(shards),
             shards: OnceLock::new(),
             acceptor_wake: OnceLock::new(),
+            peer_wake: OnceLock::new(),
         }
     }
 
@@ -204,11 +211,19 @@ impl DaemonCtl {
         let _ = self.acceptor_wake.set(wake_tx);
     }
 
-    /// Flags shutdown and wakes the acceptor and every shard so they
-    /// notice promptly.
+    /// Wires the peer-network thread's wake pipe in (once, at startup).
+    pub(crate) fn wire_peer_wake(&self, wake_tx: TcpStream) {
+        let _ = self.peer_wake.set(wake_tx);
+    }
+
+    /// Flags shutdown and wakes the acceptor, the peer thread, and
+    /// every shard so they notice promptly.
     pub(crate) fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         if let Some(mut tx) = self.acceptor_wake.get() {
+            let _ = tx.write(&[1]);
+        }
+        if let Some(mut tx) = self.peer_wake.get() {
             let _ = tx.write(&[1]);
         }
         if let Some(shards) = self.shards.get() {
@@ -219,7 +234,7 @@ impl DaemonCtl {
     }
 
     /// The daemon is draining: no new connections, no new requests.
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
     }
 
@@ -277,9 +292,16 @@ pub(crate) struct Reactor {
     /// In-flight reply groups: group id → waiters owed the one reply.
     groups: HashMap<u64, Vec<Waiter>>,
     next_group: u64,
+    /// This shard's index — distributed races record it so the remote
+    /// registry can post the final response back to the right shard.
+    shard_idx: usize,
+    /// The peer plane: membership, remote-race registry, commit ledger,
+    /// executor-side inflight table, and the placement policy.
+    plane: Arc<PeerPlane>,
 }
 
 impl Reactor {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         listener: Option<TcpListener>,
         pool: Arc<WorkerPool>,
@@ -287,6 +309,8 @@ impl Reactor {
         sched: Arc<HedgePolicy>,
         batch_window: Duration,
         ctl: Arc<DaemonCtl>,
+        shard_idx: usize,
+        plane: Arc<PeerPlane>,
     ) -> io::Result<(Self, Arc<ReactorShared>, Arc<ShardStats>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
         let shared = Arc::new(ReactorShared {
@@ -312,6 +336,8 @@ impl Reactor {
                 next_conn: 0,
                 groups: HashMap::new(),
                 next_group: 0,
+                shard_idx,
+                plane,
             },
             shared,
             stats,
@@ -560,6 +586,21 @@ impl Reactor {
             None => return false,
         };
         match Request::decode(body) {
+            // An unknown opcode arrives in a well-formed frame: the
+            // stream is still in sync, so answer with a protocol ERROR
+            // and keep serving — old clients against new daemons (and
+            // vice versa) degrade per-request, not per-connection.
+            Err(FrameError::UnknownOpcode(op)) => {
+                self.telemetry.on_error();
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Error {
+                        message: format!("unknown request opcode 0x{op:02x}"),
+                    },
+                );
+                true
+            }
             Err(e) => {
                 self.telemetry.on_error();
                 self.fulfill(
@@ -616,6 +657,168 @@ impl Reactor {
                 self.submit_run(id, seq, workload, deadline_ms, arg);
                 true
             }
+            Ok(Request::ExecAlt {
+                race_id,
+                alt_idx,
+                deadline_ms,
+                arg,
+                workload,
+                origin,
+            }) => {
+                self.exec_alt(
+                    id,
+                    seq,
+                    race_id,
+                    alt_idx,
+                    deadline_ms,
+                    arg,
+                    workload,
+                    origin,
+                );
+                true
+            }
+            Ok(Request::AltResult {
+                race_id,
+                alt_idx,
+                status,
+                value,
+                latency_us,
+            }) => {
+                // An executor reporting back on a race this node
+                // originated. Ack first-class so the executor's link
+                // gets its RTT sample either way.
+                self.plane
+                    .races
+                    .on_remote_result(race_id, alt_idx, status, value, latency_us);
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Text {
+                        body: "ok\n".to_owned(),
+                    },
+                );
+                true
+            }
+            Ok(Request::CommitVote {
+                race_id,
+                origin,
+                candidate,
+            }) => {
+                let (granted, holder) = self.plane.ledger.vote(&origin, race_id, &candidate);
+                self.telemetry.on_commit_vote();
+                self.fulfill(id, seq, &Response::Vote { granted, holder });
+                true
+            }
+            Ok(Request::Eliminate { race_id, origin }) => {
+                let n = self.plane.inflight.eliminate(&origin, race_id);
+                self.telemetry.on_elimination();
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Text {
+                        body: format!("eliminated {n}\n"),
+                    },
+                );
+                true
+            }
+            Ok(Request::PeerStats) => {
+                let reply = Response::Text {
+                    body: self.plane.handle.stats().render(),
+                };
+                self.fulfill(id, seq, &reply);
+                true
+            }
+        }
+    }
+
+    /// Executor side of a shipped alternative: admission-control it
+    /// like any race, run exactly the named alternative, and fire the
+    /// outcome back at the origin over this node's own outbound link.
+    /// The immediate reply only acknowledges admission — `Text` for
+    /// admitted, `Overloaded` for refused — so the origin can convert a
+    /// refusal into a failed guard without waiting.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_alt(
+        &mut self,
+        id: u64,
+        seq: u64,
+        race_id: u64,
+        alt_idx: u32,
+        deadline_ms: u32,
+        arg: u64,
+        workload: String,
+        origin: String,
+    ) {
+        let Some(widx) = workload::index_of(&workload) else {
+            self.telemetry.on_error();
+            self.fulfill(id, seq, &Response::Overloaded);
+            return;
+        };
+        let token = if deadline_ms > 0 {
+            CancelToken::with_deadline(Duration::from_millis(u64::from(deadline_ms)))
+        } else {
+            CancelToken::new()
+        };
+        // Registered before submission so an ELIMINATE racing ahead of
+        // the worker pickup still lands on the token.
+        self.plane
+            .inflight
+            .register(&origin, race_id, alt_idx, token.clone());
+        let slot: Arc<Mutex<Option<(u8, u64, u64)>>> = Arc::new(Mutex::new(None));
+        let job = {
+            let slot = Arc::clone(&slot);
+            let telemetry = Arc::clone(&self.telemetry);
+            let token = token.clone();
+            Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_remote_alt(&telemetry, widx, alt_idx, arg, &token)
+                }))
+                .unwrap_or((ALT_FAILED, 0, 0));
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+            })
+        };
+        let notify = {
+            let plane = Arc::clone(&self.plane);
+            let origin = origin.clone();
+            Box::new(move || {
+                // An empty slot means the pool dropped the job unrun —
+                // report a failed guard rather than leave the origin to
+                // time the alternative out.
+                let (status, value, latency_us) = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .unwrap_or((ALT_FAILED, 0, 0));
+                plane.inflight.complete(&origin, race_id, alt_idx);
+                plane.handle.send(
+                    &origin,
+                    Request::AltResult {
+                        race_id,
+                        alt_idx,
+                        status,
+                        value,
+                        latency_us,
+                    },
+                    SendTag::Fire,
+                );
+            })
+        };
+        match self.pool.try_submit_notify(job, notify) {
+            Ok(()) => {
+                self.telemetry.on_remote_exec();
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Text {
+                        body: "ok\n".to_owned(),
+                    },
+                );
+            }
+            Err(_) => {
+                self.plane.inflight.complete(&origin, race_id, alt_idx);
+                self.telemetry.on_shed();
+                self.fulfill(id, seq, &Response::Overloaded);
+            }
         }
     }
 
@@ -649,8 +852,14 @@ impl Reactor {
     /// Submits one race on behalf of `waiters` (one waiter when direct,
     /// many when coalesced). The single response fans out to every
     /// waiter exactly once via the reply group — including worker-lost
-    /// and fault outcomes, which take the same path.
+    /// and fault outcomes, which take the same path. When the placement
+    /// policy elects to ship alternatives to peers the race goes
+    /// through the distributed path instead.
     fn submit_race(&mut self, waiters: Vec<Waiter>, key: BatchKey) {
+        if let Some(assign) = self.plan_remote(&key) {
+            self.submit_race_distributed(waiters, key, assign);
+            return;
+        }
         let group = self.next_group;
         self.next_group += 1;
         let slot: Arc<Mutex<Option<Response>>> = Arc::new(Mutex::new(None));
@@ -696,6 +905,141 @@ impl Reactor {
             }
             Err(_) => {
                 // Shed: every waiter gets its own Overloaded reply.
+                for (conn_id, seq) in waiters {
+                    self.telemetry.on_shed();
+                    self.fulfill(conn_id, seq, &Response::Overloaded);
+                }
+            }
+        }
+    }
+
+    /// Asks the placement policy whether any of this race's
+    /// alternatives should run on a peer. `None` — the overwhelmingly
+    /// common answer, and the only one when no peer is up — means the
+    /// race stays entirely local and pays nothing for the peer plane.
+    fn plan_remote(&self, key: &BatchKey) -> Option<Vec<Option<String>>> {
+        let spec = workload::CATALOG.get(key.widx)?;
+        let up = self.plane.handle.stats().up_peers();
+        if up.is_empty() {
+            return None;
+        }
+        // What actually crosses the wire per shipped alternative: the
+        // EXEC_ALT frame (fixed header + workload + origin strings).
+        let frame_bytes = (33 + spec.name.len() + self.plane.advertise.len()) as u64;
+        self.plane.placement.assign(
+            key.widx,
+            spec.alternatives(),
+            frame_bytes,
+            &up,
+            self.pool.queued(),
+            self.pool.workers(),
+            self.sched.catalog(),
+        )
+    }
+
+    /// The distributed submit path: register the race with the remote
+    /// registry *first* (an instant local finish must find it), then
+    /// submit the local subrace — every alternative not shipped — and
+    /// finally fire one EXEC_ALT per shipped alternative. The reply
+    /// group is answered exactly once by the registry's commit/fail
+    /// path, never directly by the worker.
+    fn submit_race_distributed(
+        &mut self,
+        waiters: Vec<Waiter>,
+        key: BatchKey,
+        assign: Vec<Option<String>>,
+    ) {
+        let group = self.next_group;
+        self.next_group += 1;
+        let token = if key.deadline_ms > 0 {
+            CancelToken::with_deadline(Duration::from_millis(u64::from(key.deadline_ms)))
+        } else {
+            CancelToken::new()
+        };
+        let remotes: Vec<(u32, String)> = assign
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.clone().map(|p| (i as u32, p)))
+            .collect();
+        // Voters are frozen at race creation: this node plus every peer
+        // currently up. A voter dying mid-race counts as a denial.
+        let voters: Vec<String> = self
+            .plane
+            .handle
+            .stats()
+            .up_peers()
+            .into_iter()
+            .map(|(addr, _)| addr)
+            .collect();
+        let race_id = self.plane.races.create(
+            self.shard_idx,
+            group,
+            key.widx,
+            key.deadline_ms,
+            token.clone(),
+            remotes.clone(),
+            voters,
+        );
+        let skip: Vec<bool> = assign.iter().map(Option::is_some).collect();
+        let slot: Arc<Mutex<Option<Response>>> = Arc::new(Mutex::new(None));
+        let job = {
+            let slot = Arc::clone(&slot);
+            let telemetry = Arc::clone(&self.telemetry);
+            let sched = Arc::clone(&self.sched);
+            Box::new(move || {
+                let reply = catch_unwind(AssertUnwindSafe(|| {
+                    run_subrace(&telemetry, &sched, key.widx, key.arg, &token, &skip)
+                }))
+                .unwrap_or_else(|_| {
+                    telemetry.on_error();
+                    Response::Error {
+                        message: "internal error: race panicked".to_owned(),
+                    }
+                });
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(reply);
+            })
+        };
+        // The local outcome feeds the registry, not the reply group:
+        // the registry answers the group once, at commit or failure.
+        let notify = {
+            let races = Arc::clone(&self.plane.races);
+            Box::new(move || {
+                let reply = slot
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .unwrap_or(Response::Error {
+                        message: "worker lost".to_owned(),
+                    });
+                races.on_local_done(race_id, reply);
+            })
+        };
+        match self.pool.try_submit_notify(job, notify) {
+            Ok(()) => {
+                self.telemetry.on_accepted();
+                self.groups.insert(group, waiters);
+                let spec = &workload::CATALOG[key.widx];
+                for (alt_idx, peer) in remotes {
+                    self.telemetry.on_remote_dispatched();
+                    if let Some(stat) = self.plane.handle.stats().by_addr(&peer) {
+                        stat.note_dispatched();
+                    }
+                    self.plane.handle.send(
+                        &peer,
+                        Request::ExecAlt {
+                            race_id,
+                            alt_idx,
+                            deadline_ms: key.deadline_ms,
+                            arg: key.arg,
+                            workload: spec.name.to_owned(),
+                            origin: self.plane.advertise.clone(),
+                        },
+                        SendTag::ExecAlt { race_id, alt_idx },
+                    );
+                }
+            }
+            Err(_) => {
+                self.plane.races.abort(race_id);
                 for (conn_id, seq) in waiters {
                     self.telemetry.on_shed();
                     self.fulfill(conn_id, seq, &Response::Overloaded);

@@ -1,0 +1,911 @@
+//! Origin-side registry of distributed races, and the executor-side
+//! table of remotely-owned alternatives.
+//!
+//! A *distributed race* is one client request whose alternatives run on
+//! more than one node: the local subrace (favourite plus whatever else
+//! stayed) races on this node's pool while shipped alternatives run on
+//! peers. [`RemoteRaces`] owns the origin's view: which alternatives
+//! are where, which peers vote, who finished first, and — through the
+//! majority 0–1 semaphore ([`crate::commit`]) — which single candidate
+//! commits. The final [`Response`] is posted to the owning reactor
+//! shard's completion queue exactly once, whichever of the many event
+//! orderings happens.
+//!
+//! Every public method follows the same discipline: lock the table,
+//! mutate, collect deferred [`Action`]s, unlock, act. Actions touch
+//! other locks (a shard's completion queue, the peer handle's command
+//! queue) so they must never run under the table lock.
+//!
+//! Failure conversions (the "graceful degradation" half of the issue):
+//!
+//! * a peer that refuses, errors, or dies converts its shipped
+//!   alternatives to failed guards — the race continues on survivors;
+//! * a voter that dies converts to a denial; if enough die that a
+//!   majority can never assemble, the commit **degrades**: the origin
+//!   answers the client anyway and counts `commits_degraded`, trading
+//!   the paper's blocking semantics for serving-grade liveness;
+//! * a race that outlives its deadline plus a grace window is expired
+//!   by the peer thread's sweep, so a silent peer cannot strand a
+//!   client even when TCP never reports the loss.
+
+use crate::commit::{CommitLedger, TallyState, VoteTally};
+use crate::frame::{Request, Response, ALT_DEADLINE, ALT_FAILED, ALT_OK};
+use crate::peer::{PeerHandle, SendTag};
+use crate::reactor::ReactorShared;
+use crate::sched::HedgePolicy;
+use crate::telemetry::Telemetry;
+use altx::CancelToken;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Extra time past the client deadline before a distributed race is
+/// force-expired (covers result frames in flight).
+const DEADLINE_GRACE: Duration = Duration::from_secs(1);
+/// Expiry cap for races with no client deadline.
+const UNBOUNDED_CAP: Duration = Duration::from_secs(10);
+
+/// One shipped alternative, tracked until its result (or its peer's
+/// death) arrives.
+#[derive(Debug)]
+struct RemoteAlt {
+    alt_idx: u32,
+    peer: String,
+    pending: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VoteState {
+    NotAsked,
+    Asked,
+    Done,
+}
+
+#[derive(Debug)]
+struct Voter {
+    addr: String,
+    state: VoteState,
+}
+
+/// The first finisher, held while its commit round runs.
+#[derive(Debug)]
+struct Candidate {
+    alt_idx: u32,
+    winner_name: String,
+    value: u64,
+    /// Executor-side latency — feeds the scheduler's EWMA (it estimates
+    /// the alternative's cost, not the network's).
+    exec_latency_us: u64,
+    /// `Some(addr)` when a peer executed the winner; `None` for local.
+    peer: Option<String>,
+}
+
+struct DistRace {
+    shard: usize,
+    group: u64,
+    widx: usize,
+    deadline_ms: u32,
+    started: Instant,
+    expire_at: Instant,
+    local_pending: bool,
+    local_cancel: CancelToken,
+    /// Any participant reported a blown deadline (picks the final
+    /// failure flavour when nothing succeeds).
+    deadline_seen: bool,
+    remotes: Vec<RemoteAlt>,
+    voters: Vec<Voter>,
+    tally: Option<VoteTally>,
+    candidate: Option<Candidate>,
+}
+
+/// Deferred side effects, executed strictly after the table unlocks.
+enum Action {
+    Post {
+        shard: usize,
+        group: u64,
+        response: Response,
+    },
+    SendVote {
+        peer: String,
+        race_id: u64,
+        candidate: String,
+    },
+    SendEliminate {
+        peer: String,
+        race_id: u64,
+    },
+    NoteWin {
+        peer: String,
+    },
+}
+
+/// The origin-side registry. One per daemon, shared by every reactor
+/// shard, the worker pool (through subrace notifiers), and the peer
+/// thread.
+pub(crate) struct RemoteRaces {
+    races: Mutex<HashMap<u64, DistRace>>,
+    next_id: AtomicU64,
+    shards: OnceLock<Vec<Arc<ReactorShared>>>,
+    peers: OnceLock<Arc<PeerHandle>>,
+    ledger: Arc<CommitLedger>,
+    telemetry: Arc<Telemetry>,
+    sched: Arc<HedgePolicy>,
+    advertise: String,
+}
+
+impl RemoteRaces {
+    pub(crate) fn new(
+        telemetry: Arc<Telemetry>,
+        sched: Arc<HedgePolicy>,
+        ledger: Arc<CommitLedger>,
+        advertise: String,
+    ) -> Self {
+        RemoteRaces {
+            races: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            shards: OnceLock::new(),
+            peers: OnceLock::new(),
+            ledger,
+            telemetry,
+            sched,
+            advertise,
+        }
+    }
+
+    /// Wires every shard's completion queue in (once, at startup).
+    pub(crate) fn wire_shards(&self, shards: Vec<Arc<ReactorShared>>) {
+        let _ = self.shards.set(shards);
+    }
+
+    /// Wires the peer send handle in (once, at startup).
+    pub(crate) fn wire_peers(&self, peers: Arc<PeerHandle>) {
+        let _ = self.peers.set(peers);
+    }
+
+    /// Registers a new distributed race **before** anything races:
+    /// the local subrace must be admitted and the `EXEC_ALT`s sent only
+    /// after the entry exists, or an instant finisher would report into
+    /// the void. `remotes` is `(alt_idx, peer)` per shipped
+    /// alternative; `voters` is the frozen voter set (up peers at
+    /// creation; self is implicit). Returns the race id.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn create(
+        &self,
+        shard: usize,
+        group: u64,
+        widx: usize,
+        deadline_ms: u32,
+        local_cancel: CancelToken,
+        remotes: Vec<(u32, String)>,
+        voters: Vec<String>,
+    ) -> u64 {
+        let race_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let expire_at = if deadline_ms > 0 {
+            started + Duration::from_millis(u64::from(deadline_ms)) + DEADLINE_GRACE
+        } else {
+            started + UNBOUNDED_CAP
+        };
+        let race = DistRace {
+            shard,
+            group,
+            widx,
+            deadline_ms,
+            started,
+            expire_at,
+            local_pending: true,
+            local_cancel,
+            deadline_seen: false,
+            remotes: remotes
+                .into_iter()
+                .map(|(alt_idx, peer)| RemoteAlt {
+                    alt_idx,
+                    peer,
+                    pending: true,
+                })
+                .collect(),
+            voters: voters
+                .into_iter()
+                .map(|addr| Voter {
+                    addr,
+                    state: VoteState::NotAsked,
+                })
+                .collect(),
+            tally: None,
+            candidate: None,
+        };
+        self.lock().insert(race_id, race);
+        race_id
+    }
+
+    /// Removes a race whose local subrace was *refused* by the pool —
+    /// nothing ran, nothing was sent, the waiters were answered inline.
+    pub(crate) fn abort(&self, race_id: u64) {
+        self.lock().remove(&race_id);
+    }
+
+    /// The local subrace finished (worker notifier context).
+    pub(crate) fn on_local_done(&self, race_id: u64, resp: Response) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let Some(race) = races.get_mut(&race_id) else {
+                return; // race already decided; late local result
+            };
+            race.local_pending = false;
+            match resp {
+                Response::Ok {
+                    winner,
+                    winner_name,
+                    latency_us,
+                    value,
+                } => {
+                    if race.candidate.is_none() {
+                        race.candidate = Some(Candidate {
+                            alt_idx: winner,
+                            winner_name,
+                            value,
+                            exec_latency_us: latency_us,
+                            peer: None,
+                        });
+                    }
+                }
+                Response::DeadlineExceeded { .. } => race.deadline_seen = true,
+                _ => {}
+            }
+            if self.resolve(race_id, race, &mut actions) {
+                races.remove(&race_id);
+            }
+        }
+        self.act(actions);
+    }
+
+    /// An `ALT_RESULT` arrived from the executor of a shipped
+    /// alternative.
+    pub(crate) fn on_remote_result(
+        &self,
+        race_id: u64,
+        alt_idx: u32,
+        status: u8,
+        value: u64,
+        latency_us: u64,
+    ) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let Some(race) = races.get_mut(&race_id) else {
+                return;
+            };
+            let Some(slot) = race
+                .remotes
+                .iter_mut()
+                .find(|r| r.alt_idx == alt_idx && r.pending)
+            else {
+                return; // duplicate or never-shipped: ignore
+            };
+            slot.pending = false;
+            let peer = slot.peer.clone();
+            self.telemetry.on_remote_result();
+            match status {
+                ALT_OK => {
+                    if race.candidate.is_none() {
+                        race.candidate = Some(Candidate {
+                            alt_idx,
+                            winner_name: format!("alt{alt_idx}"),
+                            value,
+                            exec_latency_us: latency_us,
+                            peer: Some(peer),
+                        });
+                    }
+                }
+                ALT_DEADLINE => race.deadline_seen = true,
+                ALT_FAILED => self.telemetry.on_remote_failed(),
+                _ => self.telemetry.on_remote_failed(),
+            }
+            if self.resolve(race_id, race, &mut actions) {
+                races.remove(&race_id);
+            }
+        }
+        self.act(actions);
+    }
+
+    /// A shipped alternative will never run: the peer refused it, the
+    /// link was down at send time, or it died before the ack.
+    pub(crate) fn on_remote_refused(&self, race_id: u64, alt_idx: u32) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let Some(race) = races.get_mut(&race_id) else {
+                return;
+            };
+            let Some(slot) = race
+                .remotes
+                .iter_mut()
+                .find(|r| r.alt_idx == alt_idx && r.pending)
+            else {
+                return;
+            };
+            slot.pending = false;
+            self.telemetry.on_remote_failed();
+            if self.resolve(race_id, race, &mut actions) {
+                races.remove(&race_id);
+            }
+        }
+        self.act(actions);
+    }
+
+    /// A vote reply (or its conversion to a denial when the voter died).
+    pub(crate) fn on_vote(&self, race_id: u64, voter: &str, granted: bool) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let Some(race) = races.get_mut(&race_id) else {
+                return;
+            };
+            let Some(v) = race
+                .voters
+                .iter_mut()
+                .find(|v| v.addr == voter && v.state == VoteState::Asked)
+            else {
+                return; // unknown voter or already counted
+            };
+            v.state = VoteState::Done;
+            if let Some(tally) = &mut race.tally {
+                if granted {
+                    tally.grant();
+                } else {
+                    tally.deny();
+                }
+            }
+            if self.resolve(race_id, race, &mut actions) {
+                races.remove(&race_id);
+            }
+        }
+        self.act(actions);
+    }
+
+    /// A peer link died: every alternative it had acked but not
+    /// finished becomes a failed guard. (Its unanswered votes are
+    /// denied separately, tag by tag, by the peer thread.)
+    pub(crate) fn on_peer_down(&self, peer: &str) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let ids: Vec<u64> = races.keys().copied().collect();
+            for race_id in ids {
+                let race = races.get_mut(&race_id).expect("id just listed");
+                let mut touched = false;
+                for slot in race
+                    .remotes
+                    .iter_mut()
+                    .filter(|r| r.pending && r.peer == peer)
+                {
+                    slot.pending = false;
+                    touched = true;
+                    self.telemetry.on_remote_failed();
+                }
+                if touched && self.resolve(race_id, race, &mut actions) {
+                    races.remove(&race_id);
+                }
+            }
+        }
+        self.act(actions);
+    }
+
+    /// Expires every race past its deadline-plus-grace: a candidate
+    /// stuck in voting commits degraded; a race with nothing decided
+    /// fails over to a deadline/error reply. This is the backstop that
+    /// keeps a silent peer from stranding a client.
+    pub(crate) fn sweep(&self, now: Instant) {
+        self.flush_where(|race| race.expire_at <= now);
+    }
+
+    /// Drain-time flush: every open race resolves *now* (degraded
+    /// commit or failure) so shutdown never strands a waiter.
+    pub(crate) fn shutdown_flush(&self) {
+        self.flush_where(|_| true);
+    }
+
+    fn flush_where(&self, pred: impl Fn(&DistRace) -> bool) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let ids: Vec<u64> = races
+                .iter()
+                .filter(|(_, r)| pred(r))
+                .map(|(&id, _)| id)
+                .collect();
+            for race_id in ids {
+                let race = races.get_mut(&race_id).expect("id just listed");
+                // Force a decision: outstanding work is abandoned.
+                race.local_cancel.cancel();
+                race.local_pending = false;
+                for slot in race.remotes.iter_mut().filter(|r| r.pending) {
+                    slot.pending = false;
+                    self.telemetry.on_remote_failed();
+                }
+                if race.deadline_ms > 0 {
+                    race.deadline_seen = true;
+                }
+                if race.candidate.is_some() {
+                    // Voting stalled (voters dead or drain): degrade.
+                    self.commit(race_id, race, true, &mut actions);
+                } else {
+                    self.fail(race, &mut actions);
+                }
+                races.remove(&race_id);
+            }
+        }
+        self.act(actions);
+    }
+
+    /// Earliest race expiry, for the peer thread's poll timeout.
+    pub(crate) fn next_expiry(&self) -> Option<Instant> {
+        self.lock().values().map(|r| r.expire_at).min()
+    }
+
+    /// Open distributed races (diagnostic/test hook).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, DistRace>> {
+        self.races.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Drives one race forward after any event. Returns `true` when the
+    /// race is finished and must be removed.
+    fn resolve(&self, race_id: u64, race: &mut DistRace, actions: &mut Vec<Action>) -> bool {
+        if race.candidate.is_none() {
+            if race.local_pending || race.remotes.iter().any(|r| r.pending) {
+                return false; // still racing
+            }
+            self.fail(race, actions);
+            return true;
+        }
+        if race.tally.is_none() {
+            self.begin_commit(race_id, race, actions);
+        }
+        match race.tally.expect("tally just ensured").state() {
+            TallyState::Undecided => false,
+            TallyState::Committed => {
+                self.commit(race_id, race, false, actions);
+                true
+            }
+            TallyState::Unreachable => {
+                self.commit(race_id, race, true, actions);
+                true
+            }
+        }
+    }
+
+    /// Opens the commit round for the first finisher: cast the origin's
+    /// own ledger vote, freeze the tally, ask every voter.
+    fn begin_commit(&self, race_id: u64, race: &mut DistRace, actions: &mut Vec<Action>) {
+        let cand = race.candidate.as_ref().expect("caller checked");
+        let cand_id = format!("{}/alt{}", self.advertise, cand.alt_idx);
+        let (granted, _) = self.ledger.vote(&self.advertise, race_id, &cand_id);
+        self.telemetry.on_commit_vote();
+        race.tally = Some(VoteTally::new(1 + race.voters.len(), granted));
+        for v in race.voters.iter_mut() {
+            v.state = VoteState::Asked;
+            actions.push(Action::SendVote {
+                peer: v.addr.clone(),
+                race_id,
+                candidate: cand_id.clone(),
+            });
+        }
+    }
+
+    /// The candidate commits (cleanly or degraded): answer the client,
+    /// eliminate surviving siblings on their peers, record the win.
+    fn commit(&self, race_id: u64, race: &mut DistRace, degraded: bool, actions: &mut Vec<Action>) {
+        let cand = race.candidate.take().expect("caller checked");
+        let total_us = race.started.elapsed().as_micros() as u64;
+        if degraded {
+            self.telemetry.on_commit_degraded();
+        }
+        self.telemetry.on_completed(total_us);
+        self.sched
+            .record_win(race.widx, cand.alt_idx as usize, cand.exec_latency_us);
+        if let Some(peer) = &cand.peer {
+            self.telemetry.on_remote_win();
+            actions.push(Action::NoteWin { peer: peer.clone() });
+        }
+        // Local siblings: cancel the subrace if it is still running.
+        if race.local_pending {
+            race.local_cancel.cancel();
+        }
+        // Remote siblings: one ELIMINATE per peer still owing a result.
+        let mut peers: Vec<String> = race
+            .remotes
+            .iter()
+            .filter(|r| r.pending)
+            .map(|r| r.peer.clone())
+            .collect();
+        peers.sort();
+        peers.dedup();
+        for peer in peers {
+            self.telemetry.on_elimination();
+            actions.push(Action::SendEliminate { peer, race_id });
+        }
+        actions.push(Action::Post {
+            shard: race.shard,
+            group: race.group,
+            response: Response::Ok {
+                winner: cand.alt_idx,
+                winner_name: cand.winner_name,
+                latency_us: total_us,
+                value: cand.value,
+            },
+        });
+    }
+
+    /// Nothing succeeded anywhere: answer with the failure flavour the
+    /// race observed.
+    fn fail(&self, race: &mut DistRace, actions: &mut Vec<Action>) {
+        let total_us = race.started.elapsed().as_micros() as u64;
+        let response = if race.deadline_seen {
+            self.telemetry.on_deadline_exceeded();
+            Response::DeadlineExceeded {
+                latency_us: total_us,
+            }
+        } else {
+            self.telemetry.on_error();
+            Response::Error {
+                message: "no alternative succeeded".to_owned(),
+            }
+        };
+        actions.push(Action::Post {
+            shard: race.shard,
+            group: race.group,
+            response,
+        });
+    }
+
+    /// Executes deferred side effects. Never called under the table
+    /// lock.
+    fn act(&self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Post {
+                    shard,
+                    group,
+                    response,
+                } => {
+                    if let Some(shards) = self.shards.get() {
+                        if let Some(s) = shards.get(shard) {
+                            s.post(group, response);
+                        }
+                    }
+                }
+                Action::SendVote {
+                    peer,
+                    race_id,
+                    candidate,
+                } => {
+                    if let Some(h) = self.peers.get() {
+                        h.send(
+                            &peer,
+                            Request::CommitVote {
+                                race_id,
+                                origin: self.advertise.clone(),
+                                candidate,
+                            },
+                            SendTag::Vote { race_id },
+                        );
+                    }
+                }
+                Action::SendEliminate { peer, race_id } => {
+                    if let Some(h) = self.peers.get() {
+                        h.send(
+                            &peer,
+                            Request::Eliminate {
+                                race_id,
+                                origin: self.advertise.clone(),
+                            },
+                            SendTag::Fire,
+                        );
+                    }
+                }
+                Action::NoteWin { peer } => {
+                    if let Some(h) = self.peers.get() {
+                        if let Some(stat) = h.stats().by_addr(&peer) {
+                            stat.note_win();
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executor-side table of remotely-owned alternatives, keyed by
+/// `(origin, race_id)` so two origins' id spaces can never collide.
+/// An `ELIMINATE` cancels every token registered under its key — the
+/// cross-machine half of sibling elimination.
+#[derive(Debug, Default)]
+pub(crate) struct InflightRemote {
+    map: Mutex<HashMap<(String, u64), Vec<(u32, CancelToken)>>>,
+}
+
+impl InflightRemote {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a shipped alternative's cancel token before its job is
+    /// admitted.
+    pub(crate) fn register(&self, origin: &str, race_id: u64, alt_idx: u32, token: CancelToken) {
+        self.lock()
+            .entry((origin.to_owned(), race_id))
+            .or_default()
+            .push((alt_idx, token));
+    }
+
+    /// Drops one alternative's registration after its result is sent.
+    pub(crate) fn complete(&self, origin: &str, race_id: u64, alt_idx: u32) {
+        let mut map = self.lock();
+        if let Some(slots) = map.get_mut(&(origin.to_owned(), race_id)) {
+            slots.retain(|(a, _)| *a != alt_idx);
+            if slots.is_empty() {
+                map.remove(&(origin.to_owned(), race_id));
+            }
+        }
+    }
+
+    /// Eliminates a race: cancels every alternative still registered
+    /// under `(origin, race_id)`. Returns how many were cancelled.
+    pub(crate) fn eliminate(&self, origin: &str, race_id: u64) -> usize {
+        match self.lock().remove(&(origin.to_owned(), race_id)) {
+            Some(slots) => {
+                for (_, token) in &slots {
+                    token.cancel();
+                }
+                slots.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Registered alternatives (test/diagnostic hook).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.lock().values().map(Vec::len).sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(String, u64), Vec<(u32, CancelToken)>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::HedgeConfig;
+
+    fn registry() -> RemoteRaces {
+        RemoteRaces::new(
+            Arc::new(Telemetry::new()),
+            Arc::new(HedgePolicy::new(HedgeConfig::default())),
+            Arc::new(CommitLedger::new()),
+            "origin:1".to_owned(),
+        )
+    }
+
+    fn ok(winner: u32, value: u64) -> Response {
+        Response::Ok {
+            winner,
+            winner_name: format!("alt{winner}"),
+            latency_us: 500,
+            value,
+        }
+    }
+
+    #[test]
+    fn local_win_with_no_voters_commits_immediately() {
+        let races = registry();
+        let id = races.create(
+            0,
+            7,
+            0,
+            0,
+            CancelToken::new(),
+            vec![(1, "peer:1".into())],
+            vec![],
+        );
+        races.on_local_done(id, ok(0, 42));
+        // Single-voter tally (self only) commits on the self-grant; the
+        // race is gone and the still-pending remote was eliminated.
+        assert_eq!(races.len(), 0);
+        assert_eq!(races.telemetry.snapshot().completed, 1);
+        assert_eq!(races.telemetry.snapshot().eliminations, 1);
+        assert_eq!(races.ledger.votes_granted(), 1);
+    }
+
+    #[test]
+    fn remote_result_wins_when_local_fails() {
+        let races = registry();
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            CancelToken::new(),
+            vec![(2, "peer:1".into())],
+            vec![],
+        );
+        races.on_local_done(
+            id,
+            Response::Error {
+                message: "guards failed".into(),
+            },
+        );
+        assert_eq!(races.len(), 1, "race waits for the shipped alternative");
+        races.on_remote_result(id, 2, ALT_OK, 99, 1_000);
+        assert_eq!(races.len(), 0);
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.remote_wins, 1);
+        assert_eq!(s.remote_results, 1);
+    }
+
+    #[test]
+    fn everything_failing_answers_once_with_the_deadline_flavour() {
+        let races = registry();
+        let id = races.create(
+            0,
+            1,
+            0,
+            50,
+            CancelToken::new(),
+            vec![(1, "a:1".into()), (2, "b:2".into())],
+            vec![],
+        );
+        races.on_remote_result(id, 1, ALT_FAILED, 0, 10);
+        races.on_local_done(id, Response::DeadlineExceeded { latency_us: 50_000 });
+        assert_eq!(races.len(), 1);
+        races.on_remote_result(id, 2, ALT_DEADLINE, 0, 50_000);
+        assert_eq!(races.len(), 0);
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.deadline_exceeded, 1, "deadline flavour wins");
+        assert_eq!(s.completed, 0);
+    }
+
+    #[test]
+    fn peer_death_converts_its_alternatives_to_failed_guards() {
+        let races = registry();
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            CancelToken::new(),
+            vec![(1, "dead:1".into()), (2, "alive:2".into())],
+            vec![],
+        );
+        races.on_local_done(
+            id,
+            Response::Error {
+                message: "guards failed".into(),
+            },
+        );
+        races.on_peer_down("dead:1");
+        assert_eq!(races.len(), 1, "the survivor's alternative still races");
+        assert_eq!(races.telemetry.snapshot().remote_failed, 1);
+        races.on_remote_result(id, 2, ALT_OK, 5, 100);
+        assert_eq!(races.len(), 0);
+        assert_eq!(races.telemetry.snapshot().remote_wins, 1);
+    }
+
+    #[test]
+    fn dead_voters_degrade_the_commit_instead_of_blocking() {
+        let races = registry();
+        let token = CancelToken::new();
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            token.clone(),
+            vec![],
+            vec!["v1:1".into(), "v2:2".into()],
+        );
+        races.on_local_done(id, ok(0, 7));
+        assert_eq!(races.len(), 1, "majority of 3 needs one peer grant");
+        races.on_vote(id, "v1:1", false);
+        assert_eq!(races.len(), 1, "one denial leaves the round undecided");
+        races.on_vote(id, "v2:2", false);
+        assert_eq!(races.len(), 0, "second denial makes majority unreachable");
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.commits_degraded, 1);
+        assert_eq!(s.completed, 1, "the client is answered regardless");
+    }
+
+    #[test]
+    fn majority_grant_commits_cleanly() {
+        let races = registry();
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            CancelToken::new(),
+            vec![],
+            vec!["v1:1".into(), "v2:2".into()],
+        );
+        races.on_local_done(id, ok(1, 3));
+        races.on_vote(id, "v1:1", true);
+        assert_eq!(races.len(), 0, "2 of 3 grants commit");
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.commits_degraded, 0);
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn duplicate_votes_are_ignored() {
+        let races = registry();
+        let id = races.create(0, 1, 0, 0, CancelToken::new(), vec![], vec!["v1:1".into()]);
+        races.on_local_done(id, ok(0, 1));
+        assert_eq!(races.len(), 1);
+        races.on_vote(id, "v1:1", false);
+        assert_eq!(races.len(), 0, "1 of 2 can never be a majority");
+        // Late duplicate for a removed race: no panic, no double post.
+        races.on_vote(id, "v1:1", true);
+    }
+
+    #[test]
+    fn sweep_expires_overdue_races() {
+        let races = registry();
+        let token = CancelToken::new();
+        let id = races.create(
+            0,
+            1,
+            0,
+            10,
+            token.clone(),
+            vec![(1, "silent:1".into())],
+            vec![],
+        );
+        assert!(races.next_expiry().is_some());
+        races.sweep(Instant::now()); // not yet due
+        assert_eq!(races.len(), 1);
+        races.sweep(Instant::now() + Duration::from_secs(60));
+        assert_eq!(races.len(), 0);
+        assert!(token.is_cancelled(), "expiry cancels the local subrace");
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.deadline_exceeded, 1, "deadline race expires as deadline");
+        let _ = id;
+    }
+
+    #[test]
+    fn shutdown_flush_degrades_a_race_stuck_in_voting() {
+        let races = registry();
+        let id = races.create(0, 1, 0, 0, CancelToken::new(), vec![], vec!["v:1".into()]);
+        races.on_local_done(id, ok(0, 9));
+        assert_eq!(races.len(), 1, "waiting on the voter");
+        races.shutdown_flush();
+        assert_eq!(races.len(), 0);
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.commits_degraded, 1);
+        assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn inflight_eliminate_cancels_every_registered_token() {
+        let inflight = InflightRemote::new();
+        let (t1, t2) = (CancelToken::new(), CancelToken::new());
+        inflight.register("o:1", 5, 0, t1.clone());
+        inflight.register("o:1", 5, 2, t2.clone());
+        inflight.register("o:2", 5, 0, CancelToken::new());
+        assert_eq!(inflight.len(), 3);
+        assert_eq!(inflight.eliminate("o:1", 5), 2);
+        assert!(t1.is_cancelled() && t2.is_cancelled());
+        assert_eq!(inflight.len(), 1, "other origin's race is untouched");
+        inflight.complete("o:2", 5, 0);
+        assert_eq!(inflight.len(), 0);
+        assert_eq!(inflight.eliminate("o:1", 99), 0, "unknown race is a no-op");
+    }
+}

@@ -26,13 +26,17 @@
 //! no request that was admitted goes unanswered, and no daemon thread
 //! outlives the drain.
 
-use crate::frame::Response;
+use crate::commit::CommitLedger;
+use crate::frame::{Response, ALT_DEADLINE, ALT_FAILED, ALT_OK};
+use crate::peer::{PeerConfig, PeerNet, PeerPlane, PeerStatsTable};
+use crate::placement::Placement;
 use crate::pool::WorkerPool;
 use crate::reactor::{run_acceptor, wake_pair, DaemonCtl, Reactor};
+use crate::remote::{InflightRemote, RemoteRaces};
 use crate::sched::{HedgeConfig, HedgePolicy};
 use crate::telemetry::Telemetry;
 use crate::workload;
-use altx::engine::ThreadedEngine;
+use altx::engine::{LaunchPlan, ThreadedEngine};
 use altx::CancelToken;
 use altx_pager::{AddressSpace, PageSize};
 use std::io;
@@ -60,6 +64,10 @@ pub struct ServerConfig {
     /// thread that deals accepted sockets round-robin to N independent
     /// event loops.
     pub shards: usize,
+    /// Cluster peering: peer addresses, exploration cadence, and the
+    /// advertised identity. Empty (the default) keeps the daemon
+    /// single-node — no placement, no outbound dials, no votes.
+    pub peer: PeerConfig,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +79,7 @@ impl Default for ServerConfig {
             batch_window: Duration::ZERO,
             hedge: HedgeConfig::default(),
             shards: 1,
+            peer: PeerConfig::default(),
         }
     }
 }
@@ -136,13 +145,49 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     telemetry.attach_catalog(Arc::clone(sched.catalog()));
     let ctl = Arc::new(DaemonCtl::new(n_shards));
 
+    // The peer plane exists even with no peers configured: this node
+    // may still be asked to *execute* shipped alternatives, and the
+    // results ride home over its own outbound (dial-on-demand) links.
+    // With an empty peer list the placement never ships, so the single-
+    // node request path is untouched beyond one idle thread.
+    let advertise = config
+        .peer
+        .advertise
+        .clone()
+        .unwrap_or_else(|| addr.to_string());
+    let peer_stats = Arc::new(PeerStatsTable::new(&config.peer.peers));
+    telemetry.attach_peers(Arc::clone(&peer_stats));
+    let ledger = Arc::new(CommitLedger::new());
+    let races = Arc::new(RemoteRaces::new(
+        Arc::clone(&telemetry),
+        Arc::clone(&sched),
+        Arc::clone(&ledger),
+        advertise.clone(),
+    ));
+    let (peernet, peer_handle) = PeerNet::new(
+        Arc::clone(&peer_stats),
+        Arc::clone(&races),
+        Arc::clone(&ledger),
+        Arc::clone(&ctl),
+    )?;
+    ctl.wire_peer_wake(peer_handle.clone_waker()?);
+    races.wire_peers(Arc::clone(&peer_handle));
+    let plane = Arc::new(PeerPlane {
+        handle: peer_handle,
+        races: Arc::clone(&races),
+        ledger,
+        inflight: Arc::new(InflightRemote::new()),
+        placement: Placement::new(config.peer.explore_every),
+        advertise,
+    });
+
     // Single shard: the reactor owns the listener and accepts directly
     // (no acceptor thread — the pre-sharding topology, byte for byte).
     // Sharded: reactors get `None` and adopt from their inboxes.
     let mut reactors = Vec::with_capacity(n_shards);
     let mut shareds = Vec::with_capacity(n_shards);
     let mut shard_stats = Vec::with_capacity(n_shards);
-    for _ in 0..n_shards {
+    for i in 0..n_shards {
         let own_listener = (n_shards == 1).then(|| listener.try_clone()).transpose()?;
         let (reactor, shared, stats) = Reactor::new(
             own_listener,
@@ -151,15 +196,24 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             Arc::clone(&sched),
             config.batch_window,
             Arc::clone(&ctl),
+            i,
+            Arc::clone(&plane),
         )?;
         reactors.push(reactor);
         shareds.push(shared);
         shard_stats.push(stats);
     }
     ctl.wire_shards(shareds.clone());
+    races.wire_shards(shareds.clone());
     telemetry.attach_shards(shard_stats);
 
-    let mut threads = Vec::with_capacity(n_shards + 1);
+    let mut threads = Vec::with_capacity(n_shards + 2);
+    threads.push(
+        std::thread::Builder::new()
+            .name("altxd-peernet".to_owned())
+            .spawn(move || peernet.run())
+            .expect("spawn peer thread"),
+    );
     if n_shards > 1 {
         let (wake_tx, wake_rx) = wake_pair()?;
         ctl.wire_acceptor(wake_tx);
@@ -267,5 +321,112 @@ pub(crate) fn run_race(
                 message: "no alternative succeeded".to_owned(),
             }
         }
+    }
+}
+
+/// Executes the *local leg* of a distributed race: every alternative
+/// the placement policy did not ship, raced under the shared cancel
+/// token so a remote commit eliminates it mid-flight.
+///
+/// Unlike [`run_race`] this records only engine-level costs (panics,
+/// suppressions, hedge launches). Race-outcome accounting — completed,
+/// win, deadline, error — belongs to the remote-race registry, which
+/// sees local and remote legs together and records each outcome exactly
+/// once at commit or failure.
+pub(crate) fn run_subrace(
+    telemetry: &Telemetry,
+    sched: &HedgePolicy,
+    widx: usize,
+    arg: u64,
+    token: &CancelToken,
+    skip: &[bool],
+) -> Response {
+    let spec = match workload::CATALOG.get(widx) {
+        Some(spec) => spec,
+        None => return Response::UnknownWorkload,
+    };
+    let n = spec.alternatives();
+    let (plan, prune) = sched.plan_pruned(widx, n);
+    // Shipped alternatives become local stubs exactly like scheduler-
+    // pruned ones; the placement policy never ships the favourite, so
+    // at least one real body always stays local.
+    let merged: Vec<bool> = (0..n)
+        .map(|i| {
+            skip.get(i).copied().unwrap_or(false)
+                || prune
+                    .as_deref()
+                    .is_some_and(|p| p.get(i).copied().unwrap_or(false))
+        })
+        .collect();
+    let block = match workload::build_pruned(spec.name, arg, Some(&merged)) {
+        Some(b) => b,
+        None => return Response::UnknownWorkload,
+    };
+    let mut workspace = AddressSpace::zeroed(4096, PageSize::K4);
+    let start = Instant::now();
+    let result = ThreadedEngine::new().execute_planned(&block, &mut workspace, token, &plan);
+    let latency_us = start.elapsed().as_micros() as u64;
+    telemetry.on_alt_panics(result.panics as u64);
+    telemetry.on_launches_suppressed(result.suppressed as u64);
+    telemetry.on_hedges_launched(plan.staggered().saturating_sub(result.suppressed) as u64);
+
+    match (result.winner, result.value) {
+        (Some(w), Some(value)) => {
+            let winner_name = result
+                .winner_name
+                .clone()
+                .unwrap_or_else(|| format!("alt{w}"));
+            Response::Ok {
+                winner: w as u32,
+                winner_name,
+                latency_us,
+                value,
+            }
+        }
+        _ if token.deadline_expired() => Response::DeadlineExceeded { latency_us },
+        _ => Response::Error {
+            message: "no alternative succeeded".to_owned(),
+        },
+    }
+}
+
+/// Executes one shipped alternative on behalf of a remote origin
+/// (worker context on the *executor* node): the named alternative runs
+/// alone — every sibling is a stub — under a token the origin's
+/// `ELIMINATE` can cancel. Returns `(status, value, latency_us)` for
+/// the `ALT_RESULT` frame.
+pub(crate) fn run_remote_alt(
+    telemetry: &Telemetry,
+    widx: usize,
+    alt_idx: u32,
+    arg: u64,
+    token: &CancelToken,
+) -> (u8, u64, u64) {
+    let Some(spec) = workload::CATALOG.get(widx) else {
+        return (ALT_FAILED, 0, 0);
+    };
+    let n = spec.alternatives();
+    let alt = alt_idx as usize;
+    if alt >= n {
+        return (ALT_FAILED, 0, 0);
+    }
+    let prune: Vec<bool> = (0..n).map(|i| i != alt).collect();
+    let Some(block) = workload::build_pruned(spec.name, arg, Some(&prune)) else {
+        return (ALT_FAILED, 0, 0);
+    };
+    let mut workspace = AddressSpace::zeroed(4096, PageSize::K4);
+    let start = Instant::now();
+    let result = ThreadedEngine::new().execute_planned(
+        &block,
+        &mut workspace,
+        token,
+        &LaunchPlan::immediate(n),
+    );
+    let latency_us = start.elapsed().as_micros() as u64;
+    telemetry.on_alt_panics(result.panics as u64);
+    match (result.winner, result.value) {
+        (Some(w), Some(value)) if w == alt => (ALT_OK, value, latency_us),
+        _ if token.deadline_expired() => (ALT_DEADLINE, 0, latency_us),
+        _ => (ALT_FAILED, 0, latency_us),
     }
 }

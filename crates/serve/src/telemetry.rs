@@ -17,6 +17,7 @@
 //! not what is reported.
 
 use crate::bufpool::BufPoolStats;
+use crate::peer::PeerStatsTable;
 use crate::pool::PoolStats;
 use crate::sched::CatalogStats;
 use std::collections::BTreeMap;
@@ -206,6 +207,24 @@ pub struct Telemetry {
     /// Alternatives whose bodies never ran because the race was decided
     /// first (hedges suppressed by a fast favourite).
     launches_suppressed: AtomicU64,
+    /// Alternatives shipped to peers (`EXEC_ALT` frames sent).
+    remote_dispatched: AtomicU64,
+    /// `ALT_RESULT` frames received back from executors.
+    remote_results: AtomicU64,
+    /// Races committed to a peer-executed alternative.
+    remote_wins: AtomicU64,
+    /// Shipped alternatives converted to failed guards (refused,
+    /// executor failure, or peer death).
+    remote_failed: AtomicU64,
+    /// `EXEC_ALT` requests this node admitted as an executor.
+    remote_execs: AtomicU64,
+    /// Commit-semaphore votes this node's ledger handled (its own
+    /// self-votes plus `COMMIT_VOTE` frames from peers).
+    commit_votes: AtomicU64,
+    /// Commits answered without a majority (enough voters died).
+    commits_degraded: AtomicU64,
+    /// `ELIMINATE` frames sent to cancel shipped siblings.
+    eliminations: AtomicU64,
     /// Latency of completed races.
     latency: LatencyHistogram,
     /// The scheduler's interned per-alternative statistics (win tallies
@@ -216,6 +235,8 @@ pub struct Telemetry {
     /// One [`ShardStats`] per reactor shard, attached once at startup;
     /// the front-end gauges in a [`Snapshot`] are sums over these.
     shards: OnceLock<Vec<Arc<ShardStats>>>,
+    /// Per-peer link counters, attached once at startup.
+    peers: OnceLock<Arc<PeerStatsTable>>,
 }
 
 /// A point-in-time copy of the counters, for rendering.
@@ -264,6 +285,26 @@ pub struct Snapshot {
     pub hedge_wins: u64,
     /// Alternative bodies suppressed by an early decision.
     pub launches_suppressed: u64,
+    /// Alternatives shipped to peers.
+    pub remote_dispatched: u64,
+    /// Result frames received back from executors.
+    pub remote_results: u64,
+    /// Races committed to a peer-executed alternative.
+    pub remote_wins: u64,
+    /// Shipped alternatives converted to failed guards.
+    pub remote_failed: u64,
+    /// `EXEC_ALT` requests this node admitted as an executor.
+    pub remote_execs: u64,
+    /// Commit-semaphore votes handled by this node's ledger.
+    pub commit_votes: u64,
+    /// Commits answered without a majority.
+    pub commits_degraded: u64,
+    /// `ELIMINATE` frames sent.
+    pub eliminations: u64,
+    /// Peer links currently up (gauge).
+    pub peers_up: u64,
+    /// Successful peer re-dials after the first connect, summed.
+    pub peer_reconnects: u64,
     /// Mean completed-race latency (µs).
     pub mean_us: f64,
     /// p50 estimate (µs).
@@ -347,6 +388,46 @@ impl Telemetry {
         }
     }
 
+    /// Counts one alternative shipped to a peer.
+    pub fn on_remote_dispatched(&self) {
+        self.remote_dispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `ALT_RESULT` received from an executor.
+    pub fn on_remote_result(&self) {
+        self.remote_results.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one race committed to a peer-executed alternative.
+    pub fn on_remote_win(&self) {
+        self.remote_wins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shipped alternative converted to a failed guard.
+    pub fn on_remote_failed(&self) {
+        self.remote_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `EXEC_ALT` this node admitted as an executor.
+    pub fn on_remote_exec(&self) {
+        self.remote_execs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one commit-semaphore vote handled by this node's ledger.
+    pub fn on_commit_vote(&self) {
+        self.commit_votes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one commit answered without a majority.
+    pub fn on_commit_degraded(&self) {
+        self.commits_degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `ELIMINATE` sent to cancel a shipped sibling.
+    pub fn on_elimination(&self) {
+        self.eliminations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Attaches the scheduler's interned statistics so win tallies
     /// appear in snapshots. Later calls are ignored.
     pub fn attach_catalog(&self, catalog: Arc<CatalogStats>) {
@@ -364,6 +445,17 @@ impl Telemetry {
     /// daemon's lifetime).
     pub fn attach_shards(&self, shards: Vec<Arc<ShardStats>>) {
         let _ = self.shards.set(shards);
+    }
+
+    /// Attaches the per-peer link counters. Later calls are ignored
+    /// (the configured peer set is fixed for the daemon's lifetime).
+    pub fn attach_peers(&self, peers: Arc<PeerStatsTable>) {
+        let _ = self.peers.set(peers);
+    }
+
+    /// The attached per-peer counters, if peering is wired.
+    pub fn peer_table(&self) -> Option<&Arc<PeerStatsTable>> {
+        self.peers.get()
     }
 
     /// The attached per-shard counters (empty before
@@ -397,6 +489,16 @@ impl Telemetry {
             hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
             hedge_wins: self.hedge_wins.load(Ordering::Relaxed),
             launches_suppressed: self.launches_suppressed.load(Ordering::Relaxed),
+            remote_dispatched: self.remote_dispatched.load(Ordering::Relaxed),
+            remote_results: self.remote_results.load(Ordering::Relaxed),
+            remote_wins: self.remote_wins.load(Ordering::Relaxed),
+            remote_failed: self.remote_failed.load(Ordering::Relaxed),
+            remote_execs: self.remote_execs.load(Ordering::Relaxed),
+            commit_votes: self.commit_votes.load(Ordering::Relaxed),
+            commits_degraded: self.commits_degraded.load(Ordering::Relaxed),
+            eliminations: self.eliminations.load(Ordering::Relaxed),
+            peers_up: self.peers.get().map_or(0, |p| p.peers_up()),
+            peer_reconnects: self.peers.get().map_or(0, |p| p.total_reconnects()),
             mean_us: self.latency.mean_us(),
             p50_us: self.latency.quantile_us(0.50),
             p99_us: self.latency.quantile_us(0.99),
@@ -442,6 +544,29 @@ impl Telemetry {
             "  launches suppressed {}\n",
             s.launches_suppressed
         ));
+        out.push_str(&format!("  remote dispatched   {}\n", s.remote_dispatched));
+        out.push_str(&format!("  remote results      {}\n", s.remote_results));
+        out.push_str(&format!("  remote wins         {}\n", s.remote_wins));
+        out.push_str(&format!("  remote failed       {}\n", s.remote_failed));
+        out.push_str(&format!("  remote execs        {}\n", s.remote_execs));
+        out.push_str(&format!("  commit votes        {}\n", s.commit_votes));
+        out.push_str(&format!("  commits degraded    {}\n", s.commits_degraded));
+        out.push_str(&format!("  eliminations sent   {}\n", s.eliminations));
+        out.push_str(&format!("  peers up            {}\n", s.peers_up));
+        out.push_str(&format!("  peer reconnects     {}\n", s.peer_reconnects));
+        if let Some(peers) = self.peers.get() {
+            for p in peers.peers() {
+                out.push_str(&format!(
+                    "    peer {}: up {} rtt_us {} dispatched {} wins {} reconnects {}\n",
+                    p.addr(),
+                    u8::from(p.up()),
+                    p.rtt_ewma_us(),
+                    p.dispatched(),
+                    p.wins(),
+                    p.reconnects()
+                ));
+            }
+        }
         out.push_str(&format!(
             "  latency us          mean {:.1}  p50 {}  p99 {}\n",
             s.mean_us, s.p50_us, s.p99_us
@@ -553,6 +678,54 @@ impl Telemetry {
             "Alternative bodies suppressed by an early race decision",
             s.launches_suppressed,
         );
+        counter(
+            &mut out,
+            "altxd_remote_dispatched_total",
+            "Alternatives shipped to peer nodes",
+            s.remote_dispatched,
+        );
+        counter(
+            &mut out,
+            "altxd_remote_results_total",
+            "Result frames received back from executors",
+            s.remote_results,
+        );
+        counter(
+            &mut out,
+            "altxd_remote_wins_total",
+            "Races committed to a peer-executed alternative",
+            s.remote_wins,
+        );
+        counter(
+            &mut out,
+            "altxd_remote_failed_total",
+            "Shipped alternatives converted to failed guards",
+            s.remote_failed,
+        );
+        counter(
+            &mut out,
+            "altxd_remote_execs_total",
+            "EXEC_ALT requests admitted as an executor",
+            s.remote_execs,
+        );
+        counter(
+            &mut out,
+            "altxd_commit_votes_total",
+            "Commit-semaphore votes handled by the ledger",
+            s.commit_votes,
+        );
+        counter(
+            &mut out,
+            "altxd_commits_degraded_total",
+            "Commits answered without an assembled majority",
+            s.commits_degraded,
+        );
+        counter(
+            &mut out,
+            "altxd_eliminations_total",
+            "ELIMINATE frames sent to cancel shipped siblings",
+            s.eliminations,
+        );
         let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
             out.push_str(&format!(
                 "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
@@ -595,6 +768,36 @@ impl Telemetry {
                 "altxd_shard_conns_open{{shard=\"{i}\"}} {}\n",
                 shard.conns_open()
             ));
+        }
+
+        if let Some(peers) = self.peers.get() {
+            out.push_str("# HELP altxd_peer_up Peer link liveness (1 = connected)\n");
+            out.push_str("# TYPE altxd_peer_up gauge\n");
+            for p in peers.peers() {
+                out.push_str(&format!(
+                    "altxd_peer_up{{peer=\"{}\"}} {}\n",
+                    p.addr(),
+                    u8::from(p.up())
+                ));
+            }
+            out.push_str("# HELP altxd_peer_rtt_us Peer round-trip EWMA in microseconds\n");
+            out.push_str("# TYPE altxd_peer_rtt_us gauge\n");
+            for p in peers.peers() {
+                out.push_str(&format!(
+                    "altxd_peer_rtt_us{{peer=\"{}\"}} {}\n",
+                    p.addr(),
+                    p.rtt_ewma_us()
+                ));
+            }
+            out.push_str("# HELP altxd_peer_reconnects_total Successful re-dials, per peer\n");
+            out.push_str("# TYPE altxd_peer_reconnects_total counter\n");
+            for p in peers.peers() {
+                out.push_str(&format!(
+                    "altxd_peer_reconnects_total{{peer=\"{}\"}} {}\n",
+                    p.addr(),
+                    p.reconnects()
+                ));
+            }
         }
 
         out.push_str("# HELP altxd_race_latency_us Completed-race latency in microseconds\n");

@@ -7,15 +7,43 @@ use altx_serve::frame::{
 };
 
 fn arb_request(rng: &mut CaseRng) -> Request {
-    match rng.usize_in(0, 4) {
+    let name = |r: &mut CaseRng, lo: usize, hi: usize| {
+        String::from_utf8(r.vec(lo, hi, |r| b'a' + (r.u8() % 26))).expect("ascii")
+    };
+    match rng.usize_in(0, 9) {
         0 => Request::Run {
-            workload: String::from_utf8(rng.vec(0, 40, |r| b'a' + (r.u8() % 26))).expect("ascii"),
+            workload: name(rng, 0, 40),
             deadline_ms: rng.u64_in(0, u32::MAX as u64 + 1) as u32,
             arg: rng.u64(),
         },
         1 => Request::Stats,
         2 => Request::Prometheus,
-        _ => Request::Shutdown,
+        3 => Request::Shutdown,
+        4 => Request::ExecAlt {
+            race_id: rng.u64(),
+            alt_idx: rng.u64_in(0, 1 << 32) as u32,
+            deadline_ms: rng.u64_in(0, u32::MAX as u64 + 1) as u32,
+            arg: rng.u64(),
+            workload: name(rng, 0, 40),
+            origin: name(rng, 0, 40),
+        },
+        5 => Request::AltResult {
+            race_id: rng.u64(),
+            alt_idx: rng.u64_in(0, 1 << 32) as u32,
+            status: rng.u64_in(0, 3) as u8, // ALT_OK..=ALT_DEADLINE
+            value: rng.u64(),
+            latency_us: rng.u64(),
+        },
+        6 => Request::CommitVote {
+            race_id: rng.u64(),
+            origin: name(rng, 0, 40),
+            candidate: name(rng, 0, 60),
+        },
+        7 => Request::Eliminate {
+            race_id: rng.u64(),
+            origin: name(rng, 0, 40),
+        },
+        _ => Request::PeerStats,
     }
 }
 
@@ -23,7 +51,7 @@ fn arb_response(rng: &mut CaseRng) -> Response {
     let text = |r: &mut CaseRng, lo: usize, hi: usize| {
         String::from_utf8(r.vec(lo, hi, |r| b' ' + (r.u8() % 95))).expect("ascii")
     };
-    match rng.usize_in(0, 6) {
+    match rng.usize_in(0, 7) {
         0 => Response::Ok {
             winner: rng.u64_in(0, 1 << 32) as u32,
             winner_name: text(rng, 0, 30),
@@ -37,6 +65,10 @@ fn arb_response(rng: &mut CaseRng) -> Response {
         3 => Response::UnknownWorkload,
         4 => Response::Error {
             message: text(rng, 0, 120),
+        },
+        5 => Response::Vote {
+            granted: rng.u64_in(0, 2) == 1,
+            holder: text(rng, 0, 60),
         },
         _ => Response::Text {
             body: text(rng, 0, 400),
@@ -225,6 +257,23 @@ fn incremental_decoder_rejects_oversize_and_truncation() {
         match decoder.finish() {
             Err(FrameError::Truncated) => {}
             other => panic!("EOF after {cut}/{} bytes gave {other:?}", wire.len()),
+        }
+    });
+}
+
+/// An opcode byte outside the protocol maps to `UnknownOpcode` — the
+/// distinguished, stream-preserving error — never to `Malformed`, and
+/// never to a bogus parse.
+#[test]
+fn unknown_opcodes_distinguished_from_malformed() {
+    check("unknown_opcodes_distinguished", 128, |rng| {
+        // 0x01..=0x0A are assigned; everything above is free.
+        let op = rng.u64_in(0x0B, 0x100) as u8;
+        let mut body = vec![op];
+        body.extend(rng.bytes(0, 32));
+        match Request::decode(&body) {
+            Err(FrameError::UnknownOpcode(got)) => assert_eq!(got, op),
+            other => panic!("opcode 0x{op:02x} gave {other:?}"),
         }
     });
 }

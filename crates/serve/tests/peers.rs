@@ -1,0 +1,223 @@
+//! Cluster peering end-to-end: two real daemons racing alternatives
+//! across the wire, plus a byte-level fake peer for failure injection.
+//!
+//! The mesh under test is deliberately asymmetric: node A runs with no
+//! peers configured (pure executor role — its outbound links are dialed
+//! on demand to ship results home), node B lists A as a peer and is
+//! forced to explore (`explore_every = 1`) so every race ships one
+//! non-favourite alternative. That exercises both roles of every node
+//! without waiting for the transfer model to warm up.
+
+use altx_serve::frame::{read_frame, write_frame, Request, Response};
+use altx_serve::server::{start, ServerConfig, ServerHandle};
+use altx_serve::{Client, PeerConfig};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+/// Serialize the servers in this file: each opens real sockets and
+/// spawns pools; overlapping them makes timing assertions flaky.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn node(peers: Vec<String>, explore_every: u64) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        queue_depth: 32,
+        peer: PeerConfig {
+            peers,
+            explore_every,
+            advertise: None,
+        },
+        ..ServerConfig::default()
+    })
+    .expect("start node")
+}
+
+/// Polls until `cond(snapshot)` holds or the deadline passes.
+fn wait_for(
+    handle: &ServerHandle,
+    what: &str,
+    cond: impl Fn(&altx_serve::telemetry::Snapshot) -> bool,
+) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if cond(&handle.telemetry().snapshot()) {
+            return;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A two-node mesh where B ships one alternative of every race to A:
+/// with a heavy-tailed workload some shipped draws beat the local
+/// favourite, so remote dispatch, results, majority commits, and
+/// remote wins all happen over real sockets.
+#[test]
+fn remote_alternatives_win_races_across_the_mesh() {
+    let _guard = serial();
+    let a = node(Vec::new(), 16);
+    let b = node(vec![a.local_addr().to_string()], 1);
+    wait_for(&b, "B's link to A to come up", |s| s.peers_up == 1);
+
+    let mut client = Client::connect(b.local_addr()).expect("connect B");
+    let mut ok = 0u64;
+    for arg in 0..200u64 {
+        match client.run("lognormal", arg, 0).expect("reply") {
+            Response::Ok { .. } => ok += 1,
+            Response::Overloaded => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert!(ok > 0, "no race completed");
+
+    let sb = b.telemetry().snapshot();
+    assert!(sb.remote_dispatched > 0, "B never shipped an alternative");
+    assert!(sb.remote_results > 0, "no remote result ever came home");
+    assert!(
+        sb.remote_wins > 0,
+        "200 heavy-tailed races and the remote leg never won once \
+         (dispatched {}, results {})",
+        sb.remote_dispatched,
+        sb.remote_results
+    );
+    let sa = a.telemetry().snapshot();
+    assert!(
+        sa.remote_execs > 0,
+        "A never executed a shipped alternative"
+    );
+    assert!(
+        sa.commit_votes > 0,
+        "B committed winners without ever asking A for a vote"
+    );
+
+    // The per-peer table is visible over the wire on both nodes.
+    let page = client.peer_stats().expect("peer stats page");
+    assert!(page.contains(&a.local_addr().to_string()), "{page}");
+
+    b.shutdown();
+    a.shutdown();
+}
+
+/// On an instant workload the local favourite always beats the shipped
+/// alternative's round trip: dispatches happen (exploration), wins do
+/// not, and every request is still answered exactly once.
+#[test]
+fn remote_losses_never_block_or_double_answer() {
+    let _guard = serial();
+    let a = node(Vec::new(), 16);
+    let b = node(vec![a.local_addr().to_string()], 1);
+    wait_for(&b, "B's link to A to come up", |s| s.peers_up == 1);
+
+    let mut client = Client::connect(b.local_addr()).expect("connect B");
+    // Warm both nodes first: engine thread spawn, the result link A
+    // dials back to B, and the pool's first wakeups all land in these
+    // races, and a cold local leg *can* lose to the wire once or twice.
+    for arg in 0..30u64 {
+        client.run("trivial", arg, 0).expect("warmup reply");
+    }
+    let before = b.telemetry().snapshot();
+    for arg in 0..100u64 {
+        match client.run("trivial", arg, 0).expect("reply") {
+            Response::Ok { value, .. } => assert_eq!(value, arg),
+            Response::Overloaded => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    let sb = b.telemetry().snapshot();
+    let dispatched = sb.remote_dispatched - before.remote_dispatched;
+    let wins = sb.remote_wins - before.remote_wins;
+    assert!(dispatched > 0, "exploration never shipped");
+    // Once warm, an instant local favourite beats a network round trip
+    // essentially always; a stray scheduler preemption is tolerated.
+    assert!(
+        wins * 20 <= dispatched,
+        "instant local favourites kept losing to the wire: \
+         {wins} remote wins in {dispatched} dispatches"
+    );
+    b.shutdown();
+    a.shutdown();
+}
+
+/// A peer that dies mid-race: a byte-level fake acks admission for one
+/// shipped alternative, never reports a result, and drops the link.
+/// The origin must convert the orphan into a failed guard, commit the
+/// local winner *degraded* (its only co-voter is gone — no majority),
+/// answer the client exactly once, and keep serving with the peer down.
+#[test]
+fn peer_death_mid_race_degrades_and_answers_exactly_once() {
+    let _guard = serial();
+
+    // The fake peer: accept the origin's link, ack the first EXEC_ALT
+    // as admitted, then vanish without ever sending ALT_RESULT.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fake peer");
+    let fake_addr = listener.local_addr().expect("fake addr");
+    let fake = std::thread::spawn(move || {
+        let (mut conn, _) = listener.accept().expect("origin dials in");
+        loop {
+            let Ok(Some(body)) = read_frame(&mut conn) else {
+                return; // origin gone first
+            };
+            match Request::decode(&body) {
+                Ok(Request::ExecAlt { .. }) => {
+                    let ack = Response::Text {
+                        body: "ok\n".to_owned(),
+                    };
+                    let _ = write_frame(&mut conn, &ack.encode());
+                    return; // die with the alternative still pending
+                }
+                _ => {
+                    // Pre-race traffic (e.g. nothing today) — ack and
+                    // keep reading until the EXEC_ALT arrives.
+                    let ack = Response::Text {
+                        body: "ok\n".to_owned(),
+                    };
+                    let _ = write_frame(&mut conn, &ack.encode());
+                }
+            }
+        }
+    });
+
+    let origin = node(vec![fake_addr.to_string()], 1);
+    wait_for(&origin, "link to the fake peer", |s| s.peers_up == 1);
+
+    let mut client = Client::connect(origin.local_addr()).expect("connect origin");
+    // One race with the doomed peer in it. The local leg always has
+    // the favourite, so the race can finish without the orphan.
+    match client.run("lognormal", 7, 0).expect("exactly one reply") {
+        Response::Ok { .. } => {}
+        other => panic!("race with a dead peer must still succeed: {other:?}"),
+    }
+
+    // The orphan is converted, the commit is degraded (1 of 2 voters),
+    // and nothing about it reaches the client twice.
+    wait_for(&origin, "degraded commit accounting", |s| {
+        s.commits_degraded >= 1
+    });
+    let s = origin.telemetry().snapshot();
+    assert!(
+        s.remote_dispatched >= 1,
+        "the alternative was never shipped"
+    );
+    assert_eq!(s.remote_wins, 0, "the fake peer never reported a result");
+
+    // The peer is now down; later races run purely locally and answer.
+    wait_for(&origin, "link death detection", |s| s.peers_up == 0);
+    for arg in 0..20u64 {
+        match client
+            .run("trivial", arg, 0)
+            .expect("reply after peer death")
+        {
+            Response::Ok { value, .. } => assert_eq!(value, arg),
+            Response::Overloaded => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    fake.join().expect("fake peer thread");
+    origin.shutdown();
+}

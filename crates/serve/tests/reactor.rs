@@ -242,10 +242,11 @@ fn protocol_error_replies_in_order_then_closes() {
         .expect("timeout");
 
     write_frame(&mut stream, &run_req("sleep", 60, 0).encode()).expect("send sleep");
-    // A well-framed but malformed body: unknown opcode 0xEE.
+    // A well-framed but malformed body: a RUN frame truncated to its
+    // opcode byte alone (no workload, no deadline, no arg).
     stream
         .write_all(&1u32.to_be_bytes())
-        .and_then(|_| stream.write_all(&[0xEE]))
+        .and_then(|_| stream.write_all(&[0x01]))
         .expect("write garbage frame");
 
     let first = read_frame(&mut stream)
@@ -266,6 +267,47 @@ fn protocol_error_replies_in_order_then_closes() {
     match read_frame(&mut stream) {
         Ok(None) | Err(_) => {}
         Ok(Some(extra)) => panic!("connection must close, got another frame: {extra:?}"),
+    }
+    server.shutdown();
+}
+
+/// An *unknown opcode* in a well-formed frame is a per-request error,
+/// not a connection-level one: the stream is still in sync, so the
+/// daemon answers with a protocol ERROR and keeps serving — later
+/// requests on the same connection still work.
+#[test]
+fn unknown_opcode_replies_error_and_keeps_connection() {
+    use altx_serve::frame::{read_frame, write_frame};
+    use std::io::Write;
+
+    let _guard = serial();
+    let server = local_server(2, 16);
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+
+    // A well-framed body with an opcode this daemon has never heard of.
+    stream
+        .write_all(&1u32.to_be_bytes())
+        .and_then(|_| stream.write_all(&[0xEE]))
+        .expect("write unknown opcode frame");
+    let first = read_frame(&mut stream).expect("read").expect("error reply");
+    match Response::decode(&first).expect("decode") {
+        Response::Error { message } => {
+            assert!(message.contains("unknown request opcode 0xee"), "{message}")
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // The connection survived: a real request on it still races.
+    write_frame(&mut stream, &run_req("trivial", 5, 0).encode()).expect("send run");
+    let second = read_frame(&mut stream)
+        .expect("read")
+        .expect("race reply after the error");
+    match Response::decode(&second).expect("decode") {
+        Response::Ok { value, .. } => assert_eq!(value, 5),
+        other => panic!("expected Ok after unknown opcode, got {other:?}"),
     }
     server.shutdown();
 }

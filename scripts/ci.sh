@@ -145,4 +145,60 @@ echo "idle smoke: daemon threads=$THREADS with conns_open=$CONNS"
 rm -f "$IDLE_OUT"
 trap - EXIT
 
+echo "==> cluster smoke: 3-node mesh, one peer SIGKILLed mid-run"
+C1=127.0.0.1:7991
+C2=127.0.0.1:7992
+C3=127.0.0.1:7993
+CL_OUT1=$(mktemp /tmp/altx-cluster1.XXXXXX.json)
+CL_OUT2=$(mktemp /tmp/altx-cluster2.XXXXXX.json)
+# Full mesh, aggressive exploration so remote dispatch happens from the
+# first seconds. The daemons run until killed; the victim gets SIGKILL
+# mid-run — no drain, no goodbye, exactly the failure being tested.
+./target/release/altxd --addr "$C1" --workers 2 \
+    --peer "$C2" --peer "$C3" --peer-explore-every 2 &
+CL_PID1=$!
+./target/release/altxd --addr "$C2" --workers 2 \
+    --peer "$C1" --peer "$C3" --peer-explore-every 2 &
+CL_PID2=$!
+./target/release/altxd --addr "$C3" --workers 2 \
+    --peer "$C1" --peer "$C2" --peer-explore-every 2 &
+CL_PID3=$!
+trap 'kill -9 "$CL_PID1" "$CL_PID2" "$CL_PID3" 2>/dev/null || true; rm -f "$CL_OUT1" "$CL_OUT2"' EXIT
+sleep 0.5
+# Mixed load on the two survivors-to-be. The closed loop is itself the
+# liveness assertion: a request stranded by the dead peer would hang a
+# client and fail the run; a bounded deadline caps how long any one
+# race may take instead.
+./target/release/altx-load --addr "$C1" --workload lognormal --clients 4 \
+    --deadline-ms 2000 --duration 6 --peers "$C2,$C3" --out "$CL_OUT1" &
+CL_LOAD1=$!
+./target/release/altx-load --addr "$C2" --workload trivial --clients 4 \
+    --deadline-ms 2000 --duration 6 --peers "$C1,$C3" --out "$CL_OUT2" &
+CL_LOAD2=$!
+sleep 2
+kill -9 "$CL_PID3"
+wait "$CL_LOAD1"
+wait "$CL_LOAD2"
+jcount() {
+    grep -o "\"$2\": *[0-9]*" "$1" | grep -o '[0-9]*$'
+}
+W1=$(jcount "$CL_OUT1" remote_wins)
+W2=$(jcount "$CL_OUT2" remote_wins)
+D1=$(jcount "$CL_OUT1" remote_dispatched)
+D2=$(jcount "$CL_OUT2" remote_dispatched)
+echo "cluster smoke: remote_dispatched=$((D1 + D2)) remote_wins=$((W1 + W2)) (survivor sums)"
+[ $((D1 + D2)) -gt 0 ] || {
+    echo "cluster smoke: no alternative was ever shipped to a peer" >&2
+    exit 1
+}
+[ $((W1 + W2)) -gt 0 ] || {
+    echo "cluster smoke: survivors never won a race remotely" >&2
+    exit 1
+}
+kill -9 "$CL_PID1" "$CL_PID2" 2>/dev/null || true
+wait "$CL_PID1" 2>/dev/null || true
+wait "$CL_PID2" 2>/dev/null || true
+rm -f "$CL_OUT1" "$CL_OUT2"
+trap - EXIT
+
 echo "==> CI gate passed"
