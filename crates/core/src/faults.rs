@@ -19,6 +19,17 @@
 //! | `engine.alt.<name>` | `ThreadedEngine`, per alternative | panic, delay, cancel, fail |
 //! | `pool.job` | `WorkerPool`, per job | panic, delay, fail |
 //! | `pool.worker` | `WorkerPool`, per queue pop | panic (kills the thread) |
+//! | `peer.link.<addr>.send` | `PeerNet`, per outbound frame | drop, delay, duplicate, truncate, partition |
+//! | `peer.link.<addr>.recv` | `PeerNet`, per inbound frame | drop, delay, duplicate, truncate, partition |
+//!
+//! The `peer.link.*` sites speak the separate [`NetFault`] vocabulary —
+//! wire-level failures rather than process-level ones — drawn from the
+//! same seeded per-site streams via [`FaultPlan::decide_net`]. A test
+//! can also impose a *timed one-way partition* by hand with
+//! [`FaultPlan::partition`] / [`FaultPlan::heal`]: every visit of the
+//! named site drops until healed, which is how the cluster soak models
+//! a link that silently eats traffic in one direction and then comes
+//! back.
 //!
 //! A plan is installed process-globally with [`install`] and removed
 //! with [`clear`]. With no plan installed, [`inject`] is a single
@@ -62,6 +73,103 @@ impl Fault {
     }
 }
 
+/// One injected *network* fault at a `peer.link.*` site.
+///
+/// These model the wire, not the process: a frame that never leaves,
+/// arrives twice, arrives cut short, or a direction of a link that
+/// silently eats everything for a while.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The frame is lost: on send it never reaches the wire, on recv it
+    /// is consumed without being delivered to the protocol layer.
+    Drop,
+    /// The frame is stalled for the carried duration before proceeding.
+    Delay(Duration),
+    /// The frame is delivered twice; the protocol layer must be
+    /// idempotent against it.
+    Duplicate,
+    /// The frame's bytes are cut short, desynchronizing the stream —
+    /// the link is expected to die and redial.
+    Truncate,
+    /// A one-way partition is swallowing this site: behaves as [`Drop`]
+    /// for every visit until the partition window ends or is healed.
+    ///
+    /// [`Drop`]: NetFault::Drop
+    Partition,
+}
+
+impl NetFault {
+    fn kind_index(self) -> usize {
+        match self {
+            NetFault::Drop => 0,
+            NetFault::Delay(_) => 1,
+            NetFault::Duplicate => 2,
+            NetFault::Truncate => 3,
+            NetFault::Partition => 4,
+        }
+    }
+}
+
+/// Per-kind network fault probabilities, evaluated exactly like
+/// [`FaultConfig`]'s process faults: one uniform draw per site visit
+/// against the stacked edges drop → delay → duplicate → truncate →
+/// partition.
+#[derive(Debug, Clone)]
+pub struct NetFaultConfig {
+    /// Probability of [`NetFault::Drop`] per frame.
+    pub p_drop: f64,
+    /// Probability of [`NetFault::Delay`] per frame.
+    pub p_delay: f64,
+    /// Probability of [`NetFault::Duplicate`] per frame.
+    pub p_duplicate: f64,
+    /// Probability of [`NetFault::Truncate`] per frame.
+    pub p_truncate: f64,
+    /// Probability of a probabilistic one-way partition *starting* at
+    /// this frame; it then swallows the next [`partition_visits`]
+    /// visits of the same site.
+    ///
+    /// [`partition_visits`]: NetFaultConfig::partition_visits
+    pub p_partition: f64,
+    /// Upper bound for injected wire delays.
+    pub max_delay: Duration,
+    /// How many subsequent visits a probabilistic partition swallows.
+    pub partition_visits: u64,
+}
+
+impl NetFaultConfig {
+    /// No network faults at all.
+    pub fn quiet() -> Self {
+        NetFaultConfig {
+            p_drop: 0.0,
+            p_delay: 0.0,
+            p_duplicate: 0.0,
+            p_truncate: 0.0,
+            p_partition: 0.0,
+            max_delay: Duration::from_millis(2),
+            partition_visits: 20,
+        }
+    }
+
+    /// The cluster-soak mix: mostly drops, delays, and duplicates, with
+    /// rare truncations (each one costs a redial) and rare short
+    /// partitions.
+    pub fn chaos() -> Self {
+        NetFaultConfig {
+            p_drop: 0.02,
+            p_delay: 0.05,
+            p_duplicate: 0.03,
+            p_truncate: 0.005,
+            p_partition: 0.002,
+            max_delay: Duration::from_millis(2),
+            partition_visits: 20,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.p_drop + self.p_delay + self.p_duplicate + self.p_truncate + self.p_partition
+    }
+}
+
 /// What a call site must do after consulting the plan. Panics and
 /// delays are handled inside [`inject`]; the verdict only carries what
 /// the caller itself has to act on.
@@ -92,6 +200,13 @@ pub struct FaultConfig {
     pub p_fail: f64,
     /// Upper bound for injected delays (drawn uniformly in `0..max`).
     pub max_delay: Duration,
+    /// Network fault mix for the `peer.link.*` sites. Quiet in both the
+    /// [`quiet`] and [`chaos`] presets — the process-fault soak and the
+    /// wire-fault soak are separate tests with separate mixes.
+    ///
+    /// [`quiet`]: FaultConfig::quiet
+    /// [`chaos`]: FaultConfig::chaos
+    pub net: NetFaultConfig,
 }
 
 impl FaultConfig {
@@ -104,12 +219,13 @@ impl FaultConfig {
             p_cancel: 0.0,
             p_fail: 0.0,
             max_delay: Duration::from_millis(2),
+            net: NetFaultConfig::quiet(),
         }
     }
 
     /// The standard chaos-soak mix: roughly 30% of site visits are
     /// faulted, split across all four kinds, with short delays so soaks
-    /// stay fast.
+    /// stay fast. Network sites stay quiet.
     pub fn chaos(seed: u64) -> Self {
         FaultConfig {
             seed,
@@ -118,6 +234,16 @@ impl FaultConfig {
             p_cancel: 0.04,
             p_fail: 0.10,
             max_delay: Duration::from_millis(3),
+            net: NetFaultConfig::quiet(),
+        }
+    }
+
+    /// The cluster-soak mix: quiet process sites, chaotic wire — the
+    /// failures under test are the network's, not the workers'.
+    pub fn net_chaos(seed: u64) -> Self {
+        FaultConfig {
+            net: NetFaultConfig::chaos(),
+            ..FaultConfig::quiet(seed)
         }
     }
 
@@ -139,6 +265,15 @@ pub struct FaultPlan {
     site_seq: Mutex<BTreeMap<String, u64>>,
     /// Injections per fault kind, indexed by [`Fault::kind_index`].
     injected: [AtomicU64; 4],
+    /// Injections per network fault kind ([`NetFault::kind_index`]).
+    net_injected: [AtomicU64; 5],
+    /// Sites under a manual one-way partition ([`partition`]/[`heal`]).
+    ///
+    /// [`partition`]: FaultPlan::partition
+    /// [`heal`]: FaultPlan::heal
+    partitioned: Mutex<std::collections::BTreeSet<String>>,
+    /// Remaining visits swallowed by a probabilistic partition, per site.
+    partition_left: Mutex<BTreeMap<String, u64>>,
 }
 
 impl FaultPlan {
@@ -148,6 +283,9 @@ impl FaultPlan {
             cfg,
             site_seq: Mutex::new(BTreeMap::new()),
             injected: Default::default(),
+            net_injected: Default::default(),
+            partitioned: Mutex::new(std::collections::BTreeSet::new()),
+            partition_left: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -211,6 +349,132 @@ impl FaultPlan {
         };
         self.injected[fault.kind_index()].fetch_add(1, Ordering::Relaxed);
         Some(fault)
+    }
+
+    /// Decides the network fault (if any) for the next visit of a
+    /// `peer.link.*` site, and counts it. Deterministic per
+    /// `(seed, site, visit-number)`, on a stream independent from the
+    /// process-fault stream of the same site name.
+    ///
+    /// Manual partitions ([`partition`]) take precedence over the
+    /// probabilistic draw; a probabilistic [`NetFault::Partition`]
+    /// swallows the next [`NetFaultConfig::partition_visits`] visits of
+    /// the same site so a partition has *duration*, not just a single
+    /// lost frame.
+    ///
+    /// [`partition`]: FaultPlan::partition
+    pub fn decide_net(&self, site: &str) -> Option<NetFault> {
+        let partitioned = self
+            .partitioned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .contains(site);
+        if partitioned {
+            self.net_injected[NetFault::Partition.kind_index()].fetch_add(1, Ordering::Relaxed);
+            return Some(NetFault::Partition);
+        }
+        {
+            let mut left = self
+                .partition_left
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(n) = left.get_mut(site) {
+                *n -= 1;
+                if *n == 0 {
+                    left.remove(site);
+                }
+                self.net_injected[NetFault::Partition.kind_index()].fetch_add(1, Ordering::Relaxed);
+                return Some(NetFault::Partition);
+            }
+        }
+        if self.cfg.net.total() <= 0.0 {
+            return None;
+        }
+        let seq = {
+            let mut sites = self.site_seq.lock().unwrap_or_else(PoisonError::into_inner);
+            let n = sites.entry(site.to_owned()).or_insert(0);
+            let seq = *n;
+            *n += 1;
+            seq
+        };
+        // Salted so the wire stream never mirrors a process stream that
+        // happens to share a site name.
+        let raw = splitmix(
+            self.cfg.seed
+                ^ fnv1a(site)
+                ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ 0x57A7_1C0D_E57A_71C0,
+        );
+        let u = uniform(raw);
+        let net = &self.cfg.net;
+        let mut edge = 0.0;
+        let mut hits = |p: f64| {
+            edge += p;
+            u < edge
+        };
+        let fault = if hits(net.p_drop) {
+            NetFault::Drop
+        } else if hits(net.p_delay) {
+            let frac = uniform(splitmix(raw ^ 0xD31A));
+            NetFault::Delay(net.max_delay.mul_f64(frac))
+        } else if hits(net.p_duplicate) {
+            NetFault::Duplicate
+        } else if hits(net.p_truncate) {
+            NetFault::Truncate
+        } else if hits(net.p_partition) {
+            if net.partition_visits > 0 {
+                self.partition_left
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .insert(site.to_owned(), net.partition_visits);
+            }
+            NetFault::Partition
+        } else {
+            return None;
+        };
+        self.net_injected[fault.kind_index()].fetch_add(1, Ordering::Relaxed);
+        Some(fault)
+    }
+
+    /// Imposes a manual one-way partition: every subsequent visit of
+    /// `site` draws [`NetFault::Partition`] until [`heal`] is called.
+    /// Partitioning only one direction (`…send` or `…recv`) is exactly
+    /// the asymmetric failure TCP keeps alive and health checks must
+    /// catch.
+    ///
+    /// [`heal`]: FaultPlan::heal
+    pub fn partition(&self, site: &str) {
+        self.partitioned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(site.to_owned());
+    }
+
+    /// Lifts a manual partition on `site` (and any probabilistic
+    /// partition window in progress there).
+    pub fn heal(&self, site: &str) {
+        self.partitioned
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(site);
+        self.partition_left
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(site);
+    }
+
+    /// Total network faults injected so far, all kinds.
+    pub fn net_injected_total(&self) -> u64 {
+        self.net_injected
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Network faults of one kind injected so far (`Delay`'s duration
+    /// is ignored for matching).
+    pub fn net_injected_of(&self, kind: NetFault) -> u64 {
+        self.net_injected[kind.kind_index()].load(Ordering::Relaxed)
     }
 }
 
@@ -314,6 +578,25 @@ pub fn inject(site: &str, token: Option<&CancelToken>) -> Verdict {
     inject_slow(site, token)
 }
 
+/// Consults the plan for a network fault at `site` (a `peer.link.*`
+/// site). Unlike [`inject`], nothing is handled in place: the caller
+/// owns the frame and must act on the returned fault — including
+/// sleeping out a [`NetFault::Delay`] at whatever point in its I/O
+/// path models the stall best. With no plan installed this is one
+/// relaxed atomic load and returns `None`.
+#[inline]
+pub fn inject_net(site: &str) -> Option<NetFault> {
+    if !enabled() {
+        return None;
+    }
+    inject_net_slow(site)
+}
+
+#[cold]
+fn inject_net_slow(site: &str) -> Option<NetFault> {
+    current()?.decide_net(site)
+}
+
 #[cold]
 fn inject_slow(site: &str, token: Option<&CancelToken>) -> Verdict {
     let Some(plan) = current() else {
@@ -406,6 +689,90 @@ mod tests {
                 Some(Fault::Delay(d)) => assert!(d <= Duration::from_millis(7)),
                 other => panic!("expected Delay, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn net_quiet_never_fires() {
+        let plan = FaultPlan::new(FaultConfig::quiet(7));
+        for _ in 0..500 {
+            assert_eq!(plan.decide_net("peer.link.a:1.send"), None);
+        }
+        assert_eq!(plan.net_injected_total(), 0);
+    }
+
+    #[test]
+    fn net_streams_are_deterministic_and_independent_of_process_streams() {
+        let a = FaultPlan::new(FaultConfig::net_chaos(42));
+        let b = FaultPlan::new(FaultConfig::net_chaos(42));
+        let site = "peer.link.10.0.0.1:7171.recv";
+        let seq_a: Vec<_> = (0..300).map(|_| a.decide_net(site)).collect();
+        let seq_b: Vec<_> = (0..300).map(|_| b.decide_net(site)).collect();
+        assert_eq!(seq_a, seq_b);
+
+        let c = FaultPlan::new(FaultConfig::net_chaos(43));
+        let seq_c: Vec<_> = (0..300).map(|_| c.decide_net(site)).collect();
+        assert_ne!(seq_a, seq_c, "different seed, different wire stream");
+
+        // Process faults at the same site name draw from a salted
+        // stream and — under net_chaos — never fire at all.
+        assert_eq!(a.decide(site), None);
+    }
+
+    #[test]
+    fn net_injection_rate_tracks_configured_probability() {
+        let plan = FaultPlan::new(FaultConfig::net_chaos(1));
+        let mut fired = 0usize;
+        for _ in 0..4000 {
+            if plan.decide_net("rate").is_some() {
+                fired += 1;
+            }
+        }
+        // chaos() totals ~0.107, and each partition draw swallows 20
+        // more visits; allow generous slack around that inflation.
+        assert!((200..1600).contains(&fired), "fired {fired} of 4000");
+        assert_eq!(plan.net_injected_total(), fired as u64);
+        let by_kind = plan.net_injected_of(NetFault::Drop)
+            + plan.net_injected_of(NetFault::Delay(Duration::ZERO))
+            + plan.net_injected_of(NetFault::Duplicate)
+            + plan.net_injected_of(NetFault::Truncate)
+            + plan.net_injected_of(NetFault::Partition);
+        assert_eq!(by_kind, plan.net_injected_total());
+        assert!(plan.net_injected_of(NetFault::Drop) > 0);
+        assert!(plan.net_injected_of(NetFault::Duplicate) > 0);
+    }
+
+    #[test]
+    fn manual_partition_swallows_everything_until_healed() {
+        let plan = FaultPlan::new(FaultConfig::quiet(3));
+        let site = "peer.link.b:2.recv";
+        assert_eq!(plan.decide_net(site), None);
+        plan.partition(site);
+        for _ in 0..50 {
+            assert_eq!(plan.decide_net(site), Some(NetFault::Partition));
+        }
+        // The other direction is untouched: the partition is one-way.
+        assert_eq!(plan.decide_net("peer.link.b:2.send"), None);
+        plan.heal(site);
+        assert_eq!(plan.decide_net(site), None);
+        assert_eq!(plan.net_injected_of(NetFault::Partition), 50);
+    }
+
+    #[test]
+    fn probabilistic_partition_has_duration() {
+        let mut cfg = FaultConfig::quiet(9);
+        cfg.net.p_partition = 1.0;
+        cfg.net.partition_visits = 5;
+        let plan = FaultPlan::new(cfg);
+        // First visit starts the window; the next 5 are swallowed by it
+        // (without consuming the site's draw stream), then the stream
+        // immediately starts another window.
+        for i in 0..12 {
+            assert_eq!(
+                plan.decide_net("peer.link.c:3.send"),
+                Some(NetFault::Partition),
+                "visit {i}"
+            );
         }
     }
 

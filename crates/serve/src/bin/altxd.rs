@@ -28,6 +28,10 @@
 //! the identity peers use to reach back (defaults to the bind
 //! address); `--peer-explore-every N` forces one remote dispatch every
 //! N races so link statistics stay live (0 disables exploration).
+//! `--peer-heartbeat-ms N` sets the PEER_STATS heartbeat cadence (0
+//! disables heartbeats and the health lifecycle); `--peer-suspect-ms N`
+//! is how long a link may stay silent before its peer is marked
+//! Suspect — twice that quarantines it until it answers again.
 
 use altx_serve::server::{available_workers, start, ServerConfig};
 use altx_serve::workload::CATALOG;
@@ -106,13 +110,24 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--peer-explore-every: {e}"))?
             }
+            "--peer-heartbeat-ms" => {
+                args.peer.heartbeat_ms = value("--peer-heartbeat-ms")?
+                    .parse()
+                    .map_err(|e| format!("--peer-heartbeat-ms: {e}"))?
+            }
+            "--peer-suspect-ms" => {
+                args.peer.suspect_ms = value("--peer-suspect-ms")?
+                    .parse()
+                    .map_err(|e| format!("--peer-suspect-ms: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--shards N] [--duration SECS] [--batch-window-us N] [--hedge] \
                      [--hedge-min-samples N] [--hedge-explore-every N] \
                      [--peer HOST:PORT]... [--advertise HOST:PORT] \
-                     [--peer-explore-every N]"
+                     [--peer-explore-every N] [--peer-heartbeat-ms N] \
+                     [--peer-suspect-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -164,11 +179,13 @@ fn main() {
     }
     if !args.peer.peers.is_empty() {
         println!(
-            "peering: {} peer{} [{}] (explore every {})",
+            "peering: {} peer{} [{}] (explore every {}, heartbeat {} ms, suspect {} ms)",
             args.peer.peers.len(),
             if args.peer.peers.len() == 1 { "" } else { "s" },
             args.peer.peers.join(", "),
-            args.peer.explore_every
+            args.peer.explore_every,
+            args.peer.heartbeat_ms,
+            args.peer.suspect_ms
         );
     }
     println!("workloads:");

@@ -83,6 +83,18 @@ impl CommitLedger {
         self.denied.load(Ordering::Relaxed)
     }
 
+    /// Partition-heal resync: a reconnecting origin advertises its
+    /// lowest still-open race id; every slot this node holds for that
+    /// origin below the watermark belongs to a race already decided,
+    /// so dropping the grant cannot enable a double-commit. Returns
+    /// how many slots were dropped.
+    pub fn reconcile(&self, origin: &str, watermark: u64) -> usize {
+        let mut slots = self.slots.lock().unwrap_or_else(PoisonError::into_inner);
+        let before = slots.len();
+        slots.retain(|(o, id), _| o != origin || *id >= watermark);
+        before - slots.len()
+    }
+
     /// Drops slots older than `ttl`. Races are short-lived; the slot
     /// only has to outlive any late retry for its race, so a sweep with
     /// a generous TTL keeps the ledger bounded without risking a
@@ -239,6 +251,21 @@ mod tests {
         assert!(winners.windows(2).all(|w| w[0] == w[1]), "{winners:?}");
         assert_eq!(ledger.votes_granted(), 1);
         assert_eq!(ledger.votes_denied(), 7);
+    }
+
+    #[test]
+    fn reconcile_drops_only_the_origin_slots_below_the_watermark() {
+        let ledger = CommitLedger::new();
+        ledger.vote("a:1", 1, "x");
+        ledger.vote("a:1", 5, "y");
+        ledger.vote("b:2", 1, "z");
+        assert_eq!(ledger.reconcile("a:1", 5), 1, "only a:1/1 is below");
+        assert_eq!(ledger.len(), 2);
+        // The surviving slot still enforces its grant.
+        let (granted, _) = ledger.vote("a:1", 5, "other");
+        assert!(!granted, "a:1/5 survived the reconcile");
+        assert_eq!(ledger.reconcile("a:1", 100), 1);
+        assert_eq!(ledger.len(), 1, "b:2 is untouched");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!                   | cand_len: u16 | candidate
 //! ELIMINATE:   0x09 | race_id: u64 | origin_len: u16 | origin
 //! PEER_STATS:  0x0A
+//! RECONCILE:   0x0B | watermark: u64 | origin_len: u16 | origin
 //! ```
 //!
 //! Response body layout:
@@ -38,15 +39,19 @@
 //! VOTE:              0x06 | granted: u8 | holder_len: u16 | holder
 //! ```
 //!
-//! Opcodes 0x06–0x0A and the VOTE status are the peering plane (see
+//! Opcodes 0x06–0x0B and the VOTE status are the peering plane (see
 //! `peer.rs` / `remote.rs` / `commit.rs`): `EXEC_ALT` ships one
 //! alternative of a race to a peer (acked immediately; the outcome
 //! comes back later as an `ALT_RESULT` request on the executor's own
 //! link to the origin), `COMMIT_VOTE` asks for the voter's exclusive
-//! 0–1 commit grant, and `ELIMINATE` cancels a shipped alternative
-//! after the race is decided. A daemon that predates these opcodes
-//! answers them with a protocol `ERROR` reply and keeps the connection
-//! — version skew fails loudly per request, not by dropping the link.
+//! 0–1 commit grant, `ELIMINATE` cancels a shipped alternative after
+//! the race is decided, and `RECONCILE` is sent on reconnect after a
+//! partition: every race the origin created with an id below the
+//! watermark is decided, so the receiver cancels any zombie executions
+//! and reclaims its commit-ledger slots for them. A daemon that
+//! predates these opcodes answers them with a protocol `ERROR` reply
+//! and keeps the connection — version skew fails loudly per request,
+//! not by dropping the link.
 
 use std::io::{self, Read, Write};
 
@@ -311,6 +316,16 @@ pub enum Request {
     },
     /// Peer plane: the node's per-peer link table (text).
     PeerStats,
+    /// Peer plane: partition-heal reconciliation. Every race `origin`
+    /// created with `race_id < watermark` is decided — cancel any of
+    /// their alternatives still running here and drop their commit
+    /// grants.
+    Reconcile {
+        /// First race id that may still be open at the origin.
+        watermark: u64,
+        /// The origin node's advertised peer address (scopes the ids).
+        origin: String,
+    },
 }
 
 /// `AltResult` status: the alternative succeeded with a value.
@@ -331,6 +346,7 @@ const OP_ALT_RESULT: u8 = 0x07;
 const OP_COMMIT_VOTE: u8 = 0x08;
 const OP_ELIMINATE: u8 = 0x09;
 const OP_PEER_STATS: u8 = 0x0A;
+const OP_RECONCILE: u8 = 0x0B;
 
 impl Request {
     /// Serializes into a frame body.
@@ -418,6 +434,15 @@ impl Request {
                 b
             }
             Request::PeerStats => vec![OP_PEER_STATS],
+            Request::Reconcile { watermark, origin } => {
+                let from = origin.as_bytes();
+                let mut b = Vec::with_capacity(11 + from.len());
+                b.push(OP_RECONCILE);
+                b.extend_from_slice(&watermark.to_be_bytes());
+                b.extend_from_slice(&(from.len() as u16).to_be_bytes());
+                b.extend_from_slice(from);
+                b
+            }
         }
     }
 
@@ -492,6 +517,12 @@ impl Request {
                 Request::Eliminate { race_id, origin }
             }
             OP_PEER_STATS => Request::PeerStats,
+            OP_RECONCILE => {
+                let watermark = c.u64()?;
+                let origin_len = c.u16()? as usize;
+                let origin = c.str(origin_len)?;
+                Request::Reconcile { watermark, origin }
+            }
             op => return Err(FrameError::UnknownOpcode(op)),
         };
         c.finish()?;

@@ -26,22 +26,49 @@
 //! * Reconnection is automatic with doubling backoff (50 ms → 2 s);
 //!   every successful re-dial after a first connect counts in the
 //!   per-peer `reconnects` counter the load generator scrapes.
+//! * A link that is *up but silent* — the one-way partition TCP keeps
+//!   alive — is caught by the health lifecycle: the thread heartbeats
+//!   every configured link with a `PEER_STATS` frame, and a peer whose
+//!   replies stop ages Up → Suspect → Quarantined
+//!   ([`PeerHealth`]). Placement and voter freezing both read
+//!   [`PeerStatsTable::up_peers`], which only lists healthy peers, so
+//!   a quarantined peer stops receiving alternatives without its TCP
+//!   link being torn down. Heartbeats keep flowing as probes; the
+//!   first reply readmits the peer to Up.
+//! * On re-dial after a failure the link replays the `ELIMINATE`s that
+//!   were still unacknowledged when it died and sends a `RECONCILE`
+//!   watermark, so a healed peer kills zombie executions instead of
+//!   racing ghosts (partition-heal reconciliation).
 //!
 //! Replies on a link are correlated to requests by order — the framed
 //! protocol answers every request exactly once, in order, so a FIFO of
 //! [`SendTag`]s per link is a complete correlation table, and the
 //! request→reply time of *any* tag is an rtt sample for the EWMA.
+//! Every pending entry is additionally stamped with the link's
+//! *reconnect generation*; a reply whose stamp does not match the
+//! live generation is stale pre-reconnect traffic and is dropped
+//! (counted as `peer_stale_replies`) rather than matched to a
+//! post-reconnect request.
+//!
+//! All link I/O runs through the seeded network chaos shim
+//! (`altx::faults` sites `peer.link.<addr>.send` / `.recv`): with a
+//! fault plan installed, frames can be dropped, delayed, duplicated,
+//! truncated, or swallowed by a one-way partition, deterministically
+//! per seed. With no plan installed the shim is one relaxed atomic
+//! load per frame.
 
 use crate::commit::CommitLedger;
 use crate::frame::{FrameDecoder, Request, Response};
 use crate::placement::Placement;
 use crate::reactor::{poll_fds, wake_pair, DaemonCtl, PollFd, POLLIN, POLLOUT};
 use crate::remote::{InflightRemote, RemoteRaces};
+use crate::telemetry::Telemetry;
+use altx::faults::{self, NetFault};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -59,6 +86,12 @@ pub struct PeerConfig {
     /// results and votes come back to). Defaults to the bound listen
     /// address — override it when the bind address is not routable.
     pub advertise: Option<String>,
+    /// Heartbeat cadence on configured links, in milliseconds (0
+    /// disables the health lifecycle entirely).
+    pub heartbeat_ms: u64,
+    /// Silence threshold before a peer is suspected, in milliseconds;
+    /// a peer silent for twice this long is quarantined.
+    pub suspect_ms: u64,
 }
 
 impl Default for PeerConfig {
@@ -67,6 +100,8 @@ impl Default for PeerConfig {
             peers: Vec::new(),
             explore_every: 16,
             advertise: None,
+            heartbeat_ms: 500,
+            suspect_ms: 1500,
         }
     }
 }
@@ -89,18 +124,60 @@ const MAX_QUEUED: usize = 256;
 /// Idle poll backstop for the peer thread.
 const PEER_BACKSTOP_MS: i32 = 250;
 
+/// A configured peer's health state. TCP liveness (`up`) and health
+/// are orthogonal: a one-way partition leaves the socket connected
+/// while replies stop, which is exactly what this state machine
+/// catches. Only an `Up` peer receives alternatives or freezes into a
+/// race's voter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PeerHealth {
+    /// Replying within the suspicion threshold.
+    Up = 0,
+    /// Silent past the suspicion threshold: no new work is shipped,
+    /// but nothing is torn down — a reply restores `Up`.
+    Suspect = 1,
+    /// Silent past twice the threshold. Heartbeats keep flowing as
+    /// readmission probes; the first reply restores `Up`.
+    Quarantined = 2,
+}
+
+impl PeerHealth {
+    fn from_u8(v: u8) -> PeerHealth {
+        match v {
+            1 => PeerHealth::Suspect,
+            2 => PeerHealth::Quarantined,
+            _ => PeerHealth::Up,
+        }
+    }
+
+    /// Lower-case label for telemetry pages.
+    pub fn label(self) -> &'static str {
+        match self {
+            PeerHealth::Up => "up",
+            PeerHealth::Suspect => "suspect",
+            PeerHealth::Quarantined => "quarantined",
+        }
+    }
+}
+
 /// Live counters for one configured peer link. The peer thread is the
-/// only writer of `up`/`rtt`; dispatch/win counters are bumped from
-/// reactor shards and the registry. Everything is relaxed atomics —
-/// telemetry reads need eventual consistency only.
+/// only writer of `up`/`rtt`/`health`/load; dispatch/win counters are
+/// bumped from reactor shards and the registry. Everything is relaxed
+/// atomics — telemetry reads need eventual consistency only.
 #[derive(Debug)]
 pub struct PeerStat {
     addr: String,
     up: AtomicBool,
+    health: AtomicU8,
     rtt_ewma_us: AtomicU64,
     dispatched: AtomicU64,
     wins: AtomicU64,
     reconnects: AtomicU64,
+    quarantines: AtomicU64,
+    load_queued: AtomicU64,
+    load_busy: AtomicU64,
+    load_workers: AtomicU64,
 }
 
 impl PeerStat {
@@ -108,10 +185,15 @@ impl PeerStat {
         PeerStat {
             addr,
             up: AtomicBool::new(false),
+            health: AtomicU8::new(PeerHealth::Up as u8),
             rtt_ewma_us: AtomicU64::new(0),
             dispatched: AtomicU64::new(0),
             wins: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+            load_queued: AtomicU64::new(0),
+            load_busy: AtomicU64::new(0),
+            load_workers: AtomicU64::new(0),
         }
     }
 
@@ -143,6 +225,39 @@ impl PeerStat {
     /// Successful re-dials after the first connect.
     pub fn reconnects(&self) -> u64 {
         self.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// The peer's health state.
+    pub fn health(&self) -> PeerHealth {
+        PeerHealth::from_u8(self.health.load(Ordering::Relaxed))
+    }
+
+    /// Times this peer entered [`PeerHealth::Quarantined`].
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Last heartbeat-reported load: `(queued, busy, workers)`. All
+    /// zero until the first heartbeat reply.
+    pub fn load(&self) -> (u64, u64, u64) {
+        (
+            self.load_queued.load(Ordering::Relaxed),
+            self.load_busy.load(Ordering::Relaxed),
+            self.load_workers.load(Ordering::Relaxed),
+        )
+    }
+
+    fn set_health(&self, h: PeerHealth) {
+        let prev = self.health.swap(h as u8, Ordering::Relaxed);
+        if h == PeerHealth::Quarantined && prev != PeerHealth::Quarantined as u8 {
+            self.quarantines.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn set_load(&self, queued: u64, busy: u64, workers: u64) {
+        self.load_queued.store(queued, Ordering::Relaxed);
+        self.load_busy.store(busy, Ordering::Relaxed);
+        self.load_workers.store(workers, Ordering::Relaxed);
     }
 
     /// Records one request→reply round trip (EWMA, α = 0.2).
@@ -196,13 +311,22 @@ impl PeerStatsTable {
         self.peers.iter().find(|p| p.addr == addr)
     }
 
-    /// `(addr, rtt_ewma_us)` for every peer whose link is up right now
-    /// — the placement model's input.
-    pub fn up_peers(&self) -> Vec<(String, u64)> {
+    /// One shippable peer, as the placement model sees it: link rtt
+    /// plus the load figures from its last heartbeat reply.
+    pub fn up_peers(&self) -> Vec<PeerLoad> {
         self.peers
             .iter()
-            .filter(|p| p.up())
-            .map(|p| (p.addr.clone(), p.rtt_ewma_us().max(1)))
+            .filter(|p| p.up() && p.health() == PeerHealth::Up)
+            .map(|p| {
+                let (queued, busy, workers) = p.load();
+                PeerLoad {
+                    addr: p.addr.clone(),
+                    rtt_us: p.rtt_ewma_us().max(1),
+                    queued,
+                    busy,
+                    workers,
+                }
+            })
             .collect()
     }
 
@@ -211,27 +335,60 @@ impl PeerStatsTable {
         self.peers.iter().map(|p| p.reconnects()).sum()
     }
 
-    /// Peers whose link is up right now.
+    /// Sum of per-peer quarantine counters.
+    pub fn total_quarantines(&self) -> u64 {
+        self.peers.iter().map(|p| p.quarantines()).sum()
+    }
+
+    /// Peers whose link is up *and healthy* right now — the count that
+    /// gates placement and voter freezing.
     pub fn peers_up(&self) -> u64 {
-        self.peers.iter().filter(|p| p.up()).count() as u64
+        self.peers
+            .iter()
+            .filter(|p| p.up() && p.health() == PeerHealth::Up)
+            .count() as u64
     }
 
     /// The `PEER_STATS` text body.
     pub fn render(&self) -> String {
         let mut out = String::from("altxd peers\n");
         for p in &self.peers {
+            let (queued, busy, workers) = p.load();
             out.push_str(&format!(
-                "  peer {}  up {}  rtt_us {}  dispatched {}  wins {}  reconnects {}\n",
+                "  peer {}  up {}  health {}  rtt_us {}  dispatched {}  wins {}  reconnects {}  \
+                 quarantines {}  peer_load {}/{}/{}\n",
                 p.addr,
                 u8::from(p.up()),
+                p.health().label(),
                 p.rtt_ewma_us(),
                 p.dispatched(),
                 p.wins(),
-                p.reconnects()
+                p.reconnects(),
+                p.quarantines(),
+                queued,
+                busy,
+                workers
             ));
         }
         out
     }
+}
+
+/// One healthy peer as seen by the placement model: link rtt plus the
+/// queue depth and busy-worker count from its last heartbeat reply
+/// (zeros until the first reply — an unknown peer is assumed idle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerLoad {
+    /// The peer's configured address.
+    pub addr: String,
+    /// Round-trip EWMA in microseconds (floored at 1).
+    pub rtt_us: u64,
+    /// Jobs queued at the peer, per its last heartbeat.
+    pub queued: u64,
+    /// Workers busy at the peer, per its last heartbeat.
+    pub busy: u64,
+    /// The peer's worker count, per its last heartbeat.
+    pub workers: u64,
 }
 
 /// What an outbound frame was *for* — pushed onto the link's FIFO when
@@ -251,9 +408,20 @@ pub(crate) enum SendTag {
         /// Race the vote decides.
         race_id: u64,
     },
-    /// Fire-and-forget (`ALT_RESULT`, `ELIMINATE`): the ack only feeds
+    /// Fire-and-forget (`ALT_RESULT`, `RECONCILE`): the ack only feeds
     /// the rtt EWMA.
     Fire,
+    /// An `ELIMINATE` for `race_id`: fire-and-forget for the race's
+    /// outcome, but tracked so an eliminate still unacknowledged when
+    /// the link dies is replayed on re-dial — the healed peer must not
+    /// keep racing a ghost.
+    Eliminate {
+        /// Race the eliminate closes (our id space).
+        race_id: u64,
+    },
+    /// A `PEER_STATS` heartbeat the peer thread sent itself; the reply
+    /// proves liveness and carries the peer's load line.
+    Heartbeat,
 }
 
 struct Cmd {
@@ -327,8 +495,11 @@ struct UpLink {
     out: Vec<u8>,
     out_at: usize,
     /// In-order correlation FIFO: one entry per sent frame, popped by
-    /// its reply; the `Instant` is the rtt sample's start.
-    pending: VecDeque<(SendTag, Instant)>,
+    /// its reply; the `Instant` is the rtt sample's start and the
+    /// `u64` is the link's reconnect generation at send time — a reply
+    /// whose entry carries a stale generation is dropped, never
+    /// matched to a post-reconnect request.
+    pending: VecDeque<(SendTag, Instant, u64)>,
 }
 
 struct Link {
@@ -343,6 +514,12 @@ struct Link {
     backoff: Duration,
     next_dial: Instant,
     ever_up: bool,
+    /// Reconnect generation: bumped on every successful dial.
+    generation: u64,
+    /// Last time a reply (any reply) arrived on this link.
+    last_heard: Instant,
+    /// Last time a heartbeat was queued on this link.
+    last_hb: Instant,
 }
 
 impl Link {
@@ -355,6 +532,9 @@ impl Link {
             backoff: BACKOFF_INITIAL,
             next_dial: Instant::now(),
             ever_up: false,
+            generation: 0,
+            last_heard: Instant::now(),
+            last_hb: Instant::now(),
         }
     }
 }
@@ -366,8 +546,16 @@ pub(crate) struct PeerNet {
     races: Arc<RemoteRaces>,
     ledger: Arc<CommitLedger>,
     ctl: Arc<DaemonCtl>,
+    telemetry: Arc<Telemetry>,
     links: HashMap<String, Link>,
     last_sweep: Instant,
+    /// This node's advertised identity, for rebuilding `ELIMINATE` /
+    /// `RECONCILE` frames on replay.
+    advertise: String,
+    /// Heartbeat cadence on configured links (zero disables).
+    heartbeat: Duration,
+    /// Silence threshold for suspicion; quarantine at twice this.
+    suspect: Duration,
 }
 
 impl PeerNet {
@@ -378,6 +566,9 @@ impl PeerNet {
         races: Arc<RemoteRaces>,
         ledger: Arc<CommitLedger>,
         ctl: Arc<DaemonCtl>,
+        telemetry: Arc<Telemetry>,
+        advertise: String,
+        config: &PeerConfig,
     ) -> io::Result<(Self, Arc<PeerHandle>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
         let handle = Arc::new(PeerHandle {
@@ -397,8 +588,12 @@ impl PeerNet {
                 races,
                 ledger,
                 ctl,
+                telemetry,
                 links,
                 last_sweep: Instant::now(),
+                advertise,
+                heartbeat: Duration::from_millis(config.heartbeat_ms),
+                suspect: Duration::from_millis(config.suspect_ms),
             },
             handle,
         ))
@@ -421,6 +616,7 @@ impl PeerNet {
             let now = Instant::now();
             self.dial_due(now);
             self.drain_cmds();
+            self.health_tick(now);
             self.sweep(now);
 
             let (mut fds, addrs) = self.poll_set();
@@ -474,16 +670,26 @@ impl PeerNet {
             return;
         }
         let connected = connect(addr);
+        let reconcile = Request::Reconcile {
+            watermark: self.races.reconcile_watermark(),
+            origin: self.advertise.clone(),
+        };
+        let heartbeat = self.heartbeat;
         let link = self.links.get_mut(addr).expect("link exists");
         match connected {
             Ok(stream) => {
-                if link.ever_up {
+                let reconnected = link.ever_up;
+                if reconnected {
                     if let Some(stat) = &link.stat {
                         stat.reconnects.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 link.ever_up = true;
                 link.backoff = BACKOFF_INITIAL;
+                link.generation += 1;
+                let now = Instant::now();
+                link.last_heard = now;
+                link.last_hb = now;
                 if let Some(stat) = &link.stat {
                     stat.up.store(true, Ordering::Relaxed);
                 }
@@ -494,11 +700,28 @@ impl PeerNet {
                     out_at: 0,
                     pending: VecDeque::new(),
                 };
-                // Frames parked while down go out first.
+                if reconnected && link.configured {
+                    // Partition-heal reconciliation: tell the peer
+                    // which of our races are long decided, so it kills
+                    // zombies the replayed ELIMINATEs don't name.
+                    push_frame(&mut up, link.generation, addr, &reconcile, SendTag::Fire);
+                }
+                // Frames parked while down — including ELIMINATEs that
+                // were unacknowledged when the link died — go out next.
                 let queued = std::mem::take(&mut link.queue);
                 for (req, tag) in queued {
-                    encode_onto(&mut up.out, &req);
-                    up.pending.push_back((tag, Instant::now()));
+                    push_frame(&mut up, link.generation, addr, &req, tag);
+                }
+                if link.configured && !heartbeat.is_zero() {
+                    // Prime the health lifecycle (and the rtt EWMA, and
+                    // the load figures) without waiting one cadence.
+                    push_frame(
+                        &mut up,
+                        link.generation,
+                        addr,
+                        &Request::PeerStats,
+                        SendTag::Heartbeat,
+                    );
                 }
                 link.state = LinkState::Up(up);
                 let addr = addr.to_owned();
@@ -533,12 +756,11 @@ impl PeerNet {
             let mut flush = false;
             match &mut link.state {
                 LinkState::Up(up) => {
-                    encode_onto(&mut up.out, &cmd.req);
-                    up.pending.push_back((cmd.tag, Instant::now()));
+                    push_frame(up, link.generation, &cmd.addr, &cmd.req, cmd.tag);
                     flush = true;
                 }
                 LinkState::Down => match cmd.tag {
-                    SendTag::Fire => {
+                    SendTag::Fire | SendTag::Eliminate { .. } => {
                         link.queue.push_back((cmd.req, cmd.tag));
                         if link.queue.len() > MAX_QUEUED {
                             link.queue.pop_front();
@@ -553,6 +775,10 @@ impl PeerNet {
                     SendTag::Vote { race_id } => {
                         self.races.on_vote(race_id, &cmd.addr, false);
                     }
+                    // Heartbeats are minted by the peer thread on up
+                    // links only; one racing a link death is just
+                    // dropped — the next dial primes a fresh one.
+                    SendTag::Heartbeat => {}
                 },
             }
             if flush {
@@ -562,7 +788,12 @@ impl PeerNet {
     }
 
     /// Reads everything the link has, dispatching each in-order reply
-    /// against its pending tag.
+    /// against its pending tag. Every decoded frame passes the
+    /// `peer.link.<addr>.recv` chaos site first: a dropped (or
+    /// partitioned) reply consumes its tag silently — exactly what a
+    /// reply lost on the wire looks like — a duplicated one dispatches
+    /// twice to prove the protocol layer idempotent, and a truncated
+    /// one kills the link like any desynchronized stream.
     fn read_link(&mut self, addr: &str) {
         let Some(link) = self.links.get_mut(addr) else {
             return;
@@ -570,9 +801,10 @@ impl PeerNet {
         let LinkState::Up(up) = &mut link.state else {
             return;
         };
+        let recv_site = faults::enabled().then(|| format!("peer.link.{addr}.recv"));
         let mut buf = [0u8; 8192];
         let mut dead = false;
-        let mut dispatches: Vec<(SendTag, Response, Instant)> = Vec::new();
+        let mut dispatches: Vec<(SendTag, Response, Option<Instant>, u64)> = Vec::new();
         loop {
             match up.stream.read(&mut buf) {
                 Ok(0) => {
@@ -584,9 +816,29 @@ impl PeerNet {
                     loop {
                         match up.decoder.next_frame() {
                             Ok(Some(body)) => {
+                                let fault = recv_site.as_deref().and_then(faults::inject_net);
+                                match fault {
+                                    Some(NetFault::Truncate) => {
+                                        // A reply cut short desyncs the
+                                        // stream; the link is done.
+                                        dead = true;
+                                        break;
+                                    }
+                                    Some(NetFault::Drop) | Some(NetFault::Partition) => {
+                                        let _ = up.pending.pop_front();
+                                        continue;
+                                    }
+                                    Some(NetFault::Delay(d)) => std::thread::sleep(d),
+                                    Some(NetFault::Duplicate) | None => {}
+                                }
                                 match (Response::decode(&body), up.pending.pop_front()) {
-                                    (Ok(resp), Some((tag, sent_at))) => {
-                                        dispatches.push((tag, resp, sent_at));
+                                    (Ok(resp), Some((tag, sent_at, gen))) => {
+                                        if matches!(fault, Some(NetFault::Duplicate)) {
+                                            // Second delivery: no tag of
+                                            // its own, no rtt sample.
+                                            dispatches.push((tag, resp.clone(), None, gen));
+                                        }
+                                        dispatches.push((tag, resp, Some(sent_at), gen));
                                     }
                                     _ => {
                                         // Undecodable reply or a reply we
@@ -617,18 +869,42 @@ impl PeerNet {
             }
         }
         let stat = link.stat.clone();
-        for (tag, resp, sent_at) in dispatches {
+        let live_gen = link.generation;
+        if !dispatches.is_empty() {
+            link.last_heard = Instant::now();
             if let Some(stat) = &stat {
+                // Any reply is proof of life: a Suspect or Quarantined
+                // peer that answers a probe is readmitted.
+                if stat.health() != PeerHealth::Up {
+                    stat.set_health(PeerHealth::Up);
+                }
+            }
+        }
+        for (tag, resp, sent_at, gen) in dispatches {
+            if gen != live_gen {
+                // A pre-reconnect reply outlived its connection; pairing
+                // it with a post-reconnect request would corrupt the
+                // FIFO correlation.
+                self.telemetry.on_peer_stale_reply();
+                continue;
+            }
+            if let (Some(stat), Some(sent_at)) = (&stat, sent_at) {
                 stat.observe_rtt(sent_at.elapsed().as_micros().max(1) as u64);
             }
-            self.dispatch_reply(addr, tag, resp);
+            self.dispatch_reply(addr, stat.as_ref(), tag, resp);
         }
         if dead {
             self.link_down(addr);
         }
     }
 
-    fn dispatch_reply(&self, addr: &str, tag: SendTag, resp: Response) {
+    fn dispatch_reply(
+        &self,
+        addr: &str,
+        stat: Option<&Arc<PeerStat>>,
+        tag: SendTag,
+        resp: Response,
+    ) {
         match tag {
             SendTag::ExecAlt { race_id, alt_idx } => match resp {
                 // The executor acks admission with a Text frame; any
@@ -641,7 +917,17 @@ impl PeerNet {
                 Response::Vote { granted, .. } => self.races.on_vote(race_id, addr, granted),
                 _ => self.races.on_vote(race_id, addr, false),
             },
-            SendTag::Fire => {}
+            SendTag::Heartbeat => {
+                // The PEER_STATS reply ends with the executor's load
+                // line; older builds without one just leave the load
+                // figures at their last value.
+                if let (Some(stat), Response::Text { body }) = (stat, &resp) {
+                    if let Some((queued, busy, workers)) = parse_load_line(body) {
+                        stat.set_load(queued, busy, workers);
+                    }
+                }
+            }
+            SendTag::Fire | SendTag::Eliminate { .. } => {}
         }
     }
 
@@ -680,6 +966,9 @@ impl PeerNet {
 
     /// A link died: fail every pending tag, mark the peer down, and
     /// convert its acked-but-unfinished alternatives to failed guards.
+    /// Unacknowledged `ELIMINATE`s are re-parked for replay on the next
+    /// dial — the race outcome no longer needs them, but the peer must
+    /// still learn it or it keeps racing a ghost.
     fn link_down(&mut self, addr: &str) {
         let Some(link) = self.links.get_mut(addr) else {
             return;
@@ -693,16 +982,84 @@ impl PeerNet {
         }
         link.backoff = BACKOFF_INITIAL;
         link.next_dial = Instant::now() + BACKOFF_INITIAL;
-        for (tag, _) in pending {
+        let mut fails = Vec::new();
+        for (tag, _, _) in pending {
+            match tag {
+                SendTag::Eliminate { race_id } => {
+                    link.queue.push_back((
+                        Request::Eliminate {
+                            race_id,
+                            origin: self.advertise.clone(),
+                        },
+                        SendTag::Eliminate { race_id },
+                    ));
+                    if link.queue.len() > MAX_QUEUED {
+                        link.queue.pop_front();
+                    }
+                }
+                SendTag::Fire | SendTag::Heartbeat => {}
+                tag => fails.push(tag),
+            }
+        }
+        for tag in fails {
             match tag {
                 SendTag::ExecAlt { race_id, alt_idx } => {
                     self.races.on_remote_refused(race_id, alt_idx);
                 }
                 SendTag::Vote { race_id } => self.races.on_vote(race_id, addr, false),
-                SendTag::Fire => {}
+                _ => {}
             }
         }
         self.races.on_peer_down(addr);
+    }
+
+    /// The health lifecycle tick: queue heartbeats that are due and age
+    /// silent peers Up → Suspect → Quarantined. Quarantine is entered
+    /// after two silence thresholds; readmission happens in
+    /// `read_link` the moment any reply arrives.
+    fn health_tick(&mut self, now: Instant) {
+        if self.heartbeat.is_zero() {
+            return;
+        }
+        let suspect = self.suspect;
+        let mut flush: Vec<String> = Vec::new();
+        for (addr, link) in &mut self.links {
+            if !link.configured {
+                continue;
+            }
+            let LinkState::Up(up) = &mut link.state else {
+                continue;
+            };
+            if now.duration_since(link.last_hb) >= self.heartbeat {
+                link.last_hb = now;
+                push_frame(
+                    up,
+                    link.generation,
+                    addr,
+                    &Request::PeerStats,
+                    SendTag::Heartbeat,
+                );
+                flush.push(addr.clone());
+            }
+            if suspect.is_zero() {
+                continue;
+            }
+            let silent = now.duration_since(link.last_heard);
+            if let Some(stat) = &link.stat {
+                let health = stat.health();
+                if silent >= suspect * 2 {
+                    if health != PeerHealth::Quarantined {
+                        // set_health counts the quarantine transition.
+                        stat.set_health(PeerHealth::Quarantined);
+                    }
+                } else if silent >= suspect && health == PeerHealth::Up {
+                    stat.set_health(PeerHealth::Suspect);
+                }
+            }
+        }
+        for addr in flush {
+            self.flush_link(&addr);
+        }
     }
 
     /// Expires overdue races and (periodically) old ledger slots.
@@ -732,13 +1089,23 @@ impl PeerNet {
         (fds, addrs)
     }
 
-    /// Sleep no longer than the earliest due redial or race expiry.
+    /// Sleep no longer than the earliest due redial, race expiry, or
+    /// heartbeat.
     fn poll_timeout_ms(&self, now: Instant) -> i32 {
         let mut deadline: Option<Instant> = self.races.next_expiry();
+        let fold = |d: Instant, deadline: &mut Option<Instant>| {
+            *deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+        };
         for link in self.links.values() {
             if matches!(link.state, LinkState::Down) && (link.configured || !link.queue.is_empty())
             {
-                deadline = Some(deadline.map_or(link.next_dial, |d| d.min(link.next_dial)));
+                fold(link.next_dial, &mut deadline);
+            }
+            if link.configured
+                && !self.heartbeat.is_zero()
+                && matches!(link.state, LinkState::Up(_))
+            {
+                fold(link.last_hb + self.heartbeat, &mut deadline);
             }
         }
         match deadline {
@@ -766,6 +1133,68 @@ fn encode_onto(out: &mut Vec<u8>, req: &Request) {
     let body = req.encode();
     out.extend_from_slice(&(body.len() as u32).to_be_bytes());
     out.extend_from_slice(&body);
+}
+
+/// Encodes one outbound frame onto an up link, keeping the correlation
+/// FIFO aligned, with the `peer.link.<addr>.send` chaos site applied
+/// first:
+///
+/// * **drop / partition** — the frame never reaches the buffer and its
+///   tag is never pushed (no request ⇒ no reply ⇒ FIFO stays aligned);
+///   a race leg lost this way is recovered by its per-leg deadline.
+/// * **delay** — the peer thread stalls briefly, modeling a slow wire.
+/// * **duplicate** — the frame is encoded twice with two tag entries;
+///   the receiver answers both, and the protocol layer must shrug off
+///   the second reply.
+/// * **truncate** — the frame's tail is cut, desynchronizing the
+///   stream; the receiver closes it and the link dies into redial.
+fn push_frame(up: &mut UpLink, gen: u64, addr: &str, req: &Request, tag: SendTag) {
+    if faults::enabled() {
+        match faults::inject_net(&format!("peer.link.{addr}.send")) {
+            Some(NetFault::Drop) | Some(NetFault::Partition) => return,
+            Some(NetFault::Delay(d)) => std::thread::sleep(d),
+            Some(NetFault::Duplicate) => {
+                encode_onto(&mut up.out, req);
+                up.pending.push_back((tag, Instant::now(), gen));
+            }
+            Some(NetFault::Truncate) => {
+                let start = up.out.len();
+                encode_onto(&mut up.out, req);
+                let cut = ((up.out.len() - start) / 2).max(1);
+                up.out.truncate(up.out.len() - cut);
+                up.pending.push_back((tag, Instant::now(), gen));
+                return;
+            }
+            None => {}
+        }
+    }
+    encode_onto(&mut up.out, req);
+    up.pending.push_back((tag, Instant::now(), gen));
+}
+
+/// Extracts `(queued, busy, workers)` from the `load queued N busy N
+/// workers N` line the executor appends to its `PEER_STATS` reply.
+fn parse_load_line(body: &str) -> Option<(u64, u64, u64)> {
+    for line in body.lines() {
+        let Some(rest) = line.trim().strip_prefix("load ") else {
+            continue;
+        };
+        let mut queued = None;
+        let mut busy = None;
+        let mut workers = None;
+        let mut toks = rest.split_whitespace();
+        while let (Some(key), Some(val)) = (toks.next(), toks.next()) {
+            let val: u64 = val.parse().ok()?;
+            match key {
+                "queued" => queued = Some(val),
+                "busy" => busy = Some(val),
+                "workers" => workers = Some(val),
+                _ => {}
+            }
+        }
+        return Some((queued?, busy?, workers?));
+    }
+    None
 }
 
 #[cfg(test)]
@@ -801,10 +1230,60 @@ mod tests {
             .up
             .store(true, Ordering::Relaxed);
         table.by_addr("a:1").unwrap().observe_rtt(300);
+        table.by_addr("a:1").unwrap().set_load(4, 2, 8);
         let up = table.up_peers();
-        assert_eq!(up, vec![("a:1".to_owned(), 300)]);
+        assert_eq!(
+            up,
+            vec![PeerLoad {
+                addr: "a:1".to_owned(),
+                rtt_us: 300,
+                queued: 4,
+                busy: 2,
+                workers: 8,
+            }]
+        );
         assert_eq!(table.peers_up(), 1);
         assert!(table.by_addr("c:3").is_none());
+    }
+
+    #[test]
+    fn unhealthy_peers_leave_the_placement_input() {
+        let table = PeerStatsTable::new(&["a:1".into()]);
+        let stat = table.by_addr("a:1").unwrap();
+        stat.up.store(true, Ordering::Relaxed);
+        assert_eq!(table.peers_up(), 1);
+
+        // Suspicion and quarantine both pull the peer out of
+        // placement without touching the TCP `up` bit.
+        stat.set_health(PeerHealth::Suspect);
+        assert!(table.up_peers().is_empty());
+        assert_eq!(table.peers_up(), 0);
+        assert_eq!(stat.quarantines(), 0, "suspicion is not quarantine");
+
+        stat.set_health(PeerHealth::Quarantined);
+        assert_eq!(stat.quarantines(), 1);
+        stat.set_health(PeerHealth::Quarantined);
+        assert_eq!(stat.quarantines(), 1, "re-entry is not a transition");
+
+        // Readmission restores placement eligibility.
+        stat.set_health(PeerHealth::Up);
+        assert_eq!(table.peers_up(), 1);
+        stat.set_health(PeerHealth::Quarantined);
+        assert_eq!(stat.quarantines(), 2, "each distinct entry counts");
+        assert_eq!(table.total_quarantines(), 2);
+    }
+
+    #[test]
+    fn load_line_parses_and_rejects_garbage() {
+        let body = "altxd peers\n  peer x:1  up 1 ...\nload queued 7 busy 3 workers 4\n";
+        assert_eq!(parse_load_line(body), Some((7, 3, 4)));
+        assert_eq!(parse_load_line("no load here\n"), None);
+        assert_eq!(
+            parse_load_line("load queued 7 busy 3\n"),
+            None,
+            "all three figures or nothing"
+        );
+        assert_eq!(parse_load_line("load queued x busy 3 workers 4\n"), None);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //!
 //! [`AltStatsTable`]: altx::stats::AltStatsTable
 
+use crate::peer::PeerLoad;
 use crate::sched::CatalogStats;
 use altx_cluster::{NetworkModel, RemoteForkModel};
 use altx_des::SimDuration;
@@ -83,14 +84,15 @@ impl Placement {
     /// ship it to (`Some(addr)`). Returns `None` when nothing ships —
     /// the caller takes the unchanged single-node path.
     ///
-    /// `up_peers` is `(addr, rtt_ewma_us)` for every peer whose link is
-    /// up; `queued`/`workers` describe the local pool right now.
+    /// `up_peers` carries every healthy (Up) peer's measured rtt and
+    /// advertised load; `queued`/`workers` describe the local pool
+    /// right now.
     pub(crate) fn assign(
         &self,
         widx: usize,
         n_alts: usize,
         frame_bytes: u64,
-        up_peers: &[(String, u64)],
+        up_peers: &[PeerLoad],
         queued: usize,
         workers: usize,
         catalog: &CatalogStats,
@@ -114,6 +116,19 @@ impl Placement {
         // service time. An idle pool estimates zero — then only the
         // exploration floor ships.
         let local_wait_us = queued as f64 * exec_est(favourite) / workers.max(1) as f64;
+        // Same queueing estimate on the peer's side, from the load it
+        // advertised in its last heartbeat: a busy peer is no escape
+        // from a busy pool.
+        let remote_wait_us = |p: &PeerLoad| {
+            let queue = p.queued as f64 * exec_est(favourite) / p.workers.max(1) as f64;
+            // Fully busy workers mean even the first slot isn't free:
+            // charge one service time for the leg to reach a worker.
+            if p.workers > 0 && p.busy >= p.workers {
+                queue + exec_est(favourite)
+            } else {
+                queue
+            }
+        };
 
         let mut out: Vec<Option<String>> = vec![None; n_alts];
         let mut shipped = 0usize;
@@ -125,15 +140,15 @@ impl Placement {
             // Rotate through up peers, cheapest rtt first on tie races
             // being irrelevant here — fairness matters more than the
             // µs-level rtt spread inside one cluster.
-            let (addr, rtt_us) = &up_peers[peer_rr % up_peers.len()];
-            let overhead = Self::remote_overhead_us(*rtt_us, frame_bytes);
-            // Ship when transfer + remote exec beats local queue + exec;
-            // the exec estimate is the same alternative either way, so
-            // the comparison reduces to overhead vs local queueing.
-            let model_says_ship = overhead + exec_est(alt) < local_wait_us + exec_est(alt);
+            let peer = &up_peers[peer_rr % up_peers.len()];
+            let overhead = Self::remote_overhead_us(peer.rtt_us, frame_bytes);
+            // Ship when transfer + remote queue + exec beats local
+            // queue + exec; the exec estimate is the same alternative
+            // either way, so it cancels out of the comparison.
+            let model_says_ship = overhead + remote_wait_us(peer) < local_wait_us;
             let force = explore && shipped == 0;
             if model_says_ship || force {
-                out[alt] = Some(addr.clone());
+                out[alt] = Some(peer.addr.clone());
                 shipped += 1;
                 peer_rr += 1;
             }
@@ -146,9 +161,15 @@ impl Placement {
 mod tests {
     use super::*;
 
-    fn peers(n: usize) -> Vec<(String, u64)> {
+    fn peers(n: usize) -> Vec<PeerLoad> {
         (0..n)
-            .map(|i| (format!("127.0.0.1:{}", 9000 + i), 200))
+            .map(|i| PeerLoad {
+                addr: format!("127.0.0.1:{}", 9000 + i),
+                rtt_us: 200,
+                queued: 0,
+                busy: 0,
+                workers: 4,
+            })
             .collect()
     }
 
@@ -189,6 +210,27 @@ mod tests {
             .assign(0, 3, 64, &peers(2), 64, 2, &catalog)
             .expect("saturated pool must ship");
         assert_eq!(assign.iter().flatten().count(), 2, "{assign:?}");
+    }
+
+    #[test]
+    fn busy_peers_are_penalized_back_to_local() {
+        let p = Placement::new(0);
+        let catalog = CatalogStats::new();
+        // The local queue that ships both siblings in the test above…
+        let mut swamped = peers(2);
+        for peer in &mut swamped {
+            // …stops paying once the peers advertise an even deeper
+            // queue behind fewer workers.
+            peer.queued = 512;
+            peer.workers = 1;
+            peer.busy = 1;
+        }
+        assert!(
+            p.assign(0, 3, 64, &swamped, 64, 2, &catalog).is_none(),
+            "peers busier than the local pool must not be shipped to"
+        );
+        // Idle peers with the same rtt still win that trade.
+        assert!(p.assign(0, 3, 64, &peers(2), 64, 2, &catalog).is_some());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub enum SubmitError {
 pub struct PoolStats {
     jobs_panicked: AtomicU64,
     worker_respawns: AtomicU64,
+    busy: AtomicU64,
 }
 
 impl PoolStats {
@@ -78,6 +79,13 @@ impl PoolStats {
     /// Workers found dead by the supervisor and replaced.
     pub fn worker_respawns(&self) -> u64 {
         self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Workers executing a job right now — a gauge, not a counter.
+    /// Together with the queue depth this is the load figure peers
+    /// exchange in heartbeats.
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
     }
 }
 
@@ -182,6 +190,11 @@ impl WorkerPool {
         self.shared.queue.len()
     }
 
+    /// Workers executing a job right now.
+    pub fn busy(&self) -> u64 {
+        self.shared.stats.busy()
+    }
+
     /// Worker threads the pool was sized for.
     pub fn workers(&self) -> usize {
         self.n_workers
@@ -253,6 +266,7 @@ fn worker_loop(shared: &Shared) {
 }
 
 fn run_job(job: Job, shared: &Shared) {
+    shared.stats.busy.fetch_add(1, Ordering::Relaxed);
     // Fault site `pool.job` sits inside the contained region: an
     // injected panic is indistinguishable from the job itself crashing,
     // and `Fail` drops the job unrun (the submitter's reply channel
@@ -263,6 +277,9 @@ fn run_job(job: Job, shared: &Shared) {
         }
         job();
     }));
+    // The gauge decrement sits outside the contained region, so a
+    // panicking job never leaves a phantom busy worker behind.
+    shared.stats.busy.fetch_sub(1, Ordering::Relaxed);
     if outcome.is_err() {
         shared.stats.jobs_panicked.fetch_add(1, Ordering::Relaxed);
     }

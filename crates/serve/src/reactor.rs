@@ -721,11 +721,33 @@ impl Reactor {
                 );
                 true
             }
+            Ok(Request::Reconcile { watermark, origin }) => {
+                // Partition-heal resync: the reconnecting origin's
+                // races below the watermark are all decided — kill any
+                // zombie executions and release their vote slots.
+                let n = self.plane.inflight.eliminate_below(&origin, watermark);
+                let slots = self.plane.ledger.reconcile(&origin, watermark);
+                self.fulfill(
+                    id,
+                    seq,
+                    &Response::Text {
+                        body: format!("reconciled {n} cancelled {slots} slots\n"),
+                    },
+                );
+                true
+            }
             Ok(Request::PeerStats) => {
-                let reply = Response::Text {
-                    body: self.plane.handle.stats().render(),
-                };
-                self.fulfill(id, seq, &reply);
+                // The stats page doubles as the heartbeat reply: the
+                // trailing machine-parsable line advertises this node's
+                // load so origins can place around busy peers.
+                let mut body = self.plane.handle.stats().render();
+                body.push_str(&format!(
+                    "load queued {} busy {} workers {}\n",
+                    self.pool.queued(),
+                    self.pool.busy(),
+                    self.pool.workers()
+                ));
+                self.fulfill(id, seq, &Response::Text { body });
                 true
             }
         }
@@ -969,12 +991,13 @@ impl Reactor {
             .stats()
             .up_peers()
             .into_iter()
-            .map(|(addr, _)| addr)
+            .map(|p| p.addr)
             .collect();
         let race_id = self.plane.races.create(
             self.shard_idx,
             group,
             key.widx,
+            key.arg,
             key.deadline_ms,
             token.clone(),
             remotes.clone(),

@@ -31,13 +31,15 @@
 use crate::commit::{CommitLedger, TallyState, VoteTally};
 use crate::frame::{Request, Response, ALT_DEADLINE, ALT_FAILED, ALT_OK};
 use crate::peer::{PeerHandle, SendTag};
+use crate::pool::WorkerPool;
 use crate::reactor::ReactorShared;
 use crate::sched::HedgePolicy;
 use crate::telemetry::Telemetry;
 use altx::CancelToken;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 /// Extra time past the client deadline before a distributed race is
@@ -45,6 +47,15 @@ use std::time::{Duration, Instant};
 const DEADLINE_GRACE: Duration = Duration::from_secs(1);
 /// Expiry cap for races with no client deadline.
 const UNBOUNDED_CAP: Duration = Duration::from_secs(10);
+/// A remote leg always gets at least this long before it is given up
+/// on, however fast the link's RTT claims the peer is — covers worker
+/// pickup and execution, not just the wire.
+const LEG_FLOOR: Duration = Duration::from_millis(20);
+/// Leg allowance as a multiple of the link's RTT EWMA.
+const LEG_RTT_MULT: u32 = 8;
+/// A leg may consume at most this fraction (in percent) of the client
+/// deadline, so a locally-redispatched alternative still has budget.
+const LEG_DEADLINE_PCT: u32 = 75;
 
 /// One shipped alternative, tracked until its result (or its peer's
 /// death) arrives.
@@ -53,6 +64,13 @@ struct RemoteAlt {
     alt_idx: u32,
     peer: String,
     pending: bool,
+    /// Per-leg deadline: the moment the origin stops waiting for this
+    /// peer and hedges the alternative locally instead.
+    deadline: Instant,
+    /// The leg blew its deadline and a local redo was submitted. The
+    /// slot stays `pending` — a late genuine result may still win —
+    /// but the leg is never redispatched twice.
+    redispatched: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +103,9 @@ struct DistRace {
     shard: usize,
     group: u64,
     widx: usize,
+    /// The client argument — kept so an expired leg can be re-run
+    /// locally with the same input.
+    arg: u64,
     deadline_ms: u32,
     started: Instant,
     expire_at: Instant,
@@ -118,6 +139,15 @@ enum Action {
     NoteWin {
         peer: String,
     },
+    /// A remote leg blew its per-leg deadline: run the alternative on
+    /// the local pool instead (hedged recovery).
+    Redispatch {
+        race_id: u64,
+        alt_idx: u32,
+        widx: usize,
+        arg: u64,
+        token: CancelToken,
+    },
 }
 
 /// The origin-side registry. One per daemon, shared by every reactor
@@ -128,6 +158,13 @@ pub(crate) struct RemoteRaces {
     next_id: AtomicU64,
     shards: OnceLock<Vec<Arc<ReactorShared>>>,
     peers: OnceLock<Arc<PeerHandle>>,
+    /// Local pool for redispatched legs. Unset (tests, peerless boot)
+    /// means legs never expire individually — the race-level sweep
+    /// remains the only backstop.
+    pool: OnceLock<Arc<WorkerPool>>,
+    /// Weak self-handle so a redispatched job's notifier can report
+    /// back without a reference cycle through the pool.
+    me: OnceLock<Weak<RemoteRaces>>,
     ledger: Arc<CommitLedger>,
     telemetry: Arc<Telemetry>,
     sched: Arc<HedgePolicy>,
@@ -146,6 +183,8 @@ impl RemoteRaces {
             next_id: AtomicU64::new(1),
             shards: OnceLock::new(),
             peers: OnceLock::new(),
+            pool: OnceLock::new(),
+            me: OnceLock::new(),
             ledger,
             telemetry,
             sched,
@@ -163,6 +202,18 @@ impl RemoteRaces {
         let _ = self.peers.set(peers);
     }
 
+    /// Wires the worker pool in (once, at startup). Without it,
+    /// per-leg deadlines are inert.
+    pub(crate) fn wire_pool(&self, pool: Arc<WorkerPool>) {
+        let _ = self.pool.set(pool);
+    }
+
+    /// Wires the registry's own `Arc` in (once, at startup) so
+    /// redispatched jobs can report their outcome back.
+    pub(crate) fn wire_self(&self, me: &Arc<RemoteRaces>) {
+        let _ = self.me.set(Arc::downgrade(me));
+    }
+
     /// Registers a new distributed race **before** anything races:
     /// the local subrace must be admitted and the `EXEC_ALT`s sent only
     /// after the entry exists, or an instant finisher would report into
@@ -175,6 +226,7 @@ impl RemoteRaces {
         shard: usize,
         group: u64,
         widx: usize,
+        arg: u64,
         deadline_ms: u32,
         local_cancel: CancelToken,
         remotes: Vec<(u32, String)>,
@@ -187,10 +239,18 @@ impl RemoteRaces {
         } else {
             started + UNBOUNDED_CAP
         };
+        // A leg may not eat more than a fraction of the client budget:
+        // whatever is left must suffice for the local redo.
+        let leg_cap = if deadline_ms > 0 {
+            Duration::from_millis(u64::from(deadline_ms)) * LEG_DEADLINE_PCT / 100
+        } else {
+            UNBOUNDED_CAP
+        };
         let race = DistRace {
             shard,
             group,
             widx,
+            arg,
             deadline_ms,
             started,
             expire_at,
@@ -199,10 +259,22 @@ impl RemoteRaces {
             deadline_seen: false,
             remotes: remotes
                 .into_iter()
-                .map(|(alt_idx, peer)| RemoteAlt {
-                    alt_idx,
-                    peer,
-                    pending: true,
+                .map(|(alt_idx, peer)| {
+                    let rtt_us = self
+                        .peers
+                        .get()
+                        .and_then(|h| h.stats().by_addr(&peer).map(|s| s.rtt_ewma_us()))
+                        .unwrap_or(0);
+                    let allowance = (Duration::from_micros(rtt_us) * LEG_RTT_MULT)
+                        .max(LEG_FLOOR)
+                        .min(leg_cap);
+                    RemoteAlt {
+                        alt_idx,
+                        peer,
+                        pending: true,
+                        deadline: started + allowance,
+                        redispatched: false,
+                    }
                 })
                 .collect(),
             voters: voters
@@ -310,6 +382,55 @@ impl RemoteRaces {
         self.act(actions);
     }
 
+    /// A locally-redispatched leg finished (worker notifier context).
+    /// Races the genuine remote result for the same slot: whichever
+    /// lands first clears `pending`, the other is ignored.
+    pub(crate) fn on_redispatch_result(
+        &self,
+        race_id: u64,
+        alt_idx: u32,
+        status: u8,
+        value: u64,
+        latency_us: u64,
+    ) {
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            let Some(race) = races.get_mut(&race_id) else {
+                return;
+            };
+            let Some(slot) = race
+                .remotes
+                .iter_mut()
+                .find(|r| r.alt_idx == alt_idx && r.pending && r.redispatched)
+            else {
+                return; // the real remote result beat the redo
+            };
+            slot.pending = false;
+            match status {
+                ALT_OK => {
+                    if race.candidate.is_none() {
+                        race.candidate = Some(Candidate {
+                            alt_idx,
+                            winner_name: format!("alt{alt_idx}"),
+                            value,
+                            exec_latency_us: latency_us,
+                            // Local execution: the stalled peer gets no
+                            // credit for the win.
+                            peer: None,
+                        });
+                    }
+                }
+                ALT_DEADLINE => race.deadline_seen = true,
+                _ => {}
+            }
+            if self.resolve(race_id, race, &mut actions) {
+                races.remove(&race_id);
+            }
+        }
+        self.act(actions);
+    }
+
     /// A shipped alternative will never run: the peer refused it, the
     /// link was down at send time, or it died before the ack.
     pub(crate) fn on_remote_refused(&self, race_id: u64, alt_idx: u32) {
@@ -398,7 +519,49 @@ impl RemoteRaces {
     /// fails over to a deadline/error reply. This is the backstop that
     /// keeps a silent peer from stranding a client.
     pub(crate) fn sweep(&self, now: Instant) {
+        self.expire_legs(now);
         self.flush_where(|race| race.expire_at <= now);
+    }
+
+    /// Expires individual remote legs past their per-leg deadline:
+    /// the leg's peer gets an `ELIMINATE` and the alternative is
+    /// redispatched on the local pool. The slot stays `pending` so a
+    /// late genuine result can still win the slot — only the *waiting*
+    /// stops. No-op until a pool is wired in.
+    fn expire_legs(&self, now: Instant) {
+        if self.pool.get().is_none() {
+            return;
+        }
+        let mut actions = Vec::new();
+        {
+            let mut races = self.lock();
+            for (&race_id, race) in races.iter_mut() {
+                if race.candidate.is_some() {
+                    continue; // deciding already; commit handles the legs
+                }
+                for slot in race
+                    .remotes
+                    .iter_mut()
+                    .filter(|r| r.pending && !r.redispatched && r.deadline <= now)
+                {
+                    slot.redispatched = true;
+                    self.telemetry.on_remote_redispatched();
+                    self.telemetry.on_elimination();
+                    actions.push(Action::SendEliminate {
+                        peer: slot.peer.clone(),
+                        race_id,
+                    });
+                    actions.push(Action::Redispatch {
+                        race_id,
+                        alt_idx: slot.alt_idx,
+                        widx: race.widx,
+                        arg: race.arg,
+                        token: race.local_cancel.clone(),
+                    });
+                }
+            }
+        }
+        self.act(actions);
     }
 
     /// Drain-time flush: every open race resolves *now* (degraded
@@ -440,9 +603,38 @@ impl RemoteRaces {
         self.act(actions);
     }
 
-    /// Earliest race expiry, for the peer thread's poll timeout.
+    /// Earliest race expiry — or pending leg deadline, when legs are
+    /// live — for the peer thread's poll timeout.
     pub(crate) fn next_expiry(&self) -> Option<Instant> {
-        self.lock().values().map(|r| r.expire_at).min()
+        let legs_live = self.pool.get().is_some();
+        self.lock()
+            .values()
+            .flat_map(|r| {
+                // A leg only contributes while its expiry would still
+                // do something: undecided race, not yet redispatched.
+                let legs = r
+                    .remotes
+                    .iter()
+                    .filter(move |s| {
+                        legs_live && r.candidate.is_none() && s.pending && !s.redispatched
+                    })
+                    .map(|s| s.deadline);
+                std::iter::once(r.expire_at).chain(legs)
+            })
+            .min()
+    }
+
+    /// The lowest still-open race id (or the next id to be assigned
+    /// when none is open). Race ids are handed out monotonically from
+    /// one counter, so every id below the watermark is decided — a
+    /// reconnecting peer can discard those races' state wholesale.
+    pub(crate) fn reconcile_watermark(&self) -> u64 {
+        let races = self.lock();
+        races
+            .keys()
+            .copied()
+            .min()
+            .unwrap_or_else(|| self.next_id.load(Ordering::Relaxed))
     }
 
     /// Open distributed races (diagnostic/test hook).
@@ -514,15 +706,16 @@ impl RemoteRaces {
             self.telemetry.on_remote_win();
             actions.push(Action::NoteWin { peer: peer.clone() });
         }
-        // Local siblings: cancel the subrace if it is still running.
-        if race.local_pending {
-            race.local_cancel.cancel();
-        }
+        // Local siblings — and any redispatched legs, which share the
+        // subrace token — are cancelled unconditionally (a no-op when
+        // everything local already finished).
+        race.local_cancel.cancel();
         // Remote siblings: one ELIMINATE per peer still owing a result.
+        // Redispatched legs already got theirs at leg expiry.
         let mut peers: Vec<String> = race
             .remotes
             .iter()
-            .filter(|r| r.pending)
+            .filter(|r| r.pending && !r.redispatched)
             .map(|r| r.peer.clone())
             .collect();
         peers.sort();
@@ -600,13 +793,17 @@ impl RemoteRaces {
                 }
                 Action::SendEliminate { peer, race_id } => {
                     if let Some(h) = self.peers.get() {
+                        // Tagged so a link that dies before the ack can
+                        // re-park the ELIMINATE for replay on reconnect
+                        // (zombie executions must not outlive a
+                        // partition).
                         h.send(
                             &peer,
                             Request::Eliminate {
                                 race_id,
                                 origin: self.advertise.clone(),
                             },
-                            SendTag::Fire,
+                            SendTag::Eliminate { race_id },
                         );
                     }
                 }
@@ -617,8 +814,62 @@ impl RemoteRaces {
                         }
                     }
                 }
+                Action::Redispatch {
+                    race_id,
+                    alt_idx,
+                    widx,
+                    arg,
+                    token,
+                } => {
+                    if !self.redispatch(race_id, alt_idx, widx, arg, token) {
+                        // Pool full or not wired: the leg converts to a
+                        // failed guard like any refused dispatch.
+                        self.on_remote_refused(race_id, alt_idx);
+                    }
+                }
             }
         }
+    }
+
+    /// Submits a local redo of an expired remote leg. The job runs the
+    /// exact same single-alternative execution an `EXEC_ALT` peer
+    /// would, under the subrace token so commit/expiry cancels it.
+    fn redispatch(
+        &self,
+        race_id: u64,
+        alt_idx: u32,
+        widx: usize,
+        arg: u64,
+        token: CancelToken,
+    ) -> bool {
+        let (Some(pool), Some(me)) = (self.pool.get(), self.me.get()) else {
+            return false;
+        };
+        let Some(me) = me.upgrade() else {
+            return false;
+        };
+        let slot: Arc<Mutex<Option<(u8, u64, u64)>>> = Arc::new(Mutex::new(None));
+        let job = {
+            let slot = Arc::clone(&slot);
+            let telemetry = Arc::clone(&self.telemetry);
+            Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    crate::server::run_remote_alt(&telemetry, widx, alt_idx, arg, &token)
+                }))
+                .unwrap_or((ALT_FAILED, 0, 0));
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
+            })
+        };
+        let notify = Box::new(move || {
+            // An empty slot means the pool dropped the job unrun.
+            let (status, value, latency_us) = slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .unwrap_or((ALT_FAILED, 0, 0));
+            me.on_redispatch_result(race_id, alt_idx, status, value, latency_us);
+        });
+        pool.try_submit_notify(job, notify).is_ok()
     }
 }
 
@@ -670,6 +921,31 @@ impl InflightRemote {
         }
     }
 
+    /// Partition-heal reconciliation: cancels every execution for
+    /// `origin`'s races below `watermark`. The origin advertises its
+    /// lowest still-open race id on reconnect; everything below it was
+    /// decided while the link was down, so whatever this node is still
+    /// running for those races is a zombie. Returns how many
+    /// executions were cancelled.
+    pub(crate) fn eliminate_below(&self, origin: &str, watermark: u64) -> usize {
+        let mut map = self.lock();
+        let keys: Vec<(String, u64)> = map
+            .keys()
+            .filter(|(o, id)| o == origin && *id < watermark)
+            .cloned()
+            .collect();
+        let mut n = 0;
+        for key in keys {
+            if let Some(slots) = map.remove(&key) {
+                for (_, token) in &slots {
+                    token.cancel();
+                }
+                n += slots.len();
+            }
+        }
+        n
+    }
+
     /// Registered alternatives (test/diagnostic hook).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
@@ -712,6 +988,7 @@ mod tests {
             7,
             0,
             0,
+            0,
             CancelToken::new(),
             vec![(1, "peer:1".into())],
             vec![],
@@ -731,6 +1008,7 @@ mod tests {
         let id = races.create(
             0,
             1,
+            0,
             0,
             0,
             CancelToken::new(),
@@ -759,6 +1037,7 @@ mod tests {
             0,
             1,
             0,
+            0,
             50,
             CancelToken::new(),
             vec![(1, "a:1".into()), (2, "b:2".into())],
@@ -780,6 +1059,7 @@ mod tests {
         let id = races.create(
             0,
             1,
+            0,
             0,
             0,
             CancelToken::new(),
@@ -809,6 +1089,7 @@ mod tests {
             1,
             0,
             0,
+            0,
             token.clone(),
             vec![],
             vec!["v1:1".into(), "v2:2".into()],
@@ -832,6 +1113,7 @@ mod tests {
             1,
             0,
             0,
+            0,
             CancelToken::new(),
             vec![],
             vec!["v1:1".into(), "v2:2".into()],
@@ -847,7 +1129,16 @@ mod tests {
     #[test]
     fn duplicate_votes_are_ignored() {
         let races = registry();
-        let id = races.create(0, 1, 0, 0, CancelToken::new(), vec![], vec!["v1:1".into()]);
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            0,
+            CancelToken::new(),
+            vec![],
+            vec!["v1:1".into()],
+        );
         races.on_local_done(id, ok(0, 1));
         assert_eq!(races.len(), 1);
         races.on_vote(id, "v1:1", false);
@@ -863,6 +1154,7 @@ mod tests {
         let id = races.create(
             0,
             1,
+            0,
             0,
             10,
             token.clone(),
@@ -883,7 +1175,16 @@ mod tests {
     #[test]
     fn shutdown_flush_degrades_a_race_stuck_in_voting() {
         let races = registry();
-        let id = races.create(0, 1, 0, 0, CancelToken::new(), vec![], vec!["v:1".into()]);
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            0,
+            CancelToken::new(),
+            vec![],
+            vec!["v:1".into()],
+        );
         races.on_local_done(id, ok(0, 9));
         assert_eq!(races.len(), 1, "waiting on the voter");
         races.shutdown_flush();
@@ -891,6 +1192,120 @@ mod tests {
         let s = races.telemetry.snapshot();
         assert_eq!(s.commits_degraded, 1);
         assert_eq!(s.completed, 1);
+    }
+
+    #[test]
+    fn expired_leg_redispatches_locally_and_answers() {
+        let races = Arc::new(registry());
+        let pool = Arc::new(WorkerPool::new(2, 8));
+        races.wire_pool(Arc::clone(&pool));
+        races.wire_self(&races);
+        // widx 0 is "trivial": both alternatives succeed instantly, so
+        // the local redo of alt 1 must win the race.
+        let id = races.create(
+            0,
+            1,
+            0,
+            7,
+            0,
+            CancelToken::new(),
+            vec![(1, "stalled:1".into())],
+            vec![],
+        );
+        races.on_local_done(
+            id,
+            Response::Error {
+                message: "guards failed".into(),
+            },
+        );
+        assert_eq!(races.len(), 1, "only the shipped leg can still answer");
+        // The leg deadline (20ms floor; no RTT sample) passes silently.
+        races.sweep(Instant::now() + Duration::from_millis(50));
+        assert_eq!(races.telemetry.snapshot().remote_redispatched, 1);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while races.len() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(races.len(), 0, "the local redo answers the race");
+        let s = races.telemetry.snapshot();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.remote_wins, 0, "a local redo is not a remote win");
+        assert_eq!(s.eliminations, 1, "the stalled peer was told to stop");
+        // A late genuine result for the already-decided race is a no-op.
+        races.on_remote_result(id, 1, ALT_OK, 9, 100);
+        assert_eq!(races.telemetry.snapshot().completed, 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn legs_do_not_expire_without_a_pool() {
+        let races = registry();
+        let id = races.create(
+            0,
+            1,
+            0,
+            0,
+            0,
+            CancelToken::new(),
+            vec![(1, "stalled:1".into())],
+            vec![],
+        );
+        races.on_local_done(
+            id,
+            Response::Error {
+                message: "guards failed".into(),
+            },
+        );
+        // Well past the leg floor but before race expiry: nothing to
+        // redispatch onto, so the leg keeps waiting.
+        races.sweep(Instant::now() + Duration::from_millis(200));
+        assert_eq!(races.len(), 1);
+        assert_eq!(races.telemetry.snapshot().remote_redispatched, 0);
+    }
+
+    #[test]
+    fn reconcile_watermark_tracks_the_lowest_open_race() {
+        let races = registry();
+        assert_eq!(races.reconcile_watermark(), 1, "nothing open: next id");
+        let a = races.create(
+            0,
+            1,
+            0,
+            0,
+            0,
+            CancelToken::new(),
+            vec![(1, "p:1".into())],
+            vec![],
+        );
+        let b = races.create(
+            0,
+            2,
+            0,
+            0,
+            0,
+            CancelToken::new(),
+            vec![(1, "p:1".into())],
+            vec![],
+        );
+        assert_eq!(races.reconcile_watermark(), a, "lowest open id");
+        races.on_local_done(a, ok(0, 1));
+        assert_eq!(races.reconcile_watermark(), b, "a decided, b still open");
+        races.on_local_done(b, ok(0, 1));
+        assert_eq!(races.reconcile_watermark(), b + 1, "all decided: next id");
+    }
+
+    #[test]
+    fn eliminate_below_kills_only_zombies_under_the_watermark() {
+        let inflight = InflightRemote::new();
+        let (t1, t2, t3) = (CancelToken::new(), CancelToken::new(), CancelToken::new());
+        inflight.register("o:1", 3, 0, t1.clone());
+        inflight.register("o:1", 7, 0, t2.clone());
+        inflight.register("o:2", 3, 0, t3.clone());
+        assert_eq!(inflight.eliminate_below("o:1", 7), 1);
+        assert!(t1.is_cancelled(), "race below the watermark is a zombie");
+        assert!(!t2.is_cancelled(), "race at the watermark is still live");
+        assert!(!t3.is_cancelled(), "other origin is untouched");
+        assert_eq!(inflight.len(), 2);
     }
 
     #[test]

@@ -169,9 +169,14 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         Arc::clone(&races),
         Arc::clone(&ledger),
         Arc::clone(&ctl),
+        Arc::clone(&telemetry),
+        advertise.clone(),
+        &config.peer,
     )?;
     ctl.wire_peer_wake(peer_handle.clone_waker()?);
     races.wire_peers(Arc::clone(&peer_handle));
+    races.wire_pool(Arc::clone(&pool));
+    races.wire_self(&races);
     let plane = Arc::new(PeerPlane {
         handle: peer_handle,
         races: Arc::clone(&races),

@@ -216,6 +216,12 @@ pub struct Telemetry {
     /// Shipped alternatives converted to failed guards (refused,
     /// executor failure, or peer death).
     remote_failed: AtomicU64,
+    /// Remote legs that blew their per-leg deadline and were re-run on
+    /// the local pool (hedged recovery from a stalled peer).
+    remote_redispatched: AtomicU64,
+    /// Replies from a previous link incarnation dropped by the
+    /// reconnect-generation check.
+    peer_stale_replies: AtomicU64,
     /// `EXEC_ALT` requests this node admitted as an executor.
     remote_execs: AtomicU64,
     /// Commit-semaphore votes this node's ledger handled (its own
@@ -293,6 +299,12 @@ pub struct Snapshot {
     pub remote_wins: u64,
     /// Shipped alternatives converted to failed guards.
     pub remote_failed: u64,
+    /// Remote legs redispatched locally after a blown leg deadline.
+    pub remote_redispatched: u64,
+    /// Stale pre-reconnect replies dropped by the generation check.
+    pub peer_stale_replies: u64,
+    /// Transitions into the Quarantined peer state, summed over peers.
+    pub peer_quarantines: u64,
     /// `EXEC_ALT` requests this node admitted as an executor.
     pub remote_execs: u64,
     /// Commit-semaphore votes handled by this node's ledger.
@@ -408,6 +420,17 @@ impl Telemetry {
         self.remote_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one remote leg redispatched locally after its per-leg
+    /// deadline expired.
+    pub fn on_remote_redispatched(&self) {
+        self.remote_redispatched.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one stale reply (pre-reconnect link generation) dropped.
+    pub fn on_peer_stale_reply(&self) {
+        self.peer_stale_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts one `EXEC_ALT` this node admitted as an executor.
     pub fn on_remote_exec(&self) {
         self.remote_execs.fetch_add(1, Ordering::Relaxed);
@@ -493,6 +516,9 @@ impl Telemetry {
             remote_results: self.remote_results.load(Ordering::Relaxed),
             remote_wins: self.remote_wins.load(Ordering::Relaxed),
             remote_failed: self.remote_failed.load(Ordering::Relaxed),
+            remote_redispatched: self.remote_redispatched.load(Ordering::Relaxed),
+            peer_stale_replies: self.peer_stale_replies.load(Ordering::Relaxed),
+            peer_quarantines: self.peers.get().map_or(0, |p| p.total_quarantines()),
             remote_execs: self.remote_execs.load(Ordering::Relaxed),
             commit_votes: self.commit_votes.load(Ordering::Relaxed),
             commits_degraded: self.commits_degraded.load(Ordering::Relaxed),
@@ -548,6 +574,12 @@ impl Telemetry {
         out.push_str(&format!("  remote results      {}\n", s.remote_results));
         out.push_str(&format!("  remote wins         {}\n", s.remote_wins));
         out.push_str(&format!("  remote failed       {}\n", s.remote_failed));
+        out.push_str(&format!(
+            "  remote redispatched {}\n",
+            s.remote_redispatched
+        ));
+        out.push_str(&format!("  peer stale replies  {}\n", s.peer_stale_replies));
+        out.push_str(&format!("  peer quarantines    {}\n", s.peer_quarantines));
         out.push_str(&format!("  remote execs        {}\n", s.remote_execs));
         out.push_str(&format!("  commit votes        {}\n", s.commit_votes));
         out.push_str(&format!("  commits degraded    {}\n", s.commits_degraded));
@@ -556,14 +588,20 @@ impl Telemetry {
         out.push_str(&format!("  peer reconnects     {}\n", s.peer_reconnects));
         if let Some(peers) = self.peers.get() {
             for p in peers.peers() {
+                let (queued, busy, workers) = p.load();
                 out.push_str(&format!(
-                    "    peer {}: up {} rtt_us {} dispatched {} wins {} reconnects {}\n",
+                    "    peer {}: up {} health {} rtt_us {} dispatched {} wins {} reconnects {} quarantines {} load {}/{}/{}\n",
                     p.addr(),
                     u8::from(p.up()),
+                    p.health().label(),
                     p.rtt_ewma_us(),
                     p.dispatched(),
                     p.wins(),
-                    p.reconnects()
+                    p.reconnects(),
+                    p.quarantines(),
+                    queued,
+                    busy,
+                    workers,
                 ));
             }
         }
@@ -704,6 +742,24 @@ impl Telemetry {
         );
         counter(
             &mut out,
+            "altxd_remote_redispatched_total",
+            "Remote legs redispatched locally after a blown leg deadline",
+            s.remote_redispatched,
+        );
+        counter(
+            &mut out,
+            "altxd_peer_stale_replies_total",
+            "Stale pre-reconnect replies dropped by the generation check",
+            s.peer_stale_replies,
+        );
+        counter(
+            &mut out,
+            "altxd_peer_quarantines_total",
+            "Transitions into the Quarantined peer state",
+            s.peer_quarantines,
+        );
+        counter(
+            &mut out,
             "altxd_remote_execs_total",
             "EXEC_ALT requests admitted as an executor",
             s.remote_execs,
@@ -778,6 +834,17 @@ impl Telemetry {
                     "altxd_peer_up{{peer=\"{}\"}} {}\n",
                     p.addr(),
                     u8::from(p.up())
+                ));
+            }
+            out.push_str(
+                "# HELP altxd_peer_health Peer health state (0 = up, 1 = suspect, 2 = quarantined)\n",
+            );
+            out.push_str("# TYPE altxd_peer_health gauge\n");
+            for p in peers.peers() {
+                out.push_str(&format!(
+                    "altxd_peer_health{{peer=\"{}\"}} {}\n",
+                    p.addr(),
+                    p.health() as u8
                 ));
             }
             out.push_str("# HELP altxd_peer_rtt_us Peer round-trip EWMA in microseconds\n");

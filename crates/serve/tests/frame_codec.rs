@@ -10,7 +10,7 @@ fn arb_request(rng: &mut CaseRng) -> Request {
     let name = |r: &mut CaseRng, lo: usize, hi: usize| {
         String::from_utf8(r.vec(lo, hi, |r| b'a' + (r.u8() % 26))).expect("ascii")
     };
-    match rng.usize_in(0, 9) {
+    match rng.usize_in(0, 10) {
         0 => Request::Run {
             workload: name(rng, 0, 40),
             deadline_ms: rng.u64_in(0, u32::MAX as u64 + 1) as u32,
@@ -41,6 +41,10 @@ fn arb_request(rng: &mut CaseRng) -> Request {
         },
         7 => Request::Eliminate {
             race_id: rng.u64(),
+            origin: name(rng, 0, 40),
+        },
+        8 => Request::Reconcile {
+            watermark: rng.u64(),
             origin: name(rng, 0, 40),
         },
         _ => Request::PeerStats,
@@ -261,14 +265,86 @@ fn incremental_decoder_rejects_oversize_and_truncation() {
     });
 }
 
+/// Every cluster opcode body (EXEC_ALT through RECONCILE) survives the
+/// incremental decoder at every stream split point, and every strict
+/// prefix of the body is an error — a partition chopping a frame
+/// mid-field can never mis-parse into a different message.
+#[test]
+fn cluster_opcode_bodies_at_every_split_point() {
+    let name = |r: &mut CaseRng, lo: usize, hi: usize| {
+        String::from_utf8(r.vec(lo, hi, |r| b'a' + (r.u8() % 26))).expect("ascii")
+    };
+    check("cluster_opcode_bodies_split", 32, |rng| {
+        let reqs = vec![
+            Request::ExecAlt {
+                race_id: rng.u64(),
+                alt_idx: rng.u64_in(0, 1 << 32) as u32,
+                deadline_ms: rng.u64_in(0, u32::MAX as u64 + 1) as u32,
+                arg: rng.u64(),
+                workload: name(rng, 1, 40),
+                origin: name(rng, 1, 40),
+            },
+            Request::AltResult {
+                race_id: rng.u64(),
+                alt_idx: rng.u64_in(0, 1 << 32) as u32,
+                status: rng.u64_in(0, 3) as u8,
+                value: rng.u64(),
+                latency_us: rng.u64(),
+            },
+            Request::CommitVote {
+                race_id: rng.u64(),
+                origin: name(rng, 1, 40),
+                candidate: name(rng, 1, 60),
+            },
+            Request::Eliminate {
+                race_id: rng.u64(),
+                origin: name(rng, 1, 40),
+            },
+            Request::PeerStats,
+            Request::Reconcile {
+                watermark: rng.u64(),
+                origin: name(rng, 1, 40),
+            },
+        ];
+        for req in reqs {
+            let body = req.encode();
+            for cut in 0..body.len() {
+                assert!(
+                    Request::decode(&body[..cut]).is_err(),
+                    "{req:?}: prefix of {cut}/{} bytes must not parse",
+                    body.len()
+                );
+            }
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &body).expect("vec write");
+            for cut in 0..=wire.len() {
+                let mut decoder = FrameDecoder::new();
+                let mut got = Vec::new();
+                for chunk in [&wire[..cut], &wire[cut..]] {
+                    decoder.extend(chunk);
+                    while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                        got.push(frame);
+                    }
+                }
+                assert_eq!(got.len(), 1, "{req:?}: split at {cut}");
+                assert_eq!(
+                    Request::decode(&got[0]).expect("framed body decodes"),
+                    req,
+                    "split at {cut}"
+                );
+            }
+        }
+    });
+}
+
 /// An opcode byte outside the protocol maps to `UnknownOpcode` — the
 /// distinguished, stream-preserving error — never to `Malformed`, and
 /// never to a bogus parse.
 #[test]
 fn unknown_opcodes_distinguished_from_malformed() {
     check("unknown_opcodes_distinguished", 128, |rng| {
-        // 0x01..=0x0A are assigned; everything above is free.
-        let op = rng.u64_in(0x0B, 0x100) as u8;
+        // 0x01..=0x0B are assigned; everything above is free.
+        let op = rng.u64_in(0x0C, 0x100) as u8;
         let mut body = vec![op];
         body.extend(rng.bytes(0, 32));
         match Request::decode(&body) {

@@ -22,6 +22,9 @@ cargo fmt --check
 echo "==> chaos soak (pinned seed, own process)"
 ALTX_CHAOS_SEED=0xC0FFEE cargo test -q -p altx-serve --test chaos_soak
 
+echo "==> cluster chaos soak (pinned seed, 3 in-process nodes, wire faults + healing partition)"
+ALTX_CHAOS_SEED=0xC0FFEE cargo test -q -p altx-serve --test cluster_chaos
+
 echo "==> race scheduler suite (hedged launches + batching)"
 cargo test -q -p altx-serve --test sched
 
