@@ -7,8 +7,11 @@
 //! that: the first arrival *opens* a batch and starts a window; later
 //! identical arrivals *join* it; when the window expires the batch is
 //! submitted as one race and the single winner's reply is fanned out to
-//! every waiter. Thread spawn, COW forks, and alternative bodies are all
-//! paid once per batch instead of once per request.
+//! every waiter. Thread spawn, COW forks, alternative bodies, *and the
+//! reply encoding* are all paid once per batch instead of once per
+//! request — the fan-out shares one ring-slot encoding across the N
+//! waiters (each socket reads the same slot; the last write retires
+//! it), never re-encoding per waiter.
 //!
 //! The batcher lives inside the single-threaded reactor, so it needs no
 //! locks; time is passed in explicitly, which keeps expiry deterministic

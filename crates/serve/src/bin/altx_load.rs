@@ -5,6 +5,7 @@
 //!           [--threads N] [--connections N] [--duration SECS]
 //!           [--deadline-ms N] [--out FILE.json] [--retries N]
 //!           [--hedge-ms N] [--batch-window-us N]
+//!           [--hist-diff BASELINE.json]
 //! ```
 //!
 //! Spawns `N` client threads, each with its own connection, issuing
@@ -41,10 +42,17 @@
 //! fatal.
 //!
 //! Prints a summary table and writes a JSON report — throughput,
-//! p50/p99/p99.9/max latency, reply mix, per-alternative win counts,
-//! client resilience counters, and the daemon's post-run scheduler
-//! counters (`server_*` fields, parsed from its STATS page) — to
-//! `--out` (default `BENCH_serve_throughput.json`).
+//! p50/p90/p99/p99.9/max latency, reply mix, per-alternative win
+//! counts, client resilience counters, and the daemon's post-run
+//! scheduler and reply-ring counters (`server_*` fields, parsed from
+//! its STATS page) — to `--out` (default
+//! `BENCH_serve_throughput.json`).
+//!
+//! `--hist-diff BASELINE.json` compares the run just measured against
+//! a previous report: after the summary a per-percentile delta table
+//! (throughput, p50/p90/p99/p99.9/max) is printed with the relative
+//! change per row. Keys missing from the baseline (older reports have
+//! no `p90_us`) render as `n/a` rather than failing.
 
 use altx_serve::client::{ClientConfig, RetryPolicy};
 use altx_serve::frame::{Request, Response};
@@ -70,6 +78,9 @@ struct Args {
     /// scraped after the run and the cluster counters summed into the
     /// report alongside the target daemon's.
     peers: Vec<String>,
+    /// Previous report to diff the fresh percentiles against
+    /// (`--hist-diff BASELINE.json`).
+    hist_diff: Option<String>,
 }
 
 impl Args {
@@ -102,6 +113,7 @@ fn parse_args() -> Result<Args, String> {
         hedge_ms: 0,
         batch_window_us: 0,
         peers: Vec::new(),
+        hist_diff: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -150,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--batch-window-us: {e}"))?
             }
+            "--hist-diff" => args.hist_diff = Some(value("--hist-diff")?),
             "--peers" => {
                 args.peers = value("--peers")?
                     .split(',')
@@ -162,7 +175,7 @@ fn parse_args() -> Result<Args, String> {
                     "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
                      [--threads N] [--connections N] [--duration SECS] [--deadline-ms N] \
                      [--out FILE.json] [--retries N] [--hedge-ms N] [--batch-window-us N] \
-                     [--peers HOST:PORT,...]"
+                     [--peers HOST:PORT,...] [--hist-diff BASELINE.json]"
                 );
                 std::process::exit(0);
             }
@@ -331,6 +344,8 @@ struct ServerCounters {
     remote_dispatched: u64,
     remote_wins: u64,
     peer_reconnects: u64,
+    ring_hits: u64,
+    ring_spills: u64,
 }
 
 fn scrape_server_counters(stats: &str) -> ServerCounters {
@@ -344,6 +359,8 @@ fn scrape_server_counters(stats: &str) -> ServerCounters {
         remote_dispatched: get(&["remote", "dispatched"]),
         remote_wins: get(&["remote", "wins"]),
         peer_reconnects: get(&["peer", "reconnects"]),
+        ring_hits: get(&["ring", "hits"]),
+        ring_spills: get(&["ring", "spills"]),
     }
 }
 
@@ -364,6 +381,33 @@ fn percentile(sorted_us: &[u64], p: f64) -> u64 {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Pulls one numeric field out of a flat JSON report without a parser:
+/// finds `"key":` at top level and reads the number after it. Returns
+/// `None` when the key is absent (older reports lack some fields) or
+/// the value is not a number — the diff table shows `n/a` for those.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && !matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// One row of the `--hist-diff` table: baseline value (if the key was
+/// present), fresh value, and the relative change.
+fn diff_row(label: &str, baseline: Option<f64>, fresh: f64) {
+    match baseline {
+        Some(base) if base > 0.0 => {
+            let delta = (fresh - base) / base * 100.0;
+            println!("  {label:<14} {base:>12.1} {fresh:>12.1} {delta:>+9.1}%");
+        }
+        Some(base) => println!("  {label:<14} {base:>12.1} {fresh:>12.1} {:>10}", "n/a"),
+        None => println!("  {label:<14} {:>12} {fresh:>12.1} {:>10}", "n/a", "n/a"),
+    }
 }
 
 fn main() {
@@ -544,6 +588,7 @@ fn main() {
     let total = merged.ok + merged.deadline_exceeded + merged.overloaded + merged.errors;
     let throughput = merged.ok as f64 / elapsed;
     let p50 = percentile(&merged.latencies_us, 0.50);
+    let p90 = percentile(&merged.latencies_us, 0.90);
     let p99 = percentile(&merged.latencies_us, 0.99);
     let p999 = percentile(&merged.latencies_us, 0.999);
     let max = merged.latencies_us.last().copied().unwrap_or(0);
@@ -569,7 +614,7 @@ fn main() {
     println!("  overloaded (shed)   {}", merged.overloaded);
     println!("  errors              {}", merged.errors);
     println!("  throughput          {throughput:.0} req/s");
-    println!("  latency us          p50 {p50}  p99 {p99}  p99.9 {p999}  max {max}");
+    println!("  latency us          p50 {p50}  p90 {p90}  p99 {p99}  p99.9 {p999}  max {max}");
     if merged.retries + merged.hedges + merged.reconnects + merged.abandoned > 0 {
         println!(
             "  resilience          retries {}  hedges {}  reconnects {}  abandoned {}",
@@ -583,6 +628,10 @@ fn main() {
         server.hedges_launched,
         server.hedge_wins,
         server.launches_suppressed
+    );
+    println!(
+        "  server ring         hits {}  spills {}",
+        server.ring_hits, server.ring_spills
     );
     if !args.peers.is_empty() {
         println!(
@@ -609,9 +658,11 @@ fn main() {
          \"server_batches_formed\": {},\n  \"server_requests_coalesced\": {},\n  \
          \"server_hedges_launched\": {},\n  \"server_hedge_wins\": {},\n  \
          \"server_launches_suppressed\": {},\n  \
+         \"server_ring_hits\": {},\n  \"server_ring_spills\": {},\n  \
          \"remote_dispatched\": {},\n  \"remote_wins\": {},\n  \
          \"peer_reconnects\": {},\n  \
-         \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
+         \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p90_us\": {},\n  \
+         \"p99_us\": {},\n  \
          \"p999_us\": {},\n  \"max_us\": {},\n  \
          \"wins\": {{\n{}\n  }}\n}}\n",
         json_escape(&args.workload),
@@ -635,11 +686,14 @@ fn main() {
         server.hedges_launched,
         server.hedge_wins,
         server.launches_suppressed,
+        server.ring_hits,
+        server.ring_spills,
         server.remote_dispatched,
         server.remote_wins,
         server.peer_reconnects,
         throughput,
         p50,
+        p90,
         p99,
         p999,
         max,
@@ -650,4 +704,32 @@ fn main() {
         std::process::exit(1);
     }
     println!("altx-load: wrote {}", args.out);
+
+    // Percentile-by-percentile comparison against a previous report.
+    // A baseline that predates a field (older reports have no p90_us)
+    // shows `n/a` on that row instead of aborting the diff.
+    if let Some(path) = &args.hist_diff {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("altx-load: reading --hist-diff {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("altx-load: latency diff vs {path}");
+        println!(
+            "  {:<14} {:>12} {:>12} {:>10}",
+            "metric", "baseline", "current", "delta"
+        );
+        diff_row(
+            "throughput",
+            json_number(&baseline, "throughput_rps"),
+            throughput,
+        );
+        diff_row("p50 us", json_number(&baseline, "p50_us"), p50 as f64);
+        diff_row("p90 us", json_number(&baseline, "p90_us"), p90 as f64);
+        diff_row("p99 us", json_number(&baseline, "p99_us"), p99 as f64);
+        diff_row("p99.9 us", json_number(&baseline, "p999_us"), p999 as f64);
+        diff_row("max us", json_number(&baseline, "max_us"), max as f64);
+    }
 }

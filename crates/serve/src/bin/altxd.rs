@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! altxd [--addr HOST:PORT] [--workers N] [--queue N] [--shards N]
+//!       [--ring-slots N] [--ring-slot-bytes N]
 //!       [--duration SECS] [--batch-window-us N] [--hedge]
 //!       [--hedge-min-samples N] [--hedge-explore-every N]
 //! ```
@@ -16,9 +17,16 @@
 //! statistically favoured alternative starts immediately and the rest
 //! are held back until its observed p95 has passed.
 //!
-//! `--shards N` runs N independent reactor event loops behind one
-//! acceptor thread (accepted connections are dealt round-robin); the
-//! default of 1 keeps the classic single-reactor front end.
+//! `--shards N` runs N independent reactor event loops, each accepting
+//! on its own `SO_REUSEPORT` listener (an acceptor thread dealing
+//! connections round-robin remains as the fallback where the socket
+//! option is unavailable); the default of 1 keeps the classic
+//! single-reactor front end.
+//!
+//! `--ring-slots N` / `--ring-slot-bytes N` size the per-shard reply
+//! ring — the fixed buffers winning replies are encoded straight into
+//! (one copy to the kernel, no steady-state allocation). `--ring-slots
+//! 0` disables the ring, reproducing the old allocate-per-reply path.
 //!
 //! `--peer HOST:PORT` (repeatable) joins a cluster: the daemon keeps an
 //! outbound link to each named peer, ships non-favourite alternatives
@@ -33,7 +41,9 @@
 //! is how long a link may stay silent before its peer is marked
 //! Suspect — twice that quarantines it until it answers again.
 
-use altx_serve::server::{available_workers, start, ServerConfig};
+use altx_serve::server::{
+    available_workers, start, ServerConfig, DEFAULT_RING_SLOTS, DEFAULT_RING_SLOT_BYTES,
+};
 use altx_serve::workload::CATALOG;
 use altx_serve::{HedgeConfig, PeerConfig};
 use std::time::Duration;
@@ -43,6 +53,8 @@ struct Args {
     workers: usize,
     queue_depth: usize,
     shards: usize,
+    ring_slots: usize,
+    ring_slot_bytes: usize,
     duration_s: u64,
     batch_window: Duration,
     hedge: HedgeConfig,
@@ -55,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         workers: available_workers(),
         queue_depth: 64,
         shards: 1,
+        ring_slots: DEFAULT_RING_SLOTS,
+        ring_slot_bytes: DEFAULT_RING_SLOT_BYTES,
         duration_s: 0,
         batch_window: Duration::ZERO,
         hedge: HedgeConfig::default(),
@@ -80,6 +94,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse::<usize>()
                     .map_err(|e| format!("--shards: {e}"))?
                     .max(1)
+            }
+            "--ring-slots" => {
+                args.ring_slots = value("--ring-slots")?
+                    .parse()
+                    .map_err(|e| format!("--ring-slots: {e}"))?
+            }
+            "--ring-slot-bytes" => {
+                args.ring_slot_bytes = value("--ring-slot-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--ring-slot-bytes: {e}"))?
             }
             "--duration" => {
                 args.duration_s = value("--duration")?
@@ -123,7 +147,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--shards N] [--duration SECS] [--batch-window-us N] [--hedge] \
+                     [--shards N] [--ring-slots N] [--ring-slot-bytes N] \
+                     [--duration SECS] [--batch-window-us N] [--hedge] \
                      [--hedge-min-samples N] [--hedge-explore-every N] \
                      [--peer HOST:PORT]... [--advertise HOST:PORT] \
                      [--peer-explore-every N] [--peer-heartbeat-ms N] \
@@ -152,6 +177,8 @@ fn main() {
         batch_window: args.batch_window,
         hedge: args.hedge.clone(),
         shards: args.shards,
+        ring_slots: args.ring_slots,
+        ring_slot_bytes: args.ring_slot_bytes,
         peer: args.peer.clone(),
     }) {
         Ok(h) => h,
@@ -168,6 +195,14 @@ fn main() {
         args.shards,
         if args.shards == 1 { "" } else { "s" }
     );
+    if args.ring_slots > 0 {
+        println!(
+            "reply ring: {} slots x {} B per shard (spills fall back to the pool)",
+            args.ring_slots, args.ring_slot_bytes
+        );
+    } else {
+        println!("reply ring: disabled (allocate-per-reply path)");
+    }
     if !args.batch_window.is_zero() {
         println!("batching: window {:?}", args.batch_window);
     }

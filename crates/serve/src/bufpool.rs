@@ -6,11 +6,16 @@
 //! thousands of requests per second that is pure allocator churn — the
 //! buffers are all the same handful of sizes and die microseconds after
 //! they are born. The [`BufPool`] keeps them alive instead: a shard-local
-//! free list of `Vec<u8>`s that decode bodies and encoded replies are
-//! drawn from and returned to, so a steady-state request is served
-//! entirely from recycled memory (the paper's lazy-copy discipline —
-//! §3.2 copies a page only when someone writes it — applied to the
-//! serving layer's byte buffers: never allocate what you can reuse).
+//! free list of `Vec<u8>`s that decode bodies are drawn from and
+//! returned to, so a steady-state request is served entirely from
+//! recycled memory (the paper's lazy-copy discipline — §3.2 copies a
+//! page only when someone writes it — applied to the serving layer's
+//! byte buffers: never allocate what you can reuse). Since the ring
+//! data plane (`ring.rs`) landed, replies normally live in fixed ring
+//! slots instead; the pool is the reply path's **spill sink** — an
+//! oversize or ring-exhausted reply encodes into a pooled buffer and
+//! recycles here after the socket write (the retain cap below keeps a
+//! one-off giant spill from pinning memory).
 //!
 //! The pool is deliberately **not** thread-safe: each reactor shard owns
 //! one and threads it through its connections by `&mut`, so a get/put is

@@ -1,26 +1,75 @@
 //! Per-connection state machine for the reactor front end.
 //!
 //! A connection owns a non-blocking socket, an incremental
-//! [`FrameDecoder`] for the inbound side, and an outbound byte buffer
-//! flushed opportunistically. Because requests pipeline — a client may
-//! send several RUN frames before the first reply lands — every request
-//! is assigned a monotonically increasing *sequence number* at decode
-//! time, and replies are released to the write buffer strictly in
-//! sequence order: a completion for seq 3 parks in its slot until seqs
-//! 1 and 2 have been encoded, so replies always come back in request
-//! order no matter which race finishes first.
+//! [`FrameDecoder`] for the inbound side, and an outbound queue of
+//! **pre-encoded reply frames** flushed opportunistically. Since the
+//! ring data plane landed, a reply is encoded exactly once — into a
+//! ring slot (or a heap spill) — before it ever reaches the
+//! connection; the socket write reads straight out of that backing
+//! store, so the connection never copies reply bytes again.
+//!
+//! Because requests pipeline — a client may send several RUN frames
+//! before the first reply lands — every request is assigned a
+//! monotonically increasing *sequence number* at decode time, and
+//! reply frames are released to the write queue strictly in sequence
+//! order: a completion for seq 3 parks in its slot until seqs 1 and 2
+//! have been released, so replies always come back in request order no
+//! matter which race finishes first.
 //!
 //! Lifecycle: `Open` (reading and writing) → `read_closed` (peer EOF, a
 //! protocol error, or server drain: no new requests, in-flight replies
 //! still flush) → reclaimed by the reactor the moment the last owed
 //! reply is flushed. There is no half-reaped state and no thread to
-//! join — closing a connection is dropping its state.
+//! join — closing a connection is dropping its state (and dropping a
+//! queued [`ReplyFrame`] reclaims its ring slot by destructor, so a
+//! dying connection can never leak a slot).
 
 use crate::bufpool::BufPool;
-use crate::frame::{write_frame, FrameDecoder, FrameError, Response};
+use crate::frame::{FrameDecoder, FrameError};
+use crate::ring::EncodedReply;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
+
+/// One encoded reply frame queued on a connection, either exclusively
+/// owned or shared across the N waiters of a coalesced batch — the
+/// batcher's fan-out hands every waiter the *same* encoding (one slot,
+/// read N times) instead of re-encoding per waiter.
+///
+/// `Arc` rather than `Rc` only because a `Conn` must stay `Send` for
+/// the reactor's thread spawn; the refcount is still touched by one
+/// thread.
+pub(crate) enum ReplyFrame {
+    /// Sole recipient: the common case.
+    Own(EncodedReply),
+    /// Coalesced fan-out: shared by every waiter of one batch.
+    Shared(Arc<EncodedReply>),
+}
+
+impl ReplyFrame {
+    /// The wire bytes (length prefix + body) of the whole frame.
+    fn bytes(&self) -> &[u8] {
+        match self {
+            ReplyFrame::Own(reply) => reply.bytes(),
+            ReplyFrame::Shared(reply) => reply.bytes(),
+        }
+    }
+
+    /// Retires the frame after its last byte is written: ring slots
+    /// reclaim by drop, heap spills recycle into the shard's pool (for
+    /// a shared frame, only the last waiter's release recycles).
+    fn recycle(self, pool: &mut BufPool) {
+        match self {
+            ReplyFrame::Own(reply) => reply.recycle(pool),
+            ReplyFrame::Shared(reply) => {
+                if let Ok(reply) = Arc::try_unwrap(reply) {
+                    reply.recycle(pool);
+                }
+            }
+        }
+    }
+}
 
 /// What a readiness-driven read pass produced.
 pub(crate) struct ReadOutcome {
@@ -37,13 +86,13 @@ pub(crate) struct ReadOutcome {
 pub(crate) struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
-    /// Encoded, ordered reply bytes awaiting the socket.
-    out: Vec<u8>,
-    /// How much of `out` has already been written.
+    /// Deliverable reply frames, in request order, awaiting the socket.
+    out: VecDeque<ReplyFrame>,
+    /// How much of the *front* frame has already been written.
     out_pos: usize,
     /// Reply slots in request order: `None` until the reply for that
-    /// seq is known, then the encoded `Response` body.
-    pending: VecDeque<(u64, Option<Vec<u8>>)>,
+    /// seq is known, then the encoded reply frame.
+    pending: VecDeque<(u64, Option<ReplyFrame>)>,
     next_seq: u64,
     /// No more requests will be read (peer EOF, protocol error, or
     /// server drain made permanent).
@@ -57,7 +106,7 @@ impl Conn {
         Ok(Conn {
             stream,
             decoder: FrameDecoder::new(),
-            out: Vec::new(),
+            out: VecDeque::new(),
             out_pos: 0,
             pending: VecDeque::new(),
             next_seq: 0,
@@ -118,55 +167,61 @@ impl Conn {
         seq
     }
 
-    /// Fills the reply slot for `seq` and releases every reply that is
-    /// now deliverable in order. Unknown or already-released seqs are
-    /// ignored (a refused-then-completed race can double-report).
+    /// Fills the reply slot for `seq` with an already-encoded frame and
+    /// releases every reply that is now deliverable in order. Unknown
+    /// or already-released seqs are ignored (a refused-then-completed
+    /// race can double-report); the orphaned frame just drops, which
+    /// reclaims its ring slot.
     ///
-    /// Reply bodies are encoded into pool-recycled buffers; a slot that
-    /// parks waiting on an earlier seq holds its pooled buffer until
-    /// released, at which point the bytes are folded into `out` and the
-    /// buffer goes back to the pool.
-    pub(crate) fn fulfill(&mut self, seq: u64, response: &Response, pool: &mut BufPool) {
+    /// The frame arrives fully encoded (MAX_FRAME was enforced at
+    /// encode time by the shared header writer), so parking on an
+    /// earlier seq holds a slot handle, not a copy, and release is a
+    /// queue push — zero bytes move.
+    pub(crate) fn fulfill(&mut self, seq: u64, frame: ReplyFrame) {
         if let Some(slot) = self
             .pending
             .iter_mut()
-            .find(|(s, body)| *s == seq && body.is_none())
+            .find(|(s, frame)| *s == seq && frame.is_none())
         {
-            let mut body = pool.get();
-            response.encode_into(&mut body);
-            slot.1 = Some(body);
+            slot.1 = Some(frame);
         }
         while let Some((_, Some(_))) = self.pending.front() {
-            let (_, body) = self.pending.pop_front().expect("front exists");
-            let body = body.expect("checked Some");
-            if write_frame(&mut self.out, &body).is_err() {
-                // Only an over-MAX_FRAME body can fail a Vec write;
-                // substitute a bounded error reply so the stream stays
-                // framed.
-                let fallback = Response::Error {
-                    message: "reply exceeded MAX_FRAME".to_owned(),
-                };
-                write_frame(&mut self.out, &fallback.encode()).expect("error reply is bounded");
-            }
-            pool.put(body);
+            let (_, frame) = self.pending.pop_front().expect("front exists");
+            self.out.push_back(frame.expect("checked Some"));
         }
     }
 
-    /// Flushes buffered output until the socket would block. `Err`
-    /// means the peer is unreachable and the connection is dead.
-    pub(crate) fn on_writable(&mut self) -> io::Result<()> {
-        while self.out_pos < self.out.len() {
-            match self.stream.write(&self.out[self.out_pos..]) {
-                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-                Ok(n) => self.out_pos += n,
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(e) => return Err(e),
+    /// Flushes queued reply frames until the socket would block,
+    /// writing directly from each frame's backing store (ring slot or
+    /// spill buffer) and retiring the frame the moment its last byte is
+    /// accepted by the kernel — that retirement *is* slot reclamation.
+    /// `Err` means the peer is unreachable and the connection is dead.
+    pub(crate) fn on_writable(&mut self, pool: &mut BufPool) -> io::Result<()> {
+        loop {
+            let finished = match self.out.front() {
+                None => break,
+                Some(front) => {
+                    let bytes = front.bytes();
+                    loop {
+                        if self.out_pos >= bytes.len() {
+                            break true;
+                        }
+                        match self.stream.write(&bytes[self.out_pos..]) {
+                            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                            Ok(n) => self.out_pos += n,
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break false,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
+            };
+            if !finished {
+                return Ok(());
             }
-        }
-        if self.out_pos == self.out.len() {
-            self.out.clear();
             self.out_pos = 0;
+            let done = self.out.pop_front().expect("front exists");
+            done.recycle(pool);
         }
         Ok(())
     }
@@ -177,9 +232,9 @@ impl Conn {
         self.read_closed = true;
     }
 
-    /// Unflushed bytes are waiting on the socket.
+    /// Unflushed reply frames are waiting on the socket.
     pub(crate) fn has_output(&self) -> bool {
-        self.out_pos < self.out.len()
+        !self.out.is_empty()
     }
 
     /// At least one request has not had its reply fully released.

@@ -107,20 +107,54 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Writes one frame (length prefix + body). A body over [`MAX_FRAME`]
-/// is refused with `InvalidInput` before any byte hits the wire — the
-/// peer would reject it anyway, and a half-written oversized frame
-/// would desynchronize the stream for good.
-pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
-    if body.len() > MAX_FRAME {
+/// Builds the 4-byte length prefix for a frame body of `len` bytes.
+/// This is the **one** MAX_FRAME check every encode path shares —
+/// [`write_frame`] for streaming writers and [`append_frame`] for
+/// in-place encoding both route through it, so the bound is enforced in
+/// release builds no matter which path produced the frame. A body over
+/// [`MAX_FRAME`] is refused with `InvalidInput`: the peer would reject
+/// it anyway, and a half-written oversized frame would desynchronize
+/// the stream for good.
+pub fn frame_header(body_len: usize) -> io::Result<[u8; 4]> {
+    if body_len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
+            format!("frame body of {body_len} bytes exceeds MAX_FRAME"),
         ));
     }
-    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    Ok((body_len as u32).to_be_bytes())
+}
+
+/// Writes one frame (length prefix + body) to a streaming writer.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    let header = frame_header(body.len())?;
+    w.write_all(&header)?;
     w.write_all(body)?;
     w.flush()
+}
+
+/// Appends one whole frame to `out` *in place*: a 4-byte placeholder is
+/// reserved, `fill` encodes the body directly after it, and the real
+/// length prefix is patched in afterwards. This is how a reply reaches
+/// its ring slot without an intermediate body buffer — header and body
+/// are laid out contiguously where the socket write will read them.
+/// On a [`MAX_FRAME`] violation `out` is rolled back to its original
+/// length and the shared [`frame_header`] error is returned.
+pub fn append_frame(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) -> io::Result<usize> {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    fill(out);
+    let body_len = out.len() - start - 4;
+    match frame_header(body_len) {
+        Ok(header) => {
+            out[start..start + 4].copy_from_slice(&header);
+            Ok(4 + body_len)
+        }
+        Err(e) => {
+            out.truncate(start);
+            Err(e)
+        }
+    }
 }
 
 /// Reads one frame body. `Ok(None)` means the peer closed the
@@ -637,6 +671,22 @@ impl Response {
                 b.extend_from_slice(&(who.len() as u16).to_be_bytes());
                 b.extend_from_slice(who);
             }
+        }
+    }
+
+    /// Exact serialized body length, byte-for-byte what
+    /// [`Response::encode_into`] appends. The ring data plane sizes a
+    /// slot reservation from this *before* encoding, so the choice
+    /// between a ring slot and a heap spill is made without a throwaway
+    /// encode pass.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Response::Ok { winner_name, .. } => 23 + winner_name.len(),
+            Response::DeadlineExceeded { .. } => 9,
+            Response::Overloaded | Response::UnknownWorkload => 1,
+            Response::Error { message } => 3 + message.len().min(u16::MAX as usize),
+            Response::Text { body } => 5 + body.len(),
+            Response::Vote { holder, .. } => 4 + holder.len(),
         }
     }
 

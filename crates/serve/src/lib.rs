@@ -32,7 +32,13 @@
 //! so idle connections cost a file descriptor rather than a thread, and
 //! pipelined requests on one connection are answered in order. Workers
 //! hand finished races back through a completion queue and a self-pipe
-//! wakeup instead of a per-request blocking channel.
+//! wakeup instead of a per-request blocking channel. The reply path is
+//! zero-copy ([`ring`]): the winner encodes its whole wire frame once
+//! into a fixed shard-local ring slot and the socket write reads
+//! straight from it, with oversize or ring-exhausted replies spilling
+//! to the [`bufpool`] path; sharded daemons accept on per-shard
+//! `SO_REUSEPORT` listeners so a connection never changes threads
+//! between accept and service.
 
 // `deny` rather than `forbid`: the reactor's `sys` module carries the
 // crate's single `#[allow(unsafe_code)]` for the `poll(2)` binding.
@@ -50,6 +56,7 @@ pub(crate) mod placement;
 pub mod pool;
 pub(crate) mod reactor;
 pub(crate) mod remote;
+pub mod ring;
 pub mod sched;
 pub mod server;
 pub mod telemetry;

@@ -9,6 +9,13 @@
 //! closes the queue; workers drain every admitted job before exiting, so
 //! accepted requests are always answered.
 //!
+//! On the way back, the completion notifier is where the zero-copy
+//! reply path starts: the worker thread encodes the winning `Response`
+//! once into a shard-local ring slot (`ring.rs`) and the notification
+//! that rides the reactor's self-pipe carries that slot *handle* — the
+//! reactor writes to the socket straight from it, never re-encoding or
+//! copying the reply.
+//!
 //! Failure story (this is the layer the chaos soak beats on):
 //!
 //! * every job runs inside `catch_unwind` — a panicking job is counted

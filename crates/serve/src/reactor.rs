@@ -10,29 +10,38 @@
 //! the rendezvous) applied to the serving layer itself.
 //!
 //! With `--shards N` (N > 1) the front end runs **N independent
-//! reactors**. A single acceptor thread polls the listener and hands
-//! each accepted socket round-robin to a shard's adoption inbox; from
-//! that moment the connection belongs to exactly one shard — its poll
-//! set, frame decoding, batch windows, buffer pool, and ordered reply
-//! slots all live on that shard's thread, and a finished race is routed
-//! back through *that shard's* wake pipe. Nothing on the request path
-//! crosses a shard boundary, so there is no lock to contend on: the
-//! only shared mutable state is each shard's completion queue and
-//! inbox, touched once per race / per accept. With one shard (the
-//! default) there is no acceptor thread at all — the lone reactor owns
-//! the listener directly, exactly the pre-sharding topology.
+//! reactors**, each owning its *own* `SO_REUSEPORT` listener bound to
+//! the same address: the kernel's accept hash spreads incoming
+//! connections across the shards and an accepted socket is already on
+//! the thread that will serve it — accept → poll-set registration
+//! never crosses threads. From that moment the connection belongs to
+//! exactly one shard — its poll set, frame decoding, batch windows,
+//! buffer pool, reply ring, and ordered reply slots all live on that
+//! shard's thread, and a finished race is routed back through *that
+//! shard's* wake pipe. Nothing on the request path crosses a shard
+//! boundary, so there is no lock to contend on: the only shared
+//! mutable state is each shard's completion queue and inbox, touched
+//! once per race. On platforms without `SO_REUSEPORT` the old topology
+//! survives as a fallback: one acceptor thread polls a single listener
+//! and hands sockets round-robin to the shards' adoption inboxes. With
+//! one shard (the default) there is no acceptor and no reuseport —
+//! the lone reactor owns the lone listener directly, exactly the
+//! pre-sharding topology.
 //!
 //! The moving parts:
 //!
-//! * **sys**: a minimal FFI binding to the C library's `poll(2)` —
-//!   std already links libc, so this adds no dependency; it is the only
-//!   unsafe code in the crate and is confined to this module.
+//! * **sys**: a minimal FFI binding to the C library's `poll(2)` plus
+//!   the socket calls needed for an `SO_REUSEPORT` bind — std already
+//!   links libc, so this adds no dependency; it is the only unsafe
+//!   code in the crate and is confined to this module.
 //! * **Wake channel**: a loopback socket pair acting as a self-pipe,
-//!   one per shard. Workers finish a race, push the `Response` onto the
+//!   one per shard. Workers finish a race, encode the reply **once**
+//!   into a ring slot (`ring.rs`), push the slot handle onto the
 //!   owning shard's completion queue, and write one byte to its wake
-//!   socket; `poll` returns, the shard drains the queue, and replies
-//!   flow out through the owning connection's ordered write buffer. No
-//!   thread ever blocks waiting for a specific race.
+//!   socket; `poll` returns, the shard drains the queue, and the
+//!   socket write reads straight out of the slot. No thread ever
+//!   blocks waiting for a specific race, and no reply byte is copied
+//!   between encode and the kernel.
 //! * **[`DaemonCtl`]**: the one deliberately global piece — the
 //!   shutdown latch. A `SHUTDOWN` opcode lands on *some* shard but must
 //!   drain all of them plus the acceptor, so the latch fans a wake out
@@ -47,10 +56,11 @@
 
 use crate::batch::{BatchKey, Batcher, Offered, Waiter};
 use crate::bufpool::BufPool;
-use crate::conn::Conn;
+use crate::conn::{Conn, ReplyFrame};
 use crate::frame::{FrameError, Request, Response, ALT_FAILED};
 use crate::peer::{PeerPlane, SendTag};
 use crate::pool::WorkerPool;
+use crate::ring::{EncodedReply, ReplyRing};
 use crate::sched::{render_catalog, HedgePolicy};
 use crate::server::{run_race, run_remote_alt, run_subrace};
 use crate::telemetry::{ShardStats, Telemetry};
@@ -65,12 +75,14 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
-pub(crate) use sys::{poll_fds, PollFd, POLLIN, POLLOUT};
+pub(crate) use sys::{bind_reuseport, poll_fds, PollFd, POLLIN, POLLOUT};
 use sys::{POLLERR, POLLHUP, POLLNVAL};
 
-/// The one unsafe corner: calling the C library's `poll(2)`. std links
-/// libc on every supported platform, so the extern declaration names a
-/// symbol that is already in the process — no new dependency, no raw
+/// The one unsafe corner: calling the C library's `poll(2)` and the
+/// handful of socket calls needed for an `SO_REUSEPORT` bind (std's
+/// `TcpListener` cannot set the option before binding). std links libc
+/// on every supported platform, so the extern declarations name
+/// symbols that are already in the process — no new dependency, no raw
 /// syscall numbers.
 #[allow(unsafe_code)]
 mod sys {
@@ -123,14 +135,146 @@ mod sys {
             }
         }
     }
+
+    #[cfg(target_os = "linux")]
+    mod reuseport {
+        use std::ffi::c_int;
+        use std::io;
+        use std::net::{SocketAddr, TcpListener};
+        use std::os::fd::FromRawFd;
+
+        const AF_INET: c_int = 2;
+        const AF_INET6: c_int = 10;
+        const SOCK_STREAM: c_int = 1;
+        const SOCK_CLOEXEC: c_int = 0x80000;
+        const SOL_SOCKET: c_int = 1;
+        const SO_REUSEADDR: c_int = 2;
+        const SO_REUSEPORT: c_int = 15;
+        const BACKLOG: c_int = 1024;
+
+        /// `struct sockaddr_in` from `<netinet/in.h>` (port and
+        /// address already in network byte order).
+        #[repr(C)]
+        struct SockAddrIn {
+            sin_family: u16,
+            sin_port: [u8; 2],
+            sin_addr: [u8; 4],
+            sin_zero: [u8; 8],
+        }
+
+        /// `struct sockaddr_in6` from `<netinet/in.h>`.
+        #[repr(C)]
+        struct SockAddrIn6 {
+            sin6_family: u16,
+            sin6_port: [u8; 2],
+            sin6_flowinfo: u32,
+            sin6_addr: [u8; 16],
+            sin6_scope_id: u32,
+        }
+
+        extern "C" {
+            fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+            fn setsockopt(
+                fd: c_int,
+                level: c_int,
+                name: c_int,
+                value: *const c_int,
+                len: u32,
+            ) -> c_int;
+            fn bind(fd: c_int, addr: *const u8, len: u32) -> c_int;
+            fn listen(fd: c_int, backlog: c_int) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        /// Closes `fd` and returns the errno that made us bail.
+        fn fail(fd: c_int) -> io::Error {
+            let err = io::Error::last_os_error();
+            // SAFETY: `fd` came from socket() in bind_reuseport and has
+            // not been wrapped in an owning type yet.
+            unsafe { close(fd) };
+            err
+        }
+
+        /// Binds a listening socket with `SO_REUSEPORT` set, so every
+        /// shard can bind the same address and the kernel spreads
+        /// accepts across them.
+        pub fn bind_reuseport(addr: SocketAddr) -> io::Result<TcpListener> {
+            let domain = if addr.is_ipv4() { AF_INET } else { AF_INET6 };
+            // SAFETY: plain libc socket calls; the fd is owned by this
+            // function until handed to TcpListener (or closed by
+            // `fail`), and the sockaddr buffers are live repr(C) locals
+            // whose exact sizes are passed alongside.
+            unsafe {
+                let fd = socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let one: c_int = 1;
+                let one_len = std::mem::size_of::<c_int>() as u32;
+                if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, one_len) != 0
+                    || setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, one_len) != 0
+                {
+                    return Err(fail(fd));
+                }
+                let rc = match addr {
+                    SocketAddr::V4(v4) => {
+                        let sa = SockAddrIn {
+                            sin_family: AF_INET as u16,
+                            sin_port: v4.port().to_be_bytes(),
+                            sin_addr: v4.ip().octets(),
+                            sin_zero: [0; 8],
+                        };
+                        bind(
+                            fd,
+                            (&sa as *const SockAddrIn).cast(),
+                            std::mem::size_of::<SockAddrIn>() as u32,
+                        )
+                    }
+                    SocketAddr::V6(v6) => {
+                        let sa = SockAddrIn6 {
+                            sin6_family: AF_INET6 as u16,
+                            sin6_port: v6.port().to_be_bytes(),
+                            sin6_flowinfo: v6.flowinfo(),
+                            sin6_addr: v6.ip().octets(),
+                            sin6_scope_id: v6.scope_id(),
+                        };
+                        bind(
+                            fd,
+                            (&sa as *const SockAddrIn6).cast(),
+                            std::mem::size_of::<SockAddrIn6>() as u32,
+                        )
+                    }
+                };
+                if rc != 0 || listen(fd, BACKLOG) != 0 {
+                    return Err(fail(fd));
+                }
+                Ok(TcpListener::from_raw_fd(fd))
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub use reuseport::bind_reuseport;
+
+    /// Non-Linux fallback: report the option as unsupported so the
+    /// server keeps the acceptor-thread topology instead.
+    #[cfg(not(target_os = "linux"))]
+    pub fn bind_reuseport(_addr: std::net::SocketAddr) -> io::Result<std::net::TcpListener> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT per-shard accept is only wired up on Linux",
+        ))
+    }
 }
 
 /// A finished race routed back to its reply group — the set of waiters
 /// (one per direct request, many per coalesced batch) whose reply slots
-/// it fans out to.
+/// it fans out to. The reply is already encoded: the posting thread
+/// (usually a pool worker) wrote the whole wire frame into a ring slot
+/// (or a heap spill) and this carries the handle, not bytes to copy.
 struct Completion {
     group: u64,
-    response: Response,
+    reply: EncodedReply,
 }
 
 /// State shared between one reactor shard's thread, pool workers
@@ -141,17 +285,23 @@ pub(crate) struct ReactorShared {
     /// only; the acceptor pushes, the shard drains each loop turn).
     inbox: Mutex<Vec<TcpStream>>,
     wake_tx: TcpStream,
+    /// The shard's reply ring; `post` encodes into it from whatever
+    /// thread finished the race.
+    ring: ReplyRing,
 }
 
 impl ReactorShared {
-    /// Queues a completion and wakes the shard that owns the waiters.
+    /// Encodes the response into this shard's reply ring (spilling to a
+    /// fresh heap buffer when the ring can't take it), queues the
+    /// completion, and wakes the shard that owns the waiters.
     /// `pub(crate)` because the remote-race registry posts the final
     /// response of a distributed race back to the owning shard.
     pub(crate) fn post(&self, group: u64, response: Response) {
+        let reply = EncodedReply::encode(&response, &self.ring);
         self.completions
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .push(Completion { group, response });
+            .push(Completion { group, reply });
         self.wake();
     }
 
@@ -271,12 +421,14 @@ pub(crate) fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
 /// shutdown requests) interrupt it; the timeout is only a backstop.
 const POLL_BACKSTOP_MS: i32 = 250;
 
-/// One event-loop shard: owns the listener (single-shard mode only),
-/// its wake receiver, its buffer pool, and every connection it has
-/// adopted.
+/// One event-loop shard: owns its listener (its own `SO_REUSEPORT`
+/// bind when sharded, the lone listener in single-shard mode), its
+/// wake receiver, its buffer pool, its reply ring, and every
+/// connection it has adopted.
 pub(crate) struct Reactor {
-    /// `Some` in single-shard mode (the reactor accepts directly);
-    /// `None` when an acceptor thread feeds the shard's inbox.
+    /// `Some` when this shard accepts directly (single-shard mode, or
+    /// a per-shard reuseport listener); `None` when an acceptor thread
+    /// feeds the shard's inbox (reuseport-less fallback).
     listener: Option<TcpListener>,
     wake_rx: TcpStream,
     shared: Arc<ReactorShared>,
@@ -285,6 +437,10 @@ pub(crate) struct Reactor {
     telemetry: Arc<Telemetry>,
     stats: Arc<ShardStats>,
     bufs: BufPool,
+    /// The shard's reply ring (same population `ReactorShared::post`
+    /// encodes into); the reactor's own inline replies draw from it
+    /// too, spilling to `bufs` instead of allocating.
+    ring: ReplyRing,
     sched: Arc<HedgePolicy>,
     batcher: Batcher,
     conns: HashMap<u64, Conn>,
@@ -311,15 +467,19 @@ impl Reactor {
         ctl: Arc<DaemonCtl>,
         shard_idx: usize,
         plane: Arc<PeerPlane>,
+        ring_slots: usize,
+        ring_slot_bytes: usize,
     ) -> io::Result<(Self, Arc<ReactorShared>, Arc<ShardStats>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
+        let ring = ReplyRing::new(ring_slots, ring_slot_bytes);
         let shared = Arc::new(ReactorShared {
             completions: Mutex::new(Vec::new()),
             inbox: Mutex::new(Vec::new()),
             wake_tx,
+            ring: ring.clone(),
         });
         let bufs = BufPool::default();
-        let stats = Arc::new(ShardStats::new(bufs.stats()));
+        let stats = Arc::new(ShardStats::new(bufs.stats(), ring.stats()));
         Ok((
             Reactor {
                 listener,
@@ -330,6 +490,7 @@ impl Reactor {
                 telemetry,
                 stats: Arc::clone(&stats),
                 bufs,
+                ring,
                 sched,
                 batcher: Batcher::new(batch_window),
                 conns: HashMap::new(),
@@ -354,8 +515,8 @@ impl Reactor {
                 break;
             }
 
-            // Poll set: wake channel first, listener second (only while
-            // accepting, single-shard mode), then every connection.
+            // Poll set: wake channel first, this shard's own listener
+            // second (only while accepting), then every connection.
             let mut fds = Vec::with_capacity(2 + self.conns.len());
             fds.push(PollFd::new(self.wake_rx.as_raw_fd(), POLLIN));
             let listener_at = match &self.listener {
@@ -382,6 +543,21 @@ impl Reactor {
             if fds[0].revents != 0 {
                 self.drain_wake();
             }
+            // Connection readiness is handled *first*, against the
+            // exact snapshot poll reported. POLLOUT interest is
+            // re-derived from `has_output()` every round, so a write
+            // that drains here is deregistered immediately — routing
+            // completions first used to flush the pending write out
+            // from under its own POLLOUT event, turning the event into
+            // a spurious one (now counted instead of silently eaten).
+            let conn_fds_start = if listener_at.is_some() { 2 } else { 1 };
+            for (slot, &id) in ids.iter().enumerate() {
+                let revents = fds[conn_fds_start + slot].revents;
+                if revents != 0 {
+                    self.handle_conn_event(id, revents, draining);
+                }
+            }
+
             // Completions are routed every iteration regardless of the
             // wake flag — the queue is cheap to check and a byte lost to
             // a full self-pipe must not strand a reply.
@@ -394,14 +570,6 @@ impl Reactor {
             if let Some(i) = listener_at {
                 if fds[i].revents & POLLIN != 0 {
                     self.accept_ready();
-                }
-            }
-
-            let conn_fds_start = if listener_at.is_some() { 2 } else { 1 };
-            for (slot, &id) in ids.iter().enumerate() {
-                let revents = fds[conn_fds_start + slot].revents;
-                if revents != 0 {
-                    self.handle_conn_event(id, revents, draining);
                 }
             }
 
@@ -455,10 +623,14 @@ impl Reactor {
     }
 
     /// Routes queued completions into their reply groups, fanning each
-    /// response out to every waiter exactly once (each waiter owns a
-    /// distinct reply slot; the group is consumed on arrival). Waiters
-    /// whose connections were already reclaimed are skipped — the peer
-    /// that asked is gone.
+    /// already-encoded reply out to every waiter exactly once (each
+    /// waiter owns a distinct reply slot; the group is consumed on
+    /// arrival). A lone waiter — the overwhelmingly common case —
+    /// takes the frame by move; a coalesced batch shares **one**
+    /// encoding across its N waiters, each socket reading the same
+    /// ring slot, reclaimed when the last one finishes. Waiters whose
+    /// connections were already reclaimed are skipped — the peer that
+    /// asked is gone, and dropping the frame reclaims the slot.
     fn route_completions(&mut self, draining: bool) {
         let batch = std::mem::take(
             &mut *self
@@ -471,9 +643,18 @@ impl Reactor {
             let Some(waiters) = self.groups.remove(&c.group) else {
                 continue; // already answered (e.g. shed at submit)
             };
+            if waiters.len() == 1 {
+                let (conn_id, seq) = waiters[0];
+                if let Some(conn) = self.conns.get_mut(&conn_id) {
+                    conn.fulfill(seq, ReplyFrame::Own(c.reply));
+                    self.flush(conn_id, draining);
+                }
+                continue;
+            }
+            let shared = Arc::new(c.reply);
             for (conn_id, seq) in waiters {
                 if let Some(conn) = self.conns.get_mut(&conn_id) {
-                    conn.fulfill(seq, &c.response, &mut self.bufs);
+                    conn.fulfill(seq, ReplyFrame::Shared(Arc::clone(&shared)));
                     self.flush(conn_id, draining);
                 }
             }
@@ -508,7 +689,8 @@ impl Reactor {
         }
     }
 
-    /// Accepts until the listener would block (single-shard mode).
+    /// Accepts until this shard's own listener would block (the lone
+    /// listener in single-shard mode, a reuseport sibling otherwise).
     fn accept_ready(&mut self) {
         let Some(listener) = &self.listener else {
             return;
@@ -573,6 +755,15 @@ impl Reactor {
             }
         }
         if revents & POLLOUT != 0 {
+            // A POLLOUT event for a connection with nothing left to
+            // write means the pending write drained through some other
+            // path after interest was registered — exactly the churn
+            // the handle-connections-first loop order minimizes. The
+            // counter exists to prove the fix holds: it should stay at
+            // (or near) zero under load.
+            if self.conns.get(&id).is_some_and(|c| !c.has_output()) {
+                self.stats.on_pollout_spurious();
+            }
             self.flush(id, draining);
         }
     }
@@ -1071,12 +1262,15 @@ impl Reactor {
         }
     }
 
-    /// Fills a reply slot and opportunistically flushes — the common
-    /// case (reply fits the socket buffer) completes without another
-    /// poll round-trip.
+    /// Encodes a reactor-side reply (ring slot preferred, pool-backed
+    /// spill otherwise), fills its reply slot, and opportunistically
+    /// flushes — the common case (reply fits the socket buffer)
+    /// completes without another poll round-trip.
     fn fulfill(&mut self, id: u64, seq: u64, response: &Response) {
-        if let Some(conn) = self.conns.get_mut(&id) {
-            conn.fulfill(seq, response, &mut self.bufs);
+        if self.conns.contains_key(&id) {
+            let reply = EncodedReply::encode_with(response, &self.ring, &mut self.bufs);
+            let conn = self.conns.get_mut(&id).expect("checked above");
+            conn.fulfill(seq, ReplyFrame::Own(reply));
             self.flush(id, false);
         }
     }
@@ -1095,11 +1289,12 @@ impl Reactor {
         self.fulfill(id, seq, response);
     }
 
-    /// Writes as much buffered output as the socket accepts; a failed
-    /// write reclaims the connection.
+    /// Writes as much queued output as the socket accepts, straight
+    /// from each frame's ring slot or spill buffer (retired into the
+    /// pool as they complete); a failed write reclaims the connection.
     fn flush(&mut self, id: u64, _draining: bool) {
         let dead = match self.conns.get_mut(&id) {
-            Some(conn) => conn.has_output() && conn.on_writable().is_err(),
+            Some(conn) => conn.has_output() && conn.on_writable(&mut self.bufs).is_err(),
             None => false,
         };
         if dead {
@@ -1137,13 +1332,14 @@ impl Reactor {
     }
 }
 
-/// The acceptor loop (sharded mode): polls the listener plus its own
-/// wake pipe, accepts until the listener would block, and hands each
-/// socket round-robin to the next shard's inbox. Round-robin is fair
-/// enough here because connections are long-lived and statistically
-/// similar under the daemon's workloads; the counter is local, so the
-/// accept path takes no locks beyond the one push into the chosen
-/// shard's inbox.
+/// The acceptor loop — the **fallback** front door for sharded mode on
+/// platforms without `SO_REUSEPORT` (per-shard listeners are the
+/// primary path): polls the listener plus its own wake pipe, accepts
+/// until the listener would block, and hands each socket round-robin
+/// to the next shard's inbox. Round-robin is fair enough here because
+/// connections are long-lived and statistically similar under the
+/// daemon's workloads; the counter is local, so the accept path takes
+/// no locks beyond the one push into the chosen shard's inbox.
 pub(crate) fn run_acceptor(
     listener: TcpListener,
     mut wake_rx: TcpStream,

@@ -1,0 +1,368 @@
+//! Shard-local reply rings: the zero-copy reply data plane.
+//!
+//! Before this module a winning reply crossed three buffers — the
+//! worker encoded into a pooled scratch `Vec`, the reactor copied that
+//! into the connection's write buffer, and the kernel copied it onto
+//! the wire. A [`ReplyRing`] collapses the first two: the winner
+//! encodes its whole frame (4-byte length prefix *and* body, via
+//! [`frame::append_frame`]) directly into a reserved [`RingSlot`], the
+//! completion pipe carries the slot handle to the reactor, and the
+//! reactor's socket write reads straight out of the slot. One copy
+//! (kernel), zero steady-state allocation.
+//!
+//! ## Shape
+//!
+//! A ring is a fixed population of `slots` buffers, each retaining
+//! `slot_bytes` of capacity, recycled through a freelist. "Ring" here
+//! is the population discipline, not a lock-free index scheme: the
+//! crate is `#![deny(unsafe_code)]`, so slots move by ownership
+//! transfer (a `Mutex<Vec<_>>` freelist, uncontended in steady state)
+//! and reclamation is the [`RingSlot`] destructor — a slot can be
+//! dropped anywhere (reactor after the socket write, a dead
+//! connection's queue, a lost race) and it always returns home.
+//!
+//! ## Spill path
+//!
+//! Replies that don't fit a slot (oversize, e.g. a STATS page) or
+//! arrive while every slot is in flight (exhaustion) spill to a plain
+//! heap `Vec` — on the reactor thread that `Vec` comes from the
+//! shard's `BufPool`, elsewhere it is freshly allocated. Spills are
+//! counted but never fail: the ring is an optimization with a
+//! correctness-preserving fallback, and `--ring-slots 0` disables it
+//! entirely, reproducing the old allocate-per-reply behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::bufpool::BufPool;
+use crate::frame::{self, Response, MAX_FRAME};
+
+/// Monotonic counters for one shard's ring, shared with telemetry.
+#[derive(Debug, Default)]
+pub struct RingStats {
+    hits: AtomicU64,
+    spills: AtomicU64,
+}
+
+impl RingStats {
+    /// Replies encoded into a ring slot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Replies that fell back to a heap buffer — oversize for the
+    /// slot geometry, or every slot was in flight.
+    pub fn spills(&self) -> u64 {
+        self.spills.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct RingCore {
+    /// Freelist of idle slot buffers; each retains `slot_bytes` of
+    /// capacity across recycles so steady state never allocates.
+    free: Mutex<Vec<Vec<u8>>>,
+    slot_bytes: usize,
+    stats: Arc<RingStats>,
+}
+
+/// Handle to one shard's reply ring. Clones share the same slot
+/// population; a disabled ring (`slots == 0`) never reserves and
+/// never counts, so the spill path *is* the old data plane.
+#[derive(Debug, Clone)]
+pub struct ReplyRing {
+    core: Option<Arc<RingCore>>,
+}
+
+impl ReplyRing {
+    /// A ring of `slots` buffers of `slot_bytes` capacity each.
+    /// `slots == 0` builds a disabled ring.
+    pub fn new(slots: usize, slot_bytes: usize) -> Self {
+        if slots == 0 {
+            return ReplyRing { core: None };
+        }
+        let slot_bytes = slot_bytes.max(64);
+        let free = (0..slots).map(|_| Vec::with_capacity(slot_bytes)).collect();
+        ReplyRing {
+            core: Some(Arc::new(RingCore {
+                free: Mutex::new(free),
+                slot_bytes,
+                stats: Arc::new(RingStats::default()),
+            })),
+        }
+    }
+
+    /// Whether this ring ever hands out slots.
+    pub fn enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// The shared counters (present even when disabled, for uniform
+    /// telemetry wiring; a disabled ring just never moves them).
+    pub fn stats(&self) -> Arc<RingStats> {
+        match &self.core {
+            Some(core) => Arc::clone(&core.stats),
+            None => Arc::new(RingStats::default()),
+        }
+    }
+
+    /// Reserves a slot able to hold a whole `frame_len`-byte frame.
+    /// `None` means spill: the frame is oversize for the slot
+    /// geometry, every slot is in flight, or the ring is disabled.
+    /// Only an enabled ring counts the outcome.
+    pub fn try_reserve(&self, frame_len: usize) -> Option<RingSlot> {
+        let core = self.core.as_ref()?;
+        if frame_len > core.slot_bytes {
+            core.stats.spills.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let buf = core.free.lock().expect("ring freelist poisoned").pop();
+        match buf {
+            Some(buf) => {
+                core.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(RingSlot {
+                    buf,
+                    core: Arc::clone(core),
+                })
+            }
+            None => {
+                core.stats.spills.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Idle slots right now (test / debug aid).
+    pub fn idle_slots(&self) -> usize {
+        match &self.core {
+            Some(core) => core.free.lock().expect("ring freelist poisoned").len(),
+            None => 0,
+        }
+    }
+}
+
+/// One reserved ring slot. Dropping it — from anywhere, on any thread
+/// — returns the buffer to its ring's freelist, so reclamation rides
+/// ordinary ownership: the reactor drops the slot when the socket
+/// write completes, and every error path reclaims for free.
+#[derive(Debug)]
+pub struct RingSlot {
+    buf: Vec<u8>,
+    core: Arc<RingCore>,
+}
+
+impl RingSlot {
+    fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Drop for RingSlot {
+    fn drop(&mut self) {
+        let mut buf = std::mem::take(&mut self.buf);
+        // A slot that somehow outgrew its geometry is retired and
+        // replaced, keeping the population's capacity invariant.
+        if buf.capacity() > self.core.slot_bytes {
+            buf = Vec::with_capacity(self.core.slot_bytes);
+        }
+        buf.clear();
+        let mut free = self.core.free.lock().expect("ring freelist poisoned");
+        free.push(buf);
+    }
+}
+
+/// A fully encoded reply frame (length prefix + body), ready for the
+/// socket, backed by either a ring slot or a spilled heap buffer.
+/// `Send`, so a worker thread encodes it and the completion pipe
+/// carries it to the reactor unchanged.
+#[derive(Debug)]
+pub enum EncodedReply {
+    /// Zero-copy path: the frame lives in a ring slot.
+    Ring(RingSlot),
+    /// Spill path: the frame lives in a plain heap buffer (pooled on
+    /// the reactor thread, freshly allocated elsewhere).
+    Heap(Vec<u8>),
+}
+
+impl EncodedReply {
+    /// Encodes `resp` as one wire frame, preferring a ring slot. Used
+    /// from worker threads, where no `BufPool` is reachable — a spill
+    /// here allocates.
+    pub fn encode(resp: &Response, ring: &ReplyRing) -> EncodedReply {
+        Self::encode_inner(resp, ring, None)
+    }
+
+    /// Reactor-side variant: a spill draws its buffer from the
+    /// shard's `BufPool` instead of allocating.
+    pub fn encode_with(resp: &Response, ring: &ReplyRing, pool: &mut BufPool) -> EncodedReply {
+        Self::encode_inner(resp, ring, Some(pool))
+    }
+
+    fn encode_inner(resp: &Response, ring: &ReplyRing, pool: Option<&mut BufPool>) -> EncodedReply {
+        // The MAX_FRAME guard runs *before* any buffer is touched:
+        // a reply too large for the wire is substituted, never sent
+        // half-framed. `encoded_len` is exact, so the substitution is
+        // decided without a throwaway encode.
+        let oversized;
+        let resp = if resp.encoded_len() > MAX_FRAME {
+            oversized = Response::Error {
+                message: "reply exceeded MAX_FRAME".to_owned(),
+            };
+            &oversized
+        } else {
+            resp
+        };
+        let frame_len = 4 + resp.encoded_len();
+        if let Some(mut slot) = ring.try_reserve(frame_len) {
+            frame::append_frame(&mut slot.buf, |b| resp.encode_into(b))
+                .expect("encoded_len pre-check bounds the frame");
+            return EncodedReply::Ring(slot);
+        }
+        let mut buf = match pool {
+            Some(pool) => pool.get(),
+            None => Vec::new(),
+        };
+        buf.reserve(frame_len);
+        frame::append_frame(&mut buf, |b| resp.encode_into(b))
+            .expect("encoded_len pre-check bounds the frame");
+        EncodedReply::Heap(buf)
+    }
+
+    /// The complete frame (length prefix + body) as it goes on the
+    /// wire.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            EncodedReply::Ring(slot) => slot.bytes(),
+            EncodedReply::Heap(buf) => buf,
+        }
+    }
+
+    /// Retires the reply after its last byte hit the socket: a ring
+    /// slot reclaims via drop, a heap spill recycles into the pool.
+    pub fn recycle(self, pool: &mut BufPool) {
+        match self {
+            EncodedReply::Ring(_) => {}
+            EncodedReply::Heap(buf) => pool.put(buf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_resp(name: &str) -> Response {
+        Response::Ok {
+            winner: 1,
+            winner_name: name.to_owned(),
+            latency_us: 7,
+            value: 42,
+        }
+    }
+
+    fn assert_frame(reply: &EncodedReply, resp: &Response) {
+        let bytes = reply.bytes();
+        let body_len = u32::from_be_bytes(bytes[..4].try_into().unwrap()) as usize;
+        assert_eq!(body_len, bytes.len() - 4, "length prefix matches body");
+        assert_eq!(&Response::decode(&bytes[4..]).unwrap(), resp);
+    }
+
+    #[test]
+    fn encode_hits_ring_and_roundtrips() {
+        let ring = ReplyRing::new(2, 256);
+        let resp = ok_resp("alpha");
+        let reply = EncodedReply::encode(&resp, &ring);
+        assert!(matches!(reply, EncodedReply::Ring(_)));
+        assert_frame(&reply, &resp);
+        assert_eq!(ring.stats().hits(), 1);
+        assert_eq!(ring.stats().spills(), 0);
+        assert_eq!(ring.idle_slots(), 1);
+        drop(reply);
+        assert_eq!(ring.idle_slots(), 2, "drop reclaims the slot");
+    }
+
+    #[test]
+    fn exhaustion_spills_without_loss() {
+        let ring = ReplyRing::new(1, 256);
+        let resp = ok_resp("alpha");
+        let first = EncodedReply::encode(&resp, &ring);
+        let second = EncodedReply::encode(&resp, &ring);
+        assert!(matches!(first, EncodedReply::Ring(_)));
+        assert!(matches!(second, EncodedReply::Heap(_)), "exhausted → heap");
+        assert_frame(&second, &resp);
+        assert_eq!(ring.stats().hits(), 1);
+        assert_eq!(ring.stats().spills(), 1);
+        drop(first);
+        let third = EncodedReply::encode(&resp, &ring);
+        assert!(
+            matches!(third, EncodedReply::Ring(_)),
+            "reclaimed slot is reused"
+        );
+    }
+
+    #[test]
+    fn oversize_reply_spills() {
+        let ring = ReplyRing::new(4, 64);
+        let resp = Response::Text {
+            body: "x".repeat(1024),
+        };
+        let reply = EncodedReply::encode(&resp, &ring);
+        assert!(matches!(reply, EncodedReply::Heap(_)));
+        assert_frame(&reply, &resp);
+        assert_eq!(ring.stats().spills(), 1);
+        assert_eq!(ring.idle_slots(), 4, "no slot consumed by a spill");
+    }
+
+    #[test]
+    fn disabled_ring_always_heaps_and_never_counts() {
+        let ring = ReplyRing::new(0, 1024);
+        assert!(!ring.enabled());
+        let resp = ok_resp("alpha");
+        let reply = EncodedReply::encode(&resp, &ring);
+        assert!(matches!(reply, EncodedReply::Heap(_)));
+        assert_frame(&reply, &resp);
+        assert_eq!(ring.stats().hits(), 0);
+        assert_eq!(ring.stats().spills(), 0);
+    }
+
+    #[test]
+    fn over_max_frame_reply_is_substituted() {
+        let ring = ReplyRing::new(2, 256);
+        let resp = Response::Text {
+            body: "y".repeat(MAX_FRAME + 1),
+        };
+        let reply = EncodedReply::encode(&resp, &ring);
+        match Response::decode(&reply.bytes()[4..]).unwrap() {
+            Response::Error { message } => assert!(message.contains("MAX_FRAME")),
+            other => panic!("expected substituted error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wraparound_recycles_the_same_buffers() {
+        let ring = ReplyRing::new(2, 256);
+        let resp = ok_resp("beta");
+        for _ in 0..100 {
+            let a = EncodedReply::encode(&resp, &ring);
+            let b = EncodedReply::encode(&resp, &ring);
+            assert!(matches!(a, EncodedReply::Ring(_)));
+            assert!(matches!(b, EncodedReply::Ring(_)));
+            assert_frame(&a, &resp);
+        }
+        assert_eq!(ring.stats().hits(), 200);
+        assert_eq!(ring.stats().spills(), 0);
+        assert_eq!(ring.idle_slots(), 2);
+    }
+
+    #[test]
+    fn reactor_side_spill_draws_from_pool() {
+        let ring = ReplyRing::new(0, 0);
+        let mut pool = BufPool::new(4);
+        pool.put(Vec::with_capacity(512));
+        let resp = ok_resp("gamma");
+        let reply = EncodedReply::encode_with(&resp, &ring, &mut pool);
+        assert_eq!(pool.held(), 0, "spill drew the pooled buffer");
+        reply.recycle(&mut pool);
+        assert_eq!(pool.held(), 1, "recycle returned it");
+    }
+}

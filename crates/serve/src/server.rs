@@ -31,7 +31,7 @@ use crate::frame::{Response, ALT_DEADLINE, ALT_FAILED, ALT_OK};
 use crate::peer::{PeerConfig, PeerNet, PeerPlane, PeerStatsTable};
 use crate::placement::Placement;
 use crate::pool::WorkerPool;
-use crate::reactor::{run_acceptor, wake_pair, DaemonCtl, Reactor};
+use crate::reactor::{bind_reuseport, run_acceptor, wake_pair, DaemonCtl, Reactor};
 use crate::remote::{InflightRemote, RemoteRaces};
 use crate::sched::{HedgeConfig, HedgePolicy};
 use crate::telemetry::Telemetry;
@@ -60,10 +60,18 @@ pub struct ServerConfig {
     /// Adaptive hedging knobs; disabled by default (launch-all).
     pub hedge: HedgeConfig,
     /// Reactor shards. `1` (the default) runs the classic single
-    /// reactor that owns the listener itself; `N > 1` adds an acceptor
-    /// thread that deals accepted sockets round-robin to N independent
-    /// event loops.
+    /// reactor that owns the listener itself; `N > 1` runs N
+    /// independent event loops, each accepting on its own
+    /// `SO_REUSEPORT` listener (falling back to an acceptor thread
+    /// dealing sockets round-robin where the option is unavailable).
     pub shards: usize,
+    /// Reply-ring slots per shard. Each shard pre-allocates this many
+    /// fixed buffers that winning replies encode straight into; `0`
+    /// disables the ring and reproduces the allocate-per-reply path.
+    pub ring_slots: usize,
+    /// Capacity of one reply-ring slot, bytes (whole wire frame:
+    /// 4-byte prefix + body). Replies that don't fit spill to the heap.
+    pub ring_slot_bytes: usize,
     /// Cluster peering: peer addresses, exploration cadence, and the
     /// advertised identity. Empty (the default) keeps the daemon
     /// single-node — no placement, no outbound dials, no votes.
@@ -79,10 +87,22 @@ impl Default for ServerConfig {
             batch_window: Duration::ZERO,
             hedge: HedgeConfig::default(),
             shards: 1,
+            ring_slots: DEFAULT_RING_SLOTS,
+            ring_slot_bytes: DEFAULT_RING_SLOT_BYTES,
             peer: PeerConfig::default(),
         }
     }
 }
+
+/// Default reply-ring slots per shard: deep enough that slots are only
+/// exhausted when more replies are mid-write than a shard ever has in
+/// flight at once, at 256 KiB resident per shard with default slots.
+pub const DEFAULT_RING_SLOTS: usize = 256;
+
+/// Default slot capacity: every fixed-size reply (OK, deadline, vote,
+/// short errors) fits with room to spare; big text dumps (STATS,
+/// catalog) take the counted spill path by design.
+pub const DEFAULT_RING_SLOT_BYTES: usize = 1024;
 
 /// Worker count matched to the host (at least 2).
 pub fn available_workers() -> usize {
@@ -133,10 +153,37 @@ impl ServerHandle {
 /// Binds and starts the daemon, returning once it is accepting.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let addrs: Vec<SocketAddr> = config.addr.to_socket_addrs()?.collect();
-    let listener = TcpListener::bind(&addrs[..])?;
-    listener.set_nonblocking(true)?;
-    let addr = listener.local_addr()?;
     let n_shards = config.shards.max(1);
+
+    // Front-door topology. Single shard: one classic listener, owned
+    // by the lone reactor. Sharded: one SO_REUSEPORT listener *per
+    // shard*, so every accept lands on the thread that will serve the
+    // connection and the kernel's hash does the balancing. Where the
+    // platform can't do that (or the bind fails), fall back to one
+    // listener plus the acceptor thread dealing round-robin.
+    let mut own_listeners: Vec<Option<TcpListener>>;
+    let mut acceptor_listener = None;
+    let addr;
+    if n_shards == 1 {
+        let listener = TcpListener::bind(&addrs[..])?;
+        listener.set_nonblocking(true)?;
+        addr = listener.local_addr()?;
+        own_listeners = vec![Some(listener)];
+    } else {
+        match bind_shard_listeners(&addrs, n_shards) {
+            Ok(listeners) => {
+                addr = listeners[0].local_addr()?;
+                own_listeners = listeners.into_iter().map(Some).collect();
+            }
+            Err(_) => {
+                let listener = TcpListener::bind(&addrs[..])?;
+                listener.set_nonblocking(true)?;
+                addr = listener.local_addr()?;
+                own_listeners = (0..n_shards).map(|_| None).collect();
+                acceptor_listener = Some(listener);
+            }
+        }
+    }
 
     let telemetry = Arc::new(Telemetry::new());
     let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
@@ -186,16 +233,15 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         advertise,
     });
 
-    // Single shard: the reactor owns the listener and accepts directly
-    // (no acceptor thread — the pre-sharding topology, byte for byte).
-    // Sharded: reactors get `None` and adopt from their inboxes.
+    // Each reactor takes its own listener (single-shard or reuseport)
+    // and accepts directly; in the acceptor fallback they get `None`
+    // and adopt from their inboxes instead.
     let mut reactors = Vec::with_capacity(n_shards);
     let mut shareds = Vec::with_capacity(n_shards);
     let mut shard_stats = Vec::with_capacity(n_shards);
-    for i in 0..n_shards {
-        let own_listener = (n_shards == 1).then(|| listener.try_clone()).transpose()?;
+    for (i, own_listener) in own_listeners.iter_mut().enumerate() {
         let (reactor, shared, stats) = Reactor::new(
-            own_listener,
+            own_listener.take(),
             Arc::clone(&pool),
             Arc::clone(&telemetry),
             Arc::clone(&sched),
@@ -203,6 +249,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             Arc::clone(&ctl),
             i,
             Arc::clone(&plane),
+            config.ring_slots,
+            config.ring_slot_bytes,
         )?;
         reactors.push(reactor);
         shareds.push(shared);
@@ -219,7 +267,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             .spawn(move || peernet.run())
             .expect("spawn peer thread"),
     );
-    if n_shards > 1 {
+    if let Some(listener) = acceptor_listener {
         let (wake_tx, wake_rx) = wake_pair()?;
         ctl.wire_acceptor(wake_tx);
         let acceptor_ctl = Arc::clone(&ctl);
@@ -245,6 +293,31 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         threads,
         telemetry,
     })
+}
+
+/// Binds one `SO_REUSEPORT` listener per shard on the same address.
+/// The first bind resolves an ephemeral port (`:0`); siblings bind the
+/// resolved address so they all share the one accept queue group.
+fn bind_shard_listeners(addrs: &[SocketAddr], n_shards: usize) -> io::Result<Vec<TcpListener>> {
+    let mut last_err = io::Error::new(io::ErrorKind::InvalidInput, "no address resolved");
+    let first = 'bound: {
+        for &a in addrs {
+            match bind_reuseport(a) {
+                Ok(l) => break 'bound l,
+                Err(e) => last_err = e,
+            }
+        }
+        return Err(last_err);
+    };
+    let resolved = first.local_addr()?;
+    let mut listeners = vec![first];
+    for _ in 1..n_shards {
+        listeners.push(bind_reuseport(resolved)?);
+    }
+    for l in &listeners {
+        l.set_nonblocking(true)?;
+    }
+    Ok(listeners)
 }
 
 /// Executes the race for one admitted request (worker context).

@@ -19,6 +19,7 @@
 use crate::bufpool::BufPoolStats;
 use crate::peer::PeerStatsTable;
 use crate::pool::PoolStats;
+use crate::ring::RingStats;
 use crate::sched::CatalogStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -118,18 +119,27 @@ pub struct ShardStats {
     conns_active: AtomicU64,
     /// Self-pipe wakeups of this shard's event loop (counter).
     wakeups: AtomicU64,
+    /// POLLOUT events that arrived for a connection with nothing left
+    /// to write — write-interest churn the reactor's loop order is
+    /// meant to keep at zero (counter).
+    pollout_spurious: AtomicU64,
     /// The shard's buffer-pool hit/miss counters.
     buf: Arc<BufPoolStats>,
+    /// The shard's reply-ring hit/spill counters.
+    ring: Arc<RingStats>,
 }
 
 impl ShardStats {
-    /// Stats for a shard whose buffer pool reports through `buf`.
-    pub fn new(buf: Arc<BufPoolStats>) -> Self {
+    /// Stats for a shard whose buffer pool reports through `buf` and
+    /// whose reply ring reports through `ring`.
+    pub fn new(buf: Arc<BufPoolStats>, ring: Arc<RingStats>) -> Self {
         ShardStats {
             conns_open: AtomicU64::new(0),
             conns_active: AtomicU64::new(0),
             wakeups: AtomicU64::new(0),
+            pollout_spurious: AtomicU64::new(0),
             buf,
+            ring,
         }
     }
 
@@ -177,6 +187,26 @@ impl ShardStats {
     /// Buffer-pool gets that had to allocate on this shard.
     pub fn pool_misses(&self) -> u64 {
         self.buf.misses()
+    }
+
+    /// Counts a POLLOUT event that found no pending output.
+    pub fn on_pollout_spurious(&self) {
+        self.pollout_spurious.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// This shard's spurious-POLLOUT count.
+    pub fn pollout_spurious(&self) -> u64 {
+        self.pollout_spurious.load(Ordering::Relaxed)
+    }
+
+    /// Replies this shard's ring served from a fixed slot.
+    pub fn ring_hits(&self) -> u64 {
+        self.ring.hits()
+    }
+
+    /// Replies that spilled past this shard's ring to a heap buffer.
+    pub fn ring_spills(&self) -> u64 {
+        self.ring.spills()
     }
 }
 
@@ -281,6 +311,15 @@ pub struct Snapshot {
     pub pool_recycled: u64,
     /// Frame-buffer requests that had to allocate, summed across shards.
     pub pool_misses: u64,
+    /// Replies encoded straight into a reply-ring slot, summed across
+    /// shards.
+    pub ring_hits: u64,
+    /// Replies that spilled past the ring to a heap buffer, summed
+    /// across shards.
+    pub ring_spills: u64,
+    /// POLLOUT events that found nothing left to write, summed across
+    /// shards.
+    pub pollout_spurious: u64,
     /// Batches submitted as one race.
     pub batches_formed: u64,
     /// Requests coalesced into an already-open batch.
@@ -507,6 +546,9 @@ impl Telemetry {
             shards: shards.len() as u64,
             pool_recycled: shards.iter().map(|s| s.pool_recycled()).sum(),
             pool_misses: shards.iter().map(|s| s.pool_misses()).sum(),
+            ring_hits: shards.iter().map(|s| s.ring_hits()).sum(),
+            ring_spills: shards.iter().map(|s| s.ring_spills()).sum(),
+            pollout_spurious: shards.iter().map(|s| s.pollout_spurious()).sum(),
             batches_formed: self.batches_formed.load(Ordering::Relaxed),
             requests_coalesced: self.requests_coalesced.load(Ordering::Relaxed),
             hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
@@ -552,6 +594,9 @@ impl Telemetry {
         out.push_str(&format!("  shards              {}\n", s.shards));
         out.push_str(&format!("  pool recycled       {}\n", s.pool_recycled));
         out.push_str(&format!("  pool misses         {}\n", s.pool_misses));
+        out.push_str(&format!("  ring hits           {}\n", s.ring_hits));
+        out.push_str(&format!("  ring spills         {}\n", s.ring_spills));
+        out.push_str(&format!("  pollout spurious    {}\n", s.pollout_spurious));
         if s.shards > 1 {
             for (i, shard) in self.per_shard().iter().enumerate() {
                 out.push_str(&format!(
@@ -685,6 +730,24 @@ impl Telemetry {
             "altxd_reactor_wakeups_total",
             "Reactor self-pipe wakeups from completion posts",
             s.wakeups,
+        );
+        counter(
+            &mut out,
+            "altxd_ring_hits_total",
+            "Replies encoded straight into a reply-ring slot",
+            s.ring_hits,
+        );
+        counter(
+            &mut out,
+            "altxd_ring_spills_total",
+            "Replies that spilled past the ring to a heap buffer",
+            s.ring_spills,
+        );
+        counter(
+            &mut out,
+            "altxd_reactor_pollout_spurious_total",
+            "POLLOUT events that found no pending output",
+            s.pollout_spurious,
         );
         counter(
             &mut out,

@@ -90,9 +90,15 @@ fn chaos_soak_every_request_is_answered() {
         // Wide enough that the clients' identical request streams
         // actually coalesce; the soak asserts they did.
         batch_window: Duration::from_millis(2),
-        // Chaos with the acceptor + per-shard reactors in play: faults,
-        // drains, and reply routing must hold across shard boundaries.
+        // Chaos with per-shard reactors in play (reuseport listeners,
+        // or the fallback acceptor): faults, drains, and reply routing
+        // must hold across shard boundaries.
         shards: 4,
+        // Explicit ring sizing: the soak must exercise the zero-copy
+        // reply path, and the assertion below proves replies actually
+        // went through ring slots while the chaos plan was live.
+        ring_slots: 64,
+        ring_slot_bytes: 1024,
         ..ServerConfig::default()
     })
     .expect("bind ephemeral port");
@@ -169,6 +175,11 @@ fn chaos_soak_every_request_is_answered() {
         telemetry.snapshot().requests_coalesced > 0,
         "8 clients replaying the same request sequence inside a 2 ms window \
          never coalesced — the batching path went untested (seed {seed:#x})"
+    );
+    assert!(
+        telemetry.snapshot().ring_hits > 0,
+        "no reply was encoded into a ring slot — the zero-copy data plane \
+         went untested under chaos (seed {seed:#x})"
     );
 
     // Self-healing: with the plan cleared (guard dropped above), the

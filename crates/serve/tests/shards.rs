@@ -1,6 +1,8 @@
-//! Sharded front-end tests: round-robin connection distribution,
-//! per-connection pipeline order under sharding, cross-shard shutdown
-//! drain, and the per-shard telemetry surfacing.
+//! Sharded front-end tests: connection distribution across the
+//! per-shard `SO_REUSEPORT` listeners (kernel-hashed, with the
+//! round-robin acceptor as fallback), per-connection pipeline order
+//! under sharding, cross-shard shutdown drain, and the per-shard
+//! telemetry surfacing.
 //!
 //! These run a real daemon in-process and some assert on process-wide
 //! state (thread counts), so the tests serialize on a mutex like the
@@ -52,19 +54,23 @@ fn await_conns_open(telemetry: &altx_serve::telemetry::Telemetry, want: u64) {
     }
 }
 
-/// The acceptor deals connections round-robin: k·N connections against
-/// N shards land exactly k per shard, and the per-shard gauges sum to
-/// the same global gauge existing STATS consumers scrape.
+/// Connections spread across every shard. With per-shard `SO_REUSEPORT`
+/// listeners the kernel hashes each new 4-tuple to a listener, so the
+/// split is statistical, not exact — 64 connections against 4 shards
+/// leave each shard non-empty with overwhelming probability (and the
+/// round-robin acceptor fallback trivially satisfies the same bound).
+/// The per-shard gauges must still sum to the global gauge existing
+/// STATS consumers scrape.
 #[test]
-fn connections_spread_round_robin_across_shards() {
+fn connections_spread_across_all_shards() {
     let _guard = serial();
     const SHARDS: usize = 4;
-    const PER_SHARD: usize = 3;
+    const CONNS: usize = 64;
     let server = sharded_server(SHARDS);
     let telemetry = server.telemetry();
     assert_eq!(telemetry.per_shard().len(), SHARDS);
 
-    let mut clients: Vec<Client> = (0..SHARDS * PER_SHARD)
+    let mut clients: Vec<Client> = (0..CONNS)
         .map(|i| Client::connect(server.local_addr()).unwrap_or_else(|e| panic!("conn {i}: {e}")))
         .collect();
     // Each connection answers a request, proving every shard serves.
@@ -74,17 +80,16 @@ fn connections_spread_round_robin_across_shards() {
             other => panic!("expected Ok, got {other:?}"),
         }
     }
-    await_conns_open(&telemetry, (SHARDS * PER_SHARD) as u64);
+    await_conns_open(&telemetry, CONNS as u64);
 
     let per: Vec<u64> = telemetry
         .per_shard()
         .iter()
         .map(|s| s.conns_open())
         .collect();
-    assert_eq!(
-        per,
-        vec![PER_SHARD as u64; SHARDS],
-        "round-robin must deal exactly {PER_SHARD} connections to each shard"
+    assert!(
+        per.iter().all(|&n| n > 0),
+        "{CONNS} connections must reach all {SHARDS} shards, got {per:?}"
     );
     assert_eq!(
         telemetry.snapshot().conns_open,
@@ -103,7 +108,8 @@ fn connections_spread_round_robin_across_shards() {
 fn pipeline_order_preserved_per_connection_under_sharding() {
     let _guard = serial();
     let server = sharded_server(2);
-    // Two connections land on the two different shards (round-robin).
+    // Two connections — the kernel hash may land them on the same shard
+    // or different ones; per-connection order must hold either way.
     let mut a = Client::connect(server.local_addr()).expect("connect a");
     let mut b = Client::connect(server.local_addr()).expect("connect b");
 
@@ -129,8 +135,9 @@ fn pipeline_order_preserved_per_connection_under_sharding() {
 }
 
 /// The SHUTDOWN opcode lands on *one* shard but must drain the whole
-/// daemon: acceptor and every other shard exit, in-flight races on
-/// other shards still flush their replies, and `wait()` returns.
+/// daemon: every other shard (and the acceptor, when the fallback is
+/// in play) exits, in-flight races on other shards still flush their
+/// replies, and `wait()` returns.
 #[test]
 fn shutdown_opcode_drains_every_shard() {
     let _guard = serial();
@@ -181,6 +188,9 @@ fn shard_telemetry_surfaces_in_stats_and_prometheus() {
     assert!(stats.contains("shards              4"), "{stats}");
     assert!(stats.contains("pool recycled"), "{stats}");
     assert!(stats.contains("pool misses"), "{stats}");
+    assert!(stats.contains("ring hits"), "{stats}");
+    assert!(stats.contains("ring spills"), "{stats}");
+    assert!(stats.contains("pollout spurious"), "{stats}");
     for i in 0..4 {
         assert!(stats.contains(&format!("shard {i}:")), "{stats}");
     }
@@ -189,8 +199,16 @@ fn shard_telemetry_surfaces_in_stats_and_prometheus() {
     assert!(prom.contains("altxd_shards 4"), "{prom}");
     assert!(prom.contains("altxd_bufpool_recycled_total"), "{prom}");
     assert!(prom.contains("altxd_bufpool_misses_total"), "{prom}");
+    assert!(prom.contains("altxd_ring_hits_total"), "{prom}");
+    assert!(prom.contains("altxd_ring_spills_total"), "{prom}");
     assert!(
-        prom.contains("altxd_shard_conns_open{shard=\"0\"} 1"),
+        prom.contains("altxd_reactor_pollout_spurious_total"),
+        "{prom}"
+    );
+    // The kernel hash decides which shard carries the one client, so
+    // assert the per-shard gauge lines exist rather than their values.
+    assert!(
+        prom.contains("altxd_shard_conns_open{shard=\"0\"}"),
         "{prom}"
     );
     assert!(

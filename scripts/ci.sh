@@ -28,8 +28,11 @@ ALTX_CHAOS_SEED=0xC0FFEE cargo test -q -p altx-serve --test cluster_chaos
 echo "==> race scheduler suite (hedged launches + batching)"
 cargo test -q -p altx-serve --test sched
 
-echo "==> sharded reactor suite (round-robin, drain, per-shard telemetry)"
+echo "==> sharded reactor suite (reuseport spread, drain, per-shard telemetry)"
 cargo test -q -p altx-serve --test shards
+
+echo "==> reply-ring suite (exhaustion, wraparound, fan-out, disabled path)"
+cargo test -q -p altx-serve --test ring
 
 echo "==> buffer pool suite (leak/cap properties + >90% steady-state hit rate)"
 cargo test -q -p altx-serve --test bufpool
@@ -47,7 +50,7 @@ sleep 0.3
 # compares like with like.
 ./target/release/altx-load \
     --addr "$SMOKE_ADDR" --workload trivial --clients 8 --threads 1 \
-    --duration 6 --out "$SMOKE_OUT"
+    --duration 6 --out "$SMOKE_OUT" --hist-diff "$BASELINE"
 wait "$ALTXD_PID"
 
 # Extract "throughput_rps": N.N with no JSON tooling (offline CI).
@@ -69,6 +72,54 @@ awk -v base="$BASE_RPS" -v fresh="$FRESH_RPS" 'BEGIN {
     exit !(fresh >= base * 0.70)
 }' || {
     echo "bench gate: throughput regressed more than 30% vs $BASELINE" >&2
+    exit 1
+}
+
+# p99 latency gate: the fresh tail must stay within 20% of the
+# committed baseline. Tolerant of a baseline that predates the field.
+p99() {
+    grep -o '"p99_us": *[0-9]*' "$1" | grep -o '[0-9]*$'
+}
+BASE_P99=$(p99 "$BASELINE")
+FRESH_P99=$(p99 "$SMOKE_OUT")
+if [ -n "$BASE_P99" ] && [ -n "$FRESH_P99" ]; then
+    awk -v base="$BASE_P99" -v fresh="$FRESH_P99" 'BEGIN {
+        printf "bench gate: baseline p99 %d us, fresh p99 %d us (ceiling %.1f)\n",
+            base, fresh, base * 1.20
+        exit !(fresh <= base * 1.20)
+    }' || {
+        echo "bench gate: p99 latency regressed more than 20% vs $BASELINE" >&2
+        exit 1
+    }
+else
+    echo "bench gate: p99 gate skipped (baseline='$BASE_P99' fresh='$FRESH_P99')"
+fi
+
+# Ring smoke, from the live daemon's counters (scraped into the report
+# by altx-load): steady-state replies must ride the ring — hits cover
+# at least 90% of requests — and spills stay a rounding error (the
+# stats pages altx-load itself fetches are the expected spillers).
+jfield() {
+    grep -o "\"$2\": *[0-9]*" "$1" | grep -o '[0-9]*$'
+}
+RING_HITS=$(jfield "$SMOKE_OUT" server_ring_hits)
+RING_SPILLS=$(jfield "$SMOKE_OUT" server_ring_spills)
+SMOKE_REQS=$(jfield "$SMOKE_OUT" requests)
+echo "ring smoke: ring_hits=$RING_HITS ring_spills=$RING_SPILLS requests=$SMOKE_REQS"
+[ -n "$RING_HITS" ] && [ "$RING_HITS" -gt 0 ] || {
+    echo "ring smoke: the reply ring was never hit" >&2
+    exit 1
+}
+awk -v hits="$RING_HITS" -v reqs="$SMOKE_REQS" 'BEGIN {
+    exit !(hits >= reqs * 0.90)
+}' || {
+    echo "ring smoke: ring_hits=$RING_HITS below 90% of requests=$SMOKE_REQS" >&2
+    exit 1
+}
+awk -v spills="${RING_SPILLS:-0}" -v reqs="$SMOKE_REQS" 'BEGIN {
+    exit !(spills <= reqs * 0.01 + 16)
+}' || {
+    echo "ring smoke: ring_spills=$RING_SPILLS is not bounded (requests=$SMOKE_REQS)" >&2
     exit 1
 }
 rm -f "$SMOKE_OUT"
