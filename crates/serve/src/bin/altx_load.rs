@@ -1,12 +1,28 @@
 //! `altx-load` — closed-loop load generator for `altxd`.
 //!
 //! ```text
-//! altx-load [--addr HOST:PORT] [--workload NAME] [--clients N]
+//! altx-load [--addr HOST:PORT] [--workload SPEC] [--clients N]
 //!           [--threads N] [--connections N] [--duration SECS]
 //!           [--deadline-ms N] [--out FILE.json] [--retries N]
 //!           [--hedge-ms N] [--batch-window-us N]
 //!           [--hist-diff BASELINE.json]
 //! ```
+//!
+//! `--workload` takes either a single name (`trivial`) or a mixed spec
+//! (`trivial:50,sleep:200`): a comma list of `name[:deadline_ms]`
+//! entries that each connection walks round-robin, one request per
+//! entry. A per-entry deadline overrides `--deadline-ms`; an entry
+//! without one inherits it. Mixed specs are how the scheduler benches
+//! offer a fast/slow blend to one daemon and read the outcome per
+//! class.
+//!
+//! The report distinguishes *throughput* (ok replies per second) from
+//! **goodput** (ok replies that also beat their deadline, client-side
+//! clock). An ok reply that lands after its deadline counts as a
+//! `deadline_miss`, not goodput; requests with deadline 0 are
+//! best-effort, so every ok reply is goodput. Per-workload tallies
+//! (ok/good/deadline-exceeded/shed plus p50/p99/p99.9) are printed and
+//! emitted under `per_workload` in the JSON.
 //!
 //! Spawns `N` client threads, each with its own connection, issuing
 //! requests back-to-back (one outstanding request per connection) for
@@ -42,17 +58,19 @@
 //! fatal.
 //!
 //! Prints a summary table and writes a JSON report — throughput,
-//! p50/p90/p99/p99.9/max latency, reply mix, per-alternative win
-//! counts, client resilience counters, and the daemon's post-run
-//! scheduler and reply-ring counters (`server_*` fields, parsed from
-//! its STATS page) — to `--out` (default
-//! `BENCH_serve_throughput.json`).
+//! goodput, deadline-miss rate, p50/p90/p99/p99.9/max latency, reply
+//! mix, per-workload tallies, per-alternative win counts, client
+//! resilience counters, and the daemon's post-run scheduler and
+//! reply-ring counters (`server_*` fields, parsed from its STATS
+//! page, including `sheds at admission`, `deadline misses`, and
+//! `steals`) — to `--out` (default `BENCH_serve_throughput.json`).
 //!
 //! `--hist-diff BASELINE.json` compares the run just measured against
 //! a previous report: after the summary a per-percentile delta table
-//! (throughput, p50/p90/p99/p99.9/max) is printed with the relative
-//! change per row. Keys missing from the baseline (older reports have
-//! no `p90_us`) render as `n/a` rather than failing.
+//! (throughput, goodput, p50/p90/p99/p99.9/max) is printed with the
+//! relative change per row. Keys missing from the baseline (older
+//! reports have no `goodput_rps`) render as `n/a` rather than
+//! failing.
 
 use altx_serve::client::{ClientConfig, RetryPolicy};
 use altx_serve::frame::{Request, Response};
@@ -172,7 +190,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: altx-load [--addr HOST:PORT] [--workload NAME] [--clients N] \
+                    "usage: altx-load [--addr HOST:PORT] [--workload SPEC] [--clients N] \
                      [--threads N] [--connections N] [--duration SECS] [--deadline-ms N] \
                      [--out FILE.json] [--retries N] [--hedge-ms N] [--batch-window-us N] \
                      [--peers HOST:PORT,...] [--hist-diff BASELINE.json]"
@@ -185,14 +203,55 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Per-client tallies, merged after the run.
-#[derive(Default)]
-struct ClientReport {
+/// One entry of a `--workload` spec: a workload name and the deadline
+/// its requests carry (0 = best-effort).
+#[derive(Clone)]
+struct WorkloadSpec {
+    name: String,
+    deadline_ms: u32,
+}
+
+/// Parses `name[:deadline_ms][,name[:deadline_ms]]...`; entries without
+/// an explicit deadline inherit `--deadline-ms`.
+fn parse_workloads(spec: &str, default_deadline_ms: u32) -> Result<Vec<WorkloadSpec>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|s| !s.is_empty()) {
+        out.push(match part.split_once(':') {
+            Some((name, dl)) => WorkloadSpec {
+                name: name.to_owned(),
+                deadline_ms: dl
+                    .parse()
+                    .map_err(|e| format!("workload entry {part}: {e}"))?,
+            },
+            None => WorkloadSpec {
+                name: part.to_owned(),
+                deadline_ms: default_deadline_ms,
+            },
+        });
+    }
+    if out.is_empty() {
+        return Err("--workload: empty spec".to_owned());
+    }
+    Ok(out)
+}
+
+/// Reply tallies for one workload-spec entry.
+#[derive(Default, Clone)]
+struct Tally {
     latencies_us: Vec<u64>,
     ok: u64,
+    /// Ok replies that beat their deadline (all of them when the entry
+    /// is best-effort) — the numerator of goodput.
+    good: u64,
     deadline_exceeded: u64,
     overloaded: u64,
     errors: u64,
+}
+
+/// Per-client tallies, merged after the run. `tallies` is parallel to
+/// the workload-spec list.
+struct ClientReport {
+    tallies: Vec<Tally>,
     retries: u64,
     hedges: u64,
     reconnects: u64,
@@ -200,11 +259,23 @@ struct ClientReport {
     wins: BTreeMap<String, u64>,
 }
 
+impl ClientReport {
+    fn new(nspecs: usize) -> Self {
+        Self {
+            tallies: vec![Tally::default(); nspecs],
+            retries: 0,
+            hedges: 0,
+            reconnects: 0,
+            abandoned: 0,
+            wins: BTreeMap::new(),
+        }
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn client_loop(
     addr: &str,
-    workload: &str,
-    deadline_ms: u32,
+    specs: &[WorkloadSpec],
     config: ClientConfig,
     seed: u64,
     batch_window_us: u64,
@@ -213,8 +284,9 @@ fn client_loop(
 ) -> Result<ClientReport, String> {
     let mut client =
         Client::connect_with(addr, config).map_err(|e| format!("connect {addr}: {e}"))?;
-    let mut report = ClientReport::default();
+    let mut report = ClientReport::new(specs.len());
     let mut arg = seed;
+    let mut which = seed as usize;
     while !stop.load(Ordering::Relaxed) {
         arg = if batch_window_us > 0 {
             // Shared-clock arg: every client in the same window sends
@@ -224,12 +296,21 @@ fn client_loop(
             arg.wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407)
         };
+        let widx = which % specs.len();
+        which = which.wrapping_add(1);
+        let spec = &specs[widx];
         let begin = Instant::now();
         let resp = client
-            .run(workload, arg, deadline_ms)
+            .run(&spec.name, arg, spec.deadline_ms)
             .map_err(|e| format!("request failed: {e}"))?;
         let rtt_us = begin.elapsed().as_micros() as u64;
-        tally(&mut report, resp, rtt_us, workload)?;
+        tally(
+            &mut report.tallies[widx],
+            &mut report.wins,
+            resp,
+            rtt_us,
+            spec,
+        )?;
     }
     let stats = client.stats();
     report.retries = stats.retries();
@@ -241,22 +322,26 @@ fn client_loop(
 
 /// Folds one reply into the tallies; fatal replies become `Err`.
 fn tally(
-    report: &mut ClientReport,
+    t: &mut Tally,
+    wins: &mut BTreeMap<String, u64>,
     resp: Response,
     rtt_us: u64,
-    workload: &str,
+    spec: &WorkloadSpec,
 ) -> Result<(), String> {
     match resp {
         Response::Ok { winner_name, .. } => {
-            report.ok += 1;
-            report.latencies_us.push(rtt_us);
-            *report.wins.entry(winner_name).or_insert(0) += 1;
+            t.ok += 1;
+            t.latencies_us.push(rtt_us);
+            if spec.deadline_ms == 0 || rtt_us <= u64::from(spec.deadline_ms) * 1000 {
+                t.good += 1;
+            }
+            *wins.entry(winner_name).or_insert(0) += 1;
         }
-        Response::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
-        Response::Overloaded => report.overloaded += 1,
-        Response::UnknownWorkload => return Err(format!("unknown workload {workload}")),
+        Response::DeadlineExceeded { .. } => t.deadline_exceeded += 1,
+        Response::Overloaded => t.overloaded += 1,
+        Response::UnknownWorkload => return Err(format!("unknown workload {}", spec.name)),
         Response::Error { message } => {
-            report.errors += 1;
+            t.errors += 1;
             eprintln!("altx-load: server error: {message}");
         }
         Response::Text { .. } => return Err("unexpected text reply".to_owned()),
@@ -269,51 +354,65 @@ fn tally(
 /// a request on every connection, then collect every reply (the daemon
 /// releases pipelined replies in send order per connection). Offered
 /// load matches `nconns` thread-per-client loops — one outstanding
-/// request per connection — on a single OS thread.
+/// request per connection — on a single OS thread. Each connection
+/// walks the workload specs round-robin from its own offset, so a
+/// mixed spec stays mixed within every send wave.
 fn pipelined_loop(
     addr: &str,
-    workload: &str,
-    deadline_ms: u32,
+    specs: &[WorkloadSpec],
     nconns: usize,
     base_seed: u64,
     batch_window_us: u64,
     epoch: Instant,
     stop: &AtomicBool,
 ) -> Result<ClientReport, String> {
-    let mut conns: Vec<(Client, u64)> = (0..nconns)
+    let mut conns: Vec<(Client, u64, usize)> = (0..nconns)
         .map(|i| {
             Client::connect(addr)
-                .map(|c| (c, base_seed + i as u64))
+                .map(|c| (c, base_seed + i as u64, i))
                 .map_err(|e| format!("connect {addr}: {e}"))
         })
         .collect::<Result<_, _>>()?;
-    let mut report = ClientReport::default();
+    let mut report = ClientReport::new(specs.len());
     let mut begins = Vec::with_capacity(nconns);
+    let mut sent_widx = Vec::with_capacity(nconns);
     while !stop.load(Ordering::Relaxed) {
         begins.clear();
-        for (client, arg) in &mut conns {
+        sent_widx.clear();
+        for (client, arg, which) in &mut conns {
             *arg = if batch_window_us > 0 {
                 epoch.elapsed().as_micros() as u64 / batch_window_us
             } else {
                 arg.wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407)
             };
+            let widx = *which % specs.len();
+            *which = which.wrapping_add(1);
+            let spec = &specs[widx];
             let request = Request::Run {
-                workload: workload.to_owned(),
-                deadline_ms,
+                workload: spec.name.clone(),
+                deadline_ms: spec.deadline_ms,
                 arg: *arg,
             };
             begins.push(Instant::now());
+            sent_widx.push(widx);
             client
                 .send(&request)
                 .map_err(|e| format!("pipelined send failed: {e}"))?;
         }
-        for (i, (client, _)) in conns.iter_mut().enumerate() {
+        for (i, (client, _, _)) in conns.iter_mut().enumerate() {
             let resp = client
                 .recv()
                 .map_err(|e| format!("pipelined recv failed: {e}"))?;
             let rtt_us = begins[i].elapsed().as_micros() as u64;
-            tally(&mut report, resp, rtt_us, workload)?;
+            let widx = sent_widx[i];
+            tally(
+                &mut report.tallies[widx],
+                &mut report.wins,
+                resp,
+                rtt_us,
+                &specs[widx],
+            )?;
         }
     }
     Ok(report)
@@ -346,6 +445,9 @@ struct ServerCounters {
     peer_reconnects: u64,
     ring_hits: u64,
     ring_spills: u64,
+    sheds_at_admission: u64,
+    deadline_misses: u64,
+    steals: u64,
 }
 
 fn scrape_server_counters(stats: &str) -> ServerCounters {
@@ -361,6 +463,9 @@ fn scrape_server_counters(stats: &str) -> ServerCounters {
         peer_reconnects: get(&["peer", "reconnects"]),
         ring_hits: get(&["ring", "hits"]),
         ring_spills: get(&["ring", "spills"]),
+        sheds_at_admission: get(&["sheds", "at", "admission"]),
+        deadline_misses: get(&["deadline", "misses"]),
+        steals: get(&["steals"]),
     }
 }
 
@@ -425,6 +530,13 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let specs = match parse_workloads(&args.workload, args.deadline_ms) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("altx-load: {e}");
+            std::process::exit(2);
+        }
+    };
 
     // Surplus connections beyond the active clients are held open and
     // idle for the whole run; the daemon's reactor must carry them
@@ -488,15 +600,13 @@ fn main() {
                 let base_seed = 0x5eed + next as u64;
                 next += nconns;
                 let addr = args.addr.clone();
-                let workload = args.workload.clone();
+                let specs = Arc::clone(&specs);
                 let stop = Arc::clone(&stop);
-                let deadline_ms = args.deadline_ms;
                 let batch_window_us = args.batch_window_us;
                 std::thread::spawn(move || {
                     pipelined_loop(
                         &addr,
-                        &workload,
-                        deadline_ms,
+                        &specs,
                         nconns,
                         base_seed,
                         batch_window_us,
@@ -510,23 +620,13 @@ fn main() {
         (0..args.clients)
             .map(|i| {
                 let addr = args.addr.clone();
-                let workload = args.workload.clone();
+                let specs = Arc::clone(&specs);
                 let stop = Arc::clone(&stop);
-                let deadline_ms = args.deadline_ms;
                 let seed = 0x5eed + i as u64;
                 let config = args.client_config(seed);
                 let batch_window_us = args.batch_window_us;
                 std::thread::spawn(move || {
-                    client_loop(
-                        &addr,
-                        &workload,
-                        deadline_ms,
-                        config,
-                        seed,
-                        batch_window_us,
-                        started,
-                        &stop,
-                    )
+                    client_loop(&addr, &specs, config, seed, batch_window_us, started, &stop)
                 })
             })
             .collect()
@@ -534,15 +634,18 @@ fn main() {
     std::thread::sleep(Duration::from_secs(args.duration_s));
     stop.store(true, Ordering::Relaxed);
 
-    let mut merged = ClientReport::default();
+    let mut merged = ClientReport::new(specs.len());
     for h in handles {
         match h.join().expect("client thread exits") {
             Ok(r) => {
-                merged.latencies_us.extend(r.latencies_us);
-                merged.ok += r.ok;
-                merged.deadline_exceeded += r.deadline_exceeded;
-                merged.overloaded += r.overloaded;
-                merged.errors += r.errors;
+                for (into, from) in merged.tallies.iter_mut().zip(r.tallies) {
+                    into.latencies_us.extend(from.latencies_us);
+                    into.ok += from.ok;
+                    into.good += from.good;
+                    into.deadline_exceeded += from.deadline_exceeded;
+                    into.overloaded += from.overloaded;
+                    into.errors += from.errors;
+                }
                 merged.retries += r.retries;
                 merged.hedges += r.hedges;
                 merged.reconnects += r.reconnects;
@@ -584,14 +687,35 @@ fn main() {
             Err(e) => eprintln!("altx-load: peer {peer} unreachable ({e}); skipping"),
         }
     }
-    merged.latencies_us.sort_unstable();
-    let total = merged.ok + merged.deadline_exceeded + merged.overloaded + merged.errors;
-    let throughput = merged.ok as f64 / elapsed;
-    let p50 = percentile(&merged.latencies_us, 0.50);
-    let p90 = percentile(&merged.latencies_us, 0.90);
-    let p99 = percentile(&merged.latencies_us, 0.99);
-    let p999 = percentile(&merged.latencies_us, 0.999);
-    let max = merged.latencies_us.last().copied().unwrap_or(0);
+    for t in &mut merged.tallies {
+        t.latencies_us.sort_unstable();
+    }
+    let sum = |f: fn(&Tally) -> u64| merged.tallies.iter().map(f).sum::<u64>();
+    let ok = sum(|t| t.ok);
+    let good = sum(|t| t.good);
+    let deadline_exceeded = sum(|t| t.deadline_exceeded);
+    let overloaded = sum(|t| t.overloaded);
+    let errors = sum(|t| t.errors);
+    let total = ok + deadline_exceeded + overloaded + errors;
+    let deadline_misses = ok - good;
+    let deadline_miss_rate = if ok > 0 {
+        deadline_misses as f64 / ok as f64
+    } else {
+        0.0
+    };
+    let throughput = ok as f64 / elapsed;
+    let goodput = good as f64 / elapsed;
+    let mut all_latencies: Vec<u64> = merged
+        .tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.iter().copied())
+        .collect();
+    all_latencies.sort_unstable();
+    let p50 = percentile(&all_latencies, 0.50);
+    let p90 = percentile(&all_latencies, 0.90);
+    let p99 = percentile(&all_latencies, 0.99);
+    let p999 = percentile(&all_latencies, 0.999);
+    let max = all_latencies.last().copied().unwrap_or(0);
 
     if args.threads > 0 {
         println!(
@@ -609,12 +733,29 @@ fn main() {
     }
     println!("  workload            {}", args.workload);
     println!("  requests            {total}");
-    println!("  ok                  {}", merged.ok);
-    println!("  deadline exceeded   {}", merged.deadline_exceeded);
-    println!("  overloaded (shed)   {}", merged.overloaded);
-    println!("  errors              {}", merged.errors);
+    println!("  ok                  {ok}");
+    println!("  deadline exceeded   {deadline_exceeded}");
+    println!("  overloaded (shed)   {overloaded}");
+    println!("  errors              {errors}");
     println!("  throughput          {throughput:.0} req/s");
+    println!("  goodput             {goodput:.0} req/s (late ok replies: {deadline_misses})");
     println!("  latency us          p50 {p50}  p90 {p90}  p99 {p99}  p99.9 {p999}  max {max}");
+    if specs.len() > 1 {
+        for (spec, t) in specs.iter().zip(&merged.tallies) {
+            println!(
+                "  [{} dl {} ms]  ok {}  good {}  dlx {}  shed {}  p50 {}  p99 {}  p99.9 {}",
+                spec.name,
+                spec.deadline_ms,
+                t.ok,
+                t.good,
+                t.deadline_exceeded,
+                t.overloaded,
+                percentile(&t.latencies_us, 0.50),
+                percentile(&t.latencies_us, 0.99),
+                percentile(&t.latencies_us, 0.999)
+            );
+        }
+    }
     if merged.retries + merged.hedges + merged.reconnects + merged.abandoned > 0 {
         println!(
             "  resilience          retries {}  hedges {}  reconnects {}  abandoned {}",
@@ -633,6 +774,12 @@ fn main() {
         "  server ring         hits {}  spills {}",
         server.ring_hits, server.ring_spills
     );
+    if server.sheds_at_admission + server.deadline_misses + server.steals > 0 {
+        println!(
+            "  server deadline     sheds at admission {}  deadline misses {}  steals {}",
+            server.sheds_at_admission, server.deadline_misses, server.steals
+        );
+    }
     if !args.peers.is_empty() {
         println!(
             "  cluster             remote dispatched {}  remote wins {}  peer reconnects {}",
@@ -647,23 +794,49 @@ fn main() {
     for (name, n) in &merged.wins {
         wins_json.push(format!("    \"{}\": {}", json_escape(name), n));
     }
+    // Per-entry tallies keyed by workload name (with its effective
+    // deadline alongside, since the same name may appear twice with
+    // different deadlines the spec string disambiguates).
+    let mut per_workload_json: Vec<String> = Vec::new();
+    for (spec, t) in specs.iter().zip(&merged.tallies) {
+        per_workload_json.push(format!(
+            "    \"{}\": {{ \"deadline_ms\": {}, \"ok\": {}, \"good\": {}, \
+             \"deadline_exceeded\": {}, \"overloaded\": {}, \"errors\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {} }}",
+            json_escape(&spec.name),
+            spec.deadline_ms,
+            t.ok,
+            t.good,
+            t.deadline_exceeded,
+            t.overloaded,
+            t.errors,
+            percentile(&t.latencies_us, 0.50),
+            percentile(&t.latencies_us, 0.99),
+            percentile(&t.latencies_us, 0.999),
+        ));
+    }
     let json = format!(
         "{{\n  \"workload\": \"{}\",\n  \"clients\": {},\n  \"threads\": {},\n  \
          \"connections\": {},\n  \
          \"duration_s\": {:.3},\n  \
          \"deadline_ms\": {},\n  \"batch_window_us\": {},\n  \"requests\": {},\n  \"ok\": {},\n  \
          \"deadline_exceeded\": {},\n  \"overloaded\": {},\n  \"errors\": {},\n  \
+         \"deadline_misses\": {},\n  \"deadline_miss_rate\": {:.4},\n  \
          \"client_retries\": {},\n  \"client_hedges\": {},\n  \"client_reconnects\": {},\n  \
          \"client_abandoned\": {},\n  \
          \"server_batches_formed\": {},\n  \"server_requests_coalesced\": {},\n  \
          \"server_hedges_launched\": {},\n  \"server_hedge_wins\": {},\n  \
          \"server_launches_suppressed\": {},\n  \
          \"server_ring_hits\": {},\n  \"server_ring_spills\": {},\n  \
+         \"server_sheds_at_admission\": {},\n  \"server_deadline_misses\": {},\n  \
+         \"server_steals\": {},\n  \
          \"remote_dispatched\": {},\n  \"remote_wins\": {},\n  \
          \"peer_reconnects\": {},\n  \
-         \"throughput_rps\": {:.1},\n  \"p50_us\": {},\n  \"p90_us\": {},\n  \
+         \"throughput_rps\": {:.1},\n  \"goodput_rps\": {:.1},\n  \
+         \"p50_us\": {},\n  \"p90_us\": {},\n  \
          \"p99_us\": {},\n  \
          \"p999_us\": {},\n  \"max_us\": {},\n  \
+         \"per_workload\": {{\n{}\n  }},\n  \
          \"wins\": {{\n{}\n  }}\n}}\n",
         json_escape(&args.workload),
         args.clients,
@@ -673,10 +846,12 @@ fn main() {
         args.deadline_ms,
         args.batch_window_us,
         total,
-        merged.ok,
-        merged.deadline_exceeded,
-        merged.overloaded,
-        merged.errors,
+        ok,
+        deadline_exceeded,
+        overloaded,
+        errors,
+        deadline_misses,
+        deadline_miss_rate,
         merged.retries,
         merged.hedges,
         merged.reconnects,
@@ -688,15 +863,20 @@ fn main() {
         server.launches_suppressed,
         server.ring_hits,
         server.ring_spills,
+        server.sheds_at_admission,
+        server.deadline_misses,
+        server.steals,
         server.remote_dispatched,
         server.remote_wins,
         server.peer_reconnects,
         throughput,
+        goodput,
         p50,
         p90,
         p99,
         p999,
         max,
+        per_workload_json.join(",\n"),
         wins_json.join(",\n"),
     );
     if let Err(e) = std::fs::write(&args.out, json) {
@@ -726,6 +906,7 @@ fn main() {
             json_number(&baseline, "throughput_rps"),
             throughput,
         );
+        diff_row("goodput", json_number(&baseline, "goodput_rps"), goodput);
         diff_row("p50 us", json_number(&baseline, "p50_us"), p50 as f64);
         diff_row("p90 us", json_number(&baseline, "p90_us"), p90 as f64);
         diff_row("p99 us", json_number(&baseline, "p99_us"), p99 as f64);

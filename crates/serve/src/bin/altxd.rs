@@ -40,12 +40,23 @@
 //! disables heartbeats and the health lifecycle); `--peer-suspect-ms N`
 //! is how long a link may stay silent before its peer is marked
 //! Suspect — twice that quarantines it until it answers again.
+//!
+//! Deadline-aware scheduling (all off by default — the defaults are
+//! byte-for-byte the classic FIFO pool): `--lanes SPEC` declares
+//! per-workload priority lanes (`rt:trivial,bimodal;batch:sleep`,
+//! priority in declaration order, unmentioned workloads in a trailing
+//! default lane; `--lane-aging-ms N` bounds how long a lower lane may
+//! starve); `--admission` sheds a request on arrival when its deadline
+//! is provably unmeetable from the workload's observed p99 service time
+//! plus the current queue wait; `--steal` splits the pool into one
+//! worker group per shard and lets a dry group's workers take the best
+//! queued job from a sibling.
 
 use altx_serve::server::{
     available_workers, start, ServerConfig, DEFAULT_RING_SLOTS, DEFAULT_RING_SLOT_BYTES,
 };
 use altx_serve::workload::CATALOG;
-use altx_serve::{HedgeConfig, PeerConfig};
+use altx_serve::{HedgeConfig, Lanes, PeerConfig};
 use std::time::Duration;
 
 struct Args {
@@ -59,6 +70,10 @@ struct Args {
     batch_window: Duration,
     hedge: HedgeConfig,
     peer: PeerConfig,
+    lanes: Lanes,
+    admission: bool,
+    steal: bool,
+    lane_aging: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +88,10 @@ fn parse_args() -> Result<Args, String> {
         batch_window: Duration::ZERO,
         hedge: HedgeConfig::default(),
         peer: PeerConfig::default(),
+        lanes: Lanes::single(),
+        admission: false,
+        steal: false,
+        lane_aging: altx_serve::pool::DEFAULT_LANE_AGING,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -144,6 +163,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--peer-suspect-ms: {e}"))?
             }
+            "--lanes" => {
+                args.lanes =
+                    Lanes::parse(&value("--lanes")?).map_err(|e| format!("--lanes: {e}"))?
+            }
+            "--admission" => args.admission = true,
+            "--steal" => args.steal = true,
+            "--lane-aging-ms" => {
+                let ms: u64 = value("--lane-aging-ms")?
+                    .parse()
+                    .map_err(|e| format!("--lane-aging-ms: {e}"))?;
+                args.lane_aging = Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: altxd [--addr HOST:PORT] [--workers N] [--queue N] \
@@ -152,7 +183,8 @@ fn parse_args() -> Result<Args, String> {
                      [--hedge-min-samples N] [--hedge-explore-every N] \
                      [--peer HOST:PORT]... [--advertise HOST:PORT] \
                      [--peer-explore-every N] [--peer-heartbeat-ms N] \
-                     [--peer-suspect-ms N]"
+                     [--peer-suspect-ms N] [--lanes SPEC] [--admission] \
+                     [--steal] [--lane-aging-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -180,6 +212,10 @@ fn main() {
         ring_slots: args.ring_slots,
         ring_slot_bytes: args.ring_slot_bytes,
         peer: args.peer.clone(),
+        lanes: args.lanes.clone(),
+        admission: args.admission,
+        steal: args.steal,
+        lane_aging: args.lane_aging,
     }) {
         Ok(h) => h,
         Err(e) => {
@@ -211,6 +247,19 @@ fn main() {
             "hedging: on (min samples {}, explore every {})",
             args.hedge.min_samples, args.hedge.explore_every
         );
+    }
+    if args.lanes.count() > 1 {
+        println!(
+            "lanes: [{}] (aging {} ms)",
+            args.lanes.names().join(" > "),
+            args.lane_aging.as_millis()
+        );
+    }
+    if args.admission {
+        println!("admission control: on (shed provably unmeetable deadlines)");
+    }
+    if args.steal {
+        println!("work stealing: on ({} worker groups)", args.shards);
     }
     if !args.peer.peers.is_empty() {
         println!(

@@ -66,6 +66,6 @@ pub use client::Client;
 pub use commit::{CommitLedger, TallyState, VoteTally};
 pub use frame::{Request, Response, MAX_FRAME};
 pub use peer::PeerConfig;
-pub use sched::{HedgeConfig, HedgePolicy};
+pub use sched::{Admission, HedgeConfig, HedgePolicy, Lanes};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use telemetry::Telemetry;

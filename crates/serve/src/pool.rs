@@ -1,13 +1,36 @@
-//! Fixed worker pool with a bounded run queue, load shedding, panic
+//! Deadline-aware worker pool: per-group EDF run queues, priority lanes
+//! with starvation aging, work stealing, load shedding, panic
 //! containment, and a supervisor that respawns dead workers.
 //!
 //! Connections never execute races themselves: they enqueue a job and
-//! wait for its reply. The queue is bounded, and `try_submit` refuses —
-//! it never blocks — when the queue is full, which is the daemon's
-//! admission-control point: a full queue means the pool is saturated and
-//! queueing deeper would only convert overload into latency. Shutdown
-//! closes the queue; workers drain every admitted job before exiting, so
-//! accepted requests are always answered.
+//! wait for its reply. Capacity is bounded across all queues, and
+//! `try_submit` refuses — it never blocks — when the pool is full, which
+//! is the daemon's overload backstop: a full pool means queueing deeper
+//! would only convert overload into latency. Shutdown closes the queues;
+//! workers drain every admitted job before exiting, so accepted requests
+//! are always answered.
+//!
+//! Scheduling (all of it off by default — the default configuration is
+//! one group, one lane, no stealing, which is byte-for-byte the old FIFO
+//! channel):
+//!
+//! * **EDF order** — each run queue is a binary heap on the job's
+//!   *absolute* deadline. A job whose wire deadline was `0` carries no
+//!   deadline ([`JobMeta::deadline`] = `None`) and sorts after every
+//!   deadlined job: best-effort work runs in the slack. Ties (and the
+//!   all-best-effort case) fall back to submission order, so with no
+//!   deadlines in play the heap degrades to exactly the old FIFO.
+//! * **Priority lanes** — each group holds one heap per lane; a pop
+//!   serves the highest-priority non-empty lane. Starvation aging keeps
+//!   strict priority from being absolute: once any entry in a lower
+//!   lane has waited longer than the aging threshold, that lane is
+//!   served next even though a higher lane has work.
+//! * **Worker groups + stealing** — workers are pinned round-robin to
+//!   groups (one per shard when stealing is on) and pop their own
+//!   group's queue first. With stealing enabled, a worker whose group
+//!   runs dry takes the victim group's *best* entry — same lane-then-EDF
+//!   selection a local pop would make, so a steal never inverts
+//!   priority.
 //!
 //! On the way back, the completion notifier is where the zero-copy
 //! reply path starts: the worker thread encodes the winning `Response`
@@ -22,25 +45,37 @@
 //!   ([`PoolStats::jobs_panicked`]) and the worker keeps consuming;
 //! * a **supervisor** thread watches for workers that died anyway (a
 //!   fault-injected kill at the `pool.worker` site, or a panic that
-//!   somehow escaped containment) and respawns them, so pool capacity
-//!   is restored instead of silently decaying to zero
+//!   somehow escaped containment) and respawns them — and it keeps
+//!   doing so through shutdown until the queues are empty, so a drain
+//!   can never stall on a dead worker set
 //!   ([`PoolStats::worker_respawns`]);
-//! * `shutdown` recovers poisoned locks instead of propagating them —
-//!   a crashed worker must never wedge the drain path.
+//! * `shutdown` recovers poisoned locks instead of propagating them,
+//!   and after the workers are joined it sweeps every lane of every
+//!   group: a queued-but-never-run job is dropped there, which fires
+//!   its completion notifier through the exactly-once "worker lost"
+//!   path instead of vanishing silently.
 
 use altx::faults;
-use altx::sync::{BoundedQueue, QueueError};
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A unit of work for the pool.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A completion notifier for [`WorkerPool::try_submit_notify`].
 pub type Notify = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long a lower-priority lane may starve before aging promotes it
+/// past a busier high-priority lane.
+pub const DEFAULT_LANE_AGING: Duration = Duration::from_millis(25);
+
+/// How often a stealing (or draining) worker re-scans sibling groups
+/// while its own queue is empty.
+const STEAL_POLL: Duration = Duration::from_millis(1);
 
 /// Fires its notifier exactly once — when dropped, whether that drop
 /// happens after the job returned, while a panic unwinds through it,
@@ -69,15 +104,99 @@ pub enum SubmitError {
     ShuttingDown,
 }
 
+/// Scheduling metadata attached to a submission. The default is a
+/// best-effort job in the highest lane on group 0 — what every legacy
+/// call site gets.
+#[derive(Debug, Clone, Copy)]
+pub struct JobMeta {
+    /// Absolute deadline. `None` means best-effort (wire
+    /// `deadline_ms == 0`): the job sorts after every deadlined job and
+    /// runs in the slack, in submission order.
+    pub deadline: Option<Instant>,
+    /// Priority lane, `0` highest. Clamped to the configured lane count.
+    pub lane: usize,
+    /// Preferred worker group — the submitting shard. Wrapped modulo the
+    /// configured group count.
+    pub group: usize,
+}
+
+impl Default for JobMeta {
+    fn default() -> Self {
+        JobMeta {
+            deadline: None,
+            lane: 0,
+            group: 0,
+        }
+    }
+}
+
+impl JobMeta {
+    /// Meta for a wire request: `deadline_ms == 0` is best-effort, any
+    /// other value becomes an absolute deadline from now.
+    pub fn for_request(deadline_ms: u32, lane: usize, group: usize) -> Self {
+        let deadline = (deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(u64::from(deadline_ms)));
+        JobMeta {
+            deadline,
+            lane,
+            group,
+        }
+    }
+}
+
+/// Pool shape. [`PoolConfig::fifo`] is the default everything-off
+/// configuration: one group, one lane, no stealing — the classic
+/// bounded FIFO channel.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Total queued-job capacity across every group and lane.
+    pub queue_depth: usize,
+    /// Worker groups; workers are pinned round-robin. Clamped to
+    /// `[1, workers]`.
+    pub groups: usize,
+    /// Priority lanes per group (`0` is highest priority). At least 1.
+    pub lanes: usize,
+    /// Cross-group stealing when a worker's own group runs dry.
+    pub steal: bool,
+    /// Starvation aging threshold; `Duration::ZERO` disables aging
+    /// (pure strict priority).
+    pub lane_aging: Duration,
+}
+
+impl PoolConfig {
+    /// The legacy shape: one group, one lane, no stealing.
+    pub fn fifo(workers: usize, queue_depth: usize) -> Self {
+        PoolConfig {
+            workers,
+            queue_depth,
+            groups: 1,
+            lanes: 1,
+            steal: false,
+            lane_aging: DEFAULT_LANE_AGING,
+        }
+    }
+}
+
 /// Failure counters the pool maintains; shared with telemetry.
 #[derive(Debug, Default)]
 pub struct PoolStats {
     jobs_panicked: AtomicU64,
     worker_respawns: AtomicU64,
     busy: AtomicU64,
+    steals: AtomicU64,
+    lane_depth: Vec<AtomicU64>,
 }
 
 impl PoolStats {
+    fn with_lanes(lanes: usize) -> Self {
+        PoolStats {
+            lane_depth: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            ..PoolStats::default()
+        }
+    }
+
     /// Jobs whose closure panicked (contained; the worker survived).
     pub fn jobs_panicked(&self) -> u64 {
         self.jobs_panicked.load(Ordering::Relaxed)
@@ -94,19 +213,104 @@ impl PoolStats {
     pub fn busy(&self) -> u64 {
         self.busy.load(Ordering::Relaxed)
     }
+
+    /// Jobs a dry worker took from a sibling group's queue.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Queued jobs per priority lane, summed across groups — a gauge.
+    pub fn lane_depths(&self) -> Vec<u64> {
+        self.lane_depth
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// One queued job: the EDF heap entry. Max-heap semantics — the entry
+/// that should run *first* compares greatest: earlier deadline beats
+/// later, any deadline beats best-effort, and ties break to the lower
+/// submission sequence so equal-deadline (and all-best-effort) work
+/// stays FIFO.
+struct Entry {
+    deadline: Option<Instant>,
+    seq: u64,
+    enqueued: Instant,
+    job: Job,
+}
+
+impl Entry {
+    fn key_cmp(&self, other: &Entry) -> std::cmp::Ordering {
+        use std::cmp::Ordering::*;
+        match (self.deadline, other.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a), // earlier deadline → greater
+            (Some(_), None) => Greater,      // deadlined beats best-effort
+            (None, Some(_)) => Less,
+            (None, None) => Equal,
+        }
+        .then_with(|| other.seq.cmp(&self.seq)) // lower seq → greater (FIFO)
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key_cmp(other)
+    }
+}
+
+/// One worker group: a heap per lane behind one lock, plus the condvar
+/// its pinned workers park on.
+struct Group {
+    lanes: Mutex<Vec<BinaryHeap<Entry>>>,
+    available: Condvar,
+}
+
+impl Group {
+    fn new(lanes: usize) -> Self {
+        Group {
+            lanes: Mutex::new((0..lanes).map(|_| BinaryHeap::new()).collect()),
+            available: Condvar::new(),
+        }
+    }
 }
 
 /// State shared between the pool handle, its workers, and the
 /// supervisor.
 struct Shared {
-    queue: BoundedQueue<Job>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    groups: Vec<Group>,
+    /// Total queued jobs across every group and lane, bounded by
+    /// `capacity`. Reserved before the enqueue so the shed decision is
+    /// race-free across groups.
+    queued: AtomicUsize,
+    capacity: usize,
+    steal: bool,
+    lane_aging: Duration,
+    seq: AtomicU64,
+    closed: AtomicBool,
+    workers: Mutex<Vec<WorkerSlot>>,
     stats: Arc<PoolStats>,
     shutting_down: AtomicBool,
 }
 
-/// A fixed set of worker threads consuming a bounded job queue, kept at
-/// strength by a supervisor.
+struct WorkerSlot {
+    group: usize,
+    handle: JoinHandle<()>,
+}
+
+/// A fixed set of worker threads consuming bounded per-group run
+/// queues, kept at strength by a supervisor.
 pub struct WorkerPool {
     shared: Arc<Shared>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
@@ -117,20 +321,40 @@ pub struct WorkerPool {
 const SUPERVISE_EVERY: Duration = Duration::from_millis(5);
 
 impl WorkerPool {
-    /// Spawns `workers` threads over a queue of depth `queue_depth`,
-    /// plus the supervisor.
+    /// Spawns `workers` threads over a single FIFO-equivalent run queue
+    /// of depth `queue_depth`, plus the supervisor. This is the legacy
+    /// shape; see [`WorkerPool::with_config`] for groups/lanes/stealing.
     pub fn new(workers: usize, queue_depth: usize) -> Self {
-        assert!(workers > 0, "need at least one worker");
+        WorkerPool::with_config(PoolConfig::fifo(workers, queue_depth))
+    }
+
+    /// Spawns the configured pool: `config.workers` threads pinned
+    /// round-robin across `config.groups` groups, each group holding
+    /// `config.lanes` EDF heaps.
+    pub fn with_config(config: PoolConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let n_groups = config.groups.clamp(1, config.workers);
+        let n_lanes = config.lanes.max(1);
         let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(queue_depth),
-            workers: Mutex::new(Vec::with_capacity(workers)),
-            stats: Arc::new(PoolStats::default()),
+            groups: (0..n_groups).map(|_| Group::new(n_lanes)).collect(),
+            queued: AtomicUsize::new(0),
+            capacity: config.queue_depth,
+            steal: config.steal,
+            lane_aging: config.lane_aging,
+            seq: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+            workers: Mutex::new(Vec::with_capacity(config.workers)),
+            stats: Arc::new(PoolStats::with_lanes(n_lanes)),
             shutting_down: AtomicBool::new(false),
         });
         {
             let mut slots = lock_workers(&shared);
-            for i in 0..workers {
-                slots.push(spawn_worker(&shared, &format!("altxd-worker-{i}")));
+            for i in 0..config.workers {
+                let group = i % n_groups;
+                slots.push(WorkerSlot {
+                    group,
+                    handle: spawn_worker(&shared, group, &format!("altxd-worker-g{group}-{i}")),
+                });
             }
         }
         let supervisor = {
@@ -143,30 +367,46 @@ impl WorkerPool {
         WorkerPool {
             shared,
             supervisor: Mutex::new(Some(supervisor)),
-            n_workers: workers,
+            n_workers: config.workers,
         }
     }
 
-    /// Enqueues a job without blocking; refuses when full or closed.
+    /// Enqueues a best-effort job without blocking; refuses when full or
+    /// closed.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
-        self.shared.queue.push(job).map_err(|(_, e)| match e {
-            QueueError::Full => SubmitError::Overloaded,
-            QueueError::Closed => SubmitError::ShuttingDown,
-        })
+        self.try_submit_at(job, JobMeta::default())
     }
 
-    /// Enqueues a job with a completion notifier. The pool guarantees
-    /// `notify` runs **exactly once** for an admitted job — after the
-    /// job returns, while its panic unwinds, or when the pool drops the
-    /// job unrun (an injected `Fail` fault, a worker killed mid-queue).
-    /// A refused submission never notifies: the `Err` return is the
-    /// caller's signal.
+    /// Enqueues a job under `meta`'s deadline/lane/group without
+    /// blocking; refuses when full or closed.
+    pub fn try_submit_at(&self, job: Job, meta: JobMeta) -> Result<(), SubmitError> {
+        push(&self.shared, job, meta).map_err(|(_, e)| e)
+    }
+
+    /// Enqueues a best-effort job with a completion notifier; see
+    /// [`WorkerPool::try_submit_notify_at`].
+    pub fn try_submit_notify(&self, job: Job, notify: Notify) -> Result<(), SubmitError> {
+        self.try_submit_notify_at(job, notify, JobMeta::default())
+    }
+
+    /// Enqueues a job with a completion notifier under `meta`'s
+    /// deadline/lane/group. The pool guarantees `notify` runs **exactly
+    /// once** for an admitted job — after the job returns, while its
+    /// panic unwinds, or when the pool drops the job unrun (an injected
+    /// `Fail` fault, a worker killed mid-queue, or the shutdown sweep of
+    /// a queue no worker drained). A refused submission never notifies:
+    /// the `Err` return is the caller's signal.
     ///
     /// This is the reactor's bridge out of blocking-channel land: the
     /// notifier posts the finished response to the reactor's completion
     /// queue and tickles its self-pipe, so no thread ever parks in
     /// `recv()` waiting for a race to finish.
-    pub fn try_submit_notify(&self, job: Job, notify: Notify) -> Result<(), SubmitError> {
+    pub fn try_submit_notify_at(
+        &self,
+        job: Job,
+        notify: Notify,
+        meta: JobMeta,
+    ) -> Result<(), SubmitError> {
         let armed = Arc::new(AtomicBool::new(true));
         let guard = NotifyOnDrop {
             armed: Arc::clone(&armed),
@@ -176,7 +416,7 @@ impl WorkerPool {
             job();
             drop(guard); // unwind-safe: a panicking job still notifies
         });
-        match self.shared.queue.push(wrapped) {
+        match push(&self.shared, wrapped, meta) {
             Ok(()) => Ok(()),
             Err((wrapped, e)) => {
                 // Disarm *before* dropping the refused wrapper, or its
@@ -184,17 +424,15 @@ impl WorkerPool {
                 // admitted.
                 armed.store(false, Ordering::SeqCst);
                 drop(wrapped);
-                Err(match e {
-                    QueueError::Full => SubmitError::Overloaded,
-                    QueueError::Closed => SubmitError::ShuttingDown,
-                })
+                Err(e)
             }
         }
     }
 
-    /// Jobs currently queued (not yet picked up by a worker).
+    /// Jobs currently queued (not yet picked up by a worker), across
+    /// every group and lane.
     pub fn queued(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.queued.load(Ordering::SeqCst)
     }
 
     /// Workers executing a job right now.
@@ -207,23 +445,37 @@ impl WorkerPool {
         self.n_workers
     }
 
+    /// Worker groups the pool was configured with.
+    pub fn groups(&self) -> usize {
+        self.shared.groups.len()
+    }
+
+    /// Priority lanes per group.
+    pub fn lanes(&self) -> usize {
+        self.shared.stats.lane_depth.len()
+    }
+
     /// The pool's failure counters, shareable with telemetry. The
     /// `Arc` keeps the counters readable after `shutdown`.
     pub fn stats(&self) -> Arc<PoolStats> {
         Arc::clone(&self.shared.stats)
     }
 
-    /// Closes the queue and joins every worker after it drains the jobs
-    /// already admitted, then joins the supervisor. Idempotent: later
+    /// Closes the queues and joins every worker after the jobs already
+    /// admitted drain, then joins the supervisor. Idempotent: later
     /// calls find no workers left. Never panics — poisoned locks and
     /// workers that died of a contained-but-escaped panic are both
-    /// recovered, so shutdown always drains.
+    /// recovered, so shutdown always drains. Any job still queued after
+    /// the workers are gone (every worker of a group lost at once) is
+    /// swept here: dropping it unrun fires its notifier through the
+    /// exactly-once "worker lost" path, so no admitted request is ever
+    /// silently forgotten.
     pub fn shutdown(&self) {
-        // Order matters: stop the supervisor from respawning *before*
-        // closing the queue, so a worker that exits on drain is not
-        // replaced.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
+        close(&self.shared);
+        // The supervisor keeps respawning through the drain (it exits
+        // once the queues are empty), so a dead worker set can never
+        // strand queued jobs.
         let supervisor = self
             .supervisor
             .lock()
@@ -232,31 +484,202 @@ impl WorkerPool {
         if let Some(s) = supervisor {
             let _ = s.join();
         }
-        let handles: Vec<_> = lock_workers(&self.shared).drain(..).collect();
-        for w in handles {
+        let slots: Vec<_> = lock_workers(&self.shared).drain(..).collect();
+        for w in slots {
             // A worker killed by an injected fault panicked; that must
             // not abort the drain of its siblings.
-            let _ = w.join();
+            let _ = w.handle.join();
+        }
+        sweep_leftovers(&self.shared);
+    }
+}
+
+/// Marks the queues closed. Cycling every group lock after the store
+/// gives pushers a happens-before edge: once a push observes the lock a
+/// closer held, it observes `closed` too.
+fn close(shared: &Shared) {
+    shared.closed.store(true, Ordering::SeqCst);
+    for group in &shared.groups {
+        drop(lock_lanes(group));
+        group.available.notify_all();
+    }
+}
+
+/// Drops every job still queued anywhere. Each dropped wrapper fires
+/// its `NotifyOnDrop` guard — the "worker lost" completion.
+fn sweep_leftovers(shared: &Shared) {
+    for group in &shared.groups {
+        let mut lanes = lock_lanes(group);
+        for (lane_idx, lane) in lanes.iter_mut().enumerate() {
+            while let Some(entry) = lane.pop() {
+                shared.queued.fetch_sub(1, Ordering::SeqCst);
+                if let Some(depth) = shared.stats.lane_depth.get(lane_idx) {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                }
+                drop(entry.job);
+            }
         }
     }
 }
 
-fn lock_workers(shared: &Shared) -> std::sync::MutexGuard<'_, Vec<JoinHandle<()>>> {
+fn push(shared: &Shared, job: Job, meta: JobMeta) -> Result<(), (Job, SubmitError)> {
+    if shared.closed.load(Ordering::SeqCst) {
+        return Err((job, SubmitError::ShuttingDown));
+    }
+    // Reserve capacity before touching any lock: the bound is global
+    // across groups and the shed decision must be race-free.
+    let mut cur = shared.queued.load(Ordering::SeqCst);
+    loop {
+        if cur >= shared.capacity {
+            return Err((job, SubmitError::Overloaded));
+        }
+        match shared
+            .queued
+            .compare_exchange_weak(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+    let g = meta.group % shared.groups.len();
+    let group = &shared.groups[g];
+    let lane_idx;
+    {
+        let mut lanes = lock_lanes(group);
+        // Re-check under the lock `close` cycles: after a close no new
+        // job may land in a queue the workers might already have left.
+        if shared.closed.load(Ordering::SeqCst) {
+            shared.queued.fetch_sub(1, Ordering::SeqCst);
+            return Err((job, SubmitError::ShuttingDown));
+        }
+        lane_idx = meta.lane.min(lanes.len() - 1);
+        lanes[lane_idx].push(Entry {
+            deadline: meta.deadline,
+            seq: shared.seq.fetch_add(1, Ordering::SeqCst),
+            enqueued: Instant::now(),
+            job,
+        });
+    }
+    if let Some(depth) = shared.stats.lane_depth.get(lane_idx) {
+        depth.fetch_add(1, Ordering::Relaxed);
+    }
+    group.available.notify_one();
+    Ok(())
+}
+
+/// Picks the next entry to run from one group's lanes: the highest
+/// priority non-empty lane, unless starvation aging promotes a lower
+/// lane that has an entry waiting past the threshold. Within the chosen
+/// lane, EDF order (the heap's max = earliest deadline, best-effort
+/// last, FIFO among equals).
+fn select(
+    lanes: &mut [BinaryHeap<Entry>],
+    now: Instant,
+    aging: Duration,
+) -> Option<(usize, Entry)> {
+    let strict = lanes.iter().position(|l| !l.is_empty())?;
+    let mut pick = strict;
+    if !aging.is_zero() {
+        for (i, lane) in lanes.iter().enumerate().skip(strict + 1) {
+            if lane.iter().any(|e| now.duration_since(e.enqueued) >= aging) {
+                pick = i;
+                break;
+            }
+        }
+    }
+    let entry = lanes[pick].pop()?;
+    Some((pick, entry))
+}
+
+fn take_accounted(shared: &Shared, picked: (usize, Entry)) -> Entry {
+    let (lane_idx, entry) = picked;
+    shared.queued.fetch_sub(1, Ordering::SeqCst);
+    if let Some(depth) = shared.stats.lane_depth.get(lane_idx) {
+        depth.fetch_sub(1, Ordering::Relaxed);
+    }
+    entry
+}
+
+/// Scans sibling groups (round-robin from `g + 1`) for work, applying
+/// the same lane-then-EDF selection a local pop would.
+fn steal_from(shared: &Shared, g: usize) -> Option<Entry> {
+    let n = shared.groups.len();
+    for i in 1..n {
+        let victim = &shared.groups[(g + i) % n];
+        let mut lanes = lock_lanes(victim);
+        if let Some(picked) = select(&mut lanes, Instant::now(), shared.lane_aging) {
+            drop(lanes);
+            return Some(take_accounted(shared, picked));
+        }
+    }
+    None
+}
+
+/// Blocking pop for a worker pinned to group `g`. Returns `None` only
+/// when the pool is closed and every queue it can reach is drained.
+/// While draining a closed pool, workers steal across groups regardless
+/// of the steal flag, so a group whose own workers died still empties.
+fn pop(shared: &Shared, g: usize) -> Option<Job> {
+    let group = &shared.groups[g];
+    let mut guard = lock_lanes(group);
+    loop {
+        if let Some(picked) = select(&mut guard, Instant::now(), shared.lane_aging) {
+            drop(guard);
+            return Some(take_accounted(shared, picked).job);
+        }
+        let closed = shared.closed.load(Ordering::SeqCst);
+        let scavenge = (shared.steal || closed) && shared.groups.len() > 1;
+        if scavenge {
+            drop(guard);
+            if let Some(entry) = steal_from(shared, g) {
+                if !closed {
+                    shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(entry.job);
+            }
+            if closed && shared.queued.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            guard = lock_lanes(group);
+            // A push to a sibling group does not signal this condvar, so
+            // a stealing worker parks with a timeout and re-scans.
+            let (g2, _) = group
+                .available
+                .wait_timeout(guard, STEAL_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g2;
+        } else {
+            if closed {
+                return None; // single reachable queue, empty: drained
+            }
+            guard = group
+                .available
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+fn lock_lanes(group: &Group) -> MutexGuard<'_, Vec<BinaryHeap<Entry>>> {
+    group.lanes.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_workers(shared: &Shared) -> MutexGuard<'_, Vec<WorkerSlot>> {
     shared
         .workers
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
 }
 
-fn spawn_worker(shared: &Arc<Shared>, name: &str) -> JoinHandle<()> {
+fn spawn_worker(shared: &Arc<Shared>, group: usize, name: &str) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
     std::thread::Builder::new()
         .name(name.to_owned())
-        .spawn(move || worker_loop(&shared))
+        .spawn(move || worker_loop(&shared, group))
         .expect("spawn worker")
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, group: usize) {
     loop {
         // Fault site `pool.worker`: an injected panic here is *not*
         // contained — it kills this thread, which is the supervisor's
@@ -265,9 +688,9 @@ fn worker_loop(shared: &Shared) {
         if faults::enabled() {
             let _ = faults::inject("pool.worker", None);
         }
-        match shared.queue.pop() {
-            Ok(job) => run_job(job, shared),
-            Err(_) => break, // closed and drained
+        match pop(shared, group) {
+            Some(job) => run_job(job, shared),
+            None => break, // closed and drained
         }
     }
 }
@@ -292,26 +715,42 @@ fn run_job(job: Job, shared: &Shared) {
     }
 }
 
-/// Sweeps the worker set, replacing dead threads until shutdown.
+/// Sweeps the worker set, replacing dead threads. Keeps sweeping
+/// through shutdown until the queues are empty: a drain must never
+/// stall because the last worker of a group died.
 fn supervise(shared: &Arc<Shared>) {
-    while !shared.shutting_down.load(Ordering::SeqCst) {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) && shared.queued.load(Ordering::SeqCst) == 0
+        {
+            break;
+        }
         std::thread::sleep(SUPERVISE_EVERY);
         let mut slots = lock_workers(shared);
         for slot in slots.iter_mut() {
-            if shared.shutting_down.load(Ordering::SeqCst) {
+            if shared.shutting_down.load(Ordering::SeqCst)
+                && shared.queued.load(Ordering::SeqCst) == 0
+            {
                 break;
             }
-            if !slot.is_finished() {
+            if !slot.handle.is_finished() {
                 continue;
             }
             // Replace first, then examine the corpse: only a panicked
             // worker counts as a respawn. (A worker that exited cleanly
-            // means the queue just closed; its replacement will see the
-            // same and exit — shutdown joins it like any other.)
+            // means the queue just closed and drained; its replacement
+            // will see the same and exit — shutdown joins it like any
+            // other.)
             let gen = shared.stats.worker_respawns.load(Ordering::Relaxed);
-            let dead =
-                std::mem::replace(slot, spawn_worker(shared, &format!("altxd-worker-r{gen}")));
-            if dead.join().is_err() {
+            let group = slot.group;
+            let fresh = spawn_worker(shared, group, &format!("altxd-worker-r{gen}"));
+            let dead = std::mem::replace(
+                slot,
+                WorkerSlot {
+                    group,
+                    handle: fresh,
+                },
+            );
+            if dead.handle.join().is_err() {
                 shared.stats.worker_respawns.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -322,6 +761,8 @@ impl std::fmt::Debug for WorkerPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerPool")
             .field("queued", &self.queued())
+            .field("groups", &self.groups())
+            .field("lanes", &self.lanes())
             .field("jobs_panicked", &self.shared.stats.jobs_panicked())
             .field("worker_respawns", &self.shared.stats.worker_respawns())
             .finish()
@@ -510,5 +951,59 @@ mod tests {
         pool.shutdown(); // must not panic, must drain everything after the crash
         assert_eq!(ran.load(Ordering::SeqCst), 10);
         assert_eq!(pool.stats().jobs_panicked(), 1);
+    }
+
+    #[test]
+    fn entry_order_is_edf_then_fifo_with_best_effort_last() {
+        let now = Instant::now();
+        let mk = |deadline: Option<u64>, seq: u64| Entry {
+            deadline: deadline.map(|ms| now + Duration::from_millis(ms)),
+            seq,
+            enqueued: now,
+            job: Box::new(|| {}),
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(None, 0)); // best-effort, submitted first
+        heap.push(mk(Some(50), 1));
+        heap.push(mk(Some(10), 2));
+        heap.push(mk(Some(50), 3));
+        heap.push(mk(None, 4));
+        let order: Vec<u64> = std::iter::from_fn(|| heap.pop().map(|e| e.seq)).collect();
+        assert_eq!(
+            order,
+            vec![2, 1, 3, 0, 4],
+            "earliest deadline first, FIFO ties, best-effort last in FIFO order"
+        );
+    }
+
+    #[test]
+    fn lane_depths_track_queued_work() {
+        let pool = WorkerPool::with_config(PoolConfig {
+            lanes: 2,
+            ..PoolConfig::fifo(1, 16)
+        });
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        pool.try_submit(Box::new(move || {
+            block_rx.recv().ok();
+        }))
+        .expect("occupies the worker");
+        // Give the worker a moment to take the blocker off the queue.
+        while pool.busy() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for lane in [0usize, 1, 1] {
+            pool.try_submit_at(
+                Box::new(|| {}),
+                JobMeta {
+                    lane,
+                    ..JobMeta::default()
+                },
+            )
+            .expect("admitted");
+        }
+        assert_eq!(pool.stats().lane_depths(), vec![1, 2]);
+        block_tx.send(()).expect("worker waiting");
+        pool.shutdown();
+        assert_eq!(pool.stats().lane_depths(), vec![0, 0]);
     }
 }

@@ -59,9 +59,9 @@ use crate::bufpool::BufPool;
 use crate::conn::{Conn, ReplyFrame};
 use crate::frame::{FrameError, Request, Response, ALT_FAILED};
 use crate::peer::{PeerPlane, SendTag};
-use crate::pool::WorkerPool;
+use crate::pool::{JobMeta, WorkerPool};
 use crate::ring::{EncodedReply, ReplyRing};
-use crate::sched::{render_catalog, HedgePolicy};
+use crate::sched::{render_catalog, Admission, HedgePolicy, Lanes};
 use crate::server::{run_race, run_remote_alt, run_subrace};
 use crate::telemetry::{ShardStats, Telemetry};
 use crate::workload;
@@ -454,6 +454,11 @@ pub(crate) struct Reactor {
     /// The peer plane: membership, remote-race registry, commit ledger,
     /// executor-side inflight table, and the placement policy.
     plane: Arc<PeerPlane>,
+    /// Feasibility gate consulted before a deadlined request spends a
+    /// queue slot; disabled gates admit everything.
+    admission: Arc<Admission>,
+    /// Workload → priority-lane mapping for run-queue submissions.
+    lanes: Arc<Lanes>,
 }
 
 impl Reactor {
@@ -469,6 +474,8 @@ impl Reactor {
         plane: Arc<PeerPlane>,
         ring_slots: usize,
         ring_slot_bytes: usize,
+        admission: Arc<Admission>,
+        lanes: Arc<Lanes>,
     ) -> io::Result<(Self, Arc<ReactorShared>, Arc<ShardStats>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
         let ring = ReplyRing::new(ring_slots, ring_slot_bytes);
@@ -499,6 +506,8 @@ impl Reactor {
                 next_group: 0,
                 shard_idx,
                 plane,
+                admission,
+                lanes,
             },
             shared,
             stats,
@@ -1016,7 +1025,8 @@ impl Reactor {
                 );
             })
         };
-        match self.pool.try_submit_notify(job, notify) {
+        let meta = self.job_meta(widx, deadline_ms);
+        match self.pool.try_submit_notify_at(job, notify, meta) {
             Ok(()) => {
                 self.telemetry.on_remote_exec();
                 self.fulfill(
@@ -1069,6 +1079,23 @@ impl Reactor {
     /// policy elects to ship alternatives to peers the race goes
     /// through the distributed path instead.
     fn submit_race(&mut self, waiters: Vec<Waiter>, key: BatchKey) {
+        // Feasibility admission, before the race spends a queue slot or
+        // a wire frame: when the deadline is provably unmeetable from
+        // the workload's p99 service time plus the current queue wait,
+        // shed now instead of burning a worker just to time out.
+        // Best-effort requests (deadline 0) always pass.
+        if !self.admission.admit(
+            key.widx,
+            key.deadline_ms,
+            self.pool.queued(),
+            self.pool.workers(),
+        ) {
+            for (conn_id, seq) in waiters {
+                self.telemetry.on_shed_admission();
+                self.fulfill(conn_id, seq, &Response::Overloaded);
+            }
+            return;
+        }
         if let Some(assign) = self.plan_remote(&key) {
             self.submit_race_distributed(waiters, key, assign);
             return;
@@ -1111,7 +1138,8 @@ impl Reactor {
                 shared.post(group, reply);
             })
         };
-        match self.pool.try_submit_notify(job, notify) {
+        let meta = self.job_meta(key.widx, key.deadline_ms);
+        match self.pool.try_submit_notify_at(job, notify, meta) {
             Ok(()) => {
                 self.telemetry.on_accepted();
                 self.groups.insert(group, waiters);
@@ -1124,6 +1152,14 @@ impl Reactor {
                 }
             }
         }
+    }
+
+    /// Run-queue scheduling metadata for one submission from this
+    /// shard: the request's absolute deadline (best-effort when the
+    /// wire said 0), the workload's configured priority lane, and this
+    /// shard's worker group.
+    fn job_meta(&self, widx: usize, deadline_ms: u32) -> JobMeta {
+        JobMeta::for_request(deadline_ms, self.lanes.lane_of(widx), self.shard_idx)
     }
 
     /// Asks the placement policy whether any of this race's
@@ -1228,7 +1264,8 @@ impl Reactor {
                 races.on_local_done(race_id, reply);
             })
         };
-        match self.pool.try_submit_notify(job, notify) {
+        let meta = self.job_meta(key.widx, key.deadline_ms);
+        match self.pool.try_submit_notify_at(job, notify, meta) {
             Ok(()) => {
                 self.telemetry.on_accepted();
                 self.groups.insert(group, waiters);

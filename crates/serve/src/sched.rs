@@ -65,6 +65,13 @@ impl Default for HedgeConfig {
 #[derive(Debug)]
 pub struct CatalogStats {
     tables: Vec<AltStatsTable>,
+    /// Per-workload *race service time* — wall time from launch to any
+    /// outcome (win, deadline blown, error), recorded as a single-slot
+    /// [`AltStatsTable`] so admission reads the same power-of-two
+    /// quantile machinery the hedge policy does. Unlike the win tables
+    /// this sees timeouts, which is exactly what makes an infeasible
+    /// workload provably infeasible.
+    service: Vec<AltStatsTable>,
 }
 
 impl CatalogStats {
@@ -75,12 +82,38 @@ impl CatalogStats {
                 .iter()
                 .map(|w| AltStatsTable::with_len(w.alternatives()))
                 .collect(),
+            service: workload::CATALOG
+                .iter()
+                .map(|_| AltStatsTable::with_len(1))
+                .collect(),
         }
     }
 
     /// The statistics table for catalog workload `widx`.
     pub fn table(&self, widx: usize) -> Option<&AltStatsTable> {
         self.tables.get(widx)
+    }
+
+    /// Records one race's end-to-end service time, whatever its outcome.
+    pub fn record_service(&self, widx: usize, latency_us: u64) {
+        if let Some(t) = self.service.get(widx) {
+            t.record_win(0, latency_us);
+        }
+    }
+
+    /// Service-time samples recorded for workload `widx`.
+    pub fn service_samples(&self, widx: usize) -> u64 {
+        self.service.get(widx).map_or(0, |t| t.wins(0))
+    }
+
+    /// A service-time quantile for workload `widx` (bucket upper bound).
+    pub fn service_quantile_us(&self, widx: usize, q: f64) -> Option<u64> {
+        self.service.get(widx).and_then(|t| t.quantile_us(0, q))
+    }
+
+    /// EWMA of the service time for workload `widx`.
+    pub fn service_mean_us(&self, widx: usize) -> Option<f64> {
+        self.service.get(widx).and_then(|t| t.ewma_us(0))
     }
 
     /// Win tallies as `(workload, alternative) → wins`, for telemetry
@@ -214,6 +247,174 @@ impl HedgePolicy {
         if let Some(table) = self.catalog.table(widx) {
             table.record_win(alt_idx, latency_us);
         }
+    }
+
+    /// Records one race's end-to-end service time — every outcome, not
+    /// just wins — feeding the admission gate's feasibility estimate.
+    pub fn record_service(&self, widx: usize, latency_us: u64) {
+        self.catalog.record_service(widx, latency_us);
+    }
+}
+
+/// Feasibility-based admission: shed a deadlined request on arrival
+/// when its deadline is provably unmeetable, instead of queueing doomed
+/// work that burns a worker just to time out.
+///
+/// The estimate is deliberately simple and deterministic (the same
+/// inputs always produce the same verdict, which is what the test suite
+/// pins):
+///
+/// ```text
+/// wait_us  = queued × mean_service_us / workers
+/// admit    ⇔ wait_us + p99_service_us ≤ deadline_ms × 1000
+/// ```
+///
+/// where `p99_service_us` and `mean_service_us` come from the
+/// workload's service-time [`AltStatsTable`] in [`CatalogStats`] —
+/// which records timeouts and errors as well as wins, so a workload
+/// that *never* meets its deadline converges on p99 ≈ deadline and any
+/// queue wait at all tips the verdict to shed. A cold workload (fewer
+/// than `min_samples` samples) is always admitted: infeasibility must
+/// be proven, never presumed. Best-effort requests (`deadline_ms == 0`)
+/// bypass the gate entirely — no deadline, nothing to be infeasible
+/// against.
+#[derive(Debug)]
+pub struct Admission {
+    enabled: bool,
+    min_samples: u64,
+    catalog: Arc<CatalogStats>,
+}
+
+/// Service-time samples a workload needs before the gate will shed it.
+pub const ADMISSION_MIN_SAMPLES: u64 = 16;
+
+impl Admission {
+    /// A gate over the shared statistics store. Disabled gates admit
+    /// everything.
+    pub fn new(enabled: bool, catalog: Arc<CatalogStats>) -> Self {
+        Admission {
+            enabled,
+            min_samples: ADMISSION_MIN_SAMPLES,
+            catalog,
+        }
+    }
+
+    /// Whether the gate is switched on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Verdict for one arriving request: `true` admits. `queued` and
+    /// `workers` are the pool's current backlog and size — passed in
+    /// rather than read here so the decision is a pure function its
+    /// tests can pin.
+    pub fn admit(&self, widx: usize, deadline_ms: u32, queued: usize, workers: usize) -> bool {
+        if !self.enabled || deadline_ms == 0 {
+            return true;
+        }
+        if self.catalog.service_samples(widx) < self.min_samples {
+            return true;
+        }
+        let Some(p99) = self.catalog.service_quantile_us(widx, 0.99) else {
+            return true;
+        };
+        let mean = self.catalog.service_mean_us(widx).unwrap_or(p99 as f64);
+        let wait_us = queued as f64 * mean / workers.max(1) as f64;
+        wait_us + p99 as f64 <= f64::from(deadline_ms) * 1000.0
+    }
+}
+
+/// Config-declared priority lanes: an ordered partition of the workload
+/// catalog. Lane 0 is the highest priority; workloads the spec does not
+/// mention fall into a trailing catch-all lane. The default
+/// ([`Lanes::single`]) is one lane holding everything — scheduling-wise
+/// indistinguishable from no lanes at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lanes {
+    names: Vec<String>,
+    by_widx: Vec<usize>,
+}
+
+impl Lanes {
+    /// One lane, every workload: the defaults-off shape.
+    pub fn single() -> Self {
+        Lanes {
+            names: vec!["all".to_owned()],
+            by_widx: vec![0; workload::CATALOG.len()],
+        }
+    }
+
+    /// Parses a lane spec of the form
+    /// `name:workload[,workload…][;name:workload…]`, priority in
+    /// declaration order. Example: `rt:trivial,bimodal;batch:sleep`.
+    /// Unknown workloads and double assignments are errors; catalog
+    /// workloads left unmentioned land in an appended `default` lane at
+    /// the lowest priority. An empty spec yields [`Lanes::single`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec.trim().is_empty() {
+            return Ok(Lanes::single());
+        }
+        let mut names = Vec::new();
+        let mut by_widx: Vec<Option<usize>> = vec![None; workload::CATALOG.len()];
+        for part in spec.split(';') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, members) = part
+                .split_once(':')
+                .ok_or_else(|| format!("lane `{part}` missing `name:workloads`"))?;
+            let name = name.trim();
+            if name.is_empty() || names.iter().any(|n| n == name) {
+                return Err(format!("bad or duplicate lane name in `{part}`"));
+            }
+            let lane = names.len();
+            names.push(name.to_owned());
+            for wl in members.split(',') {
+                let wl = wl.trim();
+                let widx = workload::index_of(wl)
+                    .ok_or_else(|| format!("lane `{name}`: unknown workload `{wl}`"))?;
+                if by_widx[widx].is_some() {
+                    return Err(format!("workload `{wl}` assigned to two lanes"));
+                }
+                by_widx[widx] = Some(lane);
+            }
+        }
+        if names.is_empty() {
+            return Ok(Lanes::single());
+        }
+        if by_widx.iter().any(Option::is_none) {
+            names.push("default".to_owned());
+        }
+        let catch_all = names.len() - 1;
+        Ok(Lanes {
+            by_widx: by_widx
+                .into_iter()
+                .map(|l| l.unwrap_or(catch_all))
+                .collect(),
+            names,
+        })
+    }
+
+    /// The lane for catalog workload `widx`.
+    pub fn lane_of(&self, widx: usize) -> usize {
+        self.by_widx.get(widx).copied().unwrap_or(0)
+    }
+
+    /// Number of lanes.
+    pub fn count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Lane names, priority order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+impl Default for Lanes {
+    fn default() -> Self {
+        Lanes::single()
     }
 }
 
@@ -372,6 +573,66 @@ mod tests {
         assert_eq!(map.get(&("trivial".into(), "instant-a".into())), Some(&2));
         assert_eq!(map.get(&("trivial".into(), "instant-b".into())), Some(&1));
         assert_eq!(map.len(), 2, "workloads with no wins stay absent");
+    }
+
+    #[test]
+    fn lanes_parse_assigns_and_catches_all() {
+        let lanes = Lanes::parse("rt:trivial,bimodal;batch:sleep").expect("valid spec");
+        assert_eq!(lanes.names(), ["rt", "batch", "default"]);
+        assert_eq!(lanes.lane_of(workload::index_of("trivial").unwrap()), 0);
+        assert_eq!(lanes.lane_of(workload::index_of("bimodal").unwrap()), 0);
+        assert_eq!(lanes.lane_of(workload::index_of("sleep").unwrap()), 1);
+        assert_eq!(
+            lanes.lane_of(workload::index_of("lognormal").unwrap()),
+            2,
+            "unmentioned workloads fall into the trailing default lane"
+        );
+    }
+
+    #[test]
+    fn lanes_parse_rejects_junk() {
+        assert!(Lanes::parse("rt:nosuch").is_err(), "unknown workload");
+        assert!(
+            Lanes::parse("a:trivial;b:trivial").is_err(),
+            "double assignment"
+        );
+        assert!(Lanes::parse("nocolon").is_err(), "missing separator");
+        assert_eq!(Lanes::parse("").unwrap(), Lanes::single());
+    }
+
+    #[test]
+    fn admission_disabled_or_best_effort_always_admits() {
+        let catalog = Arc::new(CatalogStats::new());
+        let widx = lognormal_idx();
+        for _ in 0..100 {
+            catalog.record_service(widx, 1_000_000);
+        }
+        let off = Admission::new(false, Arc::clone(&catalog));
+        assert!(off.admit(widx, 1, 1000, 1));
+        let on = Admission::new(true, catalog);
+        assert!(on.admit(widx, 0, 1000, 1), "deadline 0 is best-effort");
+    }
+
+    #[test]
+    fn admission_is_deterministic_from_pinned_stats() {
+        let catalog = Arc::new(CatalogStats::new());
+        let widx = lognormal_idx();
+        let gate = Admission::new(true, Arc::clone(&catalog));
+        // Cold: nothing is provably infeasible.
+        assert!(gate.admit(widx, 1, 64, 1));
+        // Pin ~4ms service times; p99 bucket rounds up to 4096us.
+        for _ in 0..64 {
+            catalog.record_service(widx, 4_000);
+        }
+        assert!(!gate.admit(widx, 3, 0, 4), "deadline below p99 sheds");
+        assert!(gate.admit(widx, 5, 0, 4), "deadline above p99 admits");
+        // Queue wait pushes a feasible deadline over the edge.
+        assert!(!gate.admit(widx, 5, 64, 4));
+        // Same inputs, same verdicts.
+        for _ in 0..3 {
+            assert!(!gate.admit(widx, 3, 0, 4));
+            assert!(gate.admit(widx, 5, 0, 4));
+        }
     }
 
     #[test]

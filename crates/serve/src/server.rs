@@ -30,10 +30,10 @@ use crate::commit::CommitLedger;
 use crate::frame::{Response, ALT_DEADLINE, ALT_FAILED, ALT_OK};
 use crate::peer::{PeerConfig, PeerNet, PeerPlane, PeerStatsTable};
 use crate::placement::Placement;
-use crate::pool::WorkerPool;
+use crate::pool::{PoolConfig, WorkerPool, DEFAULT_LANE_AGING};
 use crate::reactor::{bind_reuseport, run_acceptor, wake_pair, DaemonCtl, Reactor};
 use crate::remote::{InflightRemote, RemoteRaces};
-use crate::sched::{HedgeConfig, HedgePolicy};
+use crate::sched::{Admission, HedgeConfig, HedgePolicy, Lanes};
 use crate::telemetry::Telemetry;
 use crate::workload;
 use altx::engine::{LaunchPlan, ThreadedEngine};
@@ -76,6 +76,19 @@ pub struct ServerConfig {
     /// advertised identity. Empty (the default) keeps the daemon
     /// single-node — no placement, no outbound dials, no votes.
     pub peer: PeerConfig,
+    /// Per-workload priority lanes for the run queues. The default
+    /// single lane is scheduling-neutral — identical to no lanes.
+    pub lanes: Lanes,
+    /// Feasibility-based admission: shed a deadlined request on arrival
+    /// when its deadline is provably unmeetable. Off by default.
+    pub admission: bool,
+    /// Work stealing between shard-pinned worker groups. Off by
+    /// default; when on, the pool splits into one group per shard and a
+    /// dry group's workers take the best entry from a sibling's queue.
+    pub steal: bool,
+    /// Starvation aging threshold for lower-priority lanes;
+    /// `Duration::ZERO` means pure strict priority.
+    pub lane_aging: Duration,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +103,10 @@ impl Default for ServerConfig {
             ring_slots: DEFAULT_RING_SLOTS,
             ring_slot_bytes: DEFAULT_RING_SLOT_BYTES,
             peer: PeerConfig::default(),
+            lanes: Lanes::single(),
+            admission: false,
+            steal: false,
+            lane_aging: DEFAULT_LANE_AGING,
         }
     }
 }
@@ -186,10 +203,27 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     }
 
     let telemetry = Arc::new(Telemetry::new());
-    let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+    // Stealing is what splits the pool into shard-pinned worker groups;
+    // without it a single group (the classic FIFO shape) avoids ever
+    // stranding capacity behind an empty group queue.
+    let groups = if config.steal { n_shards } else { 1 };
+    let pool = Arc::new(WorkerPool::with_config(PoolConfig {
+        workers: config.workers,
+        queue_depth: config.queue_depth,
+        groups,
+        lanes: config.lanes.count(),
+        steal: config.steal,
+        lane_aging: config.lane_aging,
+    }));
     telemetry.attach_pool(pool.stats());
+    telemetry.attach_lane_names(config.lanes.names().to_vec());
     let sched = Arc::new(HedgePolicy::new(config.hedge));
     telemetry.attach_catalog(Arc::clone(sched.catalog()));
+    let admission = Arc::new(Admission::new(
+        config.admission,
+        Arc::clone(sched.catalog()),
+    ));
+    let lanes = Arc::new(config.lanes.clone());
     let ctl = Arc::new(DaemonCtl::new(n_shards));
 
     // The peer plane exists even with no peers configured: this node
@@ -251,6 +285,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             Arc::clone(&plane),
             config.ring_slots,
             config.ring_slot_bytes,
+            Arc::clone(&admission),
+            Arc::clone(&lanes),
         )?;
         reactors.push(reactor);
         shareds.push(shared);
@@ -355,6 +391,9 @@ pub(crate) fn run_race(
             return Response::UnknownWorkload;
         }
     };
+    // `deadline_ms == 0` is best-effort end to end: no cancel deadline
+    // here, no EDF deadline in the run queue, and the admission gate
+    // waves it through — the one documented meaning of zero.
     let token = if deadline_ms > 0 {
         CancelToken::with_deadline(Duration::from_millis(u64::from(deadline_ms)))
     } else {
@@ -364,6 +403,12 @@ pub(crate) fn run_race(
     let start = Instant::now();
     let result = ThreadedEngine::new().execute_planned(&block, &mut workspace, &token, &plan);
     let latency_us = start.elapsed().as_micros() as u64;
+    // Every outcome feeds the service-time table the admission gate
+    // reads — timeouts included, or infeasibility could never be proven.
+    sched.record_service(widx, latency_us);
+    if deadline_ms > 0 && latency_us > u64::from(deadline_ms) * 1000 {
+        telemetry.on_deadline_miss();
+    }
     telemetry.on_alt_panics(result.panics as u64);
     telemetry.on_launches_suppressed(result.suppressed as u64);
     // Hedges that launched = those the plan held back minus those the

@@ -220,8 +220,14 @@ pub struct Telemetry {
     completed: AtomicU64,
     /// Requests shed because the queue was full.
     shed: AtomicU64,
+    /// Requests shed by the feasibility gate: deadline provably
+    /// unmeetable on arrival, before spending a queue slot.
+    sheds_at_admission: AtomicU64,
     /// Races that blew their deadline.
     deadline_exceeded: AtomicU64,
+    /// Races that completed with a winner but *after* their deadline —
+    /// served, but too late to count as goodput.
+    deadline_misses: AtomicU64,
     /// Unknown workloads, protocol violations, failed races.
     errors: AtomicU64,
     /// Alternative bodies that panicked and were contained by an engine.
@@ -273,6 +279,9 @@ pub struct Telemetry {
     shards: OnceLock<Vec<Arc<ShardStats>>>,
     /// Per-peer link counters, attached once at startup.
     peers: OnceLock<Arc<PeerStatsTable>>,
+    /// Configured lane names (priority order), attached once at startup
+    /// so lane-depth gauges render with their declared names.
+    lane_names: OnceLock<Vec<String>>,
 }
 
 /// A point-in-time copy of the counters, for rendering.
@@ -284,8 +293,16 @@ pub struct Snapshot {
     pub completed: u64,
     /// Requests shed at admission.
     pub shed: u64,
+    /// Requests shed by the feasibility gate on arrival.
+    pub sheds_at_admission: u64,
     /// Deadline-exceeded races.
     pub deadline_exceeded: u64,
+    /// Races served with a winner but after their deadline.
+    pub deadline_misses: u64,
+    /// Jobs a dry worker took from a sibling group's run queue.
+    pub steals: u64,
+    /// Queued jobs per priority lane (gauge), priority order.
+    pub lane_depths: Vec<u64>,
     /// Error replies.
     pub errors: u64,
     /// Contained panics inside racing alternatives.
@@ -390,9 +407,19 @@ impl Telemetry {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts a request the feasibility gate shed on arrival.
+    pub fn on_shed_admission(&self) {
+        self.sheds_at_admission.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counts a blown deadline.
     pub fn on_deadline_exceeded(&self) {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a race that won — but past its deadline.
+    pub fn on_deadline_miss(&self) {
+        self.deadline_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts an error reply.
@@ -515,6 +542,21 @@ impl Telemetry {
         let _ = self.peers.set(peers);
     }
 
+    /// Attaches the configured lane names (priority order) so lane
+    /// depth gauges render with their declared names. Later calls are
+    /// ignored.
+    pub fn attach_lane_names(&self, names: Vec<String>) {
+        let _ = self.lane_names.set(names);
+    }
+
+    /// The name of priority lane `i` (`lane<i>` when unattached).
+    fn lane_name(&self, i: usize) -> String {
+        self.lane_names
+            .get()
+            .and_then(|n| n.get(i).cloned())
+            .unwrap_or_else(|| format!("lane{i}"))
+    }
+
     /// The attached per-peer counters, if peering is wired.
     pub fn peer_table(&self) -> Option<&Arc<PeerStatsTable>> {
         self.peers.get()
@@ -534,7 +576,11 @@ impl Telemetry {
             accepted: self.accepted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            sheds_at_admission: self.sheds_at_admission.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            steals: self.pool.get().map_or(0, |p| p.steals()),
+            lane_depths: self.pool.get().map_or_else(Vec::new, |p| p.lane_depths()),
             errors: self.errors.load(Ordering::Relaxed),
             alt_panics: self.alt_panics.load(Ordering::Relaxed),
             jobs_panicked: self.pool.get().map_or(0, |p| p.jobs_panicked()),
@@ -582,7 +628,18 @@ impl Telemetry {
         out.push_str(&format!("  accepted            {}\n", s.accepted));
         out.push_str(&format!("  completed           {}\n", s.completed));
         out.push_str(&format!("  shed (overloaded)   {}\n", s.shed));
+        out.push_str(&format!("  sheds at admission  {}\n", s.sheds_at_admission));
         out.push_str(&format!("  deadline exceeded   {}\n", s.deadline_exceeded));
+        out.push_str(&format!("  deadline misses     {}\n", s.deadline_misses));
+        out.push_str(&format!("  steals              {}\n", s.steals));
+        for (i, depth) in s.lane_depths.iter().enumerate() {
+            out.push_str(&format!(
+                "    lane {} ({}) depth {}\n",
+                i,
+                self.lane_name(i),
+                depth
+            ));
+        }
         out.push_str(&format!("  errors              {}\n", s.errors));
         out.push_str(&format!("  alt panics          {}\n", s.alt_panics));
         out.push_str(&format!("  jobs panicked       {}\n", s.jobs_panicked));
@@ -690,9 +747,27 @@ impl Telemetry {
         );
         counter(
             &mut out,
+            "altxd_sheds_at_admission_total",
+            "Requests shed by the feasibility gate on arrival",
+            s.sheds_at_admission,
+        );
+        counter(
+            &mut out,
             "altxd_requests_deadline_exceeded_total",
             "Races that blew their deadline",
             s.deadline_exceeded,
+        );
+        counter(
+            &mut out,
+            "altxd_deadline_misses_total",
+            "Races served with a winner but after their deadline",
+            s.deadline_misses,
+        );
+        counter(
+            &mut out,
+            "altxd_steals_total",
+            "Jobs a dry worker took from a sibling group's run queue",
+            s.steals,
         );
         counter(
             &mut out,
@@ -880,6 +955,16 @@ impl Telemetry {
             "Frame-buffer requests that had to allocate",
             s.pool_misses,
         );
+        if !s.lane_depths.is_empty() {
+            out.push_str("# HELP altxd_lane_depth Queued jobs per priority lane\n");
+            out.push_str("# TYPE altxd_lane_depth gauge\n");
+            for (i, depth) in s.lane_depths.iter().enumerate() {
+                out.push_str(&format!(
+                    "altxd_lane_depth{{lane=\"{}\"}} {depth}\n",
+                    self.lane_name(i)
+                ));
+            }
+        }
         out.push_str("# HELP altxd_shard_conns_open Connections owned, per shard\n");
         out.push_str("# TYPE altxd_shard_conns_open gauge\n");
         for (i, shard) in self.per_shard().iter().enumerate() {

@@ -28,6 +28,9 @@ ALTX_CHAOS_SEED=0xC0FFEE cargo test -q -p altx-serve --test cluster_chaos
 echo "==> race scheduler suite (hedged launches + batching)"
 cargo test -q -p altx-serve --test sched
 
+echo "==> deadline scheduler suite (EDF order, lanes, stealing, admission, drain)"
+cargo test -q -p altx-serve --test edf
+
 echo "==> sharded reactor suite (reuseport spread, drain, per-shard telemetry)"
 cargo test -q -p altx-serve --test shards
 
@@ -41,15 +44,22 @@ echo "==> bench regression gate: altxd + altx-load vs committed baseline"
 BASELINE=BENCH_serve_throughput.json
 SMOKE_ADDR=127.0.0.1:7979
 SMOKE_OUT=$(mktemp /tmp/altx-smoke.XXXXXX.json)
-./target/release/altxd --addr "$SMOKE_ADDR" --duration 8 --shards 4 &
+# The committed baseline is a mixed fast/slow run with the deadline
+# scheduler on: tight-deadline `trivial` beside infeasible `sleep`
+# fodder, lanes + admission + stealing enabled. The gated metric is
+# *goodput* — ok replies inside their deadline — so a scheduling
+# regression (sleep work starving the fast class, admission not
+# shedding) fails the gate even when raw throughput looks healthy.
+./target/release/altxd --addr "$SMOKE_ADDR" --duration 8 --shards 4 \
+    --lanes 'rt:trivial;batch:sleep' --admission --steal &
 ALTXD_PID=$!
 trap 'kill "$ALTXD_PID" 2>/dev/null || true; rm -f "$SMOKE_OUT"' EXIT
 sleep 0.3
 # Pipelined load (--threads) keeps the generator off the daemon's CPUs;
-# this matches the committed baseline's configuration so the 70% floor
-# compares like with like.
+# this matches the committed baseline's configuration so the floors
+# compare like with like.
 ./target/release/altx-load \
-    --addr "$SMOKE_ADDR" --workload trivial --clients 8 --threads 1 \
+    --addr "$SMOKE_ADDR" --workload trivial:50,sleep:25 --clients 8 --threads 1 \
     --duration 6 --out "$SMOKE_OUT" --hist-diff "$BASELINE"
 wait "$ALTXD_PID"
 
@@ -72,6 +82,42 @@ awk -v base="$BASE_RPS" -v fresh="$FRESH_RPS" 'BEGIN {
     exit !(fresh >= base * 0.70)
 }' || {
     echo "bench gate: throughput regressed more than 30% vs $BASELINE" >&2
+    exit 1
+}
+
+# Goodput gate: replies that beat their deadline, per second — the
+# primary scheduler metric. Two bounds: the absolute rate gets the same
+# 70% wreckage floor as throughput (this box's run-to-run CPU noise is
+# ±30%, an absolute 10% bound would gate on the weather), and the
+# goodput *fraction* — goodput/throughput, the share of ok replies that
+# beat their deadline, which divides the CPU noise out — must hold
+# within 10% of the committed baseline's fraction. A scheduler
+# regression (fast class queueing behind slow work, admission not
+# shedding) moves the fraction; a slow CI box does not.
+gp() {
+    grep -o '"goodput_rps": *[0-9.]*' "$1" | grep -o '[0-9.]*$'
+}
+BASE_GP=$(gp "$BASELINE")
+FRESH_GP=$(gp "$SMOKE_OUT")
+[ -n "$BASE_GP" ] && [ -n "$FRESH_GP" ] || {
+    echo "bench gate: missing goodput_rps (baseline='$BASE_GP' fresh='$FRESH_GP')" >&2
+    exit 1
+}
+awk -v base="$BASE_GP" -v fresh="$FRESH_GP" 'BEGIN {
+    printf "bench gate: baseline %.1f goodput rps, fresh %.1f (floor %.1f)\n",
+        base, fresh, base * 0.70
+    exit !(fresh >= base * 0.70)
+}' || {
+    echo "bench gate: goodput regressed more than 30% vs $BASELINE" >&2
+    exit 1
+}
+awk -v brps="$BASE_RPS" -v bgp="$BASE_GP" -v frps="$FRESH_RPS" -v fgp="$FRESH_GP" 'BEGIN {
+    bfrac = bgp / brps; ffrac = fgp / frps
+    printf "bench gate: goodput fraction baseline %.4f, fresh %.4f (floor %.4f)\n",
+        bfrac, ffrac, bfrac * 0.90
+    exit !(ffrac >= bfrac * 0.90)
+}' || {
+    echo "bench gate: goodput fraction regressed more than 10% vs $BASELINE" >&2
     exit 1
 }
 
@@ -157,6 +203,95 @@ echo "batching smoke: requests_coalesced=$COALESCED launches_suppressed=$SUPPRES
     exit 1
 }
 rm -f "$BATCH_OUT"
+trap - EXIT
+
+echo "==> admission smoke: infeasible burst is shed at the door, not timed out in the queue"
+ADM_ADDR=127.0.0.1:7984
+ADM_OUT=$(mktemp /tmp/altx-adm.XXXXXX.json)
+# The sleep workload parks an alternative for `arg` ms — far past any
+# 25 ms deadline, so every admitted request is a guaranteed timeout.
+# With --admission the service table converges on ~deadline within its
+# 16-sample warm-up and everything after is shed with OVERLOADED.
+./target/release/altxd --addr "$ADM_ADDR" --workers 2 --admission --duration 6 &
+ADM_PID=$!
+trap 'kill "$ADM_PID" 2>/dev/null || true; rm -f "$ADM_OUT"' EXIT
+sleep 0.3
+./target/release/altx-load \
+    --addr "$ADM_ADDR" --workload sleep --deadline-ms 25 --clients 4 \
+    --duration 4 --out "$ADM_OUT"
+wait "$ADM_PID"
+adm() {
+    grep -o "\"$1\": *[0-9]*" "$ADM_OUT" | grep -o '[0-9]*$' | head -1
+}
+SHEDS=$(adm server_sheds_at_admission)
+TIMEOUTS=$(adm deadline_exceeded)
+echo "admission smoke: sheds_at_admission=$SHEDS deadline_exceeded=$TIMEOUTS"
+[ -n "$SHEDS" ] && [ "$SHEDS" -gt 0 ] || {
+    echo "admission smoke: an infeasible burst was never shed at admission" >&2
+    exit 1
+}
+# Only the warm-up (first ~16 service samples plus whatever was already
+# in flight) may time out; after that the gate must shed instead.
+[ -n "$TIMEOUTS" ] && [ "$TIMEOUTS" -le 100 ] || {
+    echo "admission smoke: $TIMEOUTS requests timed out in the queue (want near zero: admission should shed them)" >&2
+    exit 1
+}
+rm -f "$ADM_OUT"
+trap - EXIT
+
+echo "==> scheduler A/B gate: mixed fast/slow, FIFO defaults vs EDF+lanes+admission+steal"
+AB_ADDR_FIFO=127.0.0.1:7985
+AB_ADDR_SCHED=127.0.0.1:7986
+AB_OUT_FIFO=$(mktemp /tmp/altx-ab-fifo.XXXXXX.json)
+AB_OUT_SCHED=$(mktemp /tmp/altx-ab-sched.XXXXXX.json)
+# Same mixed load against both daemons: a 50 ms-deadline fast class
+# round-robined with infeasible 40 ms-deadline sleep fodder. Under
+# FIFO the sleeps occupy the two workers and the fast class queues
+# behind them; the scheduler daemon sheds the sleeps at admission and
+# lanes the fast class, so its goodput must be decisively higher and
+# its tail decisively lower. Each daemon gets a short priming run
+# first so the measured window starts with a warm service table (the
+# comparison is steady-state scheduling, not warm-up).
+AB_LOAD="--workload trivial:50,sleep:40 --clients 8 --duration 4"
+./target/release/altxd --addr "$AB_ADDR_FIFO" --workers 2 --shards 2 --duration 9 &
+AB_PID_FIFO=$!
+trap 'kill "$AB_PID_FIFO" 2>/dev/null || true; rm -f "$AB_OUT_FIFO" "$AB_OUT_SCHED"' EXIT
+sleep 0.3
+./target/release/altx-load --addr "$AB_ADDR_FIFO" --workload sleep:40 \
+    --clients 4 --duration 2 --out /dev/null >/dev/null
+./target/release/altx-load --addr "$AB_ADDR_FIFO" $AB_LOAD --out "$AB_OUT_FIFO"
+wait "$AB_PID_FIFO"
+./target/release/altxd --addr "$AB_ADDR_SCHED" --workers 2 --shards 2 --duration 9 \
+    --lanes 'rt:trivial;batch:sleep' --admission --steal &
+AB_PID_SCHED=$!
+trap 'kill "$AB_PID_SCHED" 2>/dev/null || true; rm -f "$AB_OUT_FIFO" "$AB_OUT_SCHED"' EXIT
+sleep 0.3
+./target/release/altx-load --addr "$AB_ADDR_SCHED" --workload sleep:40 \
+    --clients 4 --duration 2 --out /dev/null >/dev/null
+./target/release/altx-load --addr "$AB_ADDR_SCHED" $AB_LOAD --out "$AB_OUT_SCHED"
+wait "$AB_PID_SCHED"
+abf() {
+    grep -o "\"$2\": *[0-9.]*" "$1" | grep -o '[0-9.]*$' | head -1
+}
+GP_FIFO=$(abf "$AB_OUT_FIFO" goodput_rps)
+GP_SCHED=$(abf "$AB_OUT_SCHED" goodput_rps)
+P999_FIFO=$(abf "$AB_OUT_FIFO" p999_us)
+P999_SCHED=$(abf "$AB_OUT_SCHED" p999_us)
+STEALS=$(abf "$AB_OUT_SCHED" server_steals)
+echo "scheduler A/B: goodput fifo=$GP_FIFO sched=$GP_SCHED | p99.9 fifo=$P999_FIFO sched=$P999_SCHED | steals=$STEALS"
+awk -v fifo="$GP_FIFO" -v sched="$GP_SCHED" 'BEGIN {
+    exit !(sched >= fifo * 1.2)
+}' || {
+    echo "scheduler A/B: goodput under the deadline scheduler ($GP_SCHED) must beat FIFO ($GP_FIFO) by >=20%" >&2
+    exit 1
+}
+awk -v fifo="$P999_FIFO" -v sched="$P999_SCHED" 'BEGIN {
+    exit !(sched < fifo)
+}' || {
+    echo "scheduler A/B: p99.9 under the deadline scheduler ($P999_SCHED us) must drop below FIFO ($P999_FIFO us)" >&2
+    exit 1
+}
+rm -f "$AB_OUT_FIFO" "$AB_OUT_SCHED"
 trap - EXIT
 
 echo "==> idle-connection smoke: 1024 idle conns on O(shards + workers) threads"
