@@ -52,6 +52,7 @@ pub mod engine;
 pub mod faults;
 #[macro_use]
 pub mod macros;
+pub mod pad;
 pub mod perf;
 pub mod stats;
 pub mod sync;
@@ -59,6 +60,7 @@ pub mod sync;
 pub use block::{AltBlock, BlockResult};
 pub use cancel::CancelToken;
 pub use engine::Engine;
+pub use pad::CachePadded;
 
 // Re-export the substrate types that appear in this crate's public API.
 pub use altx_pager::{AddressSpace, MachineProfile, PageSize};

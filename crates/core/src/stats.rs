@@ -12,6 +12,7 @@
 //! growing). `AdaptiveEngine` and the serving layer's `HedgePolicy` both
 //! sit on top of this type.
 
+use crate::pad::CachePadded;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -33,7 +34,10 @@ fn bucket_of(us: u64) -> usize {
 }
 
 /// One alternative's statistics. All fields are atomics so the record
-/// path never blocks a concurrent reader (or another recorder).
+/// path never blocks a concurrent reader (or another recorder). Cells
+/// are stored cache-line padded ([`CachePadded`]) in the table: two
+/// workers recording wins for *different* alternatives must not fight
+/// over one line.
 #[derive(Debug, Default)]
 struct AltStat {
     runs: AtomicU64,
@@ -87,7 +91,7 @@ pub struct AltStatSnapshot {
 /// Growable table of per-alternative statistics. See module docs.
 #[derive(Debug, Default)]
 pub struct AltStatsTable {
-    slots: RwLock<Vec<Arc<AltStat>>>,
+    slots: RwLock<Vec<Arc<CachePadded<AltStat>>>>,
 }
 
 impl AltStatsTable {
@@ -113,7 +117,7 @@ impl AltStatsTable {
         }
         if let Ok(mut slots) = self.slots.write() {
             while slots.len() < n {
-                slots.push(Arc::new(AltStat::default()));
+                slots.push(Arc::new(CachePadded::new(AltStat::default())));
             }
         }
     }
@@ -128,7 +132,7 @@ impl AltStatsTable {
         self.len() == 0
     }
 
-    fn slot(&self, i: usize) -> Option<Arc<AltStat>> {
+    fn slot(&self, i: usize) -> Option<Arc<CachePadded<AltStat>>> {
         self.slots.read().ok().and_then(|s| s.get(i).cloned())
     }
 

@@ -448,6 +448,8 @@ struct ServerCounters {
     sheds_at_admission: u64,
     deadline_misses: u64,
     steals: u64,
+    drain_scavenges: u64,
+    pinned_shards: u64,
 }
 
 fn scrape_server_counters(stats: &str) -> ServerCounters {
@@ -466,6 +468,8 @@ fn scrape_server_counters(stats: &str) -> ServerCounters {
         sheds_at_admission: get(&["sheds", "at", "admission"]),
         deadline_misses: get(&["deadline", "misses"]),
         steals: get(&["steals"]),
+        drain_scavenges: get(&["drain", "scavenges"]),
+        pinned_shards: get(&["pinned", "shards"]),
     }
 }
 
@@ -476,12 +480,27 @@ fn fetch_stats(addr: &str) -> std::io::Result<String> {
         .map_err(|e| std::io::Error::other(e.to_string()))
 }
 
-fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+/// The `p`-quantile of a sorted sample, or `None` when the sample is
+/// empty. A workload that completed zero requests has no latency
+/// distribution — reporting `0` would read as "instant", so empties
+/// render as `n/a` in text and `null` in JSON (which [`json_number`]
+/// maps back to `n/a` when a later `--hist-diff` reads the report).
+fn percentile(sorted_us: &[u64], p: f64) -> Option<u64> {
     if sorted_us.is_empty() {
-        return 0;
+        return None;
     }
     let idx = ((p * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len()) - 1;
-    sorted_us[idx]
+    Some(sorted_us[idx])
+}
+
+/// Renders a possibly-absent latency figure for the text summary.
+fn fmt_us(v: Option<u64>) -> String {
+    v.map_or_else(|| "n/a".to_owned(), |v| v.to_string())
+}
+
+/// Renders a possibly-absent latency figure for the JSON report.
+fn json_us(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_owned(), |v| v.to_string())
 }
 
 fn json_escape(s: &str) -> String {
@@ -503,15 +522,22 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
 }
 
 /// One row of the `--hist-diff` table: baseline value (if the key was
-/// present), fresh value, and the relative change.
-fn diff_row(label: &str, baseline: Option<f64>, fresh: f64) {
-    match baseline {
-        Some(base) if base > 0.0 => {
+/// present and numeric), fresh value (if this run produced one), and
+/// the relative change. Either side may be absent — an older baseline
+/// lacking the key, or a run whose workload completed zero requests —
+/// and shows `n/a` rather than a misleading `0`.
+fn diff_row(label: &str, baseline: Option<f64>, fresh: Option<f64>) {
+    match (baseline, fresh) {
+        (Some(base), Some(fresh)) if base > 0.0 => {
             let delta = (fresh - base) / base * 100.0;
             println!("  {label:<14} {base:>12.1} {fresh:>12.1} {delta:>+9.1}%");
         }
-        Some(base) => println!("  {label:<14} {base:>12.1} {fresh:>12.1} {:>10}", "n/a"),
-        None => println!("  {label:<14} {:>12} {fresh:>12.1} {:>10}", "n/a", "n/a"),
+        (Some(base), Some(fresh)) => {
+            println!("  {label:<14} {base:>12.1} {fresh:>12.1} {:>10}", "n/a")
+        }
+        (Some(base), None) => println!("  {label:<14} {base:>12.1} {:>12} {:>10}", "n/a", "n/a"),
+        (None, Some(fresh)) => println!("  {label:<14} {:>12} {fresh:>12.1} {:>10}", "n/a", "n/a"),
+        (None, None) => println!("  {label:<14} {:>12} {:>12} {:>10}", "n/a", "n/a", "n/a"),
     }
 }
 
@@ -715,7 +741,7 @@ fn main() {
     let p90 = percentile(&all_latencies, 0.90);
     let p99 = percentile(&all_latencies, 0.99);
     let p999 = percentile(&all_latencies, 0.999);
-    let max = all_latencies.last().copied().unwrap_or(0);
+    let max = all_latencies.last().copied();
 
     if args.threads > 0 {
         println!(
@@ -739,7 +765,14 @@ fn main() {
     println!("  errors              {errors}");
     println!("  throughput          {throughput:.0} req/s");
     println!("  goodput             {goodput:.0} req/s (late ok replies: {deadline_misses})");
-    println!("  latency us          p50 {p50}  p90 {p90}  p99 {p99}  p99.9 {p999}  max {max}");
+    println!(
+        "  latency us          p50 {}  p90 {}  p99 {}  p99.9 {}  max {}",
+        fmt_us(p50),
+        fmt_us(p90),
+        fmt_us(p99),
+        fmt_us(p999),
+        fmt_us(max)
+    );
     if specs.len() > 1 {
         for (spec, t) in specs.iter().zip(&merged.tallies) {
             println!(
@@ -750,9 +783,9 @@ fn main() {
                 t.good,
                 t.deadline_exceeded,
                 t.overloaded,
-                percentile(&t.latencies_us, 0.50),
-                percentile(&t.latencies_us, 0.99),
-                percentile(&t.latencies_us, 0.999)
+                fmt_us(percentile(&t.latencies_us, 0.50)),
+                fmt_us(percentile(&t.latencies_us, 0.99)),
+                fmt_us(percentile(&t.latencies_us, 0.999))
             );
         }
     }
@@ -774,10 +807,18 @@ fn main() {
         "  server ring         hits {}  spills {}",
         server.ring_hits, server.ring_spills
     );
-    if server.sheds_at_admission + server.deadline_misses + server.steals > 0 {
+    if server.sheds_at_admission + server.deadline_misses + server.steals + server.drain_scavenges
+        > 0
+    {
         println!(
-            "  server deadline     sheds at admission {}  deadline misses {}  steals {}",
-            server.sheds_at_admission, server.deadline_misses, server.steals
+            "  server deadline     sheds at admission {}  deadline misses {}  steals {}  drain scavenges {}",
+            server.sheds_at_admission, server.deadline_misses, server.steals, server.drain_scavenges
+        );
+    }
+    if server.pinned_shards > 0 {
+        println!(
+            "  server placement    pinned shards {}",
+            server.pinned_shards
         );
     }
     if !args.peers.is_empty() {
@@ -810,9 +851,9 @@ fn main() {
             t.deadline_exceeded,
             t.overloaded,
             t.errors,
-            percentile(&t.latencies_us, 0.50),
-            percentile(&t.latencies_us, 0.99),
-            percentile(&t.latencies_us, 0.999),
+            json_us(percentile(&t.latencies_us, 0.50)),
+            json_us(percentile(&t.latencies_us, 0.99)),
+            json_us(percentile(&t.latencies_us, 0.999)),
         ));
     }
     let json = format!(
@@ -829,7 +870,8 @@ fn main() {
          \"server_launches_suppressed\": {},\n  \
          \"server_ring_hits\": {},\n  \"server_ring_spills\": {},\n  \
          \"server_sheds_at_admission\": {},\n  \"server_deadline_misses\": {},\n  \
-         \"server_steals\": {},\n  \
+         \"server_steals\": {},\n  \"server_drain_scavenges\": {},\n  \
+         \"server_pinned_shards\": {},\n  \
          \"remote_dispatched\": {},\n  \"remote_wins\": {},\n  \
          \"peer_reconnects\": {},\n  \
          \"throughput_rps\": {:.1},\n  \"goodput_rps\": {:.1},\n  \
@@ -866,16 +908,18 @@ fn main() {
         server.sheds_at_admission,
         server.deadline_misses,
         server.steals,
+        server.drain_scavenges,
+        server.pinned_shards,
         server.remote_dispatched,
         server.remote_wins,
         server.peer_reconnects,
         throughput,
         goodput,
-        p50,
-        p90,
-        p99,
-        p999,
-        max,
+        json_us(p50),
+        json_us(p90),
+        json_us(p99),
+        json_us(p999),
+        json_us(max),
         per_workload_json.join(",\n"),
         wins_json.join(",\n"),
     );
@@ -886,8 +930,10 @@ fn main() {
     println!("altx-load: wrote {}", args.out);
 
     // Percentile-by-percentile comparison against a previous report.
-    // A baseline that predates a field (older reports have no p90_us)
-    // shows `n/a` on that row instead of aborting the diff.
+    // A baseline that predates a field (older reports have no p90_us),
+    // a baseline that recorded `null` (no completions), or a fresh run
+    // with no completions shows `n/a` on that row instead of aborting
+    // the diff or pretending the latency was 0.
     if let Some(path) = &args.hist_diff {
         let baseline = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -904,13 +950,18 @@ fn main() {
         diff_row(
             "throughput",
             json_number(&baseline, "throughput_rps"),
-            throughput,
+            Some(throughput),
         );
-        diff_row("goodput", json_number(&baseline, "goodput_rps"), goodput);
-        diff_row("p50 us", json_number(&baseline, "p50_us"), p50 as f64);
-        diff_row("p90 us", json_number(&baseline, "p90_us"), p90 as f64);
-        diff_row("p99 us", json_number(&baseline, "p99_us"), p99 as f64);
-        diff_row("p99.9 us", json_number(&baseline, "p999_us"), p999 as f64);
-        diff_row("max us", json_number(&baseline, "max_us"), max as f64);
+        diff_row(
+            "goodput",
+            json_number(&baseline, "goodput_rps"),
+            Some(goodput),
+        );
+        let us = |v: Option<u64>| v.map(|v| v as f64);
+        diff_row("p50 us", json_number(&baseline, "p50_us"), us(p50));
+        diff_row("p90 us", json_number(&baseline, "p90_us"), us(p90));
+        diff_row("p99 us", json_number(&baseline, "p99_us"), us(p99));
+        diff_row("p99.9 us", json_number(&baseline, "p999_us"), us(p999));
+        diff_row("max us", json_number(&baseline, "max_us"), us(max));
     }
 }

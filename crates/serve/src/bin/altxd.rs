@@ -51,6 +51,14 @@
 //! plus the current queue wait; `--steal` splits the pool into one
 //! worker group per shard and lets a dry group's workers take the best
 //! queued job from a sibling.
+//!
+//! CPU placement (off by default — without `--pin` the daemon makes
+//! zero affinity syscalls): `--pin` discovers the machine topology and
+//! pins each shard's reactor and worker group to a disjoint, SMT- and
+//! NUMA-aware core set, first-touching the shard's reply ring and
+//! buffer pool from those cores so the memory lands node-local.
+//! `--spin-us N` sets how long an idle stealing worker busy-waits for
+//! new work before parking on its group doorbell (0 parks immediately).
 
 use altx_serve::server::{
     available_workers, start, ServerConfig, DEFAULT_RING_SLOTS, DEFAULT_RING_SLOT_BYTES,
@@ -74,6 +82,8 @@ struct Args {
     admission: bool,
     steal: bool,
     lane_aging: Duration,
+    pin: bool,
+    spin: Duration,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -92,6 +102,8 @@ fn parse_args() -> Result<Args, String> {
         admission: false,
         steal: false,
         lane_aging: altx_serve::pool::DEFAULT_LANE_AGING,
+        pin: false,
+        spin: altx_serve::pool::DEFAULT_SPIN,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -169,6 +181,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--admission" => args.admission = true,
             "--steal" => args.steal = true,
+            "--pin" => args.pin = true,
+            "--spin-us" => {
+                let us: u64 = value("--spin-us")?
+                    .parse()
+                    .map_err(|e| format!("--spin-us: {e}"))?;
+                args.spin = Duration::from_micros(us);
+            }
             "--lane-aging-ms" => {
                 let ms: u64 = value("--lane-aging-ms")?
                     .parse()
@@ -184,7 +203,7 @@ fn parse_args() -> Result<Args, String> {
                      [--peer HOST:PORT]... [--advertise HOST:PORT] \
                      [--peer-explore-every N] [--peer-heartbeat-ms N] \
                      [--peer-suspect-ms N] [--lanes SPEC] [--admission] \
-                     [--steal] [--lane-aging-ms N]"
+                     [--steal] [--lane-aging-ms N] [--pin] [--spin-us N]"
                 );
                 std::process::exit(0);
             }
@@ -216,6 +235,8 @@ fn main() {
         admission: args.admission,
         steal: args.steal,
         lane_aging: args.lane_aging,
+        pin: args.pin,
+        spin: args.spin,
     }) {
         Ok(h) => h,
         Err(e) => {
@@ -260,6 +281,12 @@ fn main() {
     }
     if args.steal {
         println!("work stealing: on ({} worker groups)", args.shards);
+    }
+    if args.pin {
+        println!(
+            "cpu placement: on (spin budget {} us; shards pin to disjoint core sets)",
+            args.spin.as_micros()
+        );
     }
     if !args.peer.peers.is_empty() {
         println!(

@@ -122,7 +122,29 @@ impl BufPool {
     pub fn held(&self) -> usize {
         self.free.len()
     }
+
+    /// Pre-populates the free list with [`WARM_BUFFERS`] buffers of
+    /// [`WARM_CAPACITY`] bytes, written once so their pages are
+    /// resident — on the NUMA node of the calling core. A pinned shard
+    /// calls this from its reactor thread right after pinning, so the
+    /// spill path's steady-state buffers are node-local instead of
+    /// landing wherever the first cold miss happens to run. Touches no
+    /// counters: warming is provisioning, not traffic.
+    pub fn warm(&mut self) {
+        while self.free.len() < WARM_BUFFERS.min(self.max_held) {
+            let mut buf = vec![0u8; WARM_CAPACITY];
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
 }
+
+/// Buffers [`BufPool::warm`] pre-touches per pool.
+pub const WARM_BUFFERS: usize = 16;
+
+/// Capacity of each warmed buffer: covers typical decode bodies and
+/// spill replies without approaching [`MAX_RETAIN_CAPACITY`].
+pub const WARM_CAPACITY: usize = 4 * 1024;
 
 impl Default for BufPool {
     fn default() -> Self {
@@ -172,6 +194,19 @@ mod tests {
         assert_eq!(pool.held(), 0);
         pool.put(Vec::with_capacity(MAX_RETAIN_CAPACITY));
         assert_eq!(pool.held(), 1);
+    }
+
+    #[test]
+    fn warm_provisions_cleared_buffers_without_counting_traffic() {
+        let mut pool = BufPool::new(8);
+        pool.warm();
+        assert_eq!(pool.held(), 8, "warm fills to min(WARM_BUFFERS, cap)");
+        assert_eq!(pool.stats().misses(), 0, "warming is not traffic");
+        assert_eq!(pool.stats().recycled(), 0);
+        let buf = pool.get();
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= WARM_CAPACITY);
+        assert_eq!(pool.stats().recycled(), 1, "warmed buffers serve as hits");
     }
 
     #[test]

@@ -40,8 +40,9 @@
 //! `SO_REUSEPORT` listeners so a connection never changes threads
 //! between accept and service.
 
-// `deny` rather than `forbid`: the reactor's `sys` module carries the
-// crate's single `#[allow(unsafe_code)]` for the `poll(2)` binding.
+// `deny` rather than `forbid`: the crate's two `#[allow(unsafe_code)]`
+// corners are the reactor's `sys` module (the `poll(2)` binding) and
+// `pin::sys` (the `sched_{set,get}affinity(2)` binding).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -52,6 +53,7 @@ pub mod commit;
 mod conn;
 pub mod frame;
 pub mod peer;
+pub mod pin;
 pub(crate) mod placement;
 pub mod pool;
 pub(crate) mod reactor;
@@ -60,6 +62,7 @@ pub mod ring;
 pub mod sched;
 pub mod server;
 pub mod telemetry;
+pub mod topo;
 pub mod workload;
 
 pub use client::Client;

@@ -56,6 +56,7 @@
 //!   path instead of vanishing silently.
 
 use altx::faults;
+use altx::CachePadded;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -73,9 +74,17 @@ pub type Notify = Box<dyn FnOnce() + Send + 'static>;
 /// past a busier high-priority lane.
 pub const DEFAULT_LANE_AGING: Duration = Duration::from_millis(25);
 
-/// How often a stealing (or draining) worker re-scans sibling groups
-/// while its own queue is empty.
+/// How often a worker draining a *closed* pool re-scans sibling groups.
+/// Only the shutdown drain polls: entries can be transiently in flight
+/// (popped but not yet subtracted from `queued`) with no future push to
+/// ring the doorbell, so the drain path keeps a timeout. The steady
+/// state idle path is notify-driven — see [`pop`]'s doorbell protocol.
 const STEAL_POLL: Duration = Duration::from_millis(1);
+
+/// Default busy-wait budget before an idle stealing worker parks on its
+/// condvar. ~20 µs covers the common "next request is already on the
+/// wire" gap without burning a core through a real lull.
+pub const DEFAULT_SPIN: Duration = Duration::from_micros(20);
 
 /// Fires its notifier exactly once — when dropped, whether that drop
 /// happens after the job returned, while a panic unwinds through it,
@@ -147,7 +156,7 @@ impl JobMeta {
 /// Pool shape. [`PoolConfig::fifo`] is the default everything-off
 /// configuration: one group, one lane, no stealing — the classic
 /// bounded FIFO channel.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Worker threads.
     pub workers: usize,
@@ -163,10 +172,17 @@ pub struct PoolConfig {
     /// Starvation aging threshold; `Duration::ZERO` disables aging
     /// (pure strict priority).
     pub lane_aging: Duration,
+    /// Busy-wait budget before an idle stealing worker parks.
+    /// `Duration::ZERO` parks immediately.
+    pub spin: Duration,
+    /// CPU sets to pin each group's workers to (`pin_cores[group]`);
+    /// the supervisor pins to the union. `None` — the default — makes
+    /// no affinity syscalls at all.
+    pub pin_cores: Option<Vec<Vec<usize>>>,
 }
 
 impl PoolConfig {
-    /// The legacy shape: one group, one lane, no stealing.
+    /// The legacy shape: one group, one lane, no stealing, no pinning.
     pub fn fifo(workers: usize, queue_depth: usize) -> Self {
         PoolConfig {
             workers,
@@ -175,24 +191,33 @@ impl PoolConfig {
             lanes: 1,
             steal: false,
             lane_aging: DEFAULT_LANE_AGING,
+            spin: DEFAULT_SPIN,
+            pin_cores: None,
         }
     }
 }
 
-/// Failure counters the pool maintains; shared with telemetry.
+/// Failure counters the pool maintains; shared with telemetry. Every
+/// cell is cache-line padded: `busy` is bumped twice per job by every
+/// worker and `steals`/`lane_depth` are bumped from multiple groups, so
+/// without padding the counters would ping one shared line between
+/// cores on the hottest path in the daemon.
 #[derive(Debug, Default)]
 pub struct PoolStats {
-    jobs_panicked: AtomicU64,
-    worker_respawns: AtomicU64,
-    busy: AtomicU64,
-    steals: AtomicU64,
-    lane_depth: Vec<AtomicU64>,
+    jobs_panicked: CachePadded<AtomicU64>,
+    worker_respawns: CachePadded<AtomicU64>,
+    busy: CachePadded<AtomicU64>,
+    steals: CachePadded<AtomicU64>,
+    drain_scavenges: CachePadded<AtomicU64>,
+    lane_depth: Vec<CachePadded<AtomicU64>>,
 }
 
 impl PoolStats {
     fn with_lanes(lanes: usize) -> Self {
         PoolStats {
-            lane_depth: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            lane_depth: (0..lanes)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
             ..PoolStats::default()
         }
     }
@@ -214,9 +239,20 @@ impl PoolStats {
         self.busy.load(Ordering::Relaxed)
     }
 
-    /// Jobs a dry worker took from a sibling group's queue.
+    /// Jobs a dry worker took from a sibling group's queue while the
+    /// pool was **open** — cross-group stealing under load. Scavenges
+    /// made while draining a closed pool are counted separately
+    /// ([`PoolStats::drain_scavenges`]), so this number answers "did
+    /// stealing rebalance live traffic?" without shutdown noise.
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Jobs taken from a sibling group while draining a *closed* pool
+    /// (shutdown scavenging, which ignores the steal flag so orphaned
+    /// queues still empty).
+    pub fn drain_scavenges(&self) -> u64 {
+        self.drain_scavenges.load(Ordering::Relaxed)
     }
 
     /// Queued jobs per priority lane, summed across groups — a gauge.
@@ -270,11 +306,17 @@ impl Ord for Entry {
     }
 }
 
-/// One worker group: a heap per lane behind one lock, plus the condvar
-/// its pinned workers park on.
+/// One worker group: a heap per lane behind one lock, the condvar its
+/// pinned workers park on, and the group's half of the steal doorbell.
+/// Groups are stored `CachePadded` so one group's queue head and
+/// `parked` count never share a line with its neighbour's.
 struct Group {
     lanes: Mutex<Vec<BinaryHeap<Entry>>>,
     available: Condvar,
+    /// Workers of this group currently parked in [`pop`]'s condvar
+    /// wait. Pushers elsewhere read it to decide whether a cross-group
+    /// doorbell notify is needed; see the protocol notes in [`pop`].
+    parked: AtomicUsize,
 }
 
 impl Group {
@@ -282,6 +324,7 @@ impl Group {
         Group {
             lanes: Mutex::new((0..lanes).map(|_| BinaryHeap::new()).collect()),
             available: Condvar::new(),
+            parked: AtomicUsize::new(0),
         }
     }
 }
@@ -289,14 +332,24 @@ impl Group {
 /// State shared between the pool handle, its workers, and the
 /// supervisor.
 struct Shared {
-    groups: Vec<Group>,
+    groups: Vec<CachePadded<Group>>,
     /// Total queued jobs across every group and lane, bounded by
     /// `capacity`. Reserved before the enqueue so the shed decision is
-    /// race-free across groups.
-    queued: AtomicUsize,
+    /// race-free across groups. Padded: every push and pop in every
+    /// group hits it.
+    queued: CachePadded<AtomicUsize>,
     capacity: usize,
     steal: bool,
     lane_aging: Duration,
+    /// Cross-group work doorbell: bumped by every push while stealing
+    /// is on. An idle worker records it before scanning siblings and
+    /// refuses to park if it moved — the push/park SeqCst handshake in
+    /// [`pop`] makes a lost wakeup impossible.
+    steal_epoch: CachePadded<AtomicU64>,
+    /// Busy-wait budget before an idle stealing worker parks.
+    spin: Duration,
+    /// Per-group CPU pin sets; `None` = never touch affinity.
+    pin_cores: Option<Vec<Vec<usize>>>,
     seq: AtomicU64,
     closed: AtomicBool,
     workers: Mutex<Vec<WorkerSlot>>,
@@ -336,11 +389,16 @@ impl WorkerPool {
         let n_groups = config.groups.clamp(1, config.workers);
         let n_lanes = config.lanes.max(1);
         let shared = Arc::new(Shared {
-            groups: (0..n_groups).map(|_| Group::new(n_lanes)).collect(),
-            queued: AtomicUsize::new(0),
+            groups: (0..n_groups)
+                .map(|_| CachePadded::new(Group::new(n_lanes)))
+                .collect(),
+            queued: CachePadded::new(AtomicUsize::new(0)),
             capacity: config.queue_depth,
             steal: config.steal,
             lane_aging: config.lane_aging,
+            steal_epoch: CachePadded::new(AtomicU64::new(0)),
+            spin: config.spin,
+            pin_cores: config.pin_cores,
             seq: AtomicU64::new(0),
             closed: AtomicBool::new(false),
             workers: Mutex::new(Vec::with_capacity(config.workers)),
@@ -564,7 +622,36 @@ fn push(shared: &Shared, job: Job, meta: JobMeta) -> Result<(), (Job, SubmitErro
         depth.fetch_add(1, Ordering::Relaxed);
     }
     group.available.notify_one();
+    ring_doorbell(shared, g);
     Ok(())
+}
+
+/// The push half of the steal doorbell: after a job lands in group `g`,
+/// wake parked workers in sibling groups that could steal it. The
+/// `SeqCst` bump-then-read here pairs with the parker's `SeqCst`
+/// increment-then-read in [`pop`] (a store-buffer / Dekker handshake):
+/// in the single total order either this push's epoch bump precedes the
+/// parker's epoch read (the parker sees it and rescans instead of
+/// parking) or the parker's `parked` increment precedes this read (we
+/// see it and notify). The lock cycle before the notify orders it after
+/// the parker's `wait` began, so the signal cannot fire into the gap
+/// between "decided to park" and "parked".
+///
+/// Hot-path cost when nobody is parked: one `fetch_add` plus one padded
+/// load per sibling — no locks.
+fn ring_doorbell(shared: &Shared, g: usize) {
+    let n = shared.groups.len();
+    if !shared.steal || n <= 1 {
+        return;
+    }
+    shared.steal_epoch.fetch_add(1, Ordering::SeqCst);
+    for i in 1..n {
+        let sibling = &shared.groups[(g + i) % n];
+        if sibling.parked.load(Ordering::SeqCst) > 0 {
+            drop(lock_lanes(sibling));
+            sibling.available.notify_one();
+        }
+    }
 }
 
 /// Picks the next entry to run from one group's lanes: the highest
@@ -615,10 +702,51 @@ fn steal_from(shared: &Shared, g: usize) -> Option<Entry> {
     None
 }
 
+/// Bounded busy-wait for work to appear anywhere in the pool. Returns
+/// `true` as soon as `queued` goes nonzero (the caller re-locks and
+/// re-scans), `false` when the budget expires without work. Lock-free:
+/// the spinner watches the one padded global the push path always
+/// bumps.
+fn spin_for_work(shared: &Shared) -> bool {
+    if shared.spin.is_zero() {
+        return false;
+    }
+    let start = Instant::now();
+    loop {
+        if shared.queued.load(Ordering::Relaxed) > 0 {
+            return true;
+        }
+        if start.elapsed() >= shared.spin {
+            return false;
+        }
+        std::hint::spin_loop();
+    }
+}
+
 /// Blocking pop for a worker pinned to group `g`. Returns `None` only
 /// when the pool is closed and every queue it can reach is drained.
 /// While draining a closed pool, workers steal across groups regardless
 /// of the steal flag, so a group whose own workers died still empties.
+///
+/// The idle path is **spin-then-park**, notify-driven in steady state:
+///
+/// 1. note the doorbell epoch (under the group lock), scan the sibling
+///    groups for a steal;
+/// 2. on a dry scan, busy-wait up to the configured spin budget on the
+///    global queue count — a job that arrives within the budget is
+///    picked up without a syscall;
+/// 3. park on the group condvar with `parked` incremented **under the
+///    lock** and only if the epoch has not moved since step 1. The
+///    pusher's bump-then-read ([`ring_doorbell`]) against this
+///    increment-then-read means a push that lands mid-scan either
+///    flips the epoch (we rescan) or sees us parked (it notifies) —
+///    there is no interleaving that strands a job behind a parked
+///    worker, so the park needs no timeout.
+///
+/// Only the *closed-pool drain* still polls ([`STEAL_POLL`]): with no
+/// future pushes to ring the doorbell, `queued > 0` can be transiently
+/// stale while the last entries are mid-pop, and a timeout is the
+/// simple way to re-check without a shutdown-only signalling scheme.
 fn pop(shared: &Shared, g: usize) -> Option<Job> {
     let group = &shared.groups[g];
     let mut guard = lock_lanes(group);
@@ -629,26 +757,7 @@ fn pop(shared: &Shared, g: usize) -> Option<Job> {
         }
         let closed = shared.closed.load(Ordering::SeqCst);
         let scavenge = (shared.steal || closed) && shared.groups.len() > 1;
-        if scavenge {
-            drop(guard);
-            if let Some(entry) = steal_from(shared, g) {
-                if !closed {
-                    shared.stats.steals.fetch_add(1, Ordering::Relaxed);
-                }
-                return Some(entry.job);
-            }
-            if closed && shared.queued.load(Ordering::SeqCst) == 0 {
-                return None;
-            }
-            guard = lock_lanes(group);
-            // A push to a sibling group does not signal this condvar, so
-            // a stealing worker parks with a timeout and re-scans.
-            let (g2, _) = group
-                .available
-                .wait_timeout(guard, STEAL_POLL)
-                .unwrap_or_else(PoisonError::into_inner);
-            guard = g2;
-        } else {
+        if !scavenge {
             if closed {
                 return None; // single reachable queue, empty: drained
             }
@@ -656,7 +765,56 @@ fn pop(shared: &Shared, g: usize) -> Option<Job> {
                 .available
                 .wait(guard)
                 .unwrap_or_else(PoisonError::into_inner);
+            continue;
         }
+        // Doorbell epoch *before* leaving the lock: any push from here
+        // on either post-dates this read (and will see us parked) or
+        // moves the epoch (and we will refuse to park).
+        let epoch = shared.steal_epoch.load(Ordering::SeqCst);
+        drop(guard);
+        if let Some(entry) = steal_from(shared, g) {
+            // Classify by the *latest* close state: a close() that
+            // raced in mid-scan makes this a drain scavenge, not a
+            // load-balancing steal.
+            if shared.closed.load(Ordering::SeqCst) {
+                shared.stats.drain_scavenges.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+            }
+            return Some(entry.job);
+        }
+        if closed {
+            if shared.queued.load(Ordering::SeqCst) == 0 {
+                return None;
+            }
+            guard = lock_lanes(group);
+            let (g2, _) = group
+                .available
+                .wait_timeout(guard, STEAL_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g2;
+            continue;
+        }
+        if spin_for_work(shared) {
+            guard = lock_lanes(group);
+            continue;
+        }
+        guard = lock_lanes(group);
+        if shared.closed.load(Ordering::SeqCst) {
+            continue; // close() raced the spin; take the drain path
+        }
+        group.parked.fetch_add(1, Ordering::SeqCst);
+        if shared.steal_epoch.load(Ordering::SeqCst) != epoch {
+            // A push landed somewhere since the scan — rescan, don't
+            // park on a doorbell that already rang.
+            group.parked.fetch_sub(1, Ordering::SeqCst);
+            continue;
+        }
+        guard = group
+            .available
+            .wait(guard)
+            .unwrap_or_else(PoisonError::into_inner);
+        group.parked.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -680,6 +838,15 @@ fn spawn_worker(shared: &Arc<Shared>, group: usize, name: &str) -> JoinHandle<()
 }
 
 fn worker_loop(shared: &Shared, group: usize) {
+    // Pin before consuming anything: the jobs this worker runs (and the
+    // memory they first-touch) should land on the group's cores from
+    // the very first pop. Best-effort — a refusal logs and the worker
+    // runs unpinned.
+    if let Some(sets) = &shared.pin_cores {
+        if let Some(cpus) = sets.get(group) {
+            crate::pin::pin_current_thread(&format!("worker-g{group}"), cpus);
+        }
+    }
     loop {
         // Fault site `pool.worker`: an injected panic here is *not*
         // contained — it kills this thread, which is the supervisor's
@@ -719,6 +886,16 @@ fn run_job(job: Job, shared: &Shared) {
 /// through shutdown until the queues are empty: a drain must never
 /// stall because the last worker of a group died.
 fn supervise(shared: &Arc<Shared>) {
+    // The supervisor is cold; pin it to the union of the pool's cores
+    // so it never preempts a foreign shard's hot thread.
+    if let Some(sets) = &shared.pin_cores {
+        let mut union: Vec<usize> = sets.iter().flatten().copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        if !union.is_empty() {
+            crate::pin::pin_current_thread("supervisor", &union);
+        }
+    }
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) && shared.queued.load(Ordering::SeqCst) == 0
         {

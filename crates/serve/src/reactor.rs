@@ -459,6 +459,11 @@ pub(crate) struct Reactor {
     admission: Arc<Admission>,
     /// Workload → priority-lane mapping for run-queue submissions.
     lanes: Arc<Lanes>,
+    /// CPU set this shard is placed on (`--pin`); `None` = unpinned.
+    /// The reactor thread pins itself at the top of [`Reactor::run`]
+    /// and then first-touches the shard's ring and buffer memory so the
+    /// pages land NUMA-local to these cores.
+    pin_cpus: Option<Vec<usize>>,
 }
 
 impl Reactor {
@@ -476,6 +481,7 @@ impl Reactor {
         ring_slot_bytes: usize,
         admission: Arc<Admission>,
         lanes: Arc<Lanes>,
+        pin_cpus: Option<Vec<usize>>,
     ) -> io::Result<(Self, Arc<ReactorShared>, Arc<ShardStats>)> {
         let (wake_tx, wake_rx) = wake_pair()?;
         let ring = ReplyRing::new(ring_slots, ring_slot_bytes);
@@ -508,6 +514,7 @@ impl Reactor {
                 plane,
                 admission,
                 lanes,
+                pin_cpus,
             },
             shared,
             stats,
@@ -517,6 +524,19 @@ impl Reactor {
     /// Runs until shutdown is requested *and* every connection has
     /// drained; the last shard out closes the queue and joins the pool.
     pub(crate) fn run(mut self) {
+        // Placement first, memory second: pin this thread to the
+        // shard's core set, *then* touch the ring slots and warm the
+        // buffer pool from it. First-touch allocation makes those pages
+        // resident on the NUMA node of the touching core, so the
+        // shard's hottest memory is local to the cores that use it.
+        // Both steps are best-effort and no-ops when unpinned.
+        if let Some(cpus) = self.pin_cpus.take() {
+            if crate::pin::pin_current_thread(&format!("reactor-{}", self.shard_idx), &cpus) {
+                self.telemetry.on_shard_pinned();
+            }
+            self.ring.first_touch();
+            self.bufs.warm();
+        }
         loop {
             let draining = self.ctl.draining();
             self.adopt_inbox(draining);

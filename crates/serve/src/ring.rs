@@ -132,6 +132,24 @@ impl ReplyRing {
         }
     }
 
+    /// Touches every idle slot's full capacity from the calling thread.
+    ///
+    /// `ReplyRing::new` reserves capacity but the pages only become
+    /// resident when first written — and they become resident on the
+    /// NUMA node of the *writing* core. A pinned shard calls this from
+    /// its reactor thread right after pinning, so the ring's memory
+    /// lands local to the shard's cores instead of wherever the main
+    /// thread happened to run during startup. Counts nothing and leaves
+    /// every slot empty; a no-op on a disabled ring.
+    pub fn first_touch(&self) {
+        let Some(core) = &self.core else { return };
+        let mut free = core.free.lock().expect("ring freelist poisoned");
+        for buf in free.iter_mut() {
+            buf.resize(core.slot_bytes, 0);
+            buf.clear();
+        }
+    }
+
     /// Idle slots right now (test / debug aid).
     pub fn idle_slots(&self) -> usize {
         match &self.core {

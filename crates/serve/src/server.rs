@@ -30,7 +30,7 @@ use crate::commit::CommitLedger;
 use crate::frame::{Response, ALT_DEADLINE, ALT_FAILED, ALT_OK};
 use crate::peer::{PeerConfig, PeerNet, PeerPlane, PeerStatsTable};
 use crate::placement::Placement;
-use crate::pool::{PoolConfig, WorkerPool, DEFAULT_LANE_AGING};
+use crate::pool::{PoolConfig, WorkerPool, DEFAULT_LANE_AGING, DEFAULT_SPIN};
 use crate::reactor::{bind_reuseport, run_acceptor, wake_pair, DaemonCtl, Reactor};
 use crate::remote::{InflightRemote, RemoteRaces};
 use crate::sched::{Admission, HedgeConfig, HedgePolicy, Lanes};
@@ -89,6 +89,15 @@ pub struct ServerConfig {
     /// Starvation aging threshold for lower-priority lanes;
     /// `Duration::ZERO` means pure strict priority.
     pub lane_aging: Duration,
+    /// CPU topology-aware placement: pin each shard's reactor and
+    /// worker group to a disjoint, SMT- and NUMA-aware core set, and
+    /// first-touch the shard's ring and buffer memory from those cores.
+    /// Off by default — and "off" means the daemon makes **zero**
+    /// affinity syscalls, byte-for-byte the unpinned behaviour.
+    pub pin: bool,
+    /// Busy-wait budget before an idle stealing worker parks on its
+    /// group doorbell. `Duration::ZERO` parks immediately.
+    pub spin: Duration,
 }
 
 impl Default for ServerConfig {
@@ -107,6 +116,8 @@ impl Default for ServerConfig {
             admission: false,
             steal: false,
             lane_aging: DEFAULT_LANE_AGING,
+            pin: false,
+            spin: DEFAULT_SPIN,
         }
     }
 }
@@ -203,10 +214,39 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     }
 
     let telemetry = Arc::new(Telemetry::new());
+
+    // Topology-aware placement. Discovery runs *only* under --pin: the
+    // unpinned daemon must make zero affinity syscalls, and discovery
+    // itself reads the process affinity mask. Failure (weird sysfs, a
+    // locked-down container) logs and degrades to unpinned — placement
+    // is an optimisation, never a requirement.
+    let placement = if config.pin {
+        match crate::topo::CpuTopology::discover() {
+            Ok(topo) => Some(crate::topo::plan_shards(&topo, n_shards)),
+            Err(e) => {
+                eprintln!(
+                    "altxd: --pin requested but topology discovery failed ({e}); running unpinned"
+                );
+                None
+            }
+        }
+    } else {
+        None
+    };
+
     // Stealing is what splits the pool into shard-pinned worker groups;
     // without it a single group (the classic FIFO shape) avoids ever
-    // stranding capacity behind an empty group queue.
+    // stranding capacity behind an empty group queue. Pin sets follow
+    // the group shape: one core set per shard group, or the whole
+    // plan's union for the single shared group.
     let groups = if config.steal { n_shards } else { 1 };
+    let pin_cores = placement.as_ref().map(|plan| {
+        if groups == n_shards {
+            plan.shards.clone()
+        } else {
+            vec![plan.union()]
+        }
+    });
     let pool = Arc::new(WorkerPool::with_config(PoolConfig {
         workers: config.workers,
         queue_depth: config.queue_depth,
@@ -214,6 +254,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         lanes: config.lanes.count(),
         steal: config.steal,
         lane_aging: config.lane_aging,
+        spin: config.spin,
+        pin_cores,
     }));
     telemetry.attach_pool(pool.stats());
     telemetry.attach_lane_names(config.lanes.names().to_vec());
@@ -287,6 +329,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
             config.ring_slot_bytes,
             Arc::clone(&admission),
             Arc::clone(&lanes),
+            placement.as_ref().and_then(|p| p.shards.get(i).cloned()),
         )?;
         reactors.push(reactor);
         shareds.push(shared);

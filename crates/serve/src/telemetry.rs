@@ -21,6 +21,7 @@ use crate::peer::PeerStatsTable;
 use crate::pool::PoolStats;
 use crate::ring::RingStats;
 use crate::sched::CatalogStats;
+use altx::CachePadded;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -215,58 +216,62 @@ impl ShardStats {
 #[derive(Debug, Default)]
 pub struct Telemetry {
     /// Requests admitted to the run queue.
-    accepted: AtomicU64,
+    accepted: CachePadded<AtomicU64>,
     /// Races that completed with a winner.
-    completed: AtomicU64,
+    completed: CachePadded<AtomicU64>,
     /// Requests shed because the queue was full.
-    shed: AtomicU64,
+    shed: CachePadded<AtomicU64>,
     /// Requests shed by the feasibility gate: deadline provably
     /// unmeetable on arrival, before spending a queue slot.
-    sheds_at_admission: AtomicU64,
+    sheds_at_admission: CachePadded<AtomicU64>,
     /// Races that blew their deadline.
-    deadline_exceeded: AtomicU64,
+    deadline_exceeded: CachePadded<AtomicU64>,
     /// Races that completed with a winner but *after* their deadline —
     /// served, but too late to count as goodput.
-    deadline_misses: AtomicU64,
+    deadline_misses: CachePadded<AtomicU64>,
     /// Unknown workloads, protocol violations, failed races.
-    errors: AtomicU64,
+    errors: CachePadded<AtomicU64>,
     /// Alternative bodies that panicked and were contained by an engine.
-    alt_panics: AtomicU64,
+    alt_panics: CachePadded<AtomicU64>,
     /// Batches submitted as one race (window > 0 only).
-    batches_formed: AtomicU64,
+    batches_formed: CachePadded<AtomicU64>,
     /// Requests that joined an already-open batch instead of racing.
-    requests_coalesced: AtomicU64,
+    requests_coalesced: CachePadded<AtomicU64>,
     /// Hedged alternatives whose launch offset elapsed (their bodies ran).
-    hedges_launched: AtomicU64,
+    hedges_launched: CachePadded<AtomicU64>,
     /// Races won by an alternative that launched from a hedge offset.
-    hedge_wins: AtomicU64,
+    hedge_wins: CachePadded<AtomicU64>,
     /// Alternatives whose bodies never ran because the race was decided
     /// first (hedges suppressed by a fast favourite).
-    launches_suppressed: AtomicU64,
+    launches_suppressed: CachePadded<AtomicU64>,
     /// Alternatives shipped to peers (`EXEC_ALT` frames sent).
-    remote_dispatched: AtomicU64,
+    remote_dispatched: CachePadded<AtomicU64>,
     /// `ALT_RESULT` frames received back from executors.
-    remote_results: AtomicU64,
+    remote_results: CachePadded<AtomicU64>,
     /// Races committed to a peer-executed alternative.
-    remote_wins: AtomicU64,
+    remote_wins: CachePadded<AtomicU64>,
     /// Shipped alternatives converted to failed guards (refused,
     /// executor failure, or peer death).
-    remote_failed: AtomicU64,
+    remote_failed: CachePadded<AtomicU64>,
     /// Remote legs that blew their per-leg deadline and were re-run on
     /// the local pool (hedged recovery from a stalled peer).
-    remote_redispatched: AtomicU64,
+    remote_redispatched: CachePadded<AtomicU64>,
     /// Replies from a previous link incarnation dropped by the
     /// reconnect-generation check.
-    peer_stale_replies: AtomicU64,
+    peer_stale_replies: CachePadded<AtomicU64>,
     /// `EXEC_ALT` requests this node admitted as an executor.
-    remote_execs: AtomicU64,
+    remote_execs: CachePadded<AtomicU64>,
     /// Commit-semaphore votes this node's ledger handled (its own
     /// self-votes plus `COMMIT_VOTE` frames from peers).
-    commit_votes: AtomicU64,
+    commit_votes: CachePadded<AtomicU64>,
     /// Commits answered without a majority (enough voters died).
-    commits_degraded: AtomicU64,
+    commits_degraded: CachePadded<AtomicU64>,
     /// `ELIMINATE` frames sent to cancel shipped siblings.
-    eliminations: AtomicU64,
+    eliminations: CachePadded<AtomicU64>,
+    /// Reactor shards whose thread successfully pinned to its planned
+    /// core set (`--pin`). Written once per shard at startup — cold, so
+    /// unpadded.
+    pinned_shards: AtomicU64,
     /// Latency of completed races.
     latency: LatencyHistogram,
     /// The scheduler's interned per-alternative statistics (win tallies
@@ -299,8 +304,15 @@ pub struct Snapshot {
     pub deadline_exceeded: u64,
     /// Races served with a winner but after their deadline.
     pub deadline_misses: u64,
-    /// Jobs a dry worker took from a sibling group's run queue.
+    /// Jobs a dry worker took from a sibling group's run queue while
+    /// the pool was open (load-balancing steals only).
     pub steals: u64,
+    /// Jobs scavenged from sibling groups while draining a closed pool
+    /// (shutdown, not load balancing).
+    pub drain_scavenges: u64,
+    /// Reactor shards successfully pinned to their planned core sets
+    /// (zero without `--pin`).
+    pub pinned_shards: u64,
     /// Queued jobs per priority lane (gauge), priority order.
     pub lane_depths: Vec<u64>,
     /// Error replies.
@@ -517,6 +529,13 @@ impl Telemetry {
         self.eliminations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one reactor shard that pinned itself to its planned core
+    /// set. Recorded by the shard thread itself, so the count reflects
+    /// pins that actually took, not pins that were merely requested.
+    pub fn on_shard_pinned(&self) {
+        self.pinned_shards.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Attaches the scheduler's interned statistics so win tallies
     /// appear in snapshots. Later calls are ignored.
     pub fn attach_catalog(&self, catalog: Arc<CatalogStats>) {
@@ -580,6 +599,8 @@ impl Telemetry {
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
             steals: self.pool.get().map_or(0, |p| p.steals()),
+            drain_scavenges: self.pool.get().map_or(0, |p| p.drain_scavenges()),
+            pinned_shards: self.pinned_shards.load(Ordering::Relaxed),
             lane_depths: self.pool.get().map_or_else(Vec::new, |p| p.lane_depths()),
             errors: self.errors.load(Ordering::Relaxed),
             alt_panics: self.alt_panics.load(Ordering::Relaxed),
@@ -632,6 +653,8 @@ impl Telemetry {
         out.push_str(&format!("  deadline exceeded   {}\n", s.deadline_exceeded));
         out.push_str(&format!("  deadline misses     {}\n", s.deadline_misses));
         out.push_str(&format!("  steals              {}\n", s.steals));
+        out.push_str(&format!("  drain scavenges     {}\n", s.drain_scavenges));
+        out.push_str(&format!("  pinned shards       {}\n", s.pinned_shards));
         for (i, depth) in s.lane_depths.iter().enumerate() {
             out.push_str(&format!(
                 "    lane {} ({}) depth {}\n",
@@ -766,8 +789,20 @@ impl Telemetry {
         counter(
             &mut out,
             "altxd_steals_total",
-            "Jobs a dry worker took from a sibling group's run queue",
+            "Jobs a dry worker took from a sibling group's run queue under load",
             s.steals,
+        );
+        counter(
+            &mut out,
+            "altxd_drain_scavenges_total",
+            "Jobs scavenged from sibling groups while draining a closed pool",
+            s.drain_scavenges,
+        );
+        counter(
+            &mut out,
+            "altxd_pinned_shards",
+            "Reactor shards pinned to their planned core sets",
+            s.pinned_shards,
         );
         counter(
             &mut out,
